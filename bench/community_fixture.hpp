@@ -1,0 +1,83 @@
+// Shared bench fixture: a small PeerHood Community neighbourhood on a
+// chosen radio technology, fully discovered and logged in.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "community/app.hpp"
+#include "util/check.hpp"
+
+namespace ph::bench {
+
+struct CommunityWorld {
+  struct Device {
+    std::unique_ptr<peerhood::Stack> stack;
+    std::unique_ptr<community::CommunityApp> app;
+  };
+
+  sim::Simulator simulator;
+  net::Medium medium;
+  std::vector<std::unique_ptr<Device>> devices;
+
+  /// Builds `peer_names.size() + 1` devices ("self" + peers) within radio
+  /// range on `radio`, waits until self has discovered every peer.
+  CommunityWorld(net::TechProfile radio,
+                 const std::vector<std::string>& peer_names,
+                 const std::vector<std::string>& shared_interests,
+                 std::uint64_t seed = 7)
+      : medium(simulator, sim::Rng(seed)) {
+    radio.inquiry_detect_prob = 1.0;  // deterministic setup
+    add_device("self", {0, 0}, radio, shared_interests);
+    double angle = 0.0;
+    for (const std::string& name : peer_names) {
+      angle += 1.0;
+      add_device(name, {3.0 * std::cos(angle), 3.0 * std::sin(angle)}, radio,
+                 shared_interests);
+    }
+    const sim::Time start = simulator.now();
+    while (self().app->stack().library()
+               .find_service(community::kServiceName)
+               .size() != peer_names.size()) {
+      simulator.run_for(sim::milliseconds(100));
+      PH_CHECK_MSG(simulator.now() - start < sim::minutes(5),
+                   "neighbourhood never converged");
+    }
+  }
+
+  Device& self() { return *devices.front(); }
+
+  void add_device(const std::string& member, sim::Vec2 pos,
+                  const net::TechProfile& radio,
+                  const std::vector<std::string>& interests) {
+    auto device = std::make_unique<Device>();
+    peerhood::StackConfig config;
+    config.device_name = member + "-ptd";
+    config.radios = {radio};
+    device->stack = std::make_unique<peerhood::Stack>(
+        medium, std::make_unique<sim::StaticMobility>(pos), config);
+    device->app = std::make_unique<community::CommunityApp>(*device->stack);
+    auto account = device->app->create_account(member, "pw");
+    PH_CHECK(account.ok());
+    for (const std::string& interest : interests) {
+      (*account)->add_interest(interest);
+    }
+    PH_CHECK(device->app->login(member, "pw").ok());
+    devices.push_back(std::move(device));
+  }
+
+  /// Runs virtual time until `pred` holds; returns elapsed duration.
+  template <typename Pred>
+  sim::Duration time_until(Pred pred, sim::Duration limit = sim::minutes(5)) {
+    const sim::Time start = simulator.now();
+    while (!pred()) {
+      simulator.run_for(sim::milliseconds(10));
+      PH_CHECK_MSG(simulator.now() - start < limit, "condition never met");
+    }
+    return simulator.now() - start;
+  }
+};
+
+}  // namespace ph::bench

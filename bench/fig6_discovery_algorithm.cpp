@@ -1,0 +1,103 @@
+// Figure 6 — the dynamic group discovery algorithm's computational cost.
+//
+// google-benchmark over the pure GroupEngine (no radio): how the interest
+// matching scales with (#neighbours x #interests), and the event-driven
+// engine vs the thesis' batch rescan (DESIGN.md ablation 2).
+#include <benchmark/benchmark.h>
+
+#include "community/groups.hpp"
+
+using namespace ph;
+
+namespace {
+
+std::vector<std::string> make_interests(int count, int offset = 0) {
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    out.push_back("interest" + std::to_string((i + offset) % (2 * count)));
+  }
+  return out;
+}
+
+/// One peer appearing: the incremental Figure 6 path.
+void BM_PeerAppears(benchmark::State& state) {
+  const int neighbours = static_cast<int>(state.range(0));
+  const int interests = static_cast<int>(state.range(1));
+  community::SemanticDictionary dictionary;
+  for (auto _ : state) {
+    state.PauseTiming();
+    community::GroupEngine engine("self", dictionary);
+    engine.set_local_interests(make_interests(interests));
+    for (int p = 0; p < neighbours - 1; ++p) {
+      engine.on_peer("peer" + std::to_string(p), make_interests(interests, p));
+    }
+    state.ResumeTiming();
+    engine.on_peer("late-peer", make_interests(interests, 3));
+    benchmark::DoNotOptimize(engine.groups());
+  }
+  state.counters["comparisons_per_event"] = static_cast<double>(interests) * interests;
+}
+BENCHMARK(BM_PeerAppears)
+    ->ArgsProduct({{1, 8, 32, 128}, {1, 4, 16}})
+    ->ArgNames({"neighbours", "interests"});
+
+/// The thesis' batch algorithm: full rescan of every peer.
+void BM_FullRescan(benchmark::State& state) {
+  const int neighbours = static_cast<int>(state.range(0));
+  const int interests = static_cast<int>(state.range(1));
+  community::SemanticDictionary dictionary;
+  community::GroupEngine engine("self", dictionary);
+  engine.set_local_interests(make_interests(interests));
+  for (int p = 0; p < neighbours; ++p) {
+    engine.on_peer("peer" + std::to_string(p), make_interests(interests, p));
+  }
+  for (auto _ : state) {
+    engine.rescan();
+    benchmark::DoNotOptimize(engine.groups());
+  }
+}
+BENCHMARK(BM_FullRescan)
+    ->ArgsProduct({{1, 8, 32, 128}, {1, 4, 16}})
+    ->ArgNames({"neighbours", "interests"});
+
+/// Departure handling (monitoring eviction).
+void BM_PeerLeaves(benchmark::State& state) {
+  const int neighbours = static_cast<int>(state.range(0));
+  community::SemanticDictionary dictionary;
+  for (auto _ : state) {
+    state.PauseTiming();
+    community::GroupEngine engine("self", dictionary);
+    engine.set_local_interests(make_interests(8));
+    for (int p = 0; p < neighbours; ++p) {
+      engine.on_peer("peer" + std::to_string(p), make_interests(8, p));
+    }
+    state.ResumeTiming();
+    engine.remove_peer("peer0");
+  }
+}
+BENCHMARK(BM_PeerLeaves)->Arg(8)->Arg(64)->Arg(256)->ArgName("neighbours");
+
+/// Semantic canonicalization overhead: matching through a taught
+/// dictionary vs raw string equality.
+void BM_MatchWithDictionary(benchmark::State& state) {
+  const bool taught = state.range(0) != 0;
+  community::SemanticDictionary dictionary;
+  if (taught) {
+    for (int i = 0; i < 64; ++i) {
+      dictionary.teach("interest" + std::to_string(i),
+                       "synonym" + std::to_string(i));
+    }
+  }
+  community::GroupEngine engine("self", dictionary);
+  engine.set_local_interests(make_interests(16));
+  int round = 0;
+  for (auto _ : state) {
+    engine.on_peer("peer", make_interests(16, ++round % 8));
+  }
+}
+BENCHMARK(BM_MatchWithDictionary)->Arg(0)->Arg(1)->ArgName("taught");
+
+}  // namespace
+
+BENCHMARK_MAIN();

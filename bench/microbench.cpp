@@ -1,0 +1,121 @@
+// Infrastructure microbenchmarks (google-benchmark, wall-clock): the
+// simulation kernel's event throughput and the wire codecs. Not tied to a
+// thesis artifact — these document the harness' own capacity, i.e. how
+// large an overlay simulation the repository can drive.
+#include <benchmark/benchmark.h>
+
+#include "proto/daemon.hpp"
+#include "proto/messages.hpp"
+#include "sim/simulator.hpp"
+
+using namespace ph;
+
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (int i = 0; i < events; ++i) {
+      simulator.schedule(sim::milliseconds(i % 1000), [] {});
+    }
+    simulator.run_all();
+    benchmark::DoNotOptimize(simulator.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_SimulatorCascade(benchmark::State& state) {
+  // Each event schedules the next — the latency-chain pattern every
+  // network round trip uses.
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    int remaining = depth;
+    std::function<void()> step = [&] {
+      if (--remaining > 0) simulator.schedule(sim::microseconds(10), step);
+    };
+    simulator.schedule(0, step);
+    simulator.run_all();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_SimulatorCascade)->Arg(1'000)->Arg(10'000);
+
+void BM_SimulatorCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::vector<sim::EventId> ids;
+    ids.reserve(10'000);
+    for (int i = 0; i < 10'000; ++i) {
+      ids.push_back(simulator.schedule(sim::seconds(1), [] {}));
+    }
+    for (sim::EventId id : ids) simulator.cancel(id);
+    benchmark::DoNotOptimize(simulator.queue_size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimulatorCancel);
+
+proto::Response heavy_response() {
+  proto::Response response;
+  response.op = proto::Opcode::ps_get_profile;
+  response.profile.member_id = "member";
+  response.profile.display_name = "A Display Name";
+  response.profile.about = "about text of realistic length for a profile";
+  for (int i = 0; i < 10; ++i) {
+    response.profile.interests.push_back("interest" + std::to_string(i));
+    response.profile.trusted_friends.push_back("friend" + std::to_string(i));
+    response.profile.comments.push_back(
+        {"author" + std::to_string(i), "a comment of plausible length", 123});
+    response.profile.visitors.push_back("visitor" + std::to_string(i));
+  }
+  return response;
+}
+
+void BM_EncodeResponse(benchmark::State& state) {
+  const proto::Response response = heavy_response();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    Bytes encoded = proto::encode(response);
+    bytes = encoded.size();
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_EncodeResponse);
+
+void BM_DecodeResponse(benchmark::State& state) {
+  const Bytes encoded = proto::encode(heavy_response());
+  for (auto _ : state) {
+    auto decoded = proto::decode_response(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(encoded.size()));
+}
+BENCHMARK(BM_DecodeResponse);
+
+void BM_DecodeDaemonMessage(benchmark::State& state) {
+  proto::DaemonMessage message;
+  message.op = proto::DaemonOp::service_reply;
+  message.device_name = "device";
+  message.services = {{"PeerHoodCommunity", 1000,
+                       {{"member", "alice"},
+                        {"interests", "a;b;c;d"},
+                        {"type", "social"}}}};
+  const Bytes encoded = proto::encode(message);
+  for (auto _ : state) {
+    auto decoded = proto::decode_daemon_message(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(encoded.size()));
+}
+BENCHMARK(BM_DecodeDaemonMessage);
+
+}  // namespace
+
+BENCHMARK_MAIN();

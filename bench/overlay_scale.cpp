@@ -1,0 +1,116 @@
+// Future work #2 (thesis conclusion) — "performance testing during the
+// dynamic group discovery in the social network on mobile environment can
+// be done in order to analyze the efficiency of such dynamic group
+// discovery in any overlay networks."
+//
+// A crowd of N devices random-waypoints across a field several radio
+// ranges wide, every device logged in and running dynamic group discovery.
+// Over a 10-minute window the bench measures, as a function of N:
+//   * group events per device-minute (formations + dissolutions = churn
+//     the middleware absorbed)
+//   * mean interest-match comparisons per device (Figure 6 work)
+//   * control traffic per device-minute (inquiries, service queries, pings)
+//   * total radio bytes per device-minute
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "community/app.hpp"
+#include "util/check.hpp"
+
+using namespace ph;
+
+namespace {
+
+struct Metrics {
+  double group_events_per_device_min = 0;
+  double comparisons_per_device = 0;
+  double control_msgs_per_device_min = 0;
+  double bytes_per_device_min = 0;
+};
+
+Metrics run_crowd(int devices, std::uint64_t seed) {
+  sim::Simulator simulator;
+  net::Medium medium(simulator, sim::Rng(seed));
+  sim::Rng mobility(seed * 17 + 3);
+  constexpr double kFieldSize = 60.0;  // 6 Bluetooth ranges across
+  const sim::Duration kWindow = sim::minutes(10);
+
+  struct Device {
+    std::unique_ptr<peerhood::Stack> stack;
+    std::unique_ptr<community::CommunityApp> app;
+  };
+  std::vector<std::unique_ptr<Device>> crowd;
+  const std::vector<std::string> topics = {"music", "sports", "films",
+                                           "coffee", "code"};
+  for (int i = 0; i < devices; ++i) {
+    auto device = std::make_unique<Device>();
+    peerhood::StackConfig config;
+    config.device_name = "n" + std::to_string(i);
+    net::TechProfile bt = net::bluetooth_2_0();
+    config.radios = {bt};
+    sim::RandomWaypoint::Config walk;
+    walk.area_min = {0, 0};
+    walk.area_max = {kFieldSize, kFieldSize};
+    walk.speed_min_mps = 0.5;
+    walk.speed_max_mps = 2.0;
+    device->stack = std::make_unique<peerhood::Stack>(
+        medium, std::make_unique<sim::RandomWaypoint>(walk, mobility.fork()),
+        config);
+    device->app = std::make_unique<community::CommunityApp>(*device->stack);
+    auto account = device->app->create_account("m" + std::to_string(i), "pw");
+    PH_CHECK(account.ok());
+    // Two topics per member, rotating so every pair shares something
+    // sometimes.
+    (*account)->add_interest(topics[i % topics.size()]);
+    (*account)->add_interest(topics[(i + 2) % topics.size()]);
+    PH_CHECK(device->app->login("m" + std::to_string(i), "pw").ok());
+    crowd.push_back(std::move(device));
+  }
+
+  simulator.run_until(kWindow);
+
+  Metrics metrics;
+  std::uint64_t group_events = 0, comparisons = 0, control_msgs = 0;
+  for (const auto& device : crowd) {
+    const auto& group_stats = device->app->groups().stats();
+    group_events += group_stats.groups_formed + group_stats.groups_dissolved;
+    comparisons += group_stats.comparisons;
+    const auto& daemon_stats = device->stack->daemon().stats();
+    control_msgs += daemon_stats.pings_sent + daemon_stats.service_queries +
+                    daemon_stats.inquiries_started;
+  }
+  const double device_minutes = devices * sim::to_seconds(kWindow) / 60.0;
+  metrics.group_events_per_device_min =
+      static_cast<double>(group_events) / device_minutes;
+  metrics.comparisons_per_device =
+      static_cast<double>(comparisons) / devices;
+  metrics.control_msgs_per_device_min =
+      static_cast<double>(control_msgs) / device_minutes;
+  metrics.bytes_per_device_min =
+      static_cast<double>(
+          medium.traffic(net::Technology::bluetooth).total_bytes()) /
+      device_minutes;
+  return metrics;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Overlay-scale dynamic group discovery (future work #2):\n");
+  std::printf("random-waypoint crowd on a 60x60 m field, 10 simulated minutes\n\n");
+  std::printf("%8s %22s %20s %24s %18s\n", "devices", "group events/dev/min",
+              "comparisons/dev", "control msgs/dev/min", "bytes/dev/min");
+  for (int n : {5, 10, 20, 40}) {
+    const Metrics m = run_crowd(n, 1000 + n);
+    std::printf("%8d %22.2f %20.0f %24.1f %18.0f\n", n,
+                m.group_events_per_device_min, m.comparisons_per_device,
+                m.control_msgs_per_device_min, m.bytes_per_device_min);
+  }
+  std::printf("\nExpected shape: everything per-device grows roughly linearly\n"
+              "with crowd density — pings and service queries are per-\n"
+              "neighbour, and group churn tracks how many matching members\n"
+              "wander in and out of range. Inquiry count alone is flat (one\n"
+              "periodic scan per device regardless of density).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Table 6 — "Client Requests and corresponding Server Function": measured
+// round-trip latency of every PS_* operation against a real neighbour over
+// simulated Bluetooth (one fresh session per request, as in the thesis'
+// client).
+#include <cmath>
+#include <cstdio>
+
+#include "bench/community_fixture.hpp"
+
+using namespace ph;
+
+namespace {
+
+double rpc_seconds(bench::CommunityWorld& world, proto::Request request) {
+  auto& client = world.self().app->client();
+  auto targets =
+      world.self().app->stack().library().find_service(community::kServiceName);
+  PH_CHECK(!targets.empty());
+  bool done = false;
+  const sim::Time start = world.simulator.now();
+  client.call(targets.front().first.id, std::move(request),
+              [&](Result<proto::Response> response) {
+                PH_CHECK(response.ok());
+                done = true;
+              });
+  world.time_until([&] { return done; });
+  return sim::to_seconds(world.simulator.now() - start);
+}
+
+}  // namespace
+
+int main() {
+  bench::CommunityWorld world(net::bluetooth_2_0(), {"alice"},
+                              {"football", "movies"});
+  // Give alice some state so responses have realistic payloads.
+  auto& alice = *world.devices[1];
+  alice.app->active()->add_trusted("self");
+  alice.app->active()->share_file("mixtape.mp3", Bytes(200'000, 1));
+  alice.app->active()->share_file("notes.txt", Bytes(2'000, 2));
+
+  struct Row {
+    const char* name;
+    proto::Request request;
+  };
+  auto request = [](proto::Opcode op) {
+    proto::Request r;
+    r.op = op;
+    r.requester = "self";
+    r.member_id = "alice";
+    return r;
+  };
+  proto::Request msg = request(proto::Opcode::ps_msg);
+  msg.mail = {"alice", "self", "benchmark", "one mail body", 0};
+  proto::Request interested = request(proto::Opcode::ps_get_interested_member_list);
+  interested.argument = "football";
+  proto::Request comment = request(proto::Opcode::ps_add_profile_comment);
+  comment.argument = "benchmark comment";
+  proto::Request content = request(proto::Opcode::ps_get_content);
+  content.argument = "notes.txt";
+
+  const Row rows[] = {
+      {"PS_GETONLINEMEMBERLIST", request(proto::Opcode::ps_get_online_member_list)},
+      {"PS_GETINTERESTLIST", request(proto::Opcode::ps_get_interest_list)},
+      {"PS_GETINTERESTEDMEMBERLIST", interested},
+      {"PS_GETPROFILE", request(proto::Opcode::ps_get_profile)},
+      {"PS_ADDPROFILECOMMENT", comment},
+      {"PS_CHECKMEMBERID", request(proto::Opcode::ps_check_member_id)},
+      {"PS_MSG", msg},
+      {"PS_SHAREDCONTENT", request(proto::Opcode::ps_get_shared_content)},
+      {"PS_GETTRUSTEDFRIEND", request(proto::Opcode::ps_get_trusted_friends)},
+      {"PS_CHECKTRUSTED", request(proto::Opcode::ps_check_trusted)},
+      {"PS_GETCONTENT (2 kB file)", content},
+  };
+
+  std::printf("Table 6: per-operation round trip over Bluetooth (connect +\n");
+  std::printf("request + response + close, fresh session per request)\n\n");
+  std::printf("%-30s %14s\n", "operation", "latency (s)");
+  for (const Row& row : rows) {
+    std::printf("%-30s %14.3f\n", row.name, rpc_seconds(world, row.request));
+  }
+  std::printf("\nExpected shape: connection setup (~0.64 s paging) dominates; "
+              "PS_GETCONTENT adds payload serialization at 723 kbps.\n");
+  return 0;
+}

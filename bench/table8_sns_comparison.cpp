@@ -1,0 +1,93 @@
+// Table 8 — "Time records for searching an interest group, joining and
+// viewing any member's profile from different SNS and Reference
+// Application" (the thesis' headline evaluation).
+//
+// Prints the same five columns the thesis reports, averaged over several
+// seeds, next to the thesis' measured numbers. The expected *shape*:
+// PeerHood search ≈ one Bluetooth inquiry (~11 s), join exactly 0 s, and a
+// total 2-4x below every SNS column.
+#include <cstdio>
+#include <vector>
+
+#include "eval/table8.hpp"
+
+namespace {
+
+ph::eval::Table8Cell average(std::vector<ph::eval::Table8Cell> cells) {
+  ph::eval::Table8Cell out = cells.front();
+  out.search_s = out.join_s = out.member_list_s = out.profile_s = 0;
+  for (const auto& cell : cells) {
+    out.search_s += cell.search_s / cells.size();
+    out.join_s += cell.join_s / cells.size();
+    out.member_list_s += cell.member_list_s / cells.size();
+    out.profile_s += cell.profile_s / cells.size();
+  }
+  return out;
+}
+
+struct PaperColumn {
+  const char* label;
+  double search, join, list, profile, total;
+};
+
+}  // namespace
+
+int main() {
+  constexpr int kRuns = 5;
+
+  auto run_sns = [&](const ph::sns::SiteProfile& site,
+                     const ph::sns::DeviceClass& device) {
+    std::vector<ph::eval::Table8Cell> cells;
+    for (int run = 0; run < kRuns; ++run) {
+      cells.push_back(ph::eval::run_sns_column(site, device, 100 + run));
+    }
+    return average(cells);
+  };
+  auto run_peerhood = [&] {
+    std::vector<ph::eval::Table8Cell> cells;
+    for (int run = 0; run < kRuns; ++run) {
+      cells.push_back(ph::eval::run_peerhood_column(200 + run));
+    }
+    return average(cells);
+  };
+
+  const std::vector<ph::eval::Table8Cell> measured = {
+      run_sns(ph::sns::facebook(), ph::sns::nokia_n810()),
+      run_sns(ph::sns::facebook(), ph::sns::nokia_n95()),
+      run_sns(ph::sns::hi5(), ph::sns::nokia_n810()),
+      run_sns(ph::sns::hi5(), ph::sns::nokia_n95()),
+      run_peerhood(),
+  };
+  const PaperColumn paper[] = {
+      {"SNS (Facebook) / Nokia N810", 58, 17, 8, 11, 94},
+      {"SNS (Facebook) / Nokia N95", 75, 24, 31, 27, 157},
+      {"SNS (HI5) / Nokia N810", 50, 25, 18, 27, 120},
+      {"SNS (HI5) / Nokia N95", 69, 40, 32, 40, 181},
+      {"PeerHood Community (Bluetooth)", 11, 0, 15, 19, 45},
+  };
+
+  std::printf("Table 8: time (s) to search an interest group, join it, view the\n");
+  std::printf("member list and view one member's profile (avg of %d runs)\n\n", kRuns);
+  std::printf("%-34s %21s %21s %21s %21s %23s\n", "", "group search", "group join",
+              "member list", "profile view", "TOTAL");
+  std::printf("%-34s %10s %10s %10s %10s %10s %10s %10s %10s %11s %11s\n",
+              "column", "ours", "paper", "ours", "paper", "ours", "paper",
+              "ours", "paper", "ours", "paper");
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const auto& m = measured[i];
+    const auto& p = paper[i];
+    std::printf("%-34s %10.1f %10.0f %10.1f %10.0f %10.1f %10.0f %10.1f %10.0f %11.1f %11.0f\n",
+                p.label, m.search_s, p.search, m.join_s, p.join,
+                m.member_list_s, p.list, m.profile_s, p.profile, m.total_s(),
+                p.total);
+  }
+
+  const double best_sns_total = measured[0].total_s();
+  const double peerhood_total = measured[4].total_s();
+  std::printf("\nPeerHood total is %.1fx faster than the best SNS column "
+              "(paper: %.1fx); join time is %s (paper: 0 s, already in the "
+              "group).\n",
+              best_sns_total / peerhood_total, 94.0 / 45.0,
+              measured[4].join_s == 0.0 ? "exactly 0 s" : "NON-ZERO (!)");
+  return 0;
+}

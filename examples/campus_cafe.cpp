@@ -1,0 +1,126 @@
+// Campus café — the thesis' "instant local community" scenario (§5.1:
+// "very much feasible in instant local communities like in university or
+// pub").
+//
+// A café with a handful of regulars sitting at tables and students
+// wandering in and out (random-waypoint mobility). Every device runs
+// PeerHood Community; interest groups form and churn as people move. The
+// example prints a "café board" every simulated minute: who is around and
+// which groups exist, then demonstrates semantics teaching live — merging
+// the "biking" and "cycling" crowds into one group.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "community/app.hpp"
+#include "util/check.hpp"
+
+using namespace ph;
+
+namespace {
+
+struct Person {
+  std::string name;
+  std::vector<std::string> interests;
+  std::unique_ptr<peerhood::Stack> stack;
+  std::unique_ptr<community::CommunityApp> app;
+};
+
+}  // namespace
+
+int main() {
+  sim::Simulator simulator;
+  net::Medium medium(simulator, sim::Rng(2026));
+  sim::Rng mobility_rng(7);
+
+  std::vector<std::unique_ptr<Person>> people;
+  auto arrive = [&](const std::string& name,
+                    std::vector<std::string> interests,
+                    std::unique_ptr<sim::MobilityModel> mobility) {
+    auto person = std::make_unique<Person>();
+    person->name = name;
+    person->interests = interests;
+    peerhood::StackConfig config;
+    config.device_name = name + "-ptd";
+    config.radios = {net::bluetooth_2_0()};
+    person->stack = std::make_unique<peerhood::Stack>(medium,
+                                                      std::move(mobility),
+                                                      config);
+    person->app = std::make_unique<community::CommunityApp>(*person->stack);
+    PH_CHECK(person->app->create_account(name, "pw").ok());
+    PH_CHECK(person->app->login(name, "pw").ok());
+    for (const auto& interest : interests) {
+      PH_CHECK(person->app->add_interest(interest).ok());
+    }
+    people.push_back(std::move(person));
+    return people.back().get();
+  };
+
+  // The café is a 12x12 m room. Regulars sit at tables (static).
+  Person* maria =
+      arrive("maria", {"espresso", "cycling"},
+             std::make_unique<sim::StaticMobility>(sim::Vec2{2, 2}));
+  arrive("jussi", {"espresso", "ice hockey"},
+         std::make_unique<sim::StaticMobility>(sim::Vec2{8, 3}));
+  arrive("lena", {"biking", "photography"},
+         std::make_unique<sim::StaticMobility>(sim::Vec2{4, 9}));
+
+  // Students wander around the room.
+  for (int i = 0; i < 4; ++i) {
+    sim::RandomWaypoint::Config wander;
+    wander.area_min = {0, 0};
+    wander.area_max = {12, 12};
+    wander.speed_min_mps = 0.3;
+    wander.speed_max_mps = 1.0;
+    arrive("student" + std::to_string(i),
+           i % 2 == 0 ? std::vector<std::string>{"espresso", "exams"}
+                      : std::vector<std::string>{"cycling", "exams"},
+           std::make_unique<sim::RandomWaypoint>(wander, mobility_rng.fork()));
+  }
+
+  auto print_board = [&] {
+    std::printf("\n=== café board at t=%.0fs ===\n",
+                sim::to_seconds(simulator.now()));
+    for (const auto& person : people) {
+      auto groups = person->app->groups().formed_groups();
+      if (groups.empty()) continue;
+      std::printf("%-10s sees:", person->name.c_str());
+      for (const auto& group : groups) {
+        std::printf(" %s(%zu)", group.interest.c_str(), group.members.size());
+      }
+      std::printf("\n");
+    }
+  };
+
+  // Let the café life run for three simulated minutes.
+  for (int minute = 1; minute <= 3; ++minute) {
+    simulator.run_for(sim::minutes(1));
+    print_board();
+  }
+
+  // Maria notices the cycling/biking split and teaches the semantics
+  // (the thesis' future-work feature): her groups merge immediately.
+  auto cycling_before = maria->app->groups().group("cycling");
+  std::printf("\nmaria's cycling group before teaching: %zu member(s)\n",
+              cycling_before.ok() ? cycling_before->members.size() : 0);
+  PH_CHECK(maria->app->teach_synonym("cycling", "biking").ok());
+  auto merged = maria->app->groups().group("cycling");
+  std::printf("maria teaches cycling == biking -> merged group '%s' with %zu member(s):",
+              merged->interest.c_str(), merged->members.size());
+  for (const auto& member : merged->members) std::printf(" %s", member.c_str());
+  std::printf("\n");
+
+  // Espresso drinkers in range of maria right now, via the live query path
+  // (Figure 12 + PS_GETINTERESTEDMEMBERLIST).
+  bool done = false;
+  maria->app->client().get_interested_members(
+      "espresso", [&](Result<std::vector<std::string>> members) {
+        PH_CHECK(members.ok());
+        std::printf("\nespresso drinkers near maria:");
+        for (const auto& member : *members) std::printf(" %s", member.c_str());
+        std::printf("\n");
+        done = true;
+      });
+  while (!done) simulator.run_for(sim::milliseconds(100));
+  return 0;
+}

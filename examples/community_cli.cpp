@@ -1,0 +1,108 @@
+// community_cli — the reference application's terminal interface
+// (thesis Figure 10 and the Appendix 2 screenshots), scriptable.
+//
+//   $ ./community_cli                 # replays the built-in demo session
+//   $ ./community_cli - < script.txt  # runs your own commands from stdin
+//
+// The program builds a three-device Bluetooth neighbourhood (you +
+// "alice" + "bob", both logged in with interests and shared content) and
+// drives YOUR device's shell. Virtual time advances automatically while
+// commands wait for the network.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "community/shell.hpp"
+#include "util/check.hpp"
+
+using namespace ph;
+
+namespace {
+
+struct Device {
+  std::unique_ptr<peerhood::Stack> stack;
+  std::unique_ptr<community::CommunityApp> app;
+};
+
+Device make_device(net::Medium& medium, const std::string& name, sim::Vec2 pos) {
+  Device device;
+  peerhood::StackConfig config;
+  config.device_name = name;
+  config.radios = {net::bluetooth_2_0()};
+  device.stack = std::make_unique<peerhood::Stack>(
+      medium, std::make_unique<sim::StaticMobility>(pos), config);
+  device.app = std::make_unique<community::CommunityApp>(*device.stack);
+  return device;
+}
+
+const char* kDemoScript[] = {
+    "menu",
+    "create me secret",
+    "login me secret",
+    "set name Bishal",
+    "set about testing PeerHood Community",
+    "interest add football",
+    "interest add movies",
+    "profile",
+    "members",
+    "allinterests",
+    "group list",
+    "group members football",
+    "profile alice",
+    "comment alice nice profile!",
+    "msg alice hello | are you going to the seminar?",
+    "trust list alice",
+    "shared alice",
+    "fetch alice holiday-photos.zip",
+    "teach movies = films",
+    "group members movies",
+    "devices",
+    "services",
+    "inbox",
+    "logout",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::Simulator simulator;
+  net::Medium medium(simulator, sim::Rng(8));
+
+  Device mine = make_device(medium, "my-ptd", {0, 0});
+  Device alice = make_device(medium, "alice-ptd", {3, 0});
+  Device bob = make_device(medium, "bob-ptd", {0, 3});
+
+  // Populate the neighbours.
+  PH_CHECK(alice.app->create_account("alice", "pw").ok());
+  PH_CHECK(alice.app->login("alice", "pw").ok());
+  PH_CHECK(alice.app->add_interest("football").ok());
+  PH_CHECK(alice.app->add_interest("films").ok());
+  PH_CHECK(alice.app->add_trusted("me").ok());
+  PH_CHECK(alice.app->share_file("holiday-photos.zip", Bytes(64'000, 0x11)).ok());
+
+  PH_CHECK(bob.app->create_account("bob", "pw").ok());
+  PH_CHECK(bob.app->login("bob", "pw").ok());
+  PH_CHECK(bob.app->add_interest("football").ok());
+  PH_CHECK(bob.app->add_interest("chess").ok());
+
+  // Let Bluetooth discovery settle before the session starts.
+  simulator.run_for(sim::seconds(15));
+
+  community::Shell shell(*mine.app);
+  auto run = [&](const std::string& line) {
+    std::printf("phc> %s\n", line.c_str());
+    std::fputs(shell.execute(line).c_str(), stdout);
+    // A human pauses between commands; the neighbourhood keeps living.
+    simulator.run_for(sim::seconds(2));
+  };
+
+  if (argc > 1 && std::string(argv[1]) == "-") {
+    std::string line;
+    while (std::getline(std::cin, line)) run(line);
+  } else {
+    for (const char* line : kDemoScript) run(line);
+  }
+  return 0;
+}

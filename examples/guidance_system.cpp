@@ -1,0 +1,139 @@
+// Guidance system — the thesis' second §4.4 companion application:
+// "The guidance system offers guidance to travelers in some strange
+// environment into some selected destinations", built on predictive
+// Bluetooth guidance points.
+//
+// Guidance points are fixed PeerHood devices along a campus path, each
+// registering a "Guidance" service that knows the direction to every
+// destination from its own position. A traveller's PTD monitors the
+// neighbourhood; whenever a new guidance point comes into Bluetooth range
+// it asks for the next leg towards the chosen destination and follows it.
+// The traveller reaches the destination purely by hopping between
+// guidance points — no map, no GPS, exactly the thesis' scenario.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "peerhood/stack.hpp"
+#include "util/check.hpp"
+
+using namespace ph;
+
+namespace {
+
+struct GuidancePoint {
+  std::string name;
+  sim::Vec2 position;
+  /// Where to walk next for each destination ("" = you have arrived).
+  std::map<std::string, sim::Vec2> next_leg;
+  std::unique_ptr<peerhood::Stack> stack;
+  std::vector<std::shared_ptr<peerhood::Connection>> sessions;
+};
+
+}  // namespace
+
+int main() {
+  sim::Simulator simulator;
+  net::Medium medium(simulator, sim::Rng(99));
+
+  // Three guidance points on the way to the library, 8 m apart (each hop
+  // within Bluetooth range of the next point's surroundings).
+  std::vector<std::unique_ptr<GuidancePoint>> points;
+  auto add_point = [&](const std::string& name, sim::Vec2 pos,
+                       sim::Vec2 towards_library) {
+    auto point = std::make_unique<GuidancePoint>();
+    point->name = name;
+    point->position = pos;
+    point->next_leg["library"] = towards_library;
+    peerhood::StackConfig config;
+    config.device_name = name;
+    config.radios = {net::bluetooth_2_0()};
+    point->stack = std::make_unique<peerhood::Stack>(
+        medium, std::make_unique<sim::StaticMobility>(pos), config);
+    GuidancePoint* raw = point.get();
+    PH_CHECK(point->stack->library()
+                 .register_service(
+                     "Guidance", {{"operator", "campus"}},
+                     [raw, &simulator](peerhood::Connection connection) {
+                       auto held = std::make_shared<peerhood::Connection>(
+                           std::move(connection));
+                       raw->sessions.push_back(held);
+                       held->on_message([raw, held, &simulator](BytesView dest) {
+                         const std::string destination = to_text(dest);
+                         auto leg = raw->next_leg.find(destination);
+                         std::string answer =
+                             leg == raw->next_leg.end()
+                                 ? std::string("UNKNOWN")
+                                 : std::to_string(leg->second.x) + "," +
+                                       std::to_string(leg->second.y);
+                         std::printf("[t=%5.1fs] %s: guiding traveller to %s\n",
+                                     sim::to_seconds(simulator.now()),
+                                     raw->name.c_str(), answer.c_str());
+                         held->send(to_bytes(answer));
+                       });
+                     })
+                 .ok());
+    points.push_back(std::move(point));
+  };
+  add_point("gp-entrance", {0, 0}, {8, 0});
+  add_point("gp-courtyard", {8, 0}, {16, 0});
+  add_point("gp-corridor", {16, 0}, {16, 8});
+  const sim::Vec2 library{16, 8};
+
+  // The traveller starts at the entrance and only moves where guidance
+  // points send them.
+  peerhood::StackConfig config;
+  config.device_name = "traveller-ptd";
+  config.radios = {net::bluetooth_2_0()};
+  peerhood::Stack traveller(
+      medium, std::make_unique<sim::StaticMobility>(sim::Vec2{-2, 0}), config);
+
+  std::set<peerhood::DeviceId> asked;
+  bool arrived = false;
+  peerhood::MonitorCallbacks on_point;
+  on_point.on_appear = [&](const peerhood::DeviceInfo& info) {
+    if (arrived || info.find_service("Guidance") == nullptr) return;
+    if (!asked.insert(info.id).second) return;  // one question per point
+    traveller.library().connect(
+        info.id, "Guidance", {},
+        [&](Result<peerhood::Connection> result) {
+          if (!result) return;
+          auto held = std::make_shared<peerhood::Connection>(*result);
+          held->on_message([&, held](BytesView answer) {
+            const std::string text = to_text(answer);
+            held->close();
+            if (arrived) return;  // later answers must not divert us
+            const std::size_t comma = text.find(',');
+            if (comma == std::string::npos) return;
+            const sim::Vec2 target{std::stod(text.substr(0, comma)),
+                                   std::stod(text.substr(comma + 1))};
+            // Walk to the advised waypoint at 1.2 m/s.
+            const sim::Vec2 from = medium.position(traveller.id());
+            const double dist = sim::distance(from, target);
+            const sim::Time now = simulator.now();
+            medium.set_mobility(
+                traveller.id(),
+                std::make_unique<sim::WaypointMobility>(
+                    std::vector<sim::WaypointMobility::Waypoint>{
+                        {now, from},
+                        {now + sim::seconds(dist / 1.2), target}}));
+            std::printf("[t=%5.1fs] traveller: walking to (%.0f, %.0f)\n",
+                        sim::to_seconds(now), target.x, target.y);
+            if (target == library) arrived = true;
+          });
+          held->send(to_bytes("library"));
+        });
+  };
+  traveller.daemon().monitor_all(std::move(on_point));
+
+  simulator.run_until(sim::minutes(5));
+  const sim::Vec2 final_pos = medium.position(traveller.id());
+  PH_CHECK(sim::distance(final_pos, library) < 0.5);
+  std::printf("[t=%5.1fs] traveller reached the library at (%.1f, %.1f) by "
+              "hopping %zu guidance points\n",
+              sim::to_seconds(simulator.now()), final_pos.x, final_pos.y,
+              asked.size());
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Hotel lobby — infrastructure-mode WLAN (thesis §2.4.2) carrying the
+// community across a space far larger than any single radio's reach.
+//
+// A conference-hotel lobby, 180 m end to end, covered by two access
+// points. Guests scattered across the whole floor are far outside mutual
+// ad-hoc range, yet the PeerHood Community finds them all through the APs.
+// Mid-evening one AP fails: the sessions it carried break, the daemons
+// notice the vanished half of the neighbourhood, and the groups shrink to
+// the surviving cell — then heal when the AP comes back.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "community/app.hpp"
+#include "util/check.hpp"
+
+using namespace ph;
+
+namespace {
+
+struct Guest {
+  std::string name;
+  std::unique_ptr<peerhood::Stack> stack;
+  std::unique_ptr<community::CommunityApp> app;
+};
+
+}  // namespace
+
+int main() {
+  sim::Simulator simulator;
+  net::Medium medium(simulator, sim::Rng(1908));
+
+  // Two cells cover the lobby: west AP at x=40, east AP at x=140.
+  const net::NodeId west_ap = medium.add_access_point("west-ap", {40, 0}, 100.0);
+  medium.add_access_point("east-ap", {140, 0}, 100.0);
+
+  net::TechProfile wlan = net::wlan_80211b_infrastructure();
+
+  std::vector<std::unique_ptr<Guest>> guests;
+  auto check_in = [&](const std::string& name, double x,
+                      std::vector<std::string> interests) {
+    auto guest = std::make_unique<Guest>();
+    guest->name = name;
+    peerhood::StackConfig config;
+    config.device_name = name + "-ptd";
+    config.radios = {wlan};
+    guest->stack = std::make_unique<peerhood::Stack>(
+        medium, std::make_unique<sim::StaticMobility>(sim::Vec2{x, 5}), config);
+    guest->app = std::make_unique<community::CommunityApp>(*guest->stack);
+    PH_CHECK(guest->app->create_account(name, "pw").ok());
+    PH_CHECK(guest->app->login(name, "pw").ok());
+    for (const auto& interest : interests) {
+      PH_CHECK(guest->app->add_interest(interest).ok());
+    }
+    guests.push_back(std::move(guest));
+    return guests.back().get();
+  };
+
+  // Conference guests spread across the whole 180 m lobby.
+  Guest* ana = check_in("ana", 5, {"middleware", "sauna"});
+  check_in("beni", 60, {"middleware", "jazz"});
+  check_in("chris", 110, {"middleware", "sauna"});
+  Guest* dora = check_in("dora", 175, {"sauna", "jazz"});
+
+  simulator.run_for(sim::seconds(10));
+  auto print_groups = [&](const char* label) {
+    std::printf("\n-- %s (t=%.0fs)\n", label, sim::to_seconds(simulator.now()));
+    for (const auto& guest : guests) {
+      std::printf("%-7s:", guest->name.c_str());
+      for (const auto& group : guest->app->groups().formed_groups()) {
+        std::printf(" %s(%zu)", group.interest.c_str(), group.members.size());
+      }
+      std::printf("\n");
+    }
+  };
+  print_groups("full lobby, both APs up");
+  // Ana (x=5, west cell) and dora (x=175, east cell) share the sauna
+  // group even though they are 170 m apart — no ad-hoc radio reaches that.
+  PH_CHECK(ana->app->groups().group("sauna")->members.contains("dora"));
+
+  // Ana messages dora across the lobby.
+  bool delivered = false;
+  ana->app->send_message("dora", "sauna?", "meet at the rooftop sauna at 9?",
+                         [&](Result<void> result) {
+                           PH_CHECK(result.ok());
+                           delivered = true;
+                         });
+  while (!delivered) simulator.run_for(sim::milliseconds(100));
+  std::printf("\nana -> dora delivered across both cells (t=%.1fs)\n",
+              sim::to_seconds(simulator.now()));
+
+  // The west AP dies. Ana only hears the west AP (x=5 is 135 m from the
+  // east one), so she drops out of everyone's neighbourhood.
+  std::printf("\n!! west AP power failure\n");
+  medium.set_access_point_active(west_ap, false);
+  while (dora->app->groups().group("sauna")->members.contains("ana")) {
+    simulator.run_for(sim::seconds(1));
+  }
+  print_groups("west cell dark");
+  PH_CHECK(!dora->app->groups().group("sauna")->members.contains("ana"));
+
+  // Power returns; the neighbourhood heals on the next discovery rounds.
+  std::printf("\n!! west AP back online\n");
+  medium.set_access_point_active(west_ap, true);
+  while (!dora->app->groups().group("sauna")->members.contains("ana")) {
+    simulator.run_for(sim::seconds(1));
+  }
+  print_groups("healed");
+  std::printf("\nlobby community recovered at t=%.0fs\n",
+              sim::to_seconds(simulator.now()));
+  return 0;
+}

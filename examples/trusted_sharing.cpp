@@ -1,0 +1,140 @@
+// Trusted friends & content sharing — Table 7's "Trusted Friends" feature
+// family end to end: trust levels gate what a peer may see (thesis §5.1:
+// "non trusted users can view or see only the interest groups and members
+// of different groups; trusted users are allowed to see/transfer the
+// shared files, comment profiles etc").
+//
+// Walks through the full Figure 16 flow: a stranger is refused
+// (NOT_TRUSTED_YET), trust is granted, the listing and a download succeed,
+// trust is revoked and access closes again. Also shows profile comments
+// and the visitors log (Figure 13/14).
+#include <cstdio>
+#include <memory>
+
+#include "community/app.hpp"
+#include "util/check.hpp"
+
+using namespace ph;
+
+namespace {
+
+struct User {
+  std::unique_ptr<peerhood::Stack> stack;
+  std::unique_ptr<community::CommunityApp> app;
+};
+
+User make_user(net::Medium& medium, const std::string& name, sim::Vec2 pos) {
+  User user;
+  peerhood::StackConfig config;
+  config.device_name = name + "-ptd";
+  config.radios = {net::bluetooth_2_0()};
+  user.stack = std::make_unique<peerhood::Stack>(
+      medium, std::make_unique<sim::StaticMobility>(pos), config);
+  user.app = std::make_unique<community::CommunityApp>(*user.stack);
+  PH_CHECK(user.app->create_account(name, "pw").ok());
+  PH_CHECK(user.app->login(name, "pw").ok());
+  return user;
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator simulator;
+  net::Medium medium(simulator, sim::Rng(77));
+
+  User owner = make_user(medium, "owner", {0, 0});
+  User friend_ = make_user(medium, "friend", {3, 0});
+  User stranger = make_user(medium, "stranger", {0, 3});
+
+  PH_CHECK(owner.app->share_file("holiday.jpg", Bytes(120'000, 0xAA)).ok());
+  PH_CHECK(owner.app->share_file("thesis.pdf", Bytes(800'000, 0xBB)).ok());
+
+  // Let discovery settle.
+  simulator.run_for(sim::seconds(15));
+
+  auto pump_until = [&](bool& flag) {
+    while (!flag) simulator.run_for(sim::milliseconds(100));
+  };
+
+  // 1. The stranger tries to browse the owner's shared content — refused.
+  bool refused = false;
+  stranger.app->client().view_shared_content(
+      "owner", [&](Result<std::vector<proto::SharedItemData>> items) {
+        PH_CHECK(!items.ok() && items.error().code == Errc::not_trusted);
+        std::printf("stranger -> owner shared content: refused (%s)\n",
+                    items.error().to_string().c_str());
+        refused = true;
+      });
+  pump_until(refused);
+
+  // 2. Anyone may view the profile and leave a comment (non-trusted
+  //    operations per the thesis' trust levels). The view is recorded in
+  //    the owner's visitors log (Figure 13).
+  bool viewed = false;
+  stranger.app->client().view_profile(
+      "owner", [&](Result<proto::ProfileData> profile) {
+        PH_CHECK(profile.ok());
+        std::printf("stranger viewed owner's profile (allowed; visit logged)\n");
+        viewed = true;
+      });
+  pump_until(viewed);
+  bool commented = false;
+  stranger.app->client().put_profile_comment(
+      "owner", "nice photo collection!", [&](Result<void> result) {
+        PH_CHECK(result.ok());
+        commented = true;
+      });
+  pump_until(commented);
+  std::printf("stranger commented on owner's profile (allowed for everyone)\n");
+
+  // 3. The owner grants trust to 'friend'; the listing now works.
+  PH_CHECK(owner.app->add_trusted("friend").ok());
+  bool listed = false;
+  friend_.app->client().view_shared_content(
+      "owner", [&](Result<std::vector<proto::SharedItemData>> items) {
+        PH_CHECK(items.ok());
+        std::printf("friend sees %zu shared item(s):", items->size());
+        for (const auto& item : *items) {
+          std::printf(" %s(%llu B)", item.name.c_str(),
+                      static_cast<unsigned long long>(item.size_bytes));
+        }
+        std::printf("\n");
+        listed = true;
+      });
+  pump_until(listed);
+
+  // 4. ...and the trusted friend downloads a file.
+  bool downloaded = false;
+  friend_.app->client().fetch_content(
+      "owner", "holiday.jpg", [&](Result<Bytes> content) {
+        PH_CHECK(content.ok() && content->size() == 120'000);
+        std::printf("friend downloaded holiday.jpg (%zu bytes) at t=%.1fs\n",
+                    content->size(), sim::to_seconds(simulator.now()));
+        downloaded = true;
+      });
+  pump_until(downloaded);
+
+  // 5. Trust is revocable: remove it and access closes immediately.
+  PH_CHECK(owner.app->remove_trusted("friend").ok());
+  bool re_refused = false;
+  friend_.app->client().view_shared_content(
+      "owner", [&](Result<std::vector<proto::SharedItemData>> items) {
+        PH_CHECK(!items.ok() && items.error().code == Errc::not_trusted);
+        std::printf("after revocation, friend is refused again\n");
+        re_refused = true;
+      });
+  pump_until(re_refused);
+
+  // 6. The owner's local view: comments and the visitors log.
+  std::printf("\nowner's profile state:\n");
+  for (const auto& comment : owner.app->active()->profile().comments) {
+    std::printf("  comment by %s: \"%s\"\n", comment.author.c_str(),
+                comment.text.c_str());
+  }
+  std::printf("  visitors:");
+  for (const auto& visitor : owner.app->active()->profile().visitors) {
+    std::printf(" %s", visitor.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// CommunityApp — one device's complete PeerHood Community instance.
+//
+// The thesis' test application is "a client server application and every
+// device must have both the client and server" (§5.2.3). CommunityApp is
+// that pairing plus the glue that makes group discovery *dynamic*
+// (Figure 5): it subscribes to PeerHood's device monitoring, probes every
+// neighbour that advertises the PeerHoodCommunity service for its member
+// and interests, feeds the GroupEngine, and evicts members whose devices
+// leave radio range.
+//
+// Lifecycle:
+//   CommunityApp app(stack);            // server runs from the start
+//   app.create_account("alice", "pw");
+//   app.login("alice", "pw");           // client + group engine activate
+//   app.add_interest("football");       // groups re-evaluate
+//   ... virtual time passes, neighbours come and go, groups form ...
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "community/client.hpp"
+#include "community/groups.hpp"
+#include "community/interests.hpp"
+#include "community/profile.hpp"
+#include "community/server.hpp"
+#include "peerhood/stack.hpp"
+
+namespace ph::community {
+
+struct AppConfig {
+  /// Re-probe known peers this often (interest edits on remote devices
+  /// become visible at the next probe). 0 disables periodic refresh.
+  sim::Duration peer_refresh_interval = sim::seconds(30);
+  /// Extension (off = the thesis' design): publish the logged-in member
+  /// and their interests as attributes of the PeerHoodCommunity service.
+  /// Neighbours that also enable this skip the two probe RPCs entirely —
+  /// group discovery happens from service-discovery data alone, and
+  /// remote interest edits propagate with the daemon's periodic service
+  /// refresh. `bench_ablation_interest_attributes` quantifies the effect.
+  bool advertise_interests = false;
+  ClientConfig client;
+};
+
+class CommunityApp {
+ public:
+  struct Stats {
+    std::uint64_t peers_probed = 0;
+    std::uint64_t probe_failures = 0;
+    std::uint64_t peers_gone = 0;
+  };
+
+  explicit CommunityApp(peerhood::Stack& stack, AppConfig config = {});
+  ~CommunityApp();
+  CommunityApp(const CommunityApp&) = delete;
+  CommunityApp& operator=(const CommunityApp&) = delete;
+
+  // --- accounts ---------------------------------------------------------
+  Result<Account*> create_account(const std::string& member_id,
+                                  const std::string& password);
+  /// Logs in and activates dynamic group discovery for this member.
+  Result<void> login(const std::string& member_id, const std::string& password);
+  void logout();
+  bool logged_in() const { return store_.active() != nullptr; }
+  Account* active() { return store_.active(); }
+  const Account* active() const { return store_.active(); }
+
+  // --- profile editing (drives group re-evaluation) -------------------------
+  Result<void> add_interest(const std::string& interest);
+  Result<void> remove_interest(const std::string& interest);
+  Result<void> add_trusted(const std::string& member);
+  Result<void> remove_trusted(const std::string& member);
+  Result<void> share_file(const std::string& name, Bytes content);
+  Result<void> unshare_file(const std::string& name);
+
+  /// Teaches the environment that two interest terms mean the same issue
+  /// (the thesis' future-work semantics feature); merges affected groups.
+  Result<void> teach_synonym(const std::string& a, const std::string& b);
+
+  /// Manual group membership (Table 7 "Join/Leave Manually").
+  Result<void> join_group(const std::string& interest);
+  Result<void> leave_group(const std::string& interest);
+
+  /// Sends a message (Figure 17) and, on success, records it in the active
+  /// account's sent folder (Table 7: "Send/Receive Messages" with "view
+  /// sent messages").
+  void send_message(const std::string& receiver, const std::string& subject,
+                    const std::string& body,
+                    std::function<void(Result<void>)> done);
+
+  // --- persistence (the thesis' on-device files) ---------------------------
+  /// Writes every account (profiles, mail, shared files) to `path`.
+  Result<void> save_accounts(const std::string& path) const;
+  /// Replaces this device's accounts with the contents of `path`; any
+  /// active session is logged out first (a freshly booted device starts at
+  /// the login screen).
+  Result<void> load_accounts(const std::string& path);
+
+  // --- components ---------------------------------------------------------
+  /// Valid only while logged in.
+  GroupEngine& groups() { return *groups_; }
+  CommunityClient& client() { return *client_; }
+  CommunityServer& server() { return server_; }
+  ProfileStore& profiles() { return store_; }
+  SemanticDictionary& dictionary() { return dictionary_; }
+  peerhood::Stack& stack() { return stack_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Member hosted by `device`, if this app has probed it ("" if unknown).
+  std::string member_on(peerhood::DeviceId device) const;
+
+ private:
+  void on_device_appeared(const peerhood::DeviceInfo& info);
+  void on_device_gone(peerhood::DeviceId id);
+  void probe_peer(peerhood::DeviceId device);
+  void schedule_refresh();
+  /// Pushes the active member + interests into the service attributes
+  /// (advertise_interests mode).
+  void publish_attributes();
+  void record_peer(peerhood::DeviceId device, const std::string& member,
+                   const std::vector<std::string>& interests);
+
+  peerhood::Stack& stack_;
+  AppConfig config_;
+  ProfileStore store_;
+  SemanticDictionary dictionary_;
+  CommunityServer server_;
+  std::unique_ptr<CommunityClient> client_;
+  std::unique_ptr<GroupEngine> groups_;
+  peerhood::Daemon::MonitorId monitor_ = 0;
+  std::map<peerhood::DeviceId, std::string> device_members_;
+  std::uint64_t refresh_generation_ = 0;
+  /// Expires at destruction; the periodic refresh timer checks it before
+  /// touching `this` (the timer lives in the simulator, which may outlive
+  /// the app).
+  std::shared_ptr<char> alive_token_ = std::make_shared<char>();
+  Stats stats_;
+};
+
+}  // namespace ph::community

@@ -1,0 +1,141 @@
+// GroupEngine — dynamic group discovery (thesis Figures 2, 5 and 6).
+//
+// "The technology involved discovers the nearby users and the intelligence
+// of the application quickly scans the newly found neighbors' interests and
+// matches with the primary user's personal interests and dynamically forms
+// the group on the move."
+//
+// The engine is the event-driven form of the Figure 6 algorithm: instead of
+// re-running "for every interest × every neighbour" from scratch, it reacts
+// to the events PeerHood monitoring already produces —
+//
+//   on_peer(member, interests)   — a neighbour appeared / changed interests
+//   remove_peer(member)          — a neighbour left radio range
+//   set_local_interests(...)     — the user edited their interest list
+//
+// — and keeps one group per *canonical* interest of the local user (plus
+// manually joined ones). The full-rescan variant from the figure is also
+// provided (rescan()) so benches can compare the two (DESIGN.md ablation 2).
+//
+// Interest matching goes through a SemanticDictionary, so taught synonyms
+// ("biking" == "cycling") merge into one group — with an untaught
+// dictionary the engine reproduces the thesis' limitation of two separate
+// groups, which bench_ablation_semantics measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "community/interests.hpp"
+#include "util/result.hpp"
+
+namespace ph::community {
+
+/// One dynamically formed interest group, as seen from the local device.
+struct Group {
+  /// Canonical interest key (dictionary representative).
+  std::string interest;
+  /// Raw labels observed mapping to this group ("biking", "Cycling").
+  std::set<std::string> labels;
+  /// Member ids, including the local user.
+  std::set<std::string> members;
+  /// True once at least one remote member matched (thesis: a group "forms"
+  /// when interests match between two users).
+  bool formed() const { return members.size() >= 2; }
+};
+
+/// Notifications the application can subscribe to.
+struct GroupCallbacks {
+  std::function<void(const Group&)> on_group_formed;
+  std::function<void(const std::string& interest)> on_group_dissolved;
+  std::function<void(const std::string& interest, const std::string& member)>
+      on_member_joined;
+  std::function<void(const std::string& interest, const std::string& member)>
+      on_member_left;
+};
+
+class GroupEngine {
+ public:
+  struct Stats {
+    std::uint64_t comparisons = 0;  ///< interest-pair checks (Fig 6 cost)
+    std::uint64_t groups_formed = 0;
+    std::uint64_t groups_dissolved = 0;
+    std::uint64_t member_joins = 0;
+    std::uint64_t member_leaves = 0;
+  };
+
+  /// `dictionary` may outlive or be shared with the app; not owned.
+  GroupEngine(std::string local_member, const SemanticDictionary& dictionary);
+
+  void set_callbacks(GroupCallbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+  const std::string& local_member() const noexcept { return local_member_; }
+
+  // --- inputs -------------------------------------------------------------
+  /// Replaces the local user's interest list (raw labels).
+  void set_local_interests(const std::vector<std::string>& interests);
+
+  /// A neighbour's interests became known or changed (raw labels).
+  void on_peer(const std::string& member, const std::vector<std::string>& interests);
+
+  /// A neighbour left the neighbourhood: drop it from every group
+  /// ("automatically the remote device gets excluded from the social
+  /// network", thesis §5.1).
+  void remove_peer(const std::string& member);
+
+  /// Manually joins a group for an interest the user does not hold
+  /// (Table 7 "Join/Leave Manually"). The group then behaves like a local
+  /// interest until left.
+  void manual_join(std::string_view interest);
+  Result<void> manual_leave(std::string_view interest);
+
+  /// The dictionary changed (new synonyms taught): recompute all groups.
+  void rebuild();
+
+  // --- queries ------------------------------------------------------------
+  /// All tracked groups, sorted by canonical interest.
+  std::vector<Group> groups() const;
+  /// Only groups with at least one remote member.
+  std::vector<Group> formed_groups() const;
+  Result<Group> group(std::string_view interest) const;
+  /// Members of one interest group (empty for unknown interest).
+  std::vector<std::string> members_of(std::string_view interest) const;
+  /// Interests currently defining groups (canonical keys).
+  std::vector<std::string> tracked_interests() const;
+
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// The thesis' Figure 6 batch algorithm: recomputes every group from the
+  /// complete peer table in one sweep. Equivalent output to the
+  /// event-driven path; exists for the ablation bench.
+  void rescan();
+
+ private:
+  struct PeerRecord {
+    std::vector<std::string> raw_interests;
+    std::set<std::string> canonical;  // under the current dictionary
+  };
+
+  void match_peer_against_groups(const std::string& member, PeerRecord& record);
+  void add_member(Group& group, const std::string& member);
+  void drop_member(Group& group, const std::string& member);
+  void ensure_groups_for_local();
+  std::set<std::string> canonicalize(const std::vector<std::string>& raw,
+                                     Group* label_sink_unused = nullptr);
+
+  std::string local_member_;
+  const SemanticDictionary& dictionary_;
+  GroupCallbacks callbacks_;
+
+  std::vector<std::string> local_raw_;
+  std::set<std::string> manual_;                 // canonical manual joins
+  std::map<std::string, PeerRecord> peers_;      // member -> interests
+  std::map<std::string, Group> groups_;          // canonical -> group
+  Stats stats_;
+};
+
+}  // namespace ph::community

@@ -1,0 +1,70 @@
+#include "community/interests.hpp"
+
+#include "util/strings.hpp"
+
+namespace ph::community {
+
+namespace {
+
+/// Walks parent links to the root, compressing the path.
+const std::string& root_of(std::map<std::string, std::string>& parent,
+                           const std::string& start) {
+  std::string current = start;
+  while (parent.at(current) != current) current = parent.at(current);
+  // Path compression: repoint every node on the walk at the root.
+  std::string walker = start;
+  while (parent.at(walker) != current) {
+    std::string next = parent.at(walker);
+    parent[walker] = current;
+    walker = std::move(next);
+  }
+  return parent.find(current)->first;
+}
+
+}  // namespace
+
+void SemanticDictionary::teach(std::string_view a, std::string_view b) {
+  std::string na = normalize_interest(a);
+  std::string nb = normalize_interest(b);
+  if (na.empty() || nb.empty()) return;
+  parent_.try_emplace(na, na);
+  parent_.try_emplace(nb, nb);
+  std::string ra = root_of(parent_, na);
+  std::string rb = root_of(parent_, nb);
+  if (ra == rb) return;
+  ++merges_;
+  // The lexicographically smaller term becomes the root, keeping
+  // canonical() independent of teaching order.
+  if (rb < ra) std::swap(ra, rb);
+  parent_[rb] = ra;
+}
+
+std::string SemanticDictionary::canonical(std::string_view term) const {
+  std::string normalized = normalize_interest(term);
+  auto it = parent_.find(normalized);
+  if (it == parent_.end()) return normalized;
+  return root_of(parent_, normalized);
+}
+
+bool SemanticDictionary::same(std::string_view a, std::string_view b) const {
+  return canonical(a) == canonical(b);
+}
+
+std::vector<std::string> SemanticDictionary::synonyms(std::string_view term) const {
+  std::string target = canonical(term);
+  std::vector<std::string> out;
+  for (const auto& [member, parent] : parent_) {
+    (void)parent;
+    if (root_of(parent_, member) == target) out.push_back(member);
+  }
+  if (out.empty()) out.push_back(std::move(target));
+  return out;
+}
+
+const std::string* SemanticDictionary::find_root(const std::string& term) const {
+  auto it = parent_.find(term);
+  if (it == parent_.end()) return nullptr;
+  return &root_of(parent_, term);
+}
+
+}  // namespace ph::community

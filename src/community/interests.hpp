@@ -1,0 +1,51 @@
+// Interest semantics.
+//
+// Interests drive dynamic group discovery: "biking" and "cycling" should
+// land in one group, not two. The thesis names this its main future work —
+// "semantics teaching to the environment while defining interests for
+// combining interest terms meaning the same issue" — and §5.1 already
+// sketches it ("users may teach the semantics to the environment by
+// combining terms meaning the same issue"). SemanticDictionary implements
+// it: a union-find over normalized interest terms, where teach(a, b)
+// merges two synonym classes. The canonical representative of a class is
+// its lexicographically smallest term, so canonicalization is stable and
+// independent of teaching order.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ph::community {
+
+class SemanticDictionary {
+ public:
+  /// Declares `a` and `b` to mean the same issue. Terms are normalized
+  /// (trimmed, lower-cased, whitespace-squeezed) before merging.
+  void teach(std::string_view a, std::string_view b);
+
+  /// The canonical key for a term: the smallest member of its synonym
+  /// class. Unknown terms canonicalize to their own normalized form.
+  std::string canonical(std::string_view term) const;
+
+  /// True when both terms canonicalize to the same class.
+  bool same(std::string_view a, std::string_view b) const;
+
+  /// All taught terms in the same class as `term` (normalized forms,
+  /// sorted). A term never taught returns just itself.
+  std::vector<std::string> synonyms(std::string_view term) const;
+
+  /// Number of teach() merges that actually joined two distinct classes.
+  std::size_t merge_count() const noexcept { return merges_; }
+
+ private:
+  const std::string* find_root(const std::string& term) const;
+
+  // parent_[t] = t for roots. Roots hold the class-smallest term via
+  // rep_ lookups done at canonicalization time.
+  mutable std::map<std::string, std::string> parent_;
+  std::size_t merges_ = 0;
+};
+
+}  // namespace ph::community

@@ -1,0 +1,181 @@
+#include "community/persistence.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "proto/codec.hpp"
+#include "proto/messages.hpp"
+
+namespace ph::community {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50484353;  // "PHCS" — PeerHood Community Store
+constexpr std::uint16_t kVersion = 1;
+
+void put_mail(proto::Writer& w, const proto::MailData& mail) {
+  w.str(mail.receiver);
+  w.str(mail.sender);
+  w.str(mail.subject);
+  w.str(mail.body);
+  w.u64(mail.sent_at_us);
+}
+
+Result<proto::MailData> get_mail(proto::Reader& r) {
+  proto::MailData mail;
+  auto receiver = r.str();
+  if (!receiver) return receiver.error();
+  mail.receiver = std::move(*receiver);
+  auto sender = r.str();
+  if (!sender) return sender.error();
+  mail.sender = std::move(*sender);
+  auto subject = r.str();
+  if (!subject) return subject.error();
+  mail.subject = std::move(*subject);
+  auto body = r.str();
+  if (!body) return body.error();
+  mail.body = std::move(*body);
+  auto at = r.u64();
+  if (!at) return at.error();
+  mail.sent_at_us = *at;
+  return mail;
+}
+
+void put_account(proto::Writer& w, const Account& account) {
+  w.str(account.member_id());
+  w.str(account.password());
+  // The wire-visible profile reuses the network codec: wrap it in a
+  // response encoding so we get the exact same layout and validation.
+  proto::Response wrapper;
+  wrapper.op = proto::Opcode::ps_get_profile;
+  wrapper.profile = account.profile();
+  w.bytes(proto::encode(wrapper));
+  w.u32(static_cast<std::uint32_t>(account.inbox().size()));
+  for (const auto& mail : account.inbox()) put_mail(w, mail);
+  w.u32(static_cast<std::uint32_t>(account.sent().size()));
+  for (const auto& mail : account.sent()) put_mail(w, mail);
+  w.u32(static_cast<std::uint32_t>(account.shared_files().size()));
+  for (const auto& [name, content] : account.shared_files()) {
+    w.str(name);
+    w.bytes(content);
+  }
+}
+
+Result<void> get_account(proto::Reader& r, ProfileStore& store) {
+  auto member_id = r.str();
+  if (!member_id) return member_id.error();
+  auto password = r.str();
+  if (!password) return password.error();
+  auto created = store.create_account(*member_id, *password);
+  if (!created) return created.error();
+  Account& account = **created;
+
+  auto profile_blob = r.bytes();
+  if (!profile_blob) return profile_blob.error();
+  auto wrapper = proto::decode_response(*profile_blob);
+  if (!wrapper) return wrapper.error();
+  account.set_profile(std::move(wrapper->profile));
+
+  auto inbox_count = r.u32();
+  if (!inbox_count) return inbox_count.error();
+  if (*inbox_count > r.remaining() / 4) {
+    return Error{Errc::protocol_error, "implausible inbox count"};
+  }
+  for (std::uint32_t i = 0; i < *inbox_count; ++i) {
+    auto mail = get_mail(r);
+    if (!mail) return mail.error();
+    account.deliver_mail(std::move(*mail));
+  }
+  auto sent_count = r.u32();
+  if (!sent_count) return sent_count.error();
+  if (*sent_count > r.remaining() / 4) {
+    return Error{Errc::protocol_error, "implausible sent count"};
+  }
+  for (std::uint32_t i = 0; i < *sent_count; ++i) {
+    auto mail = get_mail(r);
+    if (!mail) return mail.error();
+    account.record_sent(std::move(*mail));
+  }
+  auto file_count = r.u32();
+  if (!file_count) return file_count.error();
+  if (*file_count > r.remaining() / 4) {
+    return Error{Errc::protocol_error, "implausible shared-file count"};
+  }
+  for (std::uint32_t i = 0; i < *file_count; ++i) {
+    auto name = r.str();
+    if (!name) return name.error();
+    auto content = r.bytes();
+    if (!content) return content.error();
+    account.share_file(*name, std::move(*content));
+  }
+  return ok();
+}
+
+}  // namespace
+
+Bytes serialize(const ProfileStore& store) {
+  proto::Writer w;
+  w.u32(kMagic);
+  w.u16(kVersion);
+  const auto members = store.member_ids();
+  w.u32(static_cast<std::uint32_t>(members.size()));
+  for (const std::string& member : members) {
+    put_account(w, *store.find(member));
+  }
+  return std::move(w).take();
+}
+
+Result<ProfileStore> deserialize(BytesView data) {
+  proto::Reader r(data);
+  auto magic = r.u32();
+  if (!magic) return magic.error();
+  if (*magic != kMagic) {
+    return Error{Errc::protocol_error, "not a PeerHood Community store"};
+  }
+  auto version = r.u16();
+  if (!version) return version.error();
+  if (*version != kVersion) {
+    return Error{Errc::protocol_error,
+                 "unsupported store version " + std::to_string(*version)};
+  }
+  auto count = r.u32();
+  if (!count) return count.error();
+  if (*count > r.remaining() / 4) {
+    return Error{Errc::protocol_error, "implausible account count"};
+  }
+  ProfileStore store;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    if (auto loaded = get_account(r, store); !loaded) return loaded.error();
+  }
+  return store;
+}
+
+Result<void> save_to_file(const ProfileStore& store, const std::string& path) {
+  const Bytes blob = serialize(store);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!file) {
+    return Error{Errc::state_error, "cannot open for writing: " + path};
+  }
+  if (std::fwrite(blob.data(), 1, blob.size(), file.get()) != blob.size()) {
+    return Error{Errc::state_error, "short write: " + path};
+  }
+  return ok();
+}
+
+Result<ProfileStore> load_from_file(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!file) {
+    return Error{Errc::state_error, "cannot open for reading: " + path};
+  }
+  Bytes blob;
+  std::uint8_t chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, file.get())) > 0) {
+    blob.insert(blob.end(), chunk, chunk + got);
+  }
+  return deserialize(blob);
+}
+
+}  // namespace ph::community

@@ -1,0 +1,33 @@
+// Persistence — the thesis' on-device files.
+//
+// The reference implementation keeps everything in files on the PTD: "the
+// server ... writes or appends the Profile comments ... into the local
+// user's profile" (a "profile information file") and "writes the mail
+// message in the inbox mail file". This module serializes a device's whole
+// ProfileStore — accounts, passwords, interests, trust lists, comments,
+// visitors, mail folders and shared file bytes — to a portable binary blob
+// (the same wire codec the network uses) and back, plus filesystem
+// helpers, so a device can power off and return with its community state
+// intact.
+#pragma once
+
+#include <string>
+
+#include "community/profile.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace ph::community {
+
+/// Serializes every account in the store (including private state).
+Bytes serialize(const ProfileStore& store);
+
+/// Rebuilds a store from serialize() output. The active login is not
+/// persisted — a freshly loaded device is logged out.
+Result<ProfileStore> deserialize(BytesView data);
+
+/// Convenience file round trip.
+Result<void> save_to_file(const ProfileStore& store, const std::string& path);
+Result<ProfileStore> load_from_file(const std::string& path);
+
+}  // namespace ph::community

@@ -1,0 +1,142 @@
+#include "community/profile.hpp"
+
+#include <algorithm>
+
+namespace ph::community {
+
+Account::Account(std::string member_id, std::string password)
+    : password_(std::move(password)) {
+  profile_.member_id = std::move(member_id);
+  profile_.display_name = profile_.member_id;
+}
+
+void Account::add_interest(const std::string& interest) {
+  auto& interests = profile_.interests;
+  if (std::find(interests.begin(), interests.end(), interest) == interests.end()) {
+    interests.push_back(interest);
+  }
+}
+
+Result<void> Account::remove_interest(const std::string& interest) {
+  auto& interests = profile_.interests;
+  auto it = std::find(interests.begin(), interests.end(), interest);
+  if (it == interests.end()) {
+    return Error{Errc::invalid_argument, "no such interest: " + interest};
+  }
+  interests.erase(it);
+  return ok();
+}
+
+bool Account::trusts(std::string_view member) const {
+  const auto& trusted = profile_.trusted_friends;
+  return std::find(trusted.begin(), trusted.end(), member) != trusted.end();
+}
+
+void Account::add_trusted(const std::string& member) {
+  if (!trusts(member) && member != member_id()) {
+    profile_.trusted_friends.push_back(member);
+  }
+}
+
+Result<void> Account::remove_trusted(const std::string& member) {
+  auto& trusted = profile_.trusted_friends;
+  auto it = std::find(trusted.begin(), trusted.end(), member);
+  if (it == trusted.end()) {
+    return Error{Errc::invalid_argument, "not a trusted friend: " + member};
+  }
+  trusted.erase(it);
+  return ok();
+}
+
+void Account::add_comment(proto::CommentData comment) {
+  profile_.comments.push_back(std::move(comment));
+}
+
+void Account::record_visitor(const std::string& visitor) {
+  auto& visitors = profile_.visitors;
+  if (visitor.empty() || visitor == member_id()) return;
+  if (std::find(visitors.begin(), visitors.end(), visitor) == visitors.end()) {
+    visitors.push_back(visitor);
+  }
+}
+
+Result<void> Account::delete_mail(std::size_t number) {
+  if (number == 0 || number > inbox_.size()) {
+    return Error{Errc::invalid_argument,
+                 "no message #" + std::to_string(number)};
+  }
+  inbox_.erase(inbox_.begin() + static_cast<std::ptrdiff_t>(number - 1));
+  return ok();
+}
+
+void Account::share_file(const std::string& name, Bytes content) {
+  shared_files_[name] = std::move(content);
+}
+
+Result<void> Account::unshare_file(const std::string& name) {
+  if (shared_files_.erase(name) == 0) {
+    return Error{Errc::content_not_found, name};
+  }
+  return ok();
+}
+
+Result<Bytes> Account::shared_file(const std::string& name) const {
+  auto it = shared_files_.find(name);
+  if (it == shared_files_.end()) {
+    return Error{Errc::content_not_found, name};
+  }
+  return it->second;
+}
+
+std::vector<proto::SharedItemData> Account::shared_items() const {
+  std::vector<proto::SharedItemData> out;
+  out.reserve(shared_files_.size());
+  for (const auto& [name, content] : shared_files_) {
+    out.push_back({name, content.size()});
+  }
+  return out;
+}
+
+Result<Account*> ProfileStore::create_account(const std::string& member_id,
+                                              const std::string& password) {
+  if (member_id.empty()) {
+    return Error{Errc::invalid_argument, "member id must not be empty"};
+  }
+  auto [it, inserted] = accounts_.try_emplace(member_id, member_id, password);
+  if (!inserted) {
+    return Error{Errc::state_error, "account exists: " + member_id};
+  }
+  return &it->second;
+}
+
+Account* ProfileStore::find(const std::string& member_id) {
+  auto it = accounts_.find(member_id);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+const Account* ProfileStore::find(const std::string& member_id) const {
+  auto it = accounts_.find(member_id);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+Result<Account*> ProfileStore::login(const std::string& member_id,
+                                     const std::string& password) {
+  Account* account = find(member_id);
+  if (account == nullptr || !account->check_password(password)) {
+    return Error{Errc::auth_failed, "bad credentials for " + member_id};
+  }
+  active_ = account;
+  return account;
+}
+
+std::vector<std::string> ProfileStore::member_ids() const {
+  std::vector<std::string> out;
+  out.reserve(accounts_.size());
+  for (const auto& [id, account] : accounts_) {
+    (void)account;
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace ph::community

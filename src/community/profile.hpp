@@ -1,0 +1,117 @@
+// Profiles, accounts and the per-device profile store.
+//
+// Thesis §5.2.1: "It allows the user to create a profile and user can log
+// in to this application with the valid username and password [...]"
+// and Table 7 lists "Support for Multiple Profiles". Every device keeps
+// its accounts locally — there is no central database; remote devices read
+// a profile by asking its owner (PS_GETPROFILE), which is exactly what
+// distinguishes this system from an SNS.
+//
+// An Account bundles the wire-visible ProfileData with the private state
+// that never leaves the device: password, mail inbox/sent folders and the
+// actual bytes of shared files.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "proto/messages.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace ph::community {
+
+class Account {
+ public:
+  Account(std::string member_id, std::string password);
+
+  const std::string& member_id() const noexcept { return profile_.member_id; }
+
+  /// The wire-visible profile (PS_GETPROFILE payload).
+  proto::ProfileData& profile() noexcept { return profile_; }
+  const proto::ProfileData& profile() const noexcept { return profile_; }
+
+  bool check_password(std::string_view password) const {
+    return password_ == password;
+  }
+  void set_password(std::string password) { password_ = std::move(password); }
+  /// The stored credential. Like the thesis' implementation the password is
+  /// kept in plain text on the trusted device (PTDs "hold high level of
+  /// trust"); exposed for persistence.
+  const std::string& password() const noexcept { return password_; }
+
+  /// Wholesale profile replacement (persistence restore).
+  void set_profile(proto::ProfileData profile) { profile_ = std::move(profile); }
+
+  // --- interests ----------------------------------------------------------
+  /// Adds a raw interest label; duplicates (exact string) are ignored.
+  void add_interest(const std::string& interest);
+  Result<void> remove_interest(const std::string& interest);
+
+  // --- trust (Table 7 "Trusted Friends") -----------------------------------
+  bool trusts(std::string_view member) const;
+  void add_trusted(const std::string& member);
+  Result<void> remove_trusted(const std::string& member);
+
+  // --- comments & visitors --------------------------------------------------
+  void add_comment(proto::CommentData comment);
+  /// Records a profile visitor (Figure 13: "the remote server writes the
+  /// name of the requesting client as the profile visitor").
+  void record_visitor(const std::string& visitor);
+
+  // --- mail ------------------------------------------------------------------
+  void deliver_mail(proto::MailData mail) { inbox_.push_back(std::move(mail)); }
+  void record_sent(proto::MailData mail) { sent_.push_back(std::move(mail)); }
+  const std::vector<proto::MailData>& inbox() const noexcept { return inbox_; }
+  const std::vector<proto::MailData>& sent() const noexcept { return sent_; }
+  /// Removes one inbox message by position (1-based, as the terminal UI
+  /// numbers them).
+  Result<void> delete_mail(std::size_t number);
+
+  // --- shared content ----------------------------------------------------------
+  void share_file(const std::string& name, Bytes content);
+  Result<void> unshare_file(const std::string& name);
+  Result<Bytes> shared_file(const std::string& name) const;
+  std::vector<proto::SharedItemData> shared_items() const;
+  const std::map<std::string, Bytes>& shared_files() const noexcept {
+    return shared_files_;
+  }
+
+ private:
+  proto::ProfileData profile_;
+  std::string password_;
+  std::vector<proto::MailData> inbox_;
+  std::vector<proto::MailData> sent_;
+  std::map<std::string, Bytes> shared_files_;
+};
+
+/// All accounts on one device, with login/logout.
+class ProfileStore {
+ public:
+  /// Creates an account; member ids are unique per device.
+  Result<Account*> create_account(const std::string& member_id,
+                                  const std::string& password);
+
+  Account* find(const std::string& member_id);
+  const Account* find(const std::string& member_id) const;
+
+  /// Validates credentials and makes the account active. A previously
+  /// active account is logged out first (one active user per device).
+  Result<Account*> login(const std::string& member_id,
+                         const std::string& password);
+  void logout() { active_ = nullptr; }
+
+  /// The logged-in account, or nullptr.
+  Account* active() noexcept { return active_; }
+  const Account* active() const noexcept { return active_; }
+
+  std::vector<std::string> member_ids() const;
+  std::size_t size() const noexcept { return accounts_.size(); }
+
+ private:
+  std::map<std::string, Account> accounts_;
+  Account* active_ = nullptr;
+};
+
+}  // namespace ph::community

@@ -1,0 +1,545 @@
+#include "community/shell.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace ph::community {
+
+namespace {
+
+/// Splits "word rest of line" -> {word, "rest of line"}.
+std::pair<std::string, std::string> word_and_rest(std::string_view line) {
+  const std::string_view trimmed = trim(line);
+  const std::size_t space = trimmed.find(' ');
+  if (space == std::string_view::npos) {
+    return {std::string(trimmed), ""};
+  }
+  return {std::string(trimmed.substr(0, space)),
+          std::string(trim(trimmed.substr(space + 1)))};
+}
+
+std::string bullet_list(const std::vector<std::string>& items,
+                        std::string_view empty_note) {
+  if (items.empty()) return std::string("  (") + std::string(empty_note) + ")\n";
+  std::string out;
+  for (const auto& item : items) {
+    out += "  - " + item + "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+Shell::Shell(CommunityApp& app, sim::Duration op_timeout)
+    : app_(app), op_timeout_(op_timeout) {}
+
+bool Shell::pump(const bool& done) {
+  auto& simulator = app_.stack().daemon().simulator();
+  const sim::Time deadline = simulator.now() + op_timeout_;
+  while (!done && simulator.now() < deadline) {
+    simulator.run_for(sim::milliseconds(50));
+  }
+  return done;
+}
+
+std::string Shell::require_login() const {
+  return app_.logged_in() ? "" : "error: not logged in (use: login <member> <password>)\n";
+}
+
+std::string Shell::menu() const {
+  // Figure 10: "The user is provided with various features as choices".
+  std::ostringstream out;
+  out << "========== PeerHood Community ==========\n";
+  if (app_.logged_in()) {
+    out << " logged in as: " << app_.active()->member_id() << "\n";
+  } else {
+    out << " not logged in\n";
+  }
+  out << "----------------------------------------\n"
+      << " 1. profile        view/edit own profile\n"
+      << " 2. members        list online members\n"
+      << " 3. allinterests   list interests in the neighbourhood\n"
+      << " 4. group list     view dynamic groups\n"
+      << " 5. msg / inbox    send and read messages\n"
+      << " 6. trust          manage trusted friends\n"
+      << " 7. shared         view/transfer shared content\n"
+      << " 8. devices        PeerHood neighbourhood\n"
+      << " type 'help' for the full command list\n"
+      << "========================================\n";
+  return out.str();
+}
+
+std::string Shell::help() const {
+  return
+      "commands:\n"
+      "  create <member> <password>      create a local profile\n"
+      "  login <member> <password>       log in (activates group discovery)\n"
+      "  logout | whoami | menu\n"
+      "  profile [member]                view a profile (Fig 13)\n"
+      "  set name|age|about <value>      edit own profile\n"
+      "  interests                       list own interests\n"
+      "  interest add|remove <text>      edit interests (groups re-evaluate)\n"
+      "  members                         online member list (Fig 11)\n"
+      "  allinterests                    neighbourhood interests (Fig 12)\n"
+      "  group list                      all dynamic groups\n"
+      "  group members <interest>        members of a group\n"
+      "  group join|leave <interest>     manual membership\n"
+      "  comment <member> <text>         comment a profile (Fig 14)\n"
+      "  msg <member> <subject> | <body> send a message (Fig 17)\n"
+      "  inbox [delete <n>] | sent       message folders\n"
+      "  trust add|remove <member>       manage trusted friends\n"
+      "  trust list [member]             trusted friends (Fig 15)\n"
+      "  shared [member]                 shared content (Fig 16)\n"
+      "  share <name> <bytes>            share synthetic content\n"
+      "  fetch <member> <name>           download shared content\n"
+      "  teach <a> = <b>                 teach interest semantics\n"
+      "  devices | services              PeerHood views\n"
+      "  save <path> | load <path>       persist/restore all accounts\n";
+}
+
+std::string Shell::execute(const std::string& line) {
+  auto [command, args] = word_and_rest(line);
+  if (command.empty() || command[0] == '#') return "";
+  if (command == "menu") return menu();
+  if (command == "help") return help();
+  if (command == "create") return cmd_create(args);
+  if (command == "login") return cmd_login(args);
+  if (command == "logout") return cmd_logout();
+  if (command == "whoami") return cmd_whoami();
+  if (command == "profile") return cmd_profile(args);
+  if (command == "set") return cmd_set(args);
+  if (command == "interests") return cmd_interests();
+  if (command == "interest") return cmd_interest(args);
+  if (command == "members") return cmd_members();
+  if (command == "allinterests") return cmd_allinterests();
+  if (command == "group") return cmd_group(args);
+  if (command == "comment") return cmd_comment(args);
+  if (command == "msg") return cmd_msg(args);
+  if (command == "inbox") return cmd_inbox(args);
+  if (command == "sent") return cmd_sent();
+  if (command == "trust") return cmd_trust(args);
+  if (command == "shared") return cmd_shared(args);
+  if (command == "share") return cmd_share(args);
+  if (command == "fetch") return cmd_fetch(args);
+  if (command == "teach") return cmd_teach(args);
+  if (command == "devices") return cmd_devices();
+  if (command == "services") return cmd_services();
+  if (command == "save") {
+    if (args.empty()) return "usage: save <path>\n";
+    auto saved = app_.save_accounts(args);
+    return saved ? "accounts saved to " + args + "\n"
+                 : "error: " + saved.error().to_string() + "\n";
+  }
+  if (command == "load") {
+    if (args.empty()) return "usage: load <path>\n";
+    auto loaded = app_.load_accounts(args);
+    return loaded ? "accounts loaded from " + args + "; please log in\n"
+                  : "error: " + loaded.error().to_string() + "\n";
+  }
+  return "error: unknown command '" + command + "' (try 'help')\n";
+}
+
+std::string Shell::cmd_create(const std::string& args) {
+  auto [member, password] = word_and_rest(args);
+  if (member.empty() || password.empty()) {
+    return "usage: create <member> <password>\n";
+  }
+  auto created = app_.create_account(member, password);
+  if (!created) return "error: " + created.error().to_string() + "\n";
+  return "profile '" + member + "' created; log in to use it\n";
+}
+
+std::string Shell::cmd_login(const std::string& args) {
+  auto [member, password] = word_and_rest(args);
+  if (member.empty() || password.empty()) {
+    return "usage: login <member> <password>\n";
+  }
+  auto logged = app_.login(member, password);
+  if (!logged) return "error: " + logged.error().to_string() + "\n";
+  return "welcome, " + member + "! dynamic group discovery is running\n";
+}
+
+std::string Shell::cmd_logout() {
+  if (!app_.logged_in()) return "not logged in\n";
+  app_.logout();
+  return "logged out\n";
+}
+
+std::string Shell::cmd_whoami() const {
+  if (!app_.logged_in()) return "not logged in\n";
+  return app_.active()->member_id() + "\n";
+}
+
+std::string Shell::cmd_profile(const std::string& args) {
+  if (auto error = require_login(); !error.empty()) return error;
+  auto render = [](const proto::ProfileData& profile) {
+    std::ostringstream out;
+    out << "--- profile: " << profile.member_id << " ---\n"
+        << "  name : " << profile.display_name << "\n"
+        << "  age  : " << profile.age << "\n"
+        << "  about: " << profile.about << "\n"
+        << "  interests:\n"
+        << bullet_list(profile.interests, "none")
+        << "  trusted friends:\n"
+        << bullet_list(profile.trusted_friends, "none")
+        << "  comments:\n";
+    if (profile.comments.empty()) {
+      out << "  (none)\n";
+    } else {
+      for (const auto& comment : profile.comments) {
+        out << "  - [" << comment.author << "] " << comment.text << "\n";
+      }
+    }
+    out << "  visitors:\n" << bullet_list(profile.visitors, "none");
+    return out.str();
+  };
+  if (args.empty() || args == app_.active()->member_id()) {
+    return render(app_.active()->profile());
+  }
+  // Remote profile: the Figure 13 fan-out.
+  bool done = false;
+  std::string screen;
+  app_.client().view_profile(args, [&](Result<proto::ProfileData> profile) {
+    screen = profile ? render(*profile)
+                     : "error: " + profile.error().to_string() + "\n";
+    done = true;
+  });
+  if (!pump(done)) return "error: timed out\n";
+  return screen;
+}
+
+std::string Shell::cmd_set(const std::string& args) {
+  if (auto error = require_login(); !error.empty()) return error;
+  auto [field, value] = word_and_rest(args);
+  if (field == "name" && !value.empty()) {
+    app_.active()->profile().display_name = value;
+    return "name updated\n";
+  }
+  if (field == "age" && !value.empty()) {
+    try {
+      app_.active()->profile().age = static_cast<std::uint32_t>(std::stoul(value));
+    } catch (...) {
+      return "error: age must be a number\n";
+    }
+    return "age updated\n";
+  }
+  if (field == "about" && !value.empty()) {
+    app_.active()->profile().about = value;
+    return "about updated\n";
+  }
+  return "usage: set name|age|about <value>\n";
+}
+
+std::string Shell::cmd_interests() const {
+  if (auto error = require_login(); !error.empty()) return error;
+  return "own interests:\n" +
+         bullet_list(app_.active()->profile().interests, "none");
+}
+
+std::string Shell::cmd_interest(const std::string& args) {
+  if (auto error = require_login(); !error.empty()) return error;
+  auto [action, text] = word_and_rest(args);
+  if (text.empty()) return "usage: interest add|remove <text>\n";
+  if (action == "add") {
+    if (auto added = app_.add_interest(text); !added) {
+      return "error: " + added.error().to_string() + "\n";
+    }
+    return "interest '" + text + "' added; groups re-evaluated\n";
+  }
+  if (action == "remove") {
+    if (auto removed = app_.remove_interest(text); !removed) {
+      return "error: " + removed.error().to_string() + "\n";
+    }
+    return "interest '" + text + "' removed\n";
+  }
+  return "usage: interest add|remove <text>\n";
+}
+
+std::string Shell::cmd_members() {
+  if (auto error = require_login(); !error.empty()) return error;
+  bool done = false;
+  std::string screen;
+  app_.client().get_online_members([&](Result<std::vector<std::string>> members) {
+    screen = members ? "online members:\n" + bullet_list(*members, "nobody nearby")
+                     : "error: " + members.error().to_string() + "\n";
+    done = true;
+  });
+  if (!pump(done)) return "error: timed out\n";
+  return screen;
+}
+
+std::string Shell::cmd_allinterests() {
+  if (auto error = require_login(); !error.empty()) return error;
+  bool done = false;
+  std::string screen;
+  app_.client().get_interest_list([&](Result<std::vector<std::string>> interests) {
+    screen = interests
+                 ? "interests in the neighbourhood:\n" +
+                       bullet_list(*interests, "none")
+                 : "error: " + interests.error().to_string() + "\n";
+    done = true;
+  });
+  if (!pump(done)) return "error: timed out\n";
+  return screen;
+}
+
+std::string Shell::cmd_group(const std::string& args) {
+  if (auto error = require_login(); !error.empty()) return error;
+  auto [action, interest] = word_and_rest(args);
+  if (action == "list") {
+    std::ostringstream out;
+    out << "dynamic groups:\n";
+    const auto groups = app_.groups().groups();
+    if (groups.empty()) out << "  (none)\n";
+    for (const auto& group : groups) {
+      out << "  - " << group.interest << " [" << group.members.size()
+          << " member(s)" << (group.formed() ? "" : ", waiting for matches")
+          << "]\n";
+    }
+    return out.str();
+  }
+  if (action == "members" && !interest.empty()) {
+    auto group = app_.groups().group(interest);
+    if (!group) return "error: " + group.error().to_string() + "\n";
+    return "members of '" + group->interest + "':\n" +
+           bullet_list({group->members.begin(), group->members.end()}, "none");
+  }
+  if (action == "join" && !interest.empty()) {
+    if (auto joined = app_.join_group(interest); !joined) {
+      return "error: " + joined.error().to_string() + "\n";
+    }
+    return "joined group '" + interest + "'\n";
+  }
+  if (action == "leave" && !interest.empty()) {
+    if (auto left = app_.leave_group(interest); !left) {
+      return "error: " + left.error().to_string() + "\n";
+    }
+    return "left group '" + interest + "'\n";
+  }
+  return "usage: group list | group members|join|leave <interest>\n";
+}
+
+std::string Shell::cmd_comment(const std::string& args) {
+  if (auto error = require_login(); !error.empty()) return error;
+  auto [member, text] = word_and_rest(args);
+  if (member.empty() || text.empty()) return "usage: comment <member> <text>\n";
+  bool done = false;
+  std::string screen;
+  app_.client().put_profile_comment(member, text, [&](Result<void> result) {
+    screen = result ? "comment written to " + member + "'s profile\n"
+                    : "error: " + result.error().to_string() + "\n";
+    done = true;
+  });
+  if (!pump(done)) return "error: timed out\n";
+  return screen;
+}
+
+std::string Shell::cmd_msg(const std::string& args) {
+  if (auto error = require_login(); !error.empty()) return error;
+  auto [member, rest] = word_and_rest(args);
+  const std::size_t bar = rest.find('|');
+  if (member.empty() || bar == std::string::npos) {
+    return "usage: msg <member> <subject> | <body>\n";
+  }
+  const std::string subject{trim(rest.substr(0, bar))};
+  const std::string body{trim(rest.substr(bar + 1))};
+  bool done = false;
+  std::string screen;
+  app_.send_message(member, subject, body, [&](Result<void> result) {
+    screen = result ? "message delivered to " + member + "\n"
+                    : "error: " + result.error().to_string() + "\n";
+    done = true;
+  });
+  if (!pump(done)) return "error: timed out\n";
+  return screen;
+}
+
+std::string Shell::cmd_inbox(const std::string& args) {
+  if (auto error = require_login(); !error.empty()) return error;
+  auto [action, number_text] = word_and_rest(args);
+  if (action == "delete" && !number_text.empty()) {
+    std::size_t number = 0;
+    try {
+      number = std::stoul(number_text);
+    } catch (...) {
+      return "usage: inbox delete <number>\n";
+    }
+    if (auto deleted = app_.active()->delete_mail(number); !deleted) {
+      return "error: " + deleted.error().to_string() + "\n";
+    }
+    return "message " + number_text + " deleted\n";
+  }
+  if (!action.empty()) return "usage: inbox [delete <number>]\n";
+  std::ostringstream out;
+  out << "inbox (" << app_.active()->inbox().size() << " message(s)):\n";
+  std::size_t number = 0;
+  for (const auto& mail : app_.active()->inbox()) {
+    out << "  " << ++number << ". from " << mail.sender << ": ["
+        << mail.subject << "] " << mail.body << "\n";
+  }
+  if (app_.active()->inbox().empty()) out << "  (empty)\n";
+  return out.str();
+}
+
+std::string Shell::cmd_sent() const {
+  if (auto error = require_login(); !error.empty()) return error;
+  std::ostringstream out;
+  out << "sent (" << app_.active()->sent().size() << " message(s)):\n";
+  for (const auto& mail : app_.active()->sent()) {
+    out << "  to " << mail.receiver << ": [" << mail.subject << "] "
+        << mail.body << "\n";
+  }
+  if (app_.active()->sent().empty()) out << "  (empty)\n";
+  return out.str();
+}
+
+std::string Shell::cmd_trust(const std::string& args) {
+  if (auto error = require_login(); !error.empty()) return error;
+  auto [action, member] = word_and_rest(args);
+  if (action == "add" && !member.empty()) {
+    if (auto added = app_.add_trusted(member); !added) {
+      return "error: " + added.error().to_string() + "\n";
+    }
+    return member + " is now a trusted friend\n";
+  }
+  if (action == "remove" && !member.empty()) {
+    if (auto removed = app_.remove_trusted(member); !removed) {
+      return "error: " + removed.error().to_string() + "\n";
+    }
+    return member + " removed from trusted friends\n";
+  }
+  if (action == "list") {
+    if (member.empty()) {
+      return "own trusted friends:\n" +
+             bullet_list(app_.active()->profile().trusted_friends, "none");
+    }
+    bool done = false;
+    std::string screen;
+    app_.client().view_trusted_friends(
+        member, [&](Result<std::vector<std::string>> friends) {
+          screen = friends ? member + "'s trusted friends:\n" +
+                                 bullet_list(*friends, "none")
+                           : "error: " + friends.error().to_string() + "\n";
+          done = true;
+        });
+    if (!pump(done)) return "error: timed out\n";
+    return screen;
+  }
+  return "usage: trust add|remove <member> | trust list [member]\n";
+}
+
+std::string Shell::cmd_shared(const std::string& args) {
+  if (auto error = require_login(); !error.empty()) return error;
+  if (args.empty()) {
+    std::ostringstream out;
+    out << "own shared content:\n";
+    const auto items = app_.active()->shared_items();
+    if (items.empty()) out << "  (none)\n";
+    for (const auto& item : items) {
+      out << "  - " << item.name << " (" << item.size_bytes << " bytes)\n";
+    }
+    return out.str();
+  }
+  bool done = false;
+  std::string screen;
+  app_.client().view_shared_content(
+      args, [&](Result<std::vector<proto::SharedItemData>> items) {
+        if (!items) {
+          screen = items.error().code == Errc::not_trusted
+                       ? "NOT_TRUSTED_YET: " + args +
+                             " has not accepted you as a trusted friend\n"
+                       : "error: " + items.error().to_string() + "\n";
+        } else {
+          std::ostringstream out;
+          out << args << "'s shared content:\n";
+          if (items->empty()) out << "  (none)\n";
+          for (const auto& item : *items) {
+            out << "  - " << item.name << " (" << item.size_bytes << " bytes)\n";
+          }
+          screen = out.str();
+        }
+        done = true;
+      });
+  if (!pump(done)) return "error: timed out\n";
+  return screen;
+}
+
+std::string Shell::cmd_share(const std::string& args) {
+  if (auto error = require_login(); !error.empty()) return error;
+  auto [name, size_text] = word_and_rest(args);
+  if (name.empty() || size_text.empty()) return "usage: share <name> <bytes>\n";
+  std::size_t size = 0;
+  try {
+    size = std::stoul(size_text);
+  } catch (...) {
+    return "error: <bytes> must be a number\n";
+  }
+  if (auto shared = app_.share_file(name, Bytes(size, 0x5a)); !shared) {
+    return "error: " + shared.error().to_string() + "\n";
+  }
+  return "sharing '" + name + "' (" + size_text + " bytes) with trusted friends\n";
+}
+
+std::string Shell::cmd_fetch(const std::string& args) {
+  if (auto error = require_login(); !error.empty()) return error;
+  auto [member, name] = word_and_rest(args);
+  if (member.empty() || name.empty()) return "usage: fetch <member> <name>\n";
+  bool done = false;
+  std::string screen;
+  app_.client().fetch_content(member, name, [&](Result<Bytes> content) {
+    screen = content ? "downloaded '" + name + "' (" +
+                           std::to_string(content->size()) + " bytes) from " +
+                           member + "\n"
+                     : "error: " + content.error().to_string() + "\n";
+    done = true;
+  });
+  if (!pump(done)) return "error: timed out\n";
+  return screen;
+}
+
+std::string Shell::cmd_teach(const std::string& args) {
+  if (auto error = require_login(); !error.empty()) return error;
+  const std::size_t eq = args.find('=');
+  if (eq == std::string::npos) return "usage: teach <a> = <b>\n";
+  const std::string a{trim(args.substr(0, eq))};
+  const std::string b{trim(args.substr(eq + 1))};
+  if (a.empty() || b.empty()) return "usage: teach <a> = <b>\n";
+  (void)app_.teach_synonym(a, b);
+  return "taught: '" + a + "' means the same as '" + b + "'; groups merged\n";
+}
+
+std::string Shell::cmd_devices() const {
+  std::ostringstream out;
+  out << "PeerHood neighbourhood:\n";
+  const auto devices = app_.stack().daemon().devices();
+  if (devices.empty()) out << "  (no devices in range)\n";
+  for (const auto& device : devices) {
+    out << "  - " << device.name << " (id " << device.id << ", ";
+    for (std::size_t i = 0; i < device.technologies.size(); ++i) {
+      out << (i ? "+" : "") << net::to_string(device.technologies[i]);
+    }
+    out << ", " << device.services.size() << " service(s))\n";
+  }
+  return out.str();
+}
+
+std::string Shell::cmd_services() const {
+  std::ostringstream out;
+  out << "registered services in the neighbourhood:\n";
+  bool any = false;
+  for (const auto& device : app_.stack().daemon().devices()) {
+    for (const auto& service : device.services) {
+      out << "  - " << service.name << " @ " << device.name << "\n";
+      any = true;
+    }
+  }
+  for (const auto& service : app_.stack().daemon().local_services()) {
+    out << "  - " << service.name << " @ (this device)\n";
+    any = true;
+  }
+  if (!any) out << "  (none)\n";
+  return out.str();
+}
+
+}  // namespace ph::community

@@ -1,0 +1,82 @@
+// Shell — the reference application's terminal user interface.
+//
+// The thesis' client is menu-driven (Figure 10 "Main user screen";
+// Appendix 2 shows the profile, interest, group, message and shared-
+// content screens). This Shell reproduces that interface as a scriptable
+// command interpreter over a CommunityApp: each command runs the
+// corresponding middleware operation (pumping the simulator until the
+// asynchronous exchange completes) and returns the text screen the thesis
+// would have printed.
+//
+// Commands (see help()):
+//   create/login/logout/whoami           account lifecycle
+//   menu                                 the Figure 10 main screen
+//   profile [member]                     Figure 13 / own-profile screen
+//   set name|age|about <value>           profile editing
+//   interests / interest add|remove      interest management
+//   members                              Figure 11 online member list
+//   allinterests                         Figure 12 interest list
+//   group list|members|join|leave        dynamic groups (Table 7)
+//   comment <member> <text>              Figure 14
+//   msg <member> <subject> | <body>      Figure 17
+//   inbox / sent                         message folders
+//   trust add|remove|list                trusted friends
+//   shared [member] / share / fetch      Figure 16 + file transfer
+//   teach <a> = <b>                      semantics teaching
+//   devices / services                   PeerHood neighbourhood views
+#pragma once
+
+#include <string>
+
+#include "community/app.hpp"
+
+namespace ph::community {
+
+class Shell {
+ public:
+  /// Operations pump `app.stack().daemon().simulator()`; `op_timeout`
+  /// bounds how long one command may advance virtual time.
+  explicit Shell(CommunityApp& app, sim::Duration op_timeout = sim::seconds(30));
+
+  /// Executes one command line; returns the screen text (never throws on
+  /// bad input — errors come back as screen text, like a real terminal UI).
+  std::string execute(const std::string& line);
+
+  /// The Figure 10 main menu.
+  std::string menu() const;
+  std::string help() const;
+
+ private:
+  // Command handlers; `args` is the remainder after the command word.
+  std::string cmd_create(const std::string& args);
+  std::string cmd_login(const std::string& args);
+  std::string cmd_logout();
+  std::string cmd_whoami() const;
+  std::string cmd_profile(const std::string& args);
+  std::string cmd_set(const std::string& args);
+  std::string cmd_interests() const;
+  std::string cmd_interest(const std::string& args);
+  std::string cmd_members();
+  std::string cmd_allinterests();
+  std::string cmd_group(const std::string& args);
+  std::string cmd_comment(const std::string& args);
+  std::string cmd_msg(const std::string& args);
+  std::string cmd_inbox(const std::string& args);
+  std::string cmd_sent() const;
+  std::string cmd_trust(const std::string& args);
+  std::string cmd_shared(const std::string& args);
+  std::string cmd_share(const std::string& args);
+  std::string cmd_fetch(const std::string& args);
+  std::string cmd_teach(const std::string& args);
+  std::string cmd_devices() const;
+  std::string cmd_services() const;
+
+  /// Pumps virtual time until `*done` or the op timeout.
+  bool pump(const bool& done);
+  std::string require_login() const;
+
+  CommunityApp& app_;
+  sim::Duration op_timeout_;
+};
+
+}  // namespace ph::community

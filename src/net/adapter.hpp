@@ -1,0 +1,97 @@
+// Adapter — one radio of one technology on one device.
+//
+// A device in the thesis carries up to three radios (Bluetooth, WLAN, GPRS);
+// each maps to one Adapter created through Medium::add_adapter. The adapter
+// offers the three primitives the PeerHood plugins need:
+//
+//   * inquiry            — device discovery (Bluetooth inquiry scan, WLAN
+//                          broadcast beacon round, GPRS gateway lookup)
+//   * datagrams          — connectionless, *unreliable*, port-addressed
+//                          messages (SDP-style service queries)
+//   * connections        — reliable ordered Links (see link.hpp)
+//
+// Adapters are owned by the Medium and live as long as it does.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/tech.hpp"
+#include "net/types.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace ph::net {
+
+class Medium;
+
+using DatagramHandler = std::function<void(NodeId src, BytesView payload)>;
+using InquiryHandler = std::function<void(std::vector<NodeId> found)>;
+using AcceptHandler = std::function<void(Link link)>;
+using ConnectHandler = std::function<void(Result<Link>)>;
+
+class Adapter {
+ public:
+  Adapter(Medium& medium, NodeId node, TechProfile profile);
+  Adapter(const Adapter&) = delete;
+  Adapter& operator=(const Adapter&) = delete;
+
+  NodeId node() const noexcept { return node_; }
+  const TechProfile& profile() const noexcept { return profile_; }
+  Technology technology() const noexcept { return profile_.tech; }
+
+  /// Powered-off adapters neither send, receive, answer inquiries nor keep
+  /// links alive (in-flight links break).
+  void set_powered(bool on);
+  bool powered() const noexcept { return powered_; }
+
+  // --- device discovery ------------------------------------------------
+  /// Starts a discovery scan; `done` fires after the profile's inquiry
+  /// duration with the ids of powered same-technology neighbours found
+  /// (each detected with the profile's detection probability).
+  void start_inquiry(InquiryHandler done);
+
+  // --- connectionless datagrams ----------------------------------------
+  /// Binds a handler for datagrams addressed to `port`. One handler per
+  /// port; rebinding replaces it.
+  void bind(Port port, DatagramHandler handler);
+  void unbind(Port port);
+
+  /// Fire-and-forget message. Lost frames are dropped (no retransmission);
+  /// callers requiring reliability retry with their own timeout, which is
+  /// exactly what the PeerHood daemon's service queries do.
+  void send_datagram(NodeId dst, Port port, BytesView payload);
+
+  /// One-to-all datagram to every in-range peer bound on `port`. Only
+  /// valid on technologies with `supports_broadcast` (WLAN); a no-op
+  /// otherwise. Loss applies per receiver.
+  void broadcast_datagram(Port port, BytesView payload);
+
+  // --- connections ------------------------------------------------------
+  /// Accepts incoming connections on `port`.
+  void listen(Port port, AcceptHandler on_accept);
+  void stop_listen(Port port);
+
+  /// Initiates a connection to `dst`:`port`. Completes after the
+  /// technology's connect latency with a Link, or with an error if the
+  /// peer is unreachable, unpowered or not listening.
+  void connect(NodeId dst, Port port, ConnectHandler done);
+
+  /// Signal strength towards `dst` in [0,1]; 0 = out of range.
+  double signal_to(NodeId dst) const;
+
+ private:
+  friend class Medium;
+
+  Medium& medium_;
+  NodeId node_;
+  TechProfile profile_;
+  bool powered_ = true;
+  std::map<Port, DatagramHandler> datagram_handlers_;
+  std::map<Port, AcceptHandler> listeners_;
+  sim::Time tx_busy_until_ = 0;  // datagram serialization on this radio
+};
+
+}  // namespace ph::net

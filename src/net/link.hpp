@@ -1,0 +1,81 @@
+// Link — a connection-oriented, ordered, reliable byte-message channel
+// between two adapters of the same technology (the simulator's analogue of
+// an L2CAP channel / TCP connection).
+//
+// Reliability is per-technology: frame loss turns into retransmission delay,
+// matching the thesis' description of the BTPlugin ("offers ordered and
+// reliable data delivery"). What a Link cannot survive is the peer moving
+// out of radio range — then the link *breaks* and both sides get their
+// break handler invoked. Seamless connectivity across technologies is the
+// PeerHood layer's job, built on top of these per-technology links.
+//
+// Link is a value handle (shared state internally); copying it refers to
+// the same endpoint.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/tech.hpp"
+#include "net/types.hpp"
+#include "util/bytes.hpp"
+
+namespace ph::net {
+
+class Medium;
+
+namespace detail {
+struct LinkState;
+}
+
+class Link {
+ public:
+  /// An empty (never-connected) handle; valid() is false.
+  Link() = default;
+
+  bool valid() const noexcept { return state_ != nullptr; }
+  /// True while data can still be sent (not closed, not broken).
+  bool open() const noexcept;
+
+  NodeId local_node() const noexcept { return self_; }
+  NodeId remote_node() const noexcept;
+  Technology technology() const noexcept;
+
+  /// Handler for message payloads arriving from the peer. Messages are
+  /// delivered in send order, exactly once, while the link is open.
+  void on_receive(std::function<void(BytesView)> handler);
+
+  /// Handler invoked once when the link terminates for any reason other
+  /// than a local close(): peer closed, peer moved out of range, or the
+  /// local/remote adapter was powered off.
+  void on_break(std::function<void()> handler);
+
+  /// Queues a message to the peer. Delivery time accounts for bandwidth
+  /// serialization, propagation latency and (randomized) retransmissions.
+  /// Silently discarded if the link is no longer open.
+  void send(BytesView payload);
+
+  /// Current signal strength towards the peer in [0,1]; 0 means out of
+  /// range. Gateway-routed technologies always report 1 while powered.
+  double signal() const;
+
+  /// Graceful local close; the peer observes a break shortly afterwards.
+  /// Safe to call repeatedly.
+  void close();
+
+  /// Two handles are equal when they refer to the same underlying link.
+  friend bool operator==(const Link& a, const Link& b) noexcept {
+    return a.state_ == b.state_;
+  }
+
+ private:
+  friend class Medium;
+  friend class Adapter;
+  Link(std::shared_ptr<detail::LinkState> state, NodeId self)
+      : state_(std::move(state)), self_(self) {}
+
+  std::shared_ptr<detail::LinkState> state_;
+  NodeId self_ = kInvalidNode;
+};
+
+}  // namespace ph::net

@@ -1,0 +1,384 @@
+#include "net/medium.hpp"
+
+#include <cassert>
+
+#include "net/link_state.hpp"
+#include "util/log.hpp"
+
+namespace ph::net {
+
+namespace {
+constexpr int kMaxRetransmissions = 5;
+
+std::pair<NodeId, int> adapter_key(NodeId node, Technology tech) {
+  return {node, static_cast<int>(tech)};
+}
+}  // namespace
+
+Medium::Medium(sim::Simulator& simulator, sim::Rng rng)
+    : simulator_(simulator), rng_(rng) {}
+
+Medium::~Medium() = default;
+
+NodeId Medium::add_node(std::string name,
+                        std::unique_ptr<sim::MobilityModel> mobility) {
+  assert(mobility != nullptr);
+  const NodeId id = next_node_++;
+  nodes_.emplace(id, NodeEntry{std::move(name), std::move(mobility)});
+  return id;
+}
+
+void Medium::set_mobility(NodeId node,
+                          std::unique_ptr<sim::MobilityModel> mobility) {
+  assert(mobility != nullptr);
+  nodes_.at(node).mobility = std::move(mobility);
+}
+
+const std::string& Medium::node_name(NodeId node) const {
+  return nodes_.at(node).name;
+}
+
+sim::Vec2 Medium::position(NodeId node) const {
+  return nodes_.at(node).mobility->position_at(simulator_.now());
+}
+
+const Medium::TechTraffic& Medium::traffic(Technology tech) const {
+  return traffic_[static_cast<std::size_t>(tech)];
+}
+
+NodeId Medium::add_access_point(std::string name, sim::Vec2 position,
+                                double range_m) {
+  const NodeId id =
+      add_node(std::move(name), std::make_unique<sim::StaticMobility>(position));
+  access_points_.push_back(AccessPoint{id, range_m, true});
+  return id;
+}
+
+void Medium::set_access_point_active(NodeId ap, bool active) {
+  for (AccessPoint& entry : access_points_) {
+    if (entry.node != ap) continue;
+    entry.active = active;
+    if (!active) {
+      // The cell went dark: break every infrastructure link that no other
+      // AP can carry, so applications learn immediately — losing
+      // association is not a silent event.
+      std::vector<std::shared_ptr<detail::LinkState>> affected;
+      for (const auto& weak : links_) {
+        auto state = weak.lock();
+        if (!state || !state->open) continue;
+        if (state->profile.infrastructure &&
+            !reachable(state->a, state->b, state->profile)) {
+          affected.push_back(std::move(state));
+        }
+      }
+      for (auto& state : affected) break_link(state);
+    }
+    return;
+  }
+}
+
+Adapter& Medium::add_adapter(NodeId node, TechProfile profile) {
+  assert(nodes_.contains(node));
+  auto key = adapter_key(node, profile.tech);
+  assert(!adapters_.contains(key) && "one adapter per (node, technology)");
+  auto adapter = std::make_unique<Adapter>(*this, node, std::move(profile));
+  Adapter& ref = *adapter;
+  adapters_.emplace(key, std::move(adapter));
+  return ref;
+}
+
+Adapter* Medium::adapter(NodeId node, Technology tech) {
+  auto it = adapters_.find(adapter_key(node, tech));
+  return it == adapters_.end() ? nullptr : it->second.get();
+}
+
+const Adapter* Medium::adapter(NodeId node, Technology tech) const {
+  auto it = adapters_.find(adapter_key(node, tech));
+  return it == adapters_.end() ? nullptr : it->second.get();
+}
+
+bool Medium::reachable(NodeId a, NodeId b, const TechProfile& profile) const {
+  return signal(a, b, profile) > 0.0;
+}
+
+namespace {
+/// Quadratic falloff: 1 at 0 m, 0 at/beyond `range`.
+double falloff(double distance_m, double range_m) {
+  if (distance_m >= range_m) return 0.0;
+  const double frac = distance_m / range_m;
+  return 1.0 - frac * frac;
+}
+}  // namespace
+
+double Medium::signal(NodeId a, NodeId b, const TechProfile& profile) const {
+  if (a == b) return 0.0;
+  const Adapter* aa = adapter(a, profile.tech);
+  const Adapter* ab = adapter(b, profile.tech);
+  if (aa == nullptr || ab == nullptr || !aa->powered() || !ab->powered()) return 0.0;
+  if (profile.via_gateway) return 1.0;  // cellular coverage assumed ubiquitous
+  if (profile.infrastructure) {
+    // Stations associate with their best access point; APs bridge over the
+    // wired distribution system (thesis §2.4.2: "Inter-networking with
+    // wired LAN is allowed in infrastructure mode"). The end-to-end signal
+    // is the weaker of the two stations' own AP legs.
+    const sim::Vec2 pos_a = position(a);
+    const sim::Vec2 pos_b = position(b);
+    double best_a = 0.0, best_b = 0.0;
+    for (const AccessPoint& ap : access_points_) {
+      if (!ap.active) continue;
+      const sim::Vec2 ap_pos = position(ap.node);
+      best_a = std::max(best_a, falloff(distance(pos_a, ap_pos), ap.range_m));
+      best_b = std::max(best_b, falloff(distance(pos_b, ap_pos), ap.range_m));
+    }
+    return std::min(best_a, best_b);
+  }
+  return falloff(distance(position(a), position(b)), profile.range_m);
+}
+
+std::vector<NodeId> Medium::nodes_in_range(NodeId node,
+                                           const TechProfile& profile) const {
+  std::vector<NodeId> out;
+  for (const auto& [key, adapter] : adapters_) {
+    if (key.second != static_cast<int>(profile.tech)) continue;
+    if (key.first == node) continue;
+    if (!adapter->powered()) continue;
+    if (!reachable(node, key.first, profile)) continue;
+    out.push_back(key.first);
+  }
+  return out;
+}
+
+std::size_t Medium::open_link_count(NodeId node, Technology tech) const {
+  std::size_t count = 0;
+  for (const auto& weak : links_) {
+    auto state = weak.lock();
+    if (!state || !state->open || state->closing) continue;
+    if (state->profile.tech != tech) continue;
+    if (state->a == node || state->b == node) ++count;
+  }
+  return count;
+}
+
+sim::Duration Medium::transfer_time(const TechProfile& profile,
+                                    std::size_t bytes, bool reliable) {
+  const double serialize_s =
+      static_cast<double>(bytes) * 8.0 / profile.bandwidth_bps;
+  sim::Duration total = sim::seconds(serialize_s) + profile.base_latency;
+  if (profile.via_gateway) total += 2 * profile.gateway_latency;  // up + down
+  if (profile.infrastructure) total += profile.ap_relay;  // AP store&forward
+  if (reliable) {
+    for (int i = 0; i < kMaxRetransmissions && rng_.chance(profile.frame_loss);
+         ++i) {
+      total += profile.retransmit_delay;
+      ++stats_.retransmissions;
+    }
+  }
+  return total;
+}
+
+void Medium::deliver_datagram(Adapter& from, NodeId dst, Port port,
+                              Bytes payload) {
+  ++stats_.datagrams_sent;
+  const TechProfile& profile = from.profile();
+  TechTraffic& traffic = traffic_[static_cast<std::size_t>(profile.tech)];
+  traffic.datagram_bytes += payload.size();
+  ++traffic.messages;
+  // The radio serializes its own transmissions; propagation (base latency,
+  // gateway hops) happens "in the air" and does not occupy the radio.
+  const sim::Time depart = std::max(simulator_.now(), from.tx_busy_until_);
+  const sim::Duration serialize = sim::seconds(
+      static_cast<double>(payload.size()) * 8.0 / profile.bandwidth_bps);
+  const sim::Duration flight = transfer_time(profile, payload.size(), false);
+  from.tx_busy_until_ = depart + serialize;
+  if (rng_.chance(profile.frame_loss)) {
+    ++stats_.datagrams_lost;
+    return;  // connectionless: lost frames are simply gone
+  }
+  const NodeId src = from.node();
+  const Technology tech = profile.tech;
+  simulator_.schedule_at(
+      depart + flight,
+      [this, src, dst, port, tech, payload = std::move(payload)] {
+        // Re-resolve both endpoints at delivery time: movement or power
+        // changes during flight drop the frame.
+        Adapter* sender = adapter(src, tech);
+        Adapter* receiver = adapter(dst, tech);
+        if (sender == nullptr || receiver == nullptr) return;
+        if (!sender->powered() || !receiver->powered()) return;
+        if (!reachable(src, dst, sender->profile())) return;
+        auto handler = receiver->datagram_handlers_.find(port);
+        if (handler == receiver->datagram_handlers_.end()) return;
+        auto fn = handler->second;  // copy: handler may rebind the port
+        fn(src, payload);
+      });
+}
+
+void Medium::start_inquiry(Adapter& from, InquiryHandler done) {
+  ++stats_.inquiries;
+  const TechProfile profile = from.profile();
+  const NodeId src = from.node();
+  simulator_.schedule(profile.inquiry_duration,
+                      [this, src, profile, done = std::move(done)] {
+                        Adapter* self = adapter(src, profile.tech);
+                        if (self == nullptr || !self->powered()) {
+                          done({});
+                          return;
+                        }
+                        std::vector<NodeId> found;
+                        for (NodeId peer : nodes_in_range(src, profile)) {
+                          if (rng_.chance(profile.inquiry_detect_prob)) {
+                            found.push_back(peer);
+                          }
+                        }
+                        done(std::move(found));
+                      });
+}
+
+void Medium::open_link(Adapter& from, NodeId dst, Port port,
+                       ConnectHandler done) {
+  const TechProfile profile = from.profile();
+  const NodeId src = from.node();
+  simulator_.schedule(profile.connect_latency, [this, src, dst, port, profile,
+                                                done = std::move(done)] {
+    Adapter* self = adapter(src, profile.tech);
+    if (self == nullptr || !self->powered()) {
+      done(Error{Errc::connect_failed, "local adapter powered off"});
+      return;
+    }
+    Adapter* peer = adapter(dst, profile.tech);
+    if (peer == nullptr || !peer->powered() || !reachable(src, dst, profile)) {
+      done(Error{Errc::device_unreachable,
+                 "node " + std::to_string(dst) + " not reachable over " +
+                     profile.name});
+      return;
+    }
+    auto listener = peer->listeners_.find(port);
+    if (listener == peer->listeners_.end()) {
+      done(Error{Errc::connect_failed,
+                 "no listener on port " + std::to_string(port)});
+      return;
+    }
+    // Radio capacity: a Bluetooth piconet carries at most 7 active links
+    // per radio; either side being full refuses the connection.
+    if (profile.max_links > 0 &&
+        (open_link_count(src, profile.tech) >=
+             static_cast<std::size_t>(profile.max_links) ||
+         open_link_count(dst, profile.tech) >=
+             static_cast<std::size_t>(profile.max_links))) {
+      done(Error{Errc::radio_busy,
+                 profile.name + " radio at link capacity (" +
+                     std::to_string(profile.max_links) + ")"});
+      return;
+    }
+    auto state = std::make_shared<detail::LinkState>();
+    state->medium = this;
+    state->profile = profile;
+    state->a = src;
+    state->b = dst;
+    state->port = port;
+    state->open = true;
+    links_.push_back(state);
+    ++stats_.links_opened;
+    PH_LOG(trace, "net") << "link " << src << "->" << dst << " port " << port
+                         << " open (" << profile.name << ")";
+    // Accept first so the server side installs its handlers before any
+    // client payload can arrive.
+    listener->second(Link{state, dst});
+    done(Link{state, src});
+  });
+}
+
+void Medium::link_send(const std::shared_ptr<detail::LinkState>& state,
+                       NodeId sender, Bytes payload) {
+  if (!state->open) return;
+  ++stats_.link_messages_sent;
+  stats_.link_bytes_sent += payload.size();
+  const TechProfile& profile = state->profile;
+  TechTraffic& traffic = traffic_[static_cast<std::size_t>(profile.tech)];
+  traffic.link_bytes += payload.size();
+  ++traffic.messages;
+  sim::Time& busy =
+      sender == state->a ? state->busy_a_to_b : state->busy_b_to_a;
+  const sim::Time depart = std::max(simulator_.now(), busy);
+  const sim::Duration flight = transfer_time(profile, payload.size(), true);
+  busy = depart + flight - profile.base_latency;
+  const NodeId receiver = state->peer_of(sender);
+  std::weak_ptr<detail::LinkState> weak = state;
+  simulator_.schedule_at(
+      depart + flight,
+      [this, weak, receiver, payload = std::move(payload)] {
+        auto st = weak.lock();
+        if (!st || !st->open) return;
+        if (!reachable(st->a, st->b, st->profile)) {
+          break_link(st);
+          return;
+        }
+        // Invoke through a copy: the handler may replace itself (session
+        // handshakes install new handlers), which would otherwise destroy
+        // the executing lambda.
+        auto rx = st->rx_for(receiver);
+        if (rx) rx(payload);
+      });
+}
+
+void Medium::link_close(const std::shared_ptr<detail::LinkState>& state,
+                        NodeId closer) {
+  if (!state->open || state->closing) return;
+  state->closing = true;
+  const NodeId peer = state->peer_of(closer);
+  // Flush: messages already queued (e.g. an application-level goodbye sent
+  // just before close()) still reach the peer; the link dies one
+  // propagation delay after the last of them departs.
+  const sim::Time flushed = std::max(
+      {simulator_.now(), state->busy_a_to_b, state->busy_b_to_a});
+  std::weak_ptr<detail::LinkState> weak = state;
+  simulator_.schedule_at(
+      flushed + state->profile.base_latency, [weak, peer] {
+        auto st = weak.lock();
+        if (!st || !st->open) return;
+        st->open = false;
+        auto brk = st->brk_for(peer);  // copy: handler may reset itself
+        // Release both sides' handlers: they may capture Link handles that
+        // own this state, and a dead link must not keep such cycles alive.
+        st->rx_a = nullptr;
+        st->rx_b = nullptr;
+        st->brk_a = nullptr;
+        st->brk_b = nullptr;
+        if (brk) brk();
+      });
+}
+
+void Medium::break_link(const std::shared_ptr<detail::LinkState>& state) {
+  if (!state->open) return;
+  state->open = false;
+  ++stats_.links_broken;
+  PH_LOG(trace, "net") << "link " << state->a << "<->" << state->b
+                       << " broke (" << state->profile.name << ")";
+  auto brk_a = state->brk_a;
+  auto brk_b = state->brk_b;
+  state->rx_a = nullptr;
+  state->rx_b = nullptr;
+  state->brk_a = nullptr;
+  state->brk_b = nullptr;
+  if (brk_a) brk_a();
+  if (brk_b) brk_b();
+}
+
+void Medium::break_links_of(NodeId node, Technology tech) {
+  // Collect first: break handlers may open new links and mutate links_.
+  std::vector<std::shared_ptr<detail::LinkState>> affected;
+  for (auto it = links_.begin(); it != links_.end();) {
+    auto state = it->lock();
+    if (!state || !state->open) {
+      it = links_.erase(it);
+      continue;
+    }
+    if ((state->a == node || state->b == node) && state->profile.tech == tech) {
+      affected.push_back(std::move(state));
+    }
+    ++it;
+  }
+  for (auto& state : affected) break_link(state);
+}
+
+}  // namespace ph::net

@@ -1,0 +1,154 @@
+// Medium — the simulated radio world.
+//
+// Owns the node registry (position = mobility model sampled at virtual
+// time), one Adapter per (device, technology), and the frame-delivery
+// machinery: reachability, signal strength, bandwidth serialization,
+// propagation latency, loss/retransmission and link breakage.
+//
+// This is the substitution for the thesis' physical testbed (ComLab room
+// 6604, Bluetooth dongles, people carrying laptops): every quantity the
+// paper's evaluation depends on — who is in range when, how long discovery
+// and transfers take — is produced here from technology profiles instead of
+// physics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/adapter.hpp"
+#include "net/link.hpp"
+#include "net/tech.hpp"
+#include "net/types.hpp"
+#include "sim/mobility.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace ph::net {
+
+class Medium {
+ public:
+  /// Traffic counters for benches and tests.
+  struct Stats {
+    std::uint64_t datagrams_sent = 0;
+    std::uint64_t datagrams_lost = 0;
+    std::uint64_t link_messages_sent = 0;
+    std::uint64_t link_bytes_sent = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t links_opened = 0;
+    std::uint64_t links_broken = 0;
+    std::uint64_t inquiries = 0;
+  };
+
+  /// Per-technology byte accounting. The thesis' cost argument ("the cost
+  /// of data service is low as Bluetooth and WLAN can be primely used",
+  /// §5.1) needs to know how many bytes travelled over the metered
+  /// cellular link vs the free short-range radios.
+  struct TechTraffic {
+    std::uint64_t datagram_bytes = 0;
+    std::uint64_t link_bytes = 0;
+    std::uint64_t messages = 0;
+
+    std::uint64_t total_bytes() const { return datagram_bytes + link_bytes; }
+  };
+
+  Medium(sim::Simulator& simulator, sim::Rng rng);
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+  ~Medium();
+
+  // --- world ------------------------------------------------------------
+  /// Adds a device to the world. Ids start at 1 and are dense.
+  NodeId add_node(std::string name, std::unique_ptr<sim::MobilityModel> mobility);
+
+  /// Replaces a node's mobility model (scenario phase changes).
+  void set_mobility(NodeId node, std::unique_ptr<sim::MobilityModel> mobility);
+
+  const std::string& node_name(NodeId node) const;
+  sim::Vec2 position(NodeId node) const;  ///< sampled at current virtual time
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  // --- access points ------------------------------------------------------
+  /// Installs a WLAN access point (infrastructure mode, thesis §2.4.2).
+  /// Stations whose profile has `infrastructure` set are mutually
+  /// reachable iff both are within `range_m` of a common active AP.
+  NodeId add_access_point(std::string name, sim::Vec2 position,
+                          double range_m);
+  /// Powers an AP on/off (failure injection; a dead AP partitions its cell).
+  void set_access_point_active(NodeId ap, bool active);
+
+  // --- adapters ---------------------------------------------------------
+  /// Creates the radio of `profile.tech` on `node`. At most one adapter per
+  /// (node, technology); creating a second replaces profile-compatible
+  /// lookup and is a programming error (asserts).
+  Adapter& add_adapter(NodeId node, TechProfile profile);
+
+  /// The node's adapter for a technology, or nullptr if it has none.
+  Adapter* adapter(NodeId node, Technology tech);
+  const Adapter* adapter(NodeId node, Technology tech) const;
+
+  // --- physics ----------------------------------------------------------
+  /// True when b can hear a's `profile` radio right now (both powered,
+  /// within range or gateway-routed).
+  bool reachable(NodeId a, NodeId b, const TechProfile& profile) const;
+
+  /// Signal strength in [0,1]: 1 at zero distance, 0 at/beyond range.
+  double signal(NodeId a, NodeId b, const TechProfile& profile) const;
+
+  /// Powered same-technology peers currently in range of `node`.
+  std::vector<NodeId> nodes_in_range(NodeId node, const TechProfile& profile) const;
+
+  /// Open links currently carried by `node`'s `tech` radio (piconet load).
+  std::size_t open_link_count(NodeId node, Technology tech) const;
+
+  const Stats& stats() const noexcept { return stats_; }
+  /// Bytes/messages carried by one technology since construction.
+  const TechTraffic& traffic(Technology tech) const;
+  sim::Simulator& simulator() noexcept { return simulator_; }
+  sim::Rng& rng() noexcept { return rng_; }
+
+ private:
+  friend class Adapter;
+  friend class Link;
+
+  struct NodeEntry {
+    std::string name;
+    std::unique_ptr<sim::MobilityModel> mobility;
+  };
+
+  /// Time to push `bytes` through the radio plus propagation, including
+  /// randomized retransmission delays for reliable (link) traffic.
+  sim::Duration transfer_time(const TechProfile& profile, std::size_t bytes,
+                              bool reliable);
+
+  // Internal helpers used by Adapter/Link (implemented in medium.cpp).
+  void deliver_datagram(Adapter& from, NodeId dst, Port port, Bytes payload);
+  void start_inquiry(Adapter& from, InquiryHandler done);
+  void open_link(Adapter& from, NodeId dst, Port port, ConnectHandler done);
+  void link_send(const std::shared_ptr<detail::LinkState>& state, NodeId sender,
+                 Bytes payload);
+  void link_close(const std::shared_ptr<detail::LinkState>& state, NodeId closer);
+  void break_link(const std::shared_ptr<detail::LinkState>& state);
+  void break_links_of(NodeId node, Technology tech);
+
+  struct AccessPoint {
+    NodeId node = kInvalidNode;
+    double range_m = 0.0;
+    bool active = true;
+  };
+
+  sim::Simulator& simulator_;
+  sim::Rng rng_;
+  std::map<NodeId, NodeEntry> nodes_;
+  std::vector<AccessPoint> access_points_;
+  std::map<std::pair<NodeId, int>, std::unique_ptr<Adapter>> adapters_;
+  std::vector<std::weak_ptr<detail::LinkState>> links_;
+  Stats stats_;
+  std::array<TechTraffic, 3> traffic_{};  // indexed by Technology
+  NodeId next_node_ = 1;
+};
+
+}  // namespace ph::net

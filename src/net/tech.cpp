@@ -1,0 +1,102 @@
+#include "net/tech.hpp"
+
+namespace ph::net {
+
+std::string_view to_string(Technology tech) noexcept {
+  switch (tech) {
+    case Technology::bluetooth: return "bluetooth";
+    case Technology::wlan: return "wlan";
+    case Technology::gprs: return "gprs";
+  }
+  return "?";
+}
+
+TechProfile bluetooth_2_0() {
+  TechProfile p;
+  p.tech = Technology::bluetooth;
+  p.name = "Bluetooth 2.0";
+  p.range_m = 10.0;
+  p.bandwidth_bps = 723'000;
+  p.base_latency = sim::milliseconds(30);
+  p.inquiry_duration = sim::seconds(10.24);
+  p.inquiry_detect_prob = 0.99;
+  p.connect_latency = sim::milliseconds(640);
+  p.frame_loss = 0.01;
+  p.retransmit_delay = sim::milliseconds(50);
+  p.max_links = 7;  // piconet: one master, up to 7 active slaves
+  return p;
+}
+
+namespace {
+TechProfile wlan_base() {
+  TechProfile p;
+  p.tech = Technology::wlan;
+  p.range_m = 100.0;
+  p.base_latency = sim::milliseconds(5);
+  // Broadcast-based service discovery (thesis §4.2.3): a beacon round,
+  // not a Bluetooth-style inquiry scan.
+  p.inquiry_duration = sim::milliseconds(500);
+  p.inquiry_detect_prob = 1.0;
+  p.connect_latency = sim::milliseconds(50);
+  p.frame_loss = 0.005;
+  p.retransmit_delay = sim::milliseconds(10);
+  p.supports_broadcast = true;
+  return p;
+}
+}  // namespace
+
+TechProfile wlan_80211() {
+  TechProfile p = wlan_base();
+  p.name = "IEEE 802.11";
+  p.bandwidth_bps = 2'000'000;
+  return p;
+}
+
+TechProfile wlan_80211a() {
+  TechProfile p = wlan_base();
+  p.name = "IEEE 802.11a";
+  p.bandwidth_bps = 54'000'000;
+  p.range_m = 50.0;  // "relatively shorter range than 802.11b" (Table 1)
+  return p;
+}
+
+TechProfile wlan_80211b() {
+  TechProfile p = wlan_base();
+  p.name = "IEEE 802.11b";
+  p.bandwidth_bps = 11'000'000;
+  return p;
+}
+
+TechProfile wlan_80211b_infrastructure() {
+  TechProfile p = wlan_80211b();
+  p.name = "IEEE 802.11b (infrastructure)";
+  p.infrastructure = true;
+  p.ap_relay = sim::milliseconds(2);
+  return p;
+}
+
+TechProfile wlan_80211g() {
+  TechProfile p = wlan_base();
+  p.name = "IEEE 802.11g";
+  p.bandwidth_bps = 54'000'000;
+  return p;
+}
+
+TechProfile gprs() {
+  TechProfile p;
+  p.tech = Technology::gprs;
+  p.name = "GPRS";
+  p.range_m = 0.0;  // unused: cellular coverage is assumed ubiquitous
+  p.bandwidth_bps = 40'000;
+  p.base_latency = sim::milliseconds(300);
+  p.inquiry_duration = sim::seconds(1.0);  // proxy/gateway presence lookup
+  p.inquiry_detect_prob = 1.0;
+  p.connect_latency = sim::milliseconds(900);
+  p.frame_loss = 0.02;
+  p.retransmit_delay = sim::milliseconds(300);
+  p.via_gateway = true;
+  p.gateway_latency = sim::milliseconds(250);
+  return p;
+}
+
+}  // namespace ph::net

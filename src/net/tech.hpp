@@ -1,0 +1,80 @@
+// Wireless technology profiles.
+//
+// Chapter 2 of the thesis surveys Bluetooth, WLAN (802.11/a/b/g, Table 1)
+// and GPRS; PeerHood has one plugin per technology. Each profile captures
+// the first-order behaviour that drives the paper's results:
+//   * range            — who is a neighbour (dynamic group membership)
+//   * inquiry duration — how long device discovery takes (Bluetooth inquiry
+//                        is famously ~10.24 s; WLAN broadcast discovery is
+//                        sub-second; GPRS asks the operator gateway)
+//   * bandwidth + base latency — how long each operation round trip takes
+//   * loss/retransmission — jitter and failure injection
+//
+// Numbers follow the specifications the thesis itself cites: BT 2.0 EDR-less
+// payload ~723 kbps / 10 m class-2 range; 802.11 family data rates from
+// Table 1; GPRS 9.6–171 kbps overlay with high gateway RTT.
+#pragma once
+
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace ph::net {
+
+enum class Technology { bluetooth, wlan, gprs };
+
+std::string_view to_string(Technology tech) noexcept;
+
+struct TechProfile {
+  Technology tech = Technology::bluetooth;
+  std::string name;                 ///< e.g. "Bluetooth 2.0", "IEEE 802.11b"
+  double range_m = 10.0;            ///< radio range; ignored when via_gateway
+  double bandwidth_bps = 723'000;   ///< payload data rate
+  sim::Duration base_latency = sim::milliseconds(30);   ///< one-way per frame
+  sim::Duration inquiry_duration = sim::seconds(10.24); ///< device discovery scan
+  double inquiry_detect_prob = 1.0; ///< chance a neighbour answers one scan
+  sim::Duration connect_latency = sim::milliseconds(640); ///< link setup (paging)
+  double frame_loss = 0.0;          ///< chance a frame needs a retransmission
+  sim::Duration retransmit_delay = sim::milliseconds(50); ///< cost per retry
+  bool via_gateway = false;         ///< GPRS: routed through operator gateway
+  sim::Duration gateway_latency = sim::milliseconds(0);   ///< extra hop latency
+  /// Maximum concurrent links this radio can carry (0 = unlimited).
+  /// Bluetooth piconets top out at 7 active slaves (thesis §2.4.1:
+  /// "Bluetooth communication always exists in pairs ... the simplest
+  /// Bluetooth network topology is a piconet").
+  int max_links = 0;
+  /// WLAN infrastructure mode (thesis §2.4.2): stations talk through an
+  /// access point instead of directly. Reachability requires a common AP
+  /// (Medium::add_access_point), effective station-to-station range grows
+  /// to twice the radio range, and every frame pays the AP relay hop.
+  bool infrastructure = false;
+  sim::Duration ap_relay = sim::milliseconds(0);  ///< per-frame relay cost
+  /// The radio can send one-to-all datagrams to everyone in range (the
+  /// WLANPlugin "uses broadcast-based service discovery", thesis §4.2.3).
+  /// Bluetooth and GPRS cannot.
+  bool supports_broadcast = false;
+};
+
+/// Class-2 Bluetooth 2.0 as used in the thesis testbed (3COM dongles):
+/// 10 m range, 723 kbps, 10.24 s inquiry, L2CAP-style reliable links.
+TechProfile bluetooth_2_0();
+
+/// Original IEEE 802.11 (Table 1 row 1): 2 Mbps in the 2.4 GHz band.
+TechProfile wlan_80211();
+/// IEEE 802.11a (Table 1): 54 Mbps at 5 GHz, relatively shorter range.
+TechProfile wlan_80211a();
+/// IEEE 802.11b (Table 1): 11 Mbps at 2.4 GHz, ~100 m outdoor range.
+TechProfile wlan_80211b();
+/// 802.11b in infrastructure mode (thesis §2.4.2): "inter-networking with
+/// wired LAN is allowed ... and communication range is longer" — stations
+/// associate with access points (Medium::add_access_point) instead of
+/// talking directly.
+TechProfile wlan_80211b_infrastructure();
+/// IEEE 802.11g (Table 1): 54 Mbps at 2.4 GHz, 802.11b-compatible range.
+TechProfile wlan_80211g();
+
+/// GPRS overlay data service: ~40 kbps typical of the 9.6–171 kbps band the
+/// thesis cites, high latency, every packet through the operator gateway.
+TechProfile gprs();
+
+}  // namespace ph::net

@@ -1,0 +1,22 @@
+// Shared identifiers for the simulated radio environment.
+#pragma once
+
+#include <cstdint>
+
+namespace ph::net {
+
+/// Identifies a physical device in the simulated world. In the real system
+/// this role is played by technology addresses (Bluetooth BD_ADDR, IP); the
+/// simulator uses one id per device and per-technology adapters under it.
+using NodeId = std::uint32_t;
+
+constexpr NodeId kInvalidNode = 0;
+
+/// Demultiplexing point within an adapter, like an L2CAP PSM or UDP port.
+using Port = std::uint16_t;
+
+/// Well-known port of the PeerHood daemon's control endpoint (device and
+/// service queries). Application services bind ports above 1000.
+constexpr Port kDaemonPort = 1;
+
+}  // namespace ph::net

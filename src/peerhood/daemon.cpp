@@ -1,0 +1,447 @@
+#include "peerhood/daemon.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "proto/daemon.hpp"
+#include "util/log.hpp"
+
+namespace ph::peerhood {
+
+namespace {
+
+proto::ServiceInfoData to_wire(const ServiceInfo& service) {
+  return proto::ServiceInfoData{service.name, service.port, service.attributes};
+}
+
+ServiceInfo from_wire(const proto::ServiceInfoData& data) {
+  return ServiceInfo{data.name, data.port, data.attributes};
+}
+
+}  // namespace
+
+Daemon::Daemon(net::Medium& medium, DeviceId self, std::string device_name,
+               DaemonConfig config)
+    : medium_(medium),
+      simulator_(medium.simulator()),
+      self_(self),
+      device_name_(std::move(device_name)),
+      config_(config) {}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::add_plugin(std::unique_ptr<NetworkPlugin> plugin) {
+  assert(plugin != nullptr);
+  assert(plugin->adapter().node() == self_ && "plugin radio must be local");
+  bind_control_port(*plugin);
+  plugins_.push_back(std::move(plugin));
+}
+
+NetworkPlugin* Daemon::plugin_for(net::Technology tech) {
+  for (auto& plugin : plugins_) {
+    if (plugin->technology() == tech) return plugin.get();
+  }
+  return nullptr;
+}
+
+void Daemon::bind_control_port(NetworkPlugin& plugin) {
+  plugin.adapter().bind(net::kDaemonPort,
+                        [this, &plugin](DeviceId src, BytesView payload) {
+                          on_daemon_datagram(plugin, src, payload);
+                        });
+}
+
+void Daemon::start() {
+  if (running_) return;
+  running_ = true;
+  ++generation_;
+  PH_LOG(info, "phd") << device_name_ << ": daemon started, "
+                      << plugins_.size() << " plugin(s)";
+  for (auto& plugin : plugins_) {
+    // First scan starts immediately; later scans are timer-driven.
+    run_inquiry(*plugin);
+  }
+  schedule_ping_round();
+}
+
+void Daemon::stop() {
+  if (!running_) return;
+  running_ = false;
+  ++generation_;  // orphan all pending periodic callbacks
+  pending_queries_.clear();
+  pending_pings_.clear();
+}
+
+Result<void> Daemon::register_service(ServiceInfo service) {
+  if (service.name.empty()) {
+    return Error{Errc::invalid_argument, "service name must not be empty"};
+  }
+  if (local_services_.contains(service.name)) {
+    return Error{Errc::service_already_registered, service.name};
+  }
+  PH_LOG(info, "phd") << device_name_ << ": registered service '"
+                      << service.name << "' on port " << service.port;
+  local_services_.emplace(service.name, std::move(service));
+  announce_services();
+  return ok();
+}
+
+Result<void> Daemon::unregister_service(const std::string& name) {
+  if (local_services_.erase(name) == 0) {
+    return Error{Errc::service_not_found, name};
+  }
+  announce_services();
+  return ok();
+}
+
+Result<void> Daemon::update_service_attributes(
+    const std::string& name, std::map<std::string, std::string> attributes) {
+  auto it = local_services_.find(name);
+  if (it == local_services_.end()) {
+    return Error{Errc::service_not_found, name};
+  }
+  it->second.attributes = std::move(attributes);
+  announce_services();
+  return ok();
+}
+
+std::vector<ServiceInfo> Daemon::local_services() const {
+  std::vector<ServiceInfo> out;
+  out.reserve(local_services_.size());
+  for (const auto& [name, service] : local_services_) out.push_back(service);
+  return out;
+}
+
+std::vector<DeviceInfo> Daemon::devices() const {
+  std::vector<DeviceInfo> out;
+  for (const auto& [id, neighbour] : neighbours_) {
+    if (neighbour.announced) out.push_back(neighbour.info);
+  }
+  return out;
+}
+
+Result<DeviceInfo> Daemon::device(DeviceId id) const {
+  auto it = neighbours_.find(id);
+  if (it == neighbours_.end() || !it->second.announced) {
+    return Error{Errc::unknown_device, "device " + std::to_string(id)};
+  }
+  return it->second.info;
+}
+
+std::vector<std::pair<DeviceInfo, ServiceInfo>> Daemon::find_service(
+    std::string_view service_name) const {
+  std::vector<std::pair<DeviceInfo, ServiceInfo>> out;
+  for (const auto& [id, neighbour] : neighbours_) {
+    if (!neighbour.announced) continue;
+    if (const ServiceInfo* s = neighbour.info.find_service(service_name)) {
+      out.emplace_back(neighbour.info, *s);
+    }
+  }
+  return out;
+}
+
+Daemon::MonitorId Daemon::monitor_all(MonitorCallbacks callbacks) {
+  const MonitorId id = next_monitor_++;
+  monitors_.emplace(id, Monitor{net::kInvalidNode, std::move(callbacks)});
+  return id;
+}
+
+Daemon::MonitorId Daemon::monitor_device(DeviceId device, MonitorCallbacks callbacks) {
+  const MonitorId id = next_monitor_++;
+  monitors_.emplace(id, Monitor{device, std::move(callbacks)});
+  return id;
+}
+
+void Daemon::unmonitor(MonitorId id) { monitors_.erase(id); }
+
+void Daemon::trigger_discovery() {
+  for (auto& plugin : plugins_) run_inquiry(*plugin);
+}
+
+void Daemon::schedule_inquiry(NetworkPlugin& plugin, sim::Duration delay) {
+  const std::uint64_t gen = generation_;
+  simulator_.schedule(delay, [this, gen, &plugin] {
+    if (!running_ || gen != generation_) return;
+    run_inquiry(plugin);
+  });
+}
+
+void Daemon::run_inquiry(NetworkPlugin& plugin) {
+  ++stats_.inquiries_started;
+  const std::uint64_t gen = generation_;
+  PH_LOG(debug, "phd") << device_name_ << ": inquiry on " << plugin.name();
+  plugin.adapter().start_inquiry([this, gen, &plugin](std::vector<DeviceId> found) {
+    handle_inquiry_result(plugin, std::move(found));
+    if (running_ && gen == generation_) {
+      schedule_inquiry(plugin, config_.inquiry_interval);
+    }
+  });
+}
+
+void Daemon::handle_inquiry_result(NetworkPlugin& plugin,
+                                   std::vector<DeviceId> found) {
+  stats_.devices_found += found.size();
+  const net::Technology tech = plugin.technology();
+  for (DeviceId id : found) {
+    Neighbour& neighbour = neighbours_[id];
+    neighbour.info.id = id;
+    neighbour.info.last_seen = simulator_.now();
+    neighbour.missed_pings = 0;
+    if (!neighbour.info.has_technology(tech)) {
+      neighbour.info.technologies.push_back(tech);
+      if (neighbour.announced) {
+        for (const auto& [mid, monitor] : std::map(monitors_)) {
+          (void)mid;
+          if (monitor.device != net::kInvalidNode && monitor.device != id) continue;
+          if (monitor.callbacks.on_update) monitor.callbacks.on_update(neighbour.info);
+        }
+      }
+    }
+    const bool query_pending = std::any_of(
+        pending_queries_.begin(), pending_queries_.end(),
+        [id](const auto& entry) { return entry.second.target == id; });
+    // Every inquiry hit refreshes the remote service list (one datagram per
+    // device per scan) — services registered after the first discovery
+    // become visible on the next scan ("Service Sharing", Table 3).
+    if (!query_pending) {
+      send_service_query(id, tech, config_.query_retries);
+    }
+  }
+}
+
+void Daemon::send_service_query(DeviceId target, net::Technology tech,
+                                int attempts_left) {
+  NetworkPlugin* plugin = plugin_for(tech);
+  if (plugin == nullptr) return;
+  const std::uint32_t token = next_token_++;
+  ++stats_.service_queries;
+  proto::DaemonMessage query;
+  query.op = proto::DaemonOp::service_query;
+  query.token = token;
+  query.device_name = device_name_;
+  plugin->adapter().send_datagram(target, net::kDaemonPort,
+                                  proto::encode(query));
+  // High-latency technologies (GPRS routes every frame through the
+  // operator gateway) need a longer reply window than the configured
+  // default, or every reply would arrive "late" and be dropped.
+  const net::TechProfile& profile = plugin->profile();
+  sim::Duration round_trip = 2 * profile.base_latency;
+  if (profile.via_gateway) round_trip += 4 * profile.gateway_latency;
+  const sim::Duration timeout = std::max(config_.reply_timeout, 2 * round_trip);
+  PendingQuery pending;
+  pending.target = target;
+  pending.tech = tech;
+  pending.attempts_left = attempts_left - 1;
+  pending.timeout_event =
+      simulator_.schedule(timeout, [this, token] {
+        auto it = pending_queries_.find(token);
+        if (it == pending_queries_.end()) return;  // answered
+        const PendingQuery timed_out = it->second;
+        pending_queries_.erase(it);
+        if (timed_out.attempts_left > 0) {
+          send_service_query(timed_out.target, timed_out.tech,
+                             timed_out.attempts_left);
+        }
+      });
+  pending_queries_.emplace(token, pending);
+}
+
+void Daemon::on_daemon_datagram(NetworkPlugin& plugin, DeviceId src,
+                                BytesView payload) {
+  auto decoded = proto::decode_daemon_message(payload);
+  if (!decoded) {
+    PH_LOG(warn, "phd") << device_name_ << ": bad control datagram from "
+                        << src << ": " << decoded.error().to_string();
+    return;
+  }
+  const proto::DaemonMessage& message = *decoded;
+  switch (message.op) {
+    case proto::DaemonOp::service_query: {
+      proto::DaemonMessage reply;
+      reply.op = proto::DaemonOp::service_reply;
+      reply.token = message.token;
+      reply.device_name = device_name_;
+      for (const auto& [name, service] : local_services_) {
+        reply.services.push_back(to_wire(service));
+      }
+      plugin.adapter().send_datagram(src, net::kDaemonPort, proto::encode(reply));
+      break;
+    }
+    case proto::DaemonOp::service_reply: {
+      if (message.token == 0) {
+        // Unsolicited push announcement (WLAN broadcast): apply directly.
+        apply_service_reply(plugin, src, message);
+        break;
+      }
+      auto pending = pending_queries_.find(message.token);
+      if (pending == pending_queries_.end()) break;  // late duplicate
+      simulator_.cancel(pending->second.timeout_event);
+      pending_queries_.erase(pending);
+      ++stats_.service_replies;
+      apply_service_reply(plugin, src, message);
+      break;
+    }
+    case proto::DaemonOp::ping: {
+      proto::DaemonMessage pong;
+      pong.op = proto::DaemonOp::pong;
+      pong.token = message.token;
+      pong.device_name = device_name_;
+      plugin.adapter().send_datagram(src, net::kDaemonPort, proto::encode(pong));
+      break;
+    }
+    case proto::DaemonOp::pong: {
+      // Any pong from the device proves liveness — including one answering
+      // an older round's ping that arrived after the next round started
+      // (normal on high-latency technologies like GPRS, where the round
+      // trip can exceed the ping interval).
+      ++stats_.pongs_received;
+      auto pending = pending_pings_.find(src);
+      if (pending != pending_pings_.end() && pending->second == message.token) {
+        pending_pings_.erase(pending);
+      }
+      auto it = neighbours_.find(src);
+      if (it != neighbours_.end()) {
+        it->second.missed_pings = 0;
+        it->second.info.last_seen = simulator_.now();
+      }
+      break;
+    }
+  }
+}
+
+void Daemon::apply_service_reply(NetworkPlugin& plugin, DeviceId src,
+                                 const proto::DaemonMessage& message) {
+  Neighbour& neighbour = neighbours_[src];
+  neighbour.info.id = src;
+  neighbour.info.name = message.device_name;
+  neighbour.info.last_seen = simulator_.now();
+  if (!neighbour.info.has_technology(plugin.technology())) {
+    neighbour.info.technologies.push_back(plugin.technology());
+  }
+  std::vector<ServiceInfo> services;
+  services.reserve(message.services.size());
+  for (const auto& s : message.services) services.push_back(from_wire(s));
+  // Any difference counts — new/removed services AND attribute edits
+  // (applications may publish live data through attributes).
+  const bool changed = services != neighbour.info.services;
+  neighbour.info.services = std::move(services);
+  neighbour.services_known = true;
+  if (neighbour.announced && changed) {
+    for (const auto& [mid, monitor] : std::map(monitors_)) {
+      (void)mid;
+      if (monitor.device != net::kInvalidNode && monitor.device != src) continue;
+      if (monitor.callbacks.on_update) monitor.callbacks.on_update(neighbour.info);
+    }
+  }
+  announce_if_ready(neighbour);
+}
+
+void Daemon::announce_services() {
+  proto::DaemonMessage announce;
+  announce.op = proto::DaemonOp::service_reply;
+  announce.token = 0;  // unsolicited
+  announce.device_name = device_name_;
+  for (const auto& [name, service] : local_services_) {
+    announce.services.push_back(to_wire(service));
+  }
+  const Bytes payload = proto::encode(announce);
+  for (auto& plugin : plugins_) {
+    if (!plugin->profile().supports_broadcast) continue;
+    plugin->adapter().broadcast_datagram(net::kDaemonPort, payload);
+    ++stats_.announcements_sent;
+  }
+}
+
+void Daemon::schedule_ping_round() {
+  const std::uint64_t gen = generation_;
+  simulator_.schedule(config_.ping_interval, [this, gen] {
+    if (!running_ || gen != generation_) return;
+    run_ping_round();
+    schedule_ping_round();
+  });
+}
+
+void Daemon::run_ping_round() {
+  expire_stale_entries();
+  // Any ping from the previous round still unanswered counts as missed.
+  for (auto it = pending_pings_.begin(); it != pending_pings_.end();) {
+    auto neighbour = neighbours_.find(it->first);
+    it = pending_pings_.erase(it);
+    if (neighbour == neighbours_.end()) continue;
+    if (++neighbour->second.missed_pings >= config_.max_missed_pings) {
+      declare_gone(neighbour->first);
+    }
+  }
+  for (auto& [id, neighbour] : neighbours_) {
+    // Ping over the best-signal technology this device is known on.
+    NetworkPlugin* best = nullptr;
+    double best_signal = 0.0;
+    for (auto& plugin : plugins_) {
+      if (!neighbour.info.has_technology(plugin->technology())) continue;
+      const double s = plugin->adapter().signal_to(id);
+      if (s > best_signal) {
+        best_signal = s;
+        best = plugin.get();
+      }
+    }
+    if (best == nullptr) {
+      // Out of range on every technology: counts as a missed ping without
+      // wasting a frame.
+      if (++neighbour.missed_pings >= config_.max_missed_pings) {
+        declare_gone(id);
+        break;  // neighbours_ mutated; next round handles the rest
+      }
+      continue;
+    }
+    const std::uint32_t token = next_token_++;
+    pending_pings_[id] = token;
+    ++stats_.pings_sent;
+    proto::DaemonMessage ping;
+    ping.op = proto::DaemonOp::ping;
+    ping.token = token;
+    ping.device_name = device_name_;
+    best->adapter().send_datagram(id, net::kDaemonPort, proto::encode(ping));
+  }
+}
+
+void Daemon::declare_gone(DeviceId id) {
+  auto it = neighbours_.find(id);
+  if (it == neighbours_.end()) return;
+  const bool was_announced = it->second.announced;
+  neighbours_.erase(it);
+  pending_pings_.erase(id);
+  if (!was_announced) return;
+  ++stats_.neighbours_disappeared;
+  PH_LOG(info, "phd") << device_name_ << ": device " << id << " disappeared";
+  for (const auto& [mid, monitor] : std::map(monitors_)) {
+    (void)mid;
+    if (monitor.device != net::kInvalidNode && monitor.device != id) continue;
+    if (monitor.callbacks.on_disappear) monitor.callbacks.on_disappear(id);
+  }
+}
+
+void Daemon::announce_if_ready(Neighbour& neighbour) {
+  if (neighbour.announced || !neighbour.services_known) return;
+  neighbour.announced = true;
+  ++stats_.neighbours_appeared;
+  PH_LOG(info, "phd") << device_name_ << ": device '" << neighbour.info.name
+                      << "' (" << neighbour.info.id << ") appeared with "
+                      << neighbour.info.services.size() << " service(s)";
+  const DeviceInfo snapshot = neighbour.info;
+  for (const auto& [mid, monitor] : std::map(monitors_)) {
+    (void)mid;
+    if (monitor.device != net::kInvalidNode && monitor.device != snapshot.id) continue;
+    if (monitor.callbacks.on_appear) monitor.callbacks.on_appear(snapshot);
+  }
+}
+
+void Daemon::expire_stale_entries() {
+  const sim::Time now = simulator_.now();
+  std::vector<DeviceId> stale;
+  for (const auto& [id, neighbour] : neighbours_) {
+    if (neighbour.info.last_seen + config_.entry_ttl < now) stale.push_back(id);
+  }
+  for (DeviceId id : stale) declare_gone(id);
+}
+
+}  // namespace ph::peerhood

@@ -1,0 +1,204 @@
+// PeerHood Daemon (PHD) — thesis §4.2.1.
+//
+// "An independent application which always runs on background and keeps
+// tracks of other wireless device discovery and service discovery in those
+// devices. It maintains a list of neighbor devices as well as list of local
+// and remote services. Services through PeerHood-enabled applications are
+// registered in PHD and PHD handles the service requests."
+//
+// Concretely, per plugin the daemon runs:
+//   * an inquiry loop — periodic device discovery scans (the Bluetooth
+//     inquiry that dominates the thesis' 11 s group-search time);
+//   * service discovery — after an inquiry hit, the daemon queries the
+//     remote PHD for its advertised services (datagram + timeout retry);
+//   * active monitoring — known neighbours are pinged between inquiry
+//     rounds; a neighbour missing `max_missed_pings` pongs is declared
+//     gone and monitors are notified (this is what evicts members from
+//     dynamic groups when they walk away).
+//
+// The real PHD is a separate OS process reached over a local socket; here
+// daemon and applications share the simulated process, so the "local
+// socket" is a direct method call. This changes IPC cost (microseconds)
+// but none of the network behaviour the evaluation measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/medium.hpp"
+#include "peerhood/plugin.hpp"
+#include "peerhood/types.hpp"
+#include "proto/daemon.hpp"
+#include "util/result.hpp"
+
+namespace ph::peerhood {
+
+struct DaemonConfig {
+  /// Gap between consecutive discovery scans on one plugin (measured from
+  /// scan end to next scan start).
+  sim::Duration inquiry_interval = sim::seconds(20);
+  /// Liveness-probe period for known neighbours.
+  sim::Duration ping_interval = sim::seconds(2);
+  /// How long to wait for a pong / service reply before retrying.
+  sim::Duration reply_timeout = sim::seconds(1);
+  /// Consecutive unanswered pings before a neighbour is declared gone.
+  int max_missed_pings = 3;
+  /// Service-query retries before giving up on a discovered device.
+  int query_retries = 3;
+  /// Neighbour entries not refreshed for this long are dropped even
+  /// without ping evidence (safety net).
+  sim::Duration entry_ttl = sim::minutes(2);
+};
+
+/// Callbacks for active monitoring (thesis Table 3, "Active monitoring of a
+/// device"): the application is notified when a monitored device enters or
+/// leaves the neighbourhood.
+struct MonitorCallbacks {
+  std::function<void(const DeviceInfo&)> on_appear;
+  /// Fired when an already-known device's service list or technology set
+  /// changes.
+  std::function<void(const DeviceInfo&)> on_update;
+  std::function<void(DeviceId)> on_disappear;
+};
+
+class Daemon {
+ public:
+  using MonitorId = std::uint64_t;
+
+  struct Stats {
+    std::uint64_t inquiries_started = 0;
+    std::uint64_t devices_found = 0;
+    std::uint64_t service_queries = 0;
+    std::uint64_t service_replies = 0;
+    std::uint64_t pings_sent = 0;
+    std::uint64_t pongs_received = 0;
+    std::uint64_t neighbours_appeared = 0;
+    std::uint64_t neighbours_disappeared = 0;
+    /// Unsolicited service broadcasts sent (WLAN push announcements).
+    std::uint64_t announcements_sent = 0;
+  };
+
+  Daemon(net::Medium& medium, DeviceId self, std::string device_name,
+         DaemonConfig config = {});
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Adds a plugin before start(). The daemon binds the control port on the
+  /// plugin's adapter immediately (so it answers queries even pre-start).
+  void add_plugin(std::unique_ptr<NetworkPlugin> plugin);
+
+  /// Starts the inquiry and ping loops. Idempotent.
+  void start();
+  /// Stops the loops; the neighbour table is retained.
+  void stop();
+  bool running() const noexcept { return running_; }
+
+  DeviceId self() const noexcept { return self_; }
+  const std::string& device_name() const noexcept { return device_name_; }
+  const DaemonConfig& config() const noexcept { return config_; }
+
+  // --- service registry (thesis Table 3: "Service Sharing") -------------
+  Result<void> register_service(ServiceInfo service);
+  Result<void> unregister_service(const std::string& name);
+  /// Replaces a registered service's attributes. Neighbours observe the
+  /// change at their next service-discovery refresh.
+  Result<void> update_service_attributes(
+      const std::string& name, std::map<std::string, std::string> attributes);
+  std::vector<ServiceInfo> local_services() const;
+
+  // --- neighbourhood ------------------------------------------------------
+  std::vector<DeviceInfo> devices() const;
+  Result<DeviceInfo> device(DeviceId id) const;
+  /// All (device, service) pairs advertising `service_name`.
+  std::vector<std::pair<DeviceInfo, ServiceInfo>> find_service(
+      std::string_view service_name) const;
+
+  // --- monitoring ---------------------------------------------------------
+  /// Monitors the whole neighbourhood.
+  MonitorId monitor_all(MonitorCallbacks callbacks);
+  /// Monitors one device only.
+  MonitorId monitor_device(DeviceId id, MonitorCallbacks callbacks);
+  void unmonitor(MonitorId id);
+
+  /// Starts one immediate discovery round on every plugin (benches use this
+  /// to measure cold-start discovery without waiting for the timer).
+  void trigger_discovery();
+
+  const Stats& stats() const noexcept { return stats_; }
+  const std::vector<std::unique_ptr<NetworkPlugin>>& plugins() const {
+    return plugins_;
+  }
+  /// The plugin driving `tech`, or nullptr.
+  NetworkPlugin* plugin_for(net::Technology tech);
+
+  sim::Simulator& simulator() noexcept { return simulator_; }
+  net::Medium& medium() noexcept { return medium_; }
+
+ private:
+  struct Neighbour {
+    DeviceInfo info;
+    int missed_pings = 0;
+    bool services_known = false;
+    bool announced = false;  // on_appear already fired
+  };
+
+  struct PendingQuery {
+    DeviceId target = net::kInvalidNode;
+    net::Technology tech = net::Technology::bluetooth;
+    int attempts_left = 0;
+    sim::EventId timeout_event = 0;
+  };
+
+  void bind_control_port(NetworkPlugin& plugin);
+  void schedule_inquiry(NetworkPlugin& plugin, sim::Duration delay);
+  void run_inquiry(NetworkPlugin& plugin);
+  void handle_inquiry_result(NetworkPlugin& plugin, std::vector<DeviceId> found);
+  void send_service_query(DeviceId target, net::Technology tech, int attempts_left);
+  void on_daemon_datagram(NetworkPlugin& plugin, DeviceId src, BytesView payload);
+  /// Updates the neighbour table from a SERVICE_REPLY (answered query or
+  /// unsolicited broadcast announcement).
+  void apply_service_reply(NetworkPlugin& plugin, DeviceId src,
+                           const proto::DaemonMessage& message);
+  /// Pushes the local service list to broadcast-capable radios (WLAN):
+  /// neighbours learn of registry changes immediately, not at their next
+  /// scan.
+  void announce_services();
+  void schedule_ping_round();
+  void run_ping_round();
+  void declare_gone(DeviceId id);
+  void announce_if_ready(Neighbour& neighbour);
+  void expire_stale_entries();
+
+  net::Medium& medium_;
+  sim::Simulator& simulator_;
+  DeviceId self_;
+  std::string device_name_;
+  DaemonConfig config_;
+  bool running_ = false;
+
+  std::vector<std::unique_ptr<NetworkPlugin>> plugins_;
+  std::map<std::string, ServiceInfo> local_services_;
+  std::map<DeviceId, Neighbour> neighbours_;
+  std::map<std::uint32_t, PendingQuery> pending_queries_;
+  std::map<DeviceId, std::uint32_t> pending_pings_;  // device -> token
+  std::uint32_t next_token_ = 1;
+
+  struct Monitor {
+    DeviceId device = net::kInvalidNode;  // kInvalidNode = all devices
+    MonitorCallbacks callbacks;
+  };
+  std::map<MonitorId, Monitor> monitors_;
+  MonitorId next_monitor_ = 1;
+
+  /// Incremented on every start/stop; periodic callbacks from an older
+  /// generation recognise themselves as stale and do not reschedule.
+  std::uint64_t generation_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ph::peerhood

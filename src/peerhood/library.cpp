@@ -1,0 +1,232 @@
+#include "peerhood/library.hpp"
+
+#include <algorithm>
+
+#include "peerhood/session_state.hpp"
+#include "util/log.hpp"
+
+namespace ph::peerhood {
+
+PeerHood::PeerHood(Daemon& daemon) : daemon_(daemon) {}
+
+PeerHood::~PeerHood() {
+  for (auto& [name, endpoint] : endpoints_) {
+    for (auto& plugin : daemon_.plugins()) {
+      plugin->adapter().stop_listen(endpoint->info.port);
+    }
+  }
+}
+
+Result<void> PeerHood::register_service(
+    const std::string& name, std::map<std::string, std::string> attributes,
+    AcceptHandler on_accept) {
+  if (endpoints_.contains(name)) {
+    return Error{Errc::service_already_registered, name};
+  }
+  ServiceInfo info;
+  info.name = name;
+  info.port = next_port_++;
+  info.attributes = std::move(attributes);
+  if (auto r = daemon_.register_service(info); !r) return r;
+
+  auto endpoint = std::make_shared<ServiceEndpoint>();
+  endpoint->info = info;
+  endpoint->on_accept = std::move(on_accept);
+  std::weak_ptr<ServiceEndpoint> weak = endpoint;
+  for (auto& plugin : daemon_.plugins()) {
+    plugin->adapter().listen(info.port, [this, weak](net::Link link) {
+      if (auto ep = weak.lock()) {
+        accept_link(ep, link);
+      } else {
+        link.close();
+      }
+    });
+  }
+  endpoints_.emplace(name, std::move(endpoint));
+  return ok();
+}
+
+Result<void> PeerHood::unregister_service(const std::string& name) {
+  auto it = endpoints_.find(name);
+  if (it == endpoints_.end()) {
+    return Error{Errc::service_not_found, name};
+  }
+  for (auto& plugin : daemon_.plugins()) {
+    plugin->adapter().stop_listen(it->second->info.port);
+  }
+  (void)daemon_.unregister_service(name);
+  endpoints_.erase(it);
+  return ok();
+}
+
+void PeerHood::accept_link(const std::shared_ptr<ServiceEndpoint>& endpoint,
+                           net::Link link) {
+  // The first frame decides: HELLO opens a session, RESUME reattaches one.
+  // A shared holder keeps the link alive until that frame arrives.
+  auto pending = std::make_shared<net::Link>(link);
+  std::weak_ptr<ServiceEndpoint> weak_ep = endpoint;
+  link.on_receive([this, weak_ep, pending](BytesView data) {
+    auto ep = weak_ep.lock();
+    if (!ep) {
+      pending->close();
+      return;
+    }
+    auto wire = detail::decode_session_wire(data);
+    if (!wire) {
+      PH_LOG(warn, "phlib") << "dropping link with malformed handshake";
+      pending->close();
+      return;
+    }
+    switch (wire->op) {
+      case detail::SessionOp::hello: {
+        auto state = std::make_shared<detail::SessionState>();
+        state->daemon = &daemon_;
+        state->id = wire->session;
+        state->self = daemon_.self();
+        state->peer = pending->remote_node();
+        state->service_port = ep->info.port;
+        state->initiator = false;
+        state->established = true;
+        state->attach_link(*pending);
+        ep->sessions[state->id] = state;
+        state->on_ended = [weak_ep](std::uint64_t id) {
+          if (auto e = weak_ep.lock()) e->sessions.erase(id);
+        };
+        if (ep->on_accept) ep->on_accept(Connection{state});
+        break;
+      }
+      case detail::SessionOp::resume: {
+        auto found = ep->sessions.find(wire->session);
+        auto state = found == ep->sessions.end()
+                         ? nullptr
+                         : found->second.lock();
+        if (!state || state->closed) {
+          // The HELLO may have been lost in a link break before it arrived
+          // (the client connected and the radio died within the handshake
+          // window). Treat the RESUME as an implicit session open: the
+          // client retransmits everything unacknowledged anyway.
+          PH_LOG(debug, "phlib")
+              << "RESUME for unknown session " << wire->session
+              << "; opening it implicitly";
+          auto fresh = std::make_shared<detail::SessionState>();
+          fresh->daemon = &daemon_;
+          fresh->id = wire->session;
+          fresh->self = daemon_.self();
+          fresh->peer = pending->remote_node();
+          fresh->service_port = ep->info.port;
+          fresh->initiator = false;
+          fresh->established = true;
+          fresh->attach_link(*pending);
+          ep->sessions[fresh->id] = fresh;
+          fresh->on_ended = [weak_ep](std::uint64_t id) {
+            if (auto e = weak_ep.lock()) e->sessions.erase(id);
+          };
+          fresh->handle_wire(*wire);  // answers with RESUME_ACK
+          if (ep->on_accept) ep->on_accept(Connection{fresh});
+          break;
+        }
+        state->simulator().cancel(state->server_wait_timer);
+        state->attach_link(*pending);
+        state->established = true;
+        ++state->handovers;
+        // Let the normal wire path answer with RESUME_ACK + retransmit.
+        state->handle_wire(*wire);
+        break;
+      }
+      default:
+        PH_LOG(warn, "phlib") << "unexpected pre-handshake frame";
+        pending->close();
+        break;
+    }
+  });
+}
+
+void PeerHood::connect(DeviceId device, const std::string& service,
+                       ConnectOptions options, ConnectCallback done) {
+  auto info = daemon_.device(device);
+  if (!info) {
+    done(info.error());
+    return;
+  }
+  const ServiceInfo* remote = info->find_service(service);
+  if (remote == nullptr) {
+    done(Error{Errc::service_not_found,
+               service + " not advertised by device " + std::to_string(device)});
+    return;
+  }
+
+  auto state = std::make_shared<detail::SessionState>();
+  state->daemon = &daemon_;
+  state->id = daemon_.medium().rng().uniform_int(1, UINT64_MAX);
+  state->self = daemon_.self();
+  state->peer = device;
+  state->service_port = remote->port;
+  state->initiator = true;
+  state->options = options;
+
+  // Radios ranked best-signal-first, free technologies preferred on ties.
+  struct Candidate {
+    NetworkPlugin* plugin;
+    double signal;
+  };
+  std::vector<Candidate> ranked;
+  for (auto& plugin : daemon_.plugins()) {
+    if (options.force_technology &&
+        plugin->technology() != *options.force_technology) {
+      continue;
+    }
+    if (!info->has_technology(plugin->technology())) continue;
+    const double s = plugin->adapter().signal_to(device);
+    if (s > 0.0) ranked.push_back({plugin.get(), s});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.signal != b.signal) return a.signal > b.signal;
+              return a.plugin->preference() < b.plugin->preference();
+            });
+  if (ranked.empty()) {
+    done(Error{Errc::device_unreachable,
+               "no radio reaches device " + std::to_string(device)});
+    return;
+  }
+  std::vector<NetworkPlugin*> candidates;
+  candidates.reserve(ranked.size());
+  for (const Candidate& c : ranked) candidates.push_back(c.plugin);
+  try_connect(std::move(state), std::move(candidates), 0,
+              Error{Errc::connect_failed, "no radio attempted"},
+              std::move(done));
+}
+
+void PeerHood::try_connect(std::shared_ptr<detail::SessionState> state,
+                           std::vector<NetworkPlugin*> candidates,
+                           std::size_t index, Error last_error,
+                           ConnectCallback done) {
+  if (index >= candidates.size()) {
+    // Surface the final radio's failure (e.g. radio_busy is transient and
+    // callers may want to retry shortly).
+    done(std::move(last_error));
+    return;
+  }
+  NetworkPlugin* plugin = candidates[index];
+  plugin->adapter().connect(
+      state->peer, state->service_port,
+      [this, state, candidates = std::move(candidates), index,
+       done = std::move(done)](Result<net::Link> link) mutable {
+        if (!link) {
+          Error error = std::move(link).error();
+          try_connect(std::move(state), std::move(candidates), index + 1,
+                      std::move(error), std::move(done));
+          return;
+        }
+        state->attach_link(*link);
+        state->established = true;
+        detail::SessionWire hello;
+        hello.op = detail::SessionOp::hello;
+        hello.session = state->id;
+        state->send_wire(hello);
+        state->arm_monitor();
+        done(Connection{state});
+      });
+}
+
+}  // namespace ph::peerhood

@@ -1,0 +1,32 @@
+#include "peerhood/plugin.hpp"
+
+#include <cassert>
+
+namespace ph::peerhood {
+
+std::unique_ptr<NetworkPlugin> make_bt_plugin(net::Adapter& adapter) {
+  assert(adapter.technology() == net::Technology::bluetooth);
+  return std::make_unique<AdapterPlugin>("BTPlugin", adapter, 0);
+}
+
+std::unique_ptr<NetworkPlugin> make_wlan_plugin(net::Adapter& adapter) {
+  assert(adapter.technology() == net::Technology::wlan);
+  return std::make_unique<AdapterPlugin>("WLANPlugin", adapter, 1);
+}
+
+std::unique_ptr<NetworkPlugin> make_gprs_plugin(net::Adapter& adapter) {
+  assert(adapter.technology() == net::Technology::gprs);
+  return std::make_unique<AdapterPlugin>("GPRSPlugin", adapter, 2);
+}
+
+std::unique_ptr<NetworkPlugin> make_plugin(net::Adapter& adapter) {
+  switch (adapter.technology()) {
+    case net::Technology::bluetooth: return make_bt_plugin(adapter);
+    case net::Technology::wlan: return make_wlan_plugin(adapter);
+    case net::Technology::gprs: return make_gprs_plugin(adapter);
+  }
+  assert(false && "unknown technology");
+  return nullptr;
+}
+
+}  // namespace ph::peerhood

@@ -1,0 +1,72 @@
+// PeerHood network plugins (thesis §4.2.3).
+//
+// "Unique plugins for different network technologies have been implemented
+// and they are loaded dynamically by PHD and/or PeerHood Library." Each
+// plugin adapts one radio technology to the uniform interface the daemon
+// and library use: discovery, datagrams (daemon control traffic) and
+// connection establishment. The simulator's Adapter already speaks that
+// vocabulary, so the plugins are thin adapters over it — their value is the
+// uniform interface, the preference ordering and per-technology identity,
+// exactly the role the thesis assigns them.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/adapter.hpp"
+#include "net/medium.hpp"
+
+namespace ph::peerhood {
+
+class NetworkPlugin {
+ public:
+  virtual ~NetworkPlugin() = default;
+
+  /// Plugin display name: "BTPlugin", "WLANPlugin", "GPRSPlugin".
+  virtual const std::string& name() const = 0;
+
+  virtual net::Technology technology() const = 0;
+  virtual const net::TechProfile& profile() const = 0;
+
+  /// The radio this plugin drives.
+  virtual net::Adapter& adapter() = 0;
+  virtual const net::Adapter& adapter() const = 0;
+
+  /// Lower value = preferred for data when signals are comparable. The
+  /// thesis prefers free short-range links (Bluetooth/WLAN) over paid GPRS.
+  virtual int preference() const = 0;
+};
+
+/// Shared implementation: a plugin bound to one simulated adapter.
+class AdapterPlugin : public NetworkPlugin {
+ public:
+  AdapterPlugin(std::string name, net::Adapter& adapter, int preference)
+      : name_(std::move(name)), adapter_(adapter), preference_(preference) {}
+
+  const std::string& name() const override { return name_; }
+  net::Technology technology() const override { return adapter_.technology(); }
+  const net::TechProfile& profile() const override { return adapter_.profile(); }
+  net::Adapter& adapter() override { return adapter_; }
+  const net::Adapter& adapter() const override { return adapter_; }
+  int preference() const override { return preference_; }
+
+ private:
+  std::string name_;
+  net::Adapter& adapter_;
+  int preference_;
+};
+
+/// BTPlugin: L2CAP-style reliable links, no BNEP/RFCOMM/PPP overhead
+/// (thesis §4.2.3). Preferred for local data: free and reliable.
+std::unique_ptr<NetworkPlugin> make_bt_plugin(net::Adapter& adapter);
+
+/// WLANPlugin: IP with broadcast-based discovery, direct device-to-device.
+std::unique_ptr<NetworkPlugin> make_wlan_plugin(net::Adapter& adapter);
+
+/// GPRSPlugin: IP via the operator gateway proxy; last resort (metered).
+std::unique_ptr<NetworkPlugin> make_gprs_plugin(net::Adapter& adapter);
+
+/// Creates the plugin matching the adapter's technology.
+std::unique_ptr<NetworkPlugin> make_plugin(net::Adapter& adapter);
+
+}  // namespace ph::peerhood

@@ -1,0 +1,346 @@
+#include <algorithm>
+
+#include "peerhood/session_state.hpp"
+#include "proto/codec.hpp"
+#include "util/log.hpp"
+
+namespace ph::peerhood::detail {
+
+Bytes encode(const SessionWire& wire) {
+  proto::Writer w;
+  w.u8(static_cast<std::uint8_t>(wire.op));
+  w.u64(wire.session);
+  w.u32(wire.seq);
+  w.bytes(wire.payload);
+  return std::move(w).take();
+}
+
+Result<SessionWire> decode_session_wire(BytesView data) {
+  proto::Reader r(data);
+  SessionWire wire;
+  auto op = r.u8();
+  if (!op) return op.error();
+  if (*op < 1 || *op > static_cast<std::uint8_t>(SessionOp::close)) {
+    return Error{Errc::protocol_error, "unknown session op"};
+  }
+  wire.op = static_cast<SessionOp>(*op);
+  auto session = r.u64();
+  if (!session) return session.error();
+  wire.session = *session;
+  auto seq = r.u32();
+  if (!seq) return seq.error();
+  wire.seq = *seq;
+  auto payload = r.bytes();
+  if (!payload) return payload.error();
+  wire.payload = std::move(*payload);
+  return wire;
+}
+
+void SessionState::attach_link(net::Link new_link) {
+  link = new_link;
+  auto weak = weak_from_this();
+  // Handlers capture the link they belong to: after a handover, events from
+  // the superseded link must not disturb the session.
+  link.on_receive([weak, new_link](BytesView data) {
+    auto self = weak.lock();
+    if (!self || self->closed || !(self->link == new_link)) return;
+    auto wire = decode_session_wire(data);
+    if (!wire) {
+      PH_LOG(warn, "conn") << "malformed session frame: "
+                           << wire.error().to_string();
+      return;
+    }
+    self->handle_wire(*wire);
+  });
+  link.on_break([weak, new_link] {
+    auto self = weak.lock();
+    if (!self || self->closed || !(self->link == new_link)) return;
+    self->on_link_break();
+  });
+}
+
+void SessionState::send_wire(const SessionWire& wire) {
+  if (link.open()) link.send(encode(wire));
+}
+
+void SessionState::send_payload(Bytes payload) {
+  if (closed) return;
+  const std::uint32_t seq = next_seq++;
+  unacked.emplace_back(seq, payload);
+  SessionWire wire;
+  wire.op = SessionOp::data;
+  wire.session = id;
+  wire.seq = seq;
+  wire.payload = std::move(payload);
+  send_wire(wire);  // dropped when link is down; resume retransmits
+}
+
+void SessionState::handle_wire(const SessionWire& wire) {
+  switch (wire.op) {
+    case SessionOp::hello:
+      // Handled at accept time by the library; a duplicate here is noise.
+      break;
+    case SessionOp::resume:
+      // Server side: the library reattached the link already; acknowledge
+      // with our delivery point and retransmit what the client lacks.
+      if (!initiator) {
+        SessionWire ack;
+        ack.op = SessionOp::resume_ack;
+        ack.session = id;
+        ack.seq = last_delivered;
+        send_wire(ack);
+        retransmit_from(wire.seq);
+      }
+      break;
+    case SessionOp::resume_ack:
+      if (initiator && resuming) {
+        resuming = false;
+        established = true;
+        ++handovers;
+        simulator().cancel(resume_timer);
+        retransmit_from(wire.seq);
+        arm_monitor();
+        PH_LOG(info, "conn") << "session " << id << " resumed over "
+                             << net::to_string(link.technology());
+      }
+      break;
+    case SessionOp::data: {
+      // Acknowledge cumulatively, deliver in order exactly once.
+      if (wire.seq > last_delivered) {
+        reorder.emplace(wire.seq, wire.payload);
+        while (!reorder.empty() &&
+               reorder.begin()->first == last_delivered + 1) {
+          Bytes payload = std::move(reorder.begin()->second);
+          reorder.erase(reorder.begin());
+          ++last_delivered;
+          if (on_message) {
+            // Invoke through a copy: the handler may close the session,
+            // which clears on_message — the copy keeps the executing
+            // lambda (and anything it captured) alive.
+            auto handler = on_message;
+            handler(payload);
+          }
+          if (closed) return;  // handler closed the session
+        }
+      }
+      SessionWire ack;
+      ack.op = SessionOp::ack;
+      ack.session = id;
+      ack.seq = last_delivered;
+      send_wire(ack);
+      break;
+    }
+    case SessionOp::ack:
+      while (!unacked.empty() && unacked.front().first <= wire.seq) {
+        unacked.pop_front();
+      }
+      break;
+    case SessionOp::close:
+      finish(Error{Errc::ok});
+      break;
+  }
+}
+
+void SessionState::retransmit_from(std::uint32_t peer_last_delivered) {
+  while (!unacked.empty() && unacked.front().first <= peer_last_delivered) {
+    unacked.pop_front();
+  }
+  for (const auto& [seq, payload] : unacked) {
+    SessionWire wire;
+    wire.op = SessionOp::data;
+    wire.session = id;
+    wire.seq = seq;
+    wire.payload = payload;
+    send_wire(wire);
+  }
+}
+
+void SessionState::graceful_close() {
+  if (closed) return;
+  SessionWire wire;
+  wire.op = SessionOp::close;
+  wire.session = id;
+  send_wire(wire);
+  closed = true;
+  simulator().cancel(monitor_timer);
+  simulator().cancel(resume_timer);
+  simulator().cancel(server_wait_timer);
+  if (link.valid()) link.close();
+  if (on_ended) on_ended(id);
+  // Handlers may capture Connection handles that own this state; release
+  // them so ended sessions cannot form reference cycles.
+  on_message = nullptr;
+  on_close = nullptr;
+  on_ended = nullptr;
+}
+
+void SessionState::fail(Error error) { finish(error); }
+
+void SessionState::finish(const Error& reason) {
+  if (closed) return;
+  closed = true;
+  simulator().cancel(monitor_timer);
+  simulator().cancel(resume_timer);
+  simulator().cancel(server_wait_timer);
+  if (link.valid() && link.open()) link.close();
+  if (on_ended) on_ended(id);
+  if (on_close) {
+    auto handler = on_close;  // survive handler resetting the Connection
+    handler(reason);
+  }
+  on_message = nullptr;
+  on_close = nullptr;
+  on_ended = nullptr;
+}
+
+void SessionState::on_link_break() {
+  if (closed) return;
+  established = false;
+  simulator().cancel(monitor_timer);
+  if (!options.seamless) {
+    finish(Error{Errc::connection_lost, "link broke, seamless mode off"});
+    return;
+  }
+  if (initiator) {
+    if (resuming) {
+      // A resume attempt's own link died (peer refused, moved, or the
+      // radio flapped): sweep again shortly; the deadline timer is still
+      // armed from the original break.
+      auto weak = weak_from_this();
+      simulator().schedule(options.resume_retry_interval, [weak] {
+        auto self = weak.lock();
+        if (self) self->resume_sweep();
+      });
+      return;
+    }
+    start_resume();
+  } else {
+    // Server side: wait for the initiator to resume; give up after the
+    // same deadline the client uses.
+    arm_server_wait();
+  }
+}
+
+void SessionState::arm_server_wait() {
+  auto weak = weak_from_this();
+  simulator().cancel(server_wait_timer);
+  server_wait_timer =
+      simulator().schedule(options.resume_deadline, [weak] {
+        auto self = weak.lock();
+        if (!self || self->closed || self->established) return;
+        self->finish(Error{Errc::connection_lost, "peer never resumed"});
+      });
+}
+
+void SessionState::start_resume() {
+  if (resuming) return;
+  resuming = true;
+  PH_LOG(info, "conn") << "session " << id
+                       << " lost its link; hunting for an alternative";
+  auto weak = weak_from_this();
+  simulator().cancel(resume_timer);
+  resume_timer = simulator().schedule(options.resume_deadline, [weak] {
+    auto self = weak.lock();
+    if (!self || self->closed || !self->resuming) return;
+    self->resuming = false;
+    self->finish(Error{Errc::connection_lost, "resume deadline exceeded"});
+  });
+  resume_sweep();
+}
+
+void SessionState::resume_sweep() {
+  if (closed || !resuming) return;
+  // Rank this device's radios by signal towards the peer, preferring free
+  // technologies on ties — "the best possible alternative" (Table 3).
+  struct Candidate {
+    NetworkPlugin* plugin;
+    double signal;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& plugin : daemon->plugins()) {
+    if (options.force_technology &&
+        plugin->technology() != *options.force_technology) {
+      continue;
+    }
+    const double s = plugin->adapter().signal_to(peer);
+    if (s > 0.0) candidates.push_back({plugin.get(), s});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.signal != b.signal) return a.signal > b.signal;
+              return a.plugin->preference() < b.plugin->preference();
+            });
+  if (candidates.empty()) {
+    // Nothing reachable right now; try again shortly (peer may walk back
+    // into range before the deadline).
+    auto weak = weak_from_this();
+    simulator().schedule(options.resume_retry_interval, [weak] {
+      auto self = weak.lock();
+      if (self) self->resume_sweep();
+    });
+    return;
+  }
+  auto weak = weak_from_this();
+  NetworkPlugin* plugin = candidates.front().plugin;
+  plugin->adapter().connect(
+      peer, service_port, [weak](Result<net::Link> result) {
+        auto self = weak.lock();
+        if (!self || self->closed || !self->resuming) {
+          if (result) result->close();
+          return;
+        }
+        if (!result) {
+          self->simulator().schedule(self->options.resume_retry_interval,
+                                     [weak] {
+                                       auto s = weak.lock();
+                                       if (s) s->resume_sweep();
+                                     });
+          return;
+        }
+        self->attach_link(*result);
+        SessionWire resume;
+        resume.op = SessionOp::resume;
+        resume.session = self->id;
+        resume.seq = self->last_delivered;
+        self->send_wire(resume);
+        // established flips when resume_ack arrives.
+      });
+}
+
+void SessionState::arm_monitor() {
+  if (!initiator || options.monitor_interval == 0 || !options.seamless) return;
+  auto weak = weak_from_this();
+  simulator().cancel(monitor_timer);
+  monitor_timer = simulator().schedule(options.monitor_interval, [weak] {
+    auto self = weak.lock();
+    if (!self || self->closed) return;
+    self->check_signal();
+  });
+}
+
+void SessionState::check_signal() {
+  if (closed || resuming || !established) return;
+  const double current = link.signal();
+  if (current < options.weak_signal_threshold) {
+    // Is any other radio meaningfully better right now?
+    for (const auto& plugin : daemon->plugins()) {
+      if (plugin->technology() == link.technology()) continue;
+      if (options.force_technology) break;  // pinned: no proactive handover
+      if (plugin->adapter().signal_to(peer) > current + 0.1) {
+        PH_LOG(info, "conn")
+            << "session " << id << " signal weak ("
+            << current << ") on " << net::to_string(link.technology())
+            << "; proactive handover";
+        // Drop the weak link and reuse the resume machinery.
+        net::Link old = link;
+        established = false;
+        start_resume();
+        old.close();
+        return;
+      }
+    }
+  }
+  arm_monitor();
+}
+
+}  // namespace ph::peerhood::detail

@@ -1,0 +1,91 @@
+// Internal session machinery behind peerhood::Connection.
+// Private to ph_peerhood; applications include peerhood/connection.hpp.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "net/link.hpp"
+#include "peerhood/connection.hpp"
+#include "peerhood/daemon.hpp"
+#include "peerhood/types.hpp"
+#include "util/bytes.hpp"
+
+namespace ph::peerhood::detail {
+
+/// Session wire-message types (one byte on the wire).
+enum class SessionOp : std::uint8_t {
+  hello = 1,       ///< opens a new session (client -> server)
+  resume = 2,      ///< reattaches after a break; seq = client's last delivered
+  resume_ack = 3,  ///< server accepts resume; seq = server's last delivered
+  data = 4,
+  ack = 5,         ///< cumulative acknowledgement
+  close = 6,       ///< graceful end
+};
+
+struct SessionWire {
+  SessionOp op = SessionOp::data;
+  std::uint64_t session = 0;
+  std::uint32_t seq = 0;
+  Bytes payload;
+};
+
+Bytes encode(const SessionWire& wire);
+Result<SessionWire> decode_session_wire(BytesView data);
+
+struct SessionState : std::enable_shared_from_this<SessionState> {
+  Daemon* daemon = nullptr;  // local daemon: plugins, simulator access
+  std::uint64_t id = 0;
+  DeviceId self = net::kInvalidNode;
+  DeviceId peer = net::kInvalidNode;
+  net::Port service_port = 0;
+  bool initiator = false;  // only the initiator drives resume/handover
+  ConnectOptions options;
+
+  net::Link link;  // the link currently carrying the session (may be dead)
+  bool established = false;
+  bool closed = false;
+  bool resuming = false;
+  int handovers = 0;
+
+  // Reliability.
+  std::uint32_t next_seq = 1;       // next outgoing sequence number
+  std::uint32_t last_delivered = 0; // highest in-order seq handed to the app
+  std::deque<std::pair<std::uint32_t, Bytes>> unacked;
+  std::map<std::uint32_t, Bytes> reorder;  // out-of-order arrivals
+
+  std::function<void(BytesView)> on_message;
+  std::function<void(const Error&)> on_close;
+  /// Server-side hook: endpoint bookkeeping removes the session on end.
+  std::function<void(std::uint64_t)> on_ended;
+
+  sim::EventId monitor_timer = 0;
+  sim::EventId resume_timer = 0;
+  sim::EventId server_wait_timer = 0;
+
+  sim::Simulator& simulator() { return daemon->simulator(); }
+
+  // --- lifecycle ---------------------------------------------------------
+  /// Installs receive/break handlers on `new_link` and makes it current.
+  void attach_link(net::Link new_link);
+  void handle_wire(const SessionWire& wire);
+  void send_payload(Bytes payload);
+  void send_wire(const SessionWire& wire);
+  void graceful_close();
+  void fail(Error error);
+  void finish(const Error& reason);
+
+  // --- seamless connectivity ----------------------------------------------
+  void on_link_break();
+  void start_resume();
+  void resume_sweep();
+  void arm_monitor();
+  void check_signal();
+  void retransmit_from(std::uint32_t peer_last_delivered);
+  void arm_server_wait();
+};
+
+}  // namespace ph::peerhood::detail

@@ -1,0 +1,25 @@
+#include "peerhood/stack.hpp"
+
+namespace ph::peerhood {
+
+Stack::Stack(net::Medium& medium, std::unique_ptr<sim::MobilityModel> mobility,
+             StackConfig config)
+    : medium_(medium) {
+  id_ = medium_.add_node(config.device_name, std::move(mobility));
+  daemon_ = std::make_unique<Daemon>(medium_, id_, config.device_name,
+                                     config.daemon);
+  for (const net::TechProfile& profile : config.radios) {
+    net::Adapter& adapter = medium_.add_adapter(id_, profile);
+    daemon_->add_plugin(make_plugin(adapter));
+  }
+  library_ = std::make_unique<PeerHood>(*daemon_);
+  if (config.autostart) daemon_->start();
+}
+
+void Stack::set_radio_powered(net::Technology tech, bool on) {
+  if (net::Adapter* adapter = medium_.adapter(id_, tech)) {
+    adapter->set_powered(on);
+  }
+}
+
+}  // namespace ph::peerhood

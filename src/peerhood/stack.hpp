@@ -1,0 +1,50 @@
+// Stack — one simulated PeerHood device, fully assembled.
+//
+// Creates the node in the radio world, one adapter + plugin per requested
+// technology, the PeerHood daemon and the library facade. Scenarios,
+// examples and benches build their populations out of Stacks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/medium.hpp"
+#include "peerhood/daemon.hpp"
+#include "peerhood/library.hpp"
+
+namespace ph::peerhood {
+
+struct StackConfig {
+  std::string device_name = "device";
+  /// Radios to install; defaults to Bluetooth only, like the thesis' tests.
+  std::vector<net::TechProfile> radios = {net::bluetooth_2_0()};
+  DaemonConfig daemon;
+  /// Start the daemon immediately (discovery begins at construction time).
+  bool autostart = true;
+};
+
+class Stack {
+ public:
+  Stack(net::Medium& medium, std::unique_ptr<sim::MobilityModel> mobility,
+        StackConfig config);
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  DeviceId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return daemon_->device_name(); }
+  Daemon& daemon() noexcept { return *daemon_; }
+  PeerHood& library() noexcept { return *library_; }
+  net::Medium& medium() noexcept { return medium_; }
+
+  /// Powers one radio on/off (failure injection, battery saving).
+  void set_radio_powered(net::Technology tech, bool on);
+
+ private:
+  net::Medium& medium_;
+  DeviceId id_;
+  std::unique_ptr<Daemon> daemon_;
+  std::unique_ptr<PeerHood> library_;
+};
+
+}  // namespace ph::peerhood

@@ -1,0 +1,57 @@
+// Core PeerHood types: devices and services.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/tech.hpp"
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace ph::peerhood {
+
+/// A PeerHood device identity. In the real middleware devices are known by
+/// their technology addresses (BD_ADDR, IP); the simulator gives every
+/// physical device one id, and per-technology reachability lives below.
+using DeviceId = net::NodeId;
+
+/// One service registered in a PHD (thesis §4.2.1): name, the port its
+/// server listens on, and free-form attributes shown in service listings.
+struct ServiceInfo {
+  std::string name;
+  net::Port port = 0;
+  std::map<std::string, std::string> attributes;
+
+  friend bool operator==(const ServiceInfo&, const ServiceInfo&) = default;
+};
+
+/// A neighbourhood entry maintained by the PHD: everything the daemon has
+/// learned about one remote device (thesis §4.2.1: "maintains a list of
+/// neighbor devices as well as list of local and remote services").
+struct DeviceInfo {
+  DeviceId id = net::kInvalidNode;
+  std::string name;
+  /// Technologies over which this device has been discovered.
+  std::vector<net::Technology> technologies;
+  /// Services advertised by the remote PHD.
+  std::vector<ServiceInfo> services;
+  /// Virtual time the device was last heard from (inquiry hit or pong).
+  sim::Time last_seen = 0;
+
+  bool has_technology(net::Technology tech) const {
+    for (net::Technology t : technologies) {
+      if (t == tech) return true;
+    }
+    return false;
+  }
+
+  const ServiceInfo* find_service(std::string_view service_name) const {
+    for (const ServiceInfo& s : services) {
+      if (s.name == service_name) return &s;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace ph::peerhood

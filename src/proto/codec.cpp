@@ -1,0 +1,114 @@
+#include "proto/codec.hpp"
+
+namespace ph::proto {
+
+void Writer::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Writer::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void Writer::bytes(BytesView v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void Writer::str_list(const std::vector<std::string>& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  for (const auto& s : v) str(s);
+}
+
+Result<void> Reader::need(std::size_t n) {
+  if (remaining() < n) {
+    return Error{Errc::protocol_error, "truncated message"};
+  }
+  return ok();
+}
+
+Result<std::uint8_t> Reader::u8() {
+  if (auto r = need(1); !r) return r.error();
+  return data_[pos_++];
+}
+
+Result<std::uint16_t> Reader::u16() {
+  if (auto r = need(2); !r) return r.error();
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+Result<std::uint32_t> Reader::u32() {
+  if (auto r = need(4); !r) return r.error();
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> Reader::u64() {
+  if (auto r = need(8); !r) return r.error();
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<std::string> Reader::str() {
+  auto len = u32();
+  if (!len) return len.error();
+  if (auto r = need(*len); !r) return r.error();
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), *len);
+  pos_ += *len;
+  return out;
+}
+
+Result<Bytes> Reader::bytes() {
+  auto len = u32();
+  if (!len) return len.error();
+  if (auto r = need(*len); !r) return r.error();
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *len));
+  pos_ += *len;
+  return out;
+}
+
+Result<std::vector<std::string>> Reader::str_list() {
+  auto count = u32();
+  if (!count) return count.error();
+  // Each entry needs at least its 4-byte length prefix; reject counts that
+  // could not possibly fit (defends against hostile length fields).
+  if (*count > remaining() / 4) {
+    return Error{Errc::protocol_error, "implausible list length"};
+  }
+  std::vector<std::string> out;
+  out.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto s = str();
+    if (!s) return s.error();
+    out.push_back(std::move(*s));
+  }
+  return out;
+}
+
+}  // namespace ph::proto

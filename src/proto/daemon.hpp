@@ -1,0 +1,52 @@
+// The PeerHood daemon-to-daemon control protocol.
+//
+// After device discovery finds a neighbour, the local PHD queries that
+// neighbour's PHD for its advertised services (thesis §4.3 "Service
+// Discovery") and pings known neighbours between inquiry rounds ("Active
+// monitoring of a device"). These exchanges travel as connectionless
+// datagrams on the daemon's well-known port; lost datagrams are retried by
+// the daemon with a timeout.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace ph::proto {
+
+enum class DaemonOp : std::uint8_t {
+  service_query = 1,  ///< "which PeerHood services do you run?"
+  service_reply = 2,  ///< advertisement: device name + service list
+  ping = 3,           ///< liveness probe between inquiry rounds
+  pong = 4,
+};
+
+std::string_view to_string(DaemonOp op) noexcept;
+
+/// One advertised service: name (e.g. "PeerHoodCommunity"), the port its
+/// server listens on, and free-form attributes.
+struct ServiceInfoData {
+  std::string name;
+  std::uint16_t port = 0;
+  std::map<std::string, std::string> attributes;
+
+  friend bool operator==(const ServiceInfoData&, const ServiceInfoData&) = default;
+};
+
+struct DaemonMessage {
+  DaemonOp op = DaemonOp::ping;
+  std::uint32_t token = 0;  ///< matches replies to requests
+  std::string device_name;
+  std::vector<ServiceInfoData> services;
+
+  friend bool operator==(const DaemonMessage&, const DaemonMessage&) = default;
+};
+
+Bytes encode(const DaemonMessage& message);
+Result<DaemonMessage> decode_daemon_message(BytesView data);
+
+}  // namespace ph::proto

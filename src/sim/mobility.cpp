@@ -1,0 +1,61 @@
+#include "sim/mobility.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ph::sim {
+
+WaypointMobility::WaypointMobility(std::vector<Waypoint> waypoints)
+    : waypoints_(std::move(waypoints)) {
+  assert(!waypoints_.empty());
+  assert(std::is_sorted(waypoints_.begin(), waypoints_.end(),
+                        [](const Waypoint& a, const Waypoint& b) { return a.at < b.at; }));
+}
+
+Vec2 WaypointMobility::position_at(Time t) {
+  if (t <= waypoints_.front().at) return waypoints_.front().pos;
+  if (t >= waypoints_.back().at) return waypoints_.back().pos;
+  // Find the segment [prev, next] containing t.
+  auto next = std::upper_bound(
+      waypoints_.begin(), waypoints_.end(), t,
+      [](Time value, const Waypoint& w) { return value < w.at; });
+  auto prev = next - 1;
+  const double span = static_cast<double>(next->at - prev->at);
+  const double frac = span == 0.0 ? 0.0 : static_cast<double>(t - prev->at) / span;
+  return prev->pos + (next->pos - prev->pos) * frac;
+}
+
+RandomWaypoint::RandomWaypoint(Config config, Rng rng)
+    : config_(config), rng_(rng) {
+  current_ = {rng_.uniform(config_.area_min.x, config_.area_max.x),
+              rng_.uniform(config_.area_min.y, config_.area_max.y)};
+}
+
+void RandomWaypoint::extend_to(Time t) {
+  while (covered_until_ <= t) {
+    const Vec2 from = legs_.empty() ? current_ : legs_.back().to;
+    const Time start = covered_until_ + config_.pause;
+    const Vec2 to{rng_.uniform(config_.area_min.x, config_.area_max.x),
+                  rng_.uniform(config_.area_min.y, config_.area_max.y)};
+    const double speed = rng_.uniform(config_.speed_min_mps, config_.speed_max_mps);
+    const double dist = distance(from, to);
+    const Duration travel = seconds(speed > 0 ? dist / speed : 0.0);
+    legs_.push_back(Leg{start, start + travel, from, to});
+    covered_until_ = start + travel;
+  }
+}
+
+Vec2 RandomWaypoint::position_at(Time t) {
+  extend_to(t);
+  // Legs are time-ordered; find the one covering t.
+  auto it = std::upper_bound(legs_.begin(), legs_.end(), t,
+                             [](Time value, const Leg& leg) { return value < leg.depart; });
+  if (it == legs_.begin()) return current_;
+  const Leg& leg = *(it - 1);
+  if (t >= leg.arrive) return leg.to;
+  const double span = static_cast<double>(leg.arrive - leg.depart);
+  const double frac = span == 0.0 ? 1.0 : static_cast<double>(t - leg.depart) / span;
+  return leg.from + (leg.to - leg.from) * frac;
+}
+
+}  // namespace ph::sim

@@ -1,0 +1,106 @@
+// Mobility models: each node's position as a pure function of virtual time.
+//
+// Position-as-function keeps the kernel simple — the radio Medium samples
+// positions lazily when it needs reachability, so no per-tick movement
+// events exist. Models:
+//   StaticMobility      — fixed position (the thesis' desktop PCs)
+//   LinearMobility      — constant velocity from a start point (walk-through,
+//                         drive-by; how devices enter/leave range)
+//   WaypointMobility    — piecewise-linear path through timed waypoints
+//                         (scripted scenarios: enter café, sit, leave)
+//   RandomWaypoint      — classic random waypoint inside a rectangle
+//                         (campus crowd churn), deterministic via seed
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "sim/world.hpp"
+
+namespace ph::sim {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  /// Position at virtual time t. Must be callable for any t (monotonic calls
+  /// are typical but not required for the deterministic models).
+  virtual Vec2 position_at(Time t) = 0;
+};
+
+class StaticMobility final : public MobilityModel {
+ public:
+  explicit StaticMobility(Vec2 pos) : pos_(pos) {}
+  Vec2 position_at(Time) override { return pos_; }
+
+ private:
+  Vec2 pos_;
+};
+
+class LinearMobility final : public MobilityModel {
+ public:
+  /// Starts at `origin` at t=start, moving with `velocity` metres/second.
+  LinearMobility(Vec2 origin, Vec2 velocity_mps, Time start = 0)
+      : origin_(origin), velocity_(velocity_mps), start_(start) {}
+
+  Vec2 position_at(Time t) override {
+    const double dt = t <= start_ ? 0.0 : to_seconds(t - start_);
+    return origin_ + velocity_ * dt;
+  }
+
+ private:
+  Vec2 origin_;
+  Vec2 velocity_;
+  Time start_;
+};
+
+class WaypointMobility final : public MobilityModel {
+ public:
+  struct Waypoint {
+    Time at;
+    Vec2 pos;
+  };
+
+  /// Waypoints must be sorted by time; position is held before the first
+  /// and after the last, and linearly interpolated between neighbours.
+  explicit WaypointMobility(std::vector<Waypoint> waypoints);
+
+  Vec2 position_at(Time t) override;
+
+ private:
+  std::vector<Waypoint> waypoints_;
+};
+
+class RandomWaypoint final : public MobilityModel {
+ public:
+  struct Config {
+    Vec2 area_min{0, 0};
+    Vec2 area_max{100, 100};
+    double speed_min_mps = 0.5;
+    double speed_max_mps = 2.0;   // pedestrian speeds
+    Duration pause = seconds(5);  // dwell at each waypoint
+  };
+
+  RandomWaypoint(Config config, Rng rng);
+
+  Vec2 position_at(Time t) override;
+
+ private:
+  /// Extends the precomputed leg list to cover time t.
+  void extend_to(Time t);
+
+  struct Leg {
+    Time depart;      // when movement starts (after pause)
+    Time arrive;      // when the destination is reached
+    Vec2 from, to;
+  };
+
+  Config config_;
+  Rng rng_;
+  Vec2 current_;
+  Time covered_until_ = 0;
+  std::vector<Leg> legs_;
+};
+
+}  // namespace ph::sim

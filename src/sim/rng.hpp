@@ -1,0 +1,47 @@
+// Deterministic random number generation for simulations.
+//
+// Every scenario owns one Rng seeded explicitly; re-running a scenario with
+// the same seed reproduces every discovery jitter, packet loss and waypoint.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace ph::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Normally distributed value clamped to be non-negative.
+  double normal_nonneg(double mean, double stddev) {
+    const double v = std::normal_distribution<double>(mean, stddev)(engine_);
+    return v < 0.0 ? 0.0 : v;
+  }
+
+  /// Forks an independent stream (for per-node RNGs).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ph::sim

@@ -1,0 +1,56 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace ph::sim {
+
+EventId Simulator::schedule(Duration delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(Time when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  const std::uint64_t seq = next_seq_++;
+  const Key key{when, seq};
+  queue_.emplace(key, std::move(fn));
+  index_.emplace(seq, key);
+  return seq;
+}
+
+bool Simulator::cancel(EventId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  queue_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+bool Simulator::pending(EventId id) const { return index_.contains(id); }
+
+void Simulator::run_until(Time until) {
+  while (!queue_.empty()) {
+    auto it = queue_.begin();
+    if (it->first.first > until) break;
+    now_ = it->first.first;
+    auto fn = std::move(it->second);
+    index_.erase(it->first.second);
+    queue_.erase(it);
+    ++executed_;
+    fn();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run_all() {
+  while (!queue_.empty()) {
+    auto it = queue_.begin();
+    now_ = it->first.first;
+    auto fn = std::move(it->second);
+    index_.erase(it->first.second);
+    queue_.erase(it);
+    ++executed_;
+    fn();
+  }
+}
+
+}  // namespace ph::sim

@@ -1,0 +1,73 @@
+// The discrete-event simulation kernel.
+//
+// A Simulator owns a virtual clock and a priority queue of events. Code
+// running inside an event callback may schedule further events; the kernel
+// processes them in timestamp order (FIFO among equal timestamps). Events
+// can be cancelled through the handle returned by schedule(), which is how
+// periodic daemon timers and connection watchdogs are torn down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "sim/time.hpp"
+
+namespace ph::sim {
+
+/// Identifies a scheduled event; 0 is never a valid id.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run `delay` after the current virtual time.
+  /// Returns a handle usable with cancel().
+  EventId schedule(Duration delay, std::function<void()> fn);
+
+  /// Schedules at an absolute virtual time (clamped to now).
+  EventId schedule_at(Time when, std::function<void()> fn);
+
+  /// Removes a pending event. Returns false if it already ran or was
+  /// cancelled; cancelling an invalid id is a harmless no-op.
+  bool cancel(EventId id);
+
+  /// True if the event is still pending.
+  bool pending(EventId id) const;
+
+  /// Runs events until the queue drains or virtual time would pass `until`.
+  /// The clock is left at min(until, time of last event run); events at
+  /// exactly `until` are executed.
+  void run_until(Time until);
+
+  /// Advances by a relative amount.
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Runs until the queue is completely empty. Use in tests only — an
+  /// active periodic timer makes this never return, so prefer run_until.
+  void run_all();
+
+  /// Number of events waiting in the queue.
+  std::size_t queue_size() const noexcept { return queue_.size(); }
+
+  /// Total events executed since construction (telemetry for benches).
+  std::uint64_t events_executed() const noexcept { return executed_; }
+
+ private:
+  // Key orders by (time, insertion sequence) — stable FIFO at equal times.
+  using Key = std::pair<Time, std::uint64_t>;
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::map<Key, std::function<void()>> queue_;
+  std::map<EventId, Key> index_;  // EventId == insertion sequence
+};
+
+}  // namespace ph::sim

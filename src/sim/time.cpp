@@ -1,0 +1,13 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace ph::sim {
+
+std::string format_duration(Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3fs", to_seconds(d));
+  return buf;
+}
+
+}  // namespace ph::sim

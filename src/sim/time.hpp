@@ -1,0 +1,37 @@
+// Virtual time for the discrete-event simulator.
+//
+// Time is an integral count of microseconds since simulation start. All
+// latencies in the stack (radio propagation, inquiry scans, page renders)
+// are expressed as Duration values, so a whole experiment is deterministic
+// and independent of wall-clock speed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ph::sim {
+
+/// Microseconds since simulation start.
+using Time = std::uint64_t;
+
+/// A span of virtual time in microseconds.
+using Duration = std::uint64_t;
+
+constexpr Duration microseconds(std::uint64_t us) { return us; }
+constexpr Duration milliseconds(std::uint64_t ms) { return ms * 1'000; }
+constexpr Duration seconds(double s) {
+  return static_cast<Duration>(s * 1'000'000.0);
+}
+constexpr Duration minutes(double m) { return seconds(m * 60.0); }
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / 1'000'000.0;
+}
+constexpr double to_milliseconds(Duration d) {
+  return static_cast<double>(d) / 1'000.0;
+}
+
+/// "12.345s" — for logs and bench labels.
+std::string format_duration(Duration d);
+
+}  // namespace ph::sim

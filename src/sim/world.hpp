@@ -1,0 +1,26 @@
+// 2-D geometry for the simulated radio world.
+//
+// Positions are metres. The thesis' test environment (ComLab room 6604,
+// desktops + laptops within Bluetooth range) maps onto small coordinate
+// extents; mobility scenarios (bus, campus) use larger ones.
+#pragma once
+
+#include <cmath>
+
+namespace ph::sim {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Vec2 operator*(Vec2 v, double k) { return {v.x * k, v.y * k}; }
+  friend bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+
+  double norm() const { return std::hypot(x, y); }
+};
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+}  // namespace ph::sim

@@ -1,0 +1,78 @@
+// BrowserClient — a mobile browser driving SNS tasks (thesis Table 8).
+//
+// Each task is the page sequence a user walks through on the 2008-era
+// mobile web:
+//
+//   search_group   : load home page, type the query, load search results
+//   join_group     : open the group page, click join, load confirmation
+//   view_members   : open the group's member-list page
+//   view_profile   : open one member's profile page
+//
+// Every page load is: request upstream over GPRS, server processing, page
+// body downstream at GPRS bandwidth, then rendering time proportional to
+// page bytes; user think time separates the pages. All durations are
+// virtual-time measurements — the bench simply reads them out.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/medium.hpp"
+#include "sns/protocol.hpp"
+#include "sns/server.hpp"
+#include "sns/types.hpp"
+#include "util/result.hpp"
+
+namespace ph::sns {
+
+class BrowserClient {
+ public:
+  /// Outcome of one task: how long it took and what the last page showed.
+  struct TaskResult {
+    sim::Duration elapsed = 0;
+    std::vector<std::string> names;  ///< groups found / members / profile
+  };
+  using TaskCallback = std::function<void(Result<TaskResult>)>;
+
+  /// Creates the handset's node with a GPRS radio.
+  BrowserClient(net::Medium& medium, DeviceClass device,
+                net::NodeId server_node, std::string username);
+
+  const DeviceClass& device() const noexcept { return device_; }
+  net::NodeId node() const noexcept { return node_; }
+
+  /// Home page + typing + search results.
+  void search_group(const std::string& query, TaskCallback done);
+  /// Group page + join POST + confirmation.
+  void join_group(const std::string& group, TaskCallback done);
+  /// The group's member-list page.
+  void view_member_list(const std::string& group, TaskCallback done);
+  /// One member's profile page.
+  void view_profile(const std::string& member, TaskCallback done);
+  /// Compose form + typing the text + the message POST.
+  void send_message(const std::string& receiver, const std::string& text,
+                    TaskCallback done);
+  /// Profile page + typing the comment + the comment POST.
+  void post_comment(const std::string& member, const std::string& text,
+                    TaskCallback done);
+  /// The inbox page.
+  void read_inbox(TaskCallback done);
+
+ private:
+  struct TaskState;
+
+  /// Runs `pages` in order with think time between them; the last
+  /// response's names become the task result.
+  void run_task(std::vector<PageRequest> pages, sim::Duration pre_think,
+                TaskCallback done);
+  void fetch_next(std::shared_ptr<TaskState> state);
+
+  net::Medium& medium_;
+  DeviceClass device_;
+  net::NodeId server_node_;
+  net::NodeId node_ = net::kInvalidNode;
+  std::string username_;
+};
+
+}  // namespace ph::sns

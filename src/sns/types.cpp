@@ -1,0 +1,51 @@
+#include "sns/types.hpp"
+
+namespace ph::sns {
+
+SiteProfile facebook() {
+  SiteProfile p;
+  p.name = "Facebook";
+  p.home_page_bytes = 70'000;
+  p.search_page_bytes = 80'000;
+  p.group_page_bytes = 45'000;
+  p.confirm_page_bytes = 12'000;
+  p.member_list_page_bytes = 22'000;
+  p.profile_page_bytes = 34'000;
+  p.server_processing = sim::milliseconds(350);
+  return p;
+}
+
+SiteProfile hi5() {
+  SiteProfile p;
+  p.name = "HI5";
+  p.home_page_bytes = 55'000;
+  p.search_page_bytes = 65'000;
+  p.group_page_bytes = 60'000;
+  p.confirm_page_bytes = 20'000;
+  p.member_list_page_bytes = 55'000;
+  p.profile_page_bytes = 85'000;
+  p.server_processing = sim::milliseconds(600);
+  return p;
+}
+
+DeviceClass nokia_n810() {
+  DeviceClass d;
+  d.name = "Nokia N810";
+  d.render_us_per_byte = 30.0;  // 30 us/byte: ~2.1 s for a 70 kB page
+  d.page_weight_factor = 1.0;
+  d.click_think = sim::seconds(2);
+  d.typing = sim::seconds(6);
+  return d;
+}
+
+DeviceClass nokia_n95() {
+  DeviceClass d;
+  d.name = "Nokia N95";
+  d.render_us_per_byte = 90.0;  // weaker CPU and browser engine
+  d.page_weight_factor = 1.6;    // served heavier page variants
+  d.click_think = sim::seconds(3);
+  d.typing = sim::seconds(8);
+  return d;
+}
+
+}  // namespace ph::sns

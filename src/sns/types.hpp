@@ -1,0 +1,64 @@
+// Site and device models for the SNS baseline (thesis Table 8).
+//
+// The thesis timed four tasks (search an interest group, join it, view its
+// member list, view one member's profile) on facebook.com and hi5.com from
+// a Nokia N810 and a Nokia N95 over a cellular connection, against the
+// PeerHood Community reference application over Bluetooth.
+//
+// This module reproduces the SNS side *mechanistically*: every task is a
+// sequence of page loads over the simulated GPRS path (request up, page
+// body down at GPRS bandwidth, operator-gateway latency on each hop),
+// plus server processing, browser rendering and user navigation time.
+// Page weights and device factors are calibrated so the absolute times
+// land in the neighbourhood the thesis measured; what the bench asserts is
+// the *shape* — SNS tasks cost multiple heavyweight page loads while
+// PeerHood answers from the local radio neighbourhood, and the dynamic
+// group join costs exactly zero.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace ph::sns {
+
+/// Page-weight profile of one social networking site.
+struct SiteProfile {
+  std::string name;
+  std::uint64_t home_page_bytes = 60'000;
+  std::uint64_t search_page_bytes = 70'000;   ///< search results
+  std::uint64_t group_page_bytes = 50'000;    ///< a group's landing page
+  std::uint64_t confirm_page_bytes = 12'000;  ///< post-join confirmation
+  std::uint64_t member_list_page_bytes = 25'000;
+  std::uint64_t profile_page_bytes = 40'000;  ///< member profile with photos
+  std::uint64_t compose_page_bytes = 15'000;  ///< the "write message" form
+  std::uint64_t inbox_page_bytes = 30'000;    ///< message inbox listing
+  sim::Duration server_processing = sim::milliseconds(400);
+};
+
+/// Facebook circa 2008: heavy pages, fast servers.
+SiteProfile facebook();
+/// Hi5 circa 2008: lighter landing/search pages, heavier lists/profiles.
+SiteProfile hi5();
+
+/// Browser/device model for one handset class.
+struct DeviceClass {
+  std::string name;
+  /// Rendering cost in microseconds per byte of page content.
+  double render_us_per_byte = 30.0;
+  /// Page-variant weight multiplier (a weaker browser is served — or
+  /// requests — heavier, less optimized pages).
+  double page_weight_factor = 1.0;
+  /// User navigation pause between pages (find the link, click).
+  sim::Duration click_think = sim::seconds(2);
+  /// Typing the search query.
+  sim::Duration typing = sim::seconds(6);
+};
+
+/// Nokia N810 internet tablet: capable browser, mobile-optimized pages.
+DeviceClass nokia_n810();
+/// Nokia N95 smartphone: slower rendering, heavier page variants.
+DeviceClass nokia_n95();
+
+}  // namespace ph::sns

@@ -1,0 +1,19 @@
+#include "util/bytes.hpp"
+
+namespace ph {
+
+std::string hex_dump(BytesView data, std::size_t max) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  const std::size_t n = std::min(data.size(), max);
+  out.reserve(n * 3 + 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) out.push_back(' ');
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xf]);
+  }
+  if (data.size() > max) out += " ...";
+  return out;
+}
+
+}  // namespace ph

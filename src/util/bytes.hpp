@@ -1,0 +1,29 @@
+// Bytes — the unit of data exchanged over simulated links, plus helpers
+// for converting to/from text payloads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ph {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Copies a string into a byte vector.
+inline Bytes to_bytes(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+/// Interprets bytes as UTF-8/ASCII text.
+inline std::string to_text(BytesView data) {
+  return std::string(data.begin(), data.end());
+}
+
+/// Hex dump ("0a 1f ...") for logs and test diagnostics; at most `max` bytes.
+std::string hex_dump(BytesView data, std::size_t max = 64);
+
+}  // namespace ph

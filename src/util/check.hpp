@@ -1,0 +1,28 @@
+// PH_CHECK — invariant checks that survive release builds.
+//
+// assert() disappears under NDEBUG (the default RelWithDebInfo build);
+// PH_CHECK always evaluates, printing the failed expression and location
+// before aborting. Use it for invariants whose violation means the process
+// must not continue (harness setup, protocol-impossible states).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PH_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "PH_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define PH_CHECK_MSG(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "PH_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   msg, __FILE__, __LINE__);                               \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)

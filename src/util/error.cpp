@@ -1,0 +1,37 @@
+#include "util/error.hpp"
+
+namespace ph {
+
+std::string_view to_string(Errc code) noexcept {
+  switch (code) {
+    case Errc::ok: return "ok";
+    case Errc::device_unreachable: return "device_unreachable";
+    case Errc::unknown_device: return "unknown_device";
+    case Errc::service_not_found: return "service_not_found";
+    case Errc::service_already_registered: return "service_already_registered";
+    case Errc::connect_failed: return "connect_failed";
+    case Errc::radio_busy: return "radio_busy";
+    case Errc::connection_lost: return "connection_lost";
+    case Errc::timeout: return "timeout";
+    case Errc::protocol_error: return "protocol_error";
+    case Errc::auth_failed: return "auth_failed";
+    case Errc::no_such_member: return "no_such_member";
+    case Errc::not_trusted: return "not_trusted";
+    case Errc::content_not_found: return "content_not_found";
+    case Errc::no_such_group: return "no_such_group";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::state_error: return "state_error";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out{ph::to_string(code)};
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace ph

@@ -1,0 +1,75 @@
+// Error codes shared across the PeerHood Community stack.
+//
+// Recoverable failures (peer out of range, service missing, not trusted,
+// timeouts) travel through ph::Result<T> rather than exceptions, following
+// the convention that exceptions are reserved for programming errors and
+// resource exhaustion.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ph {
+
+/// Category of a recoverable failure.
+enum class Errc {
+  ok = 0,
+  /// The addressed device is not (or no longer) inside radio range.
+  device_unreachable,
+  /// No device with the given identifier is known to the daemon.
+  unknown_device,
+  /// The remote device does not advertise the requested service.
+  service_not_found,
+  /// A service with the same name is already registered locally.
+  service_already_registered,
+  /// Connection establishment failed (no common technology, peer refused).
+  connect_failed,
+  /// The radio (ours or the peer's) is at link capacity right now — a
+  /// transient condition worth retrying shortly (Bluetooth piconets carry
+  /// at most 7 links).
+  radio_busy,
+  /// An established connection broke and could not be recovered.
+  connection_lost,
+  /// The operation did not complete within its deadline.
+  timeout,
+  /// Malformed wire data.
+  protocol_error,
+  /// Authentication failed (wrong username/password).
+  auth_failed,
+  /// The requested member does not exist on the queried device
+  /// (the thesis' NO_MEMBERS_YET response).
+  no_such_member,
+  /// The caller is not on the remote user's trusted-friends list
+  /// (the thesis' NOT_TRUSTED_YET response).
+  not_trusted,
+  /// The requested content item is not shared.
+  content_not_found,
+  /// The group does not exist.
+  no_such_group,
+  /// Generic invalid-argument failure for API misuse detectable at runtime.
+  invalid_argument,
+  /// Local persistent state rejected the operation (e.g. duplicate profile).
+  state_error,
+};
+
+/// Human-readable name of an error code; stable, for logs and tests.
+std::string_view to_string(Errc code) noexcept;
+
+/// A failure: code plus optional free-form context.
+struct Error {
+  Errc code = Errc::ok;
+  std::string message;
+
+  Error() = default;
+  explicit Error(Errc c) : code(c) {}
+  Error(Errc c, std::string msg) : code(c), message(std::move(msg)) {}
+
+  /// "device_unreachable: bt addr 00:17 out of range"
+  std::string to_string() const;
+
+  friend bool operator==(const Error& a, const Error& b) {
+    return a.code == b.code;  // context is advisory
+  }
+};
+
+}  // namespace ph

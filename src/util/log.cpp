@@ -1,0 +1,54 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace ph {
+
+namespace {
+std::string_view level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO ";
+    case LogLevel::warn: return "WARN ";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component, std::string_view message) {
+  if (!enabled(level)) return;
+  std::string line;
+  line.reserve(message.size() + 48);
+  if (now_us_) {
+    const std::uint64_t us = now_us_();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%8llu.%06llu",
+                  static_cast<unsigned long long>(us / 1'000'000),
+                  static_cast<unsigned long long>(us % 1'000'000));
+    line += buf;
+  } else {
+    line += "       -      ";
+  }
+  line += ' ';
+  line += level_tag(level);
+  line += " [";
+  line += component;
+  line += "] ";
+  line += message;
+  line += '\n';
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::fputs(line.c_str(), stderr);
+  }
+}
+
+}  // namespace ph

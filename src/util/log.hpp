@@ -1,0 +1,66 @@
+// Leveled logger with a pluggable timestamp source.
+//
+// The discrete-event simulator installs its virtual clock so log lines carry
+// simulated time; outside a simulation the timestamp column is simply "-".
+// Logging defaults to `warn` so tests and benches stay quiet; examples turn
+// on `info` to narrate what the middleware is doing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ph {
+
+enum class LogLevel : int { trace = 0, debug, info, warn, error, off };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Installs a clock used to prefix messages, e.g. the simulator's
+  /// virtual time in microseconds. Pass nullptr to clear.
+  void set_clock(std::function<std::uint64_t()> now_us) { now_us_ = std::move(now_us); }
+
+  /// Redirects output (tests capture logs this way); nullptr -> stderr.
+  void set_sink(std::function<void(std::string_view)> sink) { sink_ = std::move(sink); }
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+  void write(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::warn;
+  std::function<std::uint64_t()> now_us_;
+  std::function<void(std::string_view)> sink_;
+};
+
+namespace detail {
+struct LogLine {
+  LogLevel level;
+  std::string_view component;
+  std::ostringstream stream;
+
+  LogLine(LogLevel lvl, std::string_view comp) : level(lvl), component(comp) {}
+  ~LogLine() { Logger::instance().write(level, component, stream.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream << value;
+    return *this;
+  }
+};
+}  // namespace detail
+
+}  // namespace ph
+
+// Usage: PH_LOG(info, "phd") << "discovered " << n << " devices";
+#define PH_LOG(level, component)                                        \
+  if (!::ph::Logger::instance().enabled(::ph::LogLevel::level)) {       \
+  } else                                                                \
+    ::ph::detail::LogLine(::ph::LogLevel::level, component)

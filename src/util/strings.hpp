@@ -1,0 +1,27 @@
+// Small string utilities used by interest normalization and the wire codecs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ph {
+
+/// Lower-cases ASCII letters (interest matching in the thesis is
+/// case-insensitive in spirit: "Football" and "football" are one interest).
+std::string to_lower(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on a separator; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Canonical interest key: trimmed + lower-cased + inner whitespace squeezed.
+/// "  England   Football " -> "england football".
+std::string normalize_interest(std::string_view raw);
+
+}  // namespace ph

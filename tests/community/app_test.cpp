@@ -1,0 +1,378 @@
+// CommunityApp tests: login lifecycle and PeerHood-driven dynamic group
+// discovery (Figure 5) end to end on simulated Bluetooth.
+#include "community/app.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "tests/testutil/sim_helpers.hpp"
+
+namespace ph::community {
+namespace {
+
+using testutil::run_until;
+
+net::TechProfile deterministic_bt() {
+  net::TechProfile p = net::bluetooth_2_0();
+  p.frame_loss = 0.0;
+  p.inquiry_detect_prob = 1.0;
+  return p;
+}
+
+struct Device {
+  std::unique_ptr<peerhood::Stack> stack;
+  std::unique_ptr<CommunityApp> app;
+};
+
+class AppTest : public ::testing::Test {
+ protected:
+  AppTest() : medium_(simulator_, sim::Rng(12)) {}
+
+  Device& make_device(const std::string& member, sim::Vec2 pos,
+                      std::vector<std::string> interests,
+                      std::unique_ptr<sim::MobilityModel> mobility = nullptr) {
+    auto device = std::make_unique<Device>();
+    peerhood::StackConfig config;
+    config.device_name = member + "-ptd";
+    config.radios = {deterministic_bt()};
+    if (!mobility) mobility = std::make_unique<sim::StaticMobility>(pos);
+    device->stack = std::make_unique<peerhood::Stack>(medium_,
+                                                      std::move(mobility),
+                                                      config);
+    AppConfig app_config;
+    app_config.peer_refresh_interval = sim::seconds(10);
+    device->app = std::make_unique<CommunityApp>(*device->stack, app_config);
+    EXPECT_TRUE(device->app->create_account(member, "pw").ok());
+    Account* account = device->app->profiles().find(member);
+    for (const auto& interest : interests) account->add_interest(interest);
+    EXPECT_TRUE(device->app->login(member, "pw").ok());
+    devices_.push_back(std::move(device));
+    return *devices_.back();
+  }
+
+  bool group_formed(Device& device, const std::string& interest) {
+    auto group = device.app->groups().group(interest);
+    return group.ok() && group->formed();
+  }
+
+  sim::Simulator simulator_;
+  net::Medium medium_;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+TEST_F(AppTest, LoginRequiresAccount) {
+  Device& d = make_device("alice", {0, 0}, {});
+  EXPECT_FALSE(d.app->login("nobody", "pw").ok());
+  EXPECT_FALSE(d.app->login("alice", "wrong").ok());
+}
+
+TEST_F(AppTest, ActionsRequireLogin) {
+  Device& d = make_device("alice", {0, 0}, {});
+  d.app->logout();
+  EXPECT_FALSE(d.app->add_interest("x").ok());
+  EXPECT_FALSE(d.app->add_trusted("bob").ok());
+  EXPECT_FALSE(d.app->share_file("f", {}).ok());
+  EXPECT_FALSE(d.app->join_group("x").ok());
+  EXPECT_FALSE(d.app->logged_in());
+}
+
+TEST_F(AppTest, ServerRunsFromConstruction) {
+  Device& d = make_device("alice", {0, 0}, {});
+  EXPECT_TRUE(d.app->server().running());
+  auto services = d.stack->daemon().local_services();
+  ASSERT_EQ(services.size(), 1u);
+  EXPECT_EQ(services[0].name, "PeerHoodCommunity");
+}
+
+TEST_F(AppTest, MatchingInterestsFormGroupDynamically) {
+  Device& alice = make_device("alice", {0, 0}, {"football", "movies"});
+  Device& bob = make_device("bob", {3, 0}, {"football", "chess"});
+  ASSERT_TRUE(run_until(
+      simulator_,
+      [&] {
+        return group_formed(alice, "football") && group_formed(bob, "football");
+      },
+      sim::seconds(30)));
+  EXPECT_EQ(alice.app->groups().group("football")->members,
+            (std::set<std::string>{"alice", "bob"}));
+  // Non-shared interests never form groups.
+  EXPECT_FALSE(group_formed(alice, "movies"));
+  EXPECT_FALSE(group_formed(bob, "chess"));
+}
+
+TEST_F(AppTest, ThreeWayNeighbourhoodFormsPerInterestGroups) {
+  Device& alice = make_device("alice", {0, 0}, {"music", "football", "art"});
+  make_device("bob", {3, 0}, {"music", "football"});
+  make_device("carol", {0, 3}, {"music", "art"});
+  ASSERT_TRUE(run_until(
+      simulator_,
+      [&] { return alice.app->groups().formed_groups().size() == 3; },
+      sim::seconds(40)));
+  EXPECT_EQ(alice.app->groups().group("music")->members,
+            (std::set<std::string>{"alice", "bob", "carol"}));
+  EXPECT_EQ(alice.app->groups().group("football")->members,
+            (std::set<std::string>{"alice", "bob"}));
+  EXPECT_EQ(alice.app->groups().group("art")->members,
+            (std::set<std::string>{"alice", "carol"}));
+}
+
+TEST_F(AppTest, DepartingPeerIsEvictedFromGroups) {
+  Device& alice = make_device("alice", {0, 0}, {"football"});
+  make_device("bob", {2, 0}, {"football"},
+              std::make_unique<sim::WaypointMobility>(
+                  std::vector<sim::WaypointMobility::Waypoint>{
+                      {sim::seconds(0), {2, 0}},
+                      {sim::seconds(20), {2, 0}},
+                      {sim::seconds(30), {80, 0}}}));
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return group_formed(alice, "football"); },
+      sim::seconds(20)));
+  // Bob walks away; PeerHood monitoring evicts him.
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return !group_formed(alice, "football"); },
+      sim::minutes(2)));
+  EXPECT_EQ(alice.app->stats().peers_gone, 1u);
+  EXPECT_EQ(alice.app->member_on(devices_[1]->stack->id()), "");
+}
+
+TEST_F(AppTest, AddInterestAfterLoginReevaluatesGroups) {
+  Device& alice = make_device("alice", {0, 0}, {"movies"});
+  make_device("bob", {3, 0}, {"football"});
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return alice.app->stats().peers_probed > 0; },
+      sim::seconds(30)));
+  simulator_.run_until(simulator_.now() + sim::seconds(5));
+  EXPECT_FALSE(group_formed(alice, "football"));
+  ASSERT_TRUE(alice.app->add_interest("football").ok());
+  EXPECT_TRUE(group_formed(alice, "football"));
+}
+
+TEST_F(AppTest, RemoteInterestEditVisibleAfterRefresh) {
+  Device& alice = make_device("alice", {0, 0}, {"football"});
+  Device& bob = make_device("bob", {3, 0}, {"chess"});
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return alice.app->stats().peers_probed > 0; },
+      sim::seconds(30)));
+  EXPECT_FALSE(group_formed(alice, "football"));
+  // Bob picks up football; alice's periodic re-probe (10 s) spots it.
+  ASSERT_TRUE(bob.app->add_interest("football").ok());
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return group_formed(alice, "football"); },
+      sim::seconds(30)));
+}
+
+TEST_F(AppTest, TeachSynonymMergesLiveGroups) {
+  // The thesis' "biking vs cycling" fragmentation, then the taught fix.
+  Device& alice = make_device("alice", {0, 0}, {"biking"});
+  make_device("bob", {3, 0}, {"cycling"});
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return alice.app->stats().peers_probed > 0; },
+      sim::seconds(30)));
+  simulator_.run_until(simulator_.now() + sim::seconds(2));
+  EXPECT_FALSE(group_formed(alice, "biking"));  // fragmented
+  ASSERT_TRUE(alice.app->teach_synonym("biking", "cycling").ok());
+  EXPECT_TRUE(group_formed(alice, "biking"));
+  EXPECT_EQ(alice.app->groups().group("cycling")->members,
+            (std::set<std::string>{"alice", "bob"}));
+}
+
+TEST_F(AppTest, ManualJoinAndLeave) {
+  Device& alice = make_device("alice", {0, 0}, {"movies"});
+  make_device("bob", {3, 0}, {"chess"});
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return alice.app->stats().peers_probed > 0; },
+      sim::seconds(30)));
+  simulator_.run_until(simulator_.now() + sim::seconds(2));
+  ASSERT_TRUE(alice.app->join_group("chess").ok());
+  EXPECT_TRUE(group_formed(alice, "chess"));
+  ASSERT_TRUE(alice.app->leave_group("chess").ok());
+  EXPECT_FALSE(alice.app->groups().group("chess").ok());
+}
+
+TEST_F(AppTest, MemberOnMapsDeviceToMember) {
+  Device& alice = make_device("alice", {0, 0}, {"x"});
+  Device& bob = make_device("bob", {3, 0}, {"x"});
+  ASSERT_TRUE(run_until(
+      simulator_,
+      [&] { return alice.app->member_on(bob.stack->id()) == "bob"; },
+      sim::seconds(30)));
+}
+
+TEST_F(AppTest, LogoutStopsGroupTracking) {
+  Device& alice = make_device("alice", {0, 0}, {"football"});
+  make_device("bob", {3, 0}, {"football"});
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return group_formed(alice, "football"); },
+      sim::seconds(30)));
+  alice.app->logout();
+  EXPECT_FALSE(alice.app->logged_in());
+  // The neighbourhood keeps moving; no crash, no stale probing.
+  simulator_.run_until(simulator_.now() + sim::seconds(30));
+  EXPECT_EQ(alice.app->member_on(devices_[1]->stack->id()), "");
+}
+
+TEST_F(AppTest, ReloginRestoresGroups) {
+  Device& alice = make_device("alice", {0, 0}, {"football"});
+  make_device("bob", {3, 0}, {"football"});
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return group_formed(alice, "football"); },
+      sim::seconds(30)));
+  alice.app->logout();
+  ASSERT_TRUE(alice.app->login("alice", "pw").ok());
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return group_formed(alice, "football"); },
+      sim::seconds(30)));
+}
+
+TEST_F(AppTest, SecondProfileSwitchesIdentity) {
+  Device& alice = make_device("alice", {0, 0}, {"football"});
+  Device& bob = make_device("bob", {3, 0}, {"football", "opera"});
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return group_formed(alice, "football"); },
+      sim::seconds(30)));
+  // Alice's device has a second profile with different interests.
+  ASSERT_TRUE(alice.app->create_account("alice-work", "pw2").ok());
+  alice.app->profiles().find("alice-work")->add_interest("opera");
+  ASSERT_TRUE(alice.app->login("alice-work", "pw2").ok());
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return group_formed(alice, "opera"); },
+      sim::seconds(40)));
+  EXPECT_FALSE(group_formed(alice, "football"));
+  // Bob eventually sees the new identity too (his next probe refresh).
+  ASSERT_TRUE(run_until(
+      simulator_,
+      [&] {
+        auto group = bob.app->groups().group("opera");
+        return group.ok() && group->members.contains("alice-work");
+      },
+      sim::minutes(1)));
+}
+
+class AttributeModeTest : public AppTest {
+ protected:
+  Device& make_advertising_device(const std::string& member, sim::Vec2 pos,
+                                  std::vector<std::string> interests) {
+    auto device = std::make_unique<Device>();
+    peerhood::StackConfig config;
+    config.device_name = member + "-ptd";
+    config.radios = {deterministic_bt()};
+    device->stack = std::make_unique<peerhood::Stack>(
+        medium_, std::make_unique<sim::StaticMobility>(pos), config);
+    AppConfig app_config;
+    app_config.advertise_interests = true;
+    device->app = std::make_unique<CommunityApp>(*device->stack, app_config);
+    Account* account = *device->app->create_account(member, "pw");
+    for (const auto& interest : interests) account->add_interest(interest);
+    EXPECT_TRUE(device->app->login(member, "pw").ok());
+    devices_.push_back(std::move(device));
+    return *devices_.back();
+  }
+};
+
+TEST_F(AttributeModeTest, GroupsFormWithoutProbeRpcs) {
+  Device& alice = make_advertising_device("alice", {0, 0}, {"football"});
+  make_advertising_device("bob", {3, 0}, {"football"});
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return group_formed(alice, "football"); },
+      sim::seconds(30)));
+  // No probe traffic: group discovery came from service attributes.
+  EXPECT_EQ(alice.app->client().stats().rpcs_sent, 0u);
+  EXPECT_EQ(alice.app->member_on(devices_[1]->stack->id()), "bob");
+}
+
+TEST_F(AttributeModeTest, RemoteInterestEditPropagatesViaServiceRefresh) {
+  Device& alice = make_advertising_device("alice", {0, 0}, {"football"});
+  Device& bob = make_advertising_device("bob", {3, 0}, {"chess"});
+  ASSERT_TRUE(run_until(
+      simulator_,
+      [&] { return alice.app->member_on(bob.stack->id()) == "bob"; },
+      sim::seconds(30)));
+  EXPECT_FALSE(group_formed(alice, "football"));
+  ASSERT_TRUE(bob.app->add_interest("football").ok());
+  // The next daemon service refresh (inquiry cycle) carries the change.
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return group_formed(alice, "football"); },
+      sim::minutes(1)));
+}
+
+TEST_F(AttributeModeTest, AdvertisingPeerWithPlainPeerStillWorks) {
+  // Mixed deployment: the plain (thesis-mode) device probes; the
+  // advertising device falls back to probing the plain one.
+  Device& advertising = make_advertising_device("adv", {0, 0}, {"x"});
+  Device& plain = make_device("plain", {3, 0}, {"x"});
+  ASSERT_TRUE(run_until(
+      simulator_,
+      [&] {
+        return group_formed(advertising, "x") && group_formed(plain, "x");
+      },
+      sim::minutes(1)));
+  // The advertising side had to fall back to RPC probing for the plain
+  // peer (whose advertisement carries no attributes).
+  EXPECT_GT(advertising.app->client().stats().rpcs_sent, 0u);
+}
+
+TEST_F(AttributeModeTest, LogoutClearsAdvertisedMember) {
+  Device& alice = make_advertising_device("alice", {0, 0}, {"football"});
+  Device& bob = make_advertising_device("bob", {3, 0}, {"football"});
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return group_formed(alice, "football"); },
+      sim::seconds(30)));
+  bob.app->logout();
+  auto services = bob.stack->daemon().local_services();
+  ASSERT_EQ(services.size(), 1u);
+  EXPECT_EQ(services[0].attributes.count("member"), 0u);
+}
+
+TEST_F(AppTest, RebootSurvivesViaPersistence) {
+  // A device powers down (state saved), "reboots" as a fresh app and
+  // restores its accounts: login works and dynamic groups re-form.
+  const std::string path = ::testing::TempDir() + "/app_reboot_test.bin";
+  Device& alice = make_device("alice", {0, 0}, {"football"});
+  make_device("bob", {3, 0}, {"football"});
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return group_formed(alice, "football"); },
+      sim::seconds(30)));
+  ASSERT_TRUE(alice.app->add_trusted("bob").ok());
+  ASSERT_TRUE(alice.app->share_file("notes.txt", to_bytes("hello")).ok());
+  ASSERT_TRUE(alice.app->save_accounts(path).ok());
+
+  // Reboot: a brand-new app on the same stack, empty until load. Destroy
+  // the old app first so the new one can register the community service.
+  alice.app.reset();
+  alice.app = std::make_unique<CommunityApp>(*alice.stack);
+  EXPECT_FALSE(alice.app->login("alice", "pw").ok());  // nothing on disk yet
+  ASSERT_TRUE(alice.app->load_accounts(path).ok());
+  ASSERT_TRUE(alice.app->login("alice", "pw").ok());
+  EXPECT_TRUE(alice.app->active()->trusts("bob"));
+  EXPECT_EQ(alice.app->active()->shared_items().size(), 1u);
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return group_formed(alice, "football"); },
+      sim::minutes(1)));
+  std::remove(path.c_str());
+}
+
+TEST_F(AppTest, LoadAccountsLogsOutFirst) {
+  const std::string path = ::testing::TempDir() + "/app_load_test.bin";
+  Device& alice = make_device("alice", {0, 0}, {"football"});
+  ASSERT_TRUE(alice.app->save_accounts(path).ok());
+  EXPECT_TRUE(alice.app->logged_in());
+  ASSERT_TRUE(alice.app->load_accounts(path).ok());
+  EXPECT_FALSE(alice.app->logged_in());
+  std::remove(path.c_str());
+}
+
+TEST_F(AppTest, TrustAndShareConvenienceMethods) {
+  Device& alice = make_device("alice", {0, 0}, {});
+  ASSERT_TRUE(alice.app->add_trusted("bob").ok());
+  EXPECT_TRUE(alice.app->active()->trusts("bob"));
+  ASSERT_TRUE(alice.app->share_file("f.txt", to_bytes("hello")).ok());
+  EXPECT_EQ(alice.app->active()->shared_items().size(), 1u);
+  ASSERT_TRUE(alice.app->unshare_file("f.txt").ok());
+  ASSERT_TRUE(alice.app->remove_trusted("bob").ok());
+  EXPECT_FALSE(alice.app->active()->trusts("bob"));
+}
+
+}  // namespace
+}  // namespace ph::community

@@ -1,0 +1,110 @@
+// Randomized equivalence property for the group engine: after ANY sequence
+// of peer arrivals, updates, departures, interest edits, manual joins and
+// dictionary teachings, the incremental engine's state must equal a fresh
+// engine fed only the final facts.
+#include <gtest/gtest.h>
+
+#include "community/groups.hpp"
+#include "sim/rng.hpp"
+
+namespace ph::community {
+namespace {
+
+std::string interest_name(std::uint64_t i) {
+  return "topic" + std::to_string(i);
+}
+
+class GroupEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GroupEquivalenceTest, IncrementalMatchesFromScratch) {
+  sim::Rng rng(GetParam());
+  SemanticDictionary dictionary;
+  GroupEngine incremental("self", dictionary);
+
+  // Ground truth the random walk maintains.
+  std::vector<std::string> local_interests;
+  std::map<std::string, std::vector<std::string>> live_peers;
+  std::set<std::string> manual_joins;
+
+  auto random_interests = [&] {
+    std::vector<std::string> out;
+    const int count = static_cast<int>(rng.uniform_int(0, 4));
+    for (int i = 0; i < count; ++i) {
+      out.push_back(interest_name(rng.uniform_int(0, 9)));
+    }
+    return out;
+  };
+
+  local_interests = random_interests();
+  incremental.set_local_interests(local_interests);
+
+  for (int step = 0; step < 300; ++step) {
+    switch (rng.uniform_int(0, 5)) {
+      case 0: {  // peer appears or updates
+        const std::string peer = "peer" + std::to_string(rng.uniform_int(0, 7));
+        live_peers[peer] = random_interests();
+        incremental.on_peer(peer, live_peers[peer]);
+        break;
+      }
+      case 1: {  // peer departs
+        if (live_peers.empty()) break;
+        auto victim = live_peers.begin();
+        std::advance(victim, rng.uniform_int(0, live_peers.size() - 1));
+        incremental.remove_peer(victim->first);
+        live_peers.erase(victim);
+        break;
+      }
+      case 2: {  // local interest edit
+        local_interests = random_interests();
+        incremental.set_local_interests(local_interests);
+        break;
+      }
+      case 3: {  // manual join
+        const std::string interest = interest_name(rng.uniform_int(0, 9));
+        manual_joins.insert(interest);
+        incremental.manual_join(interest);
+        break;
+      }
+      case 4: {  // manual leave
+        if (manual_joins.empty()) break;
+        auto victim = manual_joins.begin();
+        std::advance(victim, rng.uniform_int(0, manual_joins.size() - 1));
+        (void)incremental.manual_leave(*victim);
+        manual_joins.erase(victim);
+        break;
+      }
+      case 5: {  // teach a synonym
+        dictionary.teach(interest_name(rng.uniform_int(0, 9)),
+                         interest_name(rng.uniform_int(0, 9)));
+        incremental.rebuild();
+        break;
+      }
+    }
+  }
+
+  // Build the reference engine from the final facts only.
+  GroupEngine reference("self", dictionary);
+  reference.set_local_interests(local_interests);
+  for (const std::string& interest : manual_joins) {
+    reference.manual_join(interest);
+  }
+  for (const auto& [peer, interests] : live_peers) {
+    reference.on_peer(peer, interests);
+  }
+
+  const auto lhs = incremental.groups();
+  const auto rhs = reference.groups();
+  ASSERT_EQ(lhs.size(), rhs.size()) << "seed " << GetParam();
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_EQ(lhs[i].interest, rhs[i].interest) << "seed " << GetParam();
+    EXPECT_EQ(lhs[i].members, rhs[i].members)
+        << "seed " << GetParam() << " group " << lhs[i].interest;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupEquivalenceTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808, 909, 1010));
+
+}  // namespace
+}  // namespace ph::community

@@ -1,0 +1,302 @@
+// GroupEngine unit tests — the Figure 6 dynamic group discovery algorithm.
+#include "community/groups.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ph::community {
+namespace {
+
+class GroupEngineTest : public ::testing::Test {
+ protected:
+  GroupEngineTest() : engine_("alice", dictionary_) {
+    engine_.set_callbacks(
+        {[this](const Group& group) { formed_.push_back(group.interest); },
+         [this](const std::string& interest) { dissolved_.push_back(interest); },
+         [this](const std::string& interest, const std::string& member) {
+           joins_.emplace_back(interest, member);
+         },
+         [this](const std::string& interest, const std::string& member) {
+           leaves_.emplace_back(interest, member);
+         }});
+  }
+
+  SemanticDictionary dictionary_;
+  GroupEngine engine_;
+  std::vector<std::string> formed_, dissolved_;
+  std::vector<std::pair<std::string, std::string>> joins_, leaves_;
+};
+
+TEST_F(GroupEngineTest, LocalInterestsCreateUnformedGroups) {
+  engine_.set_local_interests({"football", "movies"});
+  auto groups = engine_.groups();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].interest, "football");
+  EXPECT_FALSE(groups[0].formed());
+  EXPECT_EQ(groups[0].members, (std::set<std::string>{"alice"}));
+  EXPECT_TRUE(formed_.empty());
+}
+
+TEST_F(GroupEngineTest, MatchingPeerFormsGroup) {
+  engine_.set_local_interests({"football"});
+  engine_.on_peer("bob", {"football", "chess"});
+  auto group = engine_.group("football");
+  ASSERT_TRUE(group.ok());
+  EXPECT_TRUE(group->formed());
+  EXPECT_EQ(group->members, (std::set<std::string>{"alice", "bob"}));
+  EXPECT_EQ(formed_, (std::vector<std::string>{"football"}));
+  EXPECT_EQ(joins_, (std::vector<std::pair<std::string, std::string>>{
+                        {"football", "bob"}}));
+}
+
+TEST_F(GroupEngineTest, NonMatchingPeerJoinsNothing) {
+  engine_.set_local_interests({"football"});
+  engine_.on_peer("bob", {"chess"});
+  EXPECT_FALSE(engine_.group("football")->formed());
+  EXPECT_TRUE(engine_.formed_groups().empty());
+}
+
+TEST_F(GroupEngineTest, PeerInterestsNotSharedWithLocalCreateNoGroups) {
+  // Figure 6 compares only the ACTIVE user's interests; bob's chess group
+  // does not appear on alice's device.
+  engine_.set_local_interests({"football"});
+  engine_.on_peer("bob", {"chess"});
+  EXPECT_FALSE(engine_.group("chess").ok());
+}
+
+TEST_F(GroupEngineTest, ThreeInterestsThreeGroups) {
+  // Figure 2: three closed boundaries — one dynamic group per interest.
+  engine_.set_local_interests({"music", "football", "movies"});
+  engine_.on_peer("bob", {"music"});
+  engine_.on_peer("carol", {"football"});
+  engine_.on_peer("dave", {"movies", "music"});
+  auto formed = engine_.formed_groups();
+  ASSERT_EQ(formed.size(), 3u);
+  EXPECT_EQ(engine_.group("music")->members,
+            (std::set<std::string>{"alice", "bob", "dave"}));
+  EXPECT_EQ(engine_.group("football")->members,
+            (std::set<std::string>{"alice", "carol"}));
+  EXPECT_EQ(engine_.group("movies")->members,
+            (std::set<std::string>{"alice", "dave"}));
+}
+
+TEST_F(GroupEngineTest, PeerLeavingDissolvesGroup) {
+  engine_.set_local_interests({"football"});
+  engine_.on_peer("bob", {"football"});
+  engine_.remove_peer("bob");
+  EXPECT_EQ(dissolved_, (std::vector<std::string>{"football"}));
+  EXPECT_FALSE(engine_.group("football")->formed());
+  EXPECT_EQ(leaves_, (std::vector<std::pair<std::string, std::string>>{
+                         {"football", "bob"}}));
+}
+
+TEST_F(GroupEngineTest, GroupSurvivesWhileOneRemoteMemberRemains) {
+  engine_.set_local_interests({"football"});
+  engine_.on_peer("bob", {"football"});
+  engine_.on_peer("carol", {"football"});
+  engine_.remove_peer("bob");
+  EXPECT_TRUE(engine_.group("football")->formed());
+  EXPECT_TRUE(dissolved_.empty());
+  engine_.remove_peer("carol");
+  EXPECT_EQ(dissolved_, (std::vector<std::string>{"football"}));
+}
+
+TEST_F(GroupEngineTest, RemovingUnknownPeerIsNoop) {
+  engine_.set_local_interests({"football"});
+  engine_.remove_peer("ghost");
+  EXPECT_TRUE(leaves_.empty());
+}
+
+TEST_F(GroupEngineTest, PeerUpdateCanJoinAndLeave) {
+  engine_.set_local_interests({"football", "movies"});
+  engine_.on_peer("bob", {"football"});
+  // Bob edits his profile: drops football, picks up movies.
+  engine_.on_peer("bob", {"movies"});
+  EXPECT_FALSE(engine_.group("football")->formed());
+  EXPECT_TRUE(engine_.group("movies")->formed());
+}
+
+TEST_F(GroupEngineTest, DuplicatePeerUpdateIsIdempotent) {
+  engine_.set_local_interests({"football"});
+  engine_.on_peer("bob", {"football"});
+  engine_.on_peer("bob", {"football"});
+  EXPECT_EQ(formed_, (std::vector<std::string>{"football"}));
+  EXPECT_EQ(joins_.size(), 1u);
+}
+
+TEST_F(GroupEngineTest, InterestMatchingIsCaseAndSpaceInsensitive) {
+  engine_.set_local_interests({"England Football"});
+  engine_.on_peer("bob", {"england   FOOTBALL"});
+  auto group = engine_.group("england football");
+  ASSERT_TRUE(group.ok());
+  EXPECT_TRUE(group->formed());
+  // Both raw spellings are remembered as labels.
+  EXPECT_TRUE(group->labels.contains("England Football"));
+  EXPECT_TRUE(group->labels.contains("england   FOOTBALL"));
+}
+
+TEST_F(GroupEngineTest, WithoutSemanticsSynonymsFragment) {
+  // The thesis' documented limitation: biking vs cycling makes two groups.
+  engine_.set_local_interests({"biking", "cycling"});
+  engine_.on_peer("bob", {"biking"});
+  engine_.on_peer("carol", {"cycling"});
+  EXPECT_EQ(engine_.formed_groups().size(), 2u);
+  EXPECT_EQ(engine_.group("biking")->members,
+            (std::set<std::string>{"alice", "bob"}));
+  EXPECT_EQ(engine_.group("cycling")->members,
+            (std::set<std::string>{"alice", "carol"}));
+}
+
+TEST_F(GroupEngineTest, TaughtSynonymsMergeGroups) {
+  engine_.set_local_interests({"biking", "cycling"});
+  engine_.on_peer("bob", {"biking"});
+  engine_.on_peer("carol", {"cycling"});
+  dictionary_.teach("biking", "cycling");
+  engine_.rebuild();
+  auto formed = engine_.formed_groups();
+  ASSERT_EQ(formed.size(), 1u);
+  EXPECT_EQ(formed[0].interest, "biking");
+  EXPECT_EQ(formed[0].members,
+            (std::set<std::string>{"alice", "bob", "carol"}));
+}
+
+TEST_F(GroupEngineTest, SynonymTaughtBeforePeersAlsoMatches) {
+  dictionary_.teach("biking", "cycling");
+  engine_.set_local_interests({"cycling"});
+  engine_.on_peer("bob", {"biking"});
+  ASSERT_EQ(engine_.formed_groups().size(), 1u);
+  EXPECT_EQ(engine_.formed_groups()[0].interest, "biking");
+}
+
+TEST_F(GroupEngineTest, LocalInterestRemovalDropsGroup) {
+  engine_.set_local_interests({"football", "movies"});
+  engine_.on_peer("bob", {"football"});
+  engine_.set_local_interests({"movies"});
+  EXPECT_FALSE(engine_.group("football").ok());
+  EXPECT_EQ(dissolved_, (std::vector<std::string>{"football"}));
+}
+
+TEST_F(GroupEngineTest, ManualJoinTracksForeignInterest) {
+  // Table 7 "Join/Leave Manually": alice joins chess without having the
+  // interest herself.
+  engine_.set_local_interests({"football"});
+  engine_.on_peer("bob", {"chess"});
+  engine_.manual_join("chess");
+  auto group = engine_.group("chess");
+  ASSERT_TRUE(group.ok());
+  EXPECT_TRUE(group->formed());
+  EXPECT_EQ(group->members, (std::set<std::string>{"alice", "bob"}));
+}
+
+TEST_F(GroupEngineTest, ManualLeaveDropsManualGroup) {
+  engine_.set_local_interests({"football"});
+  engine_.manual_join("chess");
+  ASSERT_TRUE(engine_.group("chess").ok());
+  EXPECT_TRUE(engine_.manual_leave("chess").ok());
+  EXPECT_FALSE(engine_.group("chess").ok());
+}
+
+TEST_F(GroupEngineTest, ManualLeaveOfUnjoinedGroupFails) {
+  auto result = engine_.manual_leave("chess");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::no_such_group);
+}
+
+TEST_F(GroupEngineTest, ManualLeaveKeepsGroupBackedByLocalInterest) {
+  engine_.set_local_interests({"chess"});
+  engine_.manual_join("chess");
+  EXPECT_TRUE(engine_.manual_leave("chess").ok());
+  // Still tracked: alice genuinely holds the interest.
+  EXPECT_TRUE(engine_.group("chess").ok());
+}
+
+TEST_F(GroupEngineTest, StatsCountComparisons) {
+  engine_.set_local_interests({"a", "b", "c"});
+  engine_.on_peer("bob", {"x", "y"});
+  // 3 groups x 2 peer interests.
+  EXPECT_EQ(engine_.stats().comparisons, 6u);
+}
+
+TEST_F(GroupEngineTest, StatsCountLifecycleEvents) {
+  engine_.set_local_interests({"a"});
+  engine_.on_peer("bob", {"a"});
+  engine_.on_peer("carol", {"a"});
+  engine_.remove_peer("bob");
+  engine_.remove_peer("carol");
+  const GroupEngine::Stats& stats = engine_.stats();
+  EXPECT_EQ(stats.groups_formed, 1u);
+  EXPECT_EQ(stats.groups_dissolved, 1u);
+  EXPECT_EQ(stats.member_joins, 2u);
+  EXPECT_EQ(stats.member_leaves, 2u);
+}
+
+TEST_F(GroupEngineTest, SelfPeerIgnored) {
+  engine_.set_local_interests({"a"});
+  engine_.on_peer("alice", {"a"});
+  EXPECT_FALSE(engine_.group("a")->formed());
+}
+
+TEST_F(GroupEngineTest, TrackedInterestsAreCanonical) {
+  dictionary_.teach("biking", "cycling");
+  engine_.set_local_interests({"Cycling", "Football"});
+  EXPECT_EQ(engine_.tracked_interests(),
+            (std::vector<std::string>{"biking", "football"}));
+}
+
+TEST_F(GroupEngineTest, RescanMatchesEventDrivenResult) {
+  // The batch Figure 6 algorithm and the incremental path must agree.
+  GroupEngine batch("alice", dictionary_);
+  engine_.set_local_interests({"a", "b"});
+  batch.set_local_interests({"a", "b"});
+  engine_.on_peer("bob", {"a"});
+  engine_.on_peer("carol", {"b", "a"});
+  batch.on_peer("bob", {"a"});
+  batch.on_peer("carol", {"b", "a"});
+  batch.rescan();
+  auto lhs = engine_.groups();
+  auto rhs = batch.groups();
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_EQ(lhs[i].interest, rhs[i].interest);
+    EXPECT_EQ(lhs[i].members, rhs[i].members);
+  }
+}
+
+TEST_F(GroupEngineTest, MembersOfUnknownInterestIsEmpty) {
+  EXPECT_TRUE(engine_.members_of("nothing").empty());
+}
+
+// Property sweep: churn with N peers always keeps the local member in every
+// group and never double-counts members.
+class GroupChurnTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupChurnTest, InvariantsHoldUnderChurn) {
+  SemanticDictionary dictionary;
+  GroupEngine engine("self", dictionary);
+  engine.set_local_interests({"i0", "i1", "i2"});
+  const int peers = GetParam();
+  // Wave 1: every peer joins with a rotating subset.
+  for (int p = 0; p < peers; ++p) {
+    engine.on_peer("peer" + std::to_string(p),
+                   {"i" + std::to_string(p % 3), "other"});
+  }
+  // Wave 2: every second peer leaves.
+  for (int p = 0; p < peers; p += 2) {
+    engine.remove_peer("peer" + std::to_string(p));
+  }
+  for (const Group& group : engine.groups()) {
+    EXPECT_TRUE(group.members.contains("self"));
+    for (const std::string& member : group.members) {
+      if (member == "self") continue;
+      // Only odd peers with the matching interest remain.
+      const int index = std::stoi(member.substr(4));
+      EXPECT_EQ(index % 2, 1);
+      EXPECT_EQ("i" + std::to_string(index % 3), group.interest);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChurnSizes, GroupChurnTest,
+                         ::testing::Values(1, 2, 5, 10, 50, 200));
+
+}  // namespace
+}  // namespace ph::community

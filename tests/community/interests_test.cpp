@@ -1,0 +1,127 @@
+#include "community/interests.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ph::community {
+namespace {
+
+TEST(SemanticDictionaryTest, UnknownTermCanonicalizesToItself) {
+  SemanticDictionary dict;
+  EXPECT_EQ(dict.canonical("football"), "football");
+}
+
+TEST(SemanticDictionaryTest, CanonicalNormalizes) {
+  SemanticDictionary dict;
+  EXPECT_EQ(dict.canonical("  FootBall "), "football");
+  EXPECT_EQ(dict.canonical("England   Football"), "england football");
+}
+
+TEST(SemanticDictionaryTest, TeachMergesTwoTerms) {
+  // The thesis' motivating example: biking and cycling mean the same.
+  SemanticDictionary dict;
+  dict.teach("biking", "cycling");
+  EXPECT_TRUE(dict.same("biking", "cycling"));
+  EXPECT_EQ(dict.canonical("biking"), dict.canonical("cycling"));
+}
+
+TEST(SemanticDictionaryTest, CanonicalIsSmallestMember) {
+  SemanticDictionary dict;
+  dict.teach("cycling", "biking");
+  EXPECT_EQ(dict.canonical("cycling"), "biking");  // 'b' < 'c'
+}
+
+TEST(SemanticDictionaryTest, CanonicalIndependentOfTeachingOrder) {
+  SemanticDictionary forward, backward;
+  forward.teach("biking", "cycling");
+  forward.teach("cycling", "bicycling");
+  backward.teach("bicycling", "cycling");
+  backward.teach("cycling", "biking");
+  EXPECT_EQ(forward.canonical("cycling"), backward.canonical("cycling"));
+  EXPECT_EQ(forward.canonical("biking"), "bicycling");
+}
+
+TEST(SemanticDictionaryTest, TransitiveClasses) {
+  SemanticDictionary dict;
+  dict.teach("a1", "b1");
+  dict.teach("b1", "c1");
+  dict.teach("c1", "d1");
+  EXPECT_TRUE(dict.same("a1", "d1"));
+}
+
+TEST(SemanticDictionaryTest, MergingTwoClasses) {
+  SemanticDictionary dict;
+  dict.teach("x1", "x2");
+  dict.teach("y1", "y2");
+  EXPECT_FALSE(dict.same("x1", "y1"));
+  dict.teach("x2", "y2");
+  EXPECT_TRUE(dict.same("x1", "y1"));
+  EXPECT_EQ(dict.canonical("y2"), "x1");
+}
+
+TEST(SemanticDictionaryTest, SeparateClassesStaySeparate) {
+  SemanticDictionary dict;
+  dict.teach("biking", "cycling");
+  dict.teach("football", "soccer");
+  EXPECT_FALSE(dict.same("biking", "football"));
+}
+
+TEST(SemanticDictionaryTest, TeachIsCaseInsensitive) {
+  SemanticDictionary dict;
+  dict.teach("Biking", "CYCLING");
+  EXPECT_TRUE(dict.same("biking", "cycling"));
+}
+
+TEST(SemanticDictionaryTest, RedundantTeachDoesNotCount) {
+  SemanticDictionary dict;
+  dict.teach("a", "b");
+  dict.teach("b", "a");
+  dict.teach("a", "b");
+  EXPECT_EQ(dict.merge_count(), 1u);
+}
+
+TEST(SemanticDictionaryTest, SelfTeachIsNoop) {
+  SemanticDictionary dict;
+  dict.teach("a", "a");
+  EXPECT_EQ(dict.merge_count(), 0u);
+  EXPECT_EQ(dict.canonical("a"), "a");
+}
+
+TEST(SemanticDictionaryTest, EmptyTermsIgnored) {
+  SemanticDictionary dict;
+  dict.teach("", "cycling");
+  dict.teach("   ", "cycling");
+  EXPECT_EQ(dict.merge_count(), 0u);
+  EXPECT_EQ(dict.canonical("cycling"), "cycling");
+}
+
+TEST(SemanticDictionaryTest, SynonymsListsWholeClass) {
+  SemanticDictionary dict;
+  dict.teach("biking", "cycling");
+  dict.teach("cycling", "bicycling");
+  auto synonyms = dict.synonyms("biking");
+  EXPECT_EQ(synonyms,
+            (std::vector<std::string>{"bicycling", "biking", "cycling"}));
+}
+
+TEST(SemanticDictionaryTest, SynonymsOfUnknownTermIsItself) {
+  SemanticDictionary dict;
+  EXPECT_EQ(dict.synonyms("Skiing"), (std::vector<std::string>{"skiing"}));
+}
+
+TEST(SemanticDictionaryTest, SameHandlesWhitespaceVariants) {
+  SemanticDictionary dict;
+  EXPECT_TRUE(dict.same("ice  hockey", " Ice Hockey"));
+}
+
+TEST(SemanticDictionaryTest, LargeChainStaysConsistent) {
+  SemanticDictionary dict;
+  for (int i = 1; i < 100; ++i) {
+    dict.teach("term" + std::to_string(i - 1), "term" + std::to_string(i));
+  }
+  EXPECT_EQ(dict.merge_count(), 99u);
+  EXPECT_TRUE(dict.same("term0", "term99"));
+  EXPECT_EQ(dict.synonyms("term50").size(), 100u);
+}
+
+}  // namespace
+}  // namespace ph::community

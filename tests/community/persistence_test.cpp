@@ -1,0 +1,135 @@
+#include "community/persistence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace ph::community {
+namespace {
+
+ProfileStore populated_store() {
+  ProfileStore store;
+  Account* alice = *store.create_account("alice", "pw1");
+  alice->profile().display_name = "Alice A.";
+  alice->profile().age = 24;
+  alice->profile().about = "networks researcher";
+  alice->add_interest("football");
+  alice->add_interest("jazz");
+  alice->add_trusted("bob");
+  alice->add_comment({"bob", "hi alice!", 123});
+  alice->record_visitor("bob");
+  alice->deliver_mail({"alice", "bob", "subject", "body text", 456});
+  alice->record_sent({"bob", "alice", "re", "reply", 789});
+  alice->share_file("song.mp3", Bytes(1000, 0xAB));
+  alice->share_file("doc.pdf", Bytes(20, 0xCD));
+
+  Account* work = *store.create_account("alice-work", "pw2");
+  work->add_interest("meetings");
+  return store;
+}
+
+TEST(PersistenceTest, RoundTripPreservesAccounts) {
+  ProfileStore original = populated_store();
+  auto restored = deserialize(serialize(original));
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  EXPECT_EQ(restored->member_ids(), original.member_ids());
+  const Account* alice = restored->find("alice");
+  ASSERT_NE(alice, nullptr);
+  EXPECT_EQ(alice->profile(), original.find("alice")->profile());
+}
+
+TEST(PersistenceTest, PasswordsSurvive) {
+  auto restored = deserialize(serialize(populated_store()));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->find("alice")->check_password("pw1"));
+  EXPECT_FALSE(restored->find("alice")->check_password("pw2"));
+  EXPECT_TRUE(restored->find("alice-work")->check_password("pw2"));
+}
+
+TEST(PersistenceTest, MailFoldersSurvive) {
+  auto restored = deserialize(serialize(populated_store()));
+  ASSERT_TRUE(restored.ok());
+  const Account* alice = restored->find("alice");
+  ASSERT_EQ(alice->inbox().size(), 1u);
+  EXPECT_EQ(alice->inbox()[0].body, "body text");
+  EXPECT_EQ(alice->inbox()[0].sent_at_us, 456u);
+  ASSERT_EQ(alice->sent().size(), 1u);
+  EXPECT_EQ(alice->sent()[0].receiver, "bob");
+}
+
+TEST(PersistenceTest, SharedFileBytesSurvive) {
+  auto restored = deserialize(serialize(populated_store()));
+  ASSERT_TRUE(restored.ok());
+  const Account* alice = restored->find("alice");
+  auto song = alice->shared_file("song.mp3");
+  ASSERT_TRUE(song.ok());
+  EXPECT_EQ(*song, Bytes(1000, 0xAB));
+  EXPECT_EQ(alice->shared_items().size(), 2u);
+}
+
+TEST(PersistenceTest, ActiveLoginNotPersisted) {
+  ProfileStore original = populated_store();
+  ASSERT_TRUE(original.login("alice", "pw1").ok());
+  auto restored = deserialize(serialize(original));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->active(), nullptr);
+}
+
+TEST(PersistenceTest, EmptyStoreRoundTrips) {
+  ProfileStore empty;
+  auto restored = deserialize(serialize(empty));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 0u);
+}
+
+TEST(PersistenceTest, GarbageRejected) {
+  Bytes garbage{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto restored = deserialize(garbage);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.error().code, Errc::protocol_error);
+}
+
+TEST(PersistenceTest, TruncatedBlobRejected) {
+  Bytes blob = serialize(populated_store());
+  blob.resize(blob.size() / 2);
+  EXPECT_FALSE(deserialize(blob).ok());
+}
+
+TEST(PersistenceTest, WrongMagicRejected) {
+  Bytes blob = serialize(populated_store());
+  blob[0] ^= 0xff;
+  auto restored = deserialize(blob);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_NE(restored.error().message.find("not a PeerHood"), std::string::npos);
+}
+
+TEST(PersistenceTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/phc_store_test.bin";
+  ASSERT_TRUE(save_to_file(populated_store(), path).ok());
+  auto restored = load_from_file(path);
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  EXPECT_EQ(restored->member_ids(),
+            (std::vector<std::string>{"alice", "alice-work"}));
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, MissingFileFailsCleanly) {
+  auto restored = load_from_file("/nonexistent/dir/store.bin");
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.error().code, Errc::state_error);
+}
+
+TEST(PersistenceTest, RestoredStoreIsFullyFunctional) {
+  auto restored = deserialize(serialize(populated_store()));
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE(restored->login("alice", "pw1").ok());
+  restored->active()->add_interest("new hobby");
+  EXPECT_EQ(restored->active()->profile().interests.back(), "new hobby");
+  // Second-generation round trip keeps the new state.
+  auto again = deserialize(serialize(*restored));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->find("alice")->profile().interests.back(), "new hobby");
+}
+
+}  // namespace
+}  // namespace ph::community

@@ -1,0 +1,221 @@
+#include "community/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ph::community {
+namespace {
+
+TEST(AccountTest, ConstructionSetsIdentity) {
+  Account account("alice", "pw");
+  EXPECT_EQ(account.member_id(), "alice");
+  EXPECT_EQ(account.profile().display_name, "alice");
+  EXPECT_TRUE(account.check_password("pw"));
+  EXPECT_FALSE(account.check_password("wrong"));
+}
+
+TEST(AccountTest, SetPassword) {
+  Account account("alice", "pw");
+  account.set_password("new");
+  EXPECT_TRUE(account.check_password("new"));
+  EXPECT_FALSE(account.check_password("pw"));
+}
+
+TEST(AccountTest, AddInterestDeduplicatesExactStrings) {
+  Account account("alice", "pw");
+  account.add_interest("football");
+  account.add_interest("football");
+  account.add_interest("movies");
+  EXPECT_EQ(account.profile().interests,
+            (std::vector<std::string>{"football", "movies"}));
+}
+
+TEST(AccountTest, RemoveInterest) {
+  Account account("alice", "pw");
+  account.add_interest("football");
+  EXPECT_TRUE(account.remove_interest("football").ok());
+  EXPECT_TRUE(account.profile().interests.empty());
+}
+
+TEST(AccountTest, RemoveMissingInterestFails) {
+  Account account("alice", "pw");
+  auto result = account.remove_interest("nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::invalid_argument);
+}
+
+TEST(AccountTest, TrustLifecycle) {
+  Account account("alice", "pw");
+  EXPECT_FALSE(account.trusts("bob"));
+  account.add_trusted("bob");
+  EXPECT_TRUE(account.trusts("bob"));
+  EXPECT_TRUE(account.remove_trusted("bob").ok());
+  EXPECT_FALSE(account.trusts("bob"));
+}
+
+TEST(AccountTest, TrustIgnoresDuplicatesAndSelf) {
+  Account account("alice", "pw");
+  account.add_trusted("bob");
+  account.add_trusted("bob");
+  account.add_trusted("alice");  // cannot trust yourself
+  EXPECT_EQ(account.profile().trusted_friends,
+            (std::vector<std::string>{"bob"}));
+}
+
+TEST(AccountTest, RemoveUntrustedFails) {
+  Account account("alice", "pw");
+  EXPECT_FALSE(account.remove_trusted("bob").ok());
+}
+
+TEST(AccountTest, CommentsAccumulate) {
+  Account account("alice", "pw");
+  account.add_comment({"bob", "hi", 1});
+  account.add_comment({"carol", "hello", 2});
+  ASSERT_EQ(account.profile().comments.size(), 2u);
+  EXPECT_EQ(account.profile().comments[0].author, "bob");
+  EXPECT_EQ(account.profile().comments[1].text, "hello");
+}
+
+TEST(AccountTest, VisitorsRecordedOnceAndNeverSelf) {
+  Account account("alice", "pw");
+  account.record_visitor("bob");
+  account.record_visitor("bob");
+  account.record_visitor("alice");
+  account.record_visitor("");
+  EXPECT_EQ(account.profile().visitors, (std::vector<std::string>{"bob"}));
+}
+
+TEST(AccountTest, MailFolders) {
+  Account account("alice", "pw");
+  account.deliver_mail({"alice", "bob", "subject", "body", 5});
+  account.record_sent({"carol", "alice", "out", "text", 6});
+  ASSERT_EQ(account.inbox().size(), 1u);
+  EXPECT_EQ(account.inbox()[0].sender, "bob");
+  ASSERT_EQ(account.sent().size(), 1u);
+  EXPECT_EQ(account.sent()[0].receiver, "carol");
+}
+
+TEST(AccountTest, DeleteMailByNumber) {
+  Account account("alice", "pw");
+  account.deliver_mail({"alice", "bob", "first", "1", 0});
+  account.deliver_mail({"alice", "carol", "second", "2", 0});
+  account.deliver_mail({"alice", "dave", "third", "3", 0});
+  ASSERT_TRUE(account.delete_mail(2).ok());
+  ASSERT_EQ(account.inbox().size(), 2u);
+  EXPECT_EQ(account.inbox()[0].subject, "first");
+  EXPECT_EQ(account.inbox()[1].subject, "third");
+}
+
+TEST(AccountTest, DeleteMailRejectsBadNumbers) {
+  Account account("alice", "pw");
+  account.deliver_mail({"alice", "bob", "only", "1", 0});
+  EXPECT_FALSE(account.delete_mail(0).ok());
+  EXPECT_FALSE(account.delete_mail(2).ok());
+  EXPECT_EQ(account.inbox().size(), 1u);
+}
+
+TEST(AccountTest, SharedFilesRoundTrip) {
+  Account account("alice", "pw");
+  account.share_file("song.mp3", Bytes(100, 1));
+  auto content = account.shared_file("song.mp3");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content->size(), 100u);
+}
+
+TEST(AccountTest, SharedItemsListNamesAndSizes) {
+  Account account("alice", "pw");
+  account.share_file("a.txt", Bytes(10, 0));
+  account.share_file("b.bin", Bytes(20, 0));
+  auto items = account.shared_items();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].name, "a.txt");
+  EXPECT_EQ(items[0].size_bytes, 10u);
+  EXPECT_EQ(items[1].size_bytes, 20u);
+}
+
+TEST(AccountTest, UnshareRemovesFile) {
+  Account account("alice", "pw");
+  account.share_file("a.txt", Bytes(10, 0));
+  EXPECT_TRUE(account.unshare_file("a.txt").ok());
+  EXPECT_FALSE(account.shared_file("a.txt").ok());
+  EXPECT_FALSE(account.unshare_file("a.txt").ok());
+}
+
+TEST(AccountTest, MissingSharedFileReturnsContentNotFound) {
+  Account account("alice", "pw");
+  auto content = account.shared_file("nope");
+  ASSERT_FALSE(content.ok());
+  EXPECT_EQ(content.error().code, Errc::content_not_found);
+}
+
+TEST(AccountTest, ReShareReplacesContent) {
+  Account account("alice", "pw");
+  account.share_file("a.txt", Bytes(10, 0));
+  account.share_file("a.txt", Bytes(30, 1));
+  EXPECT_EQ(account.shared_file("a.txt")->size(), 30u);
+}
+
+TEST(ProfileStoreTest, CreateAndFind) {
+  ProfileStore store;
+  ASSERT_TRUE(store.create_account("alice", "pw").ok());
+  EXPECT_NE(store.find("alice"), nullptr);
+  EXPECT_EQ(store.find("bob"), nullptr);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ProfileStoreTest, DuplicateCreateFails) {
+  ProfileStore store;
+  ASSERT_TRUE(store.create_account("alice", "pw").ok());
+  auto dup = store.create_account("alice", "other");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, Errc::state_error);
+}
+
+TEST(ProfileStoreTest, EmptyMemberIdRejected) {
+  ProfileStore store;
+  EXPECT_FALSE(store.create_account("", "pw").ok());
+}
+
+TEST(ProfileStoreTest, LoginValidatesCredentials) {
+  ProfileStore store;
+  ASSERT_TRUE(store.create_account("alice", "pw").ok());
+  EXPECT_FALSE(store.login("alice", "wrong").ok());
+  EXPECT_FALSE(store.login("nobody", "pw").ok());
+  EXPECT_EQ(store.active(), nullptr);
+  auto login = store.login("alice", "pw");
+  ASSERT_TRUE(login.ok());
+  EXPECT_EQ(store.active(), *login);
+}
+
+TEST(ProfileStoreTest, MultipleProfilesOneActive) {
+  // Table 7: "Support for Multiple Profiles" — one device, many accounts,
+  // a single logged-in user at a time.
+  ProfileStore store;
+  ASSERT_TRUE(store.create_account("alice", "a").ok());
+  ASSERT_TRUE(store.create_account("work-alice", "b").ok());
+  ASSERT_TRUE(store.login("alice", "a").ok());
+  EXPECT_EQ(store.active()->member_id(), "alice");
+  ASSERT_TRUE(store.login("work-alice", "b").ok());
+  EXPECT_EQ(store.active()->member_id(), "work-alice");
+  EXPECT_EQ(store.member_ids(),
+            (std::vector<std::string>{"alice", "work-alice"}));
+}
+
+TEST(ProfileStoreTest, LogoutClearsActive) {
+  ProfileStore store;
+  ASSERT_TRUE(store.create_account("alice", "pw").ok());
+  ASSERT_TRUE(store.login("alice", "pw").ok());
+  store.logout();
+  EXPECT_EQ(store.active(), nullptr);
+}
+
+TEST(ProfileStoreTest, FailedLoginKeepsPreviousSession) {
+  ProfileStore store;
+  ASSERT_TRUE(store.create_account("alice", "pw").ok());
+  ASSERT_TRUE(store.login("alice", "pw").ok());
+  EXPECT_FALSE(store.login("alice", "wrong").ok());
+  ASSERT_NE(store.active(), nullptr);
+  EXPECT_EQ(store.active()->member_id(), "alice");
+}
+
+}  // namespace
+}  // namespace ph::community

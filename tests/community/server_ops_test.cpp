@@ -1,0 +1,277 @@
+// CommunityServer::handle — pure dispatch tests covering every row of the
+// thesis' Table 6 plus the MSC-only operations (Figures 11-17).
+#include "community/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "peerhood/stack.hpp"
+
+namespace ph::community {
+namespace {
+
+class ServerOpsTest : public ::testing::Test {
+ protected:
+  ServerOpsTest() : medium_(simulator_, sim::Rng(10)) {
+    peerhood::StackConfig config;
+    config.device_name = "host";
+    stack_ = std::make_unique<peerhood::Stack>(
+        medium_, std::make_unique<sim::StaticMobility>(sim::Vec2{0, 0}),
+        config);
+    server_ = std::make_unique<CommunityServer>(stack_->library(), store_,
+                                                dictionary_);
+    // A populated, logged-in account named "alice".
+    Account* alice = *store_.create_account("alice", "pw");
+    alice->profile().display_name = "Alice";
+    alice->profile().age = 24;
+    alice->add_interest("football");
+    alice->add_interest("movies");
+    alice->add_trusted("bob");
+    alice->share_file("song.mp3", Bytes(1000, 7));
+    (void)store_.login("alice", "pw");
+  }
+
+  proto::Request request(proto::Opcode op, const std::string& requester = "bob") {
+    proto::Request r;
+    r.op = op;
+    r.requester = requester;
+    return r;
+  }
+
+  sim::Simulator simulator_;
+  net::Medium medium_;
+  std::unique_ptr<peerhood::Stack> stack_;
+  ProfileStore store_;
+  SemanticDictionary dictionary_;
+  std::unique_ptr<CommunityServer> server_;
+};
+
+TEST_F(ServerOpsTest, GetOnlineMemberListReturnsActiveMember) {
+  auto response = server_->handle(request(proto::Opcode::ps_get_online_member_list));
+  EXPECT_EQ(response.status, proto::Status::ok);
+  EXPECT_EQ(response.names, (std::vector<std::string>{"alice"}));
+}
+
+TEST_F(ServerOpsTest, GetOnlineMemberListEmptyWhenLoggedOut) {
+  store_.logout();
+  auto response = server_->handle(request(proto::Opcode::ps_get_online_member_list));
+  EXPECT_EQ(response.status, proto::Status::ok);
+  EXPECT_TRUE(response.names.empty());
+}
+
+TEST_F(ServerOpsTest, GetInterestListReturnsInterests) {
+  auto response = server_->handle(request(proto::Opcode::ps_get_interest_list));
+  EXPECT_EQ(response.names, (std::vector<std::string>{"football", "movies"}));
+}
+
+TEST_F(ServerOpsTest, GetInterestedMemberListMatches) {
+  auto r = request(proto::Opcode::ps_get_interested_member_list);
+  r.argument = "football";
+  auto response = server_->handle(r);
+  EXPECT_EQ(response.names, (std::vector<std::string>{"alice"}));
+}
+
+TEST_F(ServerOpsTest, GetInterestedMemberListNoMatch) {
+  auto r = request(proto::Opcode::ps_get_interested_member_list);
+  r.argument = "chess";
+  EXPECT_TRUE(server_->handle(r).names.empty());
+}
+
+TEST_F(ServerOpsTest, GetInterestedMemberListUsesSemantics) {
+  dictionary_.teach("football", "soccer");
+  auto r = request(proto::Opcode::ps_get_interested_member_list);
+  r.argument = "Soccer";
+  auto response = server_->handle(r);
+  EXPECT_EQ(response.names, (std::vector<std::string>{"alice"}));
+}
+
+TEST_F(ServerOpsTest, GetProfileReturnsFullProfile) {
+  auto r = request(proto::Opcode::ps_get_profile);
+  r.member_id = "alice";
+  auto response = server_->handle(r);
+  ASSERT_EQ(response.status, proto::Status::ok);
+  EXPECT_EQ(response.profile.member_id, "alice");
+  EXPECT_EQ(response.profile.display_name, "Alice");
+  EXPECT_EQ(response.profile.age, 24u);
+  EXPECT_EQ(response.profile.interests,
+            (std::vector<std::string>{"football", "movies"}));
+  EXPECT_EQ(response.profile.trusted_friends, (std::vector<std::string>{"bob"}));
+}
+
+TEST_F(ServerOpsTest, GetProfileRecordsVisitor) {
+  // Figure 13: "The remote server writes the name of the requesting client
+  // as the profile visitor."
+  auto r = request(proto::Opcode::ps_get_profile, "carol");
+  r.member_id = "alice";
+  (void)server_->handle(r);
+  EXPECT_EQ(store_.find("alice")->profile().visitors,
+            (std::vector<std::string>{"carol"}));
+}
+
+TEST_F(ServerOpsTest, GetProfileForWrongMemberIsNoMembersYet) {
+  auto r = request(proto::Opcode::ps_get_profile);
+  r.member_id = "zoe";
+  EXPECT_EQ(server_->handle(r).status, proto::Status::no_members_yet);
+}
+
+TEST_F(ServerOpsTest, GetProfileWhenLoggedOutIsNoMembersYet) {
+  store_.logout();
+  auto r = request(proto::Opcode::ps_get_profile);
+  r.member_id = "alice";
+  EXPECT_EQ(server_->handle(r).status, proto::Status::no_members_yet);
+}
+
+TEST_F(ServerOpsTest, AddProfileCommentAppends) {
+  auto r = request(proto::Opcode::ps_add_profile_comment, "carol");
+  r.member_id = "alice";
+  r.argument = "great taste in music!";
+  EXPECT_EQ(server_->handle(r).status, proto::Status::ok);
+  const auto& comments = store_.find("alice")->profile().comments;
+  ASSERT_EQ(comments.size(), 1u);
+  EXPECT_EQ(comments[0].author, "carol");
+  EXPECT_EQ(comments[0].text, "great taste in music!");
+}
+
+TEST_F(ServerOpsTest, AddEmptyCommentIsUnsuccessful) {
+  auto r = request(proto::Opcode::ps_add_profile_comment);
+  r.member_id = "alice";
+  EXPECT_EQ(server_->handle(r).status, proto::Status::unsuccessful);
+}
+
+TEST_F(ServerOpsTest, AddCommentWrongMemberIsNoMembersYet) {
+  auto r = request(proto::Opcode::ps_add_profile_comment);
+  r.member_id = "zoe";
+  r.argument = "hello?";
+  EXPECT_EQ(server_->handle(r).status, proto::Status::no_members_yet);
+}
+
+TEST_F(ServerOpsTest, CheckMemberIdSuccessAndFailure) {
+  auto hit = request(proto::Opcode::ps_check_member_id);
+  hit.member_id = "alice";
+  EXPECT_EQ(server_->handle(hit).status, proto::Status::ok);
+  auto miss = request(proto::Opcode::ps_check_member_id);
+  miss.member_id = "zoe";
+  EXPECT_EQ(server_->handle(miss).status, proto::Status::no_members_yet);
+}
+
+TEST_F(ServerOpsTest, MsgDeliveredToInbox) {
+  auto r = request(proto::Opcode::ps_msg);
+  r.mail = {"alice", "bob", "hi", "lunch at noon?", 0};
+  EXPECT_EQ(server_->handle(r).status, proto::Status::successfully_written);
+  const auto& inbox = store_.find("alice")->inbox();
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].sender, "bob");
+  EXPECT_EQ(inbox[0].subject, "hi");
+  EXPECT_EQ(inbox[0].body, "lunch at noon?");
+}
+
+TEST_F(ServerOpsTest, MsgToWrongReceiverIsNoMembersYet) {
+  auto r = request(proto::Opcode::ps_msg);
+  r.mail = {"zoe", "bob", "hi", "text", 0};
+  EXPECT_EQ(server_->handle(r).status, proto::Status::no_members_yet);
+}
+
+TEST_F(ServerOpsTest, EmptyMsgIsUnsuccessful) {
+  // Figure 17: UNSUCCESSFULL when the mail cannot be written.
+  auto r = request(proto::Opcode::ps_msg);
+  r.mail = {"alice", "bob", "", "", 0};
+  EXPECT_EQ(server_->handle(r).status, proto::Status::unsuccessful);
+}
+
+TEST_F(ServerOpsTest, MsgStampedWithVirtualTime) {
+  simulator_.run_until(sim::seconds(42));
+  auto r = request(proto::Opcode::ps_msg);
+  r.mail = {"alice", "bob", "s", "b", 0};
+  (void)server_->handle(r);
+  EXPECT_EQ(store_.find("alice")->inbox()[0].sent_at_us, sim::seconds(42));
+}
+
+TEST_F(ServerOpsTest, SharedContentForTrustedRequester) {
+  auto r = request(proto::Opcode::ps_get_shared_content, "bob");
+  r.member_id = "alice";
+  auto response = server_->handle(r);
+  ASSERT_EQ(response.status, proto::Status::ok);
+  ASSERT_EQ(response.items.size(), 1u);
+  EXPECT_EQ(response.items[0].name, "song.mp3");
+  EXPECT_EQ(response.items[0].size_bytes, 1000u);
+}
+
+TEST_F(ServerOpsTest, SharedContentForStrangerIsNotTrustedYet) {
+  auto r = request(proto::Opcode::ps_get_shared_content, "mallory");
+  r.member_id = "alice";
+  EXPECT_EQ(server_->handle(r).status, proto::Status::not_trusted_yet);
+}
+
+TEST_F(ServerOpsTest, GetTrustedFriendsList) {
+  auto r = request(proto::Opcode::ps_get_trusted_friends);
+  r.member_id = "alice";
+  auto response = server_->handle(r);
+  EXPECT_EQ(response.status, proto::Status::ok);
+  EXPECT_EQ(response.names, (std::vector<std::string>{"bob"}));
+}
+
+TEST_F(ServerOpsTest, CheckTrustedMirrorsTrustList) {
+  auto trusted = request(proto::Opcode::ps_check_trusted, "bob");
+  trusted.member_id = "alice";
+  EXPECT_EQ(server_->handle(trusted).status, proto::Status::ok);
+  auto stranger = request(proto::Opcode::ps_check_trusted, "mallory");
+  stranger.member_id = "alice";
+  EXPECT_EQ(server_->handle(stranger).status, proto::Status::not_trusted_yet);
+}
+
+TEST_F(ServerOpsTest, GetContentDeliversBytesToTrusted) {
+  auto r = request(proto::Opcode::ps_get_content, "bob");
+  r.member_id = "alice";
+  r.argument = "song.mp3";
+  auto response = server_->handle(r);
+  ASSERT_EQ(response.status, proto::Status::ok);
+  EXPECT_EQ(response.content, Bytes(1000, 7));
+}
+
+TEST_F(ServerOpsTest, GetContentDeniedToStranger) {
+  auto r = request(proto::Opcode::ps_get_content, "mallory");
+  r.member_id = "alice";
+  r.argument = "song.mp3";
+  EXPECT_EQ(server_->handle(r).status, proto::Status::not_trusted_yet);
+}
+
+TEST_F(ServerOpsTest, GetMissingContentIsUnsuccessful) {
+  auto r = request(proto::Opcode::ps_get_content, "bob");
+  r.member_id = "alice";
+  r.argument = "ghost.file";
+  EXPECT_EQ(server_->handle(r).status, proto::Status::unsuccessful);
+}
+
+TEST_F(ServerOpsTest, ResponsesEchoOpcode) {
+  for (auto op : {proto::Opcode::ps_get_online_member_list,
+                  proto::Opcode::ps_get_profile, proto::Opcode::ps_msg,
+                  proto::Opcode::ps_get_content}) {
+    EXPECT_EQ(server_->handle(request(op)).op, op);
+  }
+}
+
+TEST_F(ServerOpsTest, StatsCountRequests) {
+  (void)server_->handle(request(proto::Opcode::ps_get_interest_list));
+  (void)server_->handle(request(proto::Opcode::ps_get_interest_list));
+  EXPECT_EQ(server_->stats().requests_handled, 2u);
+}
+
+TEST_F(ServerOpsTest, StartRegistersServiceInDaemon) {
+  ASSERT_TRUE(server_->start().ok());
+  auto services = stack_->daemon().local_services();
+  ASSERT_EQ(services.size(), 1u);
+  EXPECT_EQ(services[0].name, "PeerHoodCommunity");
+  EXPECT_TRUE(server_->running());
+  server_->stop();
+  EXPECT_TRUE(stack_->daemon().local_services().empty());
+}
+
+TEST_F(ServerOpsTest, DoubleStartIsIdempotent) {
+  ASSERT_TRUE(server_->start().ok());
+  EXPECT_TRUE(server_->start().ok());
+  EXPECT_EQ(stack_->daemon().local_services().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ph::community

@@ -1,0 +1,305 @@
+// Shell tests — the Figure 10 terminal UI, driven exactly as a user would.
+#include "community/shell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include <memory>
+
+#include "tests/testutil/sim_helpers.hpp"
+
+namespace ph::community {
+namespace {
+
+using testutil::run_until;
+
+net::TechProfile deterministic_bt() {
+  net::TechProfile p = net::bluetooth_2_0();
+  p.frame_loss = 0.0;
+  p.inquiry_detect_prob = 1.0;
+  return p;
+}
+
+class ShellTest : public ::testing::Test {
+ protected:
+  struct Device {
+    std::unique_ptr<peerhood::Stack> stack;
+    std::unique_ptr<CommunityApp> app;
+    std::unique_ptr<Shell> shell;
+  };
+
+  ShellTest() : medium_(simulator_, sim::Rng(60)) {
+    me_ = make_device("me-ptd", {0, 0});
+    peer_ = make_device("alice-ptd", {3, 0});
+    // Peer alice is logged in with interests and content.
+    EXPECT_NE(peer_->shell->execute("create alice pw").find("created"),
+              std::string::npos);
+    EXPECT_NE(peer_->shell->execute("login alice pw").find("welcome"),
+              std::string::npos);
+    (void)peer_->shell->execute("interest add football");
+    (void)peer_->shell->execute("share mixtape.mp3 5000");
+  }
+
+  std::unique_ptr<Device> make_device(const std::string& name, sim::Vec2 pos) {
+    auto device = std::make_unique<Device>();
+    peerhood::StackConfig config;
+    config.device_name = name;
+    config.radios = {deterministic_bt()};
+    device->stack = std::make_unique<peerhood::Stack>(
+        medium_, std::make_unique<sim::StaticMobility>(pos), config);
+    device->app = std::make_unique<CommunityApp>(*device->stack);
+    device->shell = std::make_unique<Shell>(*device->app);
+    return device;
+  }
+
+  /// Logs 'me' in and waits for the neighbourhood.
+  void login_me() {
+    ASSERT_NE(me_->shell->execute("create me pw").find("created"),
+              std::string::npos);
+    ASSERT_NE(me_->shell->execute("login me pw").find("welcome"),
+              std::string::npos);
+    ASSERT_TRUE(run_until(
+        simulator_,
+        [&] {
+          return !me_->stack->library().find_service(kServiceName).empty();
+        },
+        sim::seconds(30)));
+  }
+
+  sim::Simulator simulator_;
+  net::Medium medium_;
+  std::unique_ptr<Device> me_, peer_;
+};
+
+TEST_F(ShellTest, MenuShowsLoginState) {
+  EXPECT_NE(me_->shell->execute("menu").find("not logged in"), std::string::npos);
+  login_me();
+  EXPECT_NE(me_->shell->execute("menu").find("logged in as: me"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, UnknownCommandSuggestsHelp) {
+  EXPECT_NE(me_->shell->execute("frobnicate").find("unknown command"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, HelpListsEveryCommand) {
+  const std::string help = me_->shell->execute("help");
+  for (const char* command :
+       {"create", "login", "profile", "interests", "members", "group",
+        "comment", "msg", "inbox", "trust", "shared", "fetch", "teach"}) {
+    EXPECT_NE(help.find(command), std::string::npos) << command;
+  }
+}
+
+TEST_F(ShellTest, CommandsRequireLogin) {
+  for (const char* command : {"members", "interests", "inbox", "profile",
+                              "group list", "shared"}) {
+    EXPECT_NE(me_->shell->execute(command).find("not logged in"),
+              std::string::npos)
+        << command;
+  }
+}
+
+TEST_F(ShellTest, BadCredentialsRejected) {
+  (void)me_->shell->execute("create me pw");
+  EXPECT_NE(me_->shell->execute("login me wrong").find("auth_failed"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, ProfileEditingScreens) {
+  login_me();
+  (void)me_->shell->execute("set name Me Myself");
+  (void)me_->shell->execute("set age 27");
+  (void)me_->shell->execute("set about studying at LUT");
+  const std::string screen = me_->shell->execute("profile");
+  EXPECT_NE(screen.find("name : Me Myself"), std::string::npos);
+  EXPECT_NE(screen.find("age  : 27"), std::string::npos);
+  EXPECT_NE(screen.find("about: studying at LUT"), std::string::npos);
+}
+
+TEST_F(ShellTest, InterestManagement) {
+  login_me();
+  (void)me_->shell->execute("interest add football");
+  (void)me_->shell->execute("interest add jazz");
+  std::string screen = me_->shell->execute("interests");
+  EXPECT_NE(screen.find("football"), std::string::npos);
+  EXPECT_NE(screen.find("jazz"), std::string::npos);
+  (void)me_->shell->execute("interest remove jazz");
+  screen = me_->shell->execute("interests");
+  EXPECT_EQ(screen.find("jazz"), std::string::npos);
+}
+
+TEST_F(ShellTest, MembersScreenFindsPeer) {
+  login_me();
+  const std::string screen = me_->shell->execute("members");
+  EXPECT_NE(screen.find("alice"), std::string::npos);
+}
+
+TEST_F(ShellTest, RemoteProfileScreen) {
+  login_me();
+  const std::string screen = me_->shell->execute("profile alice");
+  EXPECT_NE(screen.find("profile: alice"), std::string::npos);
+  EXPECT_NE(screen.find("football"), std::string::npos);
+}
+
+TEST_F(ShellTest, GroupScreensAfterDiscovery) {
+  login_me();
+  (void)me_->shell->execute("interest add football");
+  ASSERT_TRUE(run_until(
+      simulator_,
+      [&] {
+        auto group = me_->app->groups().group("football");
+        return group.ok() && group->formed();
+      },
+      sim::minutes(1)));
+  const std::string list = me_->shell->execute("group list");
+  EXPECT_NE(list.find("football [2 member(s)]"), std::string::npos);
+  const std::string members = me_->shell->execute("group members football");
+  EXPECT_NE(members.find("alice"), std::string::npos);
+  EXPECT_NE(members.find("me"), std::string::npos);
+}
+
+TEST_F(ShellTest, ManualGroupJoinLeave) {
+  login_me();
+  EXPECT_NE(me_->shell->execute("group join sailing").find("joined"),
+            std::string::npos);
+  EXPECT_NE(me_->shell->execute("group list").find("sailing"),
+            std::string::npos);
+  EXPECT_NE(me_->shell->execute("group leave sailing").find("left"),
+            std::string::npos);
+  EXPECT_EQ(me_->shell->execute("group list").find("sailing"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, MessageRoundTripThroughShells) {
+  login_me();
+  EXPECT_NE(
+      me_->shell->execute("msg alice lunch? | see you at 12 by the kiosk")
+          .find("delivered"),
+      std::string::npos);
+  const std::string inbox = peer_->shell->execute("inbox");
+  EXPECT_NE(inbox.find("from me: [lunch?] see you at 12 by the kiosk"),
+            std::string::npos);
+  // ...and the sender's own sent folder records it (Table 7: "view sent
+  // messages").
+  const std::string sent = me_->shell->execute("sent");
+  EXPECT_NE(sent.find("to alice: [lunch?] see you at 12 by the kiosk"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, CommentAppearsOnPeerProfile) {
+  login_me();
+  (void)me_->shell->execute("comment alice great mixtape!");
+  const std::string profile = peer_->shell->execute("profile");
+  EXPECT_NE(profile.find("[me] great mixtape!"), std::string::npos);
+}
+
+TEST_F(ShellTest, SharedContentTrustFlow) {
+  login_me();
+  // Untrusted: the thesis' NOT_TRUSTED_YET screen.
+  EXPECT_NE(me_->shell->execute("shared alice").find("NOT_TRUSTED_YET"),
+            std::string::npos);
+  // alice trusts me; the listing works.
+  (void)peer_->shell->execute("trust add me");
+  const std::string listing = me_->shell->execute("shared alice");
+  EXPECT_NE(listing.find("mixtape.mp3 (5000 bytes)"), std::string::npos);
+  // ...and the download too.
+  EXPECT_NE(me_->shell->execute("fetch alice mixtape.mp3")
+                .find("downloaded 'mixtape.mp3' (5000 bytes)"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, TrustListScreens) {
+  login_me();
+  (void)peer_->shell->execute("trust add me");
+  (void)peer_->shell->execute("trust add someone-else");
+  const std::string remote = me_->shell->execute("trust list alice");
+  EXPECT_NE(remote.find("me"), std::string::npos);
+  EXPECT_NE(remote.find("someone-else"), std::string::npos);
+}
+
+TEST_F(ShellTest, TeachMergesGroups) {
+  login_me();
+  (void)me_->shell->execute("interest add soccer");
+  simulator_.run_for(sim::seconds(5));
+  // alice has "football": no group match yet.
+  EXPECT_EQ(me_->shell->execute("group members soccer").find("alice"),
+            std::string::npos);
+  (void)me_->shell->execute("teach soccer = football");
+  const std::string members = me_->shell->execute("group members soccer");
+  EXPECT_NE(members.find("alice"), std::string::npos);
+}
+
+TEST_F(ShellTest, DevicesAndServicesScreens) {
+  login_me();
+  const std::string devices = me_->shell->execute("devices");
+  EXPECT_NE(devices.find("alice-ptd"), std::string::npos);
+  EXPECT_NE(devices.find("bluetooth"), std::string::npos);
+  const std::string services = me_->shell->execute("services");
+  EXPECT_NE(services.find("PeerHoodCommunity @ alice-ptd"), std::string::npos);
+  EXPECT_NE(services.find("PeerHoodCommunity @ (this device)"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, InboxDeleteCommand) {
+  login_me();
+  (void)peer_->shell->execute("msg me one | first body");
+  (void)peer_->shell->execute("msg me two | second body");
+  std::string inbox = me_->shell->execute("inbox");
+  EXPECT_NE(inbox.find("1. from alice: [one]"), std::string::npos);
+  EXPECT_NE(inbox.find("2. from alice: [two]"), std::string::npos);
+  EXPECT_NE(me_->shell->execute("inbox delete 1").find("deleted"),
+            std::string::npos);
+  inbox = me_->shell->execute("inbox");
+  EXPECT_EQ(inbox.find("[one]"), std::string::npos);
+  EXPECT_NE(inbox.find("1. from alice: [two]"), std::string::npos);
+  EXPECT_NE(me_->shell->execute("inbox delete 9").find("error"),
+            std::string::npos);
+  EXPECT_NE(me_->shell->execute("inbox garbage").find("usage"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, SaveAndLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/shell_store_test.bin";
+  login_me();
+  (void)me_->shell->execute("interest add football");
+  EXPECT_NE(me_->shell->execute("save " + path).find("accounts saved"),
+            std::string::npos);
+  // Load logs the user out and restores the stored accounts.
+  EXPECT_NE(me_->shell->execute("load " + path).find("please log in"),
+            std::string::npos);
+  EXPECT_NE(me_->shell->execute("whoami").find("not logged in"),
+            std::string::npos);
+  EXPECT_NE(me_->shell->execute("login me pw").find("welcome"),
+            std::string::npos);
+  EXPECT_NE(me_->shell->execute("interests").find("football"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ShellTest, LoadFromMissingFileReportsError) {
+  EXPECT_NE(me_->shell->execute("load /no/such/file.bin").find("error"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, EmptyAndCommentLinesIgnored) {
+  EXPECT_EQ(me_->shell->execute(""), "");
+  EXPECT_EQ(me_->shell->execute("   "), "");
+  EXPECT_EQ(me_->shell->execute("# a script comment"), "");
+}
+
+TEST_F(ShellTest, UsageMessagesOnBadArguments) {
+  login_me();
+  EXPECT_NE(me_->shell->execute("msg alice no-bar-here").find("usage:"),
+            std::string::npos);
+  EXPECT_NE(me_->shell->execute("set age not-a-number").find("error"),
+            std::string::npos);
+  EXPECT_NE(me_->shell->execute("share file.bin NaN").find("error"),
+            std::string::npos);
+  EXPECT_NE(me_->shell->execute("teach a b").find("usage:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ph::community

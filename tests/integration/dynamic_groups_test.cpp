@@ -1,0 +1,184 @@
+// Figures 2 & 5 — dynamic groups around a central user, under mobility.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "community/app.hpp"
+#include "tests/testutil/sim_helpers.hpp"
+
+namespace ph::community {
+namespace {
+
+using testutil::run_until;
+
+net::TechProfile deterministic_bt() {
+  net::TechProfile p = net::bluetooth_2_0();
+  p.frame_loss = 0.0;
+  p.inquiry_detect_prob = 1.0;
+  return p;
+}
+
+struct Device {
+  std::unique_ptr<peerhood::Stack> stack;
+  std::unique_ptr<CommunityApp> app;
+};
+
+class DynamicGroupsTest : public ::testing::Test {
+ protected:
+  DynamicGroupsTest() : medium_(simulator_, sim::Rng(23)) {}
+
+  Device& make_device(const std::string& member, std::vector<std::string> interests,
+                      std::unique_ptr<sim::MobilityModel> mobility) {
+    auto device = std::make_unique<Device>();
+    peerhood::StackConfig config;
+    config.device_name = member + "-ptd";
+    config.radios = {deterministic_bt()};
+    device->stack = std::make_unique<peerhood::Stack>(medium_,
+                                                      std::move(mobility),
+                                                      config);
+    AppConfig app_config;
+    app_config.peer_refresh_interval = sim::seconds(15);
+    device->app = std::make_unique<CommunityApp>(*device->stack, app_config);
+    Account* account = *device->app->create_account(member, "pw");
+    for (const auto& interest : interests) account->add_interest(interest);
+    EXPECT_TRUE(device->app->login(member, "pw").ok());
+    devices_.push_back(std::move(device));
+    return *devices_.back();
+  }
+
+  Device& make_static(const std::string& member,
+                      std::vector<std::string> interests, sim::Vec2 pos) {
+    return make_device(member, std::move(interests),
+                       std::make_unique<sim::StaticMobility>(pos));
+  }
+
+  sim::Simulator simulator_;
+  net::Medium medium_;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+TEST_F(DynamicGroupsTest, Figure2ThreeInterestGroupsAroundCentralUser) {
+  // The central device holds three distinct interests; neighbours match
+  // one each. Three dynamic groups must form, one per interest.
+  Device& centre = make_static("centre", {"music", "sports", "books"}, {0, 0});
+  make_static("m1", {"music"}, {2, 0});
+  make_static("m2", {"music", "books"}, {0, 2});
+  make_static("s1", {"sports"}, {-2, 0});
+  make_static("b1", {"books"}, {0, -2});
+  ASSERT_TRUE(run_until(
+      simulator_,
+      [&] {
+        auto music = centre.app->groups().group("music");
+        auto sports = centre.app->groups().group("sports");
+        auto books = centre.app->groups().group("books");
+        return music.ok() && music->members.size() == 3 && sports.ok() &&
+               sports->members.size() == 2 && books.ok() &&
+               books->members.size() == 3;
+      },
+      sim::minutes(1)));
+  EXPECT_EQ(centre.app->groups().group("music")->members,
+            (std::set<std::string>{"centre", "m1", "m2"}));
+  EXPECT_EQ(centre.app->groups().group("sports")->members,
+            (std::set<std::string>{"centre", "s1"}));
+  EXPECT_EQ(centre.app->groups().group("books")->members,
+            (std::set<std::string>{"centre", "b1", "m2"}));
+}
+
+TEST_F(DynamicGroupsTest, Figure5GroupsTrackArrivalsAndDepartures) {
+  // A neighbour walks through the central user's radio range: the group
+  // forms while they are close and dissolves after they leave, entirely
+  // driven by PeerHood monitoring.
+  Device& centre = make_static("centre", {"football"}, {0, 0});
+  make_device("walker", {"football"},
+              std::make_unique<sim::WaypointMobility>(
+                  std::vector<sim::WaypointMobility::Waypoint>{
+                      {sim::seconds(0), {3, 0}},
+                      {sim::seconds(25), {3, 0}},
+                      {sim::seconds(40), {100, 0}}}));
+  int formed_events = 0, dissolved_events = 0;
+  // Install group callbacks once the engine exists (post-login).
+  GroupCallbacks callbacks;
+  callbacks.on_group_formed = [&](const Group&) { ++formed_events; };
+  callbacks.on_group_dissolved = [&](const std::string&) { ++dissolved_events; };
+  centre.app->groups().set_callbacks(std::move(callbacks));
+
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return formed_events == 1; }, sim::seconds(30)));
+  EXPECT_TRUE(centre.app->groups().group("football")->formed());
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return dissolved_events == 1; }, sim::minutes(2)));
+  EXPECT_FALSE(centre.app->groups().group("football")->formed());
+}
+
+TEST_F(DynamicGroupsTest, CrowdChurnKeepsGroupsConsistent) {
+  // Random-waypoint crowd in a 25x25 m square around a static centre:
+  // after any amount of churn, the centre's groups contain exactly the
+  // neighbours it currently knows about that share the interest.
+  Device& centre = make_static("centre", {"coffee"}, {12.5, 12.5});
+  sim::Rng mobility_rng(99);
+  for (int i = 0; i < 6; ++i) {
+    sim::RandomWaypoint::Config config;
+    config.area_min = {0, 0};
+    config.area_max = {25, 25};
+    config.speed_min_mps = 0.5;
+    config.speed_max_mps = 1.5;
+    const bool likes_coffee = i % 2 == 0;
+    make_device("p" + std::to_string(i),
+                likes_coffee ? std::vector<std::string>{"coffee"}
+                             : std::vector<std::string>{"tea"},
+                std::make_unique<sim::RandomWaypoint>(config,
+                                                      mobility_rng.fork()));
+  }
+  // Let the crowd mill around for five simulated minutes, checking the
+  // invariant at every 20 s checkpoint.
+  for (int checkpoint = 0; checkpoint < 15; ++checkpoint) {
+    simulator_.run_for(sim::seconds(20));
+    auto group = centre.app->groups().group("coffee");
+    ASSERT_TRUE(group.ok());
+    for (const std::string& member : group->members) {
+      if (member == "centre") continue;
+      // Every remote member must be a coffee drinker (p0, p2, p4).
+      const int index = std::stoi(member.substr(1));
+      EXPECT_EQ(index % 2, 0) << member << " should not be in the group";
+    }
+  }
+}
+
+TEST_F(DynamicGroupsTest, TwoSidedViewsAgreeOnSharedGroup) {
+  Device& alice = make_static("alice", {"jazz"}, {0, 0});
+  Device& bob = make_static("bob", {"jazz"}, {4, 0});
+  ASSERT_TRUE(run_until(
+      simulator_,
+      [&] {
+        auto ga = alice.app->groups().group("jazz");
+        auto gb = bob.app->groups().group("jazz");
+        return ga.ok() && gb.ok() && ga->formed() && gb->formed();
+      },
+      sim::minutes(1)));
+  EXPECT_EQ(alice.app->groups().group("jazz")->members,
+            bob.app->groups().group("jazz")->members);
+}
+
+TEST_F(DynamicGroupsTest, LateArrivalJoinsExistingGroup) {
+  Device& alice = make_static("alice", {"running"}, {0, 0});
+  make_static("bob", {"running"}, {3, 0});
+  ASSERT_TRUE(run_until(
+      simulator_,
+      [&] { return alice.app->groups().group("running")->formed(); },
+      sim::seconds(30)));
+  // Carol arrives later (device powered on at t=40 s, simulated by
+  // creating her then).
+  simulator_.run_until(sim::seconds(40));
+  make_static("carol", {"running"}, {0, 3});
+  ASSERT_TRUE(run_until(
+      simulator_,
+      [&] {
+        return alice.app->groups().group("running")->members.size() == 3;
+      },
+      sim::minutes(1)));
+  EXPECT_EQ(alice.app->groups().group("running")->members,
+            (std::set<std::string>{"alice", "bob", "carol"}));
+}
+
+}  // namespace
+}  // namespace ph::community

@@ -1,0 +1,220 @@
+// Message-sequence tests for Figures 11-17: each MSC's exact exchange,
+// including the thesis' NO_MEMBERS_YET / NOT_TRUSTED_YET /
+// SUCCESSFULLY_WRITTEN side answers, observed at the wire level through
+// raw fan-outs against a real three-device Bluetooth neighbourhood.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "community/app.hpp"
+#include "tests/testutil/sim_helpers.hpp"
+
+namespace ph::community {
+namespace {
+
+using testutil::run_until;
+
+net::TechProfile deterministic_bt() {
+  net::TechProfile p = net::bluetooth_2_0();
+  p.frame_loss = 0.0;
+  p.inquiry_detect_prob = 1.0;
+  return p;
+}
+
+class MscTest : public ::testing::Test {
+ protected:
+  struct Device {
+    std::unique_ptr<peerhood::Stack> stack;
+    std::unique_ptr<CommunityApp> app;
+  };
+
+  MscTest() : medium_(simulator_, sim::Rng(22)) {
+    me_ = make_device("me", {0, 0}, {"football"});
+    alice_ = make_device("alice", {3, 0}, {"football", "movies"});
+    bob_ = make_device("bob", {0, 3}, {"chess"});
+    // Wait until 'me' can see both community servers.
+    EXPECT_TRUE(run_until(
+        simulator_,
+        [&] {
+          return me_->stack->library().find_service(kServiceName).size() == 2;
+        },
+        sim::seconds(30)));
+  }
+
+  std::unique_ptr<Device> make_device(const std::string& member, sim::Vec2 pos,
+                                      std::vector<std::string> interests) {
+    auto device = std::make_unique<Device>();
+    peerhood::StackConfig config;
+    config.device_name = member + "-ptd";
+    config.radios = {deterministic_bt()};
+    device->stack = std::make_unique<peerhood::Stack>(
+        medium_, std::make_unique<sim::StaticMobility>(pos), config);
+    device->app = std::make_unique<CommunityApp>(*device->stack);
+    Account* account = *device->app->create_account(member, "pw");
+    for (const auto& interest : interests) account->add_interest(interest);
+    EXPECT_TRUE(device->app->login(member, "pw").ok());
+    return device;
+  }
+
+  /// Raw fan-out capturing every per-device response (MSC side answers).
+  std::vector<CommunityClient::FanoutEntry> fanout(proto::Request request) {
+    std::vector<CommunityClient::FanoutEntry> entries;
+    bool done = false;
+    me_->app->client().fanout(std::move(request),
+                              [&](std::vector<CommunityClient::FanoutEntry> r) {
+                                entries = std::move(r);
+                                done = true;
+                              });
+    EXPECT_TRUE(run_until(simulator_, [&] { return done; }, sim::seconds(30)));
+    return entries;
+  }
+
+  const proto::Response& response_from(
+      const std::vector<CommunityClient::FanoutEntry>& entries,
+      peerhood::DeviceId device) {
+    for (const auto& entry : entries) {
+      if (entry.device == device) return entry.response;
+    }
+    static proto::Response missing;
+    ADD_FAILURE() << "no response from device " << device;
+    return missing;
+  }
+
+  proto::Request request(proto::Opcode op) {
+    proto::Request r;
+    r.op = op;
+    r.requester = "me";
+    return r;
+  }
+
+  sim::Simulator simulator_;
+  net::Medium medium_;
+  std::unique_ptr<Device> me_, alice_, bob_;
+};
+
+TEST_F(MscTest, Figure11GetMemberList) {
+  // Client sends PS_GETONLINEMEMBERLIST to all connected servers
+  // simultaneously and receives the member names.
+  auto entries = fanout(request(proto::Opcode::ps_get_online_member_list));
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(response_from(entries, alice_->stack->id()).names,
+            (std::vector<std::string>{"alice"}));
+  EXPECT_EQ(response_from(entries, bob_->stack->id()).names,
+            (std::vector<std::string>{"bob"}));
+}
+
+TEST_F(MscTest, Figure12GetInterestsList) {
+  auto entries = fanout(request(proto::Opcode::ps_get_interest_list));
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(response_from(entries, alice_->stack->id()).names,
+            (std::vector<std::string>{"football", "movies"}));
+  EXPECT_EQ(response_from(entries, bob_->stack->id()).names,
+            (std::vector<std::string>{"chess"}));
+}
+
+TEST_F(MscTest, Figure13ViewMemberProfile) {
+  // The desired server answers with the profile and records the visitor;
+  // all other servers answer NO_MEMBERS_YET.
+  auto r = request(proto::Opcode::ps_get_profile);
+  r.member_id = "alice";
+  auto entries = fanout(r);
+  ASSERT_EQ(entries.size(), 2u);
+  const auto& from_alice = response_from(entries, alice_->stack->id());
+  EXPECT_EQ(from_alice.status, proto::Status::ok);
+  EXPECT_EQ(from_alice.profile.member_id, "alice");
+  EXPECT_EQ(from_alice.profile.interests,
+            (std::vector<std::string>{"football", "movies"}));
+  EXPECT_EQ(response_from(entries, bob_->stack->id()).status,
+            proto::Status::no_members_yet);
+  // Visitor recorded on alice's device only.
+  EXPECT_EQ(alice_->app->active()->profile().visitors,
+            (std::vector<std::string>{"me"}));
+  EXPECT_TRUE(bob_->app->active()->profile().visitors.empty());
+}
+
+TEST_F(MscTest, Figure14PutProfileComment) {
+  auto r = request(proto::Opcode::ps_add_profile_comment);
+  r.member_id = "alice";
+  r.argument = "nice interests!";
+  auto entries = fanout(r);
+  EXPECT_EQ(response_from(entries, alice_->stack->id()).status,
+            proto::Status::ok);
+  EXPECT_EQ(response_from(entries, bob_->stack->id()).status,
+            proto::Status::no_members_yet);
+  ASSERT_EQ(alice_->app->active()->profile().comments.size(), 1u);
+  EXPECT_EQ(alice_->app->active()->profile().comments[0].text,
+            "nice interests!");
+  EXPECT_TRUE(bob_->app->active()->profile().comments.empty());
+}
+
+TEST_F(MscTest, Figure15ViewMembersTrustedFriends) {
+  alice_->app->active()->add_trusted("carol");
+  alice_->app->active()->add_trusted("dave");
+  auto r = request(proto::Opcode::ps_get_trusted_friends);
+  r.member_id = "alice";
+  auto entries = fanout(r);
+  EXPECT_EQ(response_from(entries, alice_->stack->id()).names,
+            (std::vector<std::string>{"carol", "dave"}));
+  EXPECT_EQ(response_from(entries, bob_->stack->id()).status,
+            proto::Status::no_members_yet);
+}
+
+TEST_F(MscTest, Figure16ViewSharedContentNotTrustedPath) {
+  // First phase: PS_CHECKTRUSTED answers NOT_TRUSTED_YET for strangers.
+  alice_->app->active()->share_file("secret.txt", Bytes(10, 1));
+  auto check = request(proto::Opcode::ps_check_trusted);
+  check.member_id = "alice";
+  auto entries = fanout(check);
+  EXPECT_EQ(response_from(entries, alice_->stack->id()).status,
+            proto::Status::not_trusted_yet);
+}
+
+TEST_F(MscTest, Figure16ViewSharedContentTrustedPath) {
+  // Trusted: PS_CHECKTRUSTED is OK, then PS_GETSHAREDCONTENT lists items.
+  alice_->app->active()->add_trusted("me");
+  alice_->app->active()->share_file("mix.mp3", Bytes(999, 1));
+  auto check = request(proto::Opcode::ps_check_trusted);
+  check.member_id = "alice";
+  auto check_entries = fanout(check);
+  EXPECT_EQ(response_from(check_entries, alice_->stack->id()).status,
+            proto::Status::ok);
+  auto list = request(proto::Opcode::ps_get_shared_content);
+  list.member_id = "alice";
+  auto list_entries = fanout(list);
+  const auto& items = response_from(list_entries, alice_->stack->id()).items;
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].name, "mix.mp3");
+  EXPECT_EQ(items[0].size_bytes, 999u);
+}
+
+TEST_F(MscTest, Figure17SendMessage) {
+  // PS_MSG with receiver, sender, subject and message; the receiving side
+  // writes the mail into the inbox and answers SUCCESSFULLY_WRITTEN.
+  bool done = false;
+  me_->app->client().send_message("bob", "hello", "chess tonight?",
+                                  [&](Result<void> result) {
+                                    EXPECT_TRUE(result.ok());
+                                    done = true;
+                                  });
+  ASSERT_TRUE(run_until(simulator_, [&] { return done; }, sim::seconds(30)));
+  ASSERT_EQ(bob_->app->active()->inbox().size(), 1u);
+  const proto::MailData& mail = bob_->app->active()->inbox()[0];
+  EXPECT_EQ(mail.sender, "me");
+  EXPECT_EQ(mail.receiver, "bob");
+  EXPECT_EQ(mail.subject, "hello");
+  EXPECT_EQ(mail.body, "chess tonight?");
+  EXPECT_TRUE(alice_->app->active()->inbox().empty());
+}
+
+TEST_F(MscTest, Figure17UnsuccessfulWhenMailUnwritable) {
+  // An empty mail cannot be written: the server answers UNSUCCESSFULL.
+  auto r = request(proto::Opcode::ps_msg);
+  r.mail.receiver = "bob";
+  r.mail.sender = "me";
+  auto entries = fanout(r);
+  EXPECT_EQ(response_from(entries, bob_->stack->id()).status,
+            proto::Status::unsuccessful);
+}
+
+}  // namespace
+}  // namespace ph::community

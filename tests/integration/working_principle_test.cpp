@@ -1,0 +1,147 @@
+// Figure 7 — "Working Principle of Reference Implementation":
+//   server registers the service and gets neighbourhood info; the remote
+//   client connects, information is exchanged, and the connection is
+//   terminated successfully on request.
+// This test replays that exact lifecycle and asserts each milestone in
+// order.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "community/app.hpp"
+#include "tests/testutil/sim_helpers.hpp"
+
+namespace ph::community {
+namespace {
+
+using testutil::run_until;
+
+net::TechProfile deterministic_bt() {
+  net::TechProfile p = net::bluetooth_2_0();
+  p.frame_loss = 0.0;
+  p.inquiry_detect_prob = 1.0;
+  return p;
+}
+
+TEST(WorkingPrincipleTest, FullLifecycle) {
+  sim::Simulator simulator;
+  net::Medium medium(simulator, sim::Rng(20));
+
+  peerhood::StackConfig config;
+  config.radios = {deterministic_bt()};
+  config.device_name = "server-ptd";
+  peerhood::Stack server_stack(
+      medium, std::make_unique<sim::StaticMobility>(sim::Vec2{0, 0}), config);
+  config.device_name = "client-ptd";
+  peerhood::Stack client_stack(
+      medium, std::make_unique<sim::StaticMobility>(sim::Vec2{3, 0}), config);
+
+  // Milestone 1 — the server registers "PeerHoodCommunity" into its PHD
+  // (Figure 8's pRegisterService).
+  ProfileStore server_store;
+  SemanticDictionary server_dict;
+  Account* alice = *server_store.create_account("alice", "pw");
+  alice->add_interest("football");
+  (void)server_store.login("alice", "pw");
+  CommunityServer server(server_stack.library(), server_store, server_dict);
+  ASSERT_TRUE(server.start().ok());
+  ASSERT_EQ(server_stack.daemon().local_services().size(), 1u);
+  EXPECT_EQ(server_stack.daemon().local_services()[0].name, "PeerHoodCommunity");
+
+  // Milestone 2 — the client's PHD gets the neighbourhood information:
+  // device found, service discovered.
+  ASSERT_TRUE(run_until(
+      simulator,
+      [&] {
+        return !client_stack.library().find_service(kServiceName).empty();
+      },
+      sim::seconds(20)));
+  auto found = client_stack.library().find_service(kServiceName);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].first.id, server_stack.id());
+
+  // Milestone 3 — the remote client connects to the server through the
+  // registered service (Figure 9's pConnect).
+  peerhood::Connection connection;
+  client_stack.library().connect(
+      server_stack.id(), std::string(kServiceName), {},
+      [&](Result<peerhood::Connection> result) {
+        ASSERT_TRUE(result.ok()) << result.error().to_string();
+        connection = *result;
+      });
+  ASSERT_TRUE(run_until(
+      simulator, [&] { return connection.valid(); }, sim::seconds(5)));
+  EXPECT_TRUE(connection.open());
+
+  // Milestone 4 — information exchange: a real PS_GETINTERESTLIST request
+  // travels to the server and the interest list comes back.
+  proto::Response response;
+  bool answered = false;
+  connection.on_message([&](BytesView data) {
+    auto decoded = proto::decode_response(data);
+    ASSERT_TRUE(decoded.ok());
+    response = *decoded;
+    answered = true;
+  });
+  proto::Request request;
+  request.op = proto::Opcode::ps_get_interest_list;
+  request.requester = "bob";
+  connection.send(proto::encode(request));
+  ASSERT_TRUE(run_until(simulator, [&] { return answered; }, sim::seconds(5)));
+  EXPECT_EQ(response.status, proto::Status::ok);
+  EXPECT_EQ(response.names, (std::vector<std::string>{"football"}));
+  EXPECT_EQ(server.stats().requests_handled, 1u);
+  EXPECT_EQ(server.stats().sessions_accepted, 1u);
+
+  // Milestone 5 — the connection is terminated successfully on request.
+  connection.close();
+  EXPECT_FALSE(connection.open());
+  simulator.run_until(simulator.now() + sim::seconds(1));
+  SUCCEED();
+}
+
+TEST(WorkingPrincipleTest, EveryDeviceRunsBothClientAndServer) {
+  // "Every PTD must contain the application server and server must run
+  // continuously" — two full apps, each side queries the other.
+  sim::Simulator simulator;
+  net::Medium medium(simulator, sim::Rng(21));
+  peerhood::StackConfig config;
+  config.radios = {deterministic_bt()};
+  config.device_name = "a-ptd";
+  peerhood::Stack stack_a(
+      medium, std::make_unique<sim::StaticMobility>(sim::Vec2{0, 0}), config);
+  config.device_name = "b-ptd";
+  peerhood::Stack stack_b(
+      medium, std::make_unique<sim::StaticMobility>(sim::Vec2{3, 0}), config);
+  CommunityApp app_a(stack_a);
+  CommunityApp app_b(stack_b);
+  ASSERT_TRUE(app_a.create_account("alice", "pw").ok());
+  ASSERT_TRUE(app_b.create_account("bob", "pw").ok());
+  ASSERT_TRUE(app_a.login("alice", "pw").ok());
+  ASSERT_TRUE(app_b.login("bob", "pw").ok());
+
+  std::vector<std::string> a_sees, b_sees;
+  bool a_done = false, b_done = false;
+  ASSERT_TRUE(run_until(
+      simulator,
+      [&] {
+        return !stack_a.library().find_service(kServiceName).empty() &&
+               !stack_b.library().find_service(kServiceName).empty();
+      },
+      sim::seconds(30)));
+  app_a.client().get_online_members([&](Result<std::vector<std::string>> r) {
+    a_sees = *r;
+    a_done = true;
+  });
+  app_b.client().get_online_members([&](Result<std::vector<std::string>> r) {
+    b_sees = *r;
+    b_done = true;
+  });
+  ASSERT_TRUE(run_until(
+      simulator, [&] { return a_done && b_done; }, sim::seconds(20)));
+  EXPECT_EQ(a_sees, (std::vector<std::string>{"bob"}));
+  EXPECT_EQ(b_sees, (std::vector<std::string>{"alice"}));
+}
+
+}  // namespace
+}  // namespace ph::community

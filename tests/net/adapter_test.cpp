@@ -1,0 +1,187 @@
+#include "net/adapter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/medium.hpp"
+#include "tests/testutil/sim_helpers.hpp"
+
+namespace ph::net {
+namespace {
+
+TechProfile lossless_bt() {
+  TechProfile p = bluetooth_2_0();
+  p.frame_loss = 0.0;
+  p.inquiry_detect_prob = 1.0;
+  return p;
+}
+
+class AdapterTest : public ::testing::Test {
+ protected:
+  AdapterTest() : medium_(simulator_, sim::Rng(2)) {}
+
+  NodeId add_node(const std::string& name, sim::Vec2 pos) {
+    return medium_.add_node(name, std::make_unique<sim::StaticMobility>(pos));
+  }
+
+  sim::Simulator simulator_;
+  Medium medium_;
+};
+
+TEST_F(AdapterTest, InquiryFindsNeighbourAfterScanDuration) {
+  NodeId a = add_node("a", {0, 0});
+  NodeId b = add_node("b", {2, 0});
+  Adapter& radio_a = medium_.add_adapter(a, lossless_bt());
+  medium_.add_adapter(b, lossless_bt());
+
+  std::vector<NodeId> found;
+  bool completed = false;
+  radio_a.start_inquiry([&](std::vector<NodeId> result) {
+    found = std::move(result);
+    completed = true;
+  });
+  // The scan takes the full inquiry duration — not earlier.
+  simulator_.run_until(sim::seconds(10.0));
+  EXPECT_FALSE(completed);
+  simulator_.run_until(sim::seconds(10.5));
+  ASSERT_TRUE(completed);
+  EXPECT_EQ(found, (std::vector<NodeId>{b}));
+}
+
+TEST_F(AdapterTest, InquiryExcludesSelfAndOutOfRange) {
+  NodeId a = add_node("a", {0, 0});
+  NodeId far = add_node("far", {99, 0});
+  Adapter& radio_a = medium_.add_adapter(a, lossless_bt());
+  medium_.add_adapter(far, lossless_bt());
+  std::vector<NodeId> found{kInvalidNode};
+  radio_a.start_inquiry([&](std::vector<NodeId> result) { found = result; });
+  simulator_.run_until(sim::seconds(11));
+  EXPECT_TRUE(found.empty());
+}
+
+TEST_F(AdapterTest, InquiryWhilePoweredOffReturnsNothing) {
+  NodeId a = add_node("a", {0, 0});
+  NodeId b = add_node("b", {1, 0});
+  Adapter& radio_a = medium_.add_adapter(a, lossless_bt());
+  medium_.add_adapter(b, lossless_bt());
+  radio_a.start_inquiry([&](std::vector<NodeId> result) {
+    EXPECT_TRUE(result.empty());
+  });
+  radio_a.set_powered(false);  // powered off mid-scan
+  simulator_.run_until(sim::seconds(11));
+}
+
+TEST_F(AdapterTest, GprsInquiryFindsEveryoneViaGateway) {
+  NodeId a = add_node("a", {0, 0});
+  NodeId b = add_node("b", {5000, 0});
+  NodeId c = add_node("c", {-8000, 100});
+  Adapter& radio_a = medium_.add_adapter(a, gprs());
+  medium_.add_adapter(b, gprs());
+  medium_.add_adapter(c, gprs());
+  std::vector<NodeId> found;
+  radio_a.start_inquiry([&](std::vector<NodeId> result) { found = result; });
+  simulator_.run_until(sim::seconds(2));
+  EXPECT_EQ(found, (std::vector<NodeId>{b, c}));
+}
+
+TEST_F(AdapterTest, DatagramDeliveredToBoundPort) {
+  NodeId a = add_node("a", {0, 0});
+  NodeId b = add_node("b", {2, 0});
+  Adapter& radio_a = medium_.add_adapter(a, lossless_bt());
+  Adapter& radio_b = medium_.add_adapter(b, lossless_bt());
+
+  std::string received;
+  NodeId from = kInvalidNode;
+  radio_b.bind(7, [&](NodeId src, BytesView payload) {
+    from = src;
+    received = to_text(payload);
+  });
+  radio_a.send_datagram(b, 7, to_bytes("ping!"));
+  simulator_.run_until(sim::seconds(1));
+  EXPECT_EQ(received, "ping!");
+  EXPECT_EQ(from, a);
+}
+
+TEST_F(AdapterTest, DatagramToUnboundPortDropped) {
+  NodeId a = add_node("a", {0, 0});
+  NodeId b = add_node("b", {2, 0});
+  Adapter& radio_a = medium_.add_adapter(a, lossless_bt());
+  Adapter& radio_b = medium_.add_adapter(b, lossless_bt());
+  bool received = false;
+  radio_b.bind(8, [&](NodeId, BytesView) { received = true; });
+  radio_a.send_datagram(b, 9, to_bytes("lost"));
+  simulator_.run_until(sim::seconds(1));
+  EXPECT_FALSE(received);
+}
+
+TEST_F(AdapterTest, UnbindStopsDelivery) {
+  NodeId a = add_node("a", {0, 0});
+  NodeId b = add_node("b", {2, 0});
+  Adapter& radio_a = medium_.add_adapter(a, lossless_bt());
+  Adapter& radio_b = medium_.add_adapter(b, lossless_bt());
+  int count = 0;
+  radio_b.bind(7, [&](NodeId, BytesView) { ++count; });
+  radio_a.send_datagram(b, 7, to_bytes("one"));
+  simulator_.run_until(sim::seconds(1));
+  radio_b.unbind(7);
+  radio_a.send_datagram(b, 7, to_bytes("two"));
+  simulator_.run_until(sim::seconds(2));
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(AdapterTest, DatagramAcrossRangeBoundaryDropped) {
+  NodeId a = add_node("a", {0, 0});
+  NodeId b = add_node("b", {30, 0});  // out of BT range
+  Adapter& radio_a = medium_.add_adapter(a, lossless_bt());
+  Adapter& radio_b = medium_.add_adapter(b, lossless_bt());
+  bool received = false;
+  radio_b.bind(7, [&](NodeId, BytesView) { received = true; });
+  radio_a.send_datagram(b, 7, to_bytes("x"));
+  simulator_.run_until(sim::seconds(1));
+  EXPECT_FALSE(received);
+}
+
+TEST_F(AdapterTest, DatagramFromPoweredOffAdapterNotSent) {
+  NodeId a = add_node("a", {0, 0});
+  NodeId b = add_node("b", {2, 0});
+  Adapter& radio_a = medium_.add_adapter(a, lossless_bt());
+  Adapter& radio_b = medium_.add_adapter(b, lossless_bt());
+  radio_a.set_powered(false);
+  bool received = false;
+  radio_b.bind(7, [&](NodeId, BytesView) { received = true; });
+  radio_a.send_datagram(b, 7, to_bytes("x"));
+  simulator_.run_until(sim::seconds(1));
+  EXPECT_FALSE(received);
+  EXPECT_EQ(medium_.stats().datagrams_sent, 0u);
+}
+
+TEST_F(AdapterTest, LossyLinkDropsSomeDatagrams) {
+  TechProfile lossy = bluetooth_2_0();
+  lossy.frame_loss = 0.5;
+  NodeId a = add_node("a", {0, 0});
+  NodeId b = add_node("b", {2, 0});
+  Adapter& radio_a = medium_.add_adapter(a, lossy);
+  Adapter& radio_b = medium_.add_adapter(b, lossy);
+  int received = 0;
+  radio_b.bind(7, [&](NodeId, BytesView) { ++received; });
+  for (int i = 0; i < 200; ++i) radio_a.send_datagram(b, 7, to_bytes("x"));
+  simulator_.run_until(sim::minutes(2));
+  EXPECT_GT(received, 50);
+  EXPECT_LT(received, 150);
+  EXPECT_EQ(medium_.stats().datagrams_lost,
+            200u - static_cast<unsigned>(received));
+}
+
+TEST_F(AdapterTest, SignalToTracksMedium) {
+  NodeId a = add_node("a", {0, 0});
+  NodeId b = add_node("b", {5, 0});
+  Adapter& radio_a = medium_.add_adapter(a, lossless_bt());
+  medium_.add_adapter(b, lossless_bt());
+  EXPECT_DOUBLE_EQ(radio_a.signal_to(b),
+                   medium_.signal(a, b, radio_a.profile()));
+  EXPECT_GT(radio_a.signal_to(b), 0.0);
+}
+
+}  // namespace
+}  // namespace ph::net

@@ -1,0 +1,103 @@
+// Broadcast datagrams (thesis §4.2.3: the WLANPlugin "uses broadcast-based
+// service discovery").
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/medium.hpp"
+
+namespace ph::net {
+namespace {
+
+TechProfile lossless_wlan() {
+  TechProfile p = wlan_80211b();
+  p.frame_loss = 0.0;
+  return p;
+}
+
+class BroadcastTest : public ::testing::Test {
+ protected:
+  BroadcastTest() : medium_(simulator_, sim::Rng(96)) {}
+
+  NodeId add_station(const std::string& name, sim::Vec2 pos,
+                     const TechProfile& profile) {
+    NodeId id = medium_.add_node(name, std::make_unique<sim::StaticMobility>(pos));
+    medium_.add_adapter(id, profile);
+    return id;
+  }
+
+  sim::Simulator simulator_;
+  Medium medium_;
+};
+
+TEST_F(BroadcastTest, ReachesEveryInRangeStation) {
+  const TechProfile wlan = lossless_wlan();
+  NodeId sender = add_station("sender", {0, 0}, wlan);
+  std::vector<NodeId> hearers;
+  for (int i = 0; i < 4; ++i) {
+    NodeId id = add_station("h" + std::to_string(i),
+                            {10.0 * (i + 1), 0}, wlan);
+    hearers.push_back(id);
+  }
+  NodeId far = add_station("far", {500, 0}, wlan);
+  int heard = 0;
+  bool far_heard = false;
+  for (NodeId id : hearers) {
+    medium_.adapter(id, Technology::wlan)->bind(7, [&](NodeId, BytesView) {
+      ++heard;
+    });
+  }
+  medium_.adapter(far, Technology::wlan)->bind(7, [&](NodeId, BytesView) {
+    far_heard = true;
+  });
+  medium_.adapter(sender, Technology::wlan)
+      ->broadcast_datagram(7, to_bytes("hello everyone"));
+  simulator_.run_for(sim::seconds(1));
+  EXPECT_EQ(heard, 4);
+  EXPECT_FALSE(far_heard);
+}
+
+TEST_F(BroadcastTest, BluetoothCannotBroadcast) {
+  TechProfile bt = bluetooth_2_0();
+  bt.frame_loss = 0.0;
+  NodeId sender = add_station("sender", {0, 0}, bt);
+  NodeId hearer = add_station("hearer", {2, 0}, bt);
+  bool heard = false;
+  medium_.adapter(hearer, Technology::bluetooth)
+      ->bind(7, [&](NodeId, BytesView) { heard = true; });
+  medium_.adapter(sender, Technology::bluetooth)
+      ->broadcast_datagram(7, to_bytes("x"));
+  simulator_.run_for(sim::seconds(1));
+  EXPECT_FALSE(heard);  // no-op on non-broadcast technologies
+}
+
+TEST_F(BroadcastTest, PoweredOffSenderSendsNothing) {
+  const TechProfile wlan = lossless_wlan();
+  NodeId sender = add_station("sender", {0, 0}, wlan);
+  NodeId hearer = add_station("hearer", {10, 0}, wlan);
+  bool heard = false;
+  medium_.adapter(hearer, Technology::wlan)->bind(7, [&](NodeId, BytesView) {
+    heard = true;
+  });
+  Adapter* radio = medium_.adapter(sender, Technology::wlan);
+  radio->set_powered(false);
+  radio->broadcast_datagram(7, to_bytes("x"));
+  simulator_.run_for(sim::seconds(1));
+  EXPECT_FALSE(heard);
+}
+
+TEST_F(BroadcastTest, SourceNodeIsReported) {
+  const TechProfile wlan = lossless_wlan();
+  NodeId sender = add_station("sender", {0, 0}, wlan);
+  NodeId hearer = add_station("hearer", {10, 0}, wlan);
+  NodeId reported = kInvalidNode;
+  medium_.adapter(hearer, Technology::wlan)->bind(7, [&](NodeId src, BytesView) {
+    reported = src;
+  });
+  medium_.adapter(sender, Technology::wlan)->broadcast_datagram(7, to_bytes("x"));
+  simulator_.run_for(sim::seconds(1));
+  EXPECT_EQ(reported, sender);
+}
+
+}  // namespace
+}  // namespace ph::net

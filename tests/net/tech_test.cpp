@@ -1,0 +1,61 @@
+#include "net/tech.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ph::net {
+namespace {
+
+TEST(TechTest, BluetoothProfileMatchesSpec) {
+  const TechProfile p = bluetooth_2_0();
+  EXPECT_EQ(p.tech, Technology::bluetooth);
+  EXPECT_DOUBLE_EQ(p.range_m, 10.0);       // class-2 dongles
+  EXPECT_DOUBLE_EQ(p.bandwidth_bps, 723'000.0);
+  EXPECT_EQ(p.inquiry_duration, sim::seconds(10.24));  // BT inquiry scan
+  EXPECT_FALSE(p.via_gateway);
+}
+
+TEST(TechTest, WlanDataRatesMatchTable1) {
+  // Thesis Table 1: 802.11 = 2 Mbps, 802.11a = 54, 802.11b = 11, 802.11g = 54.
+  EXPECT_DOUBLE_EQ(wlan_80211().bandwidth_bps, 2e6);
+  EXPECT_DOUBLE_EQ(wlan_80211a().bandwidth_bps, 54e6);
+  EXPECT_DOUBLE_EQ(wlan_80211b().bandwidth_bps, 11e6);
+  EXPECT_DOUBLE_EQ(wlan_80211g().bandwidth_bps, 54e6);
+}
+
+TEST(TechTest, Wlan80211aHasShorterRange) {
+  // Table 1: "Relatively shorter range than 802.11b".
+  EXPECT_LT(wlan_80211a().range_m, wlan_80211b().range_m);
+}
+
+TEST(TechTest, WlanDiscoveryFasterThanBluetooth) {
+  EXPECT_LT(wlan_80211b().inquiry_duration, bluetooth_2_0().inquiry_duration);
+}
+
+TEST(TechTest, GprsIsGatewayRouted) {
+  const TechProfile p = gprs();
+  EXPECT_TRUE(p.via_gateway);
+  EXPECT_GT(p.gateway_latency, 0u);
+  // GPRS rate sits inside the thesis' 9.6-171 kbps band.
+  EXPECT_GE(p.bandwidth_bps, 9'600.0);
+  EXPECT_LE(p.bandwidth_bps, 171'000.0);
+}
+
+TEST(TechTest, GprsLatencyDominatesLocalRadios) {
+  EXPECT_GT(gprs().base_latency, bluetooth_2_0().base_latency);
+  EXPECT_GT(gprs().base_latency, wlan_80211b().base_latency);
+}
+
+TEST(TechTest, TechnologyNames) {
+  EXPECT_EQ(to_string(Technology::bluetooth), "bluetooth");
+  EXPECT_EQ(to_string(Technology::wlan), "wlan");
+  EXPECT_EQ(to_string(Technology::gprs), "gprs");
+}
+
+TEST(TechTest, ProfileNamesIdentifyStandard) {
+  EXPECT_EQ(wlan_80211b().name, "IEEE 802.11b");
+  EXPECT_EQ(bluetooth_2_0().name, "Bluetooth 2.0");
+  EXPECT_EQ(gprs().name, "GPRS");
+}
+
+}  // namespace
+}  // namespace ph::net

@@ -1,0 +1,191 @@
+#include "peerhood/connection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "peerhood/stack.hpp"
+#include "tests/testutil/sim_helpers.hpp"
+
+namespace ph::peerhood {
+namespace {
+
+using testutil::run_until;
+
+net::TechProfile deterministic_bt() {
+  net::TechProfile p = net::bluetooth_2_0();
+  p.frame_loss = 0.0;
+  p.inquiry_detect_prob = 1.0;
+  return p;
+}
+
+class ConnectionTest : public ::testing::Test {
+ protected:
+  ConnectionTest() : medium_(simulator_, sim::Rng(7)) {}
+
+  void SetUp() override {
+    StackConfig config;
+    config.radios = {deterministic_bt()};
+    config.device_name = "a";
+    a_ = std::make_unique<Stack>(
+        medium_, std::make_unique<sim::StaticMobility>(sim::Vec2{0, 0}),
+        config);
+    config.device_name = "b";
+    b_ = std::make_unique<Stack>(
+        medium_, std::make_unique<sim::StaticMobility>(sim::Vec2{3, 0}),
+        config);
+    // b runs an echo service; keep server connections alive in the fixture.
+    ASSERT_TRUE(b_->library()
+                    .register_service(
+                        "Echo", {},
+                        [this](Connection connection) {
+                          auto held = std::make_shared<Connection>(
+                              std::move(connection));
+                          server_connections_.push_back(held);
+                          held->on_message([held](BytesView data) {
+                            held->send(data);
+                          });
+                        })
+                    .ok());
+    ASSERT_TRUE(run_until(
+        simulator_, [&] { return a_->daemon().device(b_->id()).ok(); },
+        sim::seconds(20)));
+  }
+
+  Connection connect(ConnectOptions options = {}) {
+    Connection client;
+    a_->library().connect(b_->id(), "Echo", options,
+                          [&](Result<Connection> connection) {
+                            EXPECT_TRUE(connection.ok());
+                            if (connection) client = *connection;
+                          });
+    EXPECT_TRUE(run_until(
+        simulator_, [&] { return client.valid(); }, sim::seconds(5)));
+    return client;
+  }
+
+  sim::Simulator simulator_;
+  net::Medium medium_{simulator_, sim::Rng(7)};
+  std::unique_ptr<Stack> a_, b_;
+  std::vector<std::shared_ptr<Connection>> server_connections_;
+};
+
+TEST_F(ConnectionTest, DefaultHandleIsInvalid) {
+  Connection connection;
+  EXPECT_FALSE(connection.valid());
+  EXPECT_FALSE(connection.open());
+  EXPECT_EQ(connection.remote_device(), net::kInvalidNode);
+  EXPECT_EQ(connection.session_id(), 0u);
+  connection.send(to_bytes("x"));  // must not crash
+  connection.close();
+}
+
+TEST_F(ConnectionTest, EchoRoundTrip) {
+  Connection client = connect();
+  std::string got;
+  client.on_message([&](BytesView data) { got = to_text(data); });
+  client.send(to_bytes("ping"));
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return !got.empty(); }, sim::seconds(5)));
+  EXPECT_EQ(got, "ping");
+}
+
+TEST_F(ConnectionTest, ManyMessagesInOrderExactlyOnce) {
+  Connection client = connect();
+  std::vector<int> got;
+  client.on_message([&](BytesView data) { got.push_back(std::stoi(to_text(data))); });
+  for (int i = 0; i < 50; ++i) client.send(to_bytes(std::to_string(i)));
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return got.size() == 50; }, sim::seconds(30)));
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST_F(ConnectionTest, SessionIdsAreUniquePerConnection) {
+  Connection c1 = connect();
+  Connection c2 = connect();
+  EXPECT_NE(c1.session_id(), 0u);
+  EXPECT_NE(c1.session_id(), c2.session_id());
+}
+
+TEST_F(ConnectionTest, HandoverCountStartsAtZero) {
+  Connection client = connect();
+  EXPECT_EQ(client.handover_count(), 0);
+}
+
+TEST_F(ConnectionTest, CopiedHandlesShareTheSession) {
+  Connection client = connect();
+  Connection copy = client;
+  copy.close();
+  EXPECT_FALSE(client.open());
+}
+
+TEST_F(ConnectionTest, NonSeamlessBreakReportsConnectionLost) {
+  ConnectOptions options;
+  options.seamless = false;
+  Connection client = connect(options);
+  Error close_reason;
+  bool closed = false;
+  client.on_close([&](const Error& error) {
+    closed = true;
+    close_reason = error;
+  });
+  b_->set_radio_powered(net::Technology::bluetooth, false);
+  ASSERT_TRUE(run_until(simulator_, [&] { return closed; }, sim::seconds(5)));
+  EXPECT_EQ(close_reason.code, Errc::connection_lost);
+  EXPECT_FALSE(client.open());
+}
+
+TEST_F(ConnectionTest, SeamlessGivesUpAfterResumeDeadline) {
+  ConnectOptions options;
+  options.seamless = true;
+  options.resume_deadline = sim::seconds(5);
+  Connection client = connect(options);
+  bool closed = false;
+  Error close_reason;
+  client.on_close([&](const Error& error) {
+    closed = true;
+    close_reason = error;
+  });
+  // The only common radio disappears for good.
+  b_->set_radio_powered(net::Technology::bluetooth, false);
+  simulator_.run_until(simulator_.now() + sim::seconds(3));
+  EXPECT_FALSE(closed);  // still hunting
+  ASSERT_TRUE(run_until(simulator_, [&] { return closed; }, sim::seconds(10)));
+  EXPECT_EQ(close_reason.code, Errc::connection_lost);
+}
+
+TEST_F(ConnectionTest, SeamlessRecoversWhenPeerReturnsInTime) {
+  ConnectOptions options;
+  options.seamless = true;
+  options.resume_deadline = sim::seconds(20);
+  Connection client = connect(options);
+  std::vector<std::string> got;
+  client.on_message([&](BytesView data) { got.push_back(to_text(data)); });
+  // Radio blips off for 3 seconds, then returns.
+  b_->set_radio_powered(net::Technology::bluetooth, false);
+  client.send(to_bytes("during-outage"));
+  simulator_.run_until(simulator_.now() + sim::seconds(3));
+  b_->set_radio_powered(net::Technology::bluetooth, true);
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return !got.empty(); }, sim::seconds(30)));
+  EXPECT_EQ(got, (std::vector<std::string>{"during-outage"}));
+  EXPECT_TRUE(client.open());
+  EXPECT_GE(client.handover_count(), 1);
+}
+
+TEST_F(ConnectionTest, CloseDuringMessageHandlerIsSafe) {
+  Connection client = connect();
+  int deliveries = 0;
+  client.on_message([&](BytesView) {
+    ++deliveries;
+    client.close();  // closing from inside the handler must not crash
+  });
+  client.send(to_bytes("a"));
+  client.send(to_bytes("b"));
+  simulator_.run_until(simulator_.now() + sim::seconds(5));
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_FALSE(client.open());
+}
+
+}  // namespace
+}  // namespace ph::peerhood

@@ -1,0 +1,240 @@
+#include "peerhood/library.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "peerhood/stack.hpp"
+#include "tests/testutil/sim_helpers.hpp"
+
+namespace ph::peerhood {
+namespace {
+
+using testutil::run_until;
+
+net::TechProfile deterministic_bt() {
+  net::TechProfile p = net::bluetooth_2_0();
+  p.frame_loss = 0.0;
+  p.inquiry_detect_prob = 1.0;
+  return p;
+}
+
+class LibraryTest : public ::testing::Test {
+ protected:
+  LibraryTest() : medium_(simulator_, sim::Rng(6)) {}
+
+  Stack& add_device(const std::string& name, sim::Vec2 pos) {
+    StackConfig config;
+    config.device_name = name;
+    config.radios = {deterministic_bt()};
+    stacks_.push_back(std::make_unique<Stack>(
+        medium_, std::make_unique<sim::StaticMobility>(pos), config));
+    return *stacks_.back();
+  }
+
+  /// Waits until `who` has discovered `whom`.
+  void await_discovery(Stack& who, Stack& whom) {
+    ASSERT_TRUE(run_until(
+        simulator_, [&] { return who.daemon().device(whom.id()).ok(); },
+        sim::seconds(20)));
+  }
+
+  sim::Simulator simulator_;
+  net::Medium medium_;
+  std::vector<std::unique_ptr<Stack>> stacks_;
+};
+
+TEST_F(LibraryTest, RegisterServiceAppearsInDaemon) {
+  Stack& a = add_device("a", {0, 0});
+  ASSERT_TRUE(a.library().register_service("Echo", {}, [](Connection) {}).ok());
+  auto services = a.daemon().local_services();
+  ASSERT_EQ(services.size(), 1u);
+  EXPECT_EQ(services[0].name, "Echo");
+  EXPECT_GE(services[0].port, 1000);
+}
+
+TEST_F(LibraryTest, DuplicateServiceRejected) {
+  Stack& a = add_device("a", {0, 0});
+  ASSERT_TRUE(a.library().register_service("Echo", {}, [](Connection) {}).ok());
+  auto dup = a.library().register_service("Echo", {}, [](Connection) {});
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, Errc::service_already_registered);
+}
+
+TEST_F(LibraryTest, UnregisterUnknownServiceFails) {
+  Stack& a = add_device("a", {0, 0});
+  EXPECT_FALSE(a.library().unregister_service("Nope").ok());
+}
+
+TEST_F(LibraryTest, ConnectAndExchangeMessages) {
+  Stack& a = add_device("a", {0, 0});
+  Stack& b = add_device("b", {3, 0});
+  std::string server_got, client_got;
+  ASSERT_TRUE(b.library()
+                  .register_service("Echo", {},
+                                    [&](Connection connection) {
+                                      auto held = std::make_shared<Connection>(
+                                          std::move(connection));
+                                      held->on_message([held, &server_got](
+                                                           BytesView data) {
+                                        server_got = to_text(data);
+                                        held->send(to_bytes("echo:" +
+                                                            to_text(data)));
+                                      });
+                                    })
+                  .ok());
+  await_discovery(a, b);
+  Connection client;
+  a.library().connect(b.id(), "Echo", {}, [&](Result<Connection> connection) {
+    ASSERT_TRUE(connection.ok()) << connection.error().to_string();
+    client = *connection;
+    client.on_message([&](BytesView data) { client_got = to_text(data); });
+    client.send(to_bytes("hi"));
+  });
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return !client_got.empty(); }, sim::seconds(10)));
+  EXPECT_EQ(server_got, "hi");
+  EXPECT_EQ(client_got, "echo:hi");
+  EXPECT_EQ(client.remote_device(), b.id());
+  EXPECT_EQ(client.current_technology(), net::Technology::bluetooth);
+}
+
+TEST_F(LibraryTest, ConnectToUnknownDeviceFails) {
+  Stack& a = add_device("a", {0, 0});
+  Error error;
+  a.library().connect(12345, "Echo", {}, [&](Result<Connection> connection) {
+    ASSERT_FALSE(connection.ok());
+    error = connection.error();
+  });
+  simulator_.run_until(sim::seconds(1));
+  EXPECT_EQ(error.code, Errc::unknown_device);
+}
+
+TEST_F(LibraryTest, ConnectToMissingServiceFails) {
+  Stack& a = add_device("a", {0, 0});
+  Stack& b = add_device("b", {3, 0});
+  ASSERT_TRUE(b.library().register_service("Echo", {}, [](Connection) {}).ok());
+  await_discovery(a, b);
+  Error error;
+  a.library().connect(b.id(), "Other", {}, [&](Result<Connection> connection) {
+    ASSERT_FALSE(connection.ok());
+    error = connection.error();
+  });
+  simulator_.run_until(simulator_.now() + sim::seconds(1));
+  EXPECT_EQ(error.code, Errc::service_not_found);
+}
+
+TEST_F(LibraryTest, GracefulCloseReachesPeer) {
+  Stack& a = add_device("a", {0, 0});
+  Stack& b = add_device("b", {3, 0});
+  Error server_close_reason{Errc::timeout, "never set"};
+  bool server_closed = false;
+  ASSERT_TRUE(b.library()
+                  .register_service("Echo", {},
+                                    [&](Connection connection) {
+                                      auto held = std::make_shared<Connection>(
+                                          std::move(connection));
+                                      held->on_close([&, held](const Error& e) {
+                                        server_closed = true;
+                                        server_close_reason = e;
+                                      });
+                                    })
+                  .ok());
+  await_discovery(a, b);
+  Connection client;
+  a.library().connect(b.id(), "Echo", {}, [&](Result<Connection> connection) {
+    client = *connection;
+  });
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return client.valid(); }, sim::seconds(5)));
+  client.close();
+  EXPECT_FALSE(client.open());
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return server_closed; }, sim::seconds(5)));
+  EXPECT_EQ(server_close_reason.code, Errc::ok);  // graceful
+}
+
+TEST_F(LibraryTest, MultipleConcurrentSessionsToOneService) {
+  Stack& a = add_device("a", {0, 0});
+  Stack& b = add_device("b", {3, 0});
+  Stack& c = add_device("c", {0, 3});
+  int sessions = 0;
+  std::vector<std::shared_ptr<Connection>> held_connections;
+  ASSERT_TRUE(b.library()
+                  .register_service("Echo", {},
+                                    [&](Connection connection) {
+                                      ++sessions;
+                                      held_connections.push_back(
+                                          std::make_shared<Connection>(
+                                              std::move(connection)));
+                                    })
+                  .ok());
+  await_discovery(a, b);
+  await_discovery(c, b);
+  Connection from_a, from_c;
+  a.library().connect(b.id(), "Echo", {},
+                      [&](Result<Connection> conn) { from_a = *conn; });
+  c.library().connect(b.id(), "Echo", {},
+                      [&](Result<Connection> conn) { from_c = *conn; });
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return sessions == 2; }, sim::seconds(10)));
+  EXPECT_TRUE(from_a.open());
+  EXPECT_TRUE(from_c.open());
+  EXPECT_NE(from_a.session_id(), from_c.session_id());
+}
+
+TEST_F(LibraryTest, LargeTransferArrivesIntact) {
+  Stack& a = add_device("a", {0, 0});
+  Stack& b = add_device("b", {3, 0});
+  Bytes received;
+  ASSERT_TRUE(b.library()
+                  .register_service("Sink", {},
+                                    [&](Connection connection) {
+                                      auto held = std::make_shared<Connection>(
+                                          std::move(connection));
+                                      held->on_message(
+                                          [held, &received](BytesView data) {
+                                            received.insert(received.end(),
+                                                            data.begin(),
+                                                            data.end());
+                                          });
+                                    })
+                  .ok());
+  await_discovery(a, b);
+  Bytes payload(200'000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  Connection client;
+  a.library().connect(b.id(), "Sink", {}, [&](Result<Connection> conn) {
+    client = *conn;
+    // Send in 20 kB chunks, like a file transfer would.
+    for (std::size_t offset = 0; offset < payload.size(); offset += 20'000) {
+      const std::size_t n = std::min<std::size_t>(20'000, payload.size() - offset);
+      client.send(BytesView(payload).subspan(offset, n));
+    }
+  });
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return received.size() == payload.size(); },
+      sim::minutes(1)));
+  EXPECT_EQ(received, payload);
+}
+
+TEST_F(LibraryTest, UnregisteredServiceRefusesNewConnections) {
+  Stack& a = add_device("a", {0, 0});
+  Stack& b = add_device("b", {3, 0});
+  ASSERT_TRUE(b.library().register_service("Echo", {}, [](Connection) {}).ok());
+  await_discovery(a, b);
+  ASSERT_TRUE(b.library().unregister_service("Echo").ok());
+  bool failed = false;
+  // a's daemon still has the stale service cache entry; the connect must
+  // fail at the transport (no listener).
+  a.library().connect(b.id(), "Echo", {}, [&](Result<Connection> connection) {
+    failed = !connection.ok();
+  });
+  simulator_.run_until(simulator_.now() + sim::seconds(3));
+  EXPECT_TRUE(failed);
+}
+
+}  // namespace
+}  // namespace ph::peerhood

@@ -1,0 +1,83 @@
+// Detection-latency property: the daemon's active monitoring must notice a
+// silently vanished neighbour within (max_missed_pings + 1) ping intervals
+// plus one reply window — for ANY configuration in a sensible sweep — and
+// must never evict a healthy, reachable neighbour.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "peerhood/stack.hpp"
+#include "tests/testutil/sim_helpers.hpp"
+
+namespace ph::peerhood {
+namespace {
+
+using testutil::run_until;
+
+struct MonitoringParams {
+  int ping_interval_s;
+  int max_missed;
+};
+
+class MonitoringPropertyTest
+    : public ::testing::TestWithParam<MonitoringParams> {};
+
+TEST_P(MonitoringPropertyTest, DetectionWithinBound) {
+  const MonitoringParams params = GetParam();
+  sim::Simulator simulator;
+  net::Medium medium(simulator, sim::Rng(7));
+  net::TechProfile bt = net::bluetooth_2_0();
+  bt.frame_loss = 0.0;
+  bt.inquiry_detect_prob = 1.0;
+
+  StackConfig config;
+  config.radios = {bt};
+  config.daemon.ping_interval = sim::seconds(params.ping_interval_s);
+  config.daemon.max_missed_pings = params.max_missed;
+  config.device_name = "watcher";
+  Stack watcher(medium, std::make_unique<sim::StaticMobility>(sim::Vec2{0, 0}),
+                config);
+  config.device_name = "target";
+  Stack target(medium, std::make_unique<sim::StaticMobility>(sim::Vec2{3, 0}),
+               config);
+
+  ASSERT_TRUE(run_until(
+      simulator, [&] { return watcher.daemon().device(target.id()).ok(); },
+      sim::seconds(20)));
+
+  bool gone = false;
+  MonitorCallbacks callbacks;
+  callbacks.on_disappear = [&](DeviceId) { gone = true; };
+  watcher.daemon().monitor_device(target.id(), std::move(callbacks));
+
+  // Healthy neighbour: never evicted over many ping rounds.
+  simulator.run_for(sim::seconds(params.ping_interval_s) * (params.max_missed + 4));
+  EXPECT_FALSE(gone) << "healthy neighbour was evicted";
+
+  // Silent death (radio off, no goodbye).
+  const sim::Time died_at = simulator.now();
+  target.set_radio_powered(net::Technology::bluetooth, false);
+  ASSERT_TRUE(run_until(simulator, [&] { return gone; }, sim::minutes(5)));
+  const double detection_s = sim::to_seconds(simulator.now() - died_at);
+  // Bound: (max_missed + 1) intervals (the +1 covers dying right after a
+  // successful round) plus a one-second reply window of slack.
+  const double bound_s =
+      (params.max_missed + 1.0) * params.ping_interval_s + 1.0;
+  EXPECT_LE(detection_s, bound_s)
+      << "interval=" << params.ping_interval_s
+      << " max_missed=" << params.max_missed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, MonitoringPropertyTest,
+    ::testing::Values(MonitoringParams{1, 1}, MonitoringParams{1, 3},
+                      MonitoringParams{2, 2}, MonitoringParams{2, 3},
+                      MonitoringParams{5, 1}, MonitoringParams{5, 3},
+                      MonitoringParams{10, 2}),
+    [](const ::testing::TestParamInfo<MonitoringParams>& info) {
+      return "interval" + std::to_string(info.param.ping_interval_s) +
+             "s_missed" + std::to_string(info.param.max_missed);
+    });
+
+}  // namespace
+}  // namespace ph::peerhood

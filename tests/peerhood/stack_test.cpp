@@ -1,0 +1,89 @@
+#include "peerhood/stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace ph::peerhood {
+namespace {
+
+class StackTest : public ::testing::Test {
+ protected:
+  StackTest() : medium_(simulator_, sim::Rng(80)) {}
+
+  sim::Simulator simulator_;
+  net::Medium medium_;
+};
+
+TEST_F(StackTest, DefaultConfigIsBluetoothOnly) {
+  Stack stack(medium_, std::make_unique<sim::StaticMobility>(sim::Vec2{0, 0}),
+              {});
+  ASSERT_EQ(stack.daemon().plugins().size(), 1u);
+  EXPECT_EQ(stack.daemon().plugins()[0]->name(), "BTPlugin");
+  EXPECT_TRUE(stack.daemon().running());  // autostart default
+}
+
+TEST_F(StackTest, MultiRadioConfigCreatesOnePluginEach) {
+  StackConfig config;
+  config.radios = {net::bluetooth_2_0(), net::wlan_80211b(), net::gprs()};
+  Stack stack(medium_, std::make_unique<sim::StaticMobility>(sim::Vec2{0, 0}),
+              config);
+  ASSERT_EQ(stack.daemon().plugins().size(), 3u);
+  EXPECT_NE(stack.daemon().plugin_for(net::Technology::bluetooth), nullptr);
+  EXPECT_NE(stack.daemon().plugin_for(net::Technology::wlan), nullptr);
+  EXPECT_NE(stack.daemon().plugin_for(net::Technology::gprs), nullptr);
+  // The node carries matching adapters in the world.
+  EXPECT_NE(medium_.adapter(stack.id(), net::Technology::wlan), nullptr);
+}
+
+TEST_F(StackTest, NamePropagatesEverywhere) {
+  StackConfig config;
+  config.device_name = "my-laptop";
+  Stack stack(medium_, std::make_unique<sim::StaticMobility>(sim::Vec2{0, 0}),
+              config);
+  EXPECT_EQ(stack.name(), "my-laptop");
+  EXPECT_EQ(medium_.node_name(stack.id()), "my-laptop");
+  EXPECT_EQ(stack.daemon().device_name(), "my-laptop");
+}
+
+TEST_F(StackTest, AutostartFalseLeavesDaemonStopped) {
+  StackConfig config;
+  config.autostart = false;
+  Stack stack(medium_, std::make_unique<sim::StaticMobility>(sim::Vec2{0, 0}),
+              config);
+  EXPECT_FALSE(stack.daemon().running());
+  stack.daemon().start();
+  EXPECT_TRUE(stack.daemon().running());
+}
+
+TEST_F(StackTest, SetRadioPoweredTogglesAdapter) {
+  Stack stack(medium_, std::make_unique<sim::StaticMobility>(sim::Vec2{0, 0}),
+              {});
+  net::Adapter* adapter = medium_.adapter(stack.id(), net::Technology::bluetooth);
+  ASSERT_NE(adapter, nullptr);
+  EXPECT_TRUE(adapter->powered());
+  stack.set_radio_powered(net::Technology::bluetooth, false);
+  EXPECT_FALSE(adapter->powered());
+  stack.set_radio_powered(net::Technology::bluetooth, true);
+  EXPECT_TRUE(adapter->powered());
+}
+
+TEST_F(StackTest, PoweringUnknownTechnologyIsNoop) {
+  Stack stack(medium_, std::make_unique<sim::StaticMobility>(sim::Vec2{0, 0}),
+              {});
+  stack.set_radio_powered(net::Technology::gprs, false);  // no GPRS radio
+  SUCCEED();
+}
+
+TEST_F(StackTest, DaemonConfigPassedThrough) {
+  StackConfig config;
+  config.daemon.ping_interval = sim::seconds(42);
+  config.daemon.max_missed_pings = 9;
+  Stack stack(medium_, std::make_unique<sim::StaticMobility>(sim::Vec2{0, 0}),
+              config);
+  EXPECT_EQ(stack.daemon().config().ping_interval, sim::seconds(42));
+  EXPECT_EQ(stack.daemon().config().max_missed_pings, 9);
+}
+
+}  // namespace
+}  // namespace ph::peerhood

@@ -1,0 +1,95 @@
+#include "proto/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ph::proto {
+namespace {
+
+TEST(DaemonMessageTest, PingRoundTrip) {
+  DaemonMessage m;
+  m.op = DaemonOp::ping;
+  m.token = 77;
+  m.device_name = "laptop";
+  auto decoded = decode_daemon_message(encode(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(DaemonMessageTest, ServiceReplyRoundTrip) {
+  DaemonMessage m;
+  m.op = DaemonOp::service_reply;
+  m.token = 3;
+  m.device_name = "desktop-pc1";
+  m.services = {{"PeerHoodCommunity", 1000, {{"type", "social"}}},
+                {"FitnessSystem", 1001, {}}};
+  auto decoded = decode_daemon_message(encode(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(DaemonMessageTest, EmptyServiceListRoundTrip) {
+  DaemonMessage m;
+  m.op = DaemonOp::service_query;
+  auto decoded = decode_daemon_message(encode(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->services.empty());
+}
+
+class DaemonOpsTest : public ::testing::TestWithParam<DaemonOp> {};
+
+TEST_P(DaemonOpsTest, EveryOpRoundTrips) {
+  DaemonMessage m;
+  m.op = GetParam();
+  m.token = 1;
+  auto decoded = decode_daemon_message(encode(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->op, GetParam());
+}
+
+TEST_P(DaemonOpsTest, EveryOpHasName) {
+  EXPECT_NE(to_string(GetParam()), "?");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, DaemonOpsTest,
+                         ::testing::Values(DaemonOp::service_query,
+                                           DaemonOp::service_reply,
+                                           DaemonOp::ping, DaemonOp::pong));
+
+TEST(DaemonMessageTest, ManyAttributesRoundTrip) {
+  DaemonMessage m;
+  m.op = DaemonOp::service_reply;
+  ServiceInfoData s;
+  s.name = "svc";
+  s.port = 42;
+  for (int i = 0; i < 20; ++i) {
+    s.attributes["key" + std::to_string(i)] = "value" + std::to_string(i);
+  }
+  m.services.push_back(s);
+  auto decoded = decode_daemon_message(encode(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->services[0].attributes.size(), 20u);
+}
+
+TEST(DaemonMessageTest, UnknownOpRejected) {
+  Bytes data = encode(DaemonMessage{});
+  data[0] = 99;
+  auto decoded = decode_daemon_message(data);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, Errc::protocol_error);
+}
+
+TEST(DaemonMessageTest, TruncatedMessageRejected) {
+  DaemonMessage m;
+  m.op = DaemonOp::service_reply;
+  m.services = {{"svc", 1, {{"a", "b"}}}};
+  Bytes data = encode(m);
+  data.resize(data.size() - 2);
+  EXPECT_FALSE(decode_daemon_message(data).ok());
+}
+
+TEST(DaemonMessageTest, EmptyInputRejected) {
+  EXPECT_FALSE(decode_daemon_message(BytesView{}).ok());
+}
+
+}  // namespace
+}  // namespace ph::proto

@@ -1,0 +1,129 @@
+#include "sim/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ph::sim {
+namespace {
+
+TEST(StaticMobilityTest, NeverMoves) {
+  StaticMobility m({3.0, 4.0});
+  EXPECT_EQ(m.position_at(0), (Vec2{3.0, 4.0}));
+  EXPECT_EQ(m.position_at(minutes(60)), (Vec2{3.0, 4.0}));
+}
+
+TEST(LinearMobilityTest, MovesWithVelocity) {
+  // 1 m/s eastwards from the origin.
+  LinearMobility m({0, 0}, {1.0, 0.0});
+  EXPECT_DOUBLE_EQ(m.position_at(seconds(10)).x, 10.0);
+  EXPECT_DOUBLE_EQ(m.position_at(seconds(10)).y, 0.0);
+}
+
+TEST(LinearMobilityTest, HoldsBeforeStartTime) {
+  LinearMobility m({5, 5}, {1.0, 0.0}, seconds(10));
+  EXPECT_DOUBLE_EQ(m.position_at(seconds(3)).x, 5.0);
+  EXPECT_DOUBLE_EQ(m.position_at(seconds(12)).x, 7.0);
+}
+
+TEST(LinearMobilityTest, DiagonalMotion) {
+  LinearMobility m({0, 0}, {3.0, 4.0});
+  const Vec2 p = m.position_at(seconds(2));
+  EXPECT_DOUBLE_EQ(p.x, 6.0);
+  EXPECT_DOUBLE_EQ(p.y, 8.0);
+}
+
+TEST(WaypointMobilityTest, HoldsAtFirstWaypointBeforeStart) {
+  WaypointMobility m({{seconds(10), {1, 1}}, {seconds(20), {2, 2}}});
+  EXPECT_EQ(m.position_at(0), (Vec2{1, 1}));
+}
+
+TEST(WaypointMobilityTest, HoldsAtLastWaypointAfterEnd) {
+  WaypointMobility m({{seconds(10), {1, 1}}, {seconds(20), {2, 2}}});
+  EXPECT_EQ(m.position_at(minutes(5)), (Vec2{2, 2}));
+}
+
+TEST(WaypointMobilityTest, InterpolatesLinearly) {
+  WaypointMobility m({{seconds(0), {0, 0}}, {seconds(10), {10, 20}}});
+  const Vec2 mid = m.position_at(seconds(5));
+  EXPECT_DOUBLE_EQ(mid.x, 5.0);
+  EXPECT_DOUBLE_EQ(mid.y, 10.0);
+}
+
+TEST(WaypointMobilityTest, MultiSegmentPath) {
+  WaypointMobility m({{seconds(0), {0, 0}},
+                      {seconds(10), {10, 0}},
+                      {seconds(20), {10, 10}}});
+  EXPECT_DOUBLE_EQ(m.position_at(seconds(15)).x, 10.0);
+  EXPECT_DOUBLE_EQ(m.position_at(seconds(15)).y, 5.0);
+}
+
+TEST(WaypointMobilityTest, ExactWaypointTimes) {
+  WaypointMobility m({{seconds(0), {0, 0}}, {seconds(10), {10, 0}}});
+  EXPECT_DOUBLE_EQ(m.position_at(seconds(10)).x, 10.0);
+}
+
+TEST(RandomWaypointTest, StaysInsideArea) {
+  RandomWaypoint::Config config;
+  config.area_min = {0, 0};
+  config.area_max = {50, 30};
+  RandomWaypoint m(config, Rng(9));
+  for (int i = 0; i <= 600; ++i) {
+    const Vec2 p = m.position_at(seconds(i));
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 50.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 30.0);
+  }
+}
+
+TEST(RandomWaypointTest, DeterministicForSameSeed) {
+  RandomWaypoint::Config config;
+  RandomWaypoint a(config, Rng(11));
+  RandomWaypoint b(config, Rng(11));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.position_at(seconds(i * 3)), b.position_at(seconds(i * 3)));
+  }
+}
+
+TEST(RandomWaypointTest, ActuallyMoves) {
+  RandomWaypoint::Config config;
+  config.pause = seconds(1);
+  RandomWaypoint m(config, Rng(13));
+  const Vec2 start = m.position_at(0);
+  bool moved = false;
+  for (int i = 1; i < 120; ++i) {
+    if (!(m.position_at(seconds(i)) == start)) {
+      moved = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(RandomWaypointTest, SpeedWithinConfiguredBand) {
+  RandomWaypoint::Config config;
+  config.speed_min_mps = 1.0;
+  config.speed_max_mps = 2.0;
+  config.pause = 0;
+  RandomWaypoint m(config, Rng(17));
+  // Sampling every 100 ms, instantaneous speed never exceeds the max.
+  Vec2 prev = m.position_at(0);
+  for (int i = 1; i < 600; ++i) {
+    const Vec2 cur = m.position_at(milliseconds(100) * i);
+    const double speed = distance(prev, cur) / 0.1;
+    EXPECT_LE(speed, 2.0 + 1e-6);
+    prev = cur;
+  }
+}
+
+TEST(Vec2Test, DistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 v = Vec2{1, 2} + Vec2{3, 4} * 2.0;
+  EXPECT_DOUBLE_EQ(v.x, 7.0);
+  EXPECT_DOUBLE_EQ(v.y, 10.0);
+}
+
+}  // namespace
+}  // namespace ph::sim

@@ -1,0 +1,93 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ph::sim {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.uniform() != b.uniform()) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-5.0, 5.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(1, 3);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 3u);
+    saw_lo |= (v == 1);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ChanceZeroNeverFires) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(rng.chance(0.0));
+}
+
+TEST(RngTest, ChanceOneAlwaysFires) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(RngTest, ChanceHalfIsRoughlyHalf) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.5);
+  EXPECT_GT(hits, 4500);
+  EXPECT_LT(hits, 5500);
+}
+
+TEST(RngTest, NormalNonnegNeverNegative) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.normal_nonneg(1.0, 5.0), 0.0);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng forked = a.fork();
+  Rng b(42);
+  Rng forked_again = b.fork();
+  // Forks of identically seeded parents match each other...
+  EXPECT_DOUBLE_EQ(forked.uniform(), forked_again.uniform());
+  // ...and the parents stay in sync too.
+  EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+}  // namespace
+}  // namespace ph::sim

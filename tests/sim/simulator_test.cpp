@@ -1,0 +1,162 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ph::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator simulator;
+  EXPECT_EQ(simulator.now(), 0u);
+}
+
+TEST(SimulatorTest, RunsEventAtScheduledTime) {
+  Simulator simulator;
+  Time fired_at = 0;
+  simulator.schedule(seconds(2), [&] { fired_at = simulator.now(); });
+  simulator.run_until(seconds(10));
+  EXPECT_EQ(fired_at, seconds(2));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator simulator;
+  simulator.run_until(seconds(5));
+  EXPECT_EQ(simulator.now(), seconds(5));
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule(seconds(3), [&] { order.push_back(3); });
+  simulator.schedule(seconds(1), [&] { order.push_back(1); });
+  simulator.schedule(seconds(2), [&] { order.push_back(2); });
+  simulator.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, EqualTimesRunFifo) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    simulator.schedule(seconds(1), [&order, i] { order.push_back(i); });
+  }
+  simulator.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, EventsScheduledInsideEventsRun) {
+  Simulator simulator;
+  bool inner_ran = false;
+  simulator.schedule(seconds(1), [&] {
+    simulator.schedule(seconds(1), [&] { inner_ran = true; });
+  });
+  simulator.run_until(seconds(3));
+  EXPECT_TRUE(inner_ran);
+  EXPECT_EQ(simulator.now(), seconds(3));
+}
+
+TEST(SimulatorTest, RunUntilStopsBeforeLaterEvents) {
+  Simulator simulator;
+  bool late_ran = false;
+  simulator.schedule(seconds(10), [&] { late_ran = true; });
+  simulator.run_until(seconds(5));
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(simulator.now(), seconds(5));
+  simulator.run_until(seconds(10));  // boundary events execute
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator simulator;
+  bool ran = false;
+  EventId id = simulator.schedule(seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(simulator.cancel(id));
+  simulator.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelAfterRunReturnsFalse) {
+  Simulator simulator;
+  EventId id = simulator.schedule(seconds(1), [] {});
+  simulator.run_all();
+  EXPECT_FALSE(simulator.cancel(id));
+}
+
+TEST(SimulatorTest, CancelUnknownIdIsNoop) {
+  Simulator simulator;
+  EXPECT_FALSE(simulator.cancel(123456));
+}
+
+TEST(SimulatorTest, PendingTracksLifecycle) {
+  Simulator simulator;
+  EventId id = simulator.schedule(seconds(1), [] {});
+  EXPECT_TRUE(simulator.pending(id));
+  simulator.run_all();
+  EXPECT_FALSE(simulator.pending(id));
+}
+
+TEST(SimulatorTest, ScheduleAtInThePastClampsToNow) {
+  Simulator simulator;
+  simulator.run_until(seconds(5));
+  Time fired_at = 0;
+  simulator.schedule_at(seconds(1), [&] { fired_at = simulator.now(); });
+  simulator.run_all();
+  EXPECT_EQ(fired_at, seconds(5));
+}
+
+TEST(SimulatorTest, QueueSizeReflectsPendingEvents) {
+  Simulator simulator;
+  EXPECT_EQ(simulator.queue_size(), 0u);
+  simulator.schedule(seconds(1), [] {});
+  simulator.schedule(seconds(2), [] {});
+  EXPECT_EQ(simulator.queue_size(), 2u);
+  simulator.run_all();
+  EXPECT_EQ(simulator.queue_size(), 0u);
+}
+
+TEST(SimulatorTest, EventsExecutedCounter) {
+  Simulator simulator;
+  for (int i = 0; i < 7; ++i) simulator.schedule(seconds(i), [] {});
+  simulator.run_all();
+  EXPECT_EQ(simulator.events_executed(), 7u);
+}
+
+TEST(SimulatorTest, CancellingOwnSiblingInsideEvent) {
+  Simulator simulator;
+  bool second_ran = false;
+  EventId second = 0;
+  simulator.schedule(seconds(1), [&] { simulator.cancel(second); });
+  second = simulator.schedule(seconds(2), [&] { second_ran = true; });
+  simulator.run_all();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAtCurrentTime) {
+  Simulator simulator;
+  simulator.run_until(seconds(3));
+  Time fired_at = 0;
+  simulator.schedule(0, [&] { fired_at = simulator.now(); });
+  simulator.run_all();
+  EXPECT_EQ(fired_at, seconds(3));
+}
+
+TEST(SimulatorTest, ManyEventsStressOrder) {
+  Simulator simulator;
+  Time last = 0;
+  bool monotonic = true;
+  for (int i = 1000; i > 0; --i) {
+    simulator.schedule(milliseconds(i), [&, i] {
+      if (simulator.now() < last) monotonic = false;
+      last = simulator.now();
+      (void)i;
+    });
+  }
+  simulator.run_all();
+  EXPECT_TRUE(monotonic);
+  EXPECT_EQ(simulator.events_executed(), 1000u);
+}
+
+}  // namespace
+}  // namespace ph::sim

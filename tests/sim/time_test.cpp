@@ -1,0 +1,35 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ph::sim {
+namespace {
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(microseconds(5), 5u);
+  EXPECT_EQ(milliseconds(5), 5'000u);
+  EXPECT_EQ(seconds(5), 5'000'000u);
+  EXPECT_EQ(minutes(2), 120'000'000u);
+}
+
+TEST(TimeTest, FractionalSeconds) {
+  EXPECT_EQ(seconds(0.5), 500'000u);
+  EXPECT_EQ(seconds(1.25), 1'250'000u);
+}
+
+TEST(TimeTest, ToSecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3.5)), 3.5);
+}
+
+TEST(TimeTest, ToMilliseconds) {
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(250)), 250.0);
+}
+
+TEST(TimeTest, FormatDuration) {
+  EXPECT_EQ(format_duration(seconds(1.5)), "1.500s");
+  EXPECT_EQ(format_duration(0), "0.000s");
+  EXPECT_EQ(format_duration(milliseconds(12)), "0.012s");
+}
+
+}  // namespace
+}  // namespace ph::sim

@@ -1,0 +1,189 @@
+// BrowserClient task tests: the four Table 8 tasks over simulated GPRS.
+#include "sns/browser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/testutil/sim_helpers.hpp"
+
+namespace ph::sns {
+namespace {
+
+using testutil::run_until;
+
+class BrowserTest : public ::testing::Test {
+ protected:
+  BrowserTest()
+      : medium_(simulator_, sim::Rng(14)), server_(medium_, facebook()) {
+    server_.add_group("England Football");
+    server_.add_member("England Football", "dave");
+    server_.add_member("England Football", "emma");
+    server_.add_profile("dave", "football fan");
+  }
+
+  BrowserClient make_browser(DeviceClass device) {
+    return BrowserClient(medium_, device, server_.node(), "tester");
+  }
+
+  sim::Simulator simulator_;
+  net::Medium medium_;
+  SnsServer server_;
+};
+
+TEST_F(BrowserTest, SearchFindsGroupAndTakesTensOfSeconds) {
+  BrowserClient browser = make_browser(nokia_n810());
+  Result<BrowserClient::TaskResult> outcome = Error{Errc::timeout};
+  browser.search_group("football", [&](Result<BrowserClient::TaskResult> r) {
+    outcome = std::move(r);
+  });
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return outcome.ok(); }, sim::minutes(5)));
+  EXPECT_EQ(outcome->names, (std::vector<std::string>{"England Football"}));
+  // Two heavyweight pages over GPRS plus typing: tens of seconds, like the
+  // thesis' 50-75 s band — and certainly nothing like Bluetooth-local time.
+  EXPECT_GT(outcome->elapsed, sim::seconds(20));
+  EXPECT_LT(outcome->elapsed, sim::seconds(120));
+}
+
+TEST_F(BrowserTest, JoinAddsMembershipServerSide) {
+  BrowserClient browser = make_browser(nokia_n810());
+  bool done = false;
+  browser.join_group("England Football",
+                     [&](Result<BrowserClient::TaskResult> r) {
+                       ASSERT_TRUE(r.ok());
+                       EXPECT_GT(r->elapsed, sim::seconds(5));
+                       done = true;
+                     });
+  ASSERT_TRUE(run_until(simulator_, [&] { return done; }, sim::minutes(5)));
+  auto members = server_.members_of("England Football");
+  EXPECT_NE(std::find(members.begin(), members.end(), "tester"), members.end());
+}
+
+TEST_F(BrowserTest, MemberListReturnsNames) {
+  BrowserClient browser = make_browser(nokia_n810());
+  std::vector<std::string> names;
+  bool done = false;
+  browser.view_member_list("England Football",
+                           [&](Result<BrowserClient::TaskResult> r) {
+                             ASSERT_TRUE(r.ok());
+                             names = r->names;
+                             done = true;
+                           });
+  ASSERT_TRUE(run_until(simulator_, [&] { return done; }, sim::minutes(5)));
+  EXPECT_EQ(names, (std::vector<std::string>{"dave", "emma"}));
+}
+
+TEST_F(BrowserTest, ProfileViewCompletes) {
+  BrowserClient browser = make_browser(nokia_n810());
+  bool done = false;
+  browser.view_profile("dave", [&](Result<BrowserClient::TaskResult> r) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->names, (std::vector<std::string>{"football fan"}));
+    done = true;
+  });
+  ASSERT_TRUE(run_until(simulator_, [&] { return done; }, sim::minutes(5)));
+}
+
+TEST_F(BrowserTest, N95IsSlowerThanN810OnIdenticalTask) {
+  // Table 8's device effect: every task is slower on the N95.
+  BrowserClient n810 = make_browser(nokia_n810());
+  BrowserClient n95 = make_browser(nokia_n95());
+  sim::Duration t810 = 0, t95 = 0;
+  n810.view_profile("dave", [&](Result<BrowserClient::TaskResult> r) {
+    t810 = r->elapsed;
+  });
+  n95.view_profile("dave", [&](Result<BrowserClient::TaskResult> r) {
+    t95 = r->elapsed;
+  });
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return t810 > 0 && t95 > 0; }, sim::minutes(5)));
+  EXPECT_GT(t95, t810);
+}
+
+TEST_F(BrowserTest, SearchSlowerThanSinglePageTasks) {
+  // Table 8's task ordering on every SNS column: search (home + results +
+  // typing) dominates member-list and profile views.
+  BrowserClient browser = make_browser(nokia_n810());
+  sim::Duration search = 0, list = 0, profile = 0;
+  browser.search_group("football", [&](Result<BrowserClient::TaskResult> r) {
+    search = r->elapsed;
+  });
+  ASSERT_TRUE(run_until(simulator_, [&] { return search > 0; }, sim::minutes(5)));
+  browser.view_member_list("England Football",
+                           [&](Result<BrowserClient::TaskResult> r) {
+                             list = r->elapsed;
+                           });
+  ASSERT_TRUE(run_until(simulator_, [&] { return list > 0; }, sim::minutes(5)));
+  browser.view_profile("dave", [&](Result<BrowserClient::TaskResult> r) {
+    profile = r->elapsed;
+  });
+  ASSERT_TRUE(run_until(simulator_, [&] { return profile > 0; }, sim::minutes(5)));
+  EXPECT_GT(search, list);
+  EXPECT_GT(search, profile);
+}
+
+TEST_F(BrowserTest, SendMessageTaskDeliversToServerInbox) {
+  server_.add_profile("emma", "also a fan");
+  BrowserClient browser = make_browser(nokia_n810());
+  bool done = false;
+  browser.send_message("emma", "hello from the road",
+                       [&](Result<BrowserClient::TaskResult> r) {
+                         ASSERT_TRUE(r.ok());
+                         // Compose page + typing + POST over GPRS.
+                         EXPECT_GT(r->elapsed, sim::seconds(5));
+                         done = true;
+                       });
+  ASSERT_TRUE(run_until(simulator_, [&] { return done; }, sim::minutes(5)));
+  EXPECT_EQ(server_.inbox_of("emma"),
+            (std::vector<std::string>{"tester: hello from the road"}));
+}
+
+TEST_F(BrowserTest, PostCommentTaskWritesToProfile) {
+  BrowserClient browser = make_browser(nokia_n810());
+  bool done = false;
+  browser.post_comment("dave", "met you at the match!",
+                       [&](Result<BrowserClient::TaskResult> r) {
+                         ASSERT_TRUE(r.ok());
+                         done = true;
+                       });
+  ASSERT_TRUE(run_until(simulator_, [&] { return done; }, sim::minutes(5)));
+  EXPECT_EQ(server_.comments_on("dave"),
+            (std::vector<std::string>{"tester: met you at the match!"}));
+}
+
+TEST_F(BrowserTest, ReadInboxShowsDeliveredMail) {
+  server_.add_profile("tester", "the measurer");
+  (void)server_.handle(
+      PageRequest{PageKind::send_message, "tester", "dave", "welcome!", 1000});
+  BrowserClient browser = make_browser(nokia_n810());
+  std::vector<std::string> inbox;
+  bool done = false;
+  browser.read_inbox([&](Result<BrowserClient::TaskResult> r) {
+    ASSERT_TRUE(r.ok());
+    inbox = r->names;
+    done = true;
+  });
+  ASSERT_TRUE(run_until(simulator_, [&] { return done; }, sim::minutes(5)));
+  EXPECT_EQ(inbox, (std::vector<std::string>{"dave: welcome!"}));
+}
+
+TEST_F(BrowserTest, HeavierSiteProfileTakesLonger) {
+  SnsServer hi5_server(medium_, hi5());
+  hi5_server.add_group("England Football");
+  hi5_server.add_profile("dave", "fan");
+  BrowserClient fb = make_browser(nokia_n810());
+  BrowserClient h5(medium_, nokia_n810(), hi5_server.node(), "tester");
+  sim::Duration t_fb = 0, t_h5 = 0;
+  fb.view_profile("dave", [&](Result<BrowserClient::TaskResult> r) {
+    t_fb = r->elapsed;
+  });
+  h5.view_profile("dave", [&](Result<BrowserClient::TaskResult> r) {
+    t_h5 = r->elapsed;
+  });
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return t_fb > 0 && t_h5 > 0; }, sim::minutes(5)));
+  // Hi5 profile pages are heavier -> slower (thesis: 27 s vs 11 s on N810).
+  EXPECT_GT(t_h5, t_fb);
+}
+
+}  // namespace
+}  // namespace ph::sns

@@ -1,0 +1,26 @@
+// Shared helpers for simulation-driven tests.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace ph::testutil {
+
+/// Advances virtual time in `step` slices until `pred()` holds or `limit`
+/// elapses. Returns the final pred() value. This is the test idiom for
+/// "wait until discovery/connection/... completes".
+template <typename Pred>
+bool run_until(sim::Simulator& simulator, Pred pred, sim::Duration limit,
+               sim::Duration step = sim::milliseconds(100)) {
+  const sim::Time deadline = simulator.now() + limit;
+  while (simulator.now() < deadline) {
+    if (pred()) return true;
+    const sim::Time next = std::min<sim::Time>(deadline, simulator.now() + step);
+    simulator.run_until(next);
+  }
+  return pred();
+}
+
+}  // namespace ph::testutil

@@ -1,0 +1,49 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ph {
+namespace {
+
+TEST(BytesTest, ToBytesCopiesText) {
+  Bytes b = to_bytes("abc");
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 'a');
+  EXPECT_EQ(b[2], 'c');
+}
+
+TEST(BytesTest, ToTextRoundTrips) {
+  EXPECT_EQ(to_text(to_bytes("hello world")), "hello world");
+}
+
+TEST(BytesTest, EmptyRoundTrip) {
+  EXPECT_EQ(to_text(to_bytes("")), "");
+}
+
+TEST(BytesTest, BinaryBytesSurviveToText) {
+  Bytes b{0x00, 0xff, 0x7f};
+  std::string s = to_text(b);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(static_cast<unsigned char>(s[1]), 0xff);
+}
+
+TEST(HexDumpTest, FormatsBytes) {
+  Bytes b{0x0a, 0x1f, 0x00};
+  EXPECT_EQ(hex_dump(b), "0a 1f 00");
+}
+
+TEST(HexDumpTest, EmptyInput) { EXPECT_EQ(hex_dump(Bytes{}), ""); }
+
+TEST(HexDumpTest, TruncatesWithEllipsis) {
+  Bytes b(100, 0xab);
+  std::string dump = hex_dump(b, 4);
+  EXPECT_EQ(dump, "ab ab ab ab ...");
+}
+
+TEST(HexDumpTest, ExactLimitNoEllipsis) {
+  Bytes b(4, 0x01);
+  EXPECT_EQ(hex_dump(b, 4), "01 01 01 01");
+}
+
+}  // namespace
+}  // namespace ph

@@ -1,0 +1,39 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ph {
+namespace {
+
+TEST(ErrcTest, EveryCodeHasAName) {
+  // A new Errc without a to_string entry would return "unknown".
+  for (int code = 0; code <= static_cast<int>(Errc::state_error); ++code) {
+    EXPECT_NE(to_string(static_cast<Errc>(code)), "unknown")
+        << "code " << code << " is missing a name";
+  }
+}
+
+TEST(ErrcTest, NamesAreStable) {
+  EXPECT_EQ(to_string(Errc::ok), "ok");
+  EXPECT_EQ(to_string(Errc::device_unreachable), "device_unreachable");
+  EXPECT_EQ(to_string(Errc::no_such_member), "no_such_member");
+  EXPECT_EQ(to_string(Errc::not_trusted), "not_trusted");
+  EXPECT_EQ(to_string(Errc::timeout), "timeout");
+}
+
+TEST(ErrorTest, ToStringWithoutMessage) {
+  EXPECT_EQ(Error(Errc::timeout).to_string(), "timeout");
+}
+
+TEST(ErrorTest, ToStringWithMessage) {
+  EXPECT_EQ(Error(Errc::timeout, "rpc").to_string(), "timeout: rpc");
+}
+
+TEST(ErrorTest, DefaultIsOk) {
+  Error e;
+  EXPECT_EQ(e.code, Errc::ok);
+  EXPECT_TRUE(e.message.empty());
+}
+
+}  // namespace
+}  // namespace ph

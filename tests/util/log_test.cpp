@@ -1,0 +1,76 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ph {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().set_sink([this](std::string_view line) {
+      lines_.emplace_back(line);
+    });
+    Logger::instance().set_level(LogLevel::trace);
+  }
+
+  void TearDown() override {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(LogLevel::warn);
+    Logger::instance().set_clock(nullptr);
+  }
+
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LogTest, WritesFormattedLine) {
+  PH_LOG(info, "test") << "hello " << 42;
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("INFO"), std::string::npos);
+  EXPECT_NE(lines_[0].find("[test]"), std::string::npos);
+  EXPECT_NE(lines_[0].find("hello 42"), std::string::npos);
+}
+
+TEST_F(LogTest, LevelFiltersLowSeverity) {
+  Logger::instance().set_level(LogLevel::warn);
+  PH_LOG(debug, "test") << "invisible";
+  PH_LOG(warn, "test") << "visible";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("visible"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Logger::instance().set_level(LogLevel::off);
+  PH_LOG(error, "test") << "nope";
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LogTest, ClockPrefixesVirtualTime) {
+  Logger::instance().set_clock([] { return std::uint64_t{2'500'000}; });
+  PH_LOG(info, "test") << "stamped";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("2.500000"), std::string::npos);
+}
+
+TEST_F(LogTest, NoClockShowsDash) {
+  PH_LOG(info, "test") << "unstamped";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("-"), std::string::npos);
+}
+
+TEST_F(LogTest, DisabledLevelDoesNotEvaluateStream) {
+  Logger::instance().set_level(LogLevel::error);
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return 1;
+  };
+  PH_LOG(debug, "test") << count();
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace ph

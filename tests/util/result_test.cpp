@@ -1,0 +1,102 @@
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ph {
+namespace {
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return Error{Errc::invalid_argument, "must be positive"};
+  return v;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Error{Errc::timeout, "too slow"};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::timeout);
+  EXPECT_EQ(r.error().message, "too slow");
+}
+
+TEST(ResultTest, ImplicitFromErrc) {
+  Result<int> r = Errc::unknown_device;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::unknown_device);
+}
+
+TEST(ResultTest, ValueOrReturnsValue) {
+  EXPECT_EQ(parse_positive(7).value_or(-1), 7);
+}
+
+TEST(ResultTest, ValueOrReturnsFallback) {
+  EXPECT_EQ(parse_positive(-3).value_or(-1), -1);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, MapTransformsValue) {
+  auto doubled = parse_positive(21).map([](int v) { return v * 2; });
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled.value(), 42);
+}
+
+TEST(ResultTest, MapForwardsError) {
+  auto doubled = parse_positive(0).map([](int v) { return v * 2; });
+  ASSERT_FALSE(doubled.ok());
+  EXPECT_EQ(doubled.error().code, Errc::invalid_argument);
+}
+
+TEST(ResultTest, MapCanChangeType) {
+  auto text = parse_positive(5).map([](int v) { return std::to_string(v); });
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.value(), "5");
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 9);
+}
+
+TEST(ResultVoidTest, DefaultIsOk) {
+  Result<void> r = ok();
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::ok);
+}
+
+TEST(ResultVoidTest, CarriesError) {
+  Result<void> r = Error{Errc::not_trusted, "no"};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::not_trusted);
+}
+
+TEST(ResultVoidTest, FromBareErrc) {
+  Result<void> r = Errc::auth_failed;
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ResultTest, AccessingValueOfErrorThrows) {
+  Result<int> r = Errc::timeout;
+  EXPECT_THROW((void)r.value(), std::bad_variant_access);
+}
+
+TEST(ResultTest, ErrorEqualityIgnoresMessage) {
+  EXPECT_EQ(Error(Errc::timeout, "a"), Error(Errc::timeout, "b"));
+  EXPECT_FALSE(Error(Errc::timeout) == Error(Errc::connection_lost));
+}
+
+}  // namespace
+}  // namespace ph

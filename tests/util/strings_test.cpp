@@ -1,0 +1,75 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ph {
+namespace {
+
+TEST(ToLowerTest, LowersAscii) { EXPECT_EQ(to_lower("FooTBAll"), "football"); }
+
+TEST(ToLowerTest, LeavesNonLetters) {
+  EXPECT_EQ(to_lower("A1-b2 C3"), "a1-b2 c3");
+}
+
+TEST(ToLowerTest, EmptyString) { EXPECT_EQ(to_lower(""), ""); }
+
+TEST(TrimTest, TrimsBothEnds) { EXPECT_EQ(trim("  hi  "), "hi"); }
+
+TEST(TrimTest, TrimsTabsAndNewlines) { EXPECT_EQ(trim("\t\nhi\r\n"), "hi"); }
+
+TEST(TrimTest, AllWhitespaceBecomesEmpty) { EXPECT_EQ(trim("   \t "), ""); }
+
+TEST(TrimTest, NoWhitespaceUnchanged) { EXPECT_EQ(trim("abc"), "abc"); }
+
+TEST(SplitTest, SplitsOnSeparator) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(SplitTest, TrailingSeparatorYieldsEmpty) {
+  EXPECT_EQ(split("a,", ','), (std::vector<std::string>{"a", ""}));
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(JoinTest, SingleElement) { EXPECT_EQ(join({"a"}, ","), "a"); }
+
+TEST(JoinTest, EmptyVector) { EXPECT_EQ(join({}, ","), ""); }
+
+TEST(JoinSplitTest, RoundTrip) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(split(join(parts, "|"), '|'), parts);
+}
+
+TEST(NormalizeInterestTest, LowercasesAndTrims) {
+  EXPECT_EQ(normalize_interest("  Football "), "football");
+}
+
+TEST(NormalizeInterestTest, SqueezesInnerWhitespace) {
+  EXPECT_EQ(normalize_interest("England   Football"), "england football");
+}
+
+TEST(NormalizeInterestTest, TabsCountAsWhitespace) {
+  EXPECT_EQ(normalize_interest("rock\t\tmusic"), "rock music");
+}
+
+TEST(NormalizeInterestTest, EmptyStaysEmpty) {
+  EXPECT_EQ(normalize_interest("   "), "");
+}
+
+TEST(NormalizeInterestTest, Idempotent) {
+  const std::string once = normalize_interest(" Ice  Hockey ");
+  EXPECT_EQ(normalize_interest(once), once);
+}
+
+}  // namespace
+}  // namespace ph
