@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_discovery_cache.dir/ablation_discovery_cache.cpp.o"
+  "CMakeFiles/bench_ablation_discovery_cache.dir/ablation_discovery_cache.cpp.o.d"
+  "bench_ablation_discovery_cache"
+  "bench_ablation_discovery_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_discovery_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

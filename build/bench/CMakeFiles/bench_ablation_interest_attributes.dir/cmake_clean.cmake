@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_interest_attributes.dir/ablation_interest_attributes.cpp.o"
+  "CMakeFiles/bench_ablation_interest_attributes.dir/ablation_interest_attributes.cpp.o.d"
+  "bench_ablation_interest_attributes"
+  "bench_ablation_interest_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interest_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

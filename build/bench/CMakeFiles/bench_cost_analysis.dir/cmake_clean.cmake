@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_analysis.dir/cost_analysis.cpp.o"
+  "CMakeFiles/bench_cost_analysis.dir/cost_analysis.cpp.o.d"
+  "bench_cost_analysis"
+  "bench_cost_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

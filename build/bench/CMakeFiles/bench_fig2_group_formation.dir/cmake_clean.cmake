@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_group_formation.dir/fig2_group_formation.cpp.o"
+  "CMakeFiles/bench_fig2_group_formation.dir/fig2_group_formation.cpp.o.d"
+  "bench_fig2_group_formation"
+  "bench_fig2_group_formation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_group_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_discovery_algorithm.dir/fig6_discovery_algorithm.cpp.o"
+  "CMakeFiles/bench_fig6_discovery_algorithm.dir/fig6_discovery_algorithm.cpp.o.d"
+  "bench_fig6_discovery_algorithm"
+  "bench_fig6_discovery_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_discovery_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msc_operations.dir/msc_operations.cpp.o"
+  "CMakeFiles/bench_msc_operations.dir/msc_operations.cpp.o.d"
+  "bench_msc_operations"
+  "bench_msc_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msc_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

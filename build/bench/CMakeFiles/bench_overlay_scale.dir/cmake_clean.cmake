@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overlay_scale.dir/overlay_scale.cpp.o"
+  "CMakeFiles/bench_overlay_scale.dir/overlay_scale.cpp.o.d"
+  "bench_overlay_scale"
+  "bench_overlay_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overlay_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

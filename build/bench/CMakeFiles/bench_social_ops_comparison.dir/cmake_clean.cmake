@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_social_ops_comparison.dir/social_ops_comparison.cpp.o"
+  "CMakeFiles/bench_social_ops_comparison.dir/social_ops_comparison.cpp.o.d"
+  "bench_social_ops_comparison"
+  "bench_social_ops_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_social_ops_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

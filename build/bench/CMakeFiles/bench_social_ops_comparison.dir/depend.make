@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_social_ops_comparison.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_wlan_standards.dir/table1_wlan_standards.cpp.o"
+  "CMakeFiles/bench_table1_wlan_standards.dir/table1_wlan_standards.cpp.o.d"
+  "bench_table1_wlan_standards"
+  "bench_table1_wlan_standards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_wlan_standards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

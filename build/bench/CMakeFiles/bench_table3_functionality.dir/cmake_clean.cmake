@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_functionality.dir/table3_functionality.cpp.o"
+  "CMakeFiles/bench_table3_functionality.dir/table3_functionality.cpp.o.d"
+  "bench_table3_functionality"
+  "bench_table3_functionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_functionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_operations.dir/table6_operations.cpp.o"
+  "CMakeFiles/bench_table6_operations.dir/table6_operations.cpp.o.d"
+  "bench_table6_operations"
+  "bench_table6_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_ride.dir/bus_ride.cpp.o"
+  "CMakeFiles/bus_ride.dir/bus_ride.cpp.o.d"
+  "bus_ride"
+  "bus_ride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_ride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

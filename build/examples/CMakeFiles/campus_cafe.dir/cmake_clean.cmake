@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_cafe.dir/campus_cafe.cpp.o"
+  "CMakeFiles/campus_cafe.dir/campus_cafe.cpp.o.d"
+  "campus_cafe"
+  "campus_cafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_cafe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_cli.dir/community_cli.cpp.o"
+  "CMakeFiles/community_cli.dir/community_cli.cpp.o.d"
+  "community_cli"
+  "community_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fitness_system.dir/fitness_system.cpp.o"
+  "CMakeFiles/fitness_system.dir/fitness_system.cpp.o.d"
+  "fitness_system"
+  "fitness_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fitness_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guidance_system.dir/guidance_system.cpp.o"
+  "CMakeFiles/guidance_system.dir/guidance_system.cpp.o.d"
+  "guidance_system"
+  "guidance_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guidance_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotel_lobby.dir/hotel_lobby.cpp.o"
+  "CMakeFiles/hotel_lobby.dir/hotel_lobby.cpp.o.d"
+  "hotel_lobby"
+  "hotel_lobby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotel_lobby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

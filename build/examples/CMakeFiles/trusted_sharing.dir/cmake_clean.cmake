@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trusted_sharing.dir/trusted_sharing.cpp.o"
+  "CMakeFiles/trusted_sharing.dir/trusted_sharing.cpp.o.d"
+  "trusted_sharing"
+  "trusted_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trusted_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

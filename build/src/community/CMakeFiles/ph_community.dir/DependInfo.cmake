@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/community/app.cpp" "src/community/CMakeFiles/ph_community.dir/app.cpp.o" "gcc" "src/community/CMakeFiles/ph_community.dir/app.cpp.o.d"
+  "/root/repo/src/community/client.cpp" "src/community/CMakeFiles/ph_community.dir/client.cpp.o" "gcc" "src/community/CMakeFiles/ph_community.dir/client.cpp.o.d"
+  "/root/repo/src/community/groups.cpp" "src/community/CMakeFiles/ph_community.dir/groups.cpp.o" "gcc" "src/community/CMakeFiles/ph_community.dir/groups.cpp.o.d"
+  "/root/repo/src/community/interests.cpp" "src/community/CMakeFiles/ph_community.dir/interests.cpp.o" "gcc" "src/community/CMakeFiles/ph_community.dir/interests.cpp.o.d"
+  "/root/repo/src/community/persistence.cpp" "src/community/CMakeFiles/ph_community.dir/persistence.cpp.o" "gcc" "src/community/CMakeFiles/ph_community.dir/persistence.cpp.o.d"
+  "/root/repo/src/community/profile.cpp" "src/community/CMakeFiles/ph_community.dir/profile.cpp.o" "gcc" "src/community/CMakeFiles/ph_community.dir/profile.cpp.o.d"
+  "/root/repo/src/community/server.cpp" "src/community/CMakeFiles/ph_community.dir/server.cpp.o" "gcc" "src/community/CMakeFiles/ph_community.dir/server.cpp.o.d"
+  "/root/repo/src/community/shell.cpp" "src/community/CMakeFiles/ph_community.dir/shell.cpp.o" "gcc" "src/community/CMakeFiles/ph_community.dir/shell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/peerhood/CMakeFiles/ph_peerhood.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ph_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ph_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ph_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ph_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

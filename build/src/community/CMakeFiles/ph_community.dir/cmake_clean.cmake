@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_community.dir/app.cpp.o"
+  "CMakeFiles/ph_community.dir/app.cpp.o.d"
+  "CMakeFiles/ph_community.dir/client.cpp.o"
+  "CMakeFiles/ph_community.dir/client.cpp.o.d"
+  "CMakeFiles/ph_community.dir/groups.cpp.o"
+  "CMakeFiles/ph_community.dir/groups.cpp.o.d"
+  "CMakeFiles/ph_community.dir/interests.cpp.o"
+  "CMakeFiles/ph_community.dir/interests.cpp.o.d"
+  "CMakeFiles/ph_community.dir/persistence.cpp.o"
+  "CMakeFiles/ph_community.dir/persistence.cpp.o.d"
+  "CMakeFiles/ph_community.dir/profile.cpp.o"
+  "CMakeFiles/ph_community.dir/profile.cpp.o.d"
+  "CMakeFiles/ph_community.dir/server.cpp.o"
+  "CMakeFiles/ph_community.dir/server.cpp.o.d"
+  "CMakeFiles/ph_community.dir/shell.cpp.o"
+  "CMakeFiles/ph_community.dir/shell.cpp.o.d"
+  "libph_community.a"
+  "libph_community.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_community.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

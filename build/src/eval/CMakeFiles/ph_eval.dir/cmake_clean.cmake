@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_eval.dir/scenarios.cpp.o"
+  "CMakeFiles/ph_eval.dir/scenarios.cpp.o.d"
+  "CMakeFiles/ph_eval.dir/table8.cpp.o"
+  "CMakeFiles/ph_eval.dir/table8.cpp.o.d"
+  "libph_eval.a"
+  "libph_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

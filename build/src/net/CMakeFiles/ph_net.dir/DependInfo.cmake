@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/adapter.cpp" "src/net/CMakeFiles/ph_net.dir/adapter.cpp.o" "gcc" "src/net/CMakeFiles/ph_net.dir/adapter.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/ph_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/ph_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/medium.cpp" "src/net/CMakeFiles/ph_net.dir/medium.cpp.o" "gcc" "src/net/CMakeFiles/ph_net.dir/medium.cpp.o.d"
+  "/root/repo/src/net/tech.cpp" "src/net/CMakeFiles/ph_net.dir/tech.cpp.o" "gcc" "src/net/CMakeFiles/ph_net.dir/tech.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

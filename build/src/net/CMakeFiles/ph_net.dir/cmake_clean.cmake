@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_net.dir/adapter.cpp.o"
+  "CMakeFiles/ph_net.dir/adapter.cpp.o.d"
+  "CMakeFiles/ph_net.dir/link.cpp.o"
+  "CMakeFiles/ph_net.dir/link.cpp.o.d"
+  "CMakeFiles/ph_net.dir/medium.cpp.o"
+  "CMakeFiles/ph_net.dir/medium.cpp.o.d"
+  "CMakeFiles/ph_net.dir/tech.cpp.o"
+  "CMakeFiles/ph_net.dir/tech.cpp.o.d"
+  "libph_net.a"
+  "libph_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

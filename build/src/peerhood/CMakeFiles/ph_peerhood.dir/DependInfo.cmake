@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/peerhood/connection.cpp" "src/peerhood/CMakeFiles/ph_peerhood.dir/connection.cpp.o" "gcc" "src/peerhood/CMakeFiles/ph_peerhood.dir/connection.cpp.o.d"
+  "/root/repo/src/peerhood/daemon.cpp" "src/peerhood/CMakeFiles/ph_peerhood.dir/daemon.cpp.o" "gcc" "src/peerhood/CMakeFiles/ph_peerhood.dir/daemon.cpp.o.d"
+  "/root/repo/src/peerhood/library.cpp" "src/peerhood/CMakeFiles/ph_peerhood.dir/library.cpp.o" "gcc" "src/peerhood/CMakeFiles/ph_peerhood.dir/library.cpp.o.d"
+  "/root/repo/src/peerhood/plugin.cpp" "src/peerhood/CMakeFiles/ph_peerhood.dir/plugin.cpp.o" "gcc" "src/peerhood/CMakeFiles/ph_peerhood.dir/plugin.cpp.o.d"
+  "/root/repo/src/peerhood/session.cpp" "src/peerhood/CMakeFiles/ph_peerhood.dir/session.cpp.o" "gcc" "src/peerhood/CMakeFiles/ph_peerhood.dir/session.cpp.o.d"
+  "/root/repo/src/peerhood/stack.cpp" "src/peerhood/CMakeFiles/ph_peerhood.dir/stack.cpp.o" "gcc" "src/peerhood/CMakeFiles/ph_peerhood.dir/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ph_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ph_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_peerhood.dir/connection.cpp.o"
+  "CMakeFiles/ph_peerhood.dir/connection.cpp.o.d"
+  "CMakeFiles/ph_peerhood.dir/daemon.cpp.o"
+  "CMakeFiles/ph_peerhood.dir/daemon.cpp.o.d"
+  "CMakeFiles/ph_peerhood.dir/library.cpp.o"
+  "CMakeFiles/ph_peerhood.dir/library.cpp.o.d"
+  "CMakeFiles/ph_peerhood.dir/plugin.cpp.o"
+  "CMakeFiles/ph_peerhood.dir/plugin.cpp.o.d"
+  "CMakeFiles/ph_peerhood.dir/session.cpp.o"
+  "CMakeFiles/ph_peerhood.dir/session.cpp.o.d"
+  "CMakeFiles/ph_peerhood.dir/stack.cpp.o"
+  "CMakeFiles/ph_peerhood.dir/stack.cpp.o.d"
+  "libph_peerhood.a"
+  "libph_peerhood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_peerhood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_proto.dir/codec.cpp.o"
+  "CMakeFiles/ph_proto.dir/codec.cpp.o.d"
+  "CMakeFiles/ph_proto.dir/daemon.cpp.o"
+  "CMakeFiles/ph_proto.dir/daemon.cpp.o.d"
+  "CMakeFiles/ph_proto.dir/messages.cpp.o"
+  "CMakeFiles/ph_proto.dir/messages.cpp.o.d"
+  "libph_proto.a"
+  "libph_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

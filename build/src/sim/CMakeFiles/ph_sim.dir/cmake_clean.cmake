@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_sim.dir/mobility.cpp.o"
+  "CMakeFiles/ph_sim.dir/mobility.cpp.o.d"
+  "CMakeFiles/ph_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ph_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ph_sim.dir/time.cpp.o"
+  "CMakeFiles/ph_sim.dir/time.cpp.o.d"
+  "libph_sim.a"
+  "libph_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

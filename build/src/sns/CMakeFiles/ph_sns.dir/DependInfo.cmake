@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sns/browser.cpp" "src/sns/CMakeFiles/ph_sns.dir/browser.cpp.o" "gcc" "src/sns/CMakeFiles/ph_sns.dir/browser.cpp.o.d"
+  "/root/repo/src/sns/protocol.cpp" "src/sns/CMakeFiles/ph_sns.dir/protocol.cpp.o" "gcc" "src/sns/CMakeFiles/ph_sns.dir/protocol.cpp.o.d"
+  "/root/repo/src/sns/server.cpp" "src/sns/CMakeFiles/ph_sns.dir/server.cpp.o" "gcc" "src/sns/CMakeFiles/ph_sns.dir/server.cpp.o.d"
+  "/root/repo/src/sns/types.cpp" "src/sns/CMakeFiles/ph_sns.dir/types.cpp.o" "gcc" "src/sns/CMakeFiles/ph_sns.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ph_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ph_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

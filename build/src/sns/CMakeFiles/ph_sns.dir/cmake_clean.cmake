@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_sns.dir/browser.cpp.o"
+  "CMakeFiles/ph_sns.dir/browser.cpp.o.d"
+  "CMakeFiles/ph_sns.dir/protocol.cpp.o"
+  "CMakeFiles/ph_sns.dir/protocol.cpp.o.d"
+  "CMakeFiles/ph_sns.dir/server.cpp.o"
+  "CMakeFiles/ph_sns.dir/server.cpp.o.d"
+  "CMakeFiles/ph_sns.dir/types.cpp.o"
+  "CMakeFiles/ph_sns.dir/types.cpp.o.d"
+  "libph_sns.a"
+  "libph_sns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_sns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

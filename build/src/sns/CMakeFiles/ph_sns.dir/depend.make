@@ -1,0 +1,2 @@
+# Empty dependencies file for ph_sns.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_util.dir/bytes.cpp.o"
+  "CMakeFiles/ph_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/ph_util.dir/error.cpp.o"
+  "CMakeFiles/ph_util.dir/error.cpp.o.d"
+  "CMakeFiles/ph_util.dir/log.cpp.o"
+  "CMakeFiles/ph_util.dir/log.cpp.o.d"
+  "CMakeFiles/ph_util.dir/strings.cpp.o"
+  "CMakeFiles/ph_util.dir/strings.cpp.o.d"
+  "libph_util.a"
+  "libph_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

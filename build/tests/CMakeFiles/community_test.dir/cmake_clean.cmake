@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_test.dir/community/app_test.cpp.o"
+  "CMakeFiles/community_test.dir/community/app_test.cpp.o.d"
+  "CMakeFiles/community_test.dir/community/client_test.cpp.o"
+  "CMakeFiles/community_test.dir/community/client_test.cpp.o.d"
+  "CMakeFiles/community_test.dir/community/groups_property_test.cpp.o"
+  "CMakeFiles/community_test.dir/community/groups_property_test.cpp.o.d"
+  "CMakeFiles/community_test.dir/community/groups_test.cpp.o"
+  "CMakeFiles/community_test.dir/community/groups_test.cpp.o.d"
+  "CMakeFiles/community_test.dir/community/interests_test.cpp.o"
+  "CMakeFiles/community_test.dir/community/interests_test.cpp.o.d"
+  "CMakeFiles/community_test.dir/community/persistence_test.cpp.o"
+  "CMakeFiles/community_test.dir/community/persistence_test.cpp.o.d"
+  "CMakeFiles/community_test.dir/community/profile_test.cpp.o"
+  "CMakeFiles/community_test.dir/community/profile_test.cpp.o.d"
+  "CMakeFiles/community_test.dir/community/server_ops_test.cpp.o"
+  "CMakeFiles/community_test.dir/community/server_ops_test.cpp.o.d"
+  "CMakeFiles/community_test.dir/community/shell_test.cpp.o"
+  "CMakeFiles/community_test.dir/community/shell_test.cpp.o.d"
+  "community_test"
+  "community_test.pdb"
+  "community_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/chaos_property_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/chaos_property_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/chaos_property_test.cpp.o.d"
+  "/root/repo/tests/integration/dynamic_groups_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/dynamic_groups_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/dynamic_groups_test.cpp.o.d"
+  "/root/repo/tests/integration/failure_injection_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/integration/msc_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/msc_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/msc_test.cpp.o.d"
+  "/root/repo/tests/integration/soak_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/soak_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/soak_test.cpp.o.d"
+  "/root/repo/tests/integration/table8_scenario_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/table8_scenario_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/table8_scenario_test.cpp.o.d"
+  "/root/repo/tests/integration/working_principle_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/working_principle_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/working_principle_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/ph_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/community/CMakeFiles/ph_community.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/CMakeFiles/ph_sns.dir/DependInfo.cmake"
+  "/root/repo/build/src/peerhood/CMakeFiles/ph_peerhood.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ph_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ph_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

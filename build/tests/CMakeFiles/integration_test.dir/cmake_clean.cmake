@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/chaos_property_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/chaos_property_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/dynamic_groups_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/dynamic_groups_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/failure_injection_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/failure_injection_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/msc_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/msc_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/soak_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/soak_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/table8_scenario_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/table8_scenario_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/working_principle_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/working_principle_test.cpp.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

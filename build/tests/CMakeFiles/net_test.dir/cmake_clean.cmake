@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_test.dir/net/adapter_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/adapter_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/broadcast_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/broadcast_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/gprs_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/gprs_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/infrastructure_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/infrastructure_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/link_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/link_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/medium_property_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/medium_property_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/medium_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/medium_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/piconet_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/piconet_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/tech_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/tech_test.cpp.o.d"
+  "net_test"
+  "net_test.pdb"
+  "net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/peerhood/connection_test.cpp" "tests/CMakeFiles/peerhood_test.dir/peerhood/connection_test.cpp.o" "gcc" "tests/CMakeFiles/peerhood_test.dir/peerhood/connection_test.cpp.o.d"
+  "/root/repo/tests/peerhood/daemon_test.cpp" "tests/CMakeFiles/peerhood_test.dir/peerhood/daemon_test.cpp.o" "gcc" "tests/CMakeFiles/peerhood_test.dir/peerhood/daemon_test.cpp.o.d"
+  "/root/repo/tests/peerhood/library_test.cpp" "tests/CMakeFiles/peerhood_test.dir/peerhood/library_test.cpp.o" "gcc" "tests/CMakeFiles/peerhood_test.dir/peerhood/library_test.cpp.o.d"
+  "/root/repo/tests/peerhood/monitoring_property_test.cpp" "tests/CMakeFiles/peerhood_test.dir/peerhood/monitoring_property_test.cpp.o" "gcc" "tests/CMakeFiles/peerhood_test.dir/peerhood/monitoring_property_test.cpp.o.d"
+  "/root/repo/tests/peerhood/plugin_test.cpp" "tests/CMakeFiles/peerhood_test.dir/peerhood/plugin_test.cpp.o" "gcc" "tests/CMakeFiles/peerhood_test.dir/peerhood/plugin_test.cpp.o.d"
+  "/root/repo/tests/peerhood/seamless_test.cpp" "tests/CMakeFiles/peerhood_test.dir/peerhood/seamless_test.cpp.o" "gcc" "tests/CMakeFiles/peerhood_test.dir/peerhood/seamless_test.cpp.o.d"
+  "/root/repo/tests/peerhood/stack_test.cpp" "tests/CMakeFiles/peerhood_test.dir/peerhood/stack_test.cpp.o" "gcc" "tests/CMakeFiles/peerhood_test.dir/peerhood/stack_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/ph_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/community/CMakeFiles/ph_community.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/CMakeFiles/ph_sns.dir/DependInfo.cmake"
+  "/root/repo/build/src/peerhood/CMakeFiles/ph_peerhood.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ph_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ph_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peerhood_test.dir/peerhood/connection_test.cpp.o"
+  "CMakeFiles/peerhood_test.dir/peerhood/connection_test.cpp.o.d"
+  "CMakeFiles/peerhood_test.dir/peerhood/daemon_test.cpp.o"
+  "CMakeFiles/peerhood_test.dir/peerhood/daemon_test.cpp.o.d"
+  "CMakeFiles/peerhood_test.dir/peerhood/library_test.cpp.o"
+  "CMakeFiles/peerhood_test.dir/peerhood/library_test.cpp.o.d"
+  "CMakeFiles/peerhood_test.dir/peerhood/monitoring_property_test.cpp.o"
+  "CMakeFiles/peerhood_test.dir/peerhood/monitoring_property_test.cpp.o.d"
+  "CMakeFiles/peerhood_test.dir/peerhood/plugin_test.cpp.o"
+  "CMakeFiles/peerhood_test.dir/peerhood/plugin_test.cpp.o.d"
+  "CMakeFiles/peerhood_test.dir/peerhood/seamless_test.cpp.o"
+  "CMakeFiles/peerhood_test.dir/peerhood/seamless_test.cpp.o.d"
+  "CMakeFiles/peerhood_test.dir/peerhood/stack_test.cpp.o"
+  "CMakeFiles/peerhood_test.dir/peerhood/stack_test.cpp.o.d"
+  "peerhood_test"
+  "peerhood_test.pdb"
+  "peerhood_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peerhood_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

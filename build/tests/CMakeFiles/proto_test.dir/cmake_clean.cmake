@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_test.dir/proto/codec_test.cpp.o"
+  "CMakeFiles/proto_test.dir/proto/codec_test.cpp.o.d"
+  "CMakeFiles/proto_test.dir/proto/daemon_msg_test.cpp.o"
+  "CMakeFiles/proto_test.dir/proto/daemon_msg_test.cpp.o.d"
+  "CMakeFiles/proto_test.dir/proto/fuzz_test.cpp.o"
+  "CMakeFiles/proto_test.dir/proto/fuzz_test.cpp.o.d"
+  "CMakeFiles/proto_test.dir/proto/messages_test.cpp.o"
+  "CMakeFiles/proto_test.dir/proto/messages_test.cpp.o.d"
+  "proto_test"
+  "proto_test.pdb"
+  "proto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sns/browser_test.cpp" "tests/CMakeFiles/sns_test.dir/sns/browser_test.cpp.o" "gcc" "tests/CMakeFiles/sns_test.dir/sns/browser_test.cpp.o.d"
+  "/root/repo/tests/sns/server_test.cpp" "tests/CMakeFiles/sns_test.dir/sns/server_test.cpp.o" "gcc" "tests/CMakeFiles/sns_test.dir/sns/server_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/ph_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/community/CMakeFiles/ph_community.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/CMakeFiles/ph_sns.dir/DependInfo.cmake"
+  "/root/repo/build/src/peerhood/CMakeFiles/ph_peerhood.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ph_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ph_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

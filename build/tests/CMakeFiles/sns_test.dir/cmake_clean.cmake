@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_test.dir/sns/browser_test.cpp.o"
+  "CMakeFiles/sns_test.dir/sns/browser_test.cpp.o.d"
+  "CMakeFiles/sns_test.dir/sns/server_test.cpp.o"
+  "CMakeFiles/sns_test.dir/sns/server_test.cpp.o.d"
+  "sns_test"
+  "sns_test.pdb"
+  "sns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
