@@ -2,8 +2,15 @@
 // simulation kernel's event throughput and the wire codecs. Not tied to a
 // thesis artifact — these document the harness' own capacity, i.e. how
 // large an overlay simulation the repository can drive.
+//
+// Set PH_METRICS_JSON=/path/out.json (or PH_METRICS_CSV) to also dump a
+// `sim.kernel.*` snapshot — one deterministic run of the schedule/run and
+// cancel workloads with event counts and wall-clock throughput — at exit.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "obs/export.hpp"
 #include "proto/daemon.hpp"
 #include "proto/messages.hpp"
 #include "sim/simulator.hpp"
@@ -116,6 +123,62 @@ void BM_DecodeDaemonMessage(benchmark::State& state) {
 }
 BENCHMARK(BM_DecodeDaemonMessage);
 
+// Records one deterministic pass of the kernel workloads into `metrics`.
+// The binary-heap queue's throughput shows up as `events_per_sec` (the
+// old std::map queue managed roughly a third of it on the same workload);
+// the cancel workload documents lazy cancellation: O(1) erase, stale
+// entries compacted away once they outnumber live ones 4:1.
+void record_kernel_metrics(obs::Registry& metrics) {
+  {
+    constexpr int kEvents = 100'000;
+    const auto wall_start = std::chrono::steady_clock::now();
+    sim::Simulator simulator;
+    for (int i = 0; i < kEvents; ++i) {
+      simulator.schedule(sim::milliseconds(i % 1000), [] {});
+    }
+    simulator.run_all();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    metrics.counter("sim.kernel.schedule_run_events")
+        .inc(simulator.events_executed());
+    metrics.gauge("sim.kernel.schedule_run_wall_s").set(wall_s);
+    if (wall_s > 0) {
+      metrics.gauge("sim.kernel.events_per_sec").set(kEvents / wall_s);
+    }
+  }
+  {
+    constexpr int kEvents = 10'000;
+    sim::Simulator simulator;
+    std::vector<sim::EventId> ids;
+    ids.reserve(kEvents);
+    for (int i = 0; i < kEvents; ++i) {
+      ids.push_back(simulator.schedule(sim::seconds(1), [] {}));
+    }
+    std::uint64_t cancelled = 0;
+    for (std::size_t i = 0; i < ids.size(); i += 2) {
+      if (simulator.cancel(ids[i])) ++cancelled;
+    }
+    metrics.counter("sim.kernel.cancelled_events").inc(cancelled);
+    metrics.gauge("sim.kernel.live_after_cancel")
+        .set(static_cast<double>(simulator.queue_size()));
+    simulator.run_all();
+    metrics.counter("sim.kernel.cancel_run_events")
+        .inc(simulator.events_executed());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  obs::Registry metrics;
+  record_kernel_metrics(metrics);
+  obs::dump_if_requested(metrics);
+  return 0;
+}

@@ -6,10 +6,16 @@
 // seeds, next to the thesis' measured numbers. The expected *shape*:
 // PeerHood search ≈ one Bluetooth inquiry (~11 s), join exactly 0 s, and a
 // total 2-4x below every SNS column.
+// Set PH_METRICS_JSON=/path/out.json (or PH_METRICS_CSV) to dump the
+// aggregated per-layer counters and the per-operation latency histograms
+// (p50/p95/p99 across runs) at exit; PH_TABLE8_RUNS overrides the number
+// of seeds per column (handy for smoke tests).
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "eval/table8.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
@@ -33,20 +39,28 @@ struct PaperColumn {
 }  // namespace
 
 int main() {
-  constexpr int kRuns = 5;
+  int kRuns = 5;
+  if (const char* env = std::getenv("PH_TABLE8_RUNS"); env != nullptr) {
+    if (const int runs = std::atoi(env); runs > 0) kRuns = runs;
+  }
+
+  // Every run (all columns, all seeds) folds its world registry in here;
+  // the per-operation histograms accumulate one sample per seed.
+  ph::obs::Registry metrics;
 
   auto run_sns = [&](const ph::sns::SiteProfile& site,
                      const ph::sns::DeviceClass& device) {
     std::vector<ph::eval::Table8Cell> cells;
     for (int run = 0; run < kRuns; ++run) {
-      cells.push_back(ph::eval::run_sns_column(site, device, 100 + run));
+      cells.push_back(
+          ph::eval::run_sns_column(site, device, 100 + run, &metrics));
     }
     return average(cells);
   };
   auto run_peerhood = [&] {
     std::vector<ph::eval::Table8Cell> cells;
     for (int run = 0; run < kRuns; ++run) {
-      cells.push_back(ph::eval::run_peerhood_column(200 + run));
+      cells.push_back(ph::eval::run_peerhood_column(200 + run, {}, &metrics));
     }
     return average(cells);
   };
@@ -89,5 +103,6 @@ int main() {
               "group).\n",
               best_sns_total / peerhood_total, 94.0 / 45.0,
               measured[4].join_s == 0.0 ? "exactly 0 s" : "NON-ZERO (!)");
+  ph::obs::dump_if_requested(metrics);
   return 0;
 }

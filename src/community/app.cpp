@@ -15,6 +15,20 @@ CommunityApp::CommunityApp(peerhood::Stack& stack, AppConfig config)
     PH_LOG(error, "app") << "server failed to start: "
                          << started.error().to_string();
   }
+  obs::Registry& registry = stack_.medium().registry();
+  const std::string prefix =
+      "community.app.d" + std::to_string(stack_.daemon().self()) + ".";
+  c_peers_probed_ = &registry.counter(prefix + "peers_probed");
+  c_probe_failures_ = &registry.counter(prefix + "probe_failures");
+  c_peers_gone_ = &registry.counter(prefix + "peers_gone");
+}
+
+CommunityApp::Stats CommunityApp::stats() const {
+  Stats out;
+  out.peers_probed = c_peers_probed_->value();
+  out.probe_failures = c_probe_failures_->value();
+  out.peers_gone = c_peers_gone_->value();
+  return out;
 }
 
 CommunityApp::~CommunityApp() {
@@ -33,7 +47,9 @@ Result<void> CommunityApp::login(const std::string& member_id,
 
   client_ = std::make_unique<CommunityClient>(stack_.library(), member_id,
                                               config_.client);
-  groups_ = std::make_unique<GroupEngine>(member_id, dictionary_);
+  groups_ = std::make_unique<GroupEngine>(
+      member_id, dictionary_, &stack_.medium().registry(),
+      "community.groups.d" + std::to_string(stack_.daemon().self()) + ".");
   groups_->set_local_interests((*account)->profile().interests);
   device_members_.clear();
 
@@ -222,7 +238,7 @@ void CommunityApp::publish_attributes() {
 void CommunityApp::on_device_gone(peerhood::DeviceId id) {
   auto it = device_members_.find(id);
   if (it != device_members_.end()) {
-    ++stats_.peers_gone;
+    c_peers_gone_->inc();
     PH_LOG(info, "app") << stack_.name() << ": peer '" << it->second
                         << "' left the neighbourhood";
     if (groups_) groups_->remove_peer(it->second);
@@ -233,7 +249,7 @@ void CommunityApp::on_device_gone(peerhood::DeviceId id) {
 
 void CommunityApp::probe_peer(peerhood::DeviceId device) {
   if (!client_) return;
-  ++stats_.peers_probed;
+  c_peers_probed_->inc();
   // Two requests on the neighbour: who is logged in, and what are their
   // interests (Figure 6's "get nearby devices' interests" step).
   client_->call(
@@ -241,7 +257,7 @@ void CommunityApp::probe_peer(peerhood::DeviceId device) {
                              client_->self_member(), "", "", {}},
       [this, device](Result<proto::Response> members) {
         if (!members || members->names.empty()) {
-          if (!members) ++stats_.probe_failures;
+          if (!members) c_probe_failures_->inc();
           return;
         }
         const std::string member = members->names.front();
@@ -251,7 +267,7 @@ void CommunityApp::probe_peer(peerhood::DeviceId device) {
                            client_->self_member(), "", "", {}},
             [this, device, member](Result<proto::Response> interests) {
               if (!interests) {
-                ++stats_.probe_failures;
+                c_probe_failures_->inc();
                 return;
               }
               // The device may have switched to another profile since the

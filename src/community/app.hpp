@@ -46,6 +46,8 @@ struct AppConfig {
 
 class CommunityApp {
  public:
+  /// Snapshot of the registry's `community.app.d<self>.*` counters; the
+  /// medium's per-world registry is the source of truth.
   struct Stats {
     std::uint64_t peers_probed = 0;
     std::uint64_t probe_failures = 0;
@@ -106,7 +108,8 @@ class CommunityApp {
   ProfileStore& profiles() { return store_; }
   SemanticDictionary& dictionary() { return dictionary_; }
   peerhood::Stack& stack() { return stack_; }
-  const Stats& stats() const { return stats_; }
+  /// Snapshot assembled from the registry counters.
+  Stats stats() const;
 
   /// Member hosted by `device`, if this app has probed it ("" if unknown).
   std::string member_on(peerhood::DeviceId device) const;
@@ -136,7 +139,12 @@ class CommunityApp {
   /// touching `this` (the timer lives in the simulator, which may outlive
   /// the app).
   std::shared_ptr<char> alive_token_ = std::make_shared<char>();
-  Stats stats_;
+
+  // Registry handles (`community.app.d<self>.*`) into the medium's
+  // per-world registry.
+  obs::Counter* c_peers_probed_ = nullptr;
+  obs::Counter* c_probe_failures_ = nullptr;
+  obs::Counter* c_peers_gone_ = nullptr;
 };
 
 }  // namespace ph::community

@@ -13,7 +13,26 @@ CommunityClient::CommunityClient(peerhood::PeerHood& peerhood,
                                  std::string self_member, ClientConfig config)
     : peerhood_(peerhood),
       self_member_(std::move(self_member)),
-      config_(std::move(config)) {}
+      config_(std::move(config)) {
+  obs::Registry& registry = peerhood_.daemon().medium().registry();
+  trace_ = &peerhood_.daemon().medium().trace();
+  const std::string prefix =
+      "community.client.d" + std::to_string(peerhood_.self()) + ".";
+  c_rpcs_sent_ = &registry.counter(prefix + "rpcs_sent");
+  c_rpcs_failed_ = &registry.counter(prefix + "rpcs_failed");
+  c_fanouts_ = &registry.counter(prefix + "fanouts");
+  c_cache_hits_ = &registry.counter(prefix + "cache_hits");
+  h_rpc_us_ = &registry.histogram(prefix + "rpc_us");
+}
+
+CommunityClient::Stats CommunityClient::stats() const {
+  Stats out;
+  out.rpcs_sent = c_rpcs_sent_->value();
+  out.rpcs_failed = c_rpcs_failed_->value();
+  out.fanouts = c_fanouts_->value();
+  out.cache_hits = c_cache_hits_->value();
+  return out;
+}
 
 proto::Request CommunityClient::base_request(proto::Opcode op) const {
   proto::Request request;
@@ -101,18 +120,25 @@ void CommunityClient::start_call(QueuedCall call) {
   const sim::Duration call_timeout =
       call.timeout > 0 ? call.timeout : config_.rpc_timeout;
   ResponseCallback done = std::move(call.done);
-  ++stats_.rpcs_sent;
+  c_rpcs_sent_->inc();
+  const sim::Time rpc_start = peerhood_.daemon().simulator().now();
+  const obs::SpanId span =
+      trace_->begin_span("community.rpc", rpc_start, peerhood_.self(),
+                         std::string(proto::to_string(request.op)));
   std::weak_ptr<char> alive = alive_token_;
+  obs::Trace::Scope scope(*trace_, span);  // parents the session's net spans
   peerhood_.connect(
       device, std::string(kServiceName), options,
-      [this, alive, call_timeout, request = std::move(request),
+      [this, alive, call_timeout, span, rpc_start,
+       request = std::move(request),
        done = std::move(done)](Result<peerhood::Connection> connected) mutable {
         if (alive.expired()) {
           if (connected) connected->close();
           return;
         }
         if (!connected) {
-          ++stats_.rpcs_failed;
+          c_rpcs_failed_->inc();
+          finish_rpc(span, rpc_start);
           done(connected.error());
           return;
         }
@@ -127,43 +153,55 @@ void CommunityClient::start_call(QueuedCall call) {
         state->done = std::move(done);
         auto& simulator = peerhood_.daemon().simulator();
         state->timeout =
-            simulator.schedule(call_timeout, [this, alive, state] {
+            simulator.schedule(call_timeout, [this, alive, state, span,
+                                              rpc_start] {
               if (state->finished) return;
               state->finished = true;
               state->connection.close();
               if (alive.expired()) return;
-              ++stats_.rpcs_failed;
+              c_rpcs_failed_->inc();
+              finish_rpc(span, rpc_start);
               state->done(Error{Errc::timeout, "rpc timed out"});
             });
-        state->connection.on_message([this, alive, state](BytesView data) {
+        state->connection.on_message([this, alive, state, span,
+                                      rpc_start](BytesView data) {
           if (state->finished) return;
           state->finished = true;
           auto response = proto::decode_response(data);
           state->connection.close();
           if (alive.expired()) return;
           peerhood_.daemon().simulator().cancel(state->timeout);
+          finish_rpc(span, rpc_start);
           if (!response) {
-            ++stats_.rpcs_failed;
+            c_rpcs_failed_->inc();
             state->done(response.error());
             return;
           }
           state->done(std::move(*response));
         });
-        state->connection.on_close([this, alive, state](const Error& reason) {
+        state->connection.on_close([this, alive, state, span,
+                                    rpc_start](const Error& reason) {
           if (state->finished) return;
           state->finished = true;
           if (alive.expired()) return;
           peerhood_.daemon().simulator().cancel(state->timeout);
-          ++stats_.rpcs_failed;
+          c_rpcs_failed_->inc();
+          finish_rpc(span, rpc_start);
           state->done(Error{Errc::connection_lost, reason.message});
         });
         state->connection.send(proto::encode(request));
       });
 }
 
+void CommunityClient::finish_rpc(obs::SpanId span, sim::Time start) {
+  const sim::Time now = peerhood_.daemon().simulator().now();
+  trace_->end_span(span, now);
+  h_rpc_us_->observe(static_cast<double>(now - start));
+}
+
 void CommunityClient::fanout(
     proto::Request request, std::function<void(std::vector<FanoutEntry>)> done) {
-  ++stats_.fanouts;
+  c_fanouts_->inc();
   auto targets = peerhood_.find_service(kServiceName);
   if (targets.empty()) {
     done({});
@@ -200,7 +238,7 @@ void CommunityClient::resolve_member(const std::string& member,
   if (cached != member_locations_.end()) {
     // Trust the cache only while the daemon still lists the device.
     if (peerhood_.daemon().device(cached->second)) {
-      ++stats_.cache_hits;
+      c_cache_hits_->inc();
       done(cached->second);
       return;
     }
@@ -444,7 +482,7 @@ void CommunityClient::fetch_content_chunked(
             return;
           }
           state->connection = *connected;
-          ++stats_.rpcs_sent;  // one logical transfer
+          c_rpcs_sent_->inc();  // one logical transfer
 
           auto finish = [this, alive, state](auto&& invoke_done) {
             if (state->finished) return;

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "peerhood/library.hpp"
 #include "proto/messages.hpp"
 #include "util/result.hpp"
@@ -55,6 +57,8 @@ struct ClientConfig {
 
 class CommunityClient {
  public:
+  /// Snapshot of the registry's `community.client.d<self>.*` counters; the
+  /// medium's per-world registry is the source of truth.
   struct Stats {
     std::uint64_t rpcs_sent = 0;
     std::uint64_t rpcs_failed = 0;
@@ -135,7 +139,8 @@ class CommunityClient {
       std::function<void(std::uint64_t received, std::uint64_t total)> progress,
       ContentCallback done);
 
-  const Stats& stats() const noexcept { return stats_; }
+  /// Snapshot assembled from the registry counters.
+  Stats stats() const;
 
  private:
   proto::Request base_request(proto::Opcode op) const;
@@ -154,6 +159,8 @@ class CommunityClient {
   /// Starts queued calls while below the concurrency limit.
   void drain_queue();
   void start_call(QueuedCall call);
+  /// Closes the RPC's trace span and records its virtual-time latency.
+  void finish_rpc(obs::SpanId span, sim::Time start);
 
   peerhood::PeerHood& peerhood_;
   std::string self_member_;
@@ -165,7 +172,15 @@ class CommunityClient {
   /// by live sessions check it before touching `this` (a client may be torn
   /// down at logout while RPCs are still in the air).
   std::shared_ptr<char> alive_token_ = std::make_shared<char>();
-  Stats stats_;
+
+  // Registry handles (`community.client.d<self>.*`) into the medium's
+  // per-world registry; the trace journal is shared the same way.
+  obs::Trace* trace_ = nullptr;
+  obs::Counter* c_rpcs_sent_ = nullptr;
+  obs::Counter* c_rpcs_failed_ = nullptr;
+  obs::Counter* c_fanouts_ = nullptr;
+  obs::Counter* c_cache_hits_ = nullptr;
+  obs::Histogram* h_rpc_us_ = nullptr;  ///< virtual-time RPC latency
 };
 
 }  // namespace ph::community

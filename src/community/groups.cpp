@@ -7,8 +7,29 @@
 namespace ph::community {
 
 GroupEngine::GroupEngine(std::string local_member,
-                         const SemanticDictionary& dictionary)
-    : local_member_(std::move(local_member)), dictionary_(dictionary) {}
+                         const SemanticDictionary& dictionary,
+                         obs::Registry* registry, std::string metric_prefix)
+    : local_member_(std::move(local_member)), dictionary_(dictionary) {
+  if (registry == nullptr) {
+    own_registry_ = std::make_unique<obs::Registry>();
+    registry = own_registry_.get();
+  }
+  c_comparisons_ = &registry->counter(metric_prefix + "comparisons");
+  c_groups_formed_ = &registry->counter(metric_prefix + "groups_formed");
+  c_groups_dissolved_ = &registry->counter(metric_prefix + "groups_dissolved");
+  c_member_joins_ = &registry->counter(metric_prefix + "member_joins");
+  c_member_leaves_ = &registry->counter(metric_prefix + "member_leaves");
+}
+
+GroupEngine::Stats GroupEngine::stats() const {
+  Stats out;
+  out.comparisons = c_comparisons_->value();
+  out.groups_formed = c_groups_formed_->value();
+  out.groups_dissolved = c_groups_dissolved_->value();
+  out.member_joins = c_member_joins_->value();
+  out.member_leaves = c_member_leaves_->value();
+  return out;
+}
 
 std::set<std::string> GroupEngine::canonicalize(
     const std::vector<std::string>& raw, Group*) {
@@ -46,7 +67,7 @@ void GroupEngine::ensure_groups_for_local() {
     const std::string interest = it->first;
     it = groups_.erase(it);
     if (was_formed) {
-      ++stats_.groups_dissolved;
+      c_groups_dissolved_->inc();
       if (callbacks_.on_group_dissolved) callbacks_.on_group_dissolved(interest);
     }
   }
@@ -54,12 +75,12 @@ void GroupEngine::ensure_groups_for_local() {
 
 void GroupEngine::add_member(Group& group, const std::string& member) {
   if (!group.members.insert(member).second) return;
-  ++stats_.member_joins;
+  c_member_joins_->inc();
   if (callbacks_.on_member_joined) {
     callbacks_.on_member_joined(group.interest, member);
   }
   if (group.members.size() == 2) {  // local + first remote: group forms
-    ++stats_.groups_formed;
+    c_groups_formed_->inc();
     PH_LOG(info, "groups") << local_member_ << ": group '" << group.interest
                            << "' formed";
     if (callbacks_.on_group_formed) callbacks_.on_group_formed(group);
@@ -69,12 +90,12 @@ void GroupEngine::add_member(Group& group, const std::string& member) {
 void GroupEngine::drop_member(Group& group, const std::string& member) {
   const bool was_formed = group.formed();
   if (group.members.erase(member) == 0) return;
-  ++stats_.member_leaves;
+  c_member_leaves_->inc();
   if (callbacks_.on_member_left) {
     callbacks_.on_member_left(group.interest, member);
   }
   if (was_formed && !group.formed()) {
-    ++stats_.groups_dissolved;
+    c_groups_dissolved_->inc();
     PH_LOG(info, "groups") << local_member_ << ": group '" << group.interest
                            << "' dissolved";
     if (callbacks_.on_group_dissolved) callbacks_.on_group_dissolved(group.interest);
@@ -86,7 +107,7 @@ void GroupEngine::match_peer_against_groups(const std::string& member,
   for (auto& [interest, group] : groups_) {
     // One comparison per (local interest, peer interest) pair — the inner
     // loops of Figure 6.
-    stats_.comparisons += record.raw_interests.size();
+    c_comparisons_->inc(record.raw_interests.size());
     const bool matches = record.canonical.contains(interest);
     if (matches) {
       add_member(group, member);
@@ -133,7 +154,7 @@ void GroupEngine::manual_join(std::string_view interest) {
   if (it == groups_.end()) return;
   it->second.labels.insert(std::string(interest));
   for (auto& [member, record] : peers_) {
-    stats_.comparisons += record.raw_interests.size();
+    c_comparisons_->inc(record.raw_interests.size());
     if (record.canonical.contains(canonical)) add_member(it->second, member);
   }
 }

@@ -26,11 +26,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "community/interests.hpp"
+#include "obs/metrics.hpp"
 #include "util/result.hpp"
 
 namespace ph::community {
@@ -60,6 +62,7 @@ struct GroupCallbacks {
 
 class GroupEngine {
  public:
+  /// Snapshot of the engine's registry counters (`<prefix>*`).
   struct Stats {
     std::uint64_t comparisons = 0;  ///< interest-pair checks (Fig 6 cost)
     std::uint64_t groups_formed = 0;
@@ -69,7 +72,14 @@ class GroupEngine {
   };
 
   /// `dictionary` may outlive or be shared with the app; not owned.
-  GroupEngine(std::string local_member, const SemanticDictionary& dictionary);
+  /// `registry` is where the engine publishes its counters (prefixed with
+  /// `metric_prefix`, default `community.groups.`); the engine has no
+  /// medium access, so the caller wires it — CommunityApp passes the
+  /// world's registry at login. With no registry the engine falls back to
+  /// a private one, so counters are always registry-backed.
+  GroupEngine(std::string local_member, const SemanticDictionary& dictionary,
+              obs::Registry* registry = nullptr,
+              std::string metric_prefix = "community.groups.");
 
   void set_callbacks(GroupCallbacks callbacks) { callbacks_ = std::move(callbacks); }
 
@@ -107,7 +117,8 @@ class GroupEngine {
   /// Interests currently defining groups (canonical keys).
   std::vector<std::string> tracked_interests() const;
 
-  const Stats& stats() const noexcept { return stats_; }
+  /// Snapshot assembled from the registry counters.
+  Stats stats() const;
 
   /// The thesis' Figure 6 batch algorithm: recomputes every group from the
   /// complete peer table in one sweep. Equivalent output to the
@@ -135,7 +146,13 @@ class GroupEngine {
   std::set<std::string> manual_;                 // canonical manual joins
   std::map<std::string, PeerRecord> peers_;      // member -> interests
   std::map<std::string, Group> groups_;          // canonical -> group
-  Stats stats_;
+
+  std::unique_ptr<obs::Registry> own_registry_;  // fallback when unwired
+  obs::Counter* c_comparisons_ = nullptr;
+  obs::Counter* c_groups_formed_ = nullptr;
+  obs::Counter* c_groups_dissolved_ = nullptr;
+  obs::Counter* c_member_joins_ = nullptr;
+  obs::Counter* c_member_leaves_ = nullptr;
 };
 
 }  // namespace ph::community

@@ -18,9 +18,24 @@ proto::Response make(proto::Opcode op, proto::Status status) {
 CommunityServer::CommunityServer(peerhood::PeerHood& peerhood,
                                  ProfileStore& store,
                                  const SemanticDictionary& dictionary)
-    : peerhood_(peerhood), store_(store), dictionary_(dictionary) {}
+    : peerhood_(peerhood), store_(store), dictionary_(dictionary) {
+  obs::Registry& registry = peerhood_.daemon().medium().registry();
+  const std::string prefix =
+      "community.server.d" + std::to_string(peerhood_.self()) + ".";
+  c_requests_handled_ = &registry.counter(prefix + "requests_handled");
+  c_sessions_accepted_ = &registry.counter(prefix + "sessions_accepted");
+  c_bad_requests_ = &registry.counter(prefix + "bad_requests");
+}
 
 CommunityServer::~CommunityServer() { stop(); }
+
+CommunityServer::Stats CommunityServer::stats() const {
+  Stats out;
+  out.requests_handled = c_requests_handled_->value();
+  out.sessions_accepted = c_sessions_accepted_->value();
+  out.bad_requests = c_bad_requests_->value();
+  return out;
+}
 
 Result<void> CommunityServer::start() {
   if (running_) return ok();
@@ -39,14 +54,14 @@ void CommunityServer::stop() {
 }
 
 void CommunityServer::on_accept(peerhood::Connection connection) {
-  ++stats_.sessions_accepted;
+  c_sessions_accepted_->inc();
   // The connection handle is captured by its own handler and released when
   // the session ends.
   auto holder = std::make_shared<peerhood::Connection>(std::move(connection));
   holder->on_message([this, holder](BytesView data) {
     auto request = proto::decode_request(data);
     if (!request) {
-      ++stats_.bad_requests;
+      c_bad_requests_->inc();
       PH_LOG(warn, "community") << "bad request: " << request.error().to_string();
       return;
     }
@@ -59,7 +74,7 @@ void CommunityServer::on_accept(peerhood::Connection connection) {
 }
 
 proto::Response CommunityServer::handle(const proto::Request& request) {
-  ++stats_.requests_handled;
+  c_requests_handled_->inc();
   Account* account = active();
   const sim::Time now = peerhood_.daemon().simulator().now();
 
@@ -203,7 +218,7 @@ proto::Response CommunityServer::handle(const proto::Request& request) {
       return response;
     }
   }
-  ++stats_.bad_requests;
+  c_bad_requests_->inc();
   return make(request.op, proto::Status::unsuccessful);
 }
 

@@ -18,6 +18,7 @@
 
 #include "community/interests.hpp"
 #include "community/profile.hpp"
+#include "obs/metrics.hpp"
 #include "peerhood/library.hpp"
 #include "proto/messages.hpp"
 #include "util/result.hpp"
@@ -29,6 +30,8 @@ inline constexpr std::string_view kServiceName = "PeerHoodCommunity";
 
 class CommunityServer {
  public:
+  /// Snapshot of the registry's `community.server.d<self>.*` counters; the
+  /// medium's per-world registry is the source of truth.
   struct Stats {
     std::uint64_t requests_handled = 0;
     std::uint64_t sessions_accepted = 0;
@@ -50,7 +53,8 @@ class CommunityServer {
   /// the current local state.
   proto::Response handle(const proto::Request& request);
 
-  const Stats& stats() const noexcept { return stats_; }
+  /// Snapshot assembled from the registry counters.
+  Stats stats() const;
 
  private:
   void on_accept(peerhood::Connection connection);
@@ -61,7 +65,11 @@ class CommunityServer {
   ProfileStore& store_;
   const SemanticDictionary& dictionary_;
   bool running_ = false;
-  Stats stats_;
+  // Registry handles (`community.server.d<self>.*`) into the medium's
+  // per-world registry.
+  obs::Counter* c_requests_handled_ = nullptr;
+  obs::Counter* c_sessions_accepted_ = nullptr;
+  obs::Counter* c_bad_requests_ = nullptr;
 };
 
 }  // namespace ph::community

@@ -11,8 +11,29 @@
 
 namespace ph::eval {
 
+namespace {
+
+/// Records the four task times into `eval.table8.<column>.*_s` operation
+/// histograms and folds the run's world registry into the caller's
+/// aggregate. Called just before the local Medium dies.
+void publish_cell(obs::Registry* metrics, const std::string& column,
+                  const Table8Cell& cell, const net::Medium& medium) {
+  if (metrics == nullptr) return;
+  const std::string prefix = "eval.table8." + column + ".";
+  const std::vector<double> bounds = obs::operation_bounds_s();
+  metrics->histogram(prefix + "search_s", bounds).observe(cell.search_s);
+  metrics->histogram(prefix + "join_s", bounds).observe(cell.join_s);
+  metrics->histogram(prefix + "member_list_s", bounds)
+      .observe(cell.member_list_s);
+  metrics->histogram(prefix + "profile_s", bounds).observe(cell.profile_s);
+  metrics->merge_from(medium.registry());
+}
+
+}  // namespace
+
 Table8Cell run_sns_column(const sns::SiteProfile& site,
-                          const sns::DeviceClass& device, std::uint64_t seed) {
+                          const sns::DeviceClass& device, std::uint64_t seed,
+                          obs::Registry* metrics) {
   sim::Simulator simulator;
   net::Medium medium(simulator, sim::Rng(seed));
   sns::SnsServer server(medium, site);
@@ -52,10 +73,12 @@ Table8Cell run_sns_column(const sns::SiteProfile& site,
   cell.paid_bytes = medium.traffic(net::Technology::gprs).total_bytes();
   cell.free_bytes = medium.traffic(net::Technology::bluetooth).total_bytes() +
                     medium.traffic(net::Technology::wlan).total_bytes();
+  publish_cell(metrics, "sns", cell, medium);
   return cell;
 }
 
-Table8Cell run_peerhood_column(std::uint64_t seed, PeerHoodUserModel user) {
+Table8Cell run_peerhood_column(std::uint64_t seed, PeerHoodUserModel user,
+                               obs::Registry* metrics) {
   sim::Simulator simulator;
   net::Medium medium(simulator, sim::Rng(seed));
 
@@ -126,6 +149,7 @@ Table8Cell run_peerhood_column(std::uint64_t seed, PeerHoodUserModel user) {
   cell.paid_bytes = medium.traffic(net::Technology::gprs).total_bytes();
   cell.free_bytes = medium.traffic(net::Technology::bluetooth).total_bytes() +
                     medium.traffic(net::Technology::wlan).total_bytes();
+  publish_cell(metrics, "peerhood", cell, medium);
   return cell;
 }
 

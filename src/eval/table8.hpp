@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "sns/types.hpp"
 
 namespace ph::eval {
@@ -60,13 +61,23 @@ struct PeerHoodUserModel {
 };
 
 /// Runs one SNS column: the four tasks through the browser model.
+///
+/// When `metrics` is non-null, the run's whole world registry (every
+/// layer's counters) is merged into it, and the four task times are
+/// recorded into `eval.table8.sns.{search,join,member_list,profile}_s`
+/// operation histograms — run several seeds into one registry to get
+/// p50/p95/p99 across runs.
 Table8Cell run_sns_column(const sns::SiteProfile& site,
-                          const sns::DeviceClass& device, std::uint64_t seed);
+                          const sns::DeviceClass& device, std::uint64_t seed,
+                          obs::Registry* metrics = nullptr);
 
 /// Runs the PeerHood column: a fresh Bluetooth neighbourhood (the thesis'
 /// two-machine ComLab setup plus the measuring device), dynamic group
 /// discovery and the fan-out member/profile operations.
-Table8Cell run_peerhood_column(std::uint64_t seed,
-                               PeerHoodUserModel user = {});
+///
+/// `metrics` aggregates like run_sns_column, under
+/// `eval.table8.peerhood.*`.
+Table8Cell run_peerhood_column(std::uint64_t seed, PeerHoodUserModel user = {},
+                               obs::Registry* metrics = nullptr);
 
 }  // namespace ph::eval

@@ -16,7 +16,39 @@ std::pair<NodeId, int> adapter_key(NodeId node, Technology tech) {
 }  // namespace
 
 Medium::Medium(sim::Simulator& simulator, sim::Rng rng)
-    : simulator_(simulator), rng_(rng) {}
+    : simulator_(simulator), rng_(rng) {
+  c_datagrams_sent_ = &registry_.counter("net.medium.datagrams_sent");
+  c_datagrams_lost_ = &registry_.counter("net.medium.datagrams_lost");
+  c_link_messages_sent_ = &registry_.counter("net.medium.link_messages_sent");
+  c_link_bytes_sent_ = &registry_.counter("net.medium.link_bytes_sent");
+  c_retransmissions_ = &registry_.counter("net.medium.retransmissions");
+  c_links_opened_ = &registry_.counter("net.medium.links_opened");
+  c_links_broken_ = &registry_.counter("net.medium.links_broken");
+  c_inquiries_ = &registry_.counter("net.medium.inquiries");
+  h_transfer_us_ = &registry_.histogram("net.medium.transfer_us");
+  for (Technology tech : {Technology::bluetooth, Technology::wlan,
+                          Technology::gprs}) {
+    const std::string prefix =
+        "net.tech." + std::string(to_string(tech));
+    TechCounters& tc = tech_counters_[static_cast<std::size_t>(tech)];
+    tc.datagram_bytes = &registry_.counter(prefix + ".datagram_bytes");
+    tc.link_bytes = &registry_.counter(prefix + ".link_bytes");
+    tc.messages = &registry_.counter(prefix + ".messages");
+  }
+}
+
+Medium::Stats Medium::stats() const {
+  Stats out;
+  out.datagrams_sent = c_datagrams_sent_->value();
+  out.datagrams_lost = c_datagrams_lost_->value();
+  out.link_messages_sent = c_link_messages_sent_->value();
+  out.link_bytes_sent = c_link_bytes_sent_->value();
+  out.retransmissions = c_retransmissions_->value();
+  out.links_opened = c_links_opened_->value();
+  out.links_broken = c_links_broken_->value();
+  out.inquiries = c_inquiries_->value();
+  return out;
+}
 
 Medium::~Medium() = default;
 
@@ -42,8 +74,13 @@ sim::Vec2 Medium::position(NodeId node) const {
   return nodes_.at(node).mobility->position_at(simulator_.now());
 }
 
-const Medium::TechTraffic& Medium::traffic(Technology tech) const {
-  return traffic_[static_cast<std::size_t>(tech)];
+Medium::TechTraffic Medium::traffic(Technology tech) const {
+  const TechCounters& tc = tech_counters_[static_cast<std::size_t>(tech)];
+  TechTraffic out;
+  out.datagram_bytes = tc.datagram_bytes->value();
+  out.link_bytes = tc.link_bytes->value();
+  out.messages = tc.messages->value();
+  return out;
 }
 
 NodeId Medium::add_access_point(std::string name, sim::Vec2 position,
@@ -170,19 +207,22 @@ sim::Duration Medium::transfer_time(const TechProfile& profile,
     for (int i = 0; i < kMaxRetransmissions && rng_.chance(profile.frame_loss);
          ++i) {
       total += profile.retransmit_delay;
-      ++stats_.retransmissions;
+      c_retransmissions_->inc();
     }
   }
+  h_transfer_us_->observe(static_cast<double>(total));
   return total;
 }
 
 void Medium::deliver_datagram(Adapter& from, NodeId dst, Port port,
                               Bytes payload) {
-  ++stats_.datagrams_sent;
+  c_datagrams_sent_->inc();
   const TechProfile& profile = from.profile();
-  TechTraffic& traffic = traffic_[static_cast<std::size_t>(profile.tech)];
-  traffic.datagram_bytes += payload.size();
-  ++traffic.messages;
+  const TechCounters& tc = tech_counters_[static_cast<std::size_t>(profile.tech)];
+  tc.datagram_bytes->inc(payload.size());
+  tc.messages->inc();
+  const obs::SpanId span = trace_.begin_span(
+      "net.datagram", simulator_.now(), from.node(), "datagram");
   // The radio serializes its own transmissions; propagation (base latency,
   // gateway hops) happens "in the air" and does not occupy the radio.
   const sim::Time depart = std::max(simulator_.now(), from.tx_busy_until_);
@@ -191,14 +231,16 @@ void Medium::deliver_datagram(Adapter& from, NodeId dst, Port port,
   const sim::Duration flight = transfer_time(profile, payload.size(), false);
   from.tx_busy_until_ = depart + serialize;
   if (rng_.chance(profile.frame_loss)) {
-    ++stats_.datagrams_lost;
+    c_datagrams_lost_->inc();
+    trace_.end_span(span, simulator_.now());
     return;  // connectionless: lost frames are simply gone
   }
   const NodeId src = from.node();
   const Technology tech = profile.tech;
   simulator_.schedule_at(
       depart + flight,
-      [this, src, dst, port, tech, payload = std::move(payload)] {
+      [this, src, dst, port, tech, span, payload = std::move(payload)] {
+        trace_.end_span(span, simulator_.now());
         // Re-resolve both endpoints at delivery time: movement or power
         // changes during flight drop the frame.
         Adapter* sender = adapter(src, tech);
@@ -214,11 +256,14 @@ void Medium::deliver_datagram(Adapter& from, NodeId dst, Port port,
 }
 
 void Medium::start_inquiry(Adapter& from, InquiryHandler done) {
-  ++stats_.inquiries;
+  c_inquiries_->inc();
   const TechProfile profile = from.profile();
   const NodeId src = from.node();
+  const obs::SpanId span =
+      trace_.begin_span("net.inquiry", simulator_.now(), src, "inquiry");
   simulator_.schedule(profile.inquiry_duration,
-                      [this, src, profile, done = std::move(done)] {
+                      [this, src, profile, span, done = std::move(done)] {
+                        trace_.end_span(span, simulator_.now());
                         Adapter* self = adapter(src, profile.tech);
                         if (self == nullptr || !self->powered()) {
                           done({});
@@ -238,8 +283,11 @@ void Medium::open_link(Adapter& from, NodeId dst, Port port,
                        ConnectHandler done) {
   const TechProfile profile = from.profile();
   const NodeId src = from.node();
+  const obs::SpanId span =
+      trace_.begin_span("net.link.open", simulator_.now(), src, "link");
   simulator_.schedule(profile.connect_latency, [this, src, dst, port, profile,
-                                                done = std::move(done)] {
+                                                span, done = std::move(done)] {
+    trace_.end_span(span, simulator_.now());
     Adapter* self = adapter(src, profile.tech);
     if (self == nullptr || !self->powered()) {
       done(Error{Errc::connect_failed, "local adapter powered off"});
@@ -278,7 +326,7 @@ void Medium::open_link(Adapter& from, NodeId dst, Port port,
     state->port = port;
     state->open = true;
     links_.push_back(state);
-    ++stats_.links_opened;
+    c_links_opened_->inc();
     PH_LOG(trace, "net") << "link " << src << "->" << dst << " port " << port
                          << " open (" << profile.name << ")";
     // Accept first so the server side installs its handlers before any
@@ -291,12 +339,14 @@ void Medium::open_link(Adapter& from, NodeId dst, Port port,
 void Medium::link_send(const std::shared_ptr<detail::LinkState>& state,
                        NodeId sender, Bytes payload) {
   if (!state->open) return;
-  ++stats_.link_messages_sent;
-  stats_.link_bytes_sent += payload.size();
+  c_link_messages_sent_->inc();
+  c_link_bytes_sent_->inc(payload.size());
   const TechProfile& profile = state->profile;
-  TechTraffic& traffic = traffic_[static_cast<std::size_t>(profile.tech)];
-  traffic.link_bytes += payload.size();
-  ++traffic.messages;
+  const TechCounters& tc = tech_counters_[static_cast<std::size_t>(profile.tech)];
+  tc.link_bytes->inc(payload.size());
+  tc.messages->inc();
+  const obs::SpanId span =
+      trace_.begin_span("net.link.send", simulator_.now(), sender, "link");
   sim::Time& busy =
       sender == state->a ? state->busy_a_to_b : state->busy_b_to_a;
   const sim::Time depart = std::max(simulator_.now(), busy);
@@ -306,7 +356,8 @@ void Medium::link_send(const std::shared_ptr<detail::LinkState>& state,
   std::weak_ptr<detail::LinkState> weak = state;
   simulator_.schedule_at(
       depart + flight,
-      [this, weak, receiver, payload = std::move(payload)] {
+      [this, weak, receiver, span, payload = std::move(payload)] {
+        trace_.end_span(span, simulator_.now());
         auto st = weak.lock();
         if (!st || !st->open) return;
         if (!reachable(st->a, st->b, st->profile)) {
@@ -351,7 +402,7 @@ void Medium::link_close(const std::shared_ptr<detail::LinkState>& state,
 void Medium::break_link(const std::shared_ptr<detail::LinkState>& state) {
   if (!state->open) return;
   state->open = false;
-  ++stats_.links_broken;
+  c_links_broken_->inc();
   PH_LOG(trace, "net") << "link " << state->a << "<->" << state->b
                        << " broke (" << state->profile.name << ")";
   auto brk_a = state->brk_a;

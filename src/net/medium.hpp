@@ -23,6 +23,8 @@
 #include "net/link.hpp"
 #include "net/tech.hpp"
 #include "net/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/mobility.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -31,7 +33,8 @@ namespace ph::net {
 
 class Medium {
  public:
-  /// Traffic counters for benches and tests.
+  /// Traffic counters for benches and tests. Snapshot of the registry's
+  /// `net.medium.*` counters; the registry is the source of truth.
   struct Stats {
     std::uint64_t datagrams_sent = 0;
     std::uint64_t datagrams_lost = 0;
@@ -104,11 +107,23 @@ class Medium {
   /// Open links currently carried by `node`'s `tech` radio (piconet load).
   std::size_t open_link_count(NodeId node, Technology tech) const;
 
-  const Stats& stats() const noexcept { return stats_; }
-  /// Bytes/messages carried by one technology since construction.
-  const TechTraffic& traffic(Technology tech) const;
+  /// Snapshot assembled from the registry's `net.medium.*` counters.
+  Stats stats() const;
+  /// Bytes/messages carried by one technology since construction
+  /// (snapshot of the registry's `net.tech.<name>.*` counters).
+  TechTraffic traffic(Technology tech) const;
   sim::Simulator& simulator() noexcept { return simulator_; }
   sim::Rng& rng() noexcept { return rng_; }
+
+  /// The world's metrics registry. The Medium is the root object every
+  /// layer can reach (daemon → medium, stack → medium), so it owns the
+  /// per-world registry and trace journal that all layers publish into.
+  obs::Registry& registry() noexcept { return registry_; }
+  const obs::Registry& registry() const noexcept { return registry_; }
+  /// The world's virtual-time trace journal (disabled by default; call
+  /// trace().set_enabled(true) before the scenario starts to record).
+  obs::Trace& trace() noexcept { return trace_; }
+  const obs::Trace& trace() const noexcept { return trace_; }
 
  private:
   friend class Adapter;
@@ -140,14 +155,33 @@ class Medium {
     bool active = true;
   };
 
+  /// Registry handles for one technology's byte accounting
+  /// (`net.tech.<name>.*`).
+  struct TechCounters {
+    obs::Counter* datagram_bytes = nullptr;
+    obs::Counter* link_bytes = nullptr;
+    obs::Counter* messages = nullptr;
+  };
+
   sim::Simulator& simulator_;
   sim::Rng rng_;
+  obs::Registry registry_;
+  obs::Trace trace_;
   std::map<NodeId, NodeEntry> nodes_;
   std::vector<AccessPoint> access_points_;
   std::map<std::pair<NodeId, int>, std::unique_ptr<Adapter>> adapters_;
   std::vector<std::weak_ptr<detail::LinkState>> links_;
-  Stats stats_;
-  std::array<TechTraffic, 3> traffic_{};  // indexed by Technology
+  // Registry handles (`net.medium.*`); stable for the registry's lifetime.
+  obs::Counter* c_datagrams_sent_ = nullptr;
+  obs::Counter* c_datagrams_lost_ = nullptr;
+  obs::Counter* c_link_messages_sent_ = nullptr;
+  obs::Counter* c_link_bytes_sent_ = nullptr;
+  obs::Counter* c_retransmissions_ = nullptr;
+  obs::Counter* c_links_opened_ = nullptr;
+  obs::Counter* c_links_broken_ = nullptr;
+  obs::Counter* c_inquiries_ = nullptr;
+  obs::Histogram* h_transfer_us_ = nullptr;
+  std::array<TechCounters, 3> tech_counters_{};  // indexed by Technology
   NodeId next_node_ = 1;
 };
 

@@ -1,0 +1,229 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace ph::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {  // JSON has no inf/nan
+    out += "null";
+    return;
+  }
+  char buf[32];
+  // %.17g round-trips doubles; integral values print without exponent.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  out += buf;
+}
+
+void append_field(std::string& out, const char* name, double value,
+                  bool trailing_comma = true) {
+  append_escaped(out, name);
+  out += ':';
+  append_number(out, value);
+  if (trailing_comma) out += ',';
+}
+
+}  // namespace
+
+std::string to_json(const Registry& registry, const Trace* trace) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : registry.counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n";
+    append_escaped(out, name);
+    out += ':';
+    append_number(out, static_cast<double>(counter->value()));
+  }
+  out += "\n},\n\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : registry.gauges()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n";
+    append_escaped(out, name);
+    out += ':';
+    append_number(out, gauge->value());
+  }
+  out += "\n},\n\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : registry.histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n";
+    append_escaped(out, name);
+    out += ":{";
+    append_field(out, "count", static_cast<double>(histogram->count()));
+    append_field(out, "sum", histogram->sum());
+    append_field(out, "min", histogram->min());
+    append_field(out, "max", histogram->max());
+    append_field(out, "mean", histogram->mean());
+    append_field(out, "p50", histogram->p50());
+    append_field(out, "p95", histogram->p95());
+    append_field(out, "p99", histogram->p99());
+    out += "\"buckets\":[";
+    const auto& bounds = histogram->bounds();
+    const auto& counts = histogram->bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"le\":";
+      if (i < bounds.size()) {
+        append_number(out, bounds[i]);
+      } else {
+        out += "\"inf\"";
+      }
+      out += ",\"count\":";
+      append_number(out, static_cast<double>(counts[i]));
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "\n}";
+  if (trace != nullptr) {
+    out += ",\n\"spans\":[";
+    first = true;
+    for (const Span& span : trace->spans()) {
+      if (!first) out += ',';
+      first = false;
+      out += "\n{";
+      append_field(out, "id", static_cast<double>(span.id));
+      append_field(out, "parent", static_cast<double>(span.parent));
+      out += "\"name\":";
+      append_escaped(out, span.name);
+      out += ",\"kind\":";
+      append_escaped(out, span.kind);
+      out += ',';
+      append_field(out, "device", static_cast<double>(span.device));
+      append_field(out, "start_us", static_cast<double>(span.start));
+      append_field(out, "end_us", static_cast<double>(span.end));
+      out += "\"closed\":";
+      out += span.closed ? "true" : "false";
+      out += '}';
+    }
+    out += "\n],\n\"events\":[";
+    first = true;
+    for (const TraceEvent& event : trace->events()) {
+      if (!first) out += ',';
+      first = false;
+      out += "\n{";
+      append_field(out, "span", static_cast<double>(event.span));
+      out += "\"name\":";
+      append_escaped(out, event.name);
+      out += ",\"kind\":";
+      append_escaped(out, event.kind);
+      out += ',';
+      append_field(out, "device", static_cast<double>(event.device));
+      append_field(out, "at_us", static_cast<double>(event.at), false);
+      out += '}';
+    }
+    out += "\n]";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string to_csv(const Registry& registry) {
+  std::string out = "kind,name,field,value\n";
+  char buf[64];
+  auto row = [&](const char* kind, const std::string& name, const char* field,
+                 double value) {
+    out += kind;
+    out += ',';
+    out += name;  // convention forbids commas/quotes in metric names
+    out += ',';
+    out += field;
+    out += ',';
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += buf;
+    out += '\n';
+  };
+  for (const auto& [name, c] : registry.counters()) {
+    row("counter", name, "value", static_cast<double>(c->value()));
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    row("gauge", name, "value", g->value());
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    row("histogram", name, "count", static_cast<double>(h->count()));
+    row("histogram", name, "sum", h->sum());
+    row("histogram", name, "min", h->min());
+    row("histogram", name, "max", h->max());
+    row("histogram", name, "mean", h->mean());
+    row("histogram", name, "p50", h->p50());
+    row("histogram", name, "p95", h->p95());
+    row("histogram", name, "p99", h->p99());
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot open '%s' for writing\n", path.c_str());
+    return false;
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "obs: short write to '%s'\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool dump_if_requested(const Registry& registry, const Trace* trace) {
+  bool ok = true;
+  if (const char* path = std::getenv("PH_METRICS_JSON");
+      path != nullptr && *path != '\0') {
+    if (write_file(path, to_json(registry, trace))) {
+      std::fprintf(stderr, "obs: metrics JSON written to %s\n", path);
+    } else {
+      ok = false;
+    }
+  }
+  if (const char* path = std::getenv("PH_METRICS_CSV");
+      path != nullptr && *path != '\0') {
+    if (write_file(path, to_csv(registry))) {
+      std::fprintf(stderr, "obs: metrics CSV written to %s\n", path);
+    } else {
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace ph::obs

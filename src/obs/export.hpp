@@ -1,0 +1,41 @@
+// Exporters for the observability core: registry (+ optional trace) to
+// JSON or CSV, plus the env-var hook every bench main calls at exit.
+//
+// JSON shape:
+//   {
+//     "counters":   { "net.medium.datagrams_sent": 123, ... },
+//     "gauges":     { ... },
+//     "histograms": { "community.client.d2.rpc_us": {
+//                       "count": 9, "sum": ..., "min": ..., "max": ...,
+//                       "p50": ..., "p95": ..., "p99": ...,
+//                       "buckets": [ {"le": 10.0, "count": 0}, ...,
+//                                    {"le": "inf", "count": 1} ] }, ... },
+//     "spans":  [ {"id":1,"parent":0,"name":..,"kind":..,"device":..,
+//                  "start_us":..,"end_us":..,"closed":true}, ... ],
+//     "events": [ {"span":1,"name":..,"kind":..,"device":..,"at_us":..}, ... ]
+//   }
+// ("spans"/"events" appear only when a trace is supplied.)
+//
+// CSV shape (one instrument field per row):
+//   kind,name,field,value
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ph::obs {
+
+std::string to_json(const Registry& registry, const Trace* trace = nullptr);
+std::string to_csv(const Registry& registry);
+
+/// Writes `content` to `path`; returns false (and logs to stderr) on error.
+bool write_file(const std::string& path, const std::string& content);
+
+/// The bench-exit hook: when the environment sets PH_METRICS_JSON (or
+/// PH_METRICS_CSV) to a path, dumps a snapshot there. Returns true when
+/// every requested dump succeeded (vacuously true when none requested).
+bool dump_if_requested(const Registry& registry, const Trace* trace = nullptr);
+
+}  // namespace ph::obs

@@ -1,0 +1,156 @@
+// ph_obs_json_check — validates a metrics JSON dump produced by
+// obs::to_json(). Used by the ph_bench_smoke CTest target to fail the
+// build when a bench emits malformed or incomplete metrics.
+//
+// Usage:
+//   ph_obs_json_check FILE [requirement...]
+//
+// Requirements:
+//   counter:PREFIX     at least one counter whose name starts with PREFIX
+//   histogram:PREFIX   at least one histogram whose name starts with PREFIX
+//                      (must carry numeric count/sum/p50/p95/p99 fields)
+//
+// Exits 0 when the file parses and every requirement is met; 1 otherwise.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using ph::obs::json::Value;
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool histogram_well_formed(const std::string& name, const Value& h) {
+  if (!h.is_object()) {
+    std::fprintf(stderr, "json_check: histogram '%s' is not an object\n",
+                 name.c_str());
+    return false;
+  }
+  for (const char* field : {"count", "sum", "p50", "p95", "p99"}) {
+    const Value* v = h.get(field);
+    if (v == nullptr || !v->is_number()) {
+      std::fprintf(stderr,
+                   "json_check: histogram '%s' missing numeric field '%s'\n",
+                   name.c_str(), field);
+      return false;
+    }
+  }
+  const Value* buckets = h.get("buckets");
+  if (buckets == nullptr || !buckets->is_array() || buckets->array->empty()) {
+    std::fprintf(stderr, "json_check: histogram '%s' has no buckets\n",
+                 name.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool check_requirement(const Value& root, const std::string& requirement) {
+  const std::string::size_type colon = requirement.find(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "json_check: bad requirement '%s'\n",
+                 requirement.c_str());
+    return false;
+  }
+  const std::string kind = requirement.substr(0, colon);
+  const std::string prefix = requirement.substr(colon + 1);
+  const char* section = nullptr;
+  if (kind == "counter") {
+    section = "counters";
+  } else if (kind == "histogram") {
+    section = "histograms";
+  } else {
+    std::fprintf(stderr, "json_check: unknown requirement kind '%s'\n",
+                 kind.c_str());
+    return false;
+  }
+  const Value* table = root.get(section);
+  if (table == nullptr || !table->is_object()) {
+    std::fprintf(stderr, "json_check: missing '%s' object\n", section);
+    return false;
+  }
+  for (const auto& [name, value] : *table->object) {
+    if (!starts_with(name, prefix)) continue;
+    if (kind == "counter") {
+      if (!value.is_number()) {
+        std::fprintf(stderr, "json_check: counter '%s' is not a number\n",
+                     name.c_str());
+        return false;
+      }
+      return true;
+    }
+    if (histogram_well_formed(name, value)) return true;
+    return false;
+  }
+  std::fprintf(stderr, "json_check: no %s matching prefix '%s'\n", kind.c_str(),
+               prefix.c_str());
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE [counter:PREFIX|histogram:PREFIX]...\n",
+                 argv[0]);
+    return 1;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "json_check: cannot open '%s'\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  Value root;
+  std::string error;
+  if (!ph::obs::json::parse(text, root, &error)) {
+    std::fprintf(stderr, "json_check: %s: parse error: %s\n", argv[1],
+                 error.c_str());
+    return 1;
+  }
+  if (!root.is_object()) {
+    std::fprintf(stderr, "json_check: %s: top level is not an object\n",
+                 argv[1]);
+    return 1;
+  }
+  // Structural sanity independent of explicit requirements: the three metric
+  // sections must exist and every counter/gauge value must be a number.
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const Value* table = root.get(section);
+    if (table == nullptr || !table->is_object()) {
+      std::fprintf(stderr, "json_check: %s: missing '%s' object\n", argv[1],
+                   section);
+      return 1;
+    }
+  }
+  for (const char* section : {"counters", "gauges"}) {
+    for (const auto& [name, value] : *root.get(section)->object) {
+      if (!value.is_number()) {
+        std::fprintf(stderr, "json_check: %s: %s '%s' is not a number\n",
+                     argv[1], section, name.c_str());
+        return 1;
+      }
+    }
+  }
+  for (const auto& [name, value] : *root.get("histograms")->object) {
+    if (!histogram_well_formed(name, value)) return 1;
+  }
+
+  bool ok = true;
+  for (int i = 2; i < argc; ++i) {
+    if (!check_requirement(root, argv[i])) ok = false;
+  }
+  if (ok) {
+    std::fprintf(stderr, "json_check: %s OK (%d requirement%s)\n", argv[1],
+                 argc - 2, argc - 2 == 1 ? "" : "s");
+  }
+  return ok ? 0 : 1;
+}

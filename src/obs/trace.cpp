@@ -1,0 +1,65 @@
+#include "obs/trace.hpp"
+
+namespace ph::obs {
+
+SpanId Trace::begin_span(std::string name, TimePoint now, std::uint64_t device,
+                         std::string kind) {
+  if (!enabled_) return 0;
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return 0;
+  }
+  Span span;
+  span.id = static_cast<SpanId>(spans_.size()) + 1;
+  span.parent = current_context();
+  span.name = std::move(name);
+  span.kind = std::move(kind);
+  span.device = device;
+  span.start = now;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Trace::end_span(SpanId id, TimePoint now) {
+  if (id == 0 || id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  if (span.closed) return;
+  span.end = now;
+  span.closed = true;
+}
+
+void Trace::add_event(std::string name, TimePoint now, std::uint64_t device,
+                      std::string kind) {
+  if (!enabled_) return;
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  TraceEvent event;
+  event.span = current_context();
+  event.name = std::move(name);
+  event.kind = std::move(kind);
+  event.device = device;
+  event.at = now;
+  events_.push_back(std::move(event));
+}
+
+void Trace::push_context(SpanId id) { context_.push_back(id); }
+
+void Trace::pop_context() {
+  if (!context_.empty()) context_.pop_back();
+}
+
+const Span* Trace::find_span(SpanId id) const {
+  if (id == 0 || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+void Trace::clear() {
+  spans_.clear();
+  events_.clear();
+  context_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace ph::obs

@@ -1,0 +1,121 @@
+// Virtual-time trace journal — the causality half of ph::obs.
+//
+// A Trace records Spans (an operation with a start and end in virtual
+// time: an RPC, an inquiry scan, a frame flight) and point Events, both
+// tagged with the device id that performed them and a free-form message
+// kind. Spans form a tree: begin_span() parents the new span under the
+// innermost span currently on the *context stack*, which instrumented
+// code maintains with Trace::Scope around the synchronous part of an
+// operation. Asynchronous completions simply keep the SpanId and call
+// end_span() later — the parent link was fixed at begin time, which is
+// exactly the causal order ("the RPC caused this frame"), not the
+// completion order.
+//
+// Timestamps are sim::Time microseconds, passed in by the caller so this
+// library does not depend on the simulator. Tracing is OFF by default
+// (long soak runs would otherwise accumulate millions of records); tests
+// and benches that want a journal call set_enabled(true). When disabled,
+// begin_span returns 0 and every other entry point is a cheap no-op.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ph::obs {
+
+/// Identifies a recorded span; 0 means "none" (tracing disabled, dropped,
+/// or no parent).
+using SpanId = std::uint64_t;
+
+/// Virtual-time stamp (sim::Time — microseconds since simulation start).
+using TimePoint = std::uint64_t;
+
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;      ///< 0 = root
+  std::string name;       ///< e.g. "community.rpc", "net.link.send"
+  std::string kind;       ///< message kind: "datagram", "link", "inquiry", opcode…
+  std::uint64_t device = 0;  ///< NodeId/DeviceId of the actor; 0 = none
+  TimePoint start = 0;
+  TimePoint end = 0;      ///< meaningful only when closed
+  bool closed = false;
+};
+
+struct TraceEvent {
+  SpanId span = 0;        ///< innermost open context at record time
+  std::string name;
+  std::string kind;
+  std::uint64_t device = 0;
+  TimePoint at = 0;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+
+  /// Starts a span parented under the current context. Returns 0 when
+  /// tracing is disabled or the journal is full.
+  SpanId begin_span(std::string name, TimePoint now, std::uint64_t device = 0,
+                    std::string kind = {});
+
+  /// Closes a span; end_span(0, …) is a no-op, so callers can hold ids
+  /// from a disabled trace without checking.
+  void end_span(SpanId id, TimePoint now);
+
+  /// Records a point event under the current context.
+  void add_event(std::string name, TimePoint now, std::uint64_t device = 0,
+                 std::string kind = {});
+
+  /// Context stack for causal parenting; prefer Scope.
+  void push_context(SpanId id);
+  void pop_context();
+  SpanId current_context() const noexcept {
+    return context_.empty() ? 0 : context_.back();
+  }
+
+  /// RAII context frame. A zero id (disabled trace) pushes nothing, so
+  /// instrumentation can use Scope unconditionally.
+  class Scope {
+   public:
+    Scope(Trace& trace, SpanId id) : trace_(trace), active_(id != 0) {
+      if (active_) trace_.push_context(id);
+    }
+    ~Scope() {
+      if (active_) trace_.pop_context();
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Trace& trace_;
+    bool active_;
+  };
+
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  /// O(1): ids are indices + 1. nullptr for 0 / unknown.
+  const Span* find_span(SpanId id) const;
+
+  /// Records dropped because the journal hit its capacity.
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Caps spans+events each; existing records are kept.
+  void set_capacity(std::size_t max_records) noexcept { capacity_ = max_records; }
+
+  void clear();
+
+ private:
+  bool enabled_ = false;
+  std::size_t capacity_ = 1 << 20;
+  std::uint64_t dropped_ = 0;
+  std::vector<Span> spans_;
+  std::vector<TraceEvent> events_;
+  std::vector<SpanId> context_;
+};
+
+}  // namespace ph::obs

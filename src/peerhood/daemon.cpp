@@ -26,7 +26,36 @@ Daemon::Daemon(net::Medium& medium, DeviceId self, std::string device_name,
       simulator_(medium.simulator()),
       self_(self),
       device_name_(std::move(device_name)),
-      config_(config) {}
+      config_(config) {
+  obs::Registry& registry = medium_.registry();
+  trace_ = &medium_.trace();
+  const std::string prefix =
+      "peerhood.daemon.d" + std::to_string(self_) + ".";
+  c_inquiries_started_ = &registry.counter(prefix + "inquiries_started");
+  c_devices_found_ = &registry.counter(prefix + "devices_found");
+  c_service_queries_ = &registry.counter(prefix + "service_queries");
+  c_service_replies_ = &registry.counter(prefix + "service_replies");
+  c_pings_sent_ = &registry.counter(prefix + "pings_sent");
+  c_pongs_received_ = &registry.counter(prefix + "pongs_received");
+  c_neighbours_appeared_ = &registry.counter(prefix + "neighbours_appeared");
+  c_neighbours_disappeared_ =
+      &registry.counter(prefix + "neighbours_disappeared");
+  c_announcements_sent_ = &registry.counter(prefix + "announcements_sent");
+}
+
+Daemon::Stats Daemon::stats() const {
+  Stats out;
+  out.inquiries_started = c_inquiries_started_->value();
+  out.devices_found = c_devices_found_->value();
+  out.service_queries = c_service_queries_->value();
+  out.service_replies = c_service_replies_->value();
+  out.pings_sent = c_pings_sent_->value();
+  out.pongs_received = c_pongs_received_->value();
+  out.neighbours_appeared = c_neighbours_appeared_->value();
+  out.neighbours_disappeared = c_neighbours_disappeared_->value();
+  out.announcements_sent = c_announcements_sent_->value();
+  return out;
+}
 
 Daemon::~Daemon() { stop(); }
 
@@ -167,20 +196,31 @@ void Daemon::schedule_inquiry(NetworkPlugin& plugin, sim::Duration delay) {
 }
 
 void Daemon::run_inquiry(NetworkPlugin& plugin) {
-  ++stats_.inquiries_started;
+  c_inquiries_started_->inc();
   const std::uint64_t gen = generation_;
   PH_LOG(debug, "phd") << device_name_ << ": inquiry on " << plugin.name();
-  plugin.adapter().start_inquiry([this, gen, &plugin](std::vector<DeviceId> found) {
-    handle_inquiry_result(plugin, std::move(found));
-    if (running_ && gen == generation_) {
-      schedule_inquiry(plugin, config_.inquiry_interval);
-    }
-  });
+  const obs::SpanId span = trace_->begin_span("peerhood.inquiry",
+                                              simulator_.now(), self_,
+                                              "inquiry");
+  obs::Trace::Scope scope(*trace_, span);  // parents the net.inquiry span
+  plugin.adapter().start_inquiry(
+      [this, gen, span, &plugin](std::vector<DeviceId> found) {
+        {
+          // Service queries fired off the results are causally part of
+          // this discovery round.
+          obs::Trace::Scope scope(*trace_, span);
+          handle_inquiry_result(plugin, std::move(found));
+        }
+        trace_->end_span(span, simulator_.now());
+        if (running_ && gen == generation_) {
+          schedule_inquiry(plugin, config_.inquiry_interval);
+        }
+      });
 }
 
 void Daemon::handle_inquiry_result(NetworkPlugin& plugin,
                                    std::vector<DeviceId> found) {
-  stats_.devices_found += found.size();
+  c_devices_found_->inc(found.size());
   const net::Technology tech = plugin.technology();
   for (DeviceId id : found) {
     Neighbour& neighbour = neighbours_[id];
@@ -214,13 +254,18 @@ void Daemon::send_service_query(DeviceId target, net::Technology tech,
   NetworkPlugin* plugin = plugin_for(tech);
   if (plugin == nullptr) return;
   const std::uint32_t token = next_token_++;
-  ++stats_.service_queries;
+  c_service_queries_->inc();
+  const obs::SpanId span = trace_->begin_span(
+      "peerhood.service_query", simulator_.now(), self_, "service_query");
   proto::DaemonMessage query;
   query.op = proto::DaemonOp::service_query;
   query.token = token;
   query.device_name = device_name_;
-  plugin->adapter().send_datagram(target, net::kDaemonPort,
-                                  proto::encode(query));
+  {
+    obs::Trace::Scope scope(*trace_, span);  // parents the query datagram
+    plugin->adapter().send_datagram(target, net::kDaemonPort,
+                                    proto::encode(query));
+  }
   // High-latency technologies (GPRS routes every frame through the
   // operator gateway) need a longer reply window than the configured
   // default, or every reply would arrive "late" and be dropped.
@@ -232,12 +277,14 @@ void Daemon::send_service_query(DeviceId target, net::Technology tech,
   pending.target = target;
   pending.tech = tech;
   pending.attempts_left = attempts_left - 1;
+  pending.span = span;
   pending.timeout_event =
       simulator_.schedule(timeout, [this, token] {
         auto it = pending_queries_.find(token);
         if (it == pending_queries_.end()) return;  // answered
         const PendingQuery timed_out = it->second;
         pending_queries_.erase(it);
+        trace_->end_span(timed_out.span, simulator_.now());
         if (timed_out.attempts_left > 0) {
           send_service_query(timed_out.target, timed_out.tech,
                              timed_out.attempts_left);
@@ -276,8 +323,9 @@ void Daemon::on_daemon_datagram(NetworkPlugin& plugin, DeviceId src,
       auto pending = pending_queries_.find(message.token);
       if (pending == pending_queries_.end()) break;  // late duplicate
       simulator_.cancel(pending->second.timeout_event);
+      trace_->end_span(pending->second.span, simulator_.now());
       pending_queries_.erase(pending);
-      ++stats_.service_replies;
+      c_service_replies_->inc();
       apply_service_reply(plugin, src, message);
       break;
     }
@@ -294,7 +342,7 @@ void Daemon::on_daemon_datagram(NetworkPlugin& plugin, DeviceId src,
       // an older round's ping that arrived after the next round started
       // (normal on high-latency technologies like GPRS, where the round
       // trip can exceed the ping interval).
-      ++stats_.pongs_received;
+      c_pongs_received_->inc();
       auto pending = pending_pings_.find(src);
       if (pending != pending_pings_.end() && pending->second == message.token) {
         pending_pings_.erase(pending);
@@ -348,7 +396,7 @@ void Daemon::announce_services() {
   for (auto& plugin : plugins_) {
     if (!plugin->profile().supports_broadcast) continue;
     plugin->adapter().broadcast_datagram(net::kDaemonPort, payload);
-    ++stats_.announcements_sent;
+    c_announcements_sent_->inc();
   }
 }
 
@@ -395,7 +443,7 @@ void Daemon::run_ping_round() {
     }
     const std::uint32_t token = next_token_++;
     pending_pings_[id] = token;
-    ++stats_.pings_sent;
+    c_pings_sent_->inc();
     proto::DaemonMessage ping;
     ping.op = proto::DaemonOp::ping;
     ping.token = token;
@@ -411,7 +459,7 @@ void Daemon::declare_gone(DeviceId id) {
   neighbours_.erase(it);
   pending_pings_.erase(id);
   if (!was_announced) return;
-  ++stats_.neighbours_disappeared;
+  c_neighbours_disappeared_->inc();
   PH_LOG(info, "phd") << device_name_ << ": device " << id << " disappeared";
   for (const auto& [mid, monitor] : std::map(monitors_)) {
     (void)mid;
@@ -423,7 +471,7 @@ void Daemon::declare_gone(DeviceId id) {
 void Daemon::announce_if_ready(Neighbour& neighbour) {
   if (neighbour.announced || !neighbour.services_known) return;
   neighbour.announced = true;
-  ++stats_.neighbours_appeared;
+  c_neighbours_appeared_->inc();
   PH_LOG(info, "phd") << device_name_ << ": device '" << neighbour.info.name
                       << "' (" << neighbour.info.id << ") appeared with "
                       << neighbour.info.services.size() << " service(s)";

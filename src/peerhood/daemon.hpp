@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "net/medium.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "peerhood/plugin.hpp"
 #include "peerhood/types.hpp"
 #include "proto/daemon.hpp"
@@ -69,6 +71,8 @@ class Daemon {
  public:
   using MonitorId = std::uint64_t;
 
+  /// Snapshot of the registry's `peerhood.daemon.d<self>.*` counters; the
+  /// medium's per-world registry is the source of truth.
   struct Stats {
     std::uint64_t inquiries_started = 0;
     std::uint64_t devices_found = 0;
@@ -129,7 +133,8 @@ class Daemon {
   /// to measure cold-start discovery without waiting for the timer).
   void trigger_discovery();
 
-  const Stats& stats() const noexcept { return stats_; }
+  /// Snapshot assembled from the registry counters.
+  Stats stats() const;
   const std::vector<std::unique_ptr<NetworkPlugin>>& plugins() const {
     return plugins_;
   }
@@ -152,6 +157,7 @@ class Daemon {
     net::Technology tech = net::Technology::bluetooth;
     int attempts_left = 0;
     sim::EventId timeout_event = 0;
+    obs::SpanId span = 0;  // closed when answered or given up
   };
 
   void bind_control_port(NetworkPlugin& plugin);
@@ -198,7 +204,19 @@ class Daemon {
   /// Incremented on every start/stop; periodic callbacks from an older
   /// generation recognise themselves as stale and do not reschedule.
   std::uint64_t generation_ = 0;
-  Stats stats_;
+
+  // Registry handles (`peerhood.daemon.d<self>.*`) into the medium's
+  // per-world registry; the trace journal is shared the same way.
+  obs::Trace* trace_ = nullptr;
+  obs::Counter* c_inquiries_started_ = nullptr;
+  obs::Counter* c_devices_found_ = nullptr;
+  obs::Counter* c_service_queries_ = nullptr;
+  obs::Counter* c_service_replies_ = nullptr;
+  obs::Counter* c_pings_sent_ = nullptr;
+  obs::Counter* c_pongs_received_ = nullptr;
+  obs::Counter* c_neighbours_appeared_ = nullptr;
+  obs::Counter* c_neighbours_disappeared_ = nullptr;
+  obs::Counter* c_announcements_sent_ = nullptr;
 };
 
 }  // namespace ph::peerhood

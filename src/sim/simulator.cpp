@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace ph::sim {
@@ -10,46 +11,59 @@ EventId Simulator::schedule(Duration delay, std::function<void()> fn) {
 
 EventId Simulator::schedule_at(Time when, std::function<void()> fn) {
   if (when < now_) when = now_;
-  const std::uint64_t seq = next_seq_++;
-  const Key key{when, seq};
-  queue_.emplace(key, std::move(fn));
-  index_.emplace(seq, key);
-  return seq;
+  const EventId id = next_seq_++;
+  heap_.push_back(Entry{when, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  live_.insert(id);
+  return id;
 }
 
 bool Simulator::cancel(EventId id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return false;
-  queue_.erase(it->second);
-  index_.erase(it);
+  if (live_.erase(id) == 0) return false;
+  maybe_compact();
   return true;
 }
 
-bool Simulator::pending(EventId id) const { return index_.contains(id); }
+bool Simulator::pending(EventId id) const { return live_.contains(id); }
+
+bool Simulator::settle_top() {
+  while (!heap_.empty()) {
+    if (live_.contains(heap_.front().id)) return true;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();  // stale entry from a lazy cancel
+  }
+  return false;
+}
+
+void Simulator::maybe_compact() {
+  if (heap_.size() < 64 || heap_.size() < 4 * live_.size()) return;
+  std::erase_if(heap_, [this](const Entry& e) { return !live_.contains(e.id); });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+}
 
 void Simulator::run_until(Time until) {
-  while (!queue_.empty()) {
-    auto it = queue_.begin();
-    if (it->first.first > until) break;
-    now_ = it->first.first;
-    auto fn = std::move(it->second);
-    index_.erase(it->first.second);
-    queue_.erase(it);
+  while (settle_top()) {
+    if (heap_.front().when > until) break;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    live_.erase(entry.id);
+    now_ = entry.when;
     ++executed_;
-    fn();
+    entry.fn();
   }
   if (now_ < until) now_ = until;
 }
 
 void Simulator::run_all() {
-  while (!queue_.empty()) {
-    auto it = queue_.begin();
-    now_ = it->first.first;
-    auto fn = std::move(it->second);
-    index_.erase(it->first.second);
-    queue_.erase(it);
+  while (settle_top()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    live_.erase(entry.id);
+    now_ = entry.when;
     ++executed_;
-    fn();
+    entry.fn();
   }
 }
 

@@ -5,12 +5,21 @@
 // processes them in timestamp order (FIFO among equal timestamps). Events
 // can be cancelled through the handle returned by schedule(), which is how
 // periodic daemon timers and connection watchdogs are torn down.
+//
+// The queue is a binary min-heap ordered by (time, insertion sequence)
+// with lazy cancellation: cancel() only drops the id from the live set,
+// and the stale heap entry is discarded when it reaches the top. This
+// makes schedule/cancel O(log n) with much better constants than the
+// previous std::map implementation (no per-event node allocation, no
+// rebalancing). When stale entries outnumber live ones 4:1 the heap is
+// compacted so cancel-heavy workloads don't accumulate dead closures.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "sim/time.hpp"
 
@@ -53,21 +62,37 @@ class Simulator {
   /// active periodic timer makes this never return, so prefer run_until.
   void run_all();
 
-  /// Number of events waiting in the queue.
-  std::size_t queue_size() const noexcept { return queue_.size(); }
+  /// Number of events waiting in the queue (cancelled events excluded).
+  std::size_t queue_size() const noexcept { return live_.size(); }
 
   /// Total events executed since construction (telemetry for benches).
   std::uint64_t events_executed() const noexcept { return executed_; }
 
  private:
-  // Key orders by (time, insertion sequence) — stable FIFO at equal times.
-  using Key = std::pair<Time, std::uint64_t>;
+  struct Entry {
+    Time when;
+    EventId id;  // == insertion sequence, so FIFO at equal timestamps
+    std::function<void()> fn;
+  };
+  // std::push_heap builds a max-heap, so "greater" puts the earliest
+  // (when, id) on top.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  /// Pops heap entries until the top is live; true if one exists.
+  bool settle_top();
+  /// Rebuilds the heap without cancelled entries once they dominate.
+  void maybe_compact();
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::map<Key, std::function<void()>> queue_;
-  std::map<EventId, Key> index_;  // EventId == insertion sequence
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> live_;
 };
 
 }  // namespace ph::sim

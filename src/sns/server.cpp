@@ -14,6 +14,18 @@ SnsServer::SnsServer(net::Medium& medium, SiteProfile site)
       std::make_unique<sim::StaticMobility>(sim::Vec2{0.0, 0.0}));
   net::Adapter& adapter = medium_.add_adapter(node_, net::gprs());
   adapter.listen(kSnsPort, [this](net::Link link) { on_accept(link); });
+  const std::string prefix = "sns.server.d" + std::to_string(node_) + ".";
+  c_pages_served_ = &medium_.registry().counter(prefix + "pages_served");
+  c_bytes_served_ = &medium_.registry().counter(prefix + "bytes_served");
+  c_joins_ = &medium_.registry().counter(prefix + "joins");
+}
+
+SnsServer::Stats SnsServer::stats() const {
+  Stats out;
+  out.pages_served = c_pages_served_->value();
+  out.bytes_served = c_bytes_served_->value();
+  out.joins = c_joins_->value();
+  return out;
 }
 
 void SnsServer::add_group(const std::string& name) { groups_[name]; }
@@ -49,7 +61,9 @@ Bytes SnsServer::filler(std::uint64_t base_bytes,
 }
 
 PageResponse SnsServer::handle(const PageRequest& request) {
-  ++stats_.pages_served;
+  c_pages_served_->inc();
+  medium_.trace().add_event("sns.page", medium_.simulator().now(), node_,
+                            std::string(to_string(request.kind)));
   PageResponse response;
   response.kind = request.kind;
   switch (request.kind) {
@@ -82,7 +96,7 @@ PageResponse SnsServer::handle(const PageRequest& request) {
         response.status = PageStatus::not_found;
       } else {
         it->second.insert(request.member);
-        ++stats_.joins;
+        c_joins_->inc();
       }
       response.body = filler(site_.confirm_page_bytes, request.weight_permille);
       break;
@@ -143,7 +157,7 @@ PageResponse SnsServer::handle(const PageRequest& request) {
       break;
     }
   }
-  stats_.bytes_served += response.body.size();
+  c_bytes_served_->inc(response.body.size());
   return response;
 }
 

@@ -25,6 +25,8 @@ inline constexpr net::Port kSnsPort = 80;
 
 class SnsServer {
  public:
+  /// Snapshot of the registry's `sns.server.d<node>.*` counters; the
+  /// medium's per-world registry is the source of truth.
   struct Stats {
     std::uint64_t pages_served = 0;
     std::uint64_t bytes_served = 0;
@@ -52,7 +54,8 @@ class SnsServer {
   /// Pure page dispatch (unit-testable): the response for one request.
   PageResponse handle(const PageRequest& request);
 
-  const Stats& stats() const noexcept { return stats_; }
+  /// Snapshot assembled from the registry counters.
+  Stats stats() const;
 
  private:
   void on_accept(net::Link link);
@@ -65,7 +68,10 @@ class SnsServer {
   std::map<std::string, std::string> profiles_;
   std::map<std::string, std::vector<std::string>> inboxes_;
   std::map<std::string, std::vector<std::string>> comments_;
-  Stats stats_;
+  // Registry handles (`sns.server.d<node>.*`) into the medium's registry.
+  obs::Counter* c_pages_served_ = nullptr;
+  obs::Counter* c_bytes_served_ = nullptr;
+  obs::Counter* c_joins_ = nullptr;
 };
 
 }  // namespace ph::sns

@@ -1,0 +1,177 @@
+// End-to-end trace: follow one social operation through the layers and
+// assert the span tree is causally ordered in virtual time.
+//
+// Community path (the thesis' reference application): a ComLab-room world
+// runs cold-start discovery and one member-list RPC with tracing on. The
+// journal must show peerhood.inquiry → peerhood.service_query →
+// net.datagram parent chains and community.rpc → net.* children, with
+// every child starting no earlier than its parent (parents are fixed at
+// begin time — causal order, not completion order).
+//
+// SNS path: a browser task against the simulated site must leave
+// sns.page events and net.datagram spans in the same journal.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "eval/scenarios.hpp"
+#include "obs/trace.hpp"
+#include "sns/browser.hpp"
+#include "sns/server.hpp"
+
+namespace ph {
+namespace {
+
+using obs::Span;
+using obs::SpanId;
+
+std::map<SpanId, const Span*> index_spans(const obs::Trace& trace) {
+  std::map<SpanId, const Span*> by_id;
+  for (const Span& span : trace.spans()) by_id[span.id] = &span;
+  return by_id;
+}
+
+// Walks the parent chain of `span` looking for an ancestor named `name`.
+const Span* ancestor_named(const std::map<SpanId, const Span*>& by_id,
+                           const Span& span, const std::string& name) {
+  for (SpanId parent = span.parent; parent != 0;) {
+    auto it = by_id.find(parent);
+    if (it == by_id.end()) return nullptr;
+    if (it->second->name == name) return it->second;
+    parent = it->second->parent;
+  }
+  return nullptr;
+}
+
+void assert_causal_order(const obs::Trace& trace) {
+  const auto by_id = index_spans(trace);
+  for (const Span& span : trace.spans()) {
+    if (span.closed) {
+      EXPECT_GE(span.end, span.start) << span.name << " #" << span.id;
+    }
+    if (span.parent != 0) {
+      auto it = by_id.find(span.parent);
+      ASSERT_NE(it, by_id.end()) << span.name << " has unknown parent";
+      EXPECT_GE(span.start, it->second->start)
+          << span.name << " #" << span.id << " starts before its parent "
+          << it->second->name << " #" << span.parent;
+    }
+  }
+}
+
+TEST(E2ETrace, CommunityOperationSpansNestAcrossLayers) {
+  sim::Simulator simulator;
+  net::Medium medium(simulator, sim::Rng(7));
+  medium.trace().set_enabled(true);
+
+  std::vector<eval::ScenarioDevice> devices =
+      eval::comlab_room(medium, /*autostart=*/false);
+  eval::ScenarioDevice& self = devices[0];
+  for (eval::ScenarioDevice& device : devices) device.stack->daemon().start();
+
+  // Cold-start discovery until the Football group has formed.
+  while (true) {
+    auto group = self.app->groups().group("football");
+    if (group.ok() && group->formed()) break;
+    simulator.run_for(sim::milliseconds(250));
+    ASSERT_LT(simulator.now(), sim::minutes(5)) << "discovery never completed";
+  }
+
+  // One social operation: the Figure 11 member-list fan-out.
+  bool done = false;
+  self.app->client().get_online_members(
+      [&](Result<std::vector<std::string>> members) {
+        ASSERT_TRUE(members.ok());
+        EXPECT_EQ(members->size(), 2u);
+        done = true;
+      });
+  while (!done) simulator.run_for(sim::milliseconds(100));
+
+  const obs::Trace& trace = medium.trace();
+  EXPECT_EQ(trace.dropped(), 0u);
+  assert_causal_order(trace);
+
+  const auto by_id = index_spans(trace);
+  int inquiry_net_children = 0;     // peerhood.inquiry → net.inquiry
+  int query_datagrams = 0;          // peerhood.service_query → net.datagram
+  int rpc_spans = 0;
+  int rpc_net_children = 0;         // community.rpc → net.*
+  for (const Span& span : trace.spans()) {
+    if (span.name == "community.rpc") ++rpc_spans;
+    if (span.parent == 0) continue;
+    const Span& parent = *by_id.at(span.parent);
+    if (span.name == "net.inquiry" && parent.name == "peerhood.inquiry") {
+      ++inquiry_net_children;
+    }
+    if (span.name == "net.datagram" &&
+        parent.name == "peerhood.service_query") {
+      ++query_datagrams;
+    }
+    if (parent.name == "community.rpc" && span.name.rfind("net.", 0) == 0) {
+      ++rpc_net_children;
+    }
+  }
+  EXPECT_GT(inquiry_net_children, 0);
+  EXPECT_GT(query_datagrams, 0);
+  EXPECT_GT(rpc_spans, 0);
+  EXPECT_GT(rpc_net_children, 0);
+
+  // The service-query datagrams must trace back to an inquiry: the full
+  // peerhood.inquiry → peerhood.service_query → net.datagram chain.
+  int full_chains = 0;
+  for (const Span& span : trace.spans()) {
+    if (span.name != "net.datagram" || span.parent == 0) continue;
+    if (by_id.at(span.parent)->name != "peerhood.service_query") continue;
+    if (ancestor_named(by_id, span, "peerhood.inquiry") != nullptr) {
+      ++full_chains;
+    }
+  }
+  EXPECT_GT(full_chains, 0);
+}
+
+TEST(E2ETrace, SnsBrowserTaskLeavesPageEventsAndNetSpans) {
+  sim::Simulator simulator;
+  net::Medium medium(simulator, sim::Rng(11));
+  medium.trace().set_enabled(true);
+
+  sns::SnsServer server(medium, sns::facebook());
+  server.add_group("England Football");
+  server.add_member("England Football", "dave");
+  sns::BrowserClient browser(medium, sns::nokia_n810(), server.node(),
+                             "tester");
+
+  bool done = false;
+  browser.search_group("football",
+                       [&](Result<sns::BrowserClient::TaskResult> result) {
+                         ASSERT_TRUE(result.ok());
+                         done = true;
+                       });
+  while (!done) simulator.run_for(sim::seconds(1));
+
+  const obs::Trace& trace = medium.trace();
+  assert_causal_order(trace);
+
+  int page_events = 0;
+  for (const obs::TraceEvent& event : trace.events()) {
+    if (event.name == "sns.page") {
+      ++page_events;
+      EXPECT_EQ(event.device, server.node());
+    }
+  }
+  EXPECT_GT(page_events, 0);
+
+  // The browser talks to the site over a GPRS session: link opens and
+  // frame sends must be in the journal.
+  int link_opens = 0;
+  int link_sends = 0;
+  for (const Span& span : trace.spans()) {
+    if (span.name == "net.link.open") ++link_opens;
+    if (span.name == "net.link.send") ++link_sends;
+  }
+  EXPECT_GT(link_opens, 0);
+  EXPECT_GT(link_sends, 0);
+}
+
+}  // namespace
+}  // namespace ph

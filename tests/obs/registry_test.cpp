@@ -1,0 +1,150 @@
+// ph::obs::Registry — instrument semantics, percentile math, merging and
+// the name/kind collision contract.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ph::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Registry registry;
+  Counter& c = registry.counter("net.medium.datagrams_sent");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, SameNameReturnsSameInstrument) {
+  Registry registry;
+  Counter& a = registry.counter("peerhood.daemon.d1.pings_sent");
+  a.inc(3);
+  Counter& b = registry.counter("peerhood.daemon.d1.pings_sent");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Registry registry;
+  Gauge& g = registry.gauge("sim.kernel.events_per_sec");
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(2.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(Registry, FindReturnsNullForAbsentNames) {
+  Registry registry;
+  registry.counter("a");
+  EXPECT_NE(registry.find_counter("a"), nullptr);
+  EXPECT_EQ(registry.find_counter("b"), nullptr);
+  EXPECT_EQ(registry.find_gauge("a"), nullptr);
+  EXPECT_EQ(registry.find_histogram("a"), nullptr);
+}
+
+TEST(RegistryDeathTest, NameKindCollisionAborts) {
+  Registry registry;
+  registry.counter("community.groups.joins");
+  EXPECT_DEATH(registry.gauge("community.groups.joins"), "PH_CHECK");
+  EXPECT_DEATH(registry.histogram("community.groups.joins"), "PH_CHECK");
+}
+
+TEST(Histogram, EmptyHistogramReadsZero) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+}
+
+TEST(Histogram, CountSumMinMaxMean) {
+  Histogram h({10.0, 100.0, 1000.0});
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(500.0);
+  h.observe(5000.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5555.0);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5000.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5555.0 / 4.0);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);  // overflow
+}
+
+TEST(Histogram, QuantilesOnKnownUniformDistribution) {
+  // 100 samples 1..100 over unit-wide buckets: the interpolated quantile
+  // must land within one bucket width of the exact order statistic.
+  std::vector<double> bounds;
+  for (int i = 1; i <= 100; ++i) bounds.push_back(static_cast<double>(i));
+  Histogram h(bounds);
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  EXPECT_NEAR(h.p50(), 50.0, 1.0);
+  EXPECT_NEAR(h.p95(), 95.0, 1.0);
+  EXPECT_NEAR(h.p99(), 99.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.0), 1.0, 1.0);
+  // Quantiles are clamped to the observed range.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, QuantileClampedToObservedRange) {
+  Histogram h({10.0, 100.0, 1000.0});
+  h.observe(42.0);
+  h.observe(42.0);
+  // All mass in one bucket: every quantile is the single observed value.
+  EXPECT_DOUBLE_EQ(h.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 42.0);
+}
+
+TEST(Histogram, MergeAddsBucketwise) {
+  Histogram a({10.0, 100.0});
+  Histogram b({10.0, 100.0});
+  a.observe(5.0);
+  b.observe(50.0);
+  b.observe(500.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 500.0);
+  EXPECT_EQ(a.bucket_counts()[0], 1u);
+  EXPECT_EQ(a.bucket_counts()[1], 1u);
+  EXPECT_EQ(a.bucket_counts()[2], 1u);
+}
+
+TEST(Registry, MergeFromCombinesAllKinds) {
+  Registry a;
+  Registry b;
+  a.counter("shared").inc(1);
+  b.counter("shared").inc(2);
+  b.counter("only_b").inc(7);
+  b.gauge("depth").set(3.0);
+  b.histogram("lat", {1.0, 2.0}).observe(1.5);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("shared").value(), 3u);
+  EXPECT_EQ(a.counter("only_b").value(), 7u);
+  EXPECT_DOUBLE_EQ(a.gauge("depth").value(), 3.0);
+  const Histogram* lat = a.find_histogram("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count(), 1u);
+  // b is untouched.
+  EXPECT_EQ(b.counter("shared").value(), 2u);
+}
+
+TEST(DefaultBounds, AreStrictlyIncreasing) {
+  for (const std::vector<double>* bounds :
+       {&default_latency_bounds_us(), &operation_bounds_s()}) {
+    ASSERT_FALSE(bounds->empty());
+    for (std::size_t i = 1; i < bounds->size(); ++i) {
+      EXPECT_LT((*bounds)[i - 1], (*bounds)[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ph::obs

@@ -1,0 +1,205 @@
+// ph::obs::Trace — span-tree mechanics, virtual-time ordering, the
+// disabled-by-default contract, and a round-trip of the exporter's JSON
+// through the bundled reader.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace ph::obs {
+namespace {
+
+TEST(Trace, DisabledByDefaultAndCheap) {
+  Trace trace;
+  EXPECT_FALSE(trace.enabled());
+  EXPECT_EQ(trace.begin_span("op", 10), 0u);
+  trace.end_span(0, 20);  // must be a harmless no-op
+  trace.add_event("ev", 30);
+  EXPECT_TRUE(trace.spans().empty());
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(Trace, SpanRecordsFields) {
+  Trace trace;
+  trace.set_enabled(true);
+  const SpanId id = trace.begin_span("community.rpc", 100, 7, "ps_msg");
+  ASSERT_NE(id, 0u);
+  trace.end_span(id, 250);
+
+  const Span* span = trace.find_span(id);
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->name, "community.rpc");
+  EXPECT_EQ(span->kind, "ps_msg");
+  EXPECT_EQ(span->device, 7u);
+  EXPECT_EQ(span->start, 100u);
+  EXPECT_EQ(span->end, 250u);
+  EXPECT_TRUE(span->closed);
+}
+
+TEST(Trace, ScopeParentsNestedSpans) {
+  Trace trace;
+  trace.set_enabled(true);
+  const SpanId outer = trace.begin_span("outer", 0);
+  SpanId inner = 0;
+  SpanId sibling = 0;
+  {
+    Trace::Scope scope(trace, outer);
+    inner = trace.begin_span("inner", 10);
+    {
+      Trace::Scope nested(trace, inner);
+      EXPECT_EQ(trace.current_context(), inner);
+    }
+    EXPECT_EQ(trace.current_context(), outer);
+  }
+  sibling = trace.begin_span("sibling", 20);
+
+  EXPECT_EQ(trace.find_span(inner)->parent, outer);
+  EXPECT_EQ(trace.find_span(sibling)->parent, 0u);  // context popped
+  EXPECT_EQ(trace.find_span(outer)->parent, 0u);
+}
+
+TEST(Trace, ParentFixedAtBeginNotAtCompletion) {
+  // The async pattern all instrumented layers use: begin under a scope,
+  // finish much later with no context on the stack.
+  Trace trace;
+  trace.set_enabled(true);
+  const SpanId rpc = trace.begin_span("community.rpc", 0);
+  SpanId frame = 0;
+  {
+    Trace::Scope scope(trace, rpc);
+    frame = trace.begin_span("net.link.send", 5);
+  }
+  trace.end_span(rpc, 100);
+  trace.end_span(frame, 300);  // completes after its parent closed
+
+  const Span* child = trace.find_span(frame);
+  EXPECT_EQ(child->parent, rpc);
+  EXPECT_GE(child->start, trace.find_span(rpc)->start);
+}
+
+TEST(Trace, EventsAttachToCurrentContext) {
+  Trace trace;
+  trace.set_enabled(true);
+  const SpanId op = trace.begin_span("op", 0);
+  {
+    Trace::Scope scope(trace, op);
+    trace.add_event("sns.page", 42, 3, "group_page");
+  }
+  trace.add_event("orphan", 50);
+
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.events()[0].span, op);
+  EXPECT_EQ(trace.events()[0].at, 42u);
+  EXPECT_EQ(trace.events()[0].device, 3u);
+  EXPECT_EQ(trace.events()[0].kind, "group_page");
+  EXPECT_EQ(trace.events()[1].span, 0u);
+}
+
+TEST(Trace, ScopeWithZeroIdPushesNothing) {
+  Trace trace;  // disabled: begin_span returns 0
+  const SpanId none = trace.begin_span("op", 0);
+  Trace::Scope scope(trace, none);
+  EXPECT_EQ(trace.current_context(), 0u);
+}
+
+TEST(Trace, CapacityDropsNewRecordsAndCounts) {
+  Trace trace;
+  trace.set_enabled(true);
+  trace.set_capacity(2);
+  const SpanId a = trace.begin_span("a", 1);
+  const SpanId b = trace.begin_span("b", 2);
+  const SpanId c = trace.begin_span("c", 3);  // over capacity
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_EQ(c, 0u);
+  trace.add_event("e1", 4);
+  trace.add_event("e2", 5);
+  trace.add_event("e3", 6);  // over capacity
+  EXPECT_EQ(trace.spans().size(), 2u);
+  EXPECT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.dropped(), 2u);
+}
+
+TEST(Trace, ClearResetsJournal) {
+  Trace trace;
+  trace.set_enabled(true);
+  trace.begin_span("a", 1);
+  trace.add_event("e", 2);
+  trace.clear();
+  EXPECT_TRUE(trace.spans().empty());
+  EXPECT_TRUE(trace.events().empty());
+  EXPECT_NE(trace.begin_span("b", 3), 0u);
+}
+
+TEST(Export, JsonRoundTripsThroughReader) {
+  Registry registry;
+  registry.counter("net.medium.datagrams_sent").inc(3);
+  registry.gauge("depth").set(1.5);
+  registry.histogram("rpc_us", {10.0, 100.0}).observe(42.0);
+
+  Trace trace;
+  trace.set_enabled(true);
+  const SpanId rpc = trace.begin_span("community.rpc", 100, 2, "ps_msg");
+  {
+    Trace::Scope scope(trace, rpc);
+    const SpanId frame = trace.begin_span("net.link.send", 110, 2);
+    trace.end_span(frame, 150);
+    trace.add_event("sns.page", 120, 1, "profile_page");
+  }
+  trace.end_span(rpc, 200);
+
+  std::string error;
+  json::Value root;
+  ASSERT_TRUE(json::parse(to_json(registry, &trace), root, &error)) << error;
+
+  const json::Value* counters = root.get("counters");
+  ASSERT_TRUE(counters != nullptr && counters->is_object());
+  const json::Value* sent = counters->get("net.medium.datagrams_sent");
+  ASSERT_TRUE(sent != nullptr && sent->is_number());
+  EXPECT_DOUBLE_EQ(sent->number, 3.0);
+
+  const json::Value* histograms = root.get("histograms");
+  ASSERT_TRUE(histograms != nullptr && histograms->is_object());
+  const json::Value* rpc_us = histograms->get("rpc_us");
+  ASSERT_TRUE(rpc_us != nullptr && rpc_us->is_object());
+  EXPECT_DOUBLE_EQ(rpc_us->get("count")->number, 1.0);
+  EXPECT_DOUBLE_EQ(rpc_us->get("p95")->number, 42.0);
+  ASSERT_TRUE(rpc_us->get("buckets")->is_array());
+  EXPECT_EQ(rpc_us->get("buckets")->array->size(), 3u);
+
+  const json::Value* spans = root.get("spans");
+  ASSERT_TRUE(spans != nullptr && spans->is_array());
+  ASSERT_EQ(spans->array->size(), 2u);
+  const json::Value& first = (*spans->array)[0];
+  EXPECT_EQ(first.get("name")->string, "community.rpc");
+  EXPECT_EQ(first.get("kind")->string, "ps_msg");
+  EXPECT_DOUBLE_EQ(first.get("start_us")->number, 100.0);
+  EXPECT_DOUBLE_EQ(first.get("end_us")->number, 200.0);
+  const json::Value& second = (*spans->array)[1];
+  EXPECT_DOUBLE_EQ(second.get("parent")->number,
+                   first.get("id")->number);
+
+  const json::Value* events = root.get("events");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+  ASSERT_EQ(events->array->size(), 1u);
+  EXPECT_EQ((*events->array)[0].get("name")->string, "sns.page");
+
+  // Without a trace, the journal keys are absent entirely.
+  json::Value no_trace;
+  ASSERT_TRUE(json::parse(to_json(registry), no_trace, &error)) << error;
+  EXPECT_EQ(no_trace.get("spans"), nullptr);
+  EXPECT_EQ(no_trace.get("events"), nullptr);
+}
+
+TEST(Export, CsvHasOneFieldPerRow) {
+  Registry registry;
+  registry.counter("c").inc(2);
+  const std::string csv = to_csv(registry);
+  EXPECT_NE(csv.find("counter,c,value,2"), std::string::npos) << csv;
+}
+
+}  // namespace
+}  // namespace ph::obs
