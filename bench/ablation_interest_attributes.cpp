@@ -72,7 +72,7 @@ Sample run(const net::TechProfile& radio_base, bool advertise,
   sample.formation_s = sim::to_seconds(simulator.now() - start);
   sample.bytes = medium.traffic(radio.tech).total_bytes();
   for (auto& device : devices) {
-    sample.rpcs += device->app->client().stats().rpcs_sent;
+    sample.rpcs += device->app->client().stats().counter("rpcs_sent");
   }
   return sample;
 }

@@ -1,0 +1,153 @@
+// Chaos soak — the Table-8 ComLab scenario under a seeded fault schedule.
+//
+// Replays a fault::random_schedule (burst loss, radio outages, latency
+// spikes, signal ramps, whole-device blackouts) over the thesis' room-6604
+// testbed while the three PeerHood Community devices keep discovering each
+// other and re-forming the Football interest group. Every recovery is
+// timed on the virtual clock:
+//
+//   fault.recovery.rediscovery_us   disappear -> reappear, per observer pair
+//   fault.recovery.group_reform_us  Football group unformed -> formed again
+//
+// and the p50/p95/p99 of both histograms are printed next to the fault.*
+// window counters. All randomness derives from one seed (PH_CHAOS_SEED,
+// default 42), so two runs with the same seed produce byte-identical
+// metrics dumps — set PH_METRICS_JSON=/path/out.json (or PH_METRICS_CSV)
+// and diff. PH_CHAOS_MINUTES overrides the soak horizon (default 10).
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "eval/scenarios.hpp"
+#include "fault/plane.hpp"
+#include "fault/schedule.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "peerhood/stack.hpp"
+
+namespace {
+
+void print_histogram(const char* label, const ph::obs::Histogram* h) {
+  if (h == nullptr || h->count() == 0) {
+    std::printf("  %-28s (no samples)\n", label);
+    return;
+  }
+  std::printf("  %-28s n=%-4llu p50=%7.2fs  p95=%7.2fs  p99=%7.2fs\n", label,
+              static_cast<unsigned long long>(h->count()), h->p50() / 1e6,
+              h->p95() / 1e6, h->p99() / 1e6);
+}
+
+}  // namespace
+
+int main() {
+  std::uint64_t seed = 42;
+  if (const char* env = std::getenv("PH_CHAOS_SEED"); env != nullptr) {
+    if (const long long v = std::atoll(env); v > 0) {
+      seed = static_cast<std::uint64_t>(v);
+    }
+  }
+  int soak_minutes = 10;
+  if (const char* env = std::getenv("PH_CHAOS_MINUTES"); env != nullptr) {
+    if (const int v = std::atoi(env); v > 0) soak_minutes = v;
+  }
+  const ph::sim::Duration horizon = ph::sim::minutes(soak_minutes);
+
+  ph::sim::Simulator simulator;
+  ph::net::Medium medium(simulator, ph::sim::Rng(seed));
+  std::vector<ph::eval::ScenarioDevice> devices =
+      ph::eval::comlab_room(medium, /*autostart=*/true);
+
+  ph::obs::Registry& metrics = medium.registry();
+  ph::obs::Histogram& rediscovery =
+      metrics.histogram("fault.recovery.rediscovery_us");
+  ph::obs::Histogram& group_reform =
+      metrics.histogram("fault.recovery.group_reform_us");
+
+  // Time every neighbour loss to the matching reappearance, per observer
+  // pair — this is the metric the retry/backoff hardening moves.
+  std::map<std::pair<ph::net::NodeId, ph::net::NodeId>, ph::sim::Time>
+      gone_since;
+  for (ph::eval::ScenarioDevice& device : devices) {
+    const ph::net::NodeId observer = device.stack->id();
+    device.stack->daemon().monitor_all(
+        [&, observer](const ph::peerhood::NeighbourEvent& event) {
+          const auto key = std::make_pair(observer, event.device.id);
+          if (event.kind == ph::peerhood::NeighbourEvent::Kind::disappeared) {
+            gone_since.emplace(key, simulator.now());
+          } else if (auto it = gone_since.find(key); it != gone_since.end()) {
+            rediscovery.observe(
+                static_cast<double>(simulator.now() - it->second));
+            gone_since.erase(it);
+          }
+        });
+  }
+
+  // Poll the tester's view of the Football group once a second and time
+  // every unformed window — the user-visible face of a fault.
+  ph::community::CommunityApp& tester = *devices.front().app;
+  bool was_formed = false;
+  ph::sim::Time unformed_since = 0;
+  std::function<void()> poll_group = [&] {
+    auto group = tester.groups().group("football");
+    const bool formed = group.ok() && group->formed();
+    if (was_formed && !formed) {
+      unformed_since = simulator.now();
+    } else if (!was_formed && formed && unformed_since != 0) {
+      group_reform.observe(
+          static_cast<double>(simulator.now() - unformed_since));
+      unformed_since = 0;
+    }
+    was_formed = formed;
+    simulator.schedule(ph::sim::seconds(1), poll_group);
+  };
+  poll_group();
+
+  // The adversary: one plane, hooks on every device so blackouts really
+  // cold-restart the daemons, and a schedule drawn from the same seed.
+  ph::fault::FaultPlane plane(medium, ph::sim::Rng(seed + 1));
+  ph::fault::RandomScheduleParams params;
+  params.horizon = horizon;
+  for (ph::eval::ScenarioDevice& device : devices) {
+    ph::peerhood::Stack* stack = device.stack.get();
+    plane.set_device_hooks(stack->id(),
+                           {.shutdown = [stack] { stack->blackout(); },
+                            .restart = [stack] { stack->restart(); }});
+    params.nodes.push_back(stack->id());
+  }
+  params.bursts = soak_minutes;
+  params.outages = soak_minutes;
+  params.latency_spikes = soak_minutes / 2 + 1;
+  params.signal_ramps = soak_minutes / 2 + 1;
+  params.blackouts = soak_minutes / 4 + 1;
+  ph::sim::Rng schedule_rng(seed + 2);
+  const ph::fault::Schedule schedule =
+      ph::fault::random_schedule(schedule_rng, params);
+  plane.load(schedule);
+
+  std::printf("chaos soak: seed=%llu horizon=%dmin faults=%zu "
+              "(bursts=%zu outages=%zu spikes=%zu ramps=%zu blackouts=%zu)\n",
+              static_cast<unsigned long long>(seed), soak_minutes,
+              schedule.size(), schedule.bursts.size(), schedule.outages.size(),
+              schedule.latency_spikes.size(), schedule.signal_ramps.size(),
+              schedule.blackouts.size());
+
+  // Soak, then a quiet tail so the last windows' recoveries complete.
+  simulator.run_for(horizon + ph::sim::minutes(2));
+
+  const ph::obs::Snapshot faults = plane.stats();
+  std::printf("\nfault windows delivered:\n");
+  for (const auto& [name, value] : faults.counters()) {
+    std::printf("  fault.%-32s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  std::printf("\nrecovery times (virtual):\n");
+  print_histogram("neighbour rediscovery", &rediscovery);
+  print_histogram("Football group re-form", &group_reform);
+
+  // The acceptance check: same seed => byte-identical dump.
+  ph::obs::dump_if_requested(metrics);
+  return 0;
+}

@@ -73,12 +73,14 @@ Metrics run_crowd(int devices, std::uint64_t seed) {
   Metrics metrics;
   std::uint64_t group_events = 0, comparisons = 0, control_msgs = 0;
   for (const auto& device : crowd) {
-    const auto& group_stats = device->app->groups().stats();
-    group_events += group_stats.groups_formed + group_stats.groups_dissolved;
-    comparisons += group_stats.comparisons;
-    const auto& daemon_stats = device->stack->daemon().stats();
-    control_msgs += daemon_stats.pings_sent + daemon_stats.service_queries +
-                    daemon_stats.inquiries_started;
+    const obs::Snapshot group_stats = device->app->groups().stats();
+    group_events += group_stats.counter("groups_formed") +
+                    group_stats.counter("groups_dissolved");
+    comparisons += group_stats.counter("comparisons");
+    const obs::Snapshot daemon_stats = device->stack->daemon().stats();
+    control_msgs += daemon_stats.counter("pings_sent") +
+                    daemon_stats.counter("service_queries") +
+                    daemon_stats.counter("inquiries_started");
   }
   const double device_minutes = devices * sim::to_seconds(kWindow) / 60.0;
   metrics.group_events_per_device_min =

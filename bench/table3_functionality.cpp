@@ -131,9 +131,12 @@ double active_monitoring_s() {
   World world;
   world.time_until([&] { return !world.a->daemon().devices().empty(); });
   bool gone = false;
-  peerhood::MonitorCallbacks callbacks;
-  callbacks.on_disappear = [&](peerhood::DeviceId) { gone = true; };
-  world.a->daemon().monitor_device(world.b->id(), std::move(callbacks));
+  world.a->daemon().monitor_device(
+      world.b->id(), [&](const peerhood::NeighbourEvent& event) {
+        if (event.kind == peerhood::NeighbourEvent::Kind::disappeared) {
+          gone = true;
+        }
+      });
   const sim::Time start = world.simulator.now();
   world.b->set_radio_powered(net::Technology::bluetooth, false);
   world.time_until([&] { return gone; });

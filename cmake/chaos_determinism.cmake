@@ -1,0 +1,46 @@
+# Runs bench_chaos_soak twice with the same seed and a short horizon, then
+# byte-compares the two PH_METRICS_JSON dumps — the fault plane's headline
+# guarantee (ISSUE 2): identical seed, identical metrics. Invoked by the
+# `ph_chaos_determinism` CTest target (bench/CMakeLists.txt) as:
+#
+#   cmake -DCHAOS_SOAK=... -DJSON_CHECK=... -DWORK_DIR=...
+#         -P cmake/chaos_determinism.cmake
+
+foreach(var CHAOS_SOAK JSON_CHECK WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "chaos_determinism.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+function(run_checked label)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE result
+                  OUTPUT_VARIABLE output ERROR_VARIABLE output)
+  if(NOT result EQUAL 0)
+    message(FATAL_ERROR "${label} failed (exit ${result}):\n${output}")
+  endif()
+endfunction()
+
+foreach(run a b)
+  set(json_${run} ${WORK_DIR}/chaos_soak_${run}.json)
+  file(REMOVE ${json_${run}})
+  run_checked("bench_chaos_soak(${run})"
+    ${CMAKE_COMMAND} -E env PH_METRICS_JSON=${json_${run}}
+    PH_CHAOS_SEED=7 PH_CHAOS_MINUTES=3
+    ${CHAOS_SOAK})
+endforeach()
+
+# The dump must be well-formed and actually contain fault windows plus the
+# layers they disturb.
+run_checked("ph_obs_json_check(chaos_soak)"
+  ${JSON_CHECK} ${json_a}
+  counter:fault. counter:net. counter:peerhood.
+  histogram:fault.recovery.)
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${json_a} ${json_b}
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "chaos soak is non-deterministic: ${json_a} and "
+                      "${json_b} differ for the same seed")
+endif()
+
+message(STATUS "chaos determinism OK: ${json_a} == ${json_b}")

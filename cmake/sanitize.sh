@@ -1,0 +1,13 @@
+#!/bin/sh
+# Configure, build, and run the whole test suite under ASan + UBSan
+# (the `asan-ubsan` preset in CMakePresets.json). Any sanitizer report
+# aborts the offending test (abort_on_error / halt_on_error), so a clean
+# exit here means a clean run. Usage, from the repository root:
+#
+#   ./cmake/sanitize.sh [extra ctest args, e.g. -R fault_test]
+set -eu
+
+cd "$(dirname "$0")/.."
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+ctest --preset asan-ubsan -j "$(nproc)" "$@"

@@ -81,21 +81,22 @@ int main() {
 
   // Re-lock via active monitoring: when the keyholder's device leaves
   // Bluetooth range, the door locks itself (Table 3 "Active monitoring").
-  peerhood::MonitorCallbacks watcher;
-  watcher.on_disappear = [&](peerhood::DeviceId id) {
-    if (unlocked && id == keyholder) {
+  door.daemon().monitor_all([&](const peerhood::NeighbourEvent& event) {
+    if (event.kind != peerhood::NeighbourEvent::Kind::disappeared) return;
+    if (unlocked && event.device.id == keyholder) {
       unlocked = false;
       std::printf("[t=%5.1fs] door: keyholder left range — locked again\n",
                   sim::to_seconds(simulator.now()));
     }
-  };
-  door.daemon().monitor_all(std::move(watcher));
+  });
 
   // PTD behaviour: when a device sees the AccessControl service, it
   // presents its key.
   auto present_key = [&](peerhood::Stack& ptd, const std::string& key) {
-    peerhood::MonitorCallbacks on_door;
-    on_door.on_appear = [&ptd, key, &simulator](const peerhood::DeviceInfo& info) {
+    auto on_door = [&ptd, key,
+                    &simulator](const peerhood::NeighbourEvent& event) {
+      if (event.kind == peerhood::NeighbourEvent::Kind::disappeared) return;
+      const peerhood::DeviceInfo& info = event.device;
       if (info.find_service("AccessControl") == nullptr) return;
       ptd.library().connect(
           info.id, "AccessControl", {},

@@ -58,8 +58,9 @@ int main() {
   peerhood::Connection stream;
   int feedback_count = 0;
   std::string last_feedback;
-  peerhood::MonitorCallbacks on_ptd;
-  on_ptd.on_appear = [&](const peerhood::DeviceInfo& info) {
+  auto on_ptd = [&](const peerhood::NeighbourEvent& event) {
+    if (event.kind == peerhood::NeighbourEvent::Kind::disappeared) return;
+    const peerhood::DeviceInfo& info = event.device;
     if (info.find_service("FitnessSystem") == nullptr || stream.valid()) return;
     belt.library().connect(
         info.id, "FitnessSystem", {},

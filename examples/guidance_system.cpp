@@ -92,8 +92,9 @@ int main() {
 
   std::set<peerhood::DeviceId> asked;
   bool arrived = false;
-  peerhood::MonitorCallbacks on_point;
-  on_point.on_appear = [&](const peerhood::DeviceInfo& info) {
+  auto on_point = [&](const peerhood::NeighbourEvent& event) {
+    if (event.kind == peerhood::NeighbourEvent::Kind::disappeared) return;
+    const peerhood::DeviceInfo& info = event.device;
     if (arrived || info.find_service("Guidance") == nullptr) return;
     if (!asked.insert(info.id).second) return;  // one question per point
     traveller.library().connect(

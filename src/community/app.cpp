@@ -16,19 +16,17 @@ CommunityApp::CommunityApp(peerhood::Stack& stack, AppConfig config)
                          << started.error().to_string();
   }
   obs::Registry& registry = stack_.medium().registry();
-  const std::string prefix =
+  registry_ = &registry;
+  metric_prefix_ =
       "community.app.d" + std::to_string(stack_.daemon().self()) + ".";
+  const std::string& prefix = metric_prefix_;
   c_peers_probed_ = &registry.counter(prefix + "peers_probed");
   c_probe_failures_ = &registry.counter(prefix + "probe_failures");
   c_peers_gone_ = &registry.counter(prefix + "peers_gone");
 }
 
-CommunityApp::Stats CommunityApp::stats() const {
-  Stats out;
-  out.peers_probed = c_peers_probed_->value();
-  out.probe_failures = c_probe_failures_->value();
-  out.peers_gone = c_peers_gone_->value();
-  return out;
+obs::Snapshot CommunityApp::stats() const {
+  return registry_->snapshot(metric_prefix_);
 }
 
 CommunityApp::~CommunityApp() {
@@ -55,15 +53,14 @@ Result<void> CommunityApp::login(const std::string& member_id,
 
   // Dynamic group discovery (Figure 5): react to neighbourhood changes.
   if (monitor_ != 0) stack_.daemon().unmonitor(monitor_);
-  peerhood::MonitorCallbacks callbacks;
-  callbacks.on_appear = [this](const peerhood::DeviceInfo& info) {
-    on_device_appeared(info);
-  };
-  callbacks.on_update = [this](const peerhood::DeviceInfo& info) {
-    on_device_appeared(info);
-  };
-  callbacks.on_disappear = [this](peerhood::DeviceId id) { on_device_gone(id); };
-  monitor_ = stack_.daemon().monitor_all(std::move(callbacks));
+  monitor_ = stack_.daemon().monitor_all(
+      [this](const peerhood::NeighbourEvent& event) {
+        if (event.kind == peerhood::NeighbourEvent::Kind::disappeared) {
+          on_device_gone(event.device.id);
+        } else {
+          on_device_appeared(event.device);
+        }
+      });
 
   // Devices already known to the daemon won't re-announce; probe them now.
   for (const peerhood::DeviceInfo& info : stack_.daemon().devices()) {

@@ -46,14 +46,6 @@ struct AppConfig {
 
 class CommunityApp {
  public:
-  /// Snapshot of the registry's `community.app.d<self>.*` counters; the
-  /// medium's per-world registry is the source of truth.
-  struct Stats {
-    std::uint64_t peers_probed = 0;
-    std::uint64_t probe_failures = 0;
-    std::uint64_t peers_gone = 0;
-  };
-
   explicit CommunityApp(peerhood::Stack& stack, AppConfig config = {});
   ~CommunityApp();
   CommunityApp(const CommunityApp&) = delete;
@@ -108,8 +100,9 @@ class CommunityApp {
   ProfileStore& profiles() { return store_; }
   SemanticDictionary& dictionary() { return dictionary_; }
   peerhood::Stack& stack() { return stack_; }
-  /// Snapshot assembled from the registry counters.
-  Stats stats() const;
+  /// Typed view of the registry's `community.app.d<self>.*` counters
+  /// (`peers_probed`, `probe_failures`, `peers_gone`).
+  obs::Snapshot stats() const;
 
   /// Member hosted by `device`, if this app has probed it ("" if unknown).
   std::string member_on(peerhood::DeviceId device) const;
@@ -142,6 +135,8 @@ class CommunityApp {
 
   // Registry handles (`community.app.d<self>.*`) into the medium's
   // per-world registry.
+  obs::Registry* registry_ = nullptr;
+  std::string metric_prefix_;
   obs::Counter* c_peers_probed_ = nullptr;
   obs::Counter* c_probe_failures_ = nullptr;
   obs::Counter* c_peers_gone_ = nullptr;

@@ -16,8 +16,10 @@ CommunityClient::CommunityClient(peerhood::PeerHood& peerhood,
       config_(std::move(config)) {
   obs::Registry& registry = peerhood_.daemon().medium().registry();
   trace_ = &peerhood_.daemon().medium().trace();
-  const std::string prefix =
+  registry_ = &registry;
+  metric_prefix_ =
       "community.client.d" + std::to_string(peerhood_.self()) + ".";
+  const std::string& prefix = metric_prefix_;
   c_rpcs_sent_ = &registry.counter(prefix + "rpcs_sent");
   c_rpcs_failed_ = &registry.counter(prefix + "rpcs_failed");
   c_fanouts_ = &registry.counter(prefix + "fanouts");
@@ -25,13 +27,8 @@ CommunityClient::CommunityClient(peerhood::PeerHood& peerhood,
   h_rpc_us_ = &registry.histogram(prefix + "rpc_us");
 }
 
-CommunityClient::Stats CommunityClient::stats() const {
-  Stats out;
-  out.rpcs_sent = c_rpcs_sent_->value();
-  out.rpcs_failed = c_rpcs_failed_->value();
-  out.fanouts = c_fanouts_->value();
-  out.cache_hits = c_cache_hits_->value();
-  return out;
+obs::Snapshot CommunityClient::stats() const {
+  return registry_->snapshot(metric_prefix_);
 }
 
 proto::Request CommunityClient::base_request(proto::Opcode op) const {

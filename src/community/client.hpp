@@ -59,13 +59,6 @@ class CommunityClient {
  public:
   /// Snapshot of the registry's `community.client.d<self>.*` counters; the
   /// medium's per-world registry is the source of truth.
-  struct Stats {
-    std::uint64_t rpcs_sent = 0;
-    std::uint64_t rpcs_failed = 0;
-    std::uint64_t fanouts = 0;
-    std::uint64_t cache_hits = 0;
-  };
-
   using VoidCallback = std::function<void(Result<void>)>;
   using NamesCallback = std::function<void(Result<std::vector<std::string>>)>;
   using ProfileCallback = std::function<void(Result<proto::ProfileData>)>;
@@ -139,8 +132,9 @@ class CommunityClient {
       std::function<void(std::uint64_t received, std::uint64_t total)> progress,
       ContentCallback done);
 
-  /// Snapshot assembled from the registry counters.
-  Stats stats() const;
+  /// Typed view of the client's registry instruments (`rpcs_sent`,
+  /// `rpcs_failed`, `fanouts`, `cache_hits`, `rpc_us`).
+  obs::Snapshot stats() const;
 
  private:
   proto::Request base_request(proto::Opcode op) const;
@@ -176,6 +170,8 @@ class CommunityClient {
   // Registry handles (`community.client.d<self>.*`) into the medium's
   // per-world registry; the trace journal is shared the same way.
   obs::Trace* trace_ = nullptr;
+  obs::Registry* registry_ = nullptr;
+  std::string metric_prefix_;
   obs::Counter* c_rpcs_sent_ = nullptr;
   obs::Counter* c_rpcs_failed_ = nullptr;
   obs::Counter* c_fanouts_ = nullptr;

@@ -14,6 +14,8 @@ GroupEngine::GroupEngine(std::string local_member,
     own_registry_ = std::make_unique<obs::Registry>();
     registry = own_registry_.get();
   }
+  registry_ = registry;
+  metric_prefix_ = metric_prefix;
   c_comparisons_ = &registry->counter(metric_prefix + "comparisons");
   c_groups_formed_ = &registry->counter(metric_prefix + "groups_formed");
   c_groups_dissolved_ = &registry->counter(metric_prefix + "groups_dissolved");
@@ -21,14 +23,8 @@ GroupEngine::GroupEngine(std::string local_member,
   c_member_leaves_ = &registry->counter(metric_prefix + "member_leaves");
 }
 
-GroupEngine::Stats GroupEngine::stats() const {
-  Stats out;
-  out.comparisons = c_comparisons_->value();
-  out.groups_formed = c_groups_formed_->value();
-  out.groups_dissolved = c_groups_dissolved_->value();
-  out.member_joins = c_member_joins_->value();
-  out.member_leaves = c_member_leaves_->value();
-  return out;
+obs::Snapshot GroupEngine::stats() const {
+  return registry_->snapshot(metric_prefix_);
 }
 
 std::set<std::string> GroupEngine::canonicalize(

@@ -62,15 +62,6 @@ struct GroupCallbacks {
 
 class GroupEngine {
  public:
-  /// Snapshot of the engine's registry counters (`<prefix>*`).
-  struct Stats {
-    std::uint64_t comparisons = 0;  ///< interest-pair checks (Fig 6 cost)
-    std::uint64_t groups_formed = 0;
-    std::uint64_t groups_dissolved = 0;
-    std::uint64_t member_joins = 0;
-    std::uint64_t member_leaves = 0;
-  };
-
   /// `dictionary` may outlive or be shared with the app; not owned.
   /// `registry` is where the engine publishes its counters (prefixed with
   /// `metric_prefix`, default `community.groups.`); the engine has no
@@ -117,8 +108,9 @@ class GroupEngine {
   /// Interests currently defining groups (canonical keys).
   std::vector<std::string> tracked_interests() const;
 
-  /// Snapshot assembled from the registry counters.
-  Stats stats() const;
+  /// Typed view of the engine's registry counters (`comparisons`,
+  /// `groups_formed`, `groups_dissolved`, `member_joins`, `member_leaves`).
+  obs::Snapshot stats() const;
 
   /// The thesis' Figure 6 batch algorithm: recomputes every group from the
   /// complete peer table in one sweep. Equivalent output to the
@@ -148,6 +140,8 @@ class GroupEngine {
   std::map<std::string, Group> groups_;          // canonical -> group
 
   std::unique_ptr<obs::Registry> own_registry_;  // fallback when unwired
+  obs::Registry* registry_ = nullptr;            // whichever one is in use
+  std::string metric_prefix_;
   obs::Counter* c_comparisons_ = nullptr;
   obs::Counter* c_groups_formed_ = nullptr;
   obs::Counter* c_groups_dissolved_ = nullptr;

@@ -20,8 +20,10 @@ CommunityServer::CommunityServer(peerhood::PeerHood& peerhood,
                                  const SemanticDictionary& dictionary)
     : peerhood_(peerhood), store_(store), dictionary_(dictionary) {
   obs::Registry& registry = peerhood_.daemon().medium().registry();
-  const std::string prefix =
+  registry_ = &registry;
+  metric_prefix_ =
       "community.server.d" + std::to_string(peerhood_.self()) + ".";
+  const std::string& prefix = metric_prefix_;
   c_requests_handled_ = &registry.counter(prefix + "requests_handled");
   c_sessions_accepted_ = &registry.counter(prefix + "sessions_accepted");
   c_bad_requests_ = &registry.counter(prefix + "bad_requests");
@@ -29,12 +31,8 @@ CommunityServer::CommunityServer(peerhood::PeerHood& peerhood,
 
 CommunityServer::~CommunityServer() { stop(); }
 
-CommunityServer::Stats CommunityServer::stats() const {
-  Stats out;
-  out.requests_handled = c_requests_handled_->value();
-  out.sessions_accepted = c_sessions_accepted_->value();
-  out.bad_requests = c_bad_requests_->value();
-  return out;
+obs::Snapshot CommunityServer::stats() const {
+  return registry_->snapshot(metric_prefix_);
 }
 
 Result<void> CommunityServer::start() {

@@ -30,14 +30,6 @@ inline constexpr std::string_view kServiceName = "PeerHoodCommunity";
 
 class CommunityServer {
  public:
-  /// Snapshot of the registry's `community.server.d<self>.*` counters; the
-  /// medium's per-world registry is the source of truth.
-  struct Stats {
-    std::uint64_t requests_handled = 0;
-    std::uint64_t sessions_accepted = 0;
-    std::uint64_t bad_requests = 0;
-  };
-
   /// `store` holds this device's accounts; `dictionary` canonicalizes
   /// interests for PS_GETINTERESTEDMEMBERLIST matching.
   CommunityServer(peerhood::PeerHood& peerhood, ProfileStore& store,
@@ -53,8 +45,9 @@ class CommunityServer {
   /// the current local state.
   proto::Response handle(const proto::Request& request);
 
-  /// Snapshot assembled from the registry counters.
-  Stats stats() const;
+  /// Typed view of the registry's `community.server.d<self>.*` counters
+  /// (`requests_handled`, `sessions_accepted`, `bad_requests`).
+  obs::Snapshot stats() const;
 
  private:
   void on_accept(peerhood::Connection connection);
@@ -67,6 +60,8 @@ class CommunityServer {
   bool running_ = false;
   // Registry handles (`community.server.d<self>.*`) into the medium's
   // per-world registry.
+  obs::Registry* registry_ = nullptr;
+  std::string metric_prefix_;
   obs::Counter* c_requests_handled_ = nullptr;
   obs::Counter* c_sessions_accepted_ = nullptr;
   obs::Counter* c_bad_requests_ = nullptr;

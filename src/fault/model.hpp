@@ -1,0 +1,60 @@
+// Loss models for the fault plane.
+//
+// Gilbert–Elliott two-state burst loss: a Markov chain toggling between a
+// "good" state (steady-state loss) and a "bad" state (a burst window where
+// most frames die). Classic for modelling radio fading/interference, and
+// exactly the adversity that separates "retries at fixed cadence" from
+// backed-off retries: during a bad-state dwell every immediate retry is
+// wasted, while a retry delayed past the dwell usually lands.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+
+namespace ph::fault {
+
+struct GilbertElliottParams {
+  /// Per-frame probability of entering the bad state from good.
+  double p_enter_bad = 0.05;
+  /// Per-frame probability of leaving the bad state (mean dwell =
+  /// 1/p_exit_bad frames).
+  double p_exit_bad = 0.25;
+  /// Frame-loss probability while in the good state; the layered result is
+  /// max(base, loss_good), so 0 means "the tech profile's own loss".
+  double loss_good = 0.0;
+  /// Frame-loss probability while in the bad state.
+  double loss_bad = 0.6;
+};
+
+/// One chain instance; advanced once per frame attempt.
+class GilbertElliott {
+ public:
+  explicit GilbertElliott(GilbertElliottParams params) : params_(params) {}
+
+  /// Transitions the chain for one frame attempt and returns that frame's
+  /// loss probability layered over the technology's steady-state `base`.
+  double advance(double base, sim::Rng& rng) {
+    if (bad_) {
+      if (rng.chance(params_.p_exit_bad)) bad_ = false;
+    } else if (rng.chance(params_.p_enter_bad)) {
+      bad_ = true;
+      ++transitions_to_bad_;
+    }
+    const double state_loss = bad_ ? params_.loss_bad : params_.loss_good;
+    return state_loss > base ? state_loss : base;
+  }
+
+  bool in_bad_state() const noexcept { return bad_; }
+  std::uint64_t transitions_to_bad() const noexcept {
+    return transitions_to_bad_;
+  }
+  const GilbertElliottParams& params() const noexcept { return params_; }
+
+ private:
+  GilbertElliottParams params_;
+  bool bad_ = false;
+  std::uint64_t transitions_to_bad_ = 0;
+};
+
+}  // namespace ph::fault

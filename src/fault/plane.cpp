@@ -1,0 +1,297 @@
+#include "fault/plane.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace ph::fault {
+
+FaultPlane::FaultPlane(net::Medium& medium, sim::Rng rng)
+    : medium_(medium), simulator_(medium.simulator()), rng_(rng) {
+  trace_ = &medium_.trace();
+  obs::Registry& registry = medium_.registry();
+  c_bursts_started_ = &registry.counter("fault.bursts_started");
+  c_bursts_ended_ = &registry.counter("fault.bursts_ended");
+  c_burst_transitions_ = &registry.counter("fault.burst_transitions_to_bad");
+  c_outages_started_ = &registry.counter("fault.outages_started");
+  c_outages_ended_ = &registry.counter("fault.outages_ended");
+  c_latency_spikes_ = &registry.counter("fault.latency_spikes");
+  c_signal_ramps_ = &registry.counter("fault.signal_ramps");
+  c_blackouts_started_ = &registry.counter("fault.blackouts_started");
+  c_blackouts_ended_ = &registry.counter("fault.blackouts_ended");
+  medium_.set_fault_injector(this);
+}
+
+FaultPlane::~FaultPlane() {
+  if (medium_.fault_injector() == this) medium_.set_fault_injector(nullptr);
+}
+
+void FaultPlane::set_device_hooks(net::NodeId node, DeviceHooks hooks) {
+  hooks_[node] = std::move(hooks);
+}
+
+void FaultPlane::load(const Schedule& schedule) {
+  const sim::Time now = simulator_.now();
+  const auto at = [&](sim::Time start) { return std::max(start, now); };
+  for (const BurstLoss& b : schedule.bursts) {
+    simulator_.schedule_at(at(b.start), [this, b] {
+      begin_burst(b.tech, b.model, b.duration);
+    });
+  }
+  for (const RadioOutage& o : schedule.outages) {
+    simulator_.schedule_at(at(o.start), [this, o] {
+      begin_outage(o.node, o.tech, o.duration);
+    });
+  }
+  for (const LatencySpike& s : schedule.latency_spikes) {
+    simulator_.schedule_at(at(s.start), [this, s] {
+      begin_latency_spike(s.tech, s.extra, s.duration);
+    });
+  }
+  for (const SignalRamp& r : schedule.signal_ramps) {
+    simulator_.schedule_at(at(r.start), [this, r] { begin_signal_ramp(r); });
+  }
+  for (const Blackout& b : schedule.blackouts) {
+    simulator_.schedule_at(at(b.start),
+                           [this, b] { begin_blackout(b.node, b.duration); });
+  }
+}
+
+void FaultPlane::begin_burst(net::Technology tech, GilbertElliottParams model,
+                             sim::Duration duration) {
+  auto& slot = bursts_[index(tech)];
+  if (slot) end_burst(tech);  // windows do not stack; the new one wins
+  Burst burst{GilbertElliott(model), ++burst_generation_,
+              trace_->begin_span("fault.burst", simulator_.now(),
+                                 net::kInvalidNode, "fault")};
+  slot = burst;
+  c_bursts_started_->inc();
+  PH_LOG(info, "fault") << "burst-loss window on " << net::to_string(tech)
+                        << " for " << sim::to_seconds(duration) << "s";
+  const std::uint64_t gen = burst.generation;
+  simulator_.schedule(duration, [this, tech, gen] {
+    auto& active = bursts_[index(tech)];
+    if (active && active->generation == gen) end_burst(tech);
+  });
+}
+
+void FaultPlane::end_burst(net::Technology tech) {
+  auto& slot = bursts_[index(tech)];
+  if (!slot) return;
+  trace_->end_span(slot->span, simulator_.now());
+  c_bursts_ended_->inc();
+  slot.reset();
+}
+
+bool FaultPlane::burst_active(net::Technology tech) const {
+  return bursts_[index(tech)].has_value();
+}
+
+void FaultPlane::begin_outage(net::NodeId node, net::Technology tech,
+                              sim::Duration duration) {
+  net::Adapter* adapter = medium_.adapter(node, tech);
+  if (adapter == nullptr) return;
+  c_outages_started_->inc();
+  const obs::SpanId span =
+      trace_->begin_span("fault.outage", simulator_.now(), node, "fault");
+  PH_LOG(info, "fault") << "radio outage: node " << node << " "
+                        << net::to_string(tech) << " for "
+                        << sim::to_seconds(duration) << "s";
+  adapter->set_powered(false);
+  simulator_.schedule(duration, [this, node, tech, span] {
+    if (net::Adapter* a = medium_.adapter(node, tech)) a->set_powered(true);
+    trace_->end_span(span, simulator_.now());
+    c_outages_ended_->inc();
+  });
+}
+
+void FaultPlane::begin_latency_spike(net::Technology tech, sim::Duration extra,
+                                     sim::Duration duration) {
+  auto& slot = spikes_[index(tech)];
+  if (slot) trace_->end_span(slot->span, simulator_.now());
+  Spike spike{extra, ++spike_generation_,
+              trace_->begin_span("fault.latency_spike", simulator_.now(),
+                                 net::kInvalidNode, "fault")};
+  slot = spike;
+  c_latency_spikes_->inc();
+  const std::uint64_t gen = spike.generation;
+  simulator_.schedule(duration, [this, tech, gen] {
+    auto& active = spikes_[index(tech)];
+    if (active && active->generation == gen) {
+      trace_->end_span(active->span, simulator_.now());
+      active.reset();
+    }
+  });
+}
+
+void FaultPlane::begin_signal_ramp(SignalRamp ramp) {
+  ramp.start = std::max(ramp.start, simulator_.now());
+  c_signal_ramps_->inc();
+  const obs::SpanId span =
+      trace_->begin_span("fault.signal_ramp", simulator_.now(), ramp.node,
+                         "fault");
+  const sim::Duration total = ramp.ramp + ramp.hold + ramp.recover;
+  ramps_.push_back(ramp);
+  simulator_.schedule(total, [this, span] {
+    trace_->end_span(span, simulator_.now());
+    // Prune ramps that have fully recovered; factors of finished ramps are
+    // 1.0 anyway, this just bounds the scan.
+    const sim::Time now = simulator_.now();
+    std::erase_if(ramps_, [now](const SignalRamp& r) {
+      return r.start + r.ramp + r.hold + r.recover <= now;
+    });
+  });
+}
+
+void FaultPlane::begin_blackout(net::NodeId node, sim::Duration duration) {
+  if (blacked_out_[node]) return;  // already dark; ignore the overlap
+  blacked_out_[node] = true;
+  c_blackouts_started_->inc();
+  const obs::SpanId span =
+      trace_->begin_span("fault.blackout", simulator_.now(), node, "fault");
+  PH_LOG(info, "fault") << "blackout: node " << node << " for "
+                        << sim::to_seconds(duration) << "s";
+  auto hooks = hooks_.find(node);
+  if (hooks != hooks_.end() && hooks->second.shutdown) {
+    hooks->second.shutdown();
+  } else {
+    for (net::Technology tech :
+         {net::Technology::bluetooth, net::Technology::wlan,
+          net::Technology::gprs}) {
+      if (net::Adapter* a = medium_.adapter(node, tech)) a->set_powered(false);
+    }
+  }
+  simulator_.schedule(duration, [this, node, span] {
+    blacked_out_[node] = false;
+    auto h = hooks_.find(node);
+    if (h != hooks_.end() && h->second.restart) {
+      h->second.restart();
+    } else {
+      for (net::Technology tech :
+           {net::Technology::bluetooth, net::Technology::wlan,
+            net::Technology::gprs}) {
+        if (net::Adapter* a = medium_.adapter(node, tech)) {
+          a->set_powered(true);
+        }
+      }
+    }
+    trace_->end_span(span, simulator_.now());
+    c_blackouts_ended_->inc();
+  });
+}
+
+double FaultPlane::frame_loss(net::Technology tech, double base) {
+  auto& burst = bursts_[index(tech)];
+  if (!burst) return base;
+  const std::uint64_t before = burst->chain.transitions_to_bad();
+  const double loss = burst->chain.advance(base, rng_);
+  c_burst_transitions_->inc(burst->chain.transitions_to_bad() - before);
+  return loss;
+}
+
+sim::Duration FaultPlane::extra_latency(net::Technology tech) {
+  const auto& spike = spikes_[index(tech)];
+  return spike ? spike->extra : sim::Duration{0};
+}
+
+double FaultPlane::ramp_factor(net::NodeId node) const {
+  const sim::Time now = simulator_.now();
+  double factor = 1.0;
+  for (const SignalRamp& r : ramps_) {
+    if (r.node != node || now < r.start) continue;
+    const sim::Time fade_end = r.start + r.ramp;
+    const sim::Time hold_end = fade_end + r.hold;
+    const sim::Time recover_end = hold_end + r.recover;
+    double f = 1.0;
+    if (now < fade_end) {
+      const double progress =
+          r.ramp == 0 ? 1.0
+                      : static_cast<double>(now - r.start) /
+                            static_cast<double>(r.ramp);
+      f = 1.0 + (r.floor - 1.0) * progress;
+    } else if (now < hold_end) {
+      f = r.floor;
+    } else if (now < recover_end) {
+      const double progress =
+          r.recover == 0 ? 1.0
+                         : static_cast<double>(now - hold_end) /
+                               static_cast<double>(r.recover);
+      f = r.floor + (1.0 - r.floor) * progress;
+    }
+    factor = std::min(factor, f);
+  }
+  return factor;
+}
+
+double FaultPlane::signal_factor(net::NodeId a, net::NodeId b) const {
+  if (ramps_.empty()) return 1.0;
+  return ramp_factor(a) * ramp_factor(b);
+}
+
+Schedule random_schedule(sim::Rng& rng, const RandomScheduleParams& params) {
+  Schedule out;
+  const auto horizon = static_cast<double>(params.horizon);
+  const auto pick_time = [&](double max_fraction_of_horizon) {
+    // Leave room so the window's duration fits inside the horizon.
+    return static_cast<sim::Time>(
+        rng.uniform(0.0, horizon * (1.0 - max_fraction_of_horizon)));
+  };
+  const auto pick_node = [&]() -> net::NodeId {
+    if (params.nodes.empty()) return net::kInvalidNode;
+    return params.nodes[static_cast<std::size_t>(
+        rng.uniform_int(0, params.nodes.size() - 1))];
+  };
+  const auto pick_tech = [&]() -> net::Technology {
+    if (params.technologies.empty()) return net::Technology::bluetooth;
+    return params.technologies[static_cast<std::size_t>(
+        rng.uniform_int(0, params.technologies.size() - 1))];
+  };
+  for (int i = 0; i < params.bursts; ++i) {
+    BurstLoss b;
+    b.tech = pick_tech();
+    b.start = pick_time(0.15);
+    b.duration = static_cast<sim::Duration>(rng.uniform(0.05, 0.15) * horizon);
+    b.model.p_enter_bad = rng.uniform(0.02, 0.1);
+    b.model.p_exit_bad = rng.uniform(0.1, 0.4);
+    b.model.loss_bad = rng.uniform(0.4, 0.85);
+    out.bursts.push_back(b);
+  }
+  for (int i = 0; i < params.outages; ++i) {
+    RadioOutage o;
+    o.node = pick_node();
+    o.tech = pick_tech();
+    o.start = pick_time(0.05);
+    o.duration = static_cast<sim::Duration>(rng.uniform(0.01, 0.05) * horizon);
+    out.outages.push_back(o);
+  }
+  for (int i = 0; i < params.latency_spikes; ++i) {
+    LatencySpike s;
+    s.tech = pick_tech();
+    s.start = pick_time(0.1);
+    s.duration = static_cast<sim::Duration>(rng.uniform(0.03, 0.1) * horizon);
+    s.extra = sim::milliseconds(
+        static_cast<std::uint64_t>(rng.uniform(50.0, 500.0)));
+    out.latency_spikes.push_back(s);
+  }
+  for (int i = 0; i < params.signal_ramps; ++i) {
+    SignalRamp r;
+    r.node = pick_node();
+    r.start = pick_time(0.15);
+    const auto leg = static_cast<sim::Duration>(rng.uniform(0.02, 0.05) * horizon);
+    r.ramp = leg;
+    r.hold = leg;
+    r.recover = leg;
+    r.floor = rng.uniform(0.0, 0.2);
+    out.signal_ramps.push_back(r);
+  }
+  for (int i = 0; i < params.blackouts; ++i) {
+    Blackout b;
+    b.node = pick_node();
+    b.start = pick_time(0.1);
+    b.duration = static_cast<sim::Duration>(rng.uniform(0.03, 0.1) * horizon);
+    out.blackouts.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace ph::fault

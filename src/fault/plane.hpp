@@ -1,0 +1,135 @@
+// FaultPlane — the deterministic fault-injection plane (ISSUE 2 tentpole).
+//
+// Implements net::FaultInjector and installs itself into a Medium: from
+// then on every frame attempt consults the plane's burst-loss chains,
+// every propagation delay its latency spikes, and every signal sample its
+// degradation ramps. Radio outages and whole-device blackouts are driven
+// actively through the simulator (adapter power toggles / device hooks).
+//
+// Determinism: all randomness comes from the plane's own Rng (passed in,
+// normally forked off the world seed) and the Medium's existing stream —
+// virtual time does the rest. Two runs with the same seeds produce
+// identical `fault.*` and `peerhood.*` metrics, which is what makes chaos
+// soaks diffable.
+//
+// Observability: every fault window bumps `fault.*` counters in the
+// world's registry and records a span in its trace journal.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fault/model.hpp"
+#include "fault/schedule.hpp"
+#include "net/fault.hpp"
+#include "net/medium.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/rng.hpp"
+
+namespace ph::fault {
+
+/// How the plane shuts down / boots one device for a Blackout. Scenarios
+/// that own full peerhood::Stacks register
+///   {.shutdown = [&]{ stack.blackout(); },
+///    .restart  = [&]{ stack.restart(); }}
+/// so the daemon cold-restarts and rebuilds its neighbour table; without
+/// hooks the plane falls back to powering the node's adapters off and on
+/// (radios die, but whatever state the layers above keep survives).
+struct DeviceHooks {
+  std::function<void()> shutdown;
+  std::function<void()> restart;
+};
+
+class FaultPlane : public net::FaultInjector {
+ public:
+  /// Installs itself as `medium`'s fault injector. `rng` seeds the plane's
+  /// private loss-model stream (fork the world RNG for a one-seed setup).
+  FaultPlane(net::Medium& medium, sim::Rng rng);
+  ~FaultPlane() override;
+  FaultPlane(const FaultPlane&) = delete;
+  FaultPlane& operator=(const FaultPlane&) = delete;
+
+  void set_device_hooks(net::NodeId node, DeviceHooks hooks);
+
+  /// Arms every event of `schedule` on the simulator. May be called before
+  /// or during the run; events whose start is already past fire
+  /// immediately-ish (next simulator step).
+  void load(const Schedule& schedule);
+
+  // Manual triggers (tests drive these directly; load() uses them too).
+  void begin_burst(net::Technology tech, GilbertElliottParams model,
+                   sim::Duration duration);
+  void end_burst(net::Technology tech);
+  void begin_outage(net::NodeId node, net::Technology tech,
+                    sim::Duration duration);
+  void begin_latency_spike(net::Technology tech, sim::Duration extra,
+                           sim::Duration duration);
+  void begin_signal_ramp(SignalRamp ramp);
+  void begin_blackout(net::NodeId node, sim::Duration duration);
+
+  /// Whether a burst-loss chain is currently layered on `tech`.
+  bool burst_active(net::Technology tech) const;
+
+  /// Typed view of the registry's `fault.*` instruments.
+  obs::Snapshot stats() const { return medium_.registry().snapshot("fault."); }
+
+  // --- net::FaultInjector ------------------------------------------------
+  double frame_loss(net::Technology tech, double base) override;
+  sim::Duration extra_latency(net::Technology tech) override;
+  double signal_factor(net::NodeId a, net::NodeId b) const override;
+
+ private:
+  static constexpr std::size_t kTechs = 3;
+  static std::size_t index(net::Technology tech) {
+    return static_cast<std::size_t>(tech);
+  }
+
+  /// Signal multiplier for one node from its active ramps at time `now`.
+  double ramp_factor(net::NodeId node) const;
+
+  net::Medium& medium_;
+  sim::Simulator& simulator_;
+  sim::Rng rng_;
+  obs::Trace* trace_ = nullptr;
+
+  /// Active burst chain per technology (nullopt = steady state). Each
+  /// window carries a generation so a stale end-timer cannot cancel a
+  /// newer window.
+  struct Burst {
+    GilbertElliott chain;
+    std::uint64_t generation = 0;
+    obs::SpanId span = 0;
+  };
+  std::array<std::optional<Burst>, kTechs> bursts_;
+  std::uint64_t burst_generation_ = 0;
+
+  struct Spike {
+    sim::Duration extra = 0;
+    std::uint64_t generation = 0;
+    obs::SpanId span = 0;
+  };
+  std::array<std::optional<Spike>, kTechs> spikes_;
+  std::uint64_t spike_generation_ = 0;
+
+  std::vector<SignalRamp> ramps_;  // evaluated lazily against now()
+  std::map<net::NodeId, DeviceHooks> hooks_;
+  std::map<net::NodeId, bool> blacked_out_;
+
+  // Registry handles (`fault.*`).
+  obs::Counter* c_bursts_started_ = nullptr;
+  obs::Counter* c_bursts_ended_ = nullptr;
+  obs::Counter* c_burst_transitions_ = nullptr;
+  obs::Counter* c_outages_started_ = nullptr;
+  obs::Counter* c_outages_ended_ = nullptr;
+  obs::Counter* c_latency_spikes_ = nullptr;
+  obs::Counter* c_signal_ramps_ = nullptr;
+  obs::Counter* c_blackouts_started_ = nullptr;
+  obs::Counter* c_blackouts_ended_ = nullptr;
+};
+
+}  // namespace ph::fault

@@ -1,0 +1,103 @@
+// Fault schedules — scriptable adversity on the virtual-time axis.
+//
+// A Schedule is plain data: typed fault windows with absolute start times.
+// FaultPlane::load() arms them all on the simulator; because both the
+// schedule generator and every fault effect draw only from explicitly
+// seeded RNG streams, the same seed replays the same faults byte-for-byte
+// (bench/chaos_soak.cpp asserts this through its metrics dump).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/model.hpp"
+#include "net/tech.hpp"
+#include "net/types.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace ph::fault {
+
+/// Burst-loss window: a Gilbert–Elliott chain layered over one
+/// technology's steady-state frame loss for `duration`.
+struct BurstLoss {
+  net::Technology tech = net::Technology::bluetooth;
+  sim::Time start = 0;
+  sim::Duration duration = sim::seconds(10);
+  GilbertElliottParams model;
+};
+
+/// Radio outage (link flap): one adapter powers off, then back on —
+/// breaking its links mid-transfer, exactly what resume/handover must
+/// survive.
+struct RadioOutage {
+  net::NodeId node = net::kInvalidNode;
+  net::Technology tech = net::Technology::bluetooth;
+  sim::Time start = 0;
+  sim::Duration duration = sim::seconds(5);
+};
+
+/// Latency spike: every frame of one technology takes `extra` longer
+/// (congested AP, cellular backhaul hiccup).
+struct LatencySpike {
+  net::Technology tech = net::Technology::bluetooth;
+  sim::Time start = 0;
+  sim::Duration duration = sim::seconds(10);
+  sim::Duration extra = sim::milliseconds(200);
+};
+
+/// Signal-degradation ramp: one node's signal (every technology) fades
+/// linearly to `floor` over `ramp`, holds, then recovers over `recover` —
+/// a device descending into a stairwell. Drives proactive handover.
+struct SignalRamp {
+  net::NodeId node = net::kInvalidNode;
+  sim::Time start = 0;
+  sim::Duration ramp = sim::seconds(5);
+  sim::Duration hold = sim::seconds(10);
+  sim::Duration recover = sim::seconds(5);
+  double floor = 0.0;
+};
+
+/// Whole-device blackout: shutdown at `start`, restart after `duration`.
+/// With Stack hooks installed the daemon cold-restarts and rebuilds its
+/// neighbour table from re-discovery.
+struct Blackout {
+  net::NodeId node = net::kInvalidNode;
+  sim::Time start = 0;
+  sim::Duration duration = sim::seconds(30);
+};
+
+struct Schedule {
+  std::vector<BurstLoss> bursts;
+  std::vector<RadioOutage> outages;
+  std::vector<LatencySpike> latency_spikes;
+  std::vector<SignalRamp> signal_ramps;
+  std::vector<Blackout> blackouts;
+
+  std::size_t size() const noexcept {
+    return bursts.size() + outages.size() + latency_spikes.size() +
+           signal_ramps.size() + blackouts.size();
+  }
+  bool empty() const noexcept { return size() == 0; }
+};
+
+/// Knobs for random_schedule(). Counts are events over the whole horizon.
+struct RandomScheduleParams {
+  sim::Duration horizon = sim::minutes(5);
+  /// Devices eligible for outages/ramps/blackouts (usually every stack).
+  std::vector<net::NodeId> nodes;
+  /// Technologies eligible for bursts/outages/spikes.
+  std::vector<net::Technology> technologies = {net::Technology::bluetooth};
+  int bursts = 3;
+  int outages = 2;
+  int latency_spikes = 2;
+  int signal_ramps = 1;
+  int blackouts = 1;
+};
+
+/// Draws a schedule from `rng` — deterministic for a given seed. Start
+/// times are uniform over the horizon; durations are drawn so every fault
+/// window ends within it.
+Schedule random_schedule(sim::Rng& rng, const RandomScheduleParams& params);
+
+}  // namespace ph::fault

@@ -1,0 +1,50 @@
+// FaultInjector — the Medium's hook for a deterministic fault plane.
+//
+// The Medium models a *healthy* radio world: steady-state frame loss and
+// range-driven disconnects. Everything nastier — burst loss, latency
+// spikes, signal fades, outages — is injected from outside through this
+// interface so that `ph_net` stays free of fault-scenario policy and the
+// fault plane (src/fault/) stays free of delivery mechanics.
+//
+// All hooks are consulted on the simulator's virtual-time axis and must be
+// deterministic functions of (virtual time, injected RNG state): with no
+// injector installed the Medium behaves bit-for-bit as before, and with
+// one installed the same seed must replay the same faults.
+#pragma once
+
+#include "net/tech.hpp"
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace ph::net {
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Effective per-frame loss probability for one transmission attempt.
+  /// `base` is the technology profile's steady-state `frame_loss`; the
+  /// injector may raise it (burst-loss windows). Called once per frame
+  /// attempt, so stateful loss models (Gilbert–Elliott) advance here.
+  virtual double frame_loss(Technology tech, double base) {
+    (void)tech;
+    return base;
+  }
+
+  /// Additional one-way propagation delay for frames of `tech` right now
+  /// (latency-spike windows). Zero outside fault windows.
+  virtual sim::Duration extra_latency(Technology tech) {
+    (void)tech;
+    return 0;
+  }
+
+  /// Multiplier in [0,1] applied to the physical signal between two nodes
+  /// (signal-degradation ramps). 1.0 outside fault windows.
+  virtual double signal_factor(NodeId a, NodeId b) const {
+    (void)a;
+    (void)b;
+    return 1.0;
+  }
+};
+
+}  // namespace ph::net

@@ -1,5 +1,6 @@
 #include "net/medium.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "net/link_state.hpp"
@@ -37,20 +38,20 @@ Medium::Medium(sim::Simulator& simulator, sim::Rng rng)
   }
 }
 
-Medium::Stats Medium::stats() const {
-  Stats out;
-  out.datagrams_sent = c_datagrams_sent_->value();
-  out.datagrams_lost = c_datagrams_lost_->value();
-  out.link_messages_sent = c_link_messages_sent_->value();
-  out.link_bytes_sent = c_link_bytes_sent_->value();
-  out.retransmissions = c_retransmissions_->value();
-  out.links_opened = c_links_opened_->value();
-  out.links_broken = c_links_broken_->value();
-  out.inquiries = c_inquiries_->value();
-  return out;
+Medium::~Medium() {
+  // Links still open when the world tears down hold their handlers, and
+  // handlers routinely capture Link handles that co-own the LinkState
+  // (session handover guards, server-side keepalive holders). Release them
+  // so those reference cycles cannot outlive the Medium.
+  for (const auto& weak : links_) {
+    if (auto state = weak.lock()) {
+      state->rx_a = nullptr;
+      state->rx_b = nullptr;
+      state->brk_a = nullptr;
+      state->brk_b = nullptr;
+    }
+  }
 }
-
-Medium::~Medium() = default;
 
 NodeId Medium::add_node(std::string name,
                         std::unique_ptr<sim::MobilityModel> mobility) {
@@ -152,7 +153,11 @@ double Medium::signal(NodeId a, NodeId b, const TechProfile& profile) const {
   const Adapter* aa = adapter(a, profile.tech);
   const Adapter* ab = adapter(b, profile.tech);
   if (aa == nullptr || ab == nullptr || !aa->powered() || !ab->powered()) return 0.0;
-  if (profile.via_gateway) return 1.0;  // cellular coverage assumed ubiquitous
+  if (profile.via_gateway) {
+    // Cellular coverage is assumed ubiquitous, but a fault-plane signal
+    // ramp (device descending into a basement) still attenuates it.
+    return attenuated(1.0, a, b);
+  }
   if (profile.infrastructure) {
     // Stations associate with their best access point; APs bridge over the
     // wired distribution system (thesis §2.4.2: "Inter-networking with
@@ -167,9 +172,23 @@ double Medium::signal(NodeId a, NodeId b, const TechProfile& profile) const {
       best_a = std::max(best_a, falloff(distance(pos_a, ap_pos), ap.range_m));
       best_b = std::max(best_b, falloff(distance(pos_b, ap_pos), ap.range_m));
     }
-    return std::min(best_a, best_b);
+    return attenuated(std::min(best_a, best_b), a, b);
   }
-  return falloff(distance(position(a), position(b)), profile.range_m);
+  return attenuated(falloff(distance(position(a), position(b)),
+                            profile.range_m),
+                    a, b);
+}
+
+double Medium::attenuated(double physical, NodeId a, NodeId b) const {
+  if (fault_ == nullptr || physical <= 0.0) return physical;
+  const double factor = std::clamp(fault_->signal_factor(a, b), 0.0, 1.0);
+  return physical * factor;
+}
+
+double Medium::frame_loss(const TechProfile& profile) {
+  const double base = profile.frame_loss;
+  if (fault_ == nullptr) return base;
+  return std::clamp(fault_->frame_loss(profile.tech, base), 0.0, 1.0);
 }
 
 std::vector<NodeId> Medium::nodes_in_range(NodeId node,
@@ -203,8 +222,11 @@ sim::Duration Medium::transfer_time(const TechProfile& profile,
   sim::Duration total = sim::seconds(serialize_s) + profile.base_latency;
   if (profile.via_gateway) total += 2 * profile.gateway_latency;  // up + down
   if (profile.infrastructure) total += profile.ap_relay;  // AP store&forward
+  if (fault_ != nullptr) total += fault_->extra_latency(profile.tech);
   if (reliable) {
-    for (int i = 0; i < kMaxRetransmissions && rng_.chance(profile.frame_loss);
+    // Each retransmission is its own frame attempt: the loss model is
+    // consulted per attempt so burst windows (Gilbert–Elliott) advance.
+    for (int i = 0; i < kMaxRetransmissions && rng_.chance(frame_loss(profile));
          ++i) {
       total += profile.retransmit_delay;
       c_retransmissions_->inc();
@@ -230,7 +252,7 @@ void Medium::deliver_datagram(Adapter& from, NodeId dst, Port port,
       static_cast<double>(payload.size()) * 8.0 / profile.bandwidth_bps);
   const sim::Duration flight = transfer_time(profile, payload.size(), false);
   from.tx_busy_until_ = depart + serialize;
-  if (rng_.chance(profile.frame_loss)) {
+  if (rng_.chance(frame_loss(profile))) {
     c_datagrams_lost_->inc();
     trace_.end_span(span, simulator_.now());
     return;  // connectionless: lost frames are simply gone

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/adapter.hpp"
+#include "net/fault.hpp"
 #include "net/link.hpp"
 #include "net/tech.hpp"
 #include "net/types.hpp"
@@ -33,19 +34,6 @@ namespace ph::net {
 
 class Medium {
  public:
-  /// Traffic counters for benches and tests. Snapshot of the registry's
-  /// `net.medium.*` counters; the registry is the source of truth.
-  struct Stats {
-    std::uint64_t datagrams_sent = 0;
-    std::uint64_t datagrams_lost = 0;
-    std::uint64_t link_messages_sent = 0;
-    std::uint64_t link_bytes_sent = 0;
-    std::uint64_t retransmissions = 0;
-    std::uint64_t links_opened = 0;
-    std::uint64_t links_broken = 0;
-    std::uint64_t inquiries = 0;
-  };
-
   /// Per-technology byte accounting. The thesis' cost argument ("the cost
   /// of data service is low as Bluetooth and WLAN can be primely used",
   /// §5.1) needs to know how many bytes travelled over the metered
@@ -107,13 +95,26 @@ class Medium {
   /// Open links currently carried by `node`'s `tech` radio (piconet load).
   std::size_t open_link_count(NodeId node, Technology tech) const;
 
-  /// Snapshot assembled from the registry's `net.medium.*` counters.
-  Stats stats() const;
+  /// Typed view of the registry's `net.medium.*` instruments
+  /// (`stats().counter("datagrams_sent")`, ...); the registry is the
+  /// source of truth.
+  obs::Snapshot stats() const { return registry_.snapshot("net.medium."); }
   /// Bytes/messages carried by one technology since construction
   /// (snapshot of the registry's `net.tech.<name>.*` counters).
   TechTraffic traffic(Technology tech) const;
   sim::Simulator& simulator() noexcept { return simulator_; }
   sim::Rng& rng() noexcept { return rng_; }
+
+  // --- fault plane ---------------------------------------------------------
+  /// Installs (or, with nullptr, removes) the world's fault injector. The
+  /// Medium consults it on every frame attempt, propagation-delay
+  /// computation and signal sample; without one, behaviour — including RNG
+  /// consumption — is identical to a fault-free world. The injector must
+  /// outlive the Medium or be removed first.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+  FaultInjector* fault_injector() const noexcept { return fault_; }
 
   /// The world's metrics registry. The Medium is the root object every
   /// layer can reach (daemon → medium, stack → medium), so it owns the
@@ -138,6 +139,13 @@ class Medium {
   /// randomized retransmission delays for reliable (link) traffic.
   sim::Duration transfer_time(const TechProfile& profile, std::size_t bytes,
                               bool reliable);
+
+  /// One frame attempt's loss probability: the profile's steady-state
+  /// `frame_loss`, raised by the installed fault injector (burst windows).
+  double frame_loss(const TechProfile& profile);
+
+  /// Applies the fault injector's signal factor to a physical signal.
+  double attenuated(double physical, NodeId a, NodeId b) const;
 
   // Internal helpers used by Adapter/Link (implemented in medium.cpp).
   void deliver_datagram(Adapter& from, NodeId dst, Port port, Bytes payload);
@@ -183,6 +191,7 @@ class Medium {
   obs::Histogram* h_transfer_us_ = nullptr;
   std::array<TechCounters, 3> tech_counters_{};  // indexed by Technology
   NodeId next_node_ = 1;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace ph::net

@@ -76,6 +76,60 @@ const std::vector<double>& operation_bounds_s() {
   return bounds;
 }
 
+std::uint64_t Snapshot::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Snapshot::gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const Histogram* Snapshot::histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+namespace {
+bool same_histogram(const Histogram& a, const Histogram& b) {
+  return a.bounds() == b.bounds() && a.bucket_counts() == b.bucket_counts() &&
+         a.count() == b.count() && a.sum() == b.sum() && a.min() == b.min() &&
+         a.max() == b.max();
+}
+}  // namespace
+
+bool operator==(const Snapshot& a, const Snapshot& b) {
+  if (a.counters_ != b.counters_ || a.gauges_ != b.gauges_) return false;
+  if (a.histograms_.size() != b.histograms_.size()) return false;
+  auto ia = a.histograms_.begin();
+  auto ib = b.histograms_.begin();
+  for (; ia != a.histograms_.end(); ++ia, ++ib) {
+    if (ia->first != ib->first || !same_histogram(ia->second, ib->second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Snapshot Registry::snapshot(const std::string& prefix) const {
+  Snapshot out;
+  out.prefix_ = prefix;
+  const auto matches = [&prefix](const std::string& name) {
+    return name.compare(0, prefix.size(), prefix) == 0;
+  };
+  for (const auto& [name, c] : counters_) {
+    if (matches(name)) out.counters_.emplace(name.substr(prefix.size()), c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (matches(name)) out.gauges_.emplace(name.substr(prefix.size()), g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (matches(name)) out.histograms_.emplace(name.substr(prefix.size()), *h);
+  }
+  return out;
+}
+
 Counter& Registry::counter(const std::string& name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {

@@ -112,6 +112,54 @@ const std::vector<double>& default_latency_bounds_us();
 /// scale): 0.5 s up to 600 s.
 const std::vector<double>& operation_bounds_s();
 
+/// A prefix-scoped, materialized view of a Registry — the one generic
+/// replacement for the per-layer `struct Stats` each component used to
+/// hand-mirror. Instrument names are stored relative to the prefix
+/// (`snapshot("peerhood.daemon.d3.").counter("pings_sent")`), lookups of
+/// absent names return zero/empty, and snapshots compare with == — two
+/// runs of the same seeded scenario are deterministic exactly when their
+/// snapshots are equal.
+class Snapshot {
+ public:
+  Snapshot() = default;
+
+  const std::string& prefix() const noexcept { return prefix_; }
+  bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Counter value relative to the prefix; 0 when absent.
+  std::uint64_t counter(const std::string& name) const;
+  /// Gauge value relative to the prefix; 0.0 when absent.
+  double gauge(const std::string& name) const;
+  /// Histogram copy relative to the prefix; nullptr when absent.
+  const Histogram* histogram(const std::string& name) const;
+
+  const std::map<std::string, std::uint64_t>& counters() const noexcept {
+    return counters_;
+  }
+  const std::map<std::string, double>& gauges() const noexcept {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram>& histograms() const noexcept {
+    return histograms_;
+  }
+
+  /// Value equality over every instrument (prefix excluded so views of
+  /// different devices/worlds can be compared metric-for-metric).
+  friend bool operator==(const Snapshot& a, const Snapshot& b);
+  friend bool operator!=(const Snapshot& a, const Snapshot& b) {
+    return !(a == b);
+  }
+
+ private:
+  friend class Registry;
+  std::string prefix_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
 /// A named collection of instruments. Handles returned by counter() /
 /// gauge() / histogram() are stable for the registry's lifetime; asking
 /// for an existing name returns the same instrument (so independent code
@@ -129,6 +177,11 @@ class Registry {
   Histogram& histogram(const std::string& name,
                        const std::vector<double>& bounds =
                            default_latency_bounds_us());
+
+  /// Materializes every instrument whose name starts with `prefix` into a
+  /// typed view, names stripped of the prefix. An empty prefix snapshots
+  /// the whole registry.
+  Snapshot snapshot(const std::string& prefix = {}) const;
 
   /// Read-only lookups; nullptr when absent.
   const Counter* find_counter(const std::string& name) const;

@@ -43,8 +43,19 @@ struct ConnectOptions {
   bool seamless = true;
   /// Give up resuming after this long without a working link.
   sim::Duration resume_deadline = sim::seconds(15);
-  /// Pause between failed resume sweeps over the technology list.
+  /// Pause before the first failed resume sweep's retry; later sweeps in
+  /// the same recovery back off exponentially (see resume_backoff).
   sim::Duration resume_retry_interval = sim::milliseconds(500);
+  /// Backoff multiplier across consecutive failed sweeps — under a radio
+  /// outage, hammering connects at a fixed cadence wastes the whole
+  /// deadline budget probing a dead medium. Resets once a sweep lands a
+  /// link.
+  double resume_backoff = 2.0;
+  /// Cap on the un-jittered sweep retry delay.
+  sim::Duration resume_retry_cap = sim::seconds(4);
+  /// ±fractional deterministic jitter on each retry delay (drawn from the
+  /// daemon's forked jitter stream; 0 disables).
+  double resume_jitter = 0.1;
   /// Signal-check period for proactive handover (0 disables checks).
   sim::Duration monitor_interval = sim::milliseconds(500);
   /// Below this signal strength the connection hunts for a better radio.

@@ -26,11 +26,12 @@ Daemon::Daemon(net::Medium& medium, DeviceId self, std::string device_name,
       simulator_(medium.simulator()),
       self_(self),
       device_name_(std::move(device_name)),
-      config_(config) {
+      config_(config),
+      jitter_rng_(medium.rng().fork()) {
   obs::Registry& registry = medium_.registry();
   trace_ = &medium_.trace();
-  const std::string prefix =
-      "peerhood.daemon.d" + std::to_string(self_) + ".";
+  metric_prefix_ = "peerhood.daemon.d" + std::to_string(self_) + ".";
+  const std::string& prefix = metric_prefix_;
   c_inquiries_started_ = &registry.counter(prefix + "inquiries_started");
   c_devices_found_ = &registry.counter(prefix + "devices_found");
   c_service_queries_ = &registry.counter(prefix + "service_queries");
@@ -43,18 +44,36 @@ Daemon::Daemon(net::Medium& medium, DeviceId self, std::string device_name,
   c_announcements_sent_ = &registry.counter(prefix + "announcements_sent");
 }
 
-Daemon::Stats Daemon::stats() const {
-  Stats out;
-  out.inquiries_started = c_inquiries_started_->value();
-  out.devices_found = c_devices_found_->value();
-  out.service_queries = c_service_queries_->value();
-  out.service_replies = c_service_replies_->value();
-  out.pings_sent = c_pings_sent_->value();
-  out.pongs_received = c_pongs_received_->value();
-  out.neighbours_appeared = c_neighbours_appeared_->value();
-  out.neighbours_disappeared = c_neighbours_disappeared_->value();
-  out.announcements_sent = c_announcements_sent_->value();
-  return out;
+obs::Snapshot Daemon::stats() const {
+  return medium_.registry().snapshot(metric_prefix_);
+}
+
+std::uint32_t Daemon::allocate_token() {
+  // Wraps safely: token 0 is reserved for unsolicited announcements, and
+  // tokens still owned by an in-flight query or ping are skipped so a
+  // stale timeout can never collide with a fresh exchange.
+  for (;;) {
+    const std::uint32_t token = next_token_++;
+    if (token == 0) continue;
+    if (pending_queries_.contains(token)) continue;
+    bool in_use = false;
+    for (const auto& [id, pending] : pending_pings_) {
+      if (pending == token) {
+        in_use = true;
+        break;
+      }
+    }
+    if (!in_use) return token;
+  }
+}
+
+sim::Backoff Daemon::retry_backoff(sim::Duration base) const {
+  sim::Backoff backoff;
+  backoff.base = base;
+  backoff.multiplier = config_.retry_backoff;
+  backoff.cap = std::max(config_.retry_cap, base);
+  backoff.jitter = config_.retry_jitter;
+  return backoff;
 }
 
 Daemon::~Daemon() { stop(); }
@@ -99,6 +118,26 @@ void Daemon::stop() {
   ++generation_;  // orphan all pending periodic callbacks
   pending_queries_.clear();
   pending_pings_.clear();
+}
+
+void Daemon::restart() {
+  stop();
+  // Cold boot: the table is RAM-only in the real PHD and does not survive
+  // a device blackout. Announced neighbours disappear with cause blackout
+  // so applications (group engines) can tell eviction-by-restart from
+  // eviction-by-churn.
+  auto wiped = std::move(neighbours_);
+  neighbours_.clear();
+  for (auto& [id, neighbour] : wiped) {
+    (void)id;
+    if (!neighbour.announced) continue;
+    c_neighbours_disappeared_->inc();
+    notify(NeighbourEvent::Kind::disappeared, neighbour.info,
+           GoneCause::blackout);
+  }
+  PH_LOG(info, "phd") << device_name_ << ": daemon cold-restarted, "
+                      << wiped.size() << " neighbour(s) wiped";
+  start();
 }
 
 Result<void> Daemon::register_service(ServiceInfo service) {
@@ -169,19 +208,36 @@ std::vector<std::pair<DeviceInfo, ServiceInfo>> Daemon::find_service(
   return out;
 }
 
-Daemon::MonitorId Daemon::monitor_all(MonitorCallbacks callbacks) {
+Daemon::MonitorId Daemon::monitor_all(NeighbourHandler handler) {
   const MonitorId id = next_monitor_++;
-  monitors_.emplace(id, Monitor{net::kInvalidNode, std::move(callbacks)});
+  monitors_.emplace(id, Monitor{net::kInvalidNode, std::move(handler)});
   return id;
 }
 
-Daemon::MonitorId Daemon::monitor_device(DeviceId device, MonitorCallbacks callbacks) {
+Daemon::MonitorId Daemon::monitor_device(DeviceId device,
+                                         NeighbourHandler handler) {
   const MonitorId id = next_monitor_++;
-  monitors_.emplace(id, Monitor{device, std::move(callbacks)});
+  monitors_.emplace(id, Monitor{device, std::move(handler)});
   return id;
 }
 
 void Daemon::unmonitor(MonitorId id) { monitors_.erase(id); }
+
+void Daemon::notify(NeighbourEvent::Kind kind, const DeviceInfo& device,
+                    GoneCause cause) {
+  NeighbourEvent event;
+  event.kind = kind;
+  event.device = device;
+  event.cause = cause;
+  // Iterate a copy: handlers may (un)register monitors.
+  for (const auto& [mid, monitor] : std::map(monitors_)) {
+    (void)mid;
+    if (monitor.device != net::kInvalidNode && monitor.device != device.id) {
+      continue;
+    }
+    if (monitor.handler) monitor.handler(event);
+  }
+}
 
 void Daemon::trigger_discovery() {
   for (auto& plugin : plugins_) run_inquiry(*plugin);
@@ -230,11 +286,7 @@ void Daemon::handle_inquiry_result(NetworkPlugin& plugin,
     if (!neighbour.info.has_technology(tech)) {
       neighbour.info.technologies.push_back(tech);
       if (neighbour.announced) {
-        for (const auto& [mid, monitor] : std::map(monitors_)) {
-          (void)mid;
-          if (monitor.device != net::kInvalidNode && monitor.device != id) continue;
-          if (monitor.callbacks.on_update) monitor.callbacks.on_update(neighbour.info);
-        }
+        notify(NeighbourEvent::Kind::updated, neighbour.info);
       }
     }
     const bool query_pending = std::any_of(
@@ -253,7 +305,7 @@ void Daemon::send_service_query(DeviceId target, net::Technology tech,
                                 int attempts_left) {
   NetworkPlugin* plugin = plugin_for(tech);
   if (plugin == nullptr) return;
-  const std::uint32_t token = next_token_++;
+  const std::uint32_t token = allocate_token();
   c_service_queries_->inc();
   const obs::SpanId span = trace_->begin_span(
       "peerhood.service_query", simulator_.now(), self_, "service_query");
@@ -272,7 +324,13 @@ void Daemon::send_service_query(DeviceId target, net::Technology tech,
   const net::TechProfile& profile = plugin->profile();
   sim::Duration round_trip = 2 * profile.base_latency;
   if (profile.via_gateway) round_trip += 4 * profile.gateway_latency;
-  const sim::Duration timeout = std::max(config_.reply_timeout, 2 * round_trip);
+  const sim::Duration base = std::max(config_.reply_timeout, 2 * round_trip);
+  // Later attempts wait exponentially longer (capped, jittered): under a
+  // burst-loss window hammering retries at a fixed cadence just feeds the
+  // burst, while backed-off retries land after it passes.
+  const int attempt = std::max(0, config_.query_retries - attempts_left);
+  const sim::Duration timeout =
+      retry_backoff(base).delay(attempt, jitter_rng_);
   PendingQuery pending;
   pending.target = target;
   pending.tech = tech;
@@ -375,11 +433,7 @@ void Daemon::apply_service_reply(NetworkPlugin& plugin, DeviceId src,
   neighbour.info.services = std::move(services);
   neighbour.services_known = true;
   if (neighbour.announced && changed) {
-    for (const auto& [mid, monitor] : std::map(monitors_)) {
-      (void)mid;
-      if (monitor.device != net::kInvalidNode && monitor.device != src) continue;
-      if (monitor.callbacks.on_update) monitor.callbacks.on_update(neighbour.info);
-    }
+    notify(NeighbourEvent::Kind::updated, neighbour.info);
   }
   announce_if_ready(neighbour);
 }
@@ -417,55 +471,78 @@ void Daemon::run_ping_round() {
     it = pending_pings_.erase(it);
     if (neighbour == neighbours_.end()) continue;
     if (++neighbour->second.missed_pings >= config_.max_missed_pings) {
-      declare_gone(neighbour->first);
+      declare_gone(neighbour->first, GoneCause::missed_pings);
     }
   }
   for (auto& [id, neighbour] : neighbours_) {
-    // Ping over the best-signal technology this device is known on.
-    NetworkPlugin* best = nullptr;
-    double best_signal = 0.0;
-    for (auto& plugin : plugins_) {
-      if (!neighbour.info.has_technology(plugin->technology())) continue;
-      const double s = plugin->adapter().signal_to(id);
-      if (s > best_signal) {
-        best_signal = s;
-        best = plugin.get();
-      }
-    }
-    if (best == nullptr) {
+    if (!send_ping(id, 0)) {
       // Out of range on every technology: counts as a missed ping without
       // wasting a frame.
       if (++neighbour.missed_pings >= config_.max_missed_pings) {
-        declare_gone(id);
+        declare_gone(id, GoneCause::missed_pings);
         break;  // neighbours_ mutated; next round handles the rest
       }
-      continue;
     }
-    const std::uint32_t token = next_token_++;
-    pending_pings_[id] = token;
-    c_pings_sent_->inc();
-    proto::DaemonMessage ping;
-    ping.op = proto::DaemonOp::ping;
-    ping.token = token;
-    ping.device_name = device_name_;
-    best->adapter().send_datagram(id, net::kDaemonPort, proto::encode(ping));
   }
 }
 
-void Daemon::declare_gone(DeviceId id) {
+bool Daemon::send_ping(DeviceId id, int attempt) {
+  auto it = neighbours_.find(id);
+  if (it == neighbours_.end()) return false;
+  // Ping over the best-signal technology this device is known on.
+  NetworkPlugin* best = nullptr;
+  double best_signal = 0.0;
+  for (auto& plugin : plugins_) {
+    if (!it->second.info.has_technology(plugin->technology())) continue;
+    const double s = plugin->adapter().signal_to(id);
+    if (s > best_signal) {
+      best_signal = s;
+      best = plugin.get();
+    }
+  }
+  if (best == nullptr) return false;
+  const std::uint32_t token = allocate_token();
+  pending_pings_[id] = token;
+  c_pings_sent_->inc();
+  proto::DaemonMessage ping;
+  ping.op = proto::DaemonOp::ping;
+  ping.token = token;
+  ping.device_name = device_name_;
+  best->adapter().send_datagram(id, net::kDaemonPort, proto::encode(ping));
+  schedule_ping_retry(id, token, attempt);
+  return true;
+}
+
+void Daemon::schedule_ping_retry(DeviceId id, std::uint32_t token,
+                                 int attempt) {
+  // In-round retries: a pong missing after the (backed-off) reply window
+  // triggers another ping before the round closes, so one frame eaten by a
+  // loss burst does not already count towards eviction. The missed-ping
+  // count itself stays round-based.
+  if (attempt >= config_.ping_retries) return;
+  const std::uint64_t gen = generation_;
+  const sim::Duration delay =
+      retry_backoff(config_.reply_timeout).delay(attempt, jitter_rng_);
+  simulator_.schedule(delay, [this, gen, id, token, attempt] {
+    if (!running_ || gen != generation_) return;
+    auto pending = pending_pings_.find(id);
+    // Answered, evicted, or superseded by the next round meanwhile.
+    if (pending == pending_pings_.end() || pending->second != token) return;
+    send_ping(id, attempt + 1);
+  });
+}
+
+void Daemon::declare_gone(DeviceId id, GoneCause cause) {
   auto it = neighbours_.find(id);
   if (it == neighbours_.end()) return;
   const bool was_announced = it->second.announced;
+  const DeviceInfo last_known = it->second.info;
   neighbours_.erase(it);
   pending_pings_.erase(id);
   if (!was_announced) return;
   c_neighbours_disappeared_->inc();
   PH_LOG(info, "phd") << device_name_ << ": device " << id << " disappeared";
-  for (const auto& [mid, monitor] : std::map(monitors_)) {
-    (void)mid;
-    if (monitor.device != net::kInvalidNode && monitor.device != id) continue;
-    if (monitor.callbacks.on_disappear) monitor.callbacks.on_disappear(id);
-  }
+  notify(NeighbourEvent::Kind::disappeared, last_known, cause);
 }
 
 void Daemon::announce_if_ready(Neighbour& neighbour) {
@@ -475,12 +552,9 @@ void Daemon::announce_if_ready(Neighbour& neighbour) {
   PH_LOG(info, "phd") << device_name_ << ": device '" << neighbour.info.name
                       << "' (" << neighbour.info.id << ") appeared with "
                       << neighbour.info.services.size() << " service(s)";
+  // Snapshot first: handlers may mutate the neighbour table.
   const DeviceInfo snapshot = neighbour.info;
-  for (const auto& [mid, monitor] : std::map(monitors_)) {
-    (void)mid;
-    if (monitor.device != net::kInvalidNode && monitor.device != snapshot.id) continue;
-    if (monitor.callbacks.on_appear) monitor.callbacks.on_appear(snapshot);
-  }
+  notify(NeighbourEvent::Kind::appeared, snapshot);
 }
 
 void Daemon::expire_stale_entries() {
@@ -489,7 +563,7 @@ void Daemon::expire_stale_entries() {
   for (const auto& [id, neighbour] : neighbours_) {
     if (neighbour.info.last_seen + config_.entry_ttl < now) stale.push_back(id);
   }
-  for (DeviceId id : stale) declare_gone(id);
+  for (DeviceId id : stale) declare_gone(id, GoneCause::expired);
 }
 
 }  // namespace ph::peerhood

@@ -35,6 +35,7 @@
 #include "peerhood/plugin.hpp"
 #include "peerhood/types.hpp"
 #include "proto/daemon.hpp"
+#include "sim/backoff.hpp"
 #include "util/result.hpp"
 
 namespace ph::peerhood {
@@ -54,37 +55,50 @@ struct DaemonConfig {
   /// Neighbour entries not refreshed for this long are dropped even
   /// without ping evidence (safety net).
   sim::Duration entry_ttl = sim::minutes(2);
+  /// Retry hardening (fault plane): failed service queries back off
+  /// exponentially — attempt n waits base * retry_backoff^n, where base is
+  /// that attempt's reply window — capped at `retry_cap`, with
+  /// ±`retry_jitter` deterministic jitter drawn from a stream forked off
+  /// the world RNG at daemon construction.
+  double retry_backoff = 2.0;
+  sim::Duration retry_cap = sim::seconds(8);
+  double retry_jitter = 0.1;
+  /// Extra ping attempts within one ping round when a pong does not arrive
+  /// inside the (backed-off) reply window — burst-loss resilience. Missed
+  /// counting stays round-based, so the thesis' detection bound
+  /// (max_missed_pings + 1) * ping_interval is unchanged.
+  int ping_retries = 1;
 };
 
-/// Callbacks for active monitoring (thesis Table 3, "Active monitoring of a
-/// device"): the application is notified when a monitored device enters or
-/// leaves the neighbourhood.
-struct MonitorCallbacks {
-  std::function<void(const DeviceInfo&)> on_appear;
-  /// Fired when an already-known device's service list or technology set
-  /// changes.
-  std::function<void(const DeviceInfo&)> on_update;
-  std::function<void(DeviceId)> on_disappear;
+/// Why a neighbour left this device's neighbourhood view.
+enum class GoneCause {
+  missed_pings,  ///< max_missed_pings consecutive unanswered liveness probes
+  expired,       ///< entry_ttl safety net fired without ping evidence
+  blackout,      ///< this daemon cold-restarted; the table did not survive
 };
+
+/// One neighbourhood change (thesis Table 3, "Active monitoring of a
+/// device"), delivered through a single handler.
+struct NeighbourEvent {
+  enum class Kind {
+    appeared,      ///< device entered the neighbourhood, services known
+    updated,       ///< known device's service list or technology set changed
+    disappeared,   ///< device left; `cause` says why
+  };
+  Kind kind = Kind::appeared;
+  /// Last known state of the device — still populated for `disappeared`,
+  /// so handlers can clean up by name/services, not just id.
+  DeviceInfo device;
+  /// Meaningful only when kind == disappeared.
+  GoneCause cause = GoneCause::missed_pings;
+};
+
+/// Receives every NeighbourEvent a monitor matches.
+using NeighbourHandler = std::function<void(const NeighbourEvent&)>;
 
 class Daemon {
  public:
   using MonitorId = std::uint64_t;
-
-  /// Snapshot of the registry's `peerhood.daemon.d<self>.*` counters; the
-  /// medium's per-world registry is the source of truth.
-  struct Stats {
-    std::uint64_t inquiries_started = 0;
-    std::uint64_t devices_found = 0;
-    std::uint64_t service_queries = 0;
-    std::uint64_t service_replies = 0;
-    std::uint64_t pings_sent = 0;
-    std::uint64_t pongs_received = 0;
-    std::uint64_t neighbours_appeared = 0;
-    std::uint64_t neighbours_disappeared = 0;
-    /// Unsolicited service broadcasts sent (WLAN push announcements).
-    std::uint64_t announcements_sent = 0;
-  };
 
   Daemon(net::Medium& medium, DeviceId self, std::string device_name,
          DaemonConfig config = {});
@@ -100,6 +114,11 @@ class Daemon {
   void start();
   /// Stops the loops; the neighbour table is retained.
   void stop();
+  /// Cold boot after a whole-device blackout (fault plane): stops the
+  /// loops, wipes the neighbour table — every announced neighbour fires
+  /// `disappeared` with GoneCause::blackout — and starts fresh, so the
+  /// table is rebuilt from re-discovery alone.
+  void restart();
   bool running() const noexcept { return running_; }
 
   DeviceId self() const noexcept { return self_; }
@@ -124,17 +143,19 @@ class Daemon {
 
   // --- monitoring ---------------------------------------------------------
   /// Monitors the whole neighbourhood.
-  MonitorId monitor_all(MonitorCallbacks callbacks);
+  MonitorId monitor_all(NeighbourHandler handler);
   /// Monitors one device only.
-  MonitorId monitor_device(DeviceId id, MonitorCallbacks callbacks);
+  MonitorId monitor_device(DeviceId id, NeighbourHandler handler);
   void unmonitor(MonitorId id);
 
   /// Starts one immediate discovery round on every plugin (benches use this
   /// to measure cold-start discovery without waiting for the timer).
   void trigger_discovery();
 
-  /// Snapshot assembled from the registry counters.
-  Stats stats() const;
+  /// Typed view of the registry's `peerhood.daemon.d<self>.*` instruments
+  /// (`stats().counter("pings_sent")`, ...); the medium's per-world
+  /// registry is the source of truth.
+  obs::Snapshot stats() const;
   const std::vector<std::unique_ptr<NetworkPlugin>>& plugins() const {
     return plugins_;
   }
@@ -143,6 +164,10 @@ class Daemon {
 
   sim::Simulator& simulator() noexcept { return simulator_; }
   net::Medium& medium() noexcept { return medium_; }
+  /// Deterministic jitter stream for retry backoff (also used by session
+  /// resume sweeps); forked off the world RNG at construction so the same
+  /// seed replays the same retry schedule.
+  sim::Rng& jitter_rng() noexcept { return jitter_rng_; }
 
  private:
   struct Neighbour {
@@ -160,11 +185,24 @@ class Daemon {
     obs::SpanId span = 0;  // closed when answered or given up
   };
 
+  struct Monitor {
+    DeviceId device = net::kInvalidNode;  // kInvalidNode = all devices
+    NeighbourHandler handler;
+  };
+
   void bind_control_port(NetworkPlugin& plugin);
   void schedule_inquiry(NetworkPlugin& plugin, sim::Duration delay);
   void run_inquiry(NetworkPlugin& plugin);
   void handle_inquiry_result(NetworkPlugin& plugin, std::vector<DeviceId> found);
-  void send_service_query(DeviceId target, net::Technology tech, int attempts_left);
+  void send_service_query(DeviceId target, net::Technology tech,
+                          int attempts_left);
+  /// Next free query/ping token; wraps and skips tokens still owned by an
+  /// in-flight exchange, so week-long soaks can never collide a stale
+  /// timeout with a fresh query.
+  std::uint32_t allocate_token();
+  /// Backoff policy for query/ping retries (base = that exchange's reply
+  /// window).
+  sim::Backoff retry_backoff(sim::Duration base) const;
   void on_daemon_datagram(NetworkPlugin& plugin, DeviceId src, BytesView payload);
   /// Updates the neighbour table from a SERVICE_REPLY (answered query or
   /// unsolicited broadcast announcement).
@@ -176,9 +214,17 @@ class Daemon {
   void announce_services();
   void schedule_ping_round();
   void run_ping_round();
-  void declare_gone(DeviceId id);
+  /// Sends one ping to `id` (over the best-signal plugin it is known on)
+  /// and arms the in-round retry timer. Returns false when no radio
+  /// reaches the device.
+  bool send_ping(DeviceId id, int attempt);
+  void schedule_ping_retry(DeviceId id, std::uint32_t token, int attempt);
+  void declare_gone(DeviceId id, GoneCause cause);
   void announce_if_ready(Neighbour& neighbour);
   void expire_stale_entries();
+  /// Fans one event out to every matching monitor.
+  void notify(NeighbourEvent::Kind kind, const DeviceInfo& device,
+              GoneCause cause = GoneCause::missed_pings);
 
   net::Medium& medium_;
   sim::Simulator& simulator_;
@@ -194,10 +240,6 @@ class Daemon {
   std::map<DeviceId, std::uint32_t> pending_pings_;  // device -> token
   std::uint32_t next_token_ = 1;
 
-  struct Monitor {
-    DeviceId device = net::kInvalidNode;  // kInvalidNode = all devices
-    MonitorCallbacks callbacks;
-  };
   std::map<MonitorId, Monitor> monitors_;
   MonitorId next_monitor_ = 1;
 
@@ -205,8 +247,12 @@ class Daemon {
   /// generation recognise themselves as stale and do not reschedule.
   std::uint64_t generation_ = 0;
 
+  /// Jitter stream for retry backoff; see jitter_rng().
+  sim::Rng jitter_rng_;
+
   // Registry handles (`peerhood.daemon.d<self>.*`) into the medium's
   // per-world registry; the trace journal is shared the same way.
+  std::string metric_prefix_;
   obs::Trace* trace_ = nullptr;
   obs::Counter* c_inquiries_started_ = nullptr;
   obs::Counter* c_devices_found_ = nullptr;

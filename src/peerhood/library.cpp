@@ -10,11 +10,24 @@ namespace ph::peerhood {
 PeerHood::PeerHood(Daemon& daemon) : daemon_(daemon) {}
 
 PeerHood::~PeerHood() {
+  // Sessions that outlive the library: release their callbacks. Accept
+  // handlers routinely keep the Connection alive from inside its own
+  // on_message (the keepalive idiom), which is a reference cycle through
+  // SessionState that only the session's end — or this — can break.
+  auto release = [](const std::weak_ptr<detail::SessionState>& weak_session) {
+    if (auto session = weak_session.lock()) {
+      session->on_message = nullptr;
+      session->on_close = nullptr;
+      session->on_ended = nullptr;
+    }
+  };
   for (auto& [name, endpoint] : endpoints_) {
     for (auto& plugin : daemon_.plugins()) {
       plugin->adapter().stop_listen(endpoint->info.port);
     }
+    for (auto& [id, weak_session] : endpoint->sessions) release(weak_session);
   }
+  for (auto& weak_session : detached_sessions_) release(weak_session);
 }
 
 Result<void> PeerHood::register_service(
@@ -25,7 +38,10 @@ Result<void> PeerHood::register_service(
   }
   ServiceInfo info;
   info.name = name;
-  info.port = next_port_++;
+  info.port = allocate_port();
+  if (info.port == 0) {
+    return Error{Errc::invalid_argument, "no free service ports"};
+  }
   info.attributes = std::move(attributes);
   if (auto r = daemon_.register_service(info); !r) return r;
 
@@ -46,6 +62,29 @@ Result<void> PeerHood::register_service(
   return ok();
 }
 
+net::Port PeerHood::allocate_port() {
+  // Application ports live in [1000, 65535] (net/types.hpp). A long-lived
+  // device registering/unregistering services for weeks walks next_port_
+  // off the end; wrap instead of overflowing into the daemon's control
+  // range, and skip ports a live endpoint still listens on.
+  constexpr net::Port kFirst = 1000;
+  constexpr net::Port kLast = 65535;
+  for (std::uint32_t scanned = 0; scanned <= kLast - kFirst; ++scanned) {
+    if (next_port_ < kFirst) next_port_ = kFirst;
+    const net::Port port = next_port_;
+    next_port_ = port == kLast ? kFirst : static_cast<net::Port>(port + 1);
+    bool taken = false;
+    for (const auto& [name, endpoint] : endpoints_) {
+      if (endpoint->info.port == port) {
+        taken = true;
+        break;
+      }
+    }
+    if (!taken) return port;
+  }
+  return 0;
+}
+
 Result<void> PeerHood::unregister_service(const std::string& name) {
   auto it = endpoints_.find(name);
   if (it == endpoints_.end()) {
@@ -55,6 +94,11 @@ Result<void> PeerHood::unregister_service(const std::string& name) {
     plugin->adapter().stop_listen(it->second->info.port);
   }
   (void)daemon_.unregister_service(name);
+  // The endpoint dies, its live sessions don't — remember them so the
+  // destructor can still release their callbacks.
+  for (auto& [id, weak_session] : it->second->sessions) {
+    if (!weak_session.expired()) detached_sessions_.push_back(weak_session);
+  }
   endpoints_.erase(it);
   return ok();
 }

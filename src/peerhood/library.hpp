@@ -77,6 +77,10 @@ class PeerHood {
 
   void accept_link(const std::shared_ptr<ServiceEndpoint>& endpoint,
                    net::Link link);
+  /// Next free application port (>= 1000); wraps at 65535 and skips ports
+  /// still bound to a registered service. Returns 0 when every port is
+  /// taken.
+  net::Port allocate_port();
   void try_connect(std::shared_ptr<detail::SessionState> state,
                    std::vector<NetworkPlugin*> candidates, std::size_t index,
                    Error last_error, ConnectCallback done);
@@ -85,6 +89,10 @@ class PeerHood {
   // shared_ptr: in-flight handshakes hold weak references, so unregistering
   // a service while a link is mid-handshake stays safe.
   std::map<std::string, std::shared_ptr<ServiceEndpoint>> endpoints_;
+  /// Sessions of since-unregistered services: they keep running without
+  /// their endpoint, but the destructor must still be able to release
+  /// their callbacks (see ~PeerHood).
+  std::vector<std::weak_ptr<detail::SessionState>> detached_sessions_;
   net::Port next_port_ = 1000;
 };
 

@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "peerhood/session_state.hpp"
+#include "sim/backoff.hpp"
 #include "proto/codec.hpp"
 #include "util/log.hpp"
 
@@ -97,6 +98,7 @@ void SessionState::handle_wire(const SessionWire& wire) {
         resuming = false;
         established = true;
         ++handovers;
+        resume_attempts = 0;  // recovered: next break backs off from scratch
         simulator().cancel(resume_timer);
         retransmit_from(wire.seq);
         arm_monitor();
@@ -204,13 +206,9 @@ void SessionState::on_link_break() {
   if (initiator) {
     if (resuming) {
       // A resume attempt's own link died (peer refused, moved, or the
-      // radio flapped): sweep again shortly; the deadline timer is still
-      // armed from the original break.
-      auto weak = weak_from_this();
-      simulator().schedule(options.resume_retry_interval, [weak] {
-        auto self = weak.lock();
-        if (self) self->resume_sweep();
-      });
+      // radio flapped): sweep again after backoff; the deadline timer is
+      // still armed from the original break.
+      schedule_resume_retry();
       return;
     }
     start_resume();
@@ -232,9 +230,25 @@ void SessionState::arm_server_wait() {
       });
 }
 
+void SessionState::schedule_resume_retry() {
+  sim::Backoff backoff;
+  backoff.base = options.resume_retry_interval;
+  backoff.multiplier = options.resume_backoff;
+  backoff.cap = std::max(options.resume_retry_cap, options.resume_retry_interval);
+  backoff.jitter = options.resume_jitter;
+  const sim::Duration delay =
+      backoff.delay(resume_attempts++, daemon->jitter_rng());
+  auto weak = weak_from_this();
+  simulator().schedule(delay, [weak] {
+    auto self = weak.lock();
+    if (self) self->resume_sweep();
+  });
+}
+
 void SessionState::start_resume() {
   if (resuming) return;
   resuming = true;
+  resume_attempts = 0;
   PH_LOG(info, "conn") << "session " << id
                        << " lost its link; hunting for an alternative";
   auto weak = weak_from_this();
@@ -271,13 +285,9 @@ void SessionState::resume_sweep() {
               return a.plugin->preference() < b.plugin->preference();
             });
   if (candidates.empty()) {
-    // Nothing reachable right now; try again shortly (peer may walk back
-    // into range before the deadline).
-    auto weak = weak_from_this();
-    simulator().schedule(options.resume_retry_interval, [weak] {
-      auto self = weak.lock();
-      if (self) self->resume_sweep();
-    });
+    // Nothing reachable right now; back off and retry (the peer may walk
+    // back into range — or the outage end — before the deadline).
+    schedule_resume_retry();
     return;
   }
   auto weak = weak_from_this();
@@ -290,11 +300,7 @@ void SessionState::resume_sweep() {
           return;
         }
         if (!result) {
-          self->simulator().schedule(self->options.resume_retry_interval,
-                                     [weak] {
-                                       auto s = weak.lock();
-                                       if (s) s->resume_sweep();
-                                     });
+          self->schedule_resume_retry();
           return;
         }
         self->attach_link(*result);

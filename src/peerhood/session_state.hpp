@@ -50,6 +50,8 @@ struct SessionState : std::enable_shared_from_this<SessionState> {
   bool closed = false;
   bool resuming = false;
   int handovers = 0;
+  /// Failed sweeps in the current recovery; drives the retry backoff.
+  int resume_attempts = 0;
 
   // Reliability.
   std::uint32_t next_seq = 1;       // next outgoing sequence number
@@ -82,6 +84,9 @@ struct SessionState : std::enable_shared_from_this<SessionState> {
   void on_link_break();
   void start_resume();
   void resume_sweep();
+  /// Schedules the next sweep after a failure, backing off exponentially
+  /// (capped + jittered) across consecutive failures.
+  void schedule_resume_retry();
   void arm_monitor();
   void check_signal();
   void retransmit_from(std::uint32_t peer_last_delivered);

@@ -22,4 +22,18 @@ void Stack::set_radio_powered(net::Technology tech, bool on) {
   }
 }
 
+void Stack::blackout() {
+  daemon_->stop();
+  for (const auto& plugin : daemon_->plugins()) {
+    plugin->adapter().set_powered(false);
+  }
+}
+
+void Stack::restart() {
+  for (const auto& plugin : daemon_->plugins()) {
+    plugin->adapter().set_powered(true);
+  }
+  daemon_->restart();
+}
+
 }  // namespace ph::peerhood

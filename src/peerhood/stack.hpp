@@ -40,6 +40,16 @@ class Stack {
   /// Powers one radio on/off (failure injection, battery saving).
   void set_radio_powered(net::Technology tech, bool on);
 
+  /// Whole-device blackout (fault plane): the daemon stops and every radio
+  /// powers off, as if the battery was pulled. Neighbours evict this
+  /// device through missed pings; local state (services, accounts) stays,
+  /// like flash storage would.
+  void blackout();
+  /// Boot after a blackout: radios power on and the daemon cold-restarts —
+  /// the neighbour table is wiped (monitors see GoneCause::blackout) and
+  /// rebuilt from re-discovery.
+  void restart();
+
  private:
   net::Medium& medium_;
   DeviceId id_;

@@ -1,0 +1,43 @@
+// Capped exponential backoff with deterministic jitter.
+//
+// The retry policy shared by the daemon's service queries/pings and the
+// session resume sweeps. Pure arithmetic over an injected Rng: the same
+// seed replays the same retry schedule, which is what keeps fault-plane
+// runs byte-identical (ISSUE 2's determinism guarantee).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace ph::sim {
+
+struct Backoff {
+  /// Delay before the first retry; attempt n waits base * multiplier^n.
+  Duration base = seconds(1);
+  double multiplier = 2.0;
+  /// Upper bound on the un-jittered delay.
+  Duration cap = seconds(8);
+  /// Fraction of the delay drawn uniformly as ±jitter (0 disables; the
+  /// draw still does NOT happen at 0 so RNG streams stay comparable).
+  double jitter = 0.1;
+
+  /// Delay before retry number `attempt` (0-based), jittered via `rng`.
+  Duration delay(int attempt, Rng& rng) const {
+    double scaled = static_cast<double>(base);
+    for (int i = 0; i < attempt; ++i) {
+      scaled *= multiplier;
+      if (scaled >= static_cast<double>(cap)) break;
+    }
+    scaled = std::min(scaled, static_cast<double>(cap));
+    if (jitter > 0.0) {
+      scaled *= rng.uniform(1.0 - jitter, 1.0 + jitter);
+    }
+    const auto out = static_cast<std::uint64_t>(scaled);
+    return out == 0 ? Duration{1} : Duration{out};
+  }
+};
+
+}  // namespace ph::sim

@@ -14,18 +14,15 @@ SnsServer::SnsServer(net::Medium& medium, SiteProfile site)
       std::make_unique<sim::StaticMobility>(sim::Vec2{0.0, 0.0}));
   net::Adapter& adapter = medium_.add_adapter(node_, net::gprs());
   adapter.listen(kSnsPort, [this](net::Link link) { on_accept(link); });
-  const std::string prefix = "sns.server.d" + std::to_string(node_) + ".";
+  metric_prefix_ = "sns.server.d" + std::to_string(node_) + ".";
+  const std::string& prefix = metric_prefix_;
   c_pages_served_ = &medium_.registry().counter(prefix + "pages_served");
   c_bytes_served_ = &medium_.registry().counter(prefix + "bytes_served");
   c_joins_ = &medium_.registry().counter(prefix + "joins");
 }
 
-SnsServer::Stats SnsServer::stats() const {
-  Stats out;
-  out.pages_served = c_pages_served_->value();
-  out.bytes_served = c_bytes_served_->value();
-  out.joins = c_joins_->value();
-  return out;
+obs::Snapshot SnsServer::stats() const {
+  return medium_.registry().snapshot(metric_prefix_);
 }
 
 void SnsServer::add_group(const std::string& name) { groups_[name]; }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/medium.hpp"
+#include "obs/metrics.hpp"
 #include "sns/protocol.hpp"
 #include "sns/types.hpp"
 
@@ -27,12 +28,6 @@ class SnsServer {
  public:
   /// Snapshot of the registry's `sns.server.d<node>.*` counters; the
   /// medium's per-world registry is the source of truth.
-  struct Stats {
-    std::uint64_t pages_served = 0;
-    std::uint64_t bytes_served = 0;
-    std::uint64_t joins = 0;
-  };
-
   /// Creates the server's node (static, position irrelevant: GPRS routes
   /// through the gateway) and starts listening.
   SnsServer(net::Medium& medium, SiteProfile site);
@@ -54,8 +49,9 @@ class SnsServer {
   /// Pure page dispatch (unit-testable): the response for one request.
   PageResponse handle(const PageRequest& request);
 
-  /// Snapshot assembled from the registry counters.
-  Stats stats() const;
+  /// Typed view of the registry's `sns.server.d<node>.*` counters
+  /// (`pages_served`, `bytes_served`, `joins`).
+  obs::Snapshot stats() const;
 
  private:
   void on_accept(net::Link link);
@@ -69,6 +65,7 @@ class SnsServer {
   std::map<std::string, std::vector<std::string>> inboxes_;
   std::map<std::string, std::vector<std::string>> comments_;
   // Registry handles (`sns.server.d<node>.*`) into the medium's registry.
+  std::string metric_prefix_;
   obs::Counter* c_pages_served_ = nullptr;
   obs::Counter* c_bytes_served_ = nullptr;
   obs::Counter* c_joins_ = nullptr;

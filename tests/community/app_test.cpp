@@ -133,7 +133,7 @@ TEST_F(AppTest, DepartingPeerIsEvictedFromGroups) {
   ASSERT_TRUE(run_until(
       simulator_, [&] { return !group_formed(alice, "football"); },
       sim::minutes(2)));
-  EXPECT_EQ(alice.app->stats().peers_gone, 1u);
+  EXPECT_EQ(alice.app->stats().counter("peers_gone"), 1u);
   EXPECT_EQ(alice.app->member_on(devices_[1]->stack->id()), "");
 }
 
@@ -141,7 +141,7 @@ TEST_F(AppTest, AddInterestAfterLoginReevaluatesGroups) {
   Device& alice = make_device("alice", {0, 0}, {"movies"});
   make_device("bob", {3, 0}, {"football"});
   ASSERT_TRUE(run_until(
-      simulator_, [&] { return alice.app->stats().peers_probed > 0; },
+      simulator_, [&] { return alice.app->stats().counter("peers_probed") > 0; },
       sim::seconds(30)));
   simulator_.run_until(simulator_.now() + sim::seconds(5));
   EXPECT_FALSE(group_formed(alice, "football"));
@@ -153,7 +153,7 @@ TEST_F(AppTest, RemoteInterestEditVisibleAfterRefresh) {
   Device& alice = make_device("alice", {0, 0}, {"football"});
   Device& bob = make_device("bob", {3, 0}, {"chess"});
   ASSERT_TRUE(run_until(
-      simulator_, [&] { return alice.app->stats().peers_probed > 0; },
+      simulator_, [&] { return alice.app->stats().counter("peers_probed") > 0; },
       sim::seconds(30)));
   EXPECT_FALSE(group_formed(alice, "football"));
   // Bob picks up football; alice's periodic re-probe (10 s) spots it.
@@ -168,7 +168,7 @@ TEST_F(AppTest, TeachSynonymMergesLiveGroups) {
   Device& alice = make_device("alice", {0, 0}, {"biking"});
   make_device("bob", {3, 0}, {"cycling"});
   ASSERT_TRUE(run_until(
-      simulator_, [&] { return alice.app->stats().peers_probed > 0; },
+      simulator_, [&] { return alice.app->stats().counter("peers_probed") > 0; },
       sim::seconds(30)));
   simulator_.run_until(simulator_.now() + sim::seconds(2));
   EXPECT_FALSE(group_formed(alice, "biking"));  // fragmented
@@ -182,7 +182,7 @@ TEST_F(AppTest, ManualJoinAndLeave) {
   Device& alice = make_device("alice", {0, 0}, {"movies"});
   make_device("bob", {3, 0}, {"chess"});
   ASSERT_TRUE(run_until(
-      simulator_, [&] { return alice.app->stats().peers_probed > 0; },
+      simulator_, [&] { return alice.app->stats().counter("peers_probed") > 0; },
       sim::seconds(30)));
   simulator_.run_until(simulator_.now() + sim::seconds(2));
   ASSERT_TRUE(alice.app->join_group("chess").ok());
@@ -278,7 +278,7 @@ TEST_F(AttributeModeTest, GroupsFormWithoutProbeRpcs) {
       simulator_, [&] { return group_formed(alice, "football"); },
       sim::seconds(30)));
   // No probe traffic: group discovery came from service attributes.
-  EXPECT_EQ(alice.app->client().stats().rpcs_sent, 0u);
+  EXPECT_EQ(alice.app->client().stats().counter("rpcs_sent"), 0u);
   EXPECT_EQ(alice.app->member_on(devices_[1]->stack->id()), "bob");
 }
 
@@ -310,7 +310,7 @@ TEST_F(AttributeModeTest, AdvertisingPeerWithPlainPeerStillWorks) {
       sim::minutes(1)));
   // The advertising side had to fall back to RPC probing for the plain
   // peer (whose advertisement carries no attributes).
-  EXPECT_GT(advertising.app->client().stats().rpcs_sent, 0u);
+  EXPECT_GT(advertising.app->client().stats().counter("rpcs_sent"), 0u);
 }
 
 TEST_F(AttributeModeTest, LogoutClearsAdvertisedMember) {

@@ -408,14 +408,14 @@ TEST_F(ClientTest, ResolveMemberCachesLocation) {
     first = true;
   });
   ASSERT_TRUE(run_until(simulator_, [&] { return first; }, sim::seconds(20)));
-  const auto rpcs_after_first = client_->stats().rpcs_sent;
+  const auto rpcs_after_first = client_->stats().counter("rpcs_sent");
   client_->resolve_member("alice", [&](Result<peerhood::DeviceId> result) {
     EXPECT_TRUE(result.ok());
     second = true;
   });
   EXPECT_TRUE(second);  // cache answers synchronously
-  EXPECT_EQ(client_->stats().rpcs_sent, rpcs_after_first);
-  EXPECT_EQ(client_->stats().cache_hits, 1u);
+  EXPECT_EQ(client_->stats().counter("rpcs_sent"), rpcs_after_first);
+  EXPECT_EQ(client_->stats().counter("cache_hits"), 1u);
 }
 
 TEST_F(ClientTest, FanoutWithNoNeighboursCompletesEmpty) {

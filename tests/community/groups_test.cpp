@@ -213,7 +213,7 @@ TEST_F(GroupEngineTest, StatsCountComparisons) {
   engine_.set_local_interests({"a", "b", "c"});
   engine_.on_peer("bob", {"x", "y"});
   // 3 groups x 2 peer interests.
-  EXPECT_EQ(engine_.stats().comparisons, 6u);
+  EXPECT_EQ(engine_.stats().counter("comparisons"), 6u);
 }
 
 TEST_F(GroupEngineTest, StatsCountLifecycleEvents) {
@@ -222,11 +222,11 @@ TEST_F(GroupEngineTest, StatsCountLifecycleEvents) {
   engine_.on_peer("carol", {"a"});
   engine_.remove_peer("bob");
   engine_.remove_peer("carol");
-  const GroupEngine::Stats& stats = engine_.stats();
-  EXPECT_EQ(stats.groups_formed, 1u);
-  EXPECT_EQ(stats.groups_dissolved, 1u);
-  EXPECT_EQ(stats.member_joins, 2u);
-  EXPECT_EQ(stats.member_leaves, 2u);
+  const obs::Snapshot stats = engine_.stats();
+  EXPECT_EQ(stats.counter("groups_formed"), 1u);
+  EXPECT_EQ(stats.counter("groups_dissolved"), 1u);
+  EXPECT_EQ(stats.counter("member_joins"), 2u);
+  EXPECT_EQ(stats.counter("member_leaves"), 2u);
 }
 
 TEST_F(GroupEngineTest, SelfPeerIgnored) {
@@ -263,6 +263,43 @@ TEST_F(GroupEngineTest, RescanMatchesEventDrivenResult) {
 
 TEST_F(GroupEngineTest, MembersOfUnknownInterestIsEmpty) {
   EXPECT_TRUE(engine_.members_of("nothing").empty());
+}
+
+TEST_F(GroupEngineTest, ChurnStormEvictionRejoinConverges) {
+  // A fault-plane churn storm: the same peers are evicted (blackout wipes
+  // the neighbour table) and rejoin (re-discovery) over and over. The
+  // engine must converge to the same formed groups every round and the
+  // lifecycle counters must add up exactly.
+  engine_.set_local_interests({"a", "b"});
+  constexpr int kRounds = 25;
+  constexpr int kPeers = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int p = 0; p < kPeers; ++p) {
+      engine_.on_peer("peer" + std::to_string(p),
+                      {p % 2 == 0 ? "a" : "b"});
+    }
+    EXPECT_TRUE(engine_.group("a")->formed());
+    EXPECT_TRUE(engine_.group("b")->formed());
+    if (round == kRounds - 1) break;  // stay populated after the storm
+    for (int p = 0; p < kPeers; ++p) {
+      engine_.remove_peer("peer" + std::to_string(p));
+    }
+    EXPECT_FALSE(engine_.group("a")->formed());
+    EXPECT_FALSE(engine_.group("b")->formed());
+  }
+  EXPECT_EQ(engine_.group("a")->members.size(), 1u + kPeers / 2);
+  EXPECT_EQ(engine_.group("b")->members.size(), 1u + kPeers / 2);
+
+  const obs::Snapshot stats = engine_.stats();
+  EXPECT_EQ(stats.counter("member_joins"),
+            static_cast<std::uint64_t>(kRounds * kPeers));
+  EXPECT_EQ(stats.counter("member_leaves"),
+            static_cast<std::uint64_t>((kRounds - 1) * kPeers));
+  // Both groups form every round; they dissolve every round but the last.
+  EXPECT_EQ(stats.counter("groups_formed"),
+            static_cast<std::uint64_t>(2 * kRounds));
+  EXPECT_EQ(stats.counter("groups_dissolved"),
+            static_cast<std::uint64_t>(2 * (kRounds - 1)));
 }
 
 // Property sweep: churn with N peers always keeps the local member in every

@@ -254,7 +254,7 @@ TEST_F(ServerOpsTest, ResponsesEchoOpcode) {
 TEST_F(ServerOpsTest, StatsCountRequests) {
   (void)server_->handle(request(proto::Opcode::ps_get_interest_list));
   (void)server_->handle(request(proto::Opcode::ps_get_interest_list));
-  EXPECT_EQ(server_->stats().requests_handled, 2u);
+  EXPECT_EQ(server_->stats().counter("requests_handled"), 2u);
 }
 
 TEST_F(ServerOpsTest, StartRegistersServiceInDaemon) {

@@ -1,0 +1,111 @@
+#include "fault/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/schedule.hpp"
+
+namespace ph::fault {
+namespace {
+
+TEST(GilbertElliottTest, GoodStateKeepsBaseLoss) {
+  GilbertElliottParams params;
+  params.p_enter_bad = 0.0;  // never leaves good
+  params.loss_bad = 0.9;
+  GilbertElliott chain(params);
+  sim::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(chain.advance(0.03, rng), 0.03);
+  }
+  EXPECT_FALSE(chain.in_bad_state());
+  EXPECT_EQ(chain.transitions_to_bad(), 0u);
+}
+
+TEST(GilbertElliottTest, CertainEntryRaisesLossToBadState) {
+  GilbertElliottParams params;
+  params.p_enter_bad = 1.0;
+  params.p_exit_bad = 0.0;  // sticks
+  params.loss_bad = 0.75;
+  GilbertElliott chain(params);
+  sim::Rng rng(1);
+  EXPECT_DOUBLE_EQ(chain.advance(0.03, rng), 0.75);
+  EXPECT_TRUE(chain.in_bad_state());
+  EXPECT_EQ(chain.transitions_to_bad(), 1u);
+  EXPECT_DOUBLE_EQ(chain.advance(0.03, rng), 0.75);
+  EXPECT_EQ(chain.transitions_to_bad(), 1u);  // still the same burst
+}
+
+TEST(GilbertElliottTest, BadStateNeverLowersBaseLoss) {
+  GilbertElliottParams params;
+  params.p_enter_bad = 1.0;
+  params.p_exit_bad = 0.0;
+  params.loss_bad = 0.1;
+  GilbertElliott chain(params);
+  sim::Rng rng(7);
+  // Layered loss is max(base, state): a "bad" state below the tech's own
+  // steady-state loss must not make the channel better.
+  EXPECT_DOUBLE_EQ(chain.advance(0.4, rng), 0.4);
+}
+
+TEST(GilbertElliottTest, SameSeedSameTrajectory) {
+  GilbertElliottParams params;  // defaults: stochastic both ways
+  GilbertElliott x(params), y(params);
+  sim::Rng rng_x(42), rng_y(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_DOUBLE_EQ(x.advance(0.03, rng_x), y.advance(0.03, rng_y));
+    ASSERT_EQ(x.in_bad_state(), y.in_bad_state());
+  }
+  EXPECT_EQ(x.transitions_to_bad(), y.transitions_to_bad());
+  EXPECT_GT(x.transitions_to_bad(), 0u);  // defaults do burst eventually
+}
+
+TEST(RandomScheduleTest, SameSeedSameSchedule) {
+  RandomScheduleParams params;
+  params.nodes = {1, 2, 3};
+  params.technologies = {net::Technology::bluetooth, net::Technology::wlan};
+  sim::Rng rng_x(9), rng_y(9);
+  const Schedule x = random_schedule(rng_x, params);
+  const Schedule y = random_schedule(rng_y, params);
+  ASSERT_EQ(x.size(), y.size());
+  ASSERT_EQ(x.bursts.size(), y.bursts.size());
+  for (std::size_t i = 0; i < x.bursts.size(); ++i) {
+    EXPECT_EQ(x.bursts[i].start, y.bursts[i].start);
+    EXPECT_EQ(x.bursts[i].duration, y.bursts[i].duration);
+    EXPECT_EQ(x.bursts[i].tech, y.bursts[i].tech);
+  }
+  for (std::size_t i = 0; i < x.blackouts.size(); ++i) {
+    EXPECT_EQ(x.blackouts[i].node, y.blackouts[i].node);
+    EXPECT_EQ(x.blackouts[i].start, y.blackouts[i].start);
+  }
+}
+
+TEST(RandomScheduleTest, EveryWindowEndsInsideTheHorizon) {
+  RandomScheduleParams params;
+  params.horizon = sim::minutes(5);
+  params.nodes = {1, 2};
+  params.bursts = 10;
+  params.outages = 10;
+  params.latency_spikes = 10;
+  params.signal_ramps = 10;
+  params.blackouts = 10;
+  sim::Rng rng(17);
+  const Schedule schedule = random_schedule(rng, params);
+  EXPECT_EQ(schedule.size(), 50u);
+  for (const BurstLoss& b : schedule.bursts) {
+    EXPECT_LE(b.start + b.duration, params.horizon);
+  }
+  for (const RadioOutage& o : schedule.outages) {
+    EXPECT_LE(o.start + o.duration, params.horizon);
+  }
+  for (const LatencySpike& s : schedule.latency_spikes) {
+    EXPECT_LE(s.start + s.duration, params.horizon);
+  }
+  for (const SignalRamp& r : schedule.signal_ramps) {
+    EXPECT_LE(r.start + r.ramp + r.hold + r.recover, params.horizon);
+  }
+  for (const Blackout& b : schedule.blackouts) {
+    EXPECT_LE(b.start + b.duration, params.horizon);
+  }
+}
+
+}  // namespace
+}  // namespace ph::fault

@@ -183,7 +183,7 @@ TEST_F(FailureInjectionTest, MalformedSessionPayloadDropsOnlyThatRequest) {
       simulator_, [&] { return connection.valid(); }, sim::seconds(10)));
   connection.send(Bytes{0xff, 0xff, 0xff});
   simulator_.run_until(simulator_.now() + sim::seconds(2));
-  EXPECT_EQ(bob.app->server().stats().bad_requests, 1u);
+  EXPECT_EQ(bob.app->server().stats().counter("bad_requests"), 1u);
   // The same session still serves a valid request afterwards.
   proto::Request ok_request;
   ok_request.op = proto::Opcode::ps_get_online_member_list;

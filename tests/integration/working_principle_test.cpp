@@ -90,8 +90,8 @@ TEST(WorkingPrincipleTest, FullLifecycle) {
   ASSERT_TRUE(run_until(simulator, [&] { return answered; }, sim::seconds(5)));
   EXPECT_EQ(response.status, proto::Status::ok);
   EXPECT_EQ(response.names, (std::vector<std::string>{"football"}));
-  EXPECT_EQ(server.stats().requests_handled, 1u);
-  EXPECT_EQ(server.stats().sessions_accepted, 1u);
+  EXPECT_EQ(server.stats().counter("requests_handled"), 1u);
+  EXPECT_EQ(server.stats().counter("sessions_accepted"), 1u);
 
   // Milestone 5 — the connection is terminated successfully on request.
   connection.close();

@@ -153,7 +153,7 @@ TEST_F(AdapterTest, DatagramFromPoweredOffAdapterNotSent) {
   radio_a.send_datagram(b, 7, to_bytes("x"));
   simulator_.run_until(sim::seconds(1));
   EXPECT_FALSE(received);
-  EXPECT_EQ(medium_.stats().datagrams_sent, 0u);
+  EXPECT_EQ(medium_.stats().counter("datagrams_sent"), 0u);
 }
 
 TEST_F(AdapterTest, LossyLinkDropsSomeDatagrams) {
@@ -169,7 +169,7 @@ TEST_F(AdapterTest, LossyLinkDropsSomeDatagrams) {
   simulator_.run_until(sim::minutes(2));
   EXPECT_GT(received, 50);
   EXPECT_LT(received, 150);
-  EXPECT_EQ(medium_.stats().datagrams_lost,
+  EXPECT_EQ(medium_.stats().counter("datagrams_lost"),
             200u - static_cast<unsigned>(received));
 }
 

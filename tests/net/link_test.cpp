@@ -178,7 +178,7 @@ TEST_F(LinkTest, PoweringOffAdapterBreaksItsLinks) {
   radio_b_->set_powered(false);
   EXPECT_TRUE(client_broke);
   EXPECT_FALSE(client.open());
-  EXPECT_EQ(medium_.stats().links_broken, 1u);
+  EXPECT_EQ(medium_.stats().counter("links_broken"), 1u);
 }
 
 TEST_F(LinkTest, SignalReflectsDistance) {
@@ -193,9 +193,9 @@ TEST_F(LinkTest, StatsCountTraffic) {
   server.on_receive([](BytesView) {});
   client.send(to_bytes("abcd"));
   simulator_.run_until(simulator_.now() + sim::seconds(1));
-  EXPECT_EQ(medium_.stats().links_opened, 1u);
-  EXPECT_EQ(medium_.stats().link_messages_sent, 1u);
-  EXPECT_EQ(medium_.stats().link_bytes_sent, 4u);
+  EXPECT_EQ(medium_.stats().counter("links_opened"), 1u);
+  EXPECT_EQ(medium_.stats().counter("link_messages_sent"), 1u);
+  EXPECT_EQ(medium_.stats().counter("link_bytes_sent"), 4u);
 }
 
 TEST_F(LinkTest, InvalidLinkHandleIsInert) {
@@ -227,7 +227,7 @@ TEST_F(LinkTest, RetransmissionsDelayButDeliver) {
   for (int i = 0; i < 100; ++i) client.send(to_bytes("x"));
   simulator_.run_until(simulator_.now() + sim::minutes(1));
   EXPECT_EQ(received, 100);  // reliable: everything arrives
-  EXPECT_GT(medium_.stats().retransmissions, 0u);
+  EXPECT_GT(medium_.stats().counter("retransmissions"), 0u);
 }
 
 }  // namespace

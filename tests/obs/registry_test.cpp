@@ -136,6 +136,62 @@ TEST(Registry, MergeFromCombinesAllKinds) {
   EXPECT_EQ(b.counter("shared").value(), 2u);
 }
 
+TEST(Snapshot, PrefixScopesAndStripsNames) {
+  Registry registry;
+  registry.counter("net.medium.frames").inc(4);
+  registry.counter("net.medium.drops").inc(1);
+  registry.counter("peerhood.pings").inc(9);
+  registry.gauge("net.medium.load").set(0.5);
+  registry.histogram("net.medium.lat_us", {10.0, 100.0}).observe(42.0);
+
+  const Snapshot net = registry.snapshot("net.medium.");
+  EXPECT_EQ(net.prefix(), "net.medium.");
+  EXPECT_FALSE(net.empty());
+  EXPECT_EQ(net.counter("frames"), 4u);
+  EXPECT_EQ(net.counter("drops"), 1u);
+  EXPECT_EQ(net.counter("pings"), 0u);  // other prefix, absent => 0
+  EXPECT_DOUBLE_EQ(net.gauge("load"), 0.5);
+  const Histogram* lat = net.histogram("lat_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count(), 1u);
+  EXPECT_EQ(net.histogram("nope"), nullptr);
+  EXPECT_EQ(net.counters().size(), 2u);
+
+  const Snapshot all = registry.snapshot();
+  EXPECT_EQ(all.counter("peerhood.pings"), 9u);
+  EXPECT_EQ(all.counters().size(), 3u);
+}
+
+TEST(Snapshot, EqualityComparesContentNotPrefix) {
+  Registry x;
+  Registry y;
+  x.counter("a.frames").inc(2);
+  y.counter("b.frames").inc(2);
+  // Same content under different prefixes: equal views.
+  EXPECT_EQ(x.snapshot("a."), y.snapshot("b."));
+
+  y.counter("b.frames").inc();
+  EXPECT_NE(x.snapshot("a."), y.snapshot("b."));
+
+  Registry z;
+  z.counter("a.frames").inc(2);
+  z.histogram("a.lat", {1.0}).observe(0.5);
+  EXPECT_NE(x.snapshot("a."), z.snapshot("a."));
+  x.histogram("a.lat", {1.0}).observe(0.5);
+  EXPECT_EQ(x.snapshot("a."), z.snapshot("a."));
+  z.histogram("a.lat", {1.0}).observe(0.7);
+  EXPECT_NE(x.snapshot("a."), z.snapshot("a."));
+}
+
+TEST(Snapshot, IsAPointInTimeCopy) {
+  Registry registry;
+  registry.counter("x.n").inc();
+  const Snapshot before = registry.snapshot("x.");
+  registry.counter("x.n").inc(10);
+  EXPECT_EQ(before.counter("n"), 1u);  // unchanged by later activity
+  EXPECT_EQ(registry.snapshot("x.").counter("n"), 11u);
+}
+
 TEST(DefaultBounds, AreStrictlyIncreasing) {
   for (const std::vector<double>* bounds :
        {&default_latency_bounds_us(), &operation_bounds_s()}) {

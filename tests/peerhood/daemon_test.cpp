@@ -161,9 +161,9 @@ TEST_F(DaemonTest, AttributeChangeFiresOnUpdate) {
   Stack& b = add_device("b", {3, 0});
   ASSERT_TRUE(b.daemon().register_service({"S", 1000, {{"k", "1"}}}).ok());
   int updates = 0;
-  MonitorCallbacks callbacks;
-  callbacks.on_update = [&](const DeviceInfo&) { ++updates; };
-  a.daemon().monitor_device(b.id(), std::move(callbacks));
+  a.daemon().monitor_device(b.id(), [&](const NeighbourEvent& event) {
+    if (event.kind == NeighbourEvent::Kind::updated) ++updates;
+  });
   ASSERT_TRUE(run_until(
       simulator_, [&] { return !a.daemon().find_service("S").empty(); },
       sim::seconds(20)));
@@ -199,14 +199,14 @@ TEST_F(DaemonTest, WlanPushAnnouncementSkipsTheScanWait) {
       sim::seconds(5)));
   // Far below the 20 s inquiry interval: the broadcast did it.
   EXPECT_LT(simulator_.now() - registered_at, sim::seconds(1));
-  EXPECT_GT(b.daemon().stats().announcements_sent, 0u);
+  EXPECT_GT(b.daemon().stats().counter("announcements_sent"), 0u);
 }
 
 TEST_F(DaemonTest, BluetoothHasNoPushAnnouncements) {
   Stack& a = add_device("a", {0, 0});
   (void)a;
   ASSERT_TRUE(a.daemon().register_service({"S", 1, {}}).ok());
-  EXPECT_EQ(a.daemon().stats().announcements_sent, 0u);
+  EXPECT_EQ(a.daemon().stats().counter("announcements_sent"), 0u);
 }
 
 TEST_F(DaemonTest, UnregisterServiceRemovesIt) {
@@ -223,11 +223,11 @@ TEST_F(DaemonTest, MonitorAllFiresOnAppear) {
   Stack& a = add_device("a", {0, 0});
   add_device("b", {3, 0});
   std::vector<std::string> appeared;
-  MonitorCallbacks callbacks;
-  callbacks.on_appear = [&](const DeviceInfo& info) {
-    appeared.push_back(info.name);
-  };
-  a.daemon().monitor_all(std::move(callbacks));
+  a.daemon().monitor_all([&](const NeighbourEvent& event) {
+    if (event.kind == NeighbourEvent::Kind::appeared) {
+      appeared.push_back(event.device.name);
+    }
+  });
   ASSERT_TRUE(run_until(
       simulator_, [&] { return !appeared.empty(); }, sim::seconds(15)));
   EXPECT_EQ(appeared, (std::vector<std::string>{"b"}));
@@ -238,12 +238,12 @@ TEST_F(DaemonTest, MonitorDeviceFiltersOtherDevices) {
   Stack& b = add_device("b", {3, 0});
   Stack& c = add_device("c", {0, 3});
   int b_events = 0, any_events = 0;
-  MonitorCallbacks only_b;
-  only_b.on_appear = [&](const DeviceInfo&) { ++b_events; };
-  a.daemon().monitor_device(b.id(), std::move(only_b));
-  MonitorCallbacks all;
-  all.on_appear = [&](const DeviceInfo&) { ++any_events; };
-  a.daemon().monitor_all(std::move(all));
+  a.daemon().monitor_device(b.id(), [&](const NeighbourEvent& event) {
+    if (event.kind == NeighbourEvent::Kind::appeared) ++b_events;
+  });
+  a.daemon().monitor_all([&](const NeighbourEvent& event) {
+    if (event.kind == NeighbourEvent::Kind::appeared) ++any_events;
+  });
   ASSERT_TRUE(run_until(
       simulator_, [&] { return a.daemon().devices().size() == 2; },
       sim::seconds(20)));
@@ -269,9 +269,11 @@ TEST_F(DaemonTest, DepartingDeviceDisappears) {
       b_config));
   Stack& b = *stacks_.back();
   std::vector<DeviceId> gone;
-  MonitorCallbacks callbacks;
-  callbacks.on_disappear = [&](DeviceId id) { gone.push_back(id); };
-  a.daemon().monitor_all(std::move(callbacks));
+  a.daemon().monitor_all([&](const NeighbourEvent& event) {
+    if (event.kind == NeighbourEvent::Kind::disappeared) {
+      gone.push_back(event.device.id);
+    }
+  });
   ASSERT_TRUE(run_until(
       simulator_, [&] { return !a.daemon().devices().empty(); },
       sim::seconds(15)));
@@ -299,10 +301,10 @@ TEST_F(DaemonTest, ReturningDeviceReappears) {
               {sim::seconds(60), {2, 0}}}),
       config));
   int appearances = 0, disappearances = 0;
-  MonitorCallbacks callbacks;
-  callbacks.on_appear = [&](const DeviceInfo&) { ++appearances; };
-  callbacks.on_disappear = [&](DeviceId) { ++disappearances; };
-  a.daemon().monitor_all(std::move(callbacks));
+  a.daemon().monitor_all([&](const NeighbourEvent& event) {
+    if (event.kind == NeighbourEvent::Kind::appeared) ++appearances;
+    if (event.kind == NeighbourEvent::Kind::disappeared) ++disappearances;
+  });
   simulator_.run_until(sim::minutes(2));
   EXPECT_GE(appearances, 2);
   EXPECT_GE(disappearances, 1);
@@ -312,9 +314,8 @@ TEST_F(DaemonTest, UnmonitorStopsCallbacks) {
   Stack& a = add_device("a", {0, 0});
   add_device("b", {3, 0});
   int events = 0;
-  MonitorCallbacks callbacks;
-  callbacks.on_appear = [&](const DeviceInfo&) { ++events; };
-  Daemon::MonitorId id = a.daemon().monitor_all(std::move(callbacks));
+  Daemon::MonitorId id = a.daemon().monitor_all(
+      [&](const NeighbourEvent&) { ++events; });
   a.daemon().unmonitor(id);
   simulator_.run_until(sim::seconds(20));
   EXPECT_EQ(events, 0);
@@ -365,12 +366,48 @@ TEST_F(DaemonTest, StatsTrackActivity) {
       simulator_, [&] { return !a.daemon().devices().empty(); },
       sim::seconds(15)));
   simulator_.run_until(sim::seconds(30));
-  const Daemon::Stats& stats = a.daemon().stats();
-  EXPECT_GE(stats.inquiries_started, 1u);
-  EXPECT_GE(stats.service_queries, 1u);
-  EXPECT_GE(stats.service_replies, 1u);
-  EXPECT_EQ(stats.neighbours_appeared, 1u);
-  EXPECT_GT(stats.pings_sent, 0u);
+  const obs::Snapshot stats = a.daemon().stats();
+  EXPECT_GE(stats.counter("inquiries_started"), 1u);
+  EXPECT_GE(stats.counter("service_queries"), 1u);
+  EXPECT_GE(stats.counter("service_replies"), 1u);
+  EXPECT_EQ(stats.counter("neighbours_appeared"), 1u);
+  EXPECT_GT(stats.counter("pings_sent"), 0u);
+}
+
+TEST_F(DaemonTest, EntryTtlEvictsSilentNeighbourWithCauseExpired) {
+  // Missed-ping eviction is disabled (absurd max), so only the entry_ttl
+  // safety net can drop the neighbour once it stops answering.
+  StackConfig config;
+  config.radios = {deterministic_bt()};
+  config.device_name = "a";
+  config.daemon.entry_ttl = sim::seconds(30);
+  config.daemon.max_missed_pings = 1'000'000;
+  stacks_.push_back(std::make_unique<Stack>(
+      medium_, std::make_unique<sim::StaticMobility>(sim::Vec2{0, 0}), config));
+  Stack& a = *stacks_.back();
+  Stack& b = add_device("b", {3, 0});
+
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return a.daemon().device(b.id()).ok(); },
+      sim::seconds(20)));
+  std::vector<GoneCause> causes;
+  a.daemon().monitor_device(b.id(), [&](const NeighbourEvent& event) {
+    if (event.kind == NeighbourEvent::Kind::disappeared) {
+      causes.push_back(event.cause);
+    }
+  });
+
+  const sim::Time silent_at = simulator_.now();
+  b.set_radio_powered(net::Technology::bluetooth, false);
+  ASSERT_TRUE(run_until(
+      simulator_, [&] { return !causes.empty(); }, sim::minutes(2)));
+  EXPECT_EQ(causes[0], GoneCause::expired);
+  EXPECT_TRUE(a.daemon().devices().empty());
+  // Evicted roughly one TTL after the last refresh — never sooner, and at
+  // most one TTL plus a couple of sweep periods later.
+  EXPECT_GE(simulator_.now() - silent_at, sim::seconds(25));
+  EXPECT_LE(simulator_.now() - silent_at,
+            config.daemon.entry_ttl + 3 * config.daemon.ping_interval);
 }
 
 TEST_F(DaemonTest, TriggerDiscoveryShortcutsTheTimer) {

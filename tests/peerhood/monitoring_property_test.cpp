@@ -46,9 +46,10 @@ TEST_P(MonitoringPropertyTest, DetectionWithinBound) {
       sim::seconds(20)));
 
   bool gone = false;
-  MonitorCallbacks callbacks;
-  callbacks.on_disappear = [&](DeviceId) { gone = true; };
-  watcher.daemon().monitor_device(target.id(), std::move(callbacks));
+  watcher.daemon().monitor_device(
+      target.id(), [&](const NeighbourEvent& event) {
+        if (event.kind == NeighbourEvent::Kind::disappeared) gone = true;
+      });
 
   // Healthy neighbour: never evicted over many ping rounds.
   simulator.run_for(sim::seconds(params.ping_interval_s) * (params.max_missed + 4));

@@ -174,6 +174,31 @@ TEST_F(SeamlessTest, ForcedTechnologyNeverFailsOver) {
   EXPECT_NE(client.current_technology(), net::Technology::wlan);
 }
 
+TEST_F(SeamlessTest, ResumeDeadlineFiresConnectionLostWhenNoRadioReturns) {
+  make_dual_radio_pair({3, 0});
+  ConnectOptions options;
+  options.resume_deadline = sim::seconds(5);
+  Connection client = connect(options);
+  Error last_error;
+  bool closed = false;
+  client.on_close([&](const Error& error) {
+    closed = true;
+    last_error = error;
+  });
+  // Every radio on b dies and never comes back: the backed-off resume
+  // sweeps all fail and the deadline must end the session.
+  const sim::Time died_at = simulator_.now();
+  b_->set_radio_powered(net::Technology::bluetooth, false);
+  b_->set_radio_powered(net::Technology::wlan, false);
+  ASSERT_TRUE(run_until(simulator_, [&] { return closed; }, sim::minutes(1)));
+  EXPECT_EQ(last_error.code, Errc::connection_lost);
+  EXPECT_GE(simulator_.now() - died_at, options.resume_deadline);
+  // The deadline, not the retry cadence, bounds how long we linger.
+  EXPECT_LE(simulator_.now() - died_at,
+            options.resume_deadline + sim::seconds(1));
+  EXPECT_FALSE(client.open());
+}
+
 TEST_F(SeamlessTest, HandoverPrefersStrongestSignal) {
   make_dual_radio_pair({8, 0});
   // At 8 m: BT signal 1-(0.8)^2 = 0.36, WLAN ~0.994 — initial pick is WLAN.

@@ -1,0 +1,50 @@
+#include "sim/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ph::sim {
+namespace {
+
+TEST(BackoffTest, GrowsGeometricallyWithoutJitter) {
+  Backoff backoff{seconds(1), 2.0, seconds(60), 0.0};
+  Rng rng(1);
+  EXPECT_EQ(backoff.delay(0, rng), seconds(1));
+  EXPECT_EQ(backoff.delay(1, rng), seconds(2));
+  EXPECT_EQ(backoff.delay(2, rng), seconds(4));
+  EXPECT_EQ(backoff.delay(3, rng), seconds(8));
+}
+
+TEST(BackoffTest, CapsAtTheCeiling) {
+  Backoff backoff{seconds(1), 2.0, seconds(8), 0.0};
+  Rng rng(1);
+  EXPECT_EQ(backoff.delay(3, rng), seconds(8));
+  EXPECT_EQ(backoff.delay(10, rng), seconds(8));
+  EXPECT_EQ(backoff.delay(60, rng), seconds(8));  // no overflow blowup
+}
+
+TEST(BackoffTest, JitterStaysInBandAndIsDeterministic) {
+  Backoff backoff{seconds(10), 2.0, minutes(5), 0.1};
+  Rng rng_x(42), rng_y(42);
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    const Duration x = backoff.delay(attempt, rng_x);
+    const Duration y = backoff.delay(attempt, rng_y);
+    EXPECT_EQ(x, y) << "same seed must give the same jitter";
+    Backoff plain = backoff;
+    plain.jitter = 0.0;
+    Rng unused(0);
+    const double nominal = static_cast<double>(plain.delay(attempt, unused));
+    EXPECT_GE(static_cast<double>(x), nominal * 0.9 - 1.0);
+    EXPECT_LE(static_cast<double>(x), nominal * 1.1 + 1.0);
+  }
+}
+
+TEST(BackoffTest, NeverReturnsZero) {
+  Backoff backoff{0, 2.0, seconds(1), 0.5};
+  Rng rng(3);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_GE(backoff.delay(attempt, rng), Duration{1});
+  }
+}
+
+}  // namespace
+}  // namespace ph::sim

@@ -70,7 +70,7 @@ TEST_F(SnsServerTest, JoinAddsMember) {
   EXPECT_EQ(response.status, PageStatus::ok);
   auto members = server_.members_of("England Football");
   EXPECT_EQ(members, (std::vector<std::string>{"dave", "emma", "newbie"}));
-  EXPECT_EQ(server_.stats().joins, 1u);
+  EXPECT_EQ(server_.stats().counter("joins"), 1u);
 }
 
 TEST_F(SnsServerTest, JoinUnknownGroupFails) {
@@ -151,8 +151,8 @@ TEST_F(SnsServerTest, EmptyInboxIsOkAndEmpty) {
 TEST_F(SnsServerTest, StatsAccumulateBytes) {
   (void)server_.handle(request(PageKind::home));
   (void)server_.handle(request(PageKind::profile, "dave"));
-  EXPECT_EQ(server_.stats().pages_served, 2u);
-  EXPECT_EQ(server_.stats().bytes_served,
+  EXPECT_EQ(server_.stats().counter("pages_served"), 2u);
+  EXPECT_EQ(server_.stats().counter("bytes_served"),
             facebook().home_page_bytes + facebook().profile_page_bytes);
 }
 
