@@ -24,6 +24,7 @@
 #include "eval/scenarios.hpp"
 #include "fault/plane.hpp"
 #include "fault/schedule.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "peerhood/stack.hpp"
@@ -57,6 +58,12 @@ int main() {
 
   ph::sim::Simulator simulator;
   ph::net::Medium medium(simulator, ph::sim::Rng(seed));
+  // Flight-recorder mode: tracing stays on for the whole soak, bounded to
+  // the last ~64k spans. The fault plane snapshots the ring to
+  // $PH_FLIGHT_JSON the moment a blackout/outage fires, and the reform
+  // attribution below reads the same journal.
+  medium.trace().set_enabled(true);
+  medium.trace().set_ring_capacity(1 << 16);
   std::vector<ph::eval::ScenarioDevice> devices =
       ph::eval::comlab_room(medium, /*autostart=*/true);
 
@@ -90,6 +97,11 @@ int main() {
   ph::community::CommunityApp& tester = *devices.front().app;
   bool was_formed = false;
   ph::sim::Time unformed_since = 0;
+  // Each unformed window is also attributed over the trace: which phases
+  // (inquiry, handshake, backoff idle, …) the recovery time went to,
+  // summed across windows and published as per-phase histograms so the
+  // same-seed determinism check covers the analyzer too.
+  ph::obs::Attribution reform_attribution;
   std::function<void()> poll_group = [&] {
     auto group = tester.groups().group("football");
     const bool formed = group.ok() && group->formed();
@@ -98,6 +110,16 @@ int main() {
     } else if (!was_formed && formed && unformed_since != 0) {
       group_reform.observe(
           static_cast<double>(simulator.now() - unformed_since));
+      const ph::obs::Attribution window = ph::obs::attribute_window(
+          medium.trace(), unformed_since, simulator.now());
+      reform_attribution.add(window);
+      for (std::size_t i = 0; i < ph::obs::kPhaseCount; ++i) {
+        const auto phase = static_cast<ph::obs::Phase>(i);
+        metrics
+            .histogram(std::string("fault.recovery.reform.") +
+                       ph::obs::to_string(phase) + "_us")
+            .observe(static_cast<double>(window.phase_us[i]));
+      }
       unformed_since = 0;
     }
     was_formed = formed;
@@ -147,7 +169,15 @@ int main() {
   print_histogram("neighbour rediscovery", &rediscovery);
   print_histogram("Football group re-form", &group_reform);
 
-  // The acceptance check: same seed => byte-identical dump.
-  ph::obs::dump_if_requested(metrics);
+  std::printf("\ncritical-path attribution of the re-form windows "
+              "(summed, seconds):\n%s",
+              ph::obs::format_attribution_table(
+                  {{"group re-form (all windows)", reform_attribution}})
+                  .c_str());
+
+  // The acceptance check: same seed => byte-identical dump (the trace
+  // ring rides along in the JSON's spans/events sections).
+  ph::obs::dump_if_requested(metrics, &medium.trace(),
+                             medium.trace_device_names());
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "eval/table8.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/export.hpp"
 
 namespace {
@@ -95,6 +96,39 @@ int main() {
                 m.member_list_s, p.list, m.profile_s, p.profile, m.total_s(),
                 p.total);
   }
+
+  // Where the seconds went: mean critical-path attribution per operation,
+  // reconstructed from the `eval.critical_path.<column>.<op>.<phase>_s`
+  // histograms every run published. SNS rows aggregate all four SNS
+  // columns (site × device); the phase split, not the absolute level, is
+  // the point — GPRS transfer dominates SNS, inquiry dominates PeerHood
+  // search.
+  const std::vector<double> bounds = ph::obs::operation_bounds_s();
+  auto mean_attribution = [&](const std::string& column,
+                              const std::string& op) {
+    ph::obs::Attribution attribution;
+    for (std::size_t i = 0; i < ph::obs::kPhaseCount; ++i) {
+      const auto phase = static_cast<ph::obs::Phase>(i);
+      const ph::obs::Histogram& h = metrics.histogram(
+          "eval.critical_path." + column + "." + op + "." +
+              ph::obs::to_string(phase) + "_s",
+          bounds);
+      attribution.phase_us[i] = static_cast<std::uint64_t>(h.mean() * 1e6);
+      attribution.window_us += attribution.phase_us[i];
+    }
+    return attribution;
+  };
+  std::vector<std::pair<std::string, ph::obs::Attribution>> rows;
+  for (const auto& [key, label] :
+       {std::pair<const char*, const char*>{"sns", "SNS (all columns)"},
+        {"peerhood", "PeerHood Community"}}) {
+    for (const char* op : {"search", "join", "member_list", "profile"}) {
+      rows.emplace_back(std::string(label) + " / " + op,
+                        mean_attribution(key, op));
+    }
+  }
+  std::printf("\nCritical-path attribution — mean seconds per operation:\n%s",
+              ph::obs::format_attribution_table(rows).c_str());
 
   const double best_sns_total = measured[0].total_s();
   const double peerhood_total = measured[4].total_s();

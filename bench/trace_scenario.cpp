@@ -1,0 +1,199 @@
+// Two-device traced scenario — the acceptance fixture for cross-device
+// causal tracing (and the binary behind the ph_trace_check CTest target).
+//
+// Two PeerHood Community devices within Bluetooth range discover each
+// other, form the Football group, then "alice" sends "bob" a message —
+// the Table-8 send-message operation — with tracing on. The run then
+// asserts, in process, the two tentpole guarantees:
+//
+//   1. One connected span tree across both radios: the receive-side
+//      `community.server.handle` span on bob's device walks up through
+//      alice's `community.rpc` span to the operation's root span.
+//   2. The critical-path attribution of the operation window sums to the
+//      elapsed window within 1%.
+//
+// Exits non-zero when either fails. PH_METRICS_JSON / PH_TRACE_JSON dump
+// as usual (the ctest script runs the binary twice with one seed and
+// byte-compares the Chrome trace dumps); PH_TRACE_SEED overrides the seed.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/scenarios.hpp"
+#include "net/tech.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/export.hpp"
+
+namespace {
+
+/// Follows parent links from `id` to the root; returns the visited chain
+/// (including `id` itself, excluding the zero terminator).
+std::vector<const ph::obs::Span*> ancestry(const ph::obs::Trace& trace,
+                                           ph::obs::SpanId id) {
+  std::vector<const ph::obs::Span*> chain;
+  while (id != 0) {
+    const ph::obs::Span* span = trace.find_span(id);
+    if (span == nullptr) break;
+    chain.push_back(span);
+    if (chain.size() > 10000) break;  // cycle guard; ids are acyclic by design
+    id = span->parent;
+  }
+  return chain;
+}
+
+}  // namespace
+
+int main() {
+  std::uint64_t seed = 11;
+  if (const char* env = std::getenv("PH_TRACE_SEED"); env != nullptr) {
+    if (const long long v = std::atoll(env); v > 0) {
+      seed = static_cast<std::uint64_t>(v);
+    }
+  }
+
+  ph::sim::Simulator simulator;
+  ph::net::Medium medium(simulator, ph::sim::Rng(seed));
+  medium.trace().set_enabled(true);
+
+  ph::net::TechProfile radio = ph::net::bluetooth_2_0();
+  radio.inquiry_detect_prob = 1.0;  // deterministic discovery, like Table 8
+  std::vector<ph::eval::ScenarioDevice> devices = ph::eval::build_seats(
+      medium,
+      {
+          {"alice", {0.0, 0.0}, {"Football"}},
+          {"bob", {2.5, 0.0}, {"Football"}},
+      },
+      radio, /*autostart=*/true);
+  ph::eval::ScenarioDevice& alice = devices[0];
+  ph::eval::ScenarioDevice& bob = devices[1];
+  const ph::net::NodeId alice_node = alice.stack->daemon().self();
+  const ph::net::NodeId bob_node = bob.stack->daemon().self();
+  ph::obs::Trace& trace = medium.trace();
+
+  // Discovery -> group join: run until dynamic group discovery has formed
+  // the Football group on alice's side.
+  while (true) {
+    auto group = alice.app->groups().group("football");
+    if (group.ok() && group->formed()) break;
+    simulator.run_for(ph::sim::milliseconds(250));
+    if (simulator.now() >= ph::sim::minutes(5)) {
+      std::fprintf(stderr, "trace_scenario: discovery never completed\n");
+      return 1;
+    }
+  }
+  const ph::sim::Time formed_at = simulator.now();
+
+  // The Table-8 operation: alice sends bob a message under one root span.
+  const ph::sim::Time op_start = simulator.now();
+  const ph::obs::SpanId op_span = trace.begin_span(
+      "eval.table8.send_message", op_start, alice_node, "operation");
+  bool done = false;
+  bool sent = false;
+  {
+    ph::obs::Trace::Scope op_scope(trace, op_span);
+    alice.app->client().send_message("bob", "hi", "hello from alice",
+                                     [&](ph::Result<void> result) {
+                                       sent = result.ok();
+                                       done = true;
+                                     });
+    while (!done) simulator.run_for(ph::sim::milliseconds(100));
+  }
+  const ph::sim::Time op_end = simulator.now();
+  trace.end_span(op_span, op_end);
+  if (!sent) {
+    std::fprintf(stderr, "trace_scenario: send_message failed\n");
+    return 1;
+  }
+
+  // --- assertion 1: one connected tree across both devices -----------------
+  // The PS_MSG handling span on bob's track must chain, via parent links
+  // alone, through alice's community.rpc span up to the operation root.
+  bool connected = false;
+  bool crossed_back = false;
+  for (const ph::obs::Span& span : trace.spans()) {
+    if (span.name != "community.server.handle" || span.device != bob_node ||
+        span.start < op_start) {
+      continue;
+    }
+    const std::vector<const ph::obs::Span*> chain = ancestry(trace, span.id);
+    bool via_rpc = false;
+    for (const ph::obs::Span* node : chain) {
+      if (node->name == "community.rpc" && node->device == alice_node) {
+        via_rpc = true;
+      }
+    }
+    if (via_rpc && !chain.empty() && chain.back()->id == op_span) {
+      connected = true;
+    }
+  }
+  // And the reply direction: something alice did during the operation must
+  // be parented (directly or transitively) under a span on bob's device —
+  // the response's causal hop back.
+  for (const ph::obs::Span& span : trace.spans()) {
+    if (span.device != alice_node || span.start < op_start) continue;
+    for (const ph::obs::Span* node : ancestry(trace, span.id)) {
+      if (node->device == bob_node) {
+        crossed_back = true;
+        break;
+      }
+    }
+    if (crossed_back) break;
+  }
+  if (!connected) {
+    std::fprintf(stderr,
+                 "trace_scenario: no community.server.handle span on device "
+                 "%u chains up to the operation root via alice's "
+                 "community.rpc — the cross-device tree is disconnected\n",
+                 bob_node);
+    return 1;
+  }
+  if (!crossed_back) {
+    std::fprintf(stderr,
+                 "trace_scenario: no span on alice's device descends from a "
+                 "bob-side span — the response direction never crossed\n");
+    return 1;
+  }
+
+  // --- assertion 2: attribution sums to the window within 1% ---------------
+  const ph::obs::Attribution op_attribution =
+      ph::obs::attribute_window(trace, op_start, op_end);
+  std::uint64_t phase_sum = 0;
+  for (const std::uint64_t us : op_attribution.phase_us) phase_sum += us;
+  const std::uint64_t window = op_end - op_start;
+  const std::uint64_t drift =
+      phase_sum > window ? phase_sum - window : window - phase_sum;
+  if (window == 0 || drift * 100 > window) {
+    std::fprintf(stderr,
+                 "trace_scenario: attribution drifted: phases sum to %llu us "
+                 "over a %llu us window\n",
+                 static_cast<unsigned long long>(phase_sum),
+                 static_cast<unsigned long long>(window));
+    return 1;
+  }
+
+  std::printf("trace_scenario: seed=%llu devices=%u,%u spans=%zu "
+              "group formed at %.2fs, message delivered in %.2fs\n",
+              static_cast<unsigned long long>(seed), alice_node, bob_node,
+              trace.spans().size(), ph::sim::to_seconds(formed_at),
+              ph::sim::to_seconds(op_end - op_start));
+  std::printf("cross-device tree: connected (request and response "
+              "directions); attribution drift %.3f%%\n\n",
+              window == 0 ? 0.0
+                          : 100.0 * static_cast<double>(drift) /
+                                static_cast<double>(window));
+  std::printf("%s",
+              ph::obs::format_attribution_table(
+                  {{"discovery + group join",
+                    ph::obs::attribute_window(trace, 0, formed_at)},
+                   {"send message", op_attribution},
+                   {"send message (tree only)",
+                    ph::obs::attribute_tree(trace, op_span)}})
+                  .c_str());
+
+  ph::obs::dump_if_requested(medium.registry(), &trace,
+                             medium.trace_device_names());
+  return 0;
+}

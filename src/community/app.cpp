@@ -48,6 +48,8 @@ Result<void> CommunityApp::login(const std::string& member_id,
   groups_ = std::make_unique<GroupEngine>(
       member_id, dictionary_, &stack_.medium().registry(),
       "community.groups.d" + std::to_string(stack_.daemon().self()) + ".");
+  groups_->set_trace(&stack_.medium().trace(), stack_.daemon().self(),
+                     [this] { return stack_.medium().simulator().now(); });
   groups_->set_local_interests((*account)->profile().interests);
   device_members_.clear();
 

@@ -58,6 +58,13 @@ void CommunityClient::call_with_deadline(
     ResponseCallback done) {
   QueuedCall call{device, std::move(request), options, std::move(done)};
   call.timeout = timeout;
+  if (active_calls_ >= config_.max_concurrent_rpcs) {
+    // The call will sit in the admission queue: make that wait a span so
+    // critical-path attribution can separate queueing from the radio.
+    call.queue_span = trace_->begin_span(
+        "community.queue.wait", peerhood_.daemon().simulator().now(),
+        peerhood_.self(), "queue");
+  }
   queue_.push_back(std::move(call));
   drain_queue();
 }
@@ -67,6 +74,7 @@ void CommunityClient::drain_queue() {
     QueuedCall next = std::move(queue_.front());
     queue_.erase(queue_.begin());
     ++active_calls_;
+    trace_->end_span(next.queue_span, peerhood_.daemon().simulator().now());
     // Completion (whatever the path) releases the slot and drains again.
     // Transient radio_busy refusals (the peer's piconet is momentarily
     // full) re-queue with a randomized backoff instead of failing the
@@ -91,6 +99,12 @@ void CommunityClient::drain_queue() {
         auto& simulator = peerhood_.daemon().simulator();
         const sim::Duration backoff =
             sim::seconds(peerhood_.daemon().medium().rng().uniform(0.2, 0.8));
+        // Randomized idle before the retry: a closed backoff span (the
+        // end is already known) feeds critical-path attribution.
+        const obs::SpanId wait = trace_->begin_span(
+            "community.backoff.wait", simulator.now(), peerhood_.self(),
+            "backoff");
+        trace_->end_span(wait, simulator.now() + backoff);
         simulator.schedule(backoff, [this, alive, device, request, options,
                                      busy_retries, call_timeout, user_done] {
           if (alive.expired()) return;  // owner gone; drop the callback
@@ -122,6 +136,9 @@ void CommunityClient::start_call(QueuedCall call) {
   const obs::SpanId span =
       trace_->begin_span("community.rpc", rpc_start, peerhood_.self(),
                          std::string(proto::to_string(request.op)));
+  // The request header carries the RPC span across the radio: the server
+  // parents its handling span under it (one tree spanning both devices).
+  request.trace_parent = span;
   std::weak_ptr<char> alive = alive_token_;
   obs::Trace::Scope scope(*trace_, span);  // parents the session's net spans
   peerhood_.connect(

@@ -149,6 +149,8 @@ class CommunityClient {
     /// Per-call completion deadline (rpc_timeout for control RPCs,
     /// transfer_timeout for content downloads).
     sim::Duration timeout = 0;
+    /// Open while the call waits for a concurrency slot (admission queue).
+    obs::SpanId queue_span = 0;
   };
   /// Starts queued calls while below the concurrency limit.
   void drain_queue();

@@ -27,6 +27,11 @@ obs::Snapshot GroupEngine::stats() const {
   return registry_->snapshot(metric_prefix_);
 }
 
+void GroupEngine::trace_event(const char* name, const std::string& interest) {
+  if (trace_ == nullptr || !trace_clock_) return;
+  trace_->add_event(name, trace_clock_(), trace_device_, interest);
+}
+
 std::set<std::string> GroupEngine::canonicalize(
     const std::vector<std::string>& raw, Group*) {
   std::set<std::string> out;
@@ -64,6 +69,7 @@ void GroupEngine::ensure_groups_for_local() {
     it = groups_.erase(it);
     if (was_formed) {
       c_groups_dissolved_->inc();
+      trace_event("community.group.dissolved", interest);
       if (callbacks_.on_group_dissolved) callbacks_.on_group_dissolved(interest);
     }
   }
@@ -77,6 +83,7 @@ void GroupEngine::add_member(Group& group, const std::string& member) {
   }
   if (group.members.size() == 2) {  // local + first remote: group forms
     c_groups_formed_->inc();
+    trace_event("community.group.formed", group.interest);
     PH_LOG(info, "groups") << local_member_ << ": group '" << group.interest
                            << "' formed";
     if (callbacks_.on_group_formed) callbacks_.on_group_formed(group);
@@ -92,6 +99,7 @@ void GroupEngine::drop_member(Group& group, const std::string& member) {
   }
   if (was_formed && !group.formed()) {
     c_groups_dissolved_->inc();
+    trace_event("community.group.dissolved", group.interest);
     PH_LOG(info, "groups") << local_member_ << ": group '" << group.interest
                            << "' dissolved";
     if (callbacks_.on_group_dissolved) callbacks_.on_group_dissolved(group.interest);

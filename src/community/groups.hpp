@@ -33,6 +33,7 @@
 
 #include "community/interests.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/result.hpp"
 
 namespace ph::community {
@@ -73,6 +74,19 @@ class GroupEngine {
               std::string metric_prefix = "community.groups.");
 
   void set_callbacks(GroupCallbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+  /// Optional trace hook: group formation/dissolution become instant trace
+  /// events (`community.group.formed` / `community.group.dissolved`) on
+  /// `device`'s track. The engine has no simulator access, so the caller
+  /// supplies the virtual clock — CommunityApp wires this at login. A null
+  /// `trace` disables. Separate from GroupCallbacks so tests replacing the
+  /// callbacks don't silently lose the instrumentation.
+  void set_trace(obs::Trace* trace, std::uint64_t device,
+                 std::function<obs::TimePoint()> clock) {
+    trace_ = trace;
+    trace_device_ = device;
+    trace_clock_ = std::move(clock);
+  }
 
   const std::string& local_member() const noexcept { return local_member_; }
 
@@ -123,6 +137,7 @@ class GroupEngine {
     std::set<std::string> canonical;  // under the current dictionary
   };
 
+  void trace_event(const char* name, const std::string& interest);
   void match_peer_against_groups(const std::string& member, PeerRecord& record);
   void add_member(Group& group, const std::string& member);
   void drop_member(Group& group, const std::string& member);
@@ -133,6 +148,9 @@ class GroupEngine {
   std::string local_member_;
   const SemanticDictionary& dictionary_;
   GroupCallbacks callbacks_;
+  obs::Trace* trace_ = nullptr;
+  std::uint64_t trace_device_ = 0;
+  std::function<obs::TimePoint()> trace_clock_;
 
   std::vector<std::string> local_raw_;
   std::set<std::string> manual_;                 // canonical manual joins

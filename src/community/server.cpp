@@ -21,6 +21,7 @@ CommunityServer::CommunityServer(peerhood::PeerHood& peerhood,
     : peerhood_(peerhood), store_(store), dictionary_(dictionary) {
   obs::Registry& registry = peerhood_.daemon().medium().registry();
   registry_ = &registry;
+  trace_ = &peerhood_.daemon().medium().trace();
   metric_prefix_ =
       "community.server.d" + std::to_string(peerhood_.self()) + ".";
   const std::string& prefix = metric_prefix_;
@@ -63,7 +64,16 @@ void CommunityServer::on_accept(peerhood::Connection connection) {
       PH_LOG(warn, "community") << "bad request: " << request.error().to_string();
       return;
     }
+    // Receive-side span, parented under the *client's* RPC span via the
+    // trace_parent the request carried across the radio (falls back to
+    // the delivering frame's flight span): one tree, two devices.
+    const sim::Time now = peerhood_.daemon().simulator().now();
+    const obs::SpanId span = trace_->begin_span_under(
+        request->trace_parent, "community.server.handle", now,
+        peerhood_.self(), std::string(proto::to_string(request->op)));
+    obs::Trace::Scope handling(*trace_, span);  // parents the response send
     holder->send(proto::encode(handle(*request)));
+    trace_->end_span(span, peerhood_.daemon().simulator().now());
   });
   holder->on_close([holder](const Error&) {
     // Dropping the captured shared_ptr would destroy the lambda that holds

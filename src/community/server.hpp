@@ -19,6 +19,7 @@
 #include "community/interests.hpp"
 #include "community/profile.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "peerhood/library.hpp"
 #include "proto/messages.hpp"
 #include "util/result.hpp"
@@ -59,8 +60,9 @@ class CommunityServer {
   const SemanticDictionary& dictionary_;
   bool running_ = false;
   // Registry handles (`community.server.d<self>.*`) into the medium's
-  // per-world registry.
+  // per-world registry; the trace journal is shared the same way.
   obs::Registry* registry_ = nullptr;
+  obs::Trace* trace_ = nullptr;
   std::string metric_prefix_;
   obs::Counter* c_requests_handled_ = nullptr;
   obs::Counter* c_sessions_accepted_ = nullptr;

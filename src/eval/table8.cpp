@@ -6,6 +6,8 @@
 
 #include "community/app.hpp"
 #include "eval/scenarios.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/export.hpp"
 #include "sns/browser.hpp"
 #include "sns/server.hpp"
 
@@ -15,9 +17,13 @@ namespace {
 
 /// Records the four task times into `eval.table8.<column>.*_s` operation
 /// histograms and folds the run's world registry into the caller's
-/// aggregate. Called just before the local Medium dies.
+/// aggregate. Called just before the local Medium dies. Also the
+/// PH_TRACE_JSON hook: the run's span tree is exported here, while the
+/// world still exists (with several runs the last column written wins —
+/// point PH_TRACE_JSON at a single-seed run to inspect one tree).
 void publish_cell(obs::Registry* metrics, const std::string& column,
                   const Table8Cell& cell, const net::Medium& medium) {
+  obs::dump_trace_if_requested(medium.trace(), medium.trace_device_names());
   if (metrics == nullptr) return;
   const std::string prefix = "eval.table8." + column + ".";
   const std::vector<double> bounds = obs::operation_bounds_s();
@@ -29,6 +35,24 @@ void publish_cell(obs::Registry* metrics, const std::string& column,
   metrics->merge_from(medium.registry());
 }
 
+/// Critical-path attribution for one task window, published as
+/// `eval.critical_path.<column>.<op>.<phase>_s` histograms — mean phase
+/// seconds across seeds fall out of the aggregate (sum/count).
+void publish_attribution(obs::Registry* metrics, const std::string& column,
+                         const std::string& op,
+                         const obs::Attribution& attribution) {
+  if (metrics == nullptr) return;
+  const std::vector<double> bounds = obs::operation_bounds_s();
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    const auto phase = static_cast<obs::Phase>(i);
+    metrics
+        ->histogram("eval.critical_path." + column + "." + op + "." +
+                        obs::to_string(phase) + "_s",
+                    bounds)
+        .observe(static_cast<double>(attribution.phase_us[i]) / 1e6);
+  }
+}
+
 }  // namespace
 
 Table8Cell run_sns_column(const sns::SiteProfile& site,
@@ -36,6 +60,10 @@ Table8Cell run_sns_column(const sns::SiteProfile& site,
                           obs::Registry* metrics) {
   sim::Simulator simulator;
   net::Medium medium(simulator, sim::Rng(seed));
+  // Trace every run: the causal span tree is what the critical-path
+  // attribution below (and PH_TRACE_JSON) consumes. Tracing never touches
+  // virtual time, so the measured cells are unchanged.
+  medium.trace().set_enabled(true);
   sns::SnsServer server(medium, site);
   // The global site already hosts the group and its members (they joined
   // from desktops around the world; our user merely finds them).
@@ -49,26 +77,41 @@ Table8Cell run_sns_column(const sns::SiteProfile& site,
   cell.network_type = "SNS (" + site.name + ")";
   cell.accessed_through = device.name;
 
-  auto run_task = [&](auto&& start, double& out_seconds) {
+  auto run_task = [&](const std::string& op, auto&& start,
+                      double& out_seconds) {
     bool done = false;
     sim::Duration elapsed = 0;
+    const sim::Time window_start = simulator.now();
+    // The whole task runs under one eval span, so everything the browser
+    // and server do — on both tracks — hangs off it as one connected tree.
+    const obs::SpanId task_span = medium.trace().begin_span(
+        "eval.table8." + op, window_start, browser.node(), "operation");
+    obs::Trace::Scope task_scope(medium.trace(), task_span);
     start([&](Result<sns::BrowserClient::TaskResult> result) {
       PH_CHECK(result.ok());
       elapsed = result->elapsed;
       done = true;
     });
     while (!done) simulator.run_for(sim::seconds(1));
+    medium.trace().end_span(task_span, simulator.now());
     out_seconds = sim::to_seconds(elapsed);
+    publish_attribution(
+        metrics, "sns", op,
+        obs::attribute_window(medium.trace(), window_start, simulator.now()));
   };
 
-  run_task([&](auto cb) { browser.search_group("football", std::move(cb)); },
+  run_task("search",
+           [&](auto cb) { browser.search_group("football", std::move(cb)); },
            cell.search_s);
-  run_task([&](auto cb) { browser.join_group("England Football", std::move(cb)); },
+  run_task("join",
+           [&](auto cb) { browser.join_group("England Football", std::move(cb)); },
            cell.join_s);
   run_task(
+      "member_list",
       [&](auto cb) { browser.view_member_list("England Football", std::move(cb)); },
       cell.member_list_s);
-  run_task([&](auto cb) { browser.view_profile("dave", std::move(cb)); },
+  run_task("profile",
+           [&](auto cb) { browser.view_profile("dave", std::move(cb)); },
            cell.profile_s);
   cell.paid_bytes = medium.traffic(net::Technology::gprs).total_bytes();
   cell.free_bytes = medium.traffic(net::Technology::bluetooth).total_bytes() +
@@ -81,6 +124,7 @@ Table8Cell run_peerhood_column(std::uint64_t seed, PeerHoodUserModel user,
                                obs::Registry* metrics) {
   sim::Simulator simulator;
   net::Medium medium(simulator, sim::Rng(seed));
+  medium.trace().set_enabled(true);
 
   // The thesis' test environment: the measuring laptop plus two PCs in
   // room 6604, all within Bluetooth range, all running PeerHood Community
@@ -88,6 +132,7 @@ Table8Cell run_peerhood_column(std::uint64_t seed, PeerHoodUserModel user,
   std::vector<ScenarioDevice> devices =
       comlab_room(medium, /*autostart=*/false);
   ScenarioDevice& self = devices[0];  // "tester"
+  const net::NodeId self_node = self.stack->daemon().self();
   // All daemons start together at t=0 — the cold-start the search task
   // measures.
   for (ScenarioDevice& device : devices) device.stack->daemon().start();
@@ -101,11 +146,21 @@ Table8Cell run_peerhood_column(std::uint64_t seed, PeerHoodUserModel user,
   // Bluetooth inquiry scan (10.24 s) plus service discovery and probing;
   // the thesis measured 11 s.
   const sim::Time started = simulator.now();
-  while (true) {
-    auto group = self.app->groups().group("football");
-    if (group.ok() && group->formed()) break;
-    simulator.run_for(sim::milliseconds(250));
-    PH_CHECK_MSG(simulator.now() < sim::minutes(5), "discovery never completed");
+  {
+    const obs::SpanId task_span = medium.trace().begin_span(
+        "eval.table8.search", started, self_node, "operation");
+    obs::Trace::Scope task_scope(medium.trace(), task_span);
+    while (true) {
+      auto group = self.app->groups().group("football");
+      if (group.ok() && group->formed()) break;
+      simulator.run_for(sim::milliseconds(250));
+      PH_CHECK_MSG(simulator.now() < sim::minutes(5),
+                   "discovery never completed");
+    }
+    medium.trace().end_span(task_span, simulator.now());
+    publish_attribution(
+        metrics, "peerhood", "search",
+        obs::attribute_window(medium.trace(), started, simulator.now()));
   }
   cell.search_s = sim::to_seconds(simulator.now() - started);
 
@@ -115,12 +170,18 @@ Table8Cell run_peerhood_column(std::uint64_t seed, PeerHoodUserModel user,
     auto group = self.app->groups().group("football");
     PH_CHECK(group.ok() && group->members.contains("tester"));
     cell.join_s = 0.0;
+    // Zero-width window: the all-zero attribution keeps the four-op
+    // table rectangular.
+    publish_attribution(metrics, "peerhood", "join", obs::Attribution{});
   }
 
   // Task 3 — view the member list: menu navigation plus the fan-out
   // PS_GETONLINEMEMBERLIST exchange of Figure 11.
   {
     const sim::Time task_start = simulator.now();
+    const obs::SpanId task_span = medium.trace().begin_span(
+        "eval.table8.member_list", task_start, self_node, "operation");
+    obs::Trace::Scope task_scope(medium.trace(), task_span);
     simulator.run_for(user.member_list_navigation);
     bool done = false;
     self.app->client().get_online_members(
@@ -129,6 +190,10 @@ Table8Cell run_peerhood_column(std::uint64_t seed, PeerHoodUserModel user,
           done = true;
         });
     while (!done) simulator.run_for(sim::milliseconds(100));
+    medium.trace().end_span(task_span, simulator.now());
+    publish_attribution(
+        metrics, "peerhood", "member_list",
+        obs::attribute_window(medium.trace(), task_start, simulator.now()));
     cell.member_list_s = sim::to_seconds(simulator.now() - task_start);
   }
 
@@ -136,6 +201,9 @@ Table8Cell run_peerhood_column(std::uint64_t seed, PeerHoodUserModel user,
   // PS_GETPROFILE fan-out.
   {
     const sim::Time task_start = simulator.now();
+    const obs::SpanId task_span = medium.trace().begin_span(
+        "eval.table8.profile", task_start, self_node, "operation");
+    obs::Trace::Scope task_scope(medium.trace(), task_span);
     simulator.run_for(user.profile_navigation);
     bool done = false;
     self.app->client().view_profile(
@@ -144,6 +212,10 @@ Table8Cell run_peerhood_column(std::uint64_t seed, PeerHoodUserModel user,
           done = true;
         });
     while (!done) simulator.run_for(sim::milliseconds(100));
+    medium.trace().end_span(task_span, simulator.now());
+    publish_attribution(
+        metrics, "peerhood", "profile",
+        obs::attribute_window(medium.trace(), task_start, simulator.now()));
     cell.profile_s = sim::to_seconds(simulator.now() - task_start);
   }
   cell.paid_bytes = medium.traffic(net::Technology::gprs).total_bytes();

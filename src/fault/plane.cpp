@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/export.hpp"
 #include "util/log.hpp"
 
 namespace ph::fault {
@@ -94,6 +95,9 @@ void FaultPlane::begin_outage(net::NodeId node, net::Technology tech,
   c_outages_started_->inc();
   const obs::SpanId span =
       trace_->begin_span("fault.outage", simulator_.now(), node, "fault");
+  // PH_FLIGHT_JSON: snapshot the flight-recorder ring the moment the fault
+  // fires, while the lead-up is still in the buffer.
+  obs::dump_flight_recording(*trace_, "outage");
   PH_LOG(info, "fault") << "radio outage: node " << node << " "
                         << net::to_string(tech) << " for "
                         << sim::to_seconds(duration) << "s";
@@ -149,6 +153,7 @@ void FaultPlane::begin_blackout(net::NodeId node, sim::Duration duration) {
   c_blackouts_started_->inc();
   const obs::SpanId span =
       trace_->begin_span("fault.blackout", simulator_.now(), node, "fault");
+  obs::dump_flight_recording(*trace_, "blackout");
   PH_LOG(info, "fault") << "blackout: node " << node << " for "
                         << sim::to_seconds(duration) << "s";
   auto hooks = hooks_.find(node);

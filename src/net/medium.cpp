@@ -27,6 +27,8 @@ Medium::Medium(sim::Simulator& simulator, sim::Rng rng)
   c_links_broken_ = &registry_.counter("net.medium.links_broken");
   c_inquiries_ = &registry_.counter("net.medium.inquiries");
   h_transfer_us_ = &registry_.histogram("net.medium.transfer_us");
+  // Capacity overflow in the journal must be visible in metric dumps.
+  trace_.set_dropped_counter(&registry_.counter("obs.trace.dropped"));
   for (Technology tech : {Technology::bluetooth, Technology::wlan,
                           Technology::gprs}) {
     const std::string prefix =
@@ -69,6 +71,12 @@ void Medium::set_mobility(NodeId node,
 
 const std::string& Medium::node_name(NodeId node) const {
   return nodes_.at(node).name;
+}
+
+std::map<std::uint64_t, std::string> Medium::trace_device_names() const {
+  std::map<std::uint64_t, std::string> names;
+  for (const auto& [id, entry] : nodes_) names[id] = entry.name;
+  return names;
 }
 
 sim::Vec2 Medium::position(NodeId node) const {
@@ -252,6 +260,14 @@ void Medium::deliver_datagram(Adapter& from, NodeId dst, Port port,
       static_cast<double>(payload.size()) * 8.0 / profile.bandwidth_bps);
   const sim::Duration flight = transfer_time(profile, payload.size(), false);
   from.tx_busy_until_ = depart + serialize;
+  if (depart > simulator_.now()) {
+    // The frame waited for the radio: record the queueing window as a
+    // child of the flight span (end known now — synthetic closed span).
+    obs::Trace::Scope queued(trace_, span);
+    const obs::SpanId q = trace_.begin_span("net.tx_queue", simulator_.now(),
+                                            from.node(), "queue");
+    trace_.end_span(q, depart);
+  }
   if (rng_.chance(frame_loss(profile))) {
     c_datagrams_lost_->inc();
     trace_.end_span(span, simulator_.now());
@@ -273,6 +289,10 @@ void Medium::deliver_datagram(Adapter& from, NodeId dst, Port port,
         auto handler = receiver->datagram_handlers_.find(port);
         if (handler == receiver->datagram_handlers_.end()) return;
         auto fn = handler->second;  // copy: handler may rebind the port
+        // The flight span id travelled inside this closure — the
+        // datagram's trace context. Receive-side spans begun by the
+        // handler parent under it, stitching the two devices' trees.
+        obs::Trace::Scope causal(trace_, span);
         fn(src, payload);
       });
 }
@@ -286,6 +306,7 @@ void Medium::start_inquiry(Adapter& from, InquiryHandler done) {
   simulator_.schedule(profile.inquiry_duration,
                       [this, src, profile, span, done = std::move(done)] {
                         trace_.end_span(span, simulator_.now());
+                        obs::Trace::Scope causal(trace_, span);
                         Adapter* self = adapter(src, profile.tech);
                         if (self == nullptr || !self->powered()) {
                           done({});
@@ -310,6 +331,10 @@ void Medium::open_link(Adapter& from, NodeId dst, Port port,
   simulator_.schedule(profile.connect_latency, [this, src, dst, port, profile,
                                                 span, done = std::move(done)] {
     trace_.end_span(span, simulator_.now());
+    // Both the server-side accept and the client continuation run under
+    // the link-open span: the server's handlers are causally downstream
+    // of the remote connect even though they live on another device.
+    obs::Trace::Scope causal(trace_, span);
     Adapter* self = adapter(src, profile.tech);
     if (self == nullptr || !self->powered()) {
       done(Error{Errc::connect_failed, "local adapter powered off"});
@@ -373,6 +398,12 @@ void Medium::link_send(const std::shared_ptr<detail::LinkState>& state,
       sender == state->a ? state->busy_a_to_b : state->busy_b_to_a;
   const sim::Time depart = std::max(simulator_.now(), busy);
   const sim::Duration flight = transfer_time(profile, payload.size(), true);
+  if (depart > simulator_.now()) {
+    obs::Trace::Scope queued(trace_, span);
+    const obs::SpanId q = trace_.begin_span("net.tx_queue", simulator_.now(),
+                                            sender, "queue");
+    trace_.end_span(q, depart);
+  }
   busy = depart + flight - profile.base_latency;
   const NodeId receiver = state->peer_of(sender);
   std::weak_ptr<detail::LinkState> weak = state;
@@ -390,6 +421,9 @@ void Medium::link_send(const std::shared_ptr<detail::LinkState>& state,
         // handshakes install new handlers), which would otherwise destroy
         // the executing lambda.
         auto rx = st->rx_for(receiver);
+        // Cross-device causality: the receiver handles the frame under
+        // the sender's flight span.
+        obs::Trace::Scope causal(trace_, span);
         if (rx) rx(payload);
       });
 }

@@ -61,6 +61,9 @@ class Medium {
   const std::string& node_name(NodeId node) const;
   sim::Vec2 position(NodeId node) const;  ///< sampled at current virtual time
   std::size_t node_count() const noexcept { return nodes_.size(); }
+  /// Node-id → name map in the shape obs::to_chrome_trace wants for
+  /// naming per-device tracks.
+  std::map<std::uint64_t, std::string> trace_device_names() const;
 
   // --- access points ------------------------------------------------------
   /// Installs a WLAN access point (infrastructure mode, thesis §2.4.2).

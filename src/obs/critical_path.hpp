@@ -1,0 +1,82 @@
+// Critical-path latency attribution over a closed span tree.
+//
+// The trace journal tells us *that* a Table-8 operation took 26 s; this
+// analyzer tells us *why*: how much of the elapsed window was Bluetooth
+// inquiry wait, link handshake, payload transfer, retry/backoff idle or
+// radio TX queueing — and how much nobody instrumented (processing).
+//
+// Spans are classified into phases by name (see classify()); phase spans
+// are swept over the attribution window and every elementary interval is
+// charged to the highest-priority phase covering it, so overlapping
+// spans never double-count and the phase times sum *exactly* to the
+// window length — the residual not covered by any phase span is charged
+// to Phase::processing. Priority order (most transient/specific wins):
+// queueing > backoff > transfer > handshake > inquiry; e.g. a datagram
+// flight inside an inquiry-scan window counts as transfer, not inquiry.
+//
+// Two entry points:
+//  - attribute_window(trace, t0, t1): everything the world did in a wall
+//    clock window — right for ambient operations (discovery, group
+//    re-formation after a fault) that have no single root span.
+//  - attribute_tree(trace, root): only the root span's descendants,
+//    clipped to the root's own interval — right for a single RPC.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace ph::obs {
+
+enum class Phase : std::uint8_t {
+  inquiry = 0,    ///< device-discovery scan wait (net.inquiry, peerhood.inquiry)
+  handshake = 1,  ///< link open / session hello / resume reconnects
+  transfer = 2,   ///< frames in flight (net.datagram, net.link.send)
+  backoff = 3,    ///< retry/backoff idle (…backoff.wait)
+  queueing = 4,   ///< radio TX busy / RPC admission queues (…queue…)
+  processing = 5, ///< residual: time no phase span covers
+};
+
+inline constexpr std::size_t kPhaseCount = 6;
+
+const char* to_string(Phase phase);
+
+/// Maps a span to its phase by name, or nullopt for container spans
+/// (community.rpc, eval.*, fault.*, …) that carry no phase of their own.
+std::optional<Phase> classify(const Span& span);
+
+/// Phase attribution of one window; phase_us sums exactly to window_us.
+struct Attribution {
+  TimePoint window_us = 0;
+  std::array<std::uint64_t, kPhaseCount> phase_us{};
+
+  std::uint64_t of(Phase phase) const {
+    return phase_us[static_cast<std::size_t>(phase)];
+  }
+  double fraction(Phase phase) const {
+    return window_us == 0 ? 0.0
+                          : static_cast<double>(of(phase)) /
+                                static_cast<double>(window_us);
+  }
+  /// Accumulates another attribution (for averaging across runs).
+  void add(const Attribution& other);
+};
+
+/// Attributes [t0, t1) across every closed phase span in the journal.
+Attribution attribute_window(const Trace& trace, TimePoint t0, TimePoint t1);
+
+/// Attributes the root span's own interval using only its descendants.
+/// Returns a zero attribution when the root is unknown or not closed.
+Attribution attribute_tree(const Trace& trace, SpanId root);
+
+/// Renders rows as a fixed-width attribution table (seconds, three
+/// decimals), one line per labelled operation. Deterministic output.
+std::string format_attribution_table(
+    const std::vector<std::pair<std::string, Attribution>>& rows);
+
+}  // namespace ph::obs

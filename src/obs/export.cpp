@@ -190,6 +190,91 @@ std::string to_csv(const Registry& registry) {
   return out;
 }
 
+std::string to_chrome_trace(
+    const Trace& trace,
+    const std::map<std::uint64_t, std::string>& device_names) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto begin_event = [&] {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{";
+  };
+  // One track per device: pid=tid=device id, labelled via metadata.
+  std::map<std::uint64_t, bool> devices;
+  for (const Span& span : trace.spans()) devices[span.device] = true;
+  for (const TraceEvent& event : trace.events()) devices[event.device] = true;
+  for (const auto& [device, seen] : devices) {
+    (void)seen;
+    begin_event();
+    out += "\"ph\":\"M\",\"name\":\"process_name\",";
+    append_field(out, "pid", static_cast<double>(device));
+    append_field(out, "tid", static_cast<double>(device));
+    out += "\"args\":{\"name\":";
+    auto it = device_names.find(device);
+    append_escaped(out, it != device_names.end()
+                            ? it->second
+                            : "device " + std::to_string(device));
+    out += "}}";
+  }
+  for (const Span& span : trace.spans()) {
+    begin_event();
+    // Closed spans are complete ("X") events; still-open ones emit a
+    // begin ("B") so truncated operations remain visible in the viewer.
+    out += span.closed ? "\"ph\":\"X\"," : "\"ph\":\"B\",";
+    out += "\"name\":";
+    append_escaped(out, span.name);
+    out += ",\"cat\":";
+    append_escaped(out, span.kind.empty() ? "span" : span.kind);
+    out += ',';
+    append_field(out, "pid", static_cast<double>(span.device));
+    append_field(out, "tid", static_cast<double>(span.device));
+    append_field(out, "ts", static_cast<double>(span.start));
+    if (span.closed) {
+      append_field(out, "dur", static_cast<double>(span.end - span.start));
+    }
+    out += "\"args\":{";
+    append_field(out, "id", static_cast<double>(span.id));
+    append_field(out, "parent", static_cast<double>(span.parent), false);
+    out += "}}";
+    // A parent on another device is a causal hop across the radio: draw
+    // it as a flow arrow from the parent's start to this span's start.
+    const Span* parent = trace.find_span(span.parent);
+    if (parent != nullptr && parent->device != span.device) {
+      begin_event();
+      out += "\"ph\":\"s\",\"name\":\"causal\",\"cat\":\"flow\",";
+      append_field(out, "id", static_cast<double>(span.id));
+      append_field(out, "pid", static_cast<double>(parent->device));
+      append_field(out, "tid", static_cast<double>(parent->device));
+      append_field(out, "ts", static_cast<double>(parent->start), false);
+      out += '}';
+      begin_event();
+      out += "\"ph\":\"f\",\"bp\":\"e\",\"name\":\"causal\",\"cat\":\"flow\",";
+      append_field(out, "id", static_cast<double>(span.id));
+      append_field(out, "pid", static_cast<double>(span.device));
+      append_field(out, "tid", static_cast<double>(span.device));
+      append_field(out, "ts", static_cast<double>(span.start), false);
+      out += '}';
+    }
+  }
+  for (const TraceEvent& event : trace.events()) {
+    begin_event();
+    out += "\"ph\":\"i\",\"s\":\"t\",\"name\":";
+    append_escaped(out, event.name);
+    out += ",\"cat\":";
+    append_escaped(out, event.kind.empty() ? "event" : event.kind);
+    out += ',';
+    append_field(out, "pid", static_cast<double>(event.device));
+    append_field(out, "tid", static_cast<double>(event.device));
+    append_field(out, "ts", static_cast<double>(event.at), false);
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
 bool write_file(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
@@ -205,8 +290,17 @@ bool write_file(const std::string& path, const std::string& content) {
   return true;
 }
 
-bool dump_if_requested(const Registry& registry, const Trace* trace) {
+bool dump_if_requested(const Registry& registry, const Trace* trace,
+                       const std::map<std::uint64_t, std::string>&
+                           device_names) {
   bool ok = true;
+  if (trace != nullptr && trace->dropped() > 0) {
+    std::fprintf(stderr,
+                 "obs: warning: trace journal dropped %llu records at "
+                 "capacity; the dump is incomplete (raise "
+                 "Trace::set_capacity or use ring mode)\n",
+                 static_cast<unsigned long long>(trace->dropped()));
+  }
   if (const char* path = std::getenv("PH_METRICS_JSON");
       path != nullptr && *path != '\0') {
     if (write_file(path, to_json(registry, trace))) {
@@ -223,7 +317,49 @@ bool dump_if_requested(const Registry& registry, const Trace* trace) {
       ok = false;
     }
   }
+  if (const char* path = std::getenv("PH_TRACE_JSON");
+      path != nullptr && *path != '\0') {
+    if (trace == nullptr) {
+      std::fprintf(stderr,
+                   "obs: PH_TRACE_JSON set but this tool records no trace\n");
+    } else if (write_file(path, to_chrome_trace(*trace, device_names))) {
+      std::fprintf(stderr, "obs: Chrome trace JSON written to %s\n", path);
+    } else {
+      ok = false;
+    }
+  }
   return ok;
+}
+
+bool dump_trace_if_requested(const Trace& trace,
+                             const std::map<std::uint64_t, std::string>&
+                                 device_names) {
+  const char* path = std::getenv("PH_TRACE_JSON");
+  if (path == nullptr || *path == '\0') return false;
+  if (!write_file(path, to_chrome_trace(trace, device_names))) return false;
+  std::fprintf(stderr, "obs: Chrome trace JSON written to %s\n", path);
+  return true;
+}
+
+bool dump_flight_recording(const Trace& trace, const std::string& reason,
+                           const std::string& fallback_path) {
+  const char* env = std::getenv("PH_FLIGHT_JSON");
+  const std::string path =
+      env != nullptr && *env != '\0' ? std::string(env) : fallback_path;
+  if (path.empty()) return false;
+  std::string body = to_chrome_trace(trace);
+  // Tag the dump with why it fired; Perfetto surfaces otherData verbatim.
+  const std::string prefix = "{\"displayTimeUnit\":\"ms\",";
+  if (body.compare(0, prefix.size(), prefix) == 0) {
+    std::string tagged = prefix + "\"otherData\":{\"reason\":";
+    append_escaped(tagged, reason);
+    tagged += "},";
+    body = tagged + body.substr(prefix.size());
+  }
+  if (!write_file(path, body)) return false;
+  std::fprintf(stderr, "obs: flight recording (%s) written to %s\n",
+               reason.c_str(), path.c_str());
+  return true;
 }
 
 }  // namespace ph::obs

@@ -1,5 +1,7 @@
 // Exporters for the observability core: registry (+ optional trace) to
-// JSON or CSV, plus the env-var hook every bench main calls at exit.
+// JSON or CSV, the trace journal to Chrome trace-event JSON (openable in
+// Perfetto / chrome://tracing), plus the env-var hooks every bench main
+// calls at exit.
 //
 // JSON shape:
 //   {
@@ -18,8 +20,15 @@
 //
 // CSV shape (one instrument field per row):
 //   kind,name,field,value
+//
+// Chrome trace shape: {"traceEvents":[...]} with one track (pid=tid=
+// device id) per device, "X" complete events for closed spans, "B" for
+// still-open ones, "i" instants for point events, and "s"/"f" flow
+// arrows for parent links that cross devices — the causal hops.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 
 #include "obs/metrics.hpp"
@@ -30,12 +39,38 @@ namespace ph::obs {
 std::string to_json(const Registry& registry, const Trace* trace = nullptr);
 std::string to_csv(const Registry& registry);
 
+/// Renders the journal as Chrome trace-event JSON. `device_names` labels
+/// the per-device tracks (unnamed devices show as "device <id>").
+std::string to_chrome_trace(
+    const Trace& trace,
+    const std::map<std::uint64_t, std::string>& device_names = {});
+
 /// Writes `content` to `path`; returns false (and logs to stderr) on error.
 bool write_file(const std::string& path, const std::string& content);
 
 /// The bench-exit hook: when the environment sets PH_METRICS_JSON (or
-/// PH_METRICS_CSV) to a path, dumps a snapshot there. Returns true when
+/// PH_METRICS_CSV) to a path, dumps a snapshot there; PH_TRACE_JSON
+/// dumps the trace as Chrome trace-event JSON (needs a trace). Warns on
+/// stderr when the journal silently dropped records. Returns true when
 /// every requested dump succeeded (vacuously true when none requested).
-bool dump_if_requested(const Registry& registry, const Trace* trace = nullptr);
+bool dump_if_requested(const Registry& registry, const Trace* trace = nullptr,
+                       const std::map<std::uint64_t, std::string>&
+                           device_names = {});
+
+/// Trace-only variant of dump_if_requested: writes the Chrome trace JSON
+/// to $PH_TRACE_JSON when set. For call sites (per-run eval worlds) whose
+/// registry aggregate is dumped elsewhere. Returns true if a file was
+/// written.
+bool dump_trace_if_requested(const Trace& trace,
+                             const std::map<std::uint64_t, std::string>&
+                                 device_names = {});
+
+/// Flight-recorder dump: writes the (ring) trace as Chrome trace JSON to
+/// $PH_FLIGHT_JSON, or to `fallback_path` when the env var is unset.
+/// With neither set this is a no-op (so fault-plane dumps stay opt-in).
+/// `reason` ("blackout", "outage", "test_failure") is logged and embedded
+/// in the file. Returns true when a dump was written.
+bool dump_flight_recording(const Trace& trace, const std::string& reason,
+                           const std::string& fallback_path = {});
 
 }  // namespace ph::obs

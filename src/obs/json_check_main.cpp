@@ -1,14 +1,27 @@
 // ph_obs_json_check — validates a metrics JSON dump produced by
-// obs::to_json(). Used by the ph_bench_smoke CTest target to fail the
-// build when a bench emits malformed or incomplete metrics.
+// obs::to_json(), or (with --chrome) a Chrome trace-event dump produced
+// by obs::to_chrome_trace(). Used by the ph_bench_smoke and
+// ph_trace_check CTest targets to fail the build when a bench emits
+// malformed or incomplete dumps.
 //
 // Usage:
 //   ph_obs_json_check FILE [requirement...]
+//   ph_obs_json_check --chrome FILE [requirement...]
 //
-// Requirements:
+// Metrics-mode requirements:
 //   counter:PREFIX     at least one counter whose name starts with PREFIX
 //   histogram:PREFIX   at least one histogram whose name starts with PREFIX
 //                      (must carry numeric count/sum/p50/p95/p99 fields)
+//   span:PREFIX        at least one span whose name starts with PREFIX
+//                      (needs the optional "spans" section)
+//   event:PREFIX       same for the "events" section
+// When present, the "spans"/"events" sections are structurally validated
+// even without explicit requirements.
+//
+// Chrome-mode requirements are NAME prefixes: at least one trace event
+// whose "name" starts with the prefix must exist. Structure (object with
+// a "traceEvents" array, every element carrying a string "ph" and the
+// fields its phase implies) is always validated.
 //
 // Exits 0 when the file parses and every requirement is met; 1 otherwise.
 #include <cstdio>
@@ -50,6 +63,93 @@ bool histogram_well_formed(const std::string& name, const Value& h) {
   return true;
 }
 
+/// Every element of the optional "spans"/"events" arrays must be an object
+/// with the fields to_json() writes, correctly typed.
+bool record_well_formed(const char* section, std::size_t index,
+                        const Value& record,
+                        const std::vector<const char*>& number_fields,
+                        const std::vector<const char*>& string_fields,
+                        const std::vector<const char*>& bool_fields) {
+  auto fail = [&](const char* what, const char* field) {
+    std::fprintf(stderr, "json_check: %s[%zu] %s '%s'\n", section, index, what,
+                 field);
+    return false;
+  };
+  if (!record.is_object()) {
+    std::fprintf(stderr, "json_check: %s[%zu] is not an object\n", section,
+                 index);
+    return false;
+  }
+  for (const char* field : number_fields) {
+    const Value* v = record.get(field);
+    if (v == nullptr || !v->is_number()) return fail("missing numeric", field);
+  }
+  for (const char* field : string_fields) {
+    const Value* v = record.get(field);
+    if (v == nullptr || !v->is_string()) return fail("missing string", field);
+  }
+  for (const char* field : bool_fields) {
+    const Value* v = record.get(field);
+    if (v == nullptr || v->kind != Value::Kind::boolean) {
+      return fail("missing boolean", field);
+    }
+  }
+  return true;
+}
+
+bool trace_sections_well_formed(const Value& root) {
+  if (const Value* spans = root.get("spans")) {
+    if (!spans->is_array()) {
+      std::fprintf(stderr, "json_check: 'spans' is not an array\n");
+      return false;
+    }
+    for (std::size_t i = 0; i < spans->array->size(); ++i) {
+      if (!record_well_formed("spans", i, (*spans->array)[i],
+                              {"id", "parent", "device", "start_us", "end_us"},
+                              {"name", "kind"}, {"closed"})) {
+        return false;
+      }
+    }
+  }
+  if (const Value* events = root.get("events")) {
+    if (!events->is_array()) {
+      std::fprintf(stderr, "json_check: 'events' is not an array\n");
+      return false;
+    }
+    for (std::size_t i = 0; i < events->array->size(); ++i) {
+      if (!record_well_formed("events", i, (*events->array)[i],
+                              {"span", "device", "at_us"}, {"name", "kind"},
+                              {})) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// span:PREFIX / event:PREFIX — at least one record in the section whose
+/// "name" starts with PREFIX.
+bool check_trace_requirement(const Value& root, const std::string& kind,
+                             const std::string& prefix) {
+  const char* section = kind == "span" ? "spans" : "events";
+  const Value* records = root.get(section);
+  if (records == nullptr || !records->is_array()) {
+    std::fprintf(stderr, "json_check: missing '%s' array (requirement %s:%s)\n",
+                 section, kind.c_str(), prefix.c_str());
+    return false;
+  }
+  for (const Value& record : *records->array) {
+    const Value* name = record.is_object() ? record.get("name") : nullptr;
+    if (name != nullptr && name->is_string() &&
+        starts_with(name->string, prefix)) {
+      return true;
+    }
+  }
+  std::fprintf(stderr, "json_check: no %s matching prefix '%s'\n", kind.c_str(),
+               prefix.c_str());
+  return false;
+}
+
 bool check_requirement(const Value& root, const std::string& requirement) {
   const std::string::size_type colon = requirement.find(':');
   if (colon == std::string::npos) {
@@ -59,6 +159,9 @@ bool check_requirement(const Value& root, const std::string& requirement) {
   }
   const std::string kind = requirement.substr(0, colon);
   const std::string prefix = requirement.substr(colon + 1);
+  if (kind == "span" || kind == "event") {
+    return check_trace_requirement(root, kind, prefix);
+  }
   const char* section = nullptr;
   if (kind == "counter") {
     section = "counters";
@@ -92,17 +195,85 @@ bool check_requirement(const Value& root, const std::string& requirement) {
   return false;
 }
 
+/// --chrome: the dump must be {"traceEvents":[...]} where every element
+/// carries a string "ph" plus the fields its phase implies; requirements
+/// are name prefixes.
+int check_chrome(const char* path, const Value& root, int argc, char** argv,
+                 int first_requirement) {
+  const Value* events = root.get("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "json_check: %s: missing 'traceEvents' array\n", path);
+    return 1;
+  }
+  for (std::size_t i = 0; i < events->array->size(); ++i) {
+    const Value& event = (*events->array)[i];
+    if (!event.is_object()) {
+      std::fprintf(stderr, "json_check: traceEvents[%zu] is not an object\n", i);
+      return 1;
+    }
+    const Value* ph = event.get("ph");
+    if (ph == nullptr || !ph->is_string() || ph->string.empty()) {
+      std::fprintf(stderr, "json_check: traceEvents[%zu] has no 'ph'\n", i);
+      return 1;
+    }
+    std::vector<const char*> number_fields = {"pid", "tid"};
+    std::vector<const char*> string_fields;
+    if (ph->string != "M") number_fields.push_back("ts");
+    if (ph->string == "X") number_fields.push_back("dur");
+    if (ph->string == "X" || ph->string == "B" || ph->string == "i") {
+      string_fields.push_back("name");
+    }
+    if (!record_well_formed("traceEvents", i, event, number_fields,
+                            string_fields, {})) {
+      return 1;
+    }
+  }
+  bool ok = true;
+  for (int i = first_requirement; i < argc; ++i) {
+    const std::string prefix = argv[i];
+    bool found = false;
+    for (const Value& event : *events->array) {
+      const Value* name = event.get("name");
+      if (name != nullptr && name->is_string() &&
+          starts_with(name->string, prefix)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "json_check: no trace event named '%s...'\n",
+                   prefix.c_str());
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::fprintf(stderr, "json_check: %s OK (chrome, %zu events)\n", path,
+                 events->array->size());
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s FILE [counter:PREFIX|histogram:PREFIX]...\n",
+  bool chrome = false;
+  int file_arg = 1;
+  if (argc >= 2 && std::string(argv[1]) == "--chrome") {
+    chrome = true;
+    file_arg = 2;
+  }
+  if (argc < file_arg + 1) {
+    std::fprintf(stderr,
+                 "usage: %s [--chrome] FILE "
+                 "[counter:PREFIX|histogram:PREFIX|span:PREFIX|event:PREFIX"
+                 "|NAME-PREFIX]...\n",
                  argv[0]);
     return 1;
   }
-  std::ifstream in(argv[1], std::ios::binary);
+  const char* path = argv[file_arg];
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
-    std::fprintf(stderr, "json_check: cannot open '%s'\n", argv[1]);
+    std::fprintf(stderr, "json_check: cannot open '%s'\n", path);
     return 1;
   }
   std::ostringstream buffer;
@@ -112,21 +283,22 @@ int main(int argc, char** argv) {
   Value root;
   std::string error;
   if (!ph::obs::json::parse(text, root, &error)) {
-    std::fprintf(stderr, "json_check: %s: parse error: %s\n", argv[1],
+    std::fprintf(stderr, "json_check: %s: parse error: %s\n", path,
                  error.c_str());
     return 1;
   }
   if (!root.is_object()) {
-    std::fprintf(stderr, "json_check: %s: top level is not an object\n",
-                 argv[1]);
+    std::fprintf(stderr, "json_check: %s: top level is not an object\n", path);
     return 1;
   }
+  if (chrome) return check_chrome(path, root, argc, argv, file_arg + 1);
   // Structural sanity independent of explicit requirements: the three metric
-  // sections must exist and every counter/gauge value must be a number.
+  // sections must exist and every counter/gauge value must be a number; the
+  // optional spans/events sections must be well-typed when present.
   for (const char* section : {"counters", "gauges", "histograms"}) {
     const Value* table = root.get(section);
     if (table == nullptr || !table->is_object()) {
-      std::fprintf(stderr, "json_check: %s: missing '%s' object\n", argv[1],
+      std::fprintf(stderr, "json_check: %s: missing '%s' object\n", path,
                    section);
       return 1;
     }
@@ -134,8 +306,8 @@ int main(int argc, char** argv) {
   for (const char* section : {"counters", "gauges"}) {
     for (const auto& [name, value] : *root.get(section)->object) {
       if (!value.is_number()) {
-        std::fprintf(stderr, "json_check: %s: %s '%s' is not a number\n",
-                     argv[1], section, name.c_str());
+        std::fprintf(stderr, "json_check: %s: %s '%s' is not a number\n", path,
+                     section, name.c_str());
         return 1;
       }
     }
@@ -143,14 +315,15 @@ int main(int argc, char** argv) {
   for (const auto& [name, value] : *root.get("histograms")->object) {
     if (!histogram_well_formed(name, value)) return 1;
   }
+  if (!trace_sections_well_formed(root)) return 1;
 
   bool ok = true;
-  for (int i = 2; i < argc; ++i) {
+  for (int i = file_arg + 1; i < argc; ++i) {
     if (!check_requirement(root, argv[i])) ok = false;
   }
   if (ok) {
-    std::fprintf(stderr, "json_check: %s OK (%d requirement%s)\n", argv[1],
-                 argc - 2, argc - 2 == 1 ? "" : "s");
+    std::fprintf(stderr, "json_check: %s OK (%d requirement%s)\n", path,
+                 argc - file_arg - 1, argc - file_arg - 1 == 1 ? "" : "s");
   }
   return ok ? 0 : 1;
 }

@@ -1,28 +1,38 @@
 #include "obs/trace.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace ph::obs {
 
 SpanId Trace::begin_span(std::string name, TimePoint now, std::uint64_t device,
                          std::string kind) {
+  return begin_span_under(0, std::move(name), now, device, std::move(kind));
+}
+
+SpanId Trace::begin_span_under(SpanId parent, std::string name, TimePoint now,
+                               std::uint64_t device, std::string kind) {
   if (!enabled_) return 0;
-  if (spans_.size() >= capacity_) {
+  if (ring_capacity_ == 0 && spans_.size() >= capacity_) {
     ++dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->inc();
     return 0;
   }
   Span span;
-  span.id = static_cast<SpanId>(spans_.size()) + 1;
-  span.parent = current_context();
+  span.id = span_base_ + static_cast<SpanId>(spans_.size()) + 1;
+  span.parent = parent != 0 ? parent : current_context();
   span.name = std::move(name);
   span.kind = std::move(kind);
   span.device = device;
   span.start = now;
   spans_.push_back(std::move(span));
-  return spans_.back().id;
+  const SpanId id = spans_.back().id;
+  evict_if_ring();
+  return id;
 }
 
 void Trace::end_span(SpanId id, TimePoint now) {
-  if (id == 0 || id > spans_.size()) return;
-  Span& span = spans_[id - 1];
+  if (id <= span_base_ || id > span_base_ + spans_.size()) return;
+  Span& span = spans_[id - span_base_ - 1];
   if (span.closed) return;
   span.end = now;
   span.closed = true;
@@ -31,8 +41,9 @@ void Trace::end_span(SpanId id, TimePoint now) {
 void Trace::add_event(std::string name, TimePoint now, std::uint64_t device,
                       std::string kind) {
   if (!enabled_) return;
-  if (events_.size() >= capacity_) {
+  if (ring_capacity_ == 0 && events_.size() >= capacity_) {
     ++dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->inc();
     return;
   }
   TraceEvent event;
@@ -42,6 +53,26 @@ void Trace::add_event(std::string name, TimePoint now, std::uint64_t device,
   event.device = device;
   event.at = now;
   events_.push_back(std::move(event));
+  evict_if_ring();
+}
+
+void Trace::evict_if_ring() {
+  if (ring_capacity_ == 0) return;
+  // Amortised: let the journal grow to twice the ring size, then shed the
+  // older half in one erase. Keeps spans() a plain contiguous vector (one
+  // move per record on average) while bounding memory to 2× the ring.
+  if (spans_.size() >= 2 * ring_capacity_) {
+    const std::size_t shed = spans_.size() - ring_capacity_;
+    spans_.erase(spans_.begin(),
+                 spans_.begin() + static_cast<std::ptrdiff_t>(shed));
+    span_base_ += shed;
+    evicted_spans_ += shed;
+  }
+  if (events_.size() >= 2 * ring_capacity_) {
+    const std::size_t shed = events_.size() - ring_capacity_;
+    events_.erase(events_.begin(),
+                  events_.begin() + static_cast<std::ptrdiff_t>(shed));
+  }
 }
 
 void Trace::push_context(SpanId id) { context_.push_back(id); }
@@ -51,8 +82,8 @@ void Trace::pop_context() {
 }
 
 const Span* Trace::find_span(SpanId id) const {
-  if (id == 0 || id > spans_.size()) return nullptr;
-  return &spans_[id - 1];
+  if (id <= span_base_ || id > span_base_ + spans_.size()) return nullptr;
+  return &spans_[id - span_base_ - 1];
 }
 
 void Trace::clear() {
@@ -60,6 +91,8 @@ void Trace::clear() {
   events_.clear();
   context_.clear();
   dropped_ = 0;
+  evicted_spans_ = 0;
+  span_base_ = 0;
 }
 
 }  // namespace ph::obs

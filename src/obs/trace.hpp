@@ -11,11 +11,25 @@
 // exactly the causal order ("the RPC caused this frame"), not the
 // completion order.
 //
+// Cross-device causality: a span id travels inside simulated wire
+// headers (proto message trace_parent fields) and inside the medium's
+// scheduled delivery closures, so the receive side can parent its spans
+// under the *remote* sender's span — begin_span_under() takes that
+// explicit parent. The result is one connected tree per end-to-end
+// operation even though it hops devices.
+//
 // Timestamps are sim::Time microseconds, passed in by the caller so this
 // library does not depend on the simulator. Tracing is OFF by default
 // (long soak runs would otherwise accumulate millions of records); tests
 // and benches that want a journal call set_enabled(true). When disabled,
 // begin_span returns 0 and every other entry point is a cheap no-op.
+//
+// Flight recorder: set_ring_capacity(N) turns the journal into a bounded
+// ring that keeps roughly the last N spans (and N events) and evicts the
+// oldest instead of dropping the newest. Ids stay monotonic across
+// eviction — find_span()/end_span() on an evicted id are safe no-ops —
+// so a ring trace can stay on for a whole soak and be dumped when a
+// fault fires (see obs::dump_flight_recording).
 #pragma once
 
 #include <cstdint>
@@ -23,6 +37,8 @@
 #include <vector>
 
 namespace ph::obs {
+
+class Counter;
 
 /// Identifies a recorded span; 0 means "none" (tracing disabled, dropped,
 /// or no parent).
@@ -64,6 +80,14 @@ class Trace {
   SpanId begin_span(std::string name, TimePoint now, std::uint64_t device = 0,
                     std::string kind = {});
 
+  /// Starts a span under an explicit parent — the cross-device entry
+  /// point: the parent id arrived in a wire header or a delivery closure
+  /// from another device. A zero parent falls back to the current
+  /// context, so instrumentation can pass a header field through
+  /// unconditionally.
+  SpanId begin_span_under(SpanId parent, std::string name, TimePoint now,
+                          std::uint64_t device = 0, std::string kind = {});
+
   /// Closes a span; end_span(0, …) is a no-op, so callers can hold ids
   /// from a disabled trace without checking.
   void end_span(SpanId id, TimePoint now);
@@ -97,22 +121,48 @@ class Trace {
     bool active_;
   };
 
+  /// Retained spans, oldest first. In ring mode this is a suffix of the
+  /// full journal; Span::id remains globally monotonic.
   const std::vector<Span>& spans() const noexcept { return spans_; }
   const std::vector<TraceEvent>& events() const noexcept { return events_; }
-  /// O(1): ids are indices + 1. nullptr for 0 / unknown.
+  /// O(1). nullptr for 0, unknown, or evicted ids.
   const Span* find_span(SpanId id) const;
 
-  /// Records dropped because the journal hit its capacity.
+  /// Records dropped because the journal hit its capacity (full mode
+  /// only — a ring evicts instead of dropping).
   std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Old spans discarded by the flight-recorder ring.
+  std::uint64_t evicted() const noexcept { return evicted_spans_; }
   /// Caps spans+events each; existing records are kept.
   void set_capacity(std::size_t max_records) noexcept { capacity_ = max_records; }
+
+  /// Flight-recorder mode: keep roughly the last `spans` spans (and as
+  /// many events), evicting the oldest. 0 restores the default
+  /// record-until-full behaviour.
+  void set_ring_capacity(std::size_t spans) noexcept { ring_capacity_ = spans; }
+  std::size_t ring_capacity() const noexcept { return ring_capacity_; }
+
+  /// Mirrors every drop into a registry counter (obs.trace.dropped) so
+  /// capacity overflow is visible in metric dumps. The counter must
+  /// outlive the trace or be reset with nullptr.
+  void set_dropped_counter(Counter* counter) noexcept {
+    dropped_counter_ = counter;
+  }
 
   void clear();
 
  private:
+  void evict_if_ring();
+
   bool enabled_ = false;
   std::size_t capacity_ = 1 << 20;
+  std::size_t ring_capacity_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t evicted_spans_ = 0;
+  /// Count of spans ever evicted from the front; spans_[i] has id
+  /// span_base_ + i + 1.
+  std::uint64_t span_base_ = 0;
+  Counter* dropped_counter_ = nullptr;
   std::vector<Span> spans_;
   std::vector<TraceEvent> events_;
   std::vector<SpanId> context_;

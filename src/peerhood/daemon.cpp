@@ -312,6 +312,7 @@ void Daemon::send_service_query(DeviceId target, net::Technology tech,
   proto::DaemonMessage query;
   query.op = proto::DaemonOp::service_query;
   query.token = token;
+  query.trace_parent = span;  // remote daemon parents its handling here
   query.device_name = device_name_;
   {
     obs::Trace::Scope scope(*trace_, span);  // parents the query datagram
@@ -344,6 +345,9 @@ void Daemon::send_service_query(DeviceId target, net::Technology tech,
         pending_queries_.erase(it);
         trace_->end_span(timed_out.span, simulator_.now());
         if (timed_out.attempts_left > 0) {
+          // Chain the retry under the attempt that timed out, so the
+          // whole retry ladder reads as one tree in the trace.
+          obs::Trace::Scope scope(*trace_, timed_out.span);
           send_service_query(timed_out.target, timed_out.tech,
                              timed_out.attempts_left);
         }
@@ -360,11 +364,19 @@ void Daemon::on_daemon_datagram(NetworkPlugin& plugin, DeviceId src,
     return;
   }
   const proto::DaemonMessage& message = *decoded;
+  // Receive-side span: parented under the remote sender's span carried in
+  // the message header (falls back to the datagram flight span the medium
+  // pushed around this handler), so both devices share one tree.
+  const obs::SpanId handle_span = trace_->begin_span_under(
+      message.trace_parent, "peerhood.daemon.handle", simulator_.now(), self_,
+      std::string(proto::to_string(message.op)));
+  obs::Trace::Scope handling(*trace_, handle_span);
   switch (message.op) {
     case proto::DaemonOp::service_query: {
       proto::DaemonMessage reply;
       reply.op = proto::DaemonOp::service_reply;
       reply.token = message.token;
+      reply.trace_parent = handle_span;
       reply.device_name = device_name_;
       for (const auto& [name, service] : local_services_) {
         reply.services.push_back(to_wire(service));
@@ -391,6 +403,7 @@ void Daemon::on_daemon_datagram(NetworkPlugin& plugin, DeviceId src,
       proto::DaemonMessage pong;
       pong.op = proto::DaemonOp::pong;
       pong.token = message.token;
+      pong.trace_parent = handle_span;
       pong.device_name = device_name_;
       plugin.adapter().send_datagram(src, net::kDaemonPort, proto::encode(pong));
       break;
@@ -413,6 +426,7 @@ void Daemon::on_daemon_datagram(NetworkPlugin& plugin, DeviceId src,
       break;
     }
   }
+  trace_->end_span(handle_span, simulator_.now());
 }
 
 void Daemon::apply_service_reply(NetworkPlugin& plugin, DeviceId src,
@@ -523,6 +537,13 @@ void Daemon::schedule_ping_retry(DeviceId id, std::uint32_t token,
   const std::uint64_t gen = generation_;
   const sim::Duration delay =
       retry_backoff(config_.reply_timeout).delay(attempt, jitter_rng_);
+  if (attempt > 0) {
+    // A genuine retry wait (attempt 0 is just the normal reply window):
+    // make the idle visible to critical-path attribution.
+    const obs::SpanId wait = trace_->begin_span(
+        "peerhood.backoff.wait", simulator_.now(), self_, "backoff");
+    trace_->end_span(wait, simulator_.now() + delay);
+  }
   simulator_.schedule(delay, [this, gen, id, token, attempt] {
     if (!running_ || gen != generation_) return;
     auto pending = pending_pings_.find(id);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/medium.hpp"
 #include "peerhood/session_state.hpp"
 #include "util/log.hpp"
 
@@ -123,6 +124,16 @@ void PeerHood::accept_link(const std::shared_ptr<ServiceEndpoint>& endpoint,
     }
     switch (wire->op) {
       case detail::SessionOp::hello: {
+        // This handler runs under the client's HELLO flight span (the
+        // medium pushes it around delivery), so the accept span — and
+        // everything the application does from on_accept — parents under
+        // the remote device's send: the cross-device receive-side span.
+        obs::Trace& journal = daemon_.medium().trace();
+        const obs::SpanId accept_span =
+            journal.begin_span("peerhood.session.accept",
+                               daemon_.simulator().now(), daemon_.self(),
+                               "hello");
+        obs::Trace::Scope causal(journal, accept_span);
         auto state = std::make_shared<detail::SessionState>();
         state->daemon = &daemon_;
         state->id = wire->session;
@@ -137,6 +148,7 @@ void PeerHood::accept_link(const std::shared_ptr<ServiceEndpoint>& endpoint,
           if (auto e = weak_ep.lock()) e->sessions.erase(id);
         };
         if (ep->on_accept) ep->on_accept(Connection{state});
+        journal.end_span(accept_span, daemon_.simulator().now());
         break;
       }
       case detail::SessionOp::resume: {

@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "net/medium.hpp"
 #include "peerhood/session_state.hpp"
 #include "sim/backoff.hpp"
 #include "proto/codec.hpp"
@@ -12,6 +13,7 @@ Bytes encode(const SessionWire& wire) {
   w.u8(static_cast<std::uint8_t>(wire.op));
   w.u64(wire.session);
   w.u32(wire.seq);
+  w.u64(wire.trace);
   w.bytes(wire.payload);
   return std::move(w).take();
 }
@@ -31,6 +33,9 @@ Result<SessionWire> decode_session_wire(BytesView data) {
   auto seq = r.u32();
   if (!seq) return seq.error();
   wire.seq = *seq;
+  auto trace = r.u64();
+  if (!trace) return trace.error();
+  wire.trace = *trace;
   auto payload = r.bytes();
   if (!payload) return payload.error();
   wire.payload = std::move(*payload);
@@ -64,14 +69,21 @@ void SessionState::send_wire(const SessionWire& wire) {
   if (link.open()) link.send(encode(wire));
 }
 
+obs::Trace& SessionState::journal() { return daemon->medium().trace(); }
+
 void SessionState::send_payload(Bytes payload) {
   if (closed) return;
   const std::uint32_t seq = next_seq++;
-  unacked.emplace_back(seq, payload);
+  // The innermost open span (the RPC, the task) rides the wire so the
+  // peer parents its handling under the remote sender — including when
+  // the frame is retransmitted over a different link after handover.
+  const std::uint64_t trace_ctx = journal().current_context();
+  unacked.push_back({seq, payload, trace_ctx});
   SessionWire wire;
   wire.op = SessionOp::data;
   wire.session = id;
   wire.seq = seq;
+  wire.trace = trace_ctx;
   wire.payload = std::move(payload);
   send_wire(wire);  // dropped when link is down; resume retransmits
 }
@@ -100,6 +112,10 @@ void SessionState::handle_wire(const SessionWire& wire) {
         ++handovers;
         resume_attempts = 0;  // recovered: next break backs off from scratch
         simulator().cancel(resume_timer);
+        journal().end_span(resume_span, simulator().now());
+        resume_span = 0;
+        journal().add_event("peerhood.session.handover", simulator().now(),
+                            self, std::string(net::to_string(link.technology())));
         retransmit_from(wire.seq);
         arm_monitor();
         PH_LOG(info, "conn") << "session " << id << " resumed over "
@@ -109,10 +125,11 @@ void SessionState::handle_wire(const SessionWire& wire) {
     case SessionOp::data: {
       // Acknowledge cumulatively, deliver in order exactly once.
       if (wire.seq > last_delivered) {
-        reorder.emplace(wire.seq, wire.payload);
+        reorder.emplace(wire.seq, Arrival{wire.payload, wire.trace});
         while (!reorder.empty() &&
                reorder.begin()->first == last_delivered + 1) {
-          Bytes payload = std::move(reorder.begin()->second);
+          Arrival arrival = std::move(reorder.begin()->second);
+          Bytes payload = std::move(arrival.payload);
           reorder.erase(reorder.begin());
           ++last_delivered;
           if (on_message) {
@@ -120,6 +137,10 @@ void SessionState::handle_wire(const SessionWire& wire) {
             // which clears on_message — the copy keeps the executing
             // lambda (and anything it captured) alive.
             auto handler = on_message;
+            // Deliver under the remote sender's span from the wire (a
+            // reordered frame would otherwise inherit the wrong flight
+            // span from the link's receive path).
+            obs::Trace::Scope causal(journal(), arrival.trace);
             handler(payload);
           }
           if (closed) return;  // handler closed the session
@@ -133,7 +154,7 @@ void SessionState::handle_wire(const SessionWire& wire) {
       break;
     }
     case SessionOp::ack:
-      while (!unacked.empty() && unacked.front().first <= wire.seq) {
+      while (!unacked.empty() && unacked.front().seq <= wire.seq) {
         unacked.pop_front();
       }
       break;
@@ -144,15 +165,16 @@ void SessionState::handle_wire(const SessionWire& wire) {
 }
 
 void SessionState::retransmit_from(std::uint32_t peer_last_delivered) {
-  while (!unacked.empty() && unacked.front().first <= peer_last_delivered) {
+  while (!unacked.empty() && unacked.front().seq <= peer_last_delivered) {
     unacked.pop_front();
   }
-  for (const auto& [seq, payload] : unacked) {
+  for (const auto& entry : unacked) {
     SessionWire wire;
     wire.op = SessionOp::data;
     wire.session = id;
-    wire.seq = seq;
-    wire.payload = payload;
+    wire.seq = entry.seq;
+    wire.trace = entry.trace;
+    wire.payload = entry.payload;
     send_wire(wire);
   }
 }
@@ -164,6 +186,8 @@ void SessionState::graceful_close() {
   wire.session = id;
   send_wire(wire);
   closed = true;
+  journal().end_span(resume_span, simulator().now());
+  resume_span = 0;
   simulator().cancel(monitor_timer);
   simulator().cancel(resume_timer);
   simulator().cancel(server_wait_timer);
@@ -181,6 +205,8 @@ void SessionState::fail(Error error) { finish(error); }
 void SessionState::finish(const Error& reason) {
   if (closed) return;
   closed = true;
+  journal().end_span(resume_span, simulator().now());
+  resume_span = 0;
   simulator().cancel(monitor_timer);
   simulator().cancel(resume_timer);
   simulator().cancel(server_wait_timer);
@@ -238,6 +264,11 @@ void SessionState::schedule_resume_retry() {
   backoff.jitter = options.resume_jitter;
   const sim::Duration delay =
       backoff.delay(resume_attempts++, daemon->jitter_rng());
+  // The idle window is known now — record it as a closed child of the
+  // resume span so attribution can separate backoff from reconnecting.
+  const obs::SpanId wait = journal().begin_span_under(
+      resume_span, "peerhood.backoff.wait", simulator().now(), self, "backoff");
+  journal().end_span(wait, simulator().now() + delay);
   auto weak = weak_from_this();
   simulator().schedule(delay, [weak] {
     auto self = weak.lock();
@@ -249,6 +280,8 @@ void SessionState::start_resume() {
   if (resuming) return;
   resuming = true;
   resume_attempts = 0;
+  resume_span = journal().begin_span("peerhood.session.resume",
+                                     simulator().now(), self, "resume");
   PH_LOG(info, "conn") << "session " << id
                        << " lost its link; hunting for an alternative";
   auto weak = weak_from_this();
@@ -292,6 +325,8 @@ void SessionState::resume_sweep() {
   }
   auto weak = weak_from_this();
   NetworkPlugin* plugin = candidates.front().plugin;
+  // Connect attempts (net.link.open) belong under the resume span.
+  obs::Trace::Scope causal(journal(), resume_span);
   plugin->adapter().connect(
       peer, service_port, [weak](Result<net::Link> result) {
         auto self = weak.lock();
@@ -308,6 +343,7 @@ void SessionState::resume_sweep() {
         resume.op = SessionOp::resume;
         resume.session = self->id;
         resume.seq = self->last_delivered;
+        obs::Trace::Scope causal(self->journal(), self->resume_span);
         self->send_wire(resume);
         // established flips when resume_ack arrives.
       });

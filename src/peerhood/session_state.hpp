@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "net/link.hpp"
+#include "obs/trace.hpp"
 #include "peerhood/connection.hpp"
 #include "peerhood/daemon.hpp"
 #include "peerhood/types.hpp"
@@ -30,6 +31,9 @@ struct SessionWire {
   SessionOp op = SessionOp::data;
   std::uint64_t session = 0;
   std::uint32_t seq = 0;
+  /// Trace context captured when the payload was first sent; retransmits
+  /// carry the original so delivery keeps its causal tie after handover.
+  std::uint64_t trace = 0;
   Bytes payload;
 };
 
@@ -56,8 +60,17 @@ struct SessionState : std::enable_shared_from_this<SessionState> {
   // Reliability.
   std::uint32_t next_seq = 1;       // next outgoing sequence number
   std::uint32_t last_delivered = 0; // highest in-order seq handed to the app
-  std::deque<std::pair<std::uint32_t, Bytes>> unacked;
-  std::map<std::uint32_t, Bytes> reorder;  // out-of-order arrivals
+  struct Outstanding {
+    std::uint32_t seq = 0;
+    Bytes payload;
+    std::uint64_t trace = 0;  ///< sender context at first transmission
+  };
+  std::deque<Outstanding> unacked;
+  struct Arrival {
+    Bytes payload;
+    std::uint64_t trace = 0;  ///< remote sender's span, from the wire
+  };
+  std::map<std::uint32_t, Arrival> reorder;  // out-of-order arrivals
 
   std::function<void(BytesView)> on_message;
   std::function<void(const Error&)> on_close;
@@ -67,8 +80,11 @@ struct SessionState : std::enable_shared_from_this<SessionState> {
   sim::EventId monitor_timer = 0;
   sim::EventId resume_timer = 0;
   sim::EventId server_wait_timer = 0;
+  /// Open while the session hunts for a replacement link.
+  obs::SpanId resume_span = 0;
 
   sim::Simulator& simulator() { return daemon->simulator(); }
+  obs::Trace& journal();
 
   // --- lifecycle ---------------------------------------------------------
   /// Installs receive/break handlers on `new_link` and makes it current.

@@ -18,6 +18,7 @@ Bytes encode(const DaemonMessage& message) {
   Writer w;
   w.u8(static_cast<std::uint8_t>(message.op));
   w.u32(message.token);
+  w.u64(message.trace_parent);
   w.str(message.device_name);
   w.u32(static_cast<std::uint32_t>(message.services.size()));
   for (const auto& service : message.services) {
@@ -44,6 +45,9 @@ Result<DaemonMessage> decode_daemon_message(BytesView data) {
   auto token = r.u32();
   if (!token) return token.error();
   m.token = *token;
+  auto trace_parent = r.u64();
+  if (!trace_parent) return trace_parent.error();
+  m.trace_parent = *trace_parent;
   auto name = r.str();
   if (!name) return name.error();
   m.device_name = std::move(*name);

@@ -40,6 +40,9 @@ struct ServiceInfoData {
 struct DaemonMessage {
   DaemonOp op = DaemonOp::ping;
   std::uint32_t token = 0;  ///< matches replies to requests
+  /// Trace context: the sender's span id, so the receiving daemon can
+  /// parent its handling under the remote operation. 0 = untraced.
+  std::uint64_t trace_parent = 0;
   std::string device_name;
   std::vector<ServiceInfoData> services;
 

@@ -143,6 +143,7 @@ Result<Opcode> get_opcode(Reader& r) {
 Bytes encode(const Request& request) {
   Writer w;
   w.u8(static_cast<std::uint8_t>(request.op));
+  w.u64(request.trace_parent);
   w.str(request.requester);
   w.str(request.member_id);
   w.str(request.argument);
@@ -158,6 +159,9 @@ Result<Request> decode_request(BytesView data) {
   auto op = get_opcode(r);
   if (!op) return op.error();
   req.op = *op;
+  auto trace_parent = r.u64();
+  if (!trace_parent) return trace_parent.error();
+  req.trace_parent = *trace_parent;
   auto requester = r.str();
   if (!requester) return requester.error();
   req.requester = std::move(*requester);

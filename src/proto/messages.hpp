@@ -109,6 +109,11 @@ struct Request {
   MailData mail;          ///< for ps_msg
   std::uint64_t offset = 0;  ///< ps_get_content_chunk: first byte wanted
   std::uint64_t length = 0;  ///< ps_get_content_chunk: chunk size
+  /// Trace context: the caller's RPC span id, so the server's handling
+  /// span joins the caller's tree across the radio. 0 = untraced. Declared
+  /// last to keep positional aggregate initializers working; on the wire
+  /// it rides right after the opcode.
+  std::uint64_t trace_parent = 0;
 
   friend bool operator==(const Request&, const Request&) = default;
 };

@@ -14,6 +14,8 @@ struct BrowserClient::TaskState {
   std::vector<std::string> last_names;
   TaskCallback done;
   bool finished = false;
+  /// The task's root trace span (`sns.task`); page fetches run under it.
+  obs::SpanId span = 0;
 };
 
 BrowserClient::BrowserClient(net::Medium& medium, DeviceClass device,
@@ -40,20 +42,31 @@ void BrowserClient::run_task(std::vector<PageRequest> pages,
         static_cast<std::uint32_t>(device_.page_weight_factor * 1000.0);
   }
 
+  // The whole task (connect, every page round-trip, rendering, think time)
+  // runs under one `sns.task` span named after the final page — which is
+  // what names the Table-8 operation.
+  obs::Trace& trace = medium_.trace();
+  state->span = trace.begin_span(
+      "sns.task", state->started, node_,
+      std::string(to_string(state->pages.back().kind)));
+  obs::Trace::Scope task_scope(trace, state->span);
+
   net::Adapter* adapter = medium_.adapter(node_, net::Technology::gprs);
   adapter->connect(server_node_, kSnsPort, [this, state,
                                             pre_think](Result<net::Link> link) {
     if (!link) {
       if (!state->finished) {
         state->finished = true;
+        medium_.trace().end_span(state->span, medium_.simulator().now());
         state->done(link.error());
       }
       return;
     }
     state->link = *link;
-    state->link.on_break([state] {
+    state->link.on_break([this, state] {
       if (state->finished) return;
       state->finished = true;
+      medium_.trace().end_span(state->span, medium_.simulator().now());
       state->done(Error{Errc::connection_lost, "GPRS session dropped"});
     });
     state->link.on_receive([this, state](BytesView data) {
@@ -62,6 +75,7 @@ void BrowserClient::run_task(std::vector<PageRequest> pages,
       if (!response) {
         state->finished = true;
         state->link.close();
+        medium_.trace().end_span(state->span, medium_.simulator().now());
         state->done(response.error());
         return;
       }
@@ -77,6 +91,7 @@ void BrowserClient::run_task(std::vector<PageRequest> pages,
           TaskResult result;
           result.elapsed = medium_.simulator().now() - state->started;
           result.names = std::move(state->last_names);
+          medium_.trace().end_span(state->span, medium_.simulator().now());
           state->done(result);
           return;
         }
@@ -96,6 +111,9 @@ void BrowserClient::run_task(std::vector<PageRequest> pages,
 void BrowserClient::fetch_next(std::shared_ptr<TaskState> state) {
   if (state->finished || state->next >= state->pages.size()) return;
   const PageRequest& page = state->pages[state->next++];
+  // Page sends run in the task's context so the uplink flight span (and the
+  // server's page handling on the far device) parent under `sns.task`.
+  obs::Trace::Scope task_scope(medium_.trace(), state->span);
   if (state->link.open()) state->link.send(encode(page));
 }
 

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "peerhood/stack.hpp"
+#include "tests/testutil/flight_guard.hpp"
 #include "tests/testutil/sim_helpers.hpp"
 
 namespace ph::peerhood {
@@ -20,6 +21,7 @@ TEST_P(ChaosTest, ExactlyOnceInOrderUnderRadioFlaps) {
   const std::uint64_t seed = GetParam();
   sim::Simulator simulator;
   net::Medium medium(simulator, sim::Rng(seed));
+  testutil::FlightGuard flight(medium);  // dump the trace ring on failure
   sim::Rng chaos(seed ^ 0xC4405EED);
 
   net::TechProfile bt = net::bluetooth_2_0();

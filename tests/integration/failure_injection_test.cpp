@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "community/app.hpp"
+#include "tests/testutil/flight_guard.hpp"
 #include "tests/testutil/sim_helpers.hpp"
 
 namespace ph::community {
@@ -40,6 +41,7 @@ class FailureInjectionTest : public ::testing::Test {
 
   sim::Simulator simulator_;
   net::Medium medium_;
+  testutil::FlightGuard flight_{medium_};  // dump the trace ring on failure
   std::vector<std::unique_ptr<Device>> devices_;
 };
 

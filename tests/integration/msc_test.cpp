@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "community/app.hpp"
+#include "tests/testutil/flight_guard.hpp"
 #include "tests/testutil/sim_helpers.hpp"
 
 namespace ph::community {
@@ -89,6 +90,7 @@ class MscTest : public ::testing::Test {
 
   sim::Simulator simulator_;
   net::Medium medium_;
+  testutil::FlightGuard flight_{medium_};  // dump the trace ring on failure
   std::unique_ptr<Device> me_, alice_, bob_;
 };
 

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "community/app.hpp"
+#include "tests/testutil/flight_guard.hpp"
 #include "tests/testutil/sim_helpers.hpp"
 
 namespace ph::community {
@@ -13,6 +14,7 @@ namespace {
 TEST(SoakTest, TwoSimulatedHoursOfCampusLife) {
   sim::Simulator simulator;
   net::Medium medium(simulator, sim::Rng(2008));
+  testutil::FlightGuard flight(medium);  // dump the trace ring on failure
   sim::Rng mobility(42);
 
   struct Device {
@@ -112,6 +114,7 @@ TEST(SoakTest, CommunityOverInfrastructureWlan) {
   // (thesis §2.4.2): two stations across a hall, linked by the hall's AP.
   sim::Simulator simulator;
   net::Medium medium(simulator, sim::Rng(31337));
+  testutil::FlightGuard flight(medium);  // dump the trace ring on failure
   medium.add_access_point("hall-ap", {75, 0}, 100.0);
 
   net::TechProfile wlan = net::wlan_80211b_infrastructure();

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "community/app.hpp"
+#include "tests/testutil/flight_guard.hpp"
 #include "tests/testutil/sim_helpers.hpp"
 
 namespace ph::community {
@@ -26,6 +27,7 @@ net::TechProfile deterministic_bt() {
 TEST(WorkingPrincipleTest, FullLifecycle) {
   sim::Simulator simulator;
   net::Medium medium(simulator, sim::Rng(20));
+  testutil::FlightGuard flight(medium);  // dump the trace ring on failure
 
   peerhood::StackConfig config;
   config.radios = {deterministic_bt()};

@@ -1,0 +1,163 @@
+// ph::obs critical-path analyzer — span classification, the sweep-line's
+// exactness and priority rules, and the tree-scoped variant.
+#include "obs/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ph::obs {
+namespace {
+
+Span make_span(std::string name, TimePoint start, TimePoint end) {
+  Span span;
+  span.name = std::move(name);
+  span.start = start;
+  span.end = end;
+  span.closed = true;
+  return span;
+}
+
+TEST(Classify, NamesMapToPhases) {
+  EXPECT_EQ(classify(make_span("net.inquiry", 0, 1)), Phase::inquiry);
+  EXPECT_EQ(classify(make_span("peerhood.inquiry", 0, 1)), Phase::inquiry);
+  EXPECT_EQ(classify(make_span("net.link.open", 0, 1)), Phase::handshake);
+  EXPECT_EQ(classify(make_span("peerhood.session.accept", 0, 1)),
+            Phase::handshake);
+  EXPECT_EQ(classify(make_span("peerhood.session.resume", 0, 1)),
+            Phase::handshake);
+  EXPECT_EQ(classify(make_span("net.datagram", 0, 1)), Phase::transfer);
+  EXPECT_EQ(classify(make_span("net.link.send", 0, 1)), Phase::transfer);
+  EXPECT_EQ(classify(make_span("peerhood.backoff.wait", 0, 1)),
+            Phase::backoff);
+  EXPECT_EQ(classify(make_span("community.backoff.wait", 0, 1)),
+            Phase::backoff);
+  EXPECT_EQ(classify(make_span("net.tx_queue", 0, 1)), Phase::queueing);
+  EXPECT_EQ(classify(make_span("community.queue.wait", 0, 1)),
+            Phase::queueing);
+  // Containers carry no phase of their own.
+  EXPECT_EQ(classify(make_span("community.rpc", 0, 1)), std::nullopt);
+  EXPECT_EQ(classify(make_span("eval.table8.search", 0, 1)), std::nullopt);
+  EXPECT_EQ(classify(make_span("fault.blackout", 0, 1)), std::nullopt);
+}
+
+TEST(AttributeWindow, PhasesSumExactlyToWindow) {
+  Trace trace;
+  trace.set_enabled(true);
+  const SpanId inquiry = trace.begin_span("net.inquiry", 100);
+  trace.end_span(inquiry, 300);
+  const SpanId frame = trace.begin_span("net.link.send", 350);
+  trace.end_span(frame, 400);
+
+  const Attribution a = attribute_window(trace, 100, 500);
+  EXPECT_EQ(a.window_us, 400u);
+  EXPECT_EQ(a.of(Phase::inquiry), 200u);
+  EXPECT_EQ(a.of(Phase::transfer), 50u);
+  EXPECT_EQ(a.of(Phase::processing), 150u);  // residual, exact
+  std::uint64_t sum = 0;
+  for (const std::uint64_t us : a.phase_us) sum += us;
+  EXPECT_EQ(sum, a.window_us);
+}
+
+TEST(AttributeWindow, OverlapChargesHigherPriorityOnce) {
+  // A frame in flight during an inquiry window: the overlap is transfer,
+  // never double-counted.
+  Trace trace;
+  trace.set_enabled(true);
+  const SpanId inquiry = trace.begin_span("net.inquiry", 0);
+  trace.end_span(inquiry, 100);
+  const SpanId frame = trace.begin_span("net.link.send", 40);
+  trace.end_span(frame, 60);
+
+  const Attribution a = attribute_window(trace, 0, 100);
+  EXPECT_EQ(a.of(Phase::inquiry), 80u);
+  EXPECT_EQ(a.of(Phase::transfer), 20u);
+  EXPECT_EQ(a.of(Phase::processing), 0u);
+}
+
+TEST(AttributeWindow, SpansClippedToWindow) {
+  Trace trace;
+  trace.set_enabled(true);
+  const SpanId frame = trace.begin_span("net.link.send", 0);
+  trace.end_span(frame, 1000);
+
+  const Attribution a = attribute_window(trace, 400, 600);
+  EXPECT_EQ(a.window_us, 200u);
+  EXPECT_EQ(a.of(Phase::transfer), 200u);
+}
+
+TEST(AttributeWindow, OpenAndOutsideSpansIgnored) {
+  Trace trace;
+  trace.set_enabled(true);
+  trace.begin_span("net.inquiry", 10);  // never closed
+  const SpanId outside = trace.begin_span("net.link.send", 500);
+  trace.end_span(outside, 600);
+
+  const Attribution a = attribute_window(trace, 0, 100);
+  EXPECT_EQ(a.of(Phase::inquiry), 0u);
+  EXPECT_EQ(a.of(Phase::transfer), 0u);
+  EXPECT_EQ(a.of(Phase::processing), 100u);
+}
+
+TEST(AttributeTree, OnlyDescendantsCount) {
+  Trace trace;
+  trace.set_enabled(true);
+  const SpanId rpc = trace.begin_span("community.rpc", 0);
+  SpanId inside = 0;
+  {
+    Trace::Scope scope(trace, rpc);
+    inside = trace.begin_span("net.link.send", 10);
+  }
+  trace.end_span(inside, 30);
+  // A concurrent, unrelated frame: inside the interval, outside the tree.
+  const SpanId unrelated = trace.begin_span("net.link.send", 40);
+  trace.end_span(unrelated, 90);
+  trace.end_span(rpc, 100);
+
+  const Attribution tree = attribute_tree(trace, rpc);
+  EXPECT_EQ(tree.window_us, 100u);
+  EXPECT_EQ(tree.of(Phase::transfer), 20u);
+  EXPECT_EQ(tree.of(Phase::processing), 80u);
+
+  // The window variant sees both frames.
+  const Attribution window = attribute_window(trace, 0, 100);
+  EXPECT_EQ(window.of(Phase::transfer), 70u);
+}
+
+TEST(AttributeTree, UnknownOrOpenRootIsEmpty) {
+  Trace trace;
+  trace.set_enabled(true);
+  const SpanId open = trace.begin_span("community.rpc", 0);
+  EXPECT_EQ(attribute_tree(trace, open).window_us, 0u);
+  EXPECT_EQ(attribute_tree(trace, 12345).window_us, 0u);
+}
+
+TEST(Attribution, AddAccumulates) {
+  Attribution total;
+  Attribution a;
+  a.window_us = 100;
+  a.phase_us[static_cast<std::size_t>(Phase::transfer)] = 60;
+  a.phase_us[static_cast<std::size_t>(Phase::processing)] = 40;
+  total.add(a);
+  total.add(a);
+  EXPECT_EQ(total.window_us, 200u);
+  EXPECT_EQ(total.of(Phase::transfer), 120u);
+  EXPECT_DOUBLE_EQ(total.fraction(Phase::transfer), 0.6);
+}
+
+TEST(Attribution, FormatTableListsEveryPhase) {
+  Attribution a;
+  a.window_us = 2'000'000;
+  a.phase_us[static_cast<std::size_t>(Phase::inquiry)] = 1'500'000;
+  a.phase_us[static_cast<std::size_t>(Phase::processing)] = 500'000;
+  const std::string table = format_attribution_table({{"discovery", a}});
+  EXPECT_NE(table.find("operation"), std::string::npos);
+  EXPECT_NE(table.find("discovery"), std::string::npos);
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    EXPECT_NE(table.find(to_string(static_cast<Phase>(i))),
+              std::string::npos)
+        << to_string(static_cast<Phase>(i));
+  }
+  EXPECT_NE(table.find("1.500"), std::string::npos) << table;
+}
+
+}  // namespace
+}  // namespace ph::obs

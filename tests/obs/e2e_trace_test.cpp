@@ -128,6 +128,21 @@ TEST(E2ETrace, CommunityOperationSpansNestAcrossLayers) {
     }
   }
   EXPECT_GT(full_chains, 0);
+
+  // Cross-device parenting: the member-list fan-out is served on the OTHER
+  // devices, and each server-side handling span must join the caller's
+  // tree — a community.server.handle span on a foreign device with a
+  // community.rpc ancestor recorded on the caller's device.
+  const net::NodeId caller = self.stack->daemon().self();
+  int cross_device_handles = 0;
+  for (const Span& span : trace.spans()) {
+    if (span.name != "community.server.handle") continue;
+    if (span.device == caller) continue;
+    const Span* rpc = ancestor_named(by_id, span, "community.rpc");
+    if (rpc != nullptr && rpc->device == caller) ++cross_device_handles;
+  }
+  EXPECT_GT(cross_device_handles, 0)
+      << "server handling spans did not join the caller's tree";
 }
 
 TEST(E2ETrace, SnsBrowserTaskLeavesPageEventsAndNetSpans) {

@@ -183,6 +183,70 @@ TEST(Snapshot, EqualityComparesContentNotPrefix) {
   EXPECT_NE(x.snapshot("a."), z.snapshot("a."));
 }
 
+TEST(Merge, MissingInstrumentsCreatedInTarget) {
+  // Instruments only the source has must appear in the target with the
+  // source's values — a fresh aggregate merges a whole world in.
+  Registry source;
+  source.counter("net.frames").inc(5);
+  source.gauge("net.depth").set(2.5);
+  source.histogram("net.lat", {1.0, 2.0}).observe(1.5);
+  Registry target;
+  target.merge_from(source);
+  EXPECT_EQ(target.counter("net.frames").value(), 5u);
+  EXPECT_DOUBLE_EQ(target.gauge("net.depth").value(), 2.5);
+  EXPECT_EQ(target.histogram("net.lat", {1.0, 2.0}).count(), 1u);
+  EXPECT_DOUBLE_EQ(target.histogram("net.lat", {1.0, 2.0}).sum(), 1.5);
+}
+
+TEST(Merge, TargetOnlyInstrumentsSurviveUntouched) {
+  Registry source;
+  source.counter("a.n").inc(1);
+  Registry target;
+  target.counter("b.n").inc(7);
+  target.histogram("b.lat", {1.0}).observe(0.5);
+  target.merge_from(source);
+  EXPECT_EQ(target.counter("a.n").value(), 1u);
+  EXPECT_EQ(target.counter("b.n").value(), 7u);
+  EXPECT_EQ(target.histogram("b.lat", {1.0}).count(), 1u);
+}
+
+TEST(Merge, EmptySourceIsANoOp) {
+  Registry target;
+  target.counter("a.n").inc(3);
+  target.histogram("a.lat", {1.0}).observe(0.25);
+  const Snapshot before = target.snapshot("a.");
+  Registry empty;
+  target.merge_from(empty);
+  EXPECT_EQ(target.snapshot("a."), before);
+}
+
+TEST(Merge, HistogramMinMaxAcrossEmptySides) {
+  // Merging into an empty histogram adopts the source extremes; merging an
+  // empty source must not clobber them with zeroes.
+  Registry source;
+  source.histogram("h", {10.0}).observe(3.0);
+  source.histogram("h", {10.0}).observe(8.0);
+  Registry target;
+  target.histogram("h", {10.0}).merge_from(source.histogram("h", {10.0}));
+  EXPECT_DOUBLE_EQ(target.histogram("h", {10.0}).min(), 3.0);
+  EXPECT_DOUBLE_EQ(target.histogram("h", {10.0}).max(), 8.0);
+  Histogram empty({10.0});
+  target.histogram("h", {10.0}).merge_from(empty);
+  EXPECT_DOUBLE_EQ(target.histogram("h", {10.0}).min(), 3.0);
+  EXPECT_DOUBLE_EQ(target.histogram("h", {10.0}).max(), 8.0);
+  EXPECT_EQ(target.histogram("h", {10.0}).count(), 2u);
+}
+
+TEST(MergeDeathTest, MismatchedBoundsAbort) {
+  // Same name, different buckets: the sums would be meaningless, so the
+  // merge refuses loudly rather than guessing.
+  Registry source;
+  source.histogram("h.lat", {1.0, 2.0}).observe(0.5);
+  Registry target;
+  target.histogram("h.lat", {5.0}).observe(0.5);
+  EXPECT_DEATH(target.merge_from(source), "PH_CHECK");
+}
+
 TEST(Snapshot, IsAPointInTimeCopy) {
   Registry registry;
   registry.counter("x.n").inc();

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
 #include "obs/export.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -123,6 +127,83 @@ TEST(Trace, CapacityDropsNewRecordsAndCounts) {
   EXPECT_EQ(trace.dropped(), 2u);
 }
 
+TEST(Trace, BeginSpanUnderUsesExplicitParent) {
+  // The wire-header path: the receive side knows the sender's span id and
+  // parents under it even though that span was never on this context stack.
+  Trace trace;
+  trace.set_enabled(true);
+  const SpanId remote = trace.begin_span("community.rpc", 0, 1);
+  const SpanId local = trace.begin_span_under(remote, "community.server.handle",
+                                              40, 2, "ps_msg");
+  EXPECT_EQ(trace.find_span(local)->parent, remote);
+  EXPECT_EQ(trace.find_span(local)->device, 2u);
+}
+
+TEST(Trace, BeginSpanUnderZeroFallsBackToContext) {
+  // trace_parent == 0 means "untraced sender": fall back to whatever the
+  // delivering frame pushed, exactly like begin_span.
+  Trace trace;
+  trace.set_enabled(true);
+  const SpanId flight = trace.begin_span("net.datagram", 0);
+  Trace::Scope scope(trace, flight);
+  const SpanId handled = trace.begin_span_under(0, "handle", 10);
+  EXPECT_EQ(trace.find_span(handled)->parent, flight);
+}
+
+TEST(Trace, RingModeEvictsOldestKeepsIdsStable) {
+  Trace trace;
+  trace.set_enabled(true);
+  trace.set_ring_capacity(2);
+  std::vector<SpanId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(trace.begin_span("s" + std::to_string(i), i));
+  }
+  // Ids stay monotonic across evictions — no reuse.
+  for (std::size_t i = 1; i < ids.size(); ++i) EXPECT_GT(ids[i], ids[i - 1]);
+  // The ring holds at least the newest `capacity` spans (amortised
+  // eviction may leave up to 2x briefly) and evicted some prefix.
+  EXPECT_GE(trace.evicted(), 1u);
+  EXPECT_LE(trace.spans().size(), 4u);
+  EXPECT_EQ(trace.spans().size() + trace.evicted(), 5u);
+  // The newest span is always present; an evicted id resolves to nothing
+  // and closing it is a harmless no-op.
+  EXPECT_NE(trace.find_span(ids.back()), nullptr);
+  EXPECT_EQ(trace.find_span(ids.front()), nullptr);
+  trace.end_span(ids.front(), 99);
+  // Ring mode never counts as "dropped": the journal stayed bounded by
+  // design, not by overflow.
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(Trace, RingSurvivorsKeepWorking) {
+  Trace trace;
+  trace.set_enabled(true);
+  trace.set_ring_capacity(3);
+  std::vector<SpanId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(trace.begin_span("s", i));
+  }
+  const SpanId last = ids.back();
+  trace.end_span(last, 500);
+  EXPECT_TRUE(trace.find_span(last)->closed);
+  EXPECT_EQ(trace.find_span(last)->end, 500u);
+}
+
+TEST(Trace, DroppedCounterMirror) {
+  Registry registry;
+  Counter& dropped = registry.counter("obs.trace.dropped");
+  Trace trace;
+  trace.set_enabled(true);
+  trace.set_capacity(1);
+  trace.set_dropped_counter(&dropped);
+  trace.begin_span("kept", 1);
+  trace.begin_span("dropped", 2);       // spans at capacity
+  trace.add_event("kept_event", 3);
+  trace.add_event("dropped_event", 4);  // events at capacity
+  EXPECT_EQ(trace.dropped(), 2u);
+  EXPECT_EQ(dropped.value(), 2u);
+}
+
 TEST(Trace, ClearResetsJournal) {
   Trace trace;
   trace.set_enabled(true);
@@ -199,6 +280,86 @@ TEST(Export, CsvHasOneFieldPerRow) {
   registry.counter("c").inc(2);
   const std::string csv = to_csv(registry);
   EXPECT_NE(csv.find("counter,c,value,2"), std::string::npos) << csv;
+}
+
+TEST(Export, ChromeTraceShape) {
+  Trace trace;
+  trace.set_enabled(true);
+  // A cross-device pair: the rpc on device 1, its handling on device 2.
+  const SpanId rpc = trace.begin_span("community.rpc", 100, 1, "ps_msg");
+  const SpanId handle =
+      trace.begin_span_under(rpc, "community.server.handle", 140, 2);
+  trace.end_span(handle, 180);
+  trace.end_span(rpc, 200);
+  const SpanId open = trace.begin_span("peerhood.session.resume", 210, 1);
+  (void)open;  // left open: must surface as a "B" begin event
+  trace.add_event("community.group.formed", 220, 2, "football");
+
+  std::string error;
+  json::Value root;
+  ASSERT_TRUE(json::parse(
+      to_chrome_trace(trace, {{1, "alice"}, {2, "bob"}}), root, &error))
+      << error;
+  const json::Value* events = root.get("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+
+  int metadata = 0, complete = 0, begin = 0, instant = 0;
+  int flow_start = 0, flow_finish = 0;
+  bool named_alice = false;
+  for (const json::Value& event : *events->array) {
+    const std::string& ph = event.get("ph")->string;
+    if (ph == "M") {
+      ++metadata;
+      const json::Value* args = event.get("args");
+      if (args != nullptr && args->get("name")->string == "alice") {
+        named_alice = true;
+      }
+    } else if (ph == "X") {
+      ++complete;
+      EXPECT_TRUE(event.get("dur")->is_number());
+    } else if (ph == "B") {
+      ++begin;
+    } else if (ph == "i") {
+      ++instant;
+    } else if (ph == "s") {
+      ++flow_start;
+    } else if (ph == "f") {
+      ++flow_finish;
+    }
+  }
+  EXPECT_EQ(metadata, 2);  // one track per device
+  EXPECT_EQ(complete, 2);
+  EXPECT_EQ(begin, 1);
+  EXPECT_EQ(instant, 1);
+  // Exactly one causal hop crosses devices: one flow-arrow pair.
+  EXPECT_EQ(flow_start, 1);
+  EXPECT_EQ(flow_finish, 1);
+  EXPECT_TRUE(named_alice);
+}
+
+TEST(Export, FlightRecordingFallbackPathAndReason) {
+  Trace trace;
+  trace.set_enabled(true);
+  const SpanId span = trace.begin_span("fault.blackout", 10, 3, "fault");
+  trace.end_span(span, 20);
+
+  // No env var, no fallback: a no-op by design.
+  ::unsetenv("PH_FLIGHT_JSON");
+  EXPECT_FALSE(dump_flight_recording(trace, "blackout"));
+
+  const std::string path =
+      ::testing::TempDir() + "/ph_flight_recorder_test.json";
+  ASSERT_TRUE(dump_flight_recording(trace, "blackout", path));
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  json::Value root;
+  std::string error;
+  ASSERT_TRUE(json::parse(buffer.str(), root, &error)) << error;
+  const json::Value* other = root.get("otherData");
+  ASSERT_TRUE(other != nullptr && other->is_object());
+  EXPECT_EQ(other->get("reason")->string, "blackout");
+  ASSERT_TRUE(root.get("traceEvents")->is_array());
 }
 
 }  // namespace

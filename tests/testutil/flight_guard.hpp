@@ -1,0 +1,48 @@
+// Flight-recorder guard for integration tests: record the world in a
+// bounded trace ring and, if the owning test has failed by the time the
+// guard leaves scope, dump the recording as Chrome trace JSON so the
+// failing run can be opened in Perfetto.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "net/medium.hpp"
+#include "obs/export.hpp"
+
+namespace ph::testutil {
+
+/// Enables ring-buffer tracing on `medium`'s journal for the guard's
+/// lifetime. On destruction, if the current gtest test has a failure, the
+/// ring is dumped to $PH_FLIGHT_JSON or — when unset — to a file named
+/// after the failing test under gtest's temp dir.
+class FlightGuard {
+ public:
+  explicit FlightGuard(net::Medium& medium, std::size_t ring_capacity = 1 << 14)
+      : medium_(medium) {
+    medium_.trace().set_enabled(true);
+    medium_.trace().set_ring_capacity(ring_capacity);
+  }
+  FlightGuard(const FlightGuard&) = delete;
+  FlightGuard& operator=(const FlightGuard&) = delete;
+
+  ~FlightGuard() {
+    if (!::testing::Test::HasFailure()) return;
+    std::string name = "integration";
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    if (info != nullptr) {
+      name = std::string(info->test_suite_name()) + "." + info->name();
+    }
+    obs::dump_flight_recording(medium_.trace(), "test_failure",
+                               ::testing::TempDir() + "flight_" + name +
+                                   ".json");
+  }
+
+ private:
+  net::Medium& medium_;
+};
+
+}  // namespace ph::testutil
