@@ -9,10 +9,14 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
+#include <memory>
 
+#include "net/medium.hpp"
 #include "obs/export.hpp"
 #include "proto/daemon.hpp"
 #include "proto/messages.hpp"
+#include "sim/mobility.hpp"
 #include "sim/simulator.hpp"
 
 using namespace ph;
@@ -65,6 +69,80 @@ void BM_SimulatorCancel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10'000);
 }
 BENCHMARK(BM_SimulatorCancel);
+
+// --- radio-world proximity queries -----------------------------------------
+// A random-waypoint crowd at constant density (the overlay-scale regime):
+// arg 0 = N devices, arg 1 = 1 for the spatial-index path, 0 for the
+// brute-force reference. Every iteration advances virtual time so the
+// position cache and grid are invalidated and rebuilt exactly as they are
+// in a live discovery round — this measures the steady-state query cost,
+// not a warm-cache fiction.
+
+struct RadioWorld {
+  sim::Simulator simulator;
+  std::unique_ptr<net::Medium> medium;
+  net::TechProfile bt = net::bluetooth_2_0();
+  int devices = 0;
+
+  RadioWorld(int n, bool fast_path) : devices(n) {
+    net::MediumConfig config;
+    config.use_spatial_index = fast_path;
+    config.use_position_cache = fast_path;
+    config.use_signal_cache = fast_path;
+    medium = std::make_unique<net::Medium>(simulator, sim::Rng(99), config);
+    sim::Rng walkers(7);
+    // Field area ∝ N: the 40-devices-on-60×60-m crowd density.
+    const double field = 60.0 * std::sqrt(static_cast<double>(n) / 40.0);
+    for (int i = 0; i < n; ++i) {
+      sim::RandomWaypoint::Config walk;
+      walk.area_min = {0, 0};
+      walk.area_max = {field, field};
+      const net::NodeId id = medium->add_node(
+          "n" + std::to_string(i),
+          std::make_unique<sim::RandomWaypoint>(walk, walkers.fork()));
+      medium->add_adapter(id, bt);
+    }
+  }
+};
+
+void BM_NodesInRange(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  RadioWorld world(n, state.range(1) != 0);
+  net::NodeId probe = 1;
+  for (auto _ : state) {
+    world.simulator.run_for(sim::milliseconds(100));  // new timestamp
+    auto peers = world.medium->nodes_in_range(probe, world.bt);
+    benchmark::DoNotOptimize(peers);
+    probe = probe % static_cast<net::NodeId>(n) + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(1) != 0 ? "grid" : "brute");
+}
+BENCHMARK(BM_NodesInRange)->ArgsProduct({{32, 256, 1024}, {0, 1}});
+
+void BM_Signal(benchmark::State& state) {
+  // 32 distinct pair samples per timestamp — the shape of a monitoring
+  // round (ping sweep), where the position cache collapses repeated
+  // mobility sampling (the per-pair signal memo cannot help: every pair
+  // is fresh, so this measures the memoization layer's overhead too).
+  const int n = static_cast<int>(state.range(0));
+  RadioWorld world(n, state.range(1) != 0);
+  net::NodeId a = 1;
+  for (auto _ : state) {
+    world.simulator.run_for(sim::milliseconds(100));
+    double sum = 0.0;
+    for (int i = 0; i < 32; ++i) {
+      const net::NodeId b =
+          static_cast<net::NodeId>((a + i) % static_cast<net::NodeId>(n)) + 1;
+      sum += world.medium->signal(a, b, world.bt);
+    }
+    benchmark::DoNotOptimize(sum);
+    a = a % static_cast<net::NodeId>(n) + 1;
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+  state.SetLabel(state.range(1) != 0 ? "cached" : "uncached");
+}
+BENCHMARK(BM_Signal)->ArgsProduct({{32, 256, 1024}, {0, 1}});
 
 proto::Response heavy_response() {
   proto::Response response;

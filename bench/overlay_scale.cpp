@@ -5,36 +5,89 @@
 //
 // A crowd of N devices random-waypoints across a field several radio
 // ranges wide, every device logged in and running dynamic group discovery.
-// Over a 10-minute window the bench measures, as a function of N:
+// Over the window the bench measures, as a function of N:
 //   * group events per device-minute (formations + dissolutions = churn
 //     the middleware absorbed)
 //   * mean interest-match comparisons per device (Figure 6 work)
 //   * control traffic per device-minute (inquiries, service queries, pings)
 //   * total radio bytes per device-minute
+//   * simulator cost: pair signal() evaluations, spatial-index pruning,
+//     position-cache hit rate, and wall-clock throughput (sim-seconds per
+//     wall-second, events per second)
+//
+// CLI (all optional):
+//   --devices=5,10,20,40   crowd sizes to sweep
+//   --seed=1000            base seed (per run: seed + N)
+//   --window-min=10        simulated minutes per run
+//   --field=60 | --field=auto
+//                          field edge in metres; `auto` scales the area to
+//                          hold the 40-device baseline density (crowd
+//                          scaling at constant density)
+//   --brute                brute-force reference path (spatial index and
+//                          position cache off) for A/B comparisons
+//   --cell=M               spatial grid cell edge override in metres
+//
+// Set PH_METRICS_JSON=/path/out.json to dump, at exit, the aggregated
+// world registries plus per-N scaling metrics under `bench.overlay.n<N>.*`
+// — the scaling trajectory the BENCH_*.json series tracks.
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "community/app.hpp"
+#include "obs/export.hpp"
 #include "util/check.hpp"
 
 using namespace ph;
 
 namespace {
 
+struct Options {
+  std::vector<int> devices = {5, 10, 20, 40};
+  std::uint64_t seed = 1000;
+  double window_min = 10.0;
+  double field_m = 60.0;  // 6 Bluetooth ranges across
+  bool auto_field = false;
+  bool brute = false;
+  double cell_m = 0.0;
+};
+
 struct Metrics {
   double group_events_per_device_min = 0;
   double comparisons_per_device = 0;
   double control_msgs_per_device_min = 0;
   double bytes_per_device_min = 0;
+  std::uint64_t signal_evals = 0;
+  std::uint64_t pairs_pruned = 0;
+  double cache_hit_rate = 0;
+  double wall_s = 0;
+  double sim_s_per_wall_s = 0;
+  double events_per_sec = 0;
 };
 
-Metrics run_crowd(int devices, std::uint64_t seed) {
+double field_for(const Options& options, int devices) {
+  if (!options.auto_field) return options.field_m;
+  // Constant density: the 40-device baseline on 60×60 m, area ∝ N.
+  return 60.0 * std::sqrt(static_cast<double>(devices) / 40.0);
+}
+
+Metrics run_crowd(const Options& options, int devices, obs::Registry& dump) {
   sim::Simulator simulator;
-  net::Medium medium(simulator, sim::Rng(seed));
+  net::MediumConfig config;
+  config.use_spatial_index = !options.brute;
+  config.use_position_cache = !options.brute;
+  config.use_signal_cache = !options.brute;
+  config.spatial_cell_m = options.cell_m;
+  const std::uint64_t seed = options.seed + static_cast<std::uint64_t>(devices);
+  net::Medium medium(simulator, sim::Rng(seed), config);
   sim::Rng mobility(seed * 17 + 3);
-  constexpr double kFieldSize = 60.0;  // 6 Bluetooth ranges across
-  const sim::Duration kWindow = sim::minutes(10);
+  const double field = field_for(options, devices);
+  const sim::Duration window = sim::minutes(options.window_min);
 
   struct Device {
     std::unique_ptr<peerhood::Stack> stack;
@@ -45,18 +98,18 @@ Metrics run_crowd(int devices, std::uint64_t seed) {
                                            "coffee", "code"};
   for (int i = 0; i < devices; ++i) {
     auto device = std::make_unique<Device>();
-    peerhood::StackConfig config;
-    config.device_name = "n" + std::to_string(i);
+    peerhood::StackConfig config_stack;
+    config_stack.device_name = "n" + std::to_string(i);
     net::TechProfile bt = net::bluetooth_2_0();
-    config.radios = {bt};
+    config_stack.radios = {bt};
     sim::RandomWaypoint::Config walk;
     walk.area_min = {0, 0};
-    walk.area_max = {kFieldSize, kFieldSize};
+    walk.area_max = {field, field};
     walk.speed_min_mps = 0.5;
     walk.speed_max_mps = 2.0;
     device->stack = std::make_unique<peerhood::Stack>(
         medium, std::make_unique<sim::RandomWaypoint>(walk, mobility.fork()),
-        config);
+        config_stack);
     device->app = std::make_unique<community::CommunityApp>(*device->stack);
     auto account = device->app->create_account("m" + std::to_string(i), "pw");
     PH_CHECK(account.ok());
@@ -68,7 +121,12 @@ Metrics run_crowd(int devices, std::uint64_t seed) {
     crowd.push_back(std::move(device));
   }
 
-  simulator.run_until(kWindow);
+  const auto wall_start = std::chrono::steady_clock::now();
+  simulator.run_until(window);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   Metrics metrics;
   std::uint64_t group_events = 0, comparisons = 0, control_msgs = 0;
@@ -82,7 +140,7 @@ Metrics run_crowd(int devices, std::uint64_t seed) {
                     daemon_stats.counter("service_queries") +
                     daemon_stats.counter("inquiries_started");
   }
-  const double device_minutes = devices * sim::to_seconds(kWindow) / 60.0;
+  const double device_minutes = devices * sim::to_seconds(window) / 60.0;
   metrics.group_events_per_device_min =
       static_cast<double>(group_events) / device_minutes;
   metrics.comparisons_per_device =
@@ -93,26 +151,139 @@ Metrics run_crowd(int devices, std::uint64_t seed) {
       static_cast<double>(
           medium.traffic(net::Technology::bluetooth).total_bytes()) /
       device_minutes;
+
+  const obs::Snapshot world = medium.stats();
+  metrics.signal_evals = world.counter("signal_evals");
+  metrics.pairs_pruned = world.counter("spatial.pairs_pruned");
+  const std::uint64_t hits = world.counter("position_cache.hits");
+  const std::uint64_t misses = world.counter("position_cache.misses");
+  metrics.cache_hit_rate =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  metrics.wall_s = wall_s;
+  metrics.sim_s_per_wall_s =
+      wall_s > 0 ? sim::to_seconds(window) / wall_s : 0.0;
+  metrics.events_per_sec =
+      wall_s > 0 ? static_cast<double>(simulator.events_executed()) / wall_s
+                 : 0.0;
+
+  // Aggregate world counters across runs, plus one per-N scaling record —
+  // the shape the BENCH_*.json trajectory and ph_overlay_scale_smoke read.
+  dump.merge_from(medium.registry());
+  const std::string prefix = "bench.overlay.n" + std::to_string(devices) + ".";
+  dump.gauge(prefix + "group_events_per_device_min")
+      .set(metrics.group_events_per_device_min);
+  dump.gauge(prefix + "comparisons_per_device")
+      .set(metrics.comparisons_per_device);
+  dump.gauge(prefix + "control_msgs_per_device_min")
+      .set(metrics.control_msgs_per_device_min);
+  dump.gauge(prefix + "bytes_per_device_min").set(metrics.bytes_per_device_min);
+  dump.counter(prefix + "signal_evals").inc(metrics.signal_evals);
+  dump.counter(prefix + "spatial_pairs_pruned").inc(metrics.pairs_pruned);
+  dump.counter(prefix + "signal_cache_hits")
+      .inc(world.counter("signal_cache.hits"));
+  dump.gauge(prefix + "position_cache_hit_rate").set(metrics.cache_hit_rate);
+  dump.gauge(prefix + "field_m").set(field);
+  dump.gauge(prefix + "wall_s").set(metrics.wall_s);
+  dump.gauge(prefix + "sim_seconds_per_wall_second")
+      .set(metrics.sim_s_per_wall_s);
+  dump.gauge(prefix + "events_per_sec").set(metrics.events_per_sec);
   return metrics;
+}
+
+bool parse_args(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* name) -> const char* {
+      const std::size_t len = std::strlen(name);
+      if (arg.compare(0, len, name) == 0 && arg.size() > len &&
+          arg[len] == '=') {
+        return arg.c_str() + len + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = value_of("--devices")) {
+      options.devices.clear();
+      std::string list = v;
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string token =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        const int n = std::atoi(token.c_str());
+        if (n <= 0) {
+          std::fprintf(stderr, "bad --devices entry '%s'\n", token.c_str());
+          return false;
+        }
+        options.devices.push_back(n);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      if (options.devices.empty()) return false;
+    } else if (const char* v2 = value_of("--seed")) {
+      options.seed = std::strtoull(v2, nullptr, 10);
+    } else if (const char* v3 = value_of("--window-min")) {
+      options.window_min = std::atof(v3);
+      if (options.window_min <= 0) return false;
+    } else if (const char* v4 = value_of("--field")) {
+      if (std::string(v4) == "auto") {
+        options.auto_field = true;
+      } else {
+        options.field_m = std::atof(v4);
+        if (options.field_m <= 0) return false;
+      }
+    } else if (const char* v5 = value_of("--cell")) {
+      options.cell_m = std::atof(v5);
+    } else if (arg == "--brute") {
+      options.brute = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: bench_overlay_scale [--devices=5,10,20,40] [--seed=N]\n"
+          "       [--window-min=M] [--field=60|auto] [--brute] [--cell=M]\n");
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) return 1;
+
   std::printf("Overlay-scale dynamic group discovery (future work #2):\n");
-  std::printf("random-waypoint crowd on a 60x60 m field, 10 simulated minutes\n\n");
-  std::printf("%8s %22s %20s %24s %18s\n", "devices", "group events/dev/min",
-              "comparisons/dev", "control msgs/dev/min", "bytes/dev/min");
-  for (int n : {5, 10, 20, 40}) {
-    const Metrics m = run_crowd(n, 1000 + n);
-    std::printf("%8d %22.2f %20.0f %24.1f %18.0f\n", n,
+  std::printf(
+      "random-waypoint crowd, %s field, %.0f simulated minutes, %s path\n\n",
+      options.auto_field ? "constant-density (auto)"
+                         : (std::to_string(static_cast<int>(options.field_m)) +
+                            "x" + std::to_string(static_cast<int>(options.field_m)) +
+                            " m")
+                               .c_str(),
+      options.window_min,
+      options.brute ? "brute-force" : "spatial-index");
+  std::printf("%8s %20s %16s %20s %14s %14s %10s %9s\n", "devices",
+              "group events/dev/min", "comparisons/dev", "control msgs/dev/min",
+              "bytes/dev/min", "signal evals", "cache hit", "sim/wall");
+  obs::Registry dump;
+  for (int n : options.devices) {
+    const Metrics m = run_crowd(options, n, dump);
+    std::printf("%8d %20.2f %16.0f %20.1f %14.0f %14llu %9.0f%% %8.1fx\n", n,
                 m.group_events_per_device_min, m.comparisons_per_device,
-                m.control_msgs_per_device_min, m.bytes_per_device_min);
+                m.control_msgs_per_device_min, m.bytes_per_device_min,
+                static_cast<unsigned long long>(m.signal_evals),
+                m.cache_hit_rate * 100.0, m.sim_s_per_wall_s);
   }
-  std::printf("\nExpected shape: everything per-device grows roughly linearly\n"
-              "with crowd density — pings and service queries are per-\n"
-              "neighbour, and group churn tracks how many matching members\n"
-              "wander in and out of range. Inquiry count alone is flat (one\n"
-              "periodic scan per device regardless of density).\n");
+  std::printf(
+      "\nExpected shape: per-device costs grow roughly linearly with crowd\n"
+      "density (pings and service queries are per-neighbour). With the\n"
+      "spatial index the simulator's own cost per discovery round is O(k)\n"
+      "in the neighbourhood size instead of O(N) over the whole crowd —\n"
+      "compare a --brute run's `signal evals` column at equal N.\n");
+  if (!obs::dump_if_requested(dump)) return 1;
   return 0;
 }

@@ -136,6 +136,8 @@ void FaultPlane::begin_signal_ramp(SignalRamp ramp) {
                          "fault");
   const sim::Duration total = ramp.ramp + ramp.hold + ramp.recover;
   ramps_.push_back(ramp);
+  // The ramp may attenuate signals already memoized at this timestamp.
+  medium_.invalidate_signal_memo();
   simulator_.schedule(total, [this, span] {
     trace_->end_span(span, simulator_.now());
     // Prune ramps that have fully recovered; factors of finished ramps are

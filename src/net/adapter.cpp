@@ -11,6 +11,8 @@ Adapter::Adapter(Medium& medium, NodeId node, TechProfile profile)
 void Adapter::set_powered(bool on) {
   if (powered_ == on) return;
   powered_ = on;
+  // Signals memoized earlier in this timestamp assumed the old power state.
+  medium_.invalidate_signal_memo();
   PH_LOG(debug, "net") << "node " << node_ << " " << profile_.name
                        << (on ? " powered on" : " powered off");
   if (!on) medium_.break_links_of(node_, profile_.tech);

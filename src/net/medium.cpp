@@ -1,6 +1,7 @@
 #include "net/medium.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "net/link_state.hpp"
@@ -16,8 +17,8 @@ std::pair<NodeId, int> adapter_key(NodeId node, Technology tech) {
 }
 }  // namespace
 
-Medium::Medium(sim::Simulator& simulator, sim::Rng rng)
-    : simulator_(simulator), rng_(rng) {
+Medium::Medium(sim::Simulator& simulator, sim::Rng rng, MediumConfig config)
+    : simulator_(simulator), rng_(rng), config_(config) {
   c_datagrams_sent_ = &registry_.counter("net.medium.datagrams_sent");
   c_datagrams_lost_ = &registry_.counter("net.medium.datagrams_lost");
   c_link_messages_sent_ = &registry_.counter("net.medium.link_messages_sent");
@@ -26,6 +27,18 @@ Medium::Medium(sim::Simulator& simulator, sim::Rng rng)
   c_links_opened_ = &registry_.counter("net.medium.links_opened");
   c_links_broken_ = &registry_.counter("net.medium.links_broken");
   c_inquiries_ = &registry_.counter("net.medium.inquiries");
+  c_links_compacted_ = &registry_.counter("net.medium.links_compacted");
+  c_signal_evals_ = &registry_.counter("net.medium.signal_evals");
+  c_spatial_queries_ = &registry_.counter("net.medium.spatial.queries");
+  c_spatial_rebuilds_ = &registry_.counter("net.medium.spatial.rebuilds");
+  c_spatial_cells_visited_ =
+      &registry_.counter("net.medium.spatial.cells_visited");
+  c_spatial_candidates_ = &registry_.counter("net.medium.spatial.candidates");
+  c_spatial_pairs_pruned_ =
+      &registry_.counter("net.medium.spatial.pairs_pruned");
+  c_position_hits_ = &registry_.counter("net.medium.position_cache.hits");
+  c_position_misses_ = &registry_.counter("net.medium.position_cache.misses");
+  c_signal_memo_hits_ = &registry_.counter("net.medium.signal_cache.hits");
   h_transfer_us_ = &registry_.histogram("net.medium.transfer_us");
   // Capacity overflow in the journal must be visible in metric dumps.
   trace_.set_dropped_counter(&registry_.counter("obs.trace.dropped"));
@@ -51,6 +64,9 @@ Medium::~Medium() {
       state->rx_b = nullptr;
       state->brk_a = nullptr;
       state->brk_b = nullptr;
+      // Scheduled close events surviving the world must not dereference a
+      // dead Medium for link bookkeeping.
+      state->medium = nullptr;
     }
   }
 }
@@ -60,6 +76,7 @@ NodeId Medium::add_node(std::string name,
   assert(mobility != nullptr);
   const NodeId id = next_node_++;
   nodes_.emplace(id, NodeEntry{std::move(name), std::move(mobility)});
+  position_cache_.resize(next_node_);
   return id;
 }
 
@@ -67,6 +84,12 @@ void Medium::set_mobility(NodeId node,
                           std::unique_ptr<sim::MobilityModel> mobility) {
   assert(mobility != nullptr);
   nodes_.at(node).mobility = std::move(mobility);
+  // The node may now be somewhere else at this very timestamp: drop its
+  // memo, force every technology's grid to re-place it, and invalidate
+  // signals computed from the old position.
+  if (node < position_cache_.size()) position_cache_[node].valid = false;
+  for (TechAdapters& ta : tech_adapters_) ta.dirty = true;
+  invalidate_signal_memo();
 }
 
 const std::string& Medium::node_name(NodeId node) const {
@@ -80,7 +103,20 @@ std::map<std::uint64_t, std::string> Medium::trace_device_names() const {
 }
 
 sim::Vec2 Medium::position(NodeId node) const {
-  return nodes_.at(node).mobility->position_at(simulator_.now());
+  const sim::Time now = simulator_.now();
+  if (!config_.use_position_cache || node >= position_cache_.size()) {
+    return nodes_.at(node).mobility->position_at(now);
+  }
+  CachedPosition& entry = position_cache_[node];
+  if (entry.valid && entry.at == now) {
+    c_position_hits_->inc();
+    return entry.pos;
+  }
+  entry.pos = nodes_.at(node).mobility->position_at(now);
+  entry.at = now;
+  entry.valid = true;
+  c_position_misses_->inc();
+  return entry.pos;
 }
 
 Medium::TechTraffic Medium::traffic(Technology tech) const {
@@ -97,6 +133,7 @@ NodeId Medium::add_access_point(std::string name, sim::Vec2 position,
   const NodeId id =
       add_node(std::move(name), std::make_unique<sim::StaticMobility>(position));
   access_points_.push_back(AccessPoint{id, range_m, true});
+  invalidate_signal_memo();  // infra pairs may be reachable through it now
   return id;
 }
 
@@ -104,6 +141,9 @@ void Medium::set_access_point_active(NodeId ap, bool active) {
   for (AccessPoint& entry : access_points_) {
     if (entry.node != ap) continue;
     entry.active = active;
+    // Invalidate before the reachability sweep below — it must see the
+    // cell's new state, not memoized pre-flip signals.
+    invalidate_signal_memo();
     if (!active) {
       // The cell went dark: break every infrastructure link that no other
       // AP can carry, so applications learn immediately — losing
@@ -125,11 +165,27 @@ void Medium::set_access_point_active(NodeId ap, bool active) {
 
 Adapter& Medium::add_adapter(NodeId node, TechProfile profile) {
   assert(nodes_.contains(node));
-  auto key = adapter_key(node, profile.tech);
+  const Technology tech = profile.tech;
+  const double range = profile.via_gateway ? 0.0 : profile.range_m;
+  auto key = adapter_key(node, tech);
   assert(!adapters_.contains(key) && "one adapter per (node, technology)");
   auto adapter = std::make_unique<Adapter>(*this, node, std::move(profile));
   Adapter& ref = *adapter;
   adapters_.emplace(key, std::move(adapter));
+  TechAdapters& ta = tech_adapters_[static_cast<std::size_t>(tech)];
+  // Keep the per-technology list sorted by node id so the grid path and
+  // the brute-force path evaluate candidates in the same order (matching
+  // the old full-map scan); order is what keeps RNG consumption identical.
+  ta.list.insert(std::lower_bound(ta.list.begin(), ta.list.end(), node,
+                                  [](const Adapter* a, NodeId id) {
+                                    return a->node() < id;
+                                  }),
+                 &ref);
+  ta.max_range_m = std::max(ta.max_range_m, range);
+  ta.dirty = true;
+  // A pair involving this node may have memoized signal 0 ("no adapter")
+  // at this very timestamp; the new radio changes that.
+  invalidate_signal_memo();
   return ref;
 }
 
@@ -158,6 +214,42 @@ double falloff(double distance_m, double range_m) {
 
 double Medium::signal(NodeId a, NodeId b, const TechProfile& profile) const {
   if (a == b) return 0.0;
+  if (!config_.use_signal_cache) {
+    c_signal_evals_->inc();
+    return signal_physics(a, b, profile);
+  }
+  const sim::Time now = simulator_.now();
+  if (signal_memo_at_ != now || signal_memo_epoch_ != world_epoch_) {
+    signal_memo_.clear();
+    signal_memo_at_ = now;
+    signal_memo_epoch_ = world_epoch_;
+  }
+  // signal() is exactly symmetric in (a, b): falloff takes hypot of
+  // coordinate differences (sign-insensitive), the AP legs combine via
+  // min, and fault attenuation multiplies per-node factors — all
+  // bit-commutative. Normalizing the key to the unordered pair lets a
+  // delivery-time recheck (src→dst) and the receiver's signal sample
+  // (dst→src) inside the same timestamp share one evaluation.
+  SignalKey key;
+  key.pair = (static_cast<std::uint64_t>(std::min(a, b)) << 32) |
+             std::max(a, b);
+  key.range_bits = std::bit_cast<std::uint64_t>(profile.range_m);
+  key.flags = (static_cast<std::uint32_t>(profile.tech) << 2) |
+              (profile.via_gateway ? 2u : 0u) |
+              (profile.infrastructure ? 1u : 0u);
+  auto it = signal_memo_.find(key);
+  if (it != signal_memo_.end()) {
+    c_signal_memo_hits_->inc();
+    return it->second;
+  }
+  c_signal_evals_->inc();  // the pair-evaluation cost the benches compare
+  const double value = signal_physics(a, b, profile);
+  signal_memo_.emplace(key, value);
+  return value;
+}
+
+double Medium::signal_physics(NodeId a, NodeId b,
+                              const TechProfile& profile) const {
   const Adapter* aa = adapter(a, profile.tech);
   const Adapter* ab = adapter(b, profile.tech);
   if (aa == nullptr || ab == nullptr || !aa->powered() || !ab->powered()) return 0.0;
@@ -199,28 +291,65 @@ double Medium::frame_loss(const TechProfile& profile) {
   return std::clamp(fault_->frame_loss(profile.tech, base), 0.0, 1.0);
 }
 
+void Medium::ensure_spatial(Technology tech) const {
+  TechAdapters& ta = tech_adapters_[static_cast<std::size_t>(tech)];
+  const sim::Time now = simulator_.now();
+  if (ta.built && !ta.dirty && ta.built_at == now) return;
+  std::vector<sim::Vec2> positions;
+  positions.reserve(ta.list.size());
+  for (const Adapter* adapter : ta.list) {
+    positions.push_back(position(adapter->node()));
+  }
+  const double cell = config_.spatial_cell_m > 0.0
+                          ? config_.spatial_cell_m
+                          : std::max(1.0, ta.max_range_m * 0.5);
+  ta.grid.rebuild(cell, std::move(positions));
+  ta.built_at = now;
+  ta.built = true;
+  ta.dirty = false;
+  c_spatial_rebuilds_->inc();
+}
+
 std::vector<NodeId> Medium::nodes_in_range(NodeId node,
                                            const TechProfile& profile) const {
   std::vector<NodeId> out;
-  for (const auto& [key, adapter] : adapters_) {
-    if (key.second != static_cast<int>(profile.tech)) continue;
-    if (key.first == node) continue;
-    if (!adapter->powered()) continue;
-    if (!reachable(node, key.first, profile)) continue;
-    out.push_back(key.first);
+  const TechAdapters& ta =
+      tech_adapters_[static_cast<std::size_t>(profile.tech)];
+  // Only direct radios are range-limited; gateway techs reach everyone and
+  // infrastructure reachability hangs off access-point geometry, so both
+  // take the per-technology scan (already far smaller than the old
+  // all-adapters map walk).
+  const bool direct = !profile.via_gateway && !profile.infrastructure;
+  if (config_.use_spatial_index && direct && !ta.list.empty()) {
+    ensure_spatial(profile.tech);
+    spatial_scratch_.clear();
+    const SpatialGrid::QueryStats qs =
+        ta.grid.query(position(node), profile.range_m, spatial_scratch_);
+    c_spatial_queries_->inc();
+    c_spatial_cells_visited_->inc(qs.cells_visited);
+    c_spatial_candidates_->inc(qs.candidates);
+    c_spatial_pairs_pruned_->inc(ta.list.size() - qs.candidates);
+    for (std::uint32_t index : spatial_scratch_) {
+      const Adapter* peer = ta.list[index];
+      if (peer->node() == node) continue;
+      if (!peer->powered()) continue;
+      if (!reachable(node, peer->node(), profile)) continue;
+      out.push_back(peer->node());
+    }
+    return out;
+  }
+  for (const Adapter* peer : ta.list) {
+    if (peer->node() == node) continue;
+    if (!peer->powered()) continue;
+    if (!reachable(node, peer->node(), profile)) continue;
+    out.push_back(peer->node());
   }
   return out;
 }
 
 std::size_t Medium::open_link_count(NodeId node, Technology tech) const {
-  std::size_t count = 0;
-  for (const auto& weak : links_) {
-    auto state = weak.lock();
-    if (!state || !state->open || state->closing) continue;
-    if (state->profile.tech != tech) continue;
-    if (state->a == node || state->b == node) ++count;
-  }
-  return count;
+  auto it = open_link_counts_.find({node, static_cast<int>(tech)});
+  return it == open_link_counts_.end() ? 0 : it->second;
 }
 
 sim::Duration Medium::transfer_time(const TechProfile& profile,
@@ -373,6 +502,8 @@ void Medium::open_link(Adapter& from, NodeId dst, Port port,
     state->port = port;
     state->open = true;
     links_.push_back(state);
+    ++open_link_counts_[{src, static_cast<int>(profile.tech)}];
+    ++open_link_counts_[{dst, static_cast<int>(profile.tech)}];
     c_links_opened_->inc();
     PH_LOG(trace, "net") << "link " << src << "->" << dst << " port " << port
                          << " open (" << profile.name << ")";
@@ -432,6 +563,9 @@ void Medium::link_close(const std::shared_ptr<detail::LinkState>& state,
                         NodeId closer) {
   if (!state->open || state->closing) return;
   state->closing = true;
+  // A closing link no longer occupies piconet capacity (open_link_count
+  // always skipped `closing` links when it still scanned the world).
+  unregister_link(*state);
   const NodeId peer = state->peer_of(closer);
   // Flush: messages already queued (e.g. an application-level goodbye sent
   // just before close()) still reach the peer; the link dies one
@@ -444,6 +578,7 @@ void Medium::link_close(const std::shared_ptr<detail::LinkState>& state,
         auto st = weak.lock();
         if (!st || !st->open) return;
         st->open = false;
+        if (st->medium != nullptr) st->medium->note_dead_link();
         auto brk = st->brk_for(peer);  // copy: handler may reset itself
         // Release both sides' handlers: they may capture Link handles that
         // own this state, and a dead link must not keep such cycles alive.
@@ -457,7 +592,9 @@ void Medium::link_close(const std::shared_ptr<detail::LinkState>& state,
 
 void Medium::break_link(const std::shared_ptr<detail::LinkState>& state) {
   if (!state->open) return;
+  if (!state->closing) unregister_link(*state);  // else freed at close()
   state->open = false;
+  note_dead_link();
   c_links_broken_->inc();
   PH_LOG(trace, "net") << "link " << state->a << "<->" << state->b
                        << " broke (" << state->profile.name << ")";
@@ -469,6 +606,32 @@ void Medium::break_link(const std::shared_ptr<detail::LinkState>& state) {
   state->brk_b = nullptr;
   if (brk_a) brk_a();
   if (brk_b) brk_b();
+}
+
+void Medium::unregister_link(const detail::LinkState& state) {
+  for (NodeId side : {state.a, state.b}) {
+    auto it = open_link_counts_.find({side, static_cast<int>(state.profile.tech)});
+    if (it == open_link_counts_.end()) continue;
+    if (it->second <= 1) {
+      open_link_counts_.erase(it);
+    } else {
+      --it->second;
+    }
+  }
+}
+
+void Medium::note_dead_link() {
+  ++dead_links_;
+  if (dead_links_ >= 32 && dead_links_ * 2 >= links_.size()) compact_links();
+}
+
+void Medium::compact_links() {
+  std::erase_if(links_, [](const std::weak_ptr<detail::LinkState>& weak) {
+    auto state = weak.lock();
+    return !state || !state->open;
+  });
+  dead_links_ = 0;
+  c_links_compacted_->inc();
 }
 
 void Medium::break_links_of(NodeId node, Technology tech) {

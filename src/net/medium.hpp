@@ -17,11 +17,13 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/adapter.hpp"
 #include "net/fault.hpp"
 #include "net/link.hpp"
+#include "net/spatial.hpp"
 #include "net/tech.hpp"
 #include "net/types.hpp"
 #include "obs/metrics.hpp"
@@ -31,6 +33,32 @@
 #include "sim/simulator.hpp"
 
 namespace ph::net {
+
+/// Tuning knobs for the world's proximity machinery. The defaults are the
+/// fast path; the brute-force switches exist for A/B validation (the
+/// spatial property test runs one world of each and asserts bit-identical
+/// results) and for honest baseline numbers in the scale benches.
+struct MediumConfig {
+  /// Route direct-radio range queries through the uniform-grid index
+  /// (O(k) candidates per query) instead of scanning every same-technology
+  /// adapter (O(N)). Results are identical either way — the grid is a pure
+  /// prune and the exact reachability predicate is always re-applied.
+  bool use_spatial_index = true;
+  /// Memoize MobilityModel::position_at per (node, virtual timestamp) so a
+  /// signal() evaluation costs at most one mobility sample per endpoint
+  /// instead of 2–4 virtual-dispatch samples per call.
+  bool use_position_cache = true;
+  /// Memoize signal() per (ordered pair, profile shape, virtual timestamp).
+  /// Hot paths evaluate the same pair several times inside one timestamp —
+  /// the delivery-time reachability recheck plus the receiver's signal
+  /// sample — and the memo collapses those to one physics evaluation.
+  /// Anything that can change signal mid-timestamp (adapter power, AP
+  /// state, mobility swaps, fault-plane ramps) bumps an epoch clearing it.
+  bool use_signal_cache = true;
+  /// Grid cell edge in metres; 0 = auto (half the technology's largest
+  /// adapter range, which bounds a query's bounding box to ~6 cells/axis).
+  double spatial_cell_m = 0.0;
+};
 
 class Medium {
  public:
@@ -46,7 +74,7 @@ class Medium {
     std::uint64_t total_bytes() const { return datagram_bytes + link_bytes; }
   };
 
-  Medium(sim::Simulator& simulator, sim::Rng rng);
+  Medium(sim::Simulator& simulator, sim::Rng rng, MediumConfig config = {});
   Medium(const Medium&) = delete;
   Medium& operator=(const Medium&) = delete;
   ~Medium();
@@ -96,7 +124,15 @@ class Medium {
   std::vector<NodeId> nodes_in_range(NodeId node, const TechProfile& profile) const;
 
   /// Open links currently carried by `node`'s `tech` radio (piconet load).
+  /// O(log n) via per-node bookkeeping — no weak_ptr scan.
   std::size_t open_link_count(NodeId node, Technology tech) const;
+
+  /// Link-state entries (open + not-yet-compacted dead) the world tracks.
+  /// Exposed so tests can assert the registry does not grow without bound
+  /// across long open/close churn.
+  std::size_t tracked_link_count() const noexcept { return links_.size(); }
+
+  const MediumConfig& config() const noexcept { return config_; }
 
   /// Typed view of the registry's `net.medium.*` instruments
   /// (`stats().counter("datagrams_sent")`, ...); the registry is the
@@ -116,8 +152,16 @@ class Medium {
   /// outlive the Medium or be removed first.
   void set_fault_injector(FaultInjector* injector) noexcept {
     fault_ = injector;
+    invalidate_signal_memo();
   }
   FaultInjector* fault_injector() const noexcept { return fault_; }
+
+  /// Drops the per-timestamp signal memo. Every mutation that can change
+  /// signal strength *within* the current virtual timestamp must call this
+  /// — adapter power flips, AP activation, mobility swaps, a fault plane
+  /// whose signal_factor state changed (e.g. a ramp beginning). Cheap: it
+  /// bumps an epoch and the memo clears lazily on next lookup.
+  void invalidate_signal_memo() noexcept { ++world_epoch_; }
 
   /// The world's metrics registry. The Medium is the root object every
   /// layer can reach (daemon → medium, stack → medium), so it owns the
@@ -150,6 +194,10 @@ class Medium {
   /// Applies the fault injector's signal factor to a physical signal.
   double attenuated(double physical, NodeId a, NodeId b) const;
 
+  /// The uncached signal computation (geometry + fault attenuation);
+  /// signal() is the memoizing wrapper around it.
+  double signal_physics(NodeId a, NodeId b, const TechProfile& profile) const;
+
   // Internal helpers used by Adapter/Link (implemented in medium.cpp).
   void deliver_datagram(Adapter& from, NodeId dst, Port port, Bytes payload);
   void start_inquiry(Adapter& from, InquiryHandler done);
@@ -159,6 +207,20 @@ class Medium {
   void link_close(const std::shared_ptr<detail::LinkState>& state, NodeId closer);
   void break_link(const std::shared_ptr<detail::LinkState>& state);
   void break_links_of(NodeId node, Technology tech);
+
+  /// Balances the per-node open-link counts the moment `state` stops
+  /// occupying radio capacity: close *initiation* (the old scan skipped
+  /// `closing` links too) or break, whichever happens first.
+  void unregister_link(const detail::LinkState& state);
+  /// Records that a links_ entry went dead and compacts the vector once
+  /// dead entries dominate — long soaks must not scan ever-growing state.
+  void note_dead_link();
+  void compact_links();
+
+  /// Rebuilds `tech`'s grid if the world moved (new virtual timestamp) or
+  /// its topology changed (adapter added, mobility swapped) since the last
+  /// build. Positions are sampled through the position cache.
+  void ensure_spatial(Technology tech) const;
 
   struct AccessPoint {
     NodeId node = kInvalidNode;
@@ -174,14 +236,70 @@ class Medium {
     obs::Counter* messages = nullptr;
   };
 
+  /// Everything the proximity queries need about one technology: the
+  /// adapters carrying it (sorted by node id, mirroring the brute-force
+  /// scan order over `adapters_`) and the lazily rebuilt grid over their
+  /// positions. Power state is deliberately NOT an invalidation trigger —
+  /// it is filtered at query time, exactly like the brute-force path.
+  struct TechAdapters {
+    std::vector<Adapter*> list;  // sorted by node id; adapters never die
+    double max_range_m = 0.0;    // over non-gateway profiles; sizes cells
+    SpatialGrid grid;
+    sim::Time built_at = 0;
+    bool built = false;
+    bool dirty = true;
+  };
+
+  /// One position memo; valid only while `at` equals the current virtual
+  /// time (set_mobility clears the node's entry explicitly).
+  struct CachedPosition {
+    sim::Time at = 0;
+    sim::Vec2 pos;
+    bool valid = false;
+  };
+
+  /// Signal-memo key: the unordered endpoint pair (signal() is exactly
+  /// symmetric, see the normalization comment in medium.cpp) plus every
+  /// profile field the computation reads (range, tech, routing flags).
+  /// Exact equality on all fields — hash collisions cannot alias two
+  /// different evaluations.
+  struct SignalKey {
+    std::uint64_t pair = 0;        // (min << 32) | max
+    std::uint64_t range_bits = 0;  // bit pattern of profile.range_m
+    std::uint32_t flags = 0;       // tech + via_gateway + infrastructure
+    bool operator==(const SignalKey&) const = default;
+  };
+  struct SignalKeyHash {
+    std::size_t operator()(const SignalKey& k) const noexcept {
+      std::uint64_t h = k.pair * 0x9E3779B97F4A7C15ull;
+      h ^= k.range_bits + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+      h ^= static_cast<std::uint64_t>(k.flags) + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
   sim::Simulator& simulator_;
   sim::Rng rng_;
+  MediumConfig config_;
   obs::Registry registry_;
   obs::Trace trace_;
   std::map<NodeId, NodeEntry> nodes_;
   std::vector<AccessPoint> access_points_;
   std::map<std::pair<NodeId, int>, std::unique_ptr<Adapter>> adapters_;
+  // Query-path acceleration state; logically const (pure caches over
+  // nodes_/adapters_), hence mutable for the const query methods.
+  mutable std::array<TechAdapters, 3> tech_adapters_{};  // by Technology
+  mutable std::vector<CachedPosition> position_cache_;   // by NodeId
+  mutable std::vector<std::uint32_t> spatial_scratch_;
+  // Per-timestamp signal memo: valid while (timestamp, epoch) both match;
+  // clear() keeps bucket capacity so per-event resets are cheap.
+  mutable std::unordered_map<SignalKey, double, SignalKeyHash> signal_memo_;
+  mutable sim::Time signal_memo_at_ = 0;
+  mutable std::uint64_t signal_memo_epoch_ = 0;
+  std::uint64_t world_epoch_ = 1;
   std::vector<std::weak_ptr<detail::LinkState>> links_;
+  std::map<std::pair<NodeId, int>, std::size_t> open_link_counts_;
+  std::size_t dead_links_ = 0;  // links_ entries closed since last compact
   // Registry handles (`net.medium.*`); stable for the registry's lifetime.
   obs::Counter* c_datagrams_sent_ = nullptr;
   obs::Counter* c_datagrams_lost_ = nullptr;
@@ -191,6 +309,18 @@ class Medium {
   obs::Counter* c_links_opened_ = nullptr;
   obs::Counter* c_links_broken_ = nullptr;
   obs::Counter* c_inquiries_ = nullptr;
+  obs::Counter* c_links_compacted_ = nullptr;
+  obs::Counter* c_signal_evals_ = nullptr;
+  // `net.medium.spatial.*` / `net.medium.position_cache.*` — the
+  // instruments the perf acceptance criteria read.
+  obs::Counter* c_spatial_queries_ = nullptr;
+  obs::Counter* c_spatial_rebuilds_ = nullptr;
+  obs::Counter* c_spatial_cells_visited_ = nullptr;
+  obs::Counter* c_spatial_candidates_ = nullptr;
+  obs::Counter* c_spatial_pairs_pruned_ = nullptr;
+  obs::Counter* c_position_hits_ = nullptr;
+  obs::Counter* c_position_misses_ = nullptr;
+  obs::Counter* c_signal_memo_hits_ = nullptr;
   obs::Histogram* h_transfer_us_ = nullptr;
   std::array<TechCounters, 3> tech_counters_{};  // indexed by Technology
   NodeId next_node_ = 1;

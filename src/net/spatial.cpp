@@ -1,0 +1,55 @@
+#include "net/spatial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ph::net {
+
+std::int32_t SpatialGrid::cell_coord(double v) const noexcept {
+  return static_cast<std::int32_t>(std::floor(v / cell_size_));
+}
+
+void SpatialGrid::rebuild(double cell_size_m, std::vector<sim::Vec2> positions) {
+  cell_size_ = cell_size_m > 0.0 ? cell_size_m : 1.0;
+  positions_ = std::move(positions);
+  cells_.clear();
+  cells_.reserve(positions_.size());
+  for (std::uint32_t i = 0; i < positions_.size(); ++i) {
+    const sim::Vec2& p = positions_[i];
+    cells_[cell_key(cell_coord(p.x), cell_coord(p.y))].push_back(i);
+  }
+}
+
+SpatialGrid::QueryStats SpatialGrid::query(
+    sim::Vec2 center, double radius_m, std::vector<std::uint32_t>& out) const {
+  QueryStats stats;
+  if (radius_m <= 0.0 || positions_.empty()) return stats;
+  const std::size_t first = out.size();
+  const std::int32_t cx0 = cell_coord(center.x - radius_m);
+  const std::int32_t cx1 = cell_coord(center.x + radius_m);
+  const std::int32_t cy0 = cell_coord(center.y - radius_m);
+  const std::int32_t cy1 = cell_coord(center.y + radius_m);
+  for (std::int32_t cy = cy0; cy <= cy1; ++cy) {
+    for (std::int32_t cx = cx0; cx <= cx1; ++cx) {
+      ++stats.cells_visited;
+      auto it = cells_.find(cell_key(cx, cy));
+      if (it == cells_.end()) continue;
+      for (std::uint32_t index : it->second) {
+        // Exact-distance filter, with the same correctly-rounded hypot the
+        // signal falloff uses (`distance >= range` ⇒ signal 0), so pruning
+        // here can never disagree with the brute-force predicate.
+        if (sim::distance(positions_[index], center) < radius_m) {
+          out.push_back(index);
+        }
+      }
+    }
+  }
+  // Cell iteration order depends on the coordinate walk, not on hash
+  // layout, but candidates from different cells interleave — sort so the
+  // caller evaluates (and consumes RNG) in one canonical order.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end());
+  stats.candidates = out.size() - first;
+  return stats;
+}
+
+}  // namespace ph::net

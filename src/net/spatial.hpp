@@ -1,0 +1,74 @@
+// SpatialGrid — a uniform-grid proximity index over node positions.
+//
+// The Medium's hot paths (inquiry fan-out, broadcast delivery, signal
+// sampling) all ask the same question: "which nodes can possibly be within
+// `radius` of this point right now?". Answering it by scanning the whole
+// world is O(N) per query and O(N²) per discovery round — the exact cost
+// the thesis' future-work item on crowd-scale dynamic group discovery
+// worries about. The grid buckets positions into square cells of edge
+// `cell_size_m` and answers a range query by visiting only the cells
+// intersecting the query disk's bounding box, so a query touches O(k)
+// candidates instead of N.
+//
+// The index is a *pure prune*: cells give a superset of the disk, then an
+// exact distance test (the same correctly-rounded hypot the signal falloff
+// uses, with the same strict `< radius` inequality) drops the corners — a
+// node is returned iff the falloff at its distance would be nonzero. The
+// caller still re-applies the full reachability predicate (power, fault
+// attenuation). That is what keeps grid and brute-force results
+// bit-identical — the equivalence the spatial property test asserts.
+//
+// Determinism: candidates are returned sorted by insertion index, so the
+// caller's evaluation order — and therefore its RNG consumption — is
+// independent of cell iteration order (which for an unordered_map is not
+// stable across platforms).
+//
+// Rebuilds are O(N); the Medium rebuilds lazily, at most once per
+// (virtual timestamp, topology change) per technology.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/world.hpp"
+
+namespace ph::net {
+
+class SpatialGrid {
+ public:
+  struct QueryStats {
+    std::size_t cells_visited = 0;  ///< cell probes (hits and misses)
+    std::size_t candidates = 0;     ///< indices appended to `out`
+  };
+
+  /// Replaces the index contents. `positions[i]` is the position of the
+  /// caller's i-th entry (the Medium uses per-technology adapter indices);
+  /// query() reports these indices back. `cell_size_m` must be positive.
+  void rebuild(double cell_size_m, std::vector<sim::Vec2> positions);
+
+  /// Appends to `out`, sorted ascending, the indices of every entry with
+  /// distance(entry, center) < radius_m — strict, matching the falloff's
+  /// "0 at/beyond range". A non-positive radius yields no candidates (a
+  /// zero-range radio hears nobody, matching the exact predicate).
+  QueryStats query(sim::Vec2 center, double radius_m,
+                   std::vector<std::uint32_t>& out) const;
+
+  std::size_t size() const noexcept { return positions_.size(); }
+  double cell_size() const noexcept { return cell_size_; }
+
+ private:
+  static std::uint64_t cell_key(std::int32_t cx, std::int32_t cy) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint32_t>(cy);
+  }
+  std::int32_t cell_coord(double v) const noexcept;
+
+  double cell_size_ = 1.0;
+  std::vector<sim::Vec2> positions_;
+  /// Cell → indices into positions_, each bucket in ascending index order
+  /// (rebuild inserts in order).
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> cells_;
+};
+
+}  // namespace ph::net

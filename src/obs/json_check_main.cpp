@@ -10,6 +10,11 @@
 //
 // Metrics-mode requirements:
 //   counter:PREFIX     at least one counter whose name starts with PREFIX
+//   counter_nonzero:PREFIX
+//                      same, and at least one matching counter must be > 0
+//                      (a present-but-zero instrument means the code path
+//                      it observes never ran)
+//   gauge:PREFIX       at least one gauge whose name starts with PREFIX
 //   histogram:PREFIX   at least one histogram whose name starts with PREFIX
 //                      (must carry numeric count/sum/p50/p95/p99 fields)
 //   span:PREFIX        at least one span whose name starts with PREFIX
@@ -163,8 +168,10 @@ bool check_requirement(const Value& root, const std::string& requirement) {
     return check_trace_requirement(root, kind, prefix);
   }
   const char* section = nullptr;
-  if (kind == "counter") {
+  if (kind == "counter" || kind == "counter_nonzero") {
     section = "counters";
+  } else if (kind == "gauge") {
+    section = "gauges";
   } else if (kind == "histogram") {
     section = "histograms";
   } else {
@@ -177,21 +184,31 @@ bool check_requirement(const Value& root, const std::string& requirement) {
     std::fprintf(stderr, "json_check: missing '%s' object\n", section);
     return false;
   }
+  bool found_zero_only = false;
   for (const auto& [name, value] : *table->object) {
     if (!starts_with(name, prefix)) continue;
-    if (kind == "counter") {
-      if (!value.is_number()) {
-        std::fprintf(stderr, "json_check: counter '%s' is not a number\n",
-                     name.c_str());
-        return false;
-      }
-      return true;
+    if (kind == "histogram") {
+      return histogram_well_formed(name, value);
     }
-    if (histogram_well_formed(name, value)) return true;
-    return false;
+    if (!value.is_number()) {
+      std::fprintf(stderr, "json_check: %s '%s' is not a number\n",
+                   kind == "gauge" ? "gauge" : "counter", name.c_str());
+      return false;
+    }
+    if (kind == "counter_nonzero" && value.number == 0.0) {
+      found_zero_only = true;  // keep looking for a nonzero match
+      continue;
+    }
+    return true;
   }
-  std::fprintf(stderr, "json_check: no %s matching prefix '%s'\n", kind.c_str(),
-               prefix.c_str());
+  if (found_zero_only) {
+    std::fprintf(stderr,
+                 "json_check: every counter matching prefix '%s' is zero\n",
+                 prefix.c_str());
+  } else {
+    std::fprintf(stderr, "json_check: no %s matching prefix '%s'\n",
+                 kind.c_str(), prefix.c_str());
+  }
   return false;
 }
 
@@ -265,7 +282,8 @@ int main(int argc, char** argv) {
   if (argc < file_arg + 1) {
     std::fprintf(stderr,
                  "usage: %s [--chrome] FILE "
-                 "[counter:PREFIX|histogram:PREFIX|span:PREFIX|event:PREFIX"
+                 "[counter:PREFIX|counter_nonzero:PREFIX|gauge:PREFIX"
+                 "|histogram:PREFIX|span:PREFIX|event:PREFIX"
                  "|NAME-PREFIX]...\n",
                  argv[0]);
     return 1;

@@ -15,11 +15,29 @@ WaypointMobility::WaypointMobility(std::vector<Waypoint> waypoints)
 Vec2 WaypointMobility::position_at(Time t) {
   if (t <= waypoints_.front().at) return waypoints_.front().pos;
   if (t >= waypoints_.back().at) return waypoints_.back().pos;
-  // Find the segment [prev, next] containing t.
-  auto next = std::upper_bound(
-      waypoints_.begin(), waypoints_.end(), t,
-      [](Time value, const Waypoint& w) { return value < w.at; });
+  // Find the segment [prev, next] containing t: try the hinted segment and
+  // its successor first (monotonic sampling), fall back to binary search.
+  auto next = waypoints_.begin() + 1;
+  if (segment_hint_ + 1 < waypoints_.size() &&
+      waypoints_[segment_hint_].at < t) {
+    if (t < waypoints_[segment_hint_ + 1].at) {
+      next = waypoints_.begin() + static_cast<std::ptrdiff_t>(segment_hint_) + 1;
+    } else if (segment_hint_ + 2 < waypoints_.size() &&
+               waypoints_[segment_hint_ + 1].at < t &&
+               t < waypoints_[segment_hint_ + 2].at) {
+      next = waypoints_.begin() + static_cast<std::ptrdiff_t>(segment_hint_) + 2;
+    } else {
+      next = std::upper_bound(
+          waypoints_.begin(), waypoints_.end(), t,
+          [](Time value, const Waypoint& w) { return value < w.at; });
+    }
+  } else {
+    next = std::upper_bound(
+        waypoints_.begin(), waypoints_.end(), t,
+        [](Time value, const Waypoint& w) { return value < w.at; });
+  }
   auto prev = next - 1;
+  segment_hint_ = static_cast<std::size_t>(prev - waypoints_.begin());
   const double span = static_cast<double>(next->at - prev->at);
   const double frac = span == 0.0 ? 0.0 : static_cast<double>(t - prev->at) / span;
   return prev->pos + (next->pos - prev->pos) * frac;
@@ -47,11 +65,29 @@ void RandomWaypoint::extend_to(Time t) {
 
 Vec2 RandomWaypoint::position_at(Time t) {
   extend_to(t);
-  // Legs are time-ordered; find the one covering t.
-  auto it = std::upper_bound(legs_.begin(), legs_.end(), t,
-                             [](Time value, const Leg& leg) { return value < leg.depart; });
+  // Legs are time-ordered; find the one covering t. The hinted leg (or a
+  // near successor) almost always matches because sampling tracks the
+  // advancing virtual clock; otherwise fall back to binary search.
+  auto it = legs_.begin();
+  bool hinted = false;
+  if (leg_hint_ < legs_.size() && legs_[leg_hint_].depart <= t) {
+    std::size_t h = leg_hint_;
+    while (h + 1 < legs_.size() && legs_[h + 1].depart <= t) {
+      ++h;
+      if (h - leg_hint_ > 8) break;  // cold restart: binary search instead
+    }
+    if (h + 1 >= legs_.size() || t < legs_[h + 1].depart) {
+      it = legs_.begin() + static_cast<std::ptrdiff_t>(h) + 1;
+      hinted = true;
+    }
+  }
+  if (!hinted) {
+    it = std::upper_bound(legs_.begin(), legs_.end(), t,
+                          [](Time value, const Leg& leg) { return value < leg.depart; });
+  }
   if (it == legs_.begin()) return current_;
   const Leg& leg = *(it - 1);
+  leg_hint_ = static_cast<std::size_t>(it - legs_.begin()) - 1;
   if (t >= leg.arrive) return leg.to;
   const double span = static_cast<double>(leg.arrive - leg.depart);
   const double frac = span == 0.0 ? 1.0 : static_cast<double>(t - leg.depart) / span;

@@ -70,6 +70,12 @@ class WaypointMobility final : public MobilityModel {
 
  private:
   std::vector<Waypoint> waypoints_;
+  /// Index of the last segment served; queries are overwhelmingly
+  /// monotonic in time (the Medium samples at the advancing virtual
+  /// clock), so checking it first makes lookup amortized O(1) instead of
+  /// a binary search per sample. Pure lookup state — never affects the
+  /// returned position.
+  std::size_t segment_hint_ = 0;
 };
 
 class RandomWaypoint final : public MobilityModel {
@@ -101,6 +107,7 @@ class RandomWaypoint final : public MobilityModel {
   Vec2 current_;
   Time covered_until_ = 0;
   std::vector<Leg> legs_;
+  std::size_t leg_hint_ = 0;  ///< last leg served; see WaypointMobility
 };
 
 }  // namespace ph::sim

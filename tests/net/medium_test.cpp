@@ -140,5 +140,92 @@ TEST_F(MediumTest, MovingNodeLeavesRange) {
   EXPECT_FALSE(medium_.reachable(a, walker, bluetooth_2_0()));
 }
 
+// --- link accounting ---------------------------------------------------
+
+class MediumLinkAccountingTest : public MediumTest {
+ protected:
+  void SetUp() override {
+    TechProfile bt = bluetooth_2_0();
+    bt.frame_loss = 0.0;
+    a_ = add_static_node("a", {0, 0});
+    b_ = add_static_node("b", {2, 0});
+    radio_a_ = &medium_.add_adapter(a_, bt);
+    radio_b_ = &medium_.add_adapter(b_, bt);
+    radio_b_->listen(5, [](Link) {});
+  }
+
+  Link connect() {
+    Link client;
+    radio_a_->connect(b_, 5, [&](Result<Link> link) {
+      ASSERT_TRUE(link.ok()) << link.error().to_string();
+      client = *link;
+    });
+    simulator_.run_until(simulator_.now() + sim::seconds(2));
+    EXPECT_TRUE(client.valid());
+    return client;
+  }
+
+  NodeId a_ = 0, b_ = 0;
+  Adapter* radio_a_ = nullptr;
+  Adapter* radio_b_ = nullptr;
+};
+
+TEST_F(MediumLinkAccountingTest, OpenLinkCountTracksBothEndpoints) {
+  EXPECT_EQ(medium_.open_link_count(a_, Technology::bluetooth), 0u);
+  Link link = connect();
+  EXPECT_EQ(medium_.open_link_count(a_, Technology::bluetooth), 1u);
+  EXPECT_EQ(medium_.open_link_count(b_, Technology::bluetooth), 1u);
+  EXPECT_EQ(medium_.open_link_count(a_, Technology::wlan), 0u);
+}
+
+TEST_F(MediumLinkAccountingTest, CapacityFreesAtCloseInitiation) {
+  Link link = connect();
+  // close() only *schedules* the teardown, but a closing link no longer
+  // occupies piconet capacity — the count must drop before the close
+  // completes, matching the semantics a new connect() relies on.
+  link.close();
+  EXPECT_EQ(medium_.open_link_count(a_, Technology::bluetooth), 0u);
+  EXPECT_EQ(medium_.open_link_count(b_, Technology::bluetooth), 0u);
+  simulator_.run_all();
+  EXPECT_FALSE(link.open());
+  EXPECT_EQ(medium_.open_link_count(a_, Technology::bluetooth), 0u);
+}
+
+TEST_F(MediumLinkAccountingTest, CountDropsWhenPowerOffBreaksLinks) {
+  Link link = connect();
+  radio_b_->set_powered(false);  // breaks the link immediately
+  EXPECT_FALSE(link.open());
+  EXPECT_EQ(medium_.open_link_count(a_, Technology::bluetooth), 0u);
+  EXPECT_EQ(medium_.open_link_count(b_, Technology::bluetooth), 0u);
+}
+
+TEST_F(MediumLinkAccountingTest, BreakAfterCloseInitiationDoesNotDoubleFree) {
+  Link first = connect();
+  first.close();
+  // The link is closing but not yet dead; a power-off now takes the break
+  // path. The count already dropped at close initiation and must not go
+  // negative / wrap for later links.
+  radio_a_->set_powered(false);
+  simulator_.run_all();
+  radio_a_->set_powered(true);
+  Link second = connect();
+  EXPECT_EQ(medium_.open_link_count(a_, Technology::bluetooth), 1u);
+  EXPECT_EQ(medium_.open_link_count(b_, Technology::bluetooth), 1u);
+}
+
+TEST_F(MediumLinkAccountingTest, TrackedLinksStayBoundedUnderChurn) {
+  // The regression this guards: links_ grew one weak_ptr per link ever
+  // opened. 200 open/close cycles must leave the registry near-empty, not
+  // 200 entries long.
+  for (int i = 0; i < 200; ++i) {
+    Link link = connect();
+    link.close();
+    simulator_.run_all();
+  }
+  EXPECT_LT(medium_.tracked_link_count(), 64u);
+  EXPECT_GT(medium_.stats().counter("links_compacted"), 0u);
+  EXPECT_EQ(medium_.open_link_count(a_, Technology::bluetooth), 0u);
+}
+
 }  // namespace
 }  // namespace ph::net

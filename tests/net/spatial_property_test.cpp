@@ -1,0 +1,169 @@
+// Property: the proximity fast path (spatial grid + position cache +
+// signal memo) is observationally identical to the brute-force reference.
+//
+// Two worlds are built from the same seeds — one with every MediumConfig
+// acceleration on, one with everything off — and stepped in lockstep
+// through a scenario exercising all the machinery's hazard cases: random
+// waypoint mobility (stale grids), WLAN infrastructure with access points
+// (non-direct signal path), GPRS gateway adapters (range-free path),
+// powered-off radios (query-time power filtering), a fault-plane signal
+// ramp (attenuation must never un-prune), and mid-run power / AP / mobility
+// flips (memo invalidation). At every step every node's nodes_in_range and
+// every pair's exact signal value must match EXPECT_EQ — bit-identical,
+// not approximately equal.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/plane.hpp"
+#include "net/medium.hpp"
+#include "sim/mobility.hpp"
+#include "sim/simulator.hpp"
+
+namespace ph::net {
+namespace {
+
+constexpr int kCrowd = 40;
+constexpr double kField = 80.0;
+
+struct World {
+  sim::Simulator simulator;
+  Medium medium;
+  fault::FaultPlane plane;
+  std::vector<NodeId> nodes;
+  NodeId ap0 = kInvalidNode;
+  NodeId ap1 = kInvalidNode;
+
+  static MediumConfig config_for(bool fast) {
+    MediumConfig config;
+    config.use_spatial_index = fast;
+    config.use_position_cache = fast;
+    config.use_signal_cache = fast;
+    return config;
+  }
+
+  explicit World(bool fast)
+      : medium(simulator, sim::Rng(42), config_for(fast)),
+        plane(medium, sim::Rng(5)) {
+    sim::Rng walkers(77);
+    for (int i = 0; i < kCrowd; ++i) {
+      sim::RandomWaypoint::Config walk;
+      walk.area_min = {0, 0};
+      walk.area_max = {kField, kField};
+      const NodeId id = medium.add_node(
+          "n" + std::to_string(i),
+          std::make_unique<sim::RandomWaypoint>(walk, walkers.fork()));
+      nodes.push_back(id);
+      Adapter& bt = medium.add_adapter(id, bluetooth_2_0());
+      if (i % 7 == 3) bt.set_powered(false);
+      if (i % 3 == 0) {
+        medium.add_adapter(id, wlan_80211b_infrastructure());
+      }
+      if (i % 5 == 0) medium.add_adapter(id, gprs());
+    }
+    ap0 = medium.add_access_point("ap0", {20, 20}, 30.0);
+    ap1 = medium.add_access_point("ap1", {60, 60}, 30.0);
+    fault::SignalRamp ramp;
+    ramp.node = nodes[3];
+    ramp.start = sim::seconds(2);
+    ramp.ramp = sim::seconds(3);
+    ramp.hold = sim::seconds(4);
+    ramp.recover = sim::seconds(3);
+    ramp.floor = 0.1;
+    plane.begin_signal_ramp(ramp);
+  }
+};
+
+class SpatialPropertyTest : public ::testing::Test {
+ protected:
+  SpatialPropertyTest() : fast_(true), brute_(false) {}
+
+  /// Compares every node's neighbourhood and every pair's signal across
+  /// the two worlds, for one profile. Returns the number of range queries
+  /// issued (per world).
+  std::size_t compare_profile(const TechProfile& profile) {
+    for (NodeId node : fast_.nodes) {
+      EXPECT_EQ(fast_.medium.nodes_in_range(node, profile),
+                brute_.medium.nodes_in_range(node, profile))
+          << "node " << node << " tech " << profile.name << " at t="
+          << fast_.simulator.now();
+    }
+    for (NodeId a : fast_.nodes) {
+      for (NodeId b : fast_.nodes) {
+        EXPECT_EQ(fast_.medium.signal(a, b, profile),
+                  brute_.medium.signal(a, b, profile))
+            << "pair " << a << "->" << b << " tech " << profile.name
+            << " at t=" << fast_.simulator.now();
+      }
+    }
+    return fast_.nodes.size();
+  }
+
+  World fast_;
+  World brute_;
+};
+
+TEST_F(SpatialPropertyTest, GridEquivalentToBruteForceThroughoutScenario) {
+  const TechProfile bt = bluetooth_2_0();
+  const TechProfile infra = wlan_80211b_infrastructure();
+  const TechProfile cell = gprs();
+  std::size_t range_queries = 0;
+
+  for (int step = 0; step < 30; ++step) {
+    const sim::Time next = sim::milliseconds(500) * (step + 1);
+    fast_.simulator.run_until(next);
+    brute_.simulator.run_until(next);
+    ASSERT_EQ(fast_.simulator.now(), brute_.simulator.now());
+
+    // Mid-run world mutations, applied identically to both sides; each
+    // one is a memo/grid invalidation hazard.
+    if (step == 10) {
+      for (World* world : {&fast_, &brute_}) {
+        world->medium.adapter(world->nodes[2], Technology::bluetooth)
+            ->set_powered(false);
+        world->medium.adapter(world->nodes[3], Technology::bluetooth)
+            ->set_powered(true);  // was off via the i%7 rule
+      }
+    }
+    if (step == 15) {
+      fast_.medium.set_access_point_active(fast_.ap1, false);
+      brute_.medium.set_access_point_active(brute_.ap1, false);
+    }
+    if (step == 20) {
+      for (World* world : {&fast_, &brute_}) {
+        world->medium.set_mobility(
+            world->nodes[5],
+            std::make_unique<sim::StaticMobility>(sim::Vec2{10, 10}));
+      }
+    }
+    if (step == 25) {
+      fast_.medium.set_access_point_active(fast_.ap1, true);
+      brute_.medium.set_access_point_active(brute_.ap1, true);
+    }
+
+    range_queries += compare_profile(bt);
+    range_queries += compare_profile(infra);
+    range_queries += compare_profile(cell);
+  }
+
+  // The acceptance bar: a meaningful sample size, not a handful of spots.
+  EXPECT_GE(range_queries, 1000u);
+
+  // The equivalence must have been between the two paths, not between two
+  // brute-force worlds: the fast world must actually have used the grid
+  // and both caches, and the reference world must not have.
+  const obs::Snapshot fast_stats = fast_.medium.stats();
+  EXPECT_GT(fast_stats.counter("spatial.queries"), 0u);
+  EXPECT_GT(fast_stats.counter("spatial.pairs_pruned"), 0u);
+  EXPECT_GT(fast_stats.counter("position_cache.hits"), 0u);
+  EXPECT_GT(fast_stats.counter("signal_cache.hits"), 0u);
+  const obs::Snapshot brute_stats = brute_.medium.stats();
+  EXPECT_EQ(brute_stats.counter("spatial.queries"), 0u);
+  EXPECT_EQ(brute_stats.counter("position_cache.hits"), 0u);
+  EXPECT_EQ(brute_stats.counter("signal_cache.hits"), 0u);
+}
+
+}  // namespace
+}  // namespace ph::net

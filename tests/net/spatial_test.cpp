@@ -1,0 +1,123 @@
+#include "net/spatial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace ph::net {
+namespace {
+
+std::vector<std::uint32_t> query(const SpatialGrid& grid, sim::Vec2 center,
+                                 double radius) {
+  std::vector<std::uint32_t> out;
+  grid.query(center, radius, out);
+  return out;
+}
+
+/// The exact predicate the grid must agree with: strict `< radius`,
+/// mirroring the signal falloff's "0 at/beyond range".
+std::vector<std::uint32_t> oracle(const std::vector<sim::Vec2>& positions,
+                                  sim::Vec2 center, double radius) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < positions.size(); ++i) {
+    if (sim::distance(positions[i], center) < radius) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(SpatialGridTest, ReturnsExactlyTheEntriesInsideTheDisk) {
+  SpatialGrid grid;
+  grid.rebuild(5.0, {{0, 0}, {3, 0}, {0, 4}, {20, 20}, {7, 1}});
+  EXPECT_EQ(query(grid, {0, 0}, 8.0),
+            (std::vector<std::uint32_t>{0, 1, 2, 4}));
+}
+
+TEST(SpatialGridTest, BoundaryIsExclusive) {
+  SpatialGrid grid;
+  grid.rebuild(5.0, {{10, 0}});
+  // Exactly at radius: falloff would be 0, so the entry must not appear.
+  EXPECT_TRUE(query(grid, {0, 0}, 10.0).empty());
+  EXPECT_EQ(query(grid, {0, 0}, 10.0 + 1e-9).size(), 1u);
+}
+
+TEST(SpatialGridTest, NonPositiveRadiusYieldsNothing) {
+  SpatialGrid grid;
+  grid.rebuild(5.0, {{0, 0}, {1, 1}});
+  EXPECT_TRUE(query(grid, {0, 0}, 0.0).empty());
+  EXPECT_TRUE(query(grid, {0, 0}, -3.0).empty());
+}
+
+TEST(SpatialGridTest, HandlesNegativeCoordinates) {
+  // Floor-division cell mapping: positions straddling the origin land in
+  // distinct cells, and queries across the origin still find everything.
+  SpatialGrid grid;
+  grid.rebuild(4.0, {{-1, -1}, {-7, 3}, {2, -5}, {-30, -30}});
+  EXPECT_EQ(query(grid, {-2, -2}, 12.0),
+            (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(SpatialGridTest, OutputIsSortedAcrossCells) {
+  // Entries deliberately inserted so that cell walk order differs from
+  // index order; callers rely on ascending indices for deterministic RNG
+  // consumption.
+  SpatialGrid grid;
+  grid.rebuild(2.0, {{9, 9}, {0, 0}, {5, 5}, {9, 0}, {0, 9}});
+  const auto got = query(grid, {5, 5}, 50.0);
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_EQ(got.size(), 5u);
+}
+
+TEST(SpatialGridTest, QueryAppendsWithoutClearing) {
+  SpatialGrid grid;
+  grid.rebuild(5.0, {{0, 0}});
+  std::vector<std::uint32_t> out = {99};
+  grid.query({0, 0}, 1.0, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{99, 0}));
+}
+
+TEST(SpatialGridTest, RebuildReplacesContents) {
+  SpatialGrid grid;
+  grid.rebuild(5.0, {{0, 0}, {1, 0}});
+  EXPECT_EQ(grid.size(), 2u);
+  grid.rebuild(5.0, {{100, 100}});
+  EXPECT_EQ(grid.size(), 1u);
+  EXPECT_TRUE(query(grid, {0, 0}, 10.0).empty());
+  EXPECT_EQ(query(grid, {100, 100}, 1.0).size(), 1u);
+}
+
+TEST(SpatialGridTest, StatsCountCellsAndCandidates) {
+  SpatialGrid grid;
+  grid.rebuild(5.0, {{0, 0}, {3, 3}, {40, 40}});
+  std::vector<std::uint32_t> out;
+  const SpatialGrid::QueryStats stats = grid.query({1, 1}, 6.0, out);
+  // Bounding box [-5,7]² at cell edge 5 → cells [-1..1]² = 9 probes.
+  EXPECT_EQ(stats.cells_visited, 9u);
+  EXPECT_EQ(stats.candidates, out.size());
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(SpatialGridTest, AgreesWithOracleOnRandomClouds) {
+  sim::Rng rng(2024);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<sim::Vec2> cloud;
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 80));
+    for (int i = 0; i < n; ++i) {
+      cloud.push_back({rng.uniform(-50.0, 150.0), rng.uniform(-50.0, 150.0)});
+    }
+    SpatialGrid grid;
+    grid.rebuild(rng.uniform(1.0, 20.0), cloud);
+    for (int q = 0; q < 25; ++q) {
+      const sim::Vec2 center{rng.uniform(-60.0, 160.0),
+                             rng.uniform(-60.0, 160.0)};
+      const double radius = rng.uniform(0.0, 40.0);
+      EXPECT_EQ(query(grid, center, radius), oracle(cloud, center, radius))
+          << "round " << round << " query " << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ph::net

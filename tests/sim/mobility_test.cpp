@@ -115,6 +115,42 @@ TEST(RandomWaypointTest, SpeedWithinConfiguredBand) {
   }
 }
 
+TEST(WaypointMobilityTest, HintedLookupSurvivesNonMonotonicQueries) {
+  // The segment hint accelerates monotonic sampling; it must be pure
+  // lookup state — backwards and random-order queries after a long
+  // monotonic sweep must return exactly what a fresh model returns.
+  std::vector<WaypointMobility::Waypoint> path;
+  for (int i = 0; i <= 40; ++i) {
+    path.push_back({seconds(i * 5),
+                    {static_cast<double>(i % 7), static_cast<double>(i % 5)}});
+  }
+  WaypointMobility hinted(path);
+  for (int i = 0; i <= 200; ++i) hinted.position_at(seconds(i));  // warm hint
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    WaypointMobility fresh(path);  // hint at zero: ground truth
+    const Time t = seconds(static_cast<std::uint64_t>(rng.uniform_int(0, 210)));
+    EXPECT_EQ(hinted.position_at(t), fresh.position_at(t)) << "t=" << t;
+  }
+}
+
+TEST(RandomWaypointTest, HintedLookupSurvivesNonMonotonicQueries) {
+  // Same property for the random-waypoint leg hint, including the cold
+  // restart (query far past the hint) and backwards jumps. Ground truth is
+  // a same-seed twin queried only at the probe time — RNG consumption in
+  // extend_to is monotonic coverage, so both twins generate identical legs.
+  RandomWaypoint::Config config;
+  config.pause = seconds(2);
+  RandomWaypoint hinted(config, Rng(23));
+  for (int i = 0; i <= 600; ++i) hinted.position_at(seconds(i));  // warm hint
+  Rng rng(47);
+  for (int i = 0; i < 200; ++i) {
+    RandomWaypoint fresh(config, Rng(23));
+    const Time t = seconds(static_cast<std::uint64_t>(rng.uniform_int(0, 650)));
+    EXPECT_EQ(hinted.position_at(t), fresh.position_at(t)) << "t=" << t;
+  }
+}
+
 TEST(Vec2Test, DistanceIsEuclidean) {
   EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
 }
