@@ -14,19 +14,34 @@
 // default 42), so two runs with the same seed produce byte-identical
 // metrics dumps — set PH_METRICS_JSON=/path/out.json (or PH_METRICS_CSV)
 // and diff. PH_CHAOS_MINUTES overrides the soak horizon (default 10).
+//
+// Telemetry: an obs::Sampler scrapes the world registry every
+// PH_SAMPLE_MS virtual milliseconds (default 100; 0 disables sampling and
+// the SLO engine entirely), and an obs::SloEngine watches the sampled
+// series for health violations — the Football group staying unformed, the
+// tester's neighbour table going stale, loss/retransmission rate spikes,
+// slow group re-forms. Every breach arms the flight recorder (the trace
+// ring is dumped to $PH_FLIGHT_JSON with reason "slo:<rule>") and the
+// breach windows are printed so they can be eyeballed against the fault
+// schedule. PH_SERIES_JSON dumps the raw series; PH_BENCH_JSON emits the
+// BENCH report the ph_bench_regression gate diffs against its baseline.
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "eval/scenarios.hpp"
 #include "fault/plane.hpp"
 #include "fault/schedule.hpp"
+#include "obs/bench_report.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/slo.hpp"
 #include "peerhood/stack.hpp"
 
 namespace {
@@ -55,6 +70,10 @@ int main() {
     if (const int v = std::atoi(env); v > 0) soak_minutes = v;
   }
   const ph::sim::Duration horizon = ph::sim::minutes(soak_minutes);
+  int sample_ms = 100;
+  if (const char* env = std::getenv("PH_SAMPLE_MS"); env != nullptr) {
+    sample_ms = std::atoi(env);  // 0 (or negative) disables sampling
+  }
 
   ph::sim::Simulator simulator;
   ph::net::Medium medium(simulator, ph::sim::Rng(seed));
@@ -72,6 +91,77 @@ int main() {
       metrics.histogram("fault.recovery.rediscovery_us");
   ph::obs::Histogram& group_reform =
       metrics.histogram("fault.recovery.group_reform_us");
+
+  // Virtual-time telemetry: scrape the registry into time series at a fixed
+  // interval on the simulator's own event queue, evaluate the SLO rules
+  // after every scrape, and arm the flight recorder on each breach. With
+  // PH_SAMPLE_MS=0 neither the sampler nor the engine schedules anything —
+  // the soak runs exactly as before (the disabled path must cost nothing).
+  const bool sampling = sample_ms > 0;
+  ph::obs::SamplerConfig sampler_config;
+  if (sampling) {
+    sampler_config.interval_us = ph::sim::milliseconds(sample_ms);
+  }
+  // Ring sized for the whole soak plus the quiet tail: no eviction, so the
+  // dumped series cover every interval and the Chrome counter tracks replay
+  // the full run.
+  sampler_config.capacity = static_cast<std::size_t>(
+      (horizon + ph::sim::minutes(2)) / sampler_config.interval_us + 8);
+  ph::obs::Sampler sampler(metrics, sampler_config);
+  sampler.set_enabled(sampling);
+  ph::obs::SloEngine slo(sampler, metrics, &medium.trace());
+  if (sampling) {
+    const std::string d =
+        "d" + std::to_string(devices.front().stack->id());
+    const auto points_in = [&](ph::sim::Duration window) {
+      return static_cast<std::size_t>(window / sampler_config.interval_us);
+    };
+    // The tester's Football group has been unformed for a full 30 s window
+    // (a healthy formation after boot takes one inquiry round, ~11 s, so
+    // this only fires on real outages).
+    slo.add_rule({.name = "football_unformed",
+                  .series = "community.groups." + d + ".formed_groups",
+                  .aggregate = ph::obs::SloAggregate::max,
+                  .comparison = ph::obs::SloComparison::below,
+                  .threshold = 1.0,
+                  .window_us = ph::sim::seconds(30),
+                  .min_points = points_in(ph::sim::seconds(30))});
+    // An announced neighbour has not been heard from for > 5 s — pings run
+    // every 2 s, so this means two consecutive rounds went unanswered
+    // (radio outage / blackout), well before eviction clears the entry.
+    slo.add_rule({.name = "neighbour_table_stale",
+                  .series = "peerhood.daemon." + d + ".table_staleness_us",
+                  .aggregate = ph::obs::SloAggregate::last,
+                  .comparison = ph::obs::SloComparison::above,
+                  .threshold = 5e6});
+    // Sustained loss: the mean lost-datagram rate over 10 s exceeds 2/s
+    // (burst-loss windows; background loss is well under this).
+    slo.add_rule({.name = "loss_rate",
+                  .series = "net.medium.datagrams_lost.rate",
+                  .aggregate = ph::obs::SloAggregate::mean,
+                  .comparison = ph::obs::SloComparison::above,
+                  .threshold = 2.0,
+                  .window_us = ph::sim::seconds(10),
+                  .min_points = points_in(ph::sim::seconds(10))});
+    // Group re-forms are taking > 90 s at the p95 — the user-visible SLO.
+    slo.add_rule({.name = "group_reform_slow",
+                  .series = "fault.recovery.group_reform_us.p95",
+                  .aggregate = ph::obs::SloAggregate::last,
+                  .comparison = ph::obs::SloComparison::above,
+                  .threshold = 90e6});
+    slo.set_on_breach([&](const ph::obs::SloRule& rule, ph::obs::TimePoint at,
+                          double value) {
+      std::printf("  SLO breach t=%7.1fs  %-22s value=%.4g\n", at / 1e6,
+                  rule.name.c_str(), value);
+      // Dapper-style: snapshot the trace ring around the moment health was
+      // lost (no-op unless $PH_FLIGHT_JSON is set).
+      ph::obs::dump_flight_recording(medium.trace(), "slo:" + rule.name);
+    });
+    simulator.schedule_periodic(sampler_config.interval_us, [&] {
+      sampler.sample(simulator.now());
+      slo.evaluate(simulator.now());
+    });
+  }
 
   // Time every neighbour loss to the matching reappearance, per observer
   // pair — this is the metric the retry/backoff hardening moves.
@@ -155,6 +245,32 @@ int main() {
               schedule.size(), schedule.bursts.size(), schedule.outages.size(),
               schedule.latency_spikes.size(), schedule.signal_ramps.size(),
               schedule.blackouts.size());
+  // Print the injected windows so SLO breach windows (below) can be read
+  // against what caused them.
+  std::printf("injected fault windows (virtual time):\n");
+  for (const auto& f : schedule.bursts) {
+    std::printf("  burst_loss             [%8.1fs, %8.1fs]\n", f.start / 1e6,
+                (f.start + f.duration) / 1e6);
+  }
+  for (const auto& f : schedule.outages) {
+    std::printf("  radio_outage     n%-3llu [%8.1fs, %8.1fs]\n",
+                static_cast<unsigned long long>(f.node), f.start / 1e6,
+                (f.start + f.duration) / 1e6);
+  }
+  for (const auto& f : schedule.latency_spikes) {
+    std::printf("  latency_spike          [%8.1fs, %8.1fs]\n", f.start / 1e6,
+                (f.start + f.duration) / 1e6);
+  }
+  for (const auto& f : schedule.signal_ramps) {
+    std::printf("  signal_ramp      n%-3llu [%8.1fs, %8.1fs]\n",
+                static_cast<unsigned long long>(f.node), f.start / 1e6,
+                (f.start + f.ramp + f.hold + f.recover) / 1e6);
+  }
+  for (const auto& f : schedule.blackouts) {
+    std::printf("  blackout         n%-3llu [%8.1fs, %8.1fs]\n",
+                static_cast<unsigned long long>(f.node), f.start / 1e6,
+                (f.start + f.duration) / 1e6);
+  }
 
   // Soak, then a quiet tail so the last windows' recoveries complete.
   simulator.run_for(horizon + ph::sim::minutes(2));
@@ -175,9 +291,56 @@ int main() {
                   {{"group re-form (all windows)", reform_attribution}})
                   .c_str());
 
+  if (sampling) {
+    std::printf("\nSLO breach windows (virtual time, %llu breach%s over "
+                "%zu series, %llu samples):\n",
+                static_cast<unsigned long long>(slo.total_breaches()),
+                slo.total_breaches() == 1 ? "" : "es", sampler.series().size(),
+                static_cast<unsigned long long>(sampler.samples_taken()));
+    for (const ph::obs::BreachWindow& window : slo.windows()) {
+      std::printf("  %-22s [%8.1fs, %8.1fs]%s\n", window.rule.c_str(),
+                  window.start / 1e6, window.end / 1e6,
+                  window.open ? "  (still open)" : "");
+    }
+    if (slo.windows().empty()) std::printf("  (none)\n");
+  }
+
+  // The perf-trajectory record: every headline number below is virtual-time
+  // deterministic, so the regression gate can hold them to tight tolerances.
+  ph::obs::BenchReport report;
+  report.bench = "chaos_soak";
+  report.env = {{"seed", std::to_string(seed)},
+                {"minutes", std::to_string(soak_minutes)},
+                {"sample_ms", std::to_string(sample_ms)}};
+  report.headline = {
+      {"rediscovery_count", static_cast<double>(rediscovery.count())},
+      {"rediscovery_p50_s", rediscovery.p50() / 1e6},
+      {"rediscovery_p95_s", rediscovery.p95() / 1e6},
+      {"group_reform_count", static_cast<double>(group_reform.count())},
+      {"group_reform_p50_s", group_reform.p50() / 1e6},
+      {"group_reform_p95_s", group_reform.p95() / 1e6},
+      {"slo_breaches", static_cast<double>(slo.total_breaches())},
+      {"datagrams_sent",
+       static_cast<double>(metrics.counter("net.medium.datagrams_sent").value())},
+      {"datagrams_lost",
+       static_cast<double>(metrics.counter("net.medium.datagrams_lost").value())},
+      {"events_executed", static_cast<double>(simulator.events_executed())},
+  };
+  report.info = {
+      {"samples_taken", static_cast<double>(sampler.samples_taken())},
+      {"series", static_cast<double>(sampler.series().size())},
+  };
+  // The sampler is deliberately NOT embedded: the report is the compact
+  // trajectory record the regression gate commits as a baseline; the full
+  // time-series dump goes to PH_SERIES_JSON / PH_METRICS_JSON instead.
+  ph::obs::dump_bench_report_if_requested(report, &metrics);
+
   // The acceptance check: same seed => byte-identical dump (the trace
-  // ring rides along in the JSON's spans/events sections).
+  // ring rides along in the JSON's spans/events sections, the sampled
+  // series and SLO windows in their own sections).
   ph::obs::dump_if_requested(metrics, &medium.trace(),
-                             medium.trace_device_names());
+                             medium.trace_device_names(),
+                             sampling ? &sampler : nullptr,
+                             sampling ? &slo : nullptr);
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "net/medium.hpp"
+#include "obs/bench_report.hpp"
 #include "obs/export.hpp"
 #include "proto/daemon.hpp"
 #include "proto/messages.hpp"
@@ -257,6 +258,25 @@ int main(int argc, char** argv) {
 
   obs::Registry metrics;
   record_kernel_metrics(metrics);
+
+  // Kernel-workload report: event counts are exact (headline); wall-clock
+  // throughput depends on the machine running the gate (info only).
+  obs::BenchReport report;
+  report.bench = "microbench";
+  report.headline["schedule_run_events"] = static_cast<double>(
+      metrics.counter("sim.kernel.schedule_run_events").value());
+  report.headline["cancelled_events"] = static_cast<double>(
+      metrics.counter("sim.kernel.cancelled_events").value());
+  report.headline["live_after_cancel"] =
+      metrics.gauge("sim.kernel.live_after_cancel").value();
+  report.headline["cancel_run_events"] = static_cast<double>(
+      metrics.counter("sim.kernel.cancel_run_events").value());
+  report.info["schedule_run_wall_s"] =
+      metrics.gauge("sim.kernel.schedule_run_wall_s").value();
+  report.info["events_per_sec"] =
+      metrics.gauge("sim.kernel.events_per_sec").value();
+  obs::dump_bench_report_if_requested(report, &metrics);
+
   obs::dump_if_requested(metrics);
   return 0;
 }

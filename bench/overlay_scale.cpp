@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "community/app.hpp"
+#include "obs/bench_report.hpp"
 #include "obs/export.hpp"
 #include "util/check.hpp"
 
@@ -270,6 +271,16 @@ int main(int argc, char** argv) {
               "group events/dev/min", "comparisons/dev", "control msgs/dev/min",
               "bytes/dev/min", "signal evals", "cache hit", "sim/wall");
   obs::Registry dump;
+  // Trajectory report: the per-N virtual-time metrics are seed-deterministic
+  // (headline, gated); wall-clock throughput varies by machine (info only).
+  obs::BenchReport report;
+  report.bench = "overlay_scale";
+  report.env["seed"] = std::to_string(options.seed);
+  report.env["window_min"] = std::to_string(options.window_min);
+  report.env["field"] = options.auto_field
+                            ? std::string("auto")
+                            : std::to_string(options.field_m);
+  report.env["path"] = options.brute ? "brute" : "indexed";
   for (int n : options.devices) {
     const Metrics m = run_crowd(options, n, dump);
     std::printf("%8d %20.2f %16.0f %20.1f %14.0f %14llu %9.0f%% %8.1fx\n", n,
@@ -277,7 +288,23 @@ int main(int argc, char** argv) {
                 m.control_msgs_per_device_min, m.bytes_per_device_min,
                 static_cast<unsigned long long>(m.signal_evals),
                 m.cache_hit_rate * 100.0, m.sim_s_per_wall_s);
+    const std::string key = "n" + std::to_string(n) + ".";
+    report.headline[key + "group_events_per_device_min"] =
+        m.group_events_per_device_min;
+    report.headline[key + "comparisons_per_device"] = m.comparisons_per_device;
+    report.headline[key + "control_msgs_per_device_min"] =
+        m.control_msgs_per_device_min;
+    report.headline[key + "bytes_per_device_min"] = m.bytes_per_device_min;
+    report.headline[key + "signal_evals"] =
+        static_cast<double>(m.signal_evals);
+    report.headline[key + "spatial_pairs_pruned"] =
+        static_cast<double>(m.pairs_pruned);
+    report.headline[key + "position_cache_hit_rate"] = m.cache_hit_rate;
+    report.info[key + "wall_s"] = m.wall_s;
+    report.info[key + "sim_s_per_wall_s"] = m.sim_s_per_wall_s;
+    report.info[key + "events_per_sec"] = m.events_per_sec;
   }
+  obs::dump_bench_report_if_requested(report, &dump);
   std::printf(
       "\nExpected shape: per-device costs grow roughly linearly with crowd\n"
       "density (pings and service queries are per-neighbour). With the\n"

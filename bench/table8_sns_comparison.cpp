@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "eval/table8.hpp"
+#include "obs/bench_report.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/export.hpp"
 
@@ -137,6 +138,25 @@ int main() {
               "group).\n",
               best_sns_total / peerhood_total, 94.0 / 45.0,
               measured[4].join_s == 0.0 ? "exactly 0 s" : "NON-ZERO (!)");
+  // Benchmark-trajectory report: every cell is a pure virtual-time average
+  // over fixed seeds, so the whole table is bit-stable for a given
+  // PH_TABLE8_RUNS and belongs in `headline` (gated by ph_bench_compare).
+  ph::obs::BenchReport report;
+  report.bench = "table8_sns_comparison";
+  report.env["runs"] = std::to_string(kRuns);
+  const char* column_keys[] = {"sns_facebook_n810", "sns_facebook_n95",
+                               "sns_hi5_n810", "sns_hi5_n95", "peerhood"};
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const std::string key = column_keys[i];
+    report.headline[key + ".search_s"] = measured[i].search_s;
+    report.headline[key + ".join_s"] = measured[i].join_s;
+    report.headline[key + ".member_list_s"] = measured[i].member_list_s;
+    report.headline[key + ".profile_s"] = measured[i].profile_s;
+    report.headline[key + ".total_s"] = measured[i].total_s();
+  }
+  report.headline["speedup_vs_best_sns"] = best_sns_total / peerhood_total;
+  ph::obs::dump_bench_report_if_requested(report, &metrics);
+
   ph::obs::dump_if_requested(metrics);
   return 0;
 }

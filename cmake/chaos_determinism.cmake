@@ -22,25 +22,35 @@ endfunction()
 
 foreach(run a b)
   set(json_${run} ${WORK_DIR}/chaos_soak_${run}.json)
-  file(REMOVE ${json_${run}})
+  set(series_${run} ${WORK_DIR}/chaos_series_${run}.json)
+  file(REMOVE ${json_${run}} ${series_${run}})
   run_checked("bench_chaos_soak(${run})"
     ${CMAKE_COMMAND} -E env PH_METRICS_JSON=${json_${run}}
-    PH_CHAOS_SEED=7 PH_CHAOS_MINUTES=3
+    PH_SERIES_JSON=${series_${run}}
+    PH_CHAOS_SEED=7 PH_CHAOS_MINUTES=3 PH_SAMPLE_MS=100
     ${CHAOS_SOAK})
 endforeach()
 
-# The dump must be well-formed and actually contain fault windows plus the
-# layers they disturb.
+# The dump must be well-formed and actually contain fault windows, the
+# layers they disturb, sampled health time-series, and at least one SLO
+# breach window driven by the injected faults.
 run_checked("ph_obs_json_check(chaos_soak)"
   ${JSON_CHECK} ${json_a}
   counter:fault. counter:net. counter:peerhood.
-  histogram:fault.recovery.)
+  histogram:fault.recovery.
+  series:peerhood.daemon. series:net.medium.datagrams_lost.rate
+  slo_breach:)
 
-execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${json_a} ${json_b}
-                RESULT_VARIABLE same)
-if(NOT same EQUAL 0)
-  message(FATAL_ERROR "chaos soak is non-deterministic: ${json_a} and "
-                      "${json_b} differ for the same seed")
-endif()
+foreach(pair "${json_a};${json_b}" "${series_a};${series_b}")
+  list(GET pair 0 first)
+  list(GET pair 1 second)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${first} ${second}
+                  RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR "chaos soak is non-deterministic: ${first} and "
+                        "${second} differ for the same seed")
+  endif()
+endforeach()
 
-message(STATUS "chaos determinism OK: ${json_a} == ${json_b}")
+message(STATUS "chaos determinism OK: metrics and sampled series are "
+               "byte-identical across same-seed runs")

@@ -21,6 +21,15 @@ GroupEngine::GroupEngine(std::string local_member,
   c_groups_dissolved_ = &registry->counter(metric_prefix + "groups_dissolved");
   c_member_joins_ = &registry->counter(metric_prefix + "member_joins");
   c_member_leaves_ = &registry->counter(metric_prefix + "member_leaves");
+  g_formed_groups_ = &registry->gauge(metric_prefix + "formed_groups");
+}
+
+void GroupEngine::refresh_formed_gauge() {
+  double formed = 0;
+  for (const auto& [interest, group] : groups_) {
+    if (group.formed()) ++formed;
+  }
+  g_formed_groups_->set(formed);
 }
 
 obs::Snapshot GroupEngine::stats() const {
@@ -130,6 +139,7 @@ void GroupEngine::set_local_interests(const std::vector<std::string>& interests)
   for (auto& [member, record] : peers_) {
     match_peer_against_groups(member, record);
   }
+  refresh_formed_gauge();
 }
 
 void GroupEngine::on_peer(const std::string& member,
@@ -139,6 +149,7 @@ void GroupEngine::on_peer(const std::string& member,
   record.raw_interests = interests;
   record.canonical = canonicalize(record.raw_interests);
   match_peer_against_groups(member, record);
+  refresh_formed_gauge();
 }
 
 void GroupEngine::remove_peer(const std::string& member) {
@@ -147,6 +158,7 @@ void GroupEngine::remove_peer(const std::string& member) {
     (void)interest;
     drop_member(group, member);
   }
+  refresh_formed_gauge();
 }
 
 void GroupEngine::manual_join(std::string_view interest) {
@@ -161,6 +173,7 @@ void GroupEngine::manual_join(std::string_view interest) {
     c_comparisons_->inc(record.raw_interests.size());
     if (record.canonical.contains(canonical)) add_member(it->second, member);
   }
+  refresh_formed_gauge();
 }
 
 Result<void> GroupEngine::manual_leave(std::string_view interest) {
@@ -170,6 +183,7 @@ Result<void> GroupEngine::manual_leave(std::string_view interest) {
                  "not manually joined: " + std::string(interest)};
   }
   ensure_groups_for_local();
+  refresh_formed_gauge();
   return ok();
 }
 
@@ -205,6 +219,7 @@ void GroupEngine::rebuild() {
   for (auto& [member, record] : peers_) {
     match_peer_against_groups(member, record);
   }
+  refresh_formed_gauge();
 }
 
 void GroupEngine::rescan() {

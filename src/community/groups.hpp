@@ -142,6 +142,11 @@ class GroupEngine {
   void add_member(Group& group, const std::string& member);
   void drop_member(Group& group, const std::string& member);
   void ensure_groups_for_local();
+  /// Recomputes the `formed_groups` gauge. Rebuild()'s group merging can
+  /// change the formed count without firing formed/dissolved events, so
+  /// the gauge is recomputed after every mutation rather than kept by
+  /// +/-1 deltas.
+  void refresh_formed_gauge();
   std::set<std::string> canonicalize(const std::vector<std::string>& raw,
                                      Group* label_sink_unused = nullptr);
 
@@ -165,6 +170,7 @@ class GroupEngine {
   obs::Counter* c_groups_dissolved_ = nullptr;
   obs::Counter* c_member_joins_ = nullptr;
   obs::Counter* c_member_leaves_ = nullptr;
+  obs::Gauge* g_formed_groups_ = nullptr;
 };
 
 }  // namespace ph::community

@@ -1,0 +1,119 @@
+#include "obs/bench_report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/export.hpp"
+
+namespace ph::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  out += buf;
+}
+
+void append_number_map(std::string& out, const char* key,
+                       const std::map<std::string, double>& values) {
+  append_escaped(out, key);
+  out += ":{";
+  bool first = true;
+  for (const auto& [name, value] : values) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n";
+    append_escaped(out, name);
+    out += ':';
+    append_number(out, value);
+  }
+  out += "\n}";
+}
+
+/// Embeds an already-rendered JSON document as a nested value.
+void append_document(std::string& out, const std::string& document) {
+  std::size_t end = document.size();
+  while (end > 0 && (document[end - 1] == '\n' || document[end - 1] == ' ')) {
+    --end;
+  }
+  out.append(document, 0, end);
+}
+
+}  // namespace
+
+std::string to_json(const BenchReport& report, const Registry* registry,
+                    const Sampler* sampler) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n\"schema\":1,\n\"bench\":";
+  append_escaped(out, report.bench);
+  out += ",\n\"env\":{";
+  bool first = true;
+  for (const auto& [key, value] : report.env) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n";
+    append_escaped(out, key);
+    out += ':';
+    append_escaped(out, value);
+  }
+  out += "\n},\n";
+  append_number_map(out, "headline", report.headline);
+  out += ",\n";
+  append_number_map(out, "info", report.info);
+  if (registry != nullptr) {
+    out += ",\n\"metrics\":";
+    append_document(out, obs::to_json(*registry));
+  }
+  if (sampler != nullptr) {
+    out += ",\n\"series\":";
+    append_document(out, series_to_json(*sampler));
+  }
+  out += "\n}\n";
+  return out;
+}
+
+bool dump_bench_report_if_requested(const BenchReport& report,
+                                    const Registry* registry,
+                                    const Sampler* sampler) {
+  const char* path = std::getenv("PH_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return true;
+  if (!write_file(path, to_json(report, registry, sampler))) return false;
+  std::fprintf(stderr, "obs: bench report (%s) written to %s\n",
+               report.bench.c_str(), path);
+  return true;
+}
+
+}  // namespace ph::obs

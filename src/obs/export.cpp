@@ -54,9 +54,95 @@ void append_field(std::string& out, const char* name, double value,
   if (trailing_comma) out += ',';
 }
 
+/// The "series" object body: {"name":{"kind":..,"points":[[at,v],...]},..}.
+void append_series_object(std::string& out, const Sampler& sampler) {
+  out += '{';
+  bool first = true;
+  for (const auto& [name, series] : sampler.series()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n";
+    append_escaped(out, name);
+    out += ":{\"kind\":";
+    append_escaped(out, to_string(series.kind()));
+    out += ',';
+    append_field(out, "evicted", static_cast<double>(series.evicted()));
+    out += "\"points\":[";
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (i > 0) out += ',';
+      const SeriesPoint& point = series.at(i);
+      out += '[';
+      append_number(out, static_cast<double>(point.at));
+      out += ',';
+      append_number(out, point.value);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "\n}";
+}
+
+/// The "slo" object body: rules with current health plus breach windows.
+void append_slo_object(std::string& out, const SloEngine& slo) {
+  out += "{";
+  append_field(out, "total_breaches",
+               static_cast<double>(slo.total_breaches()));
+  out += "\"rules\":[";
+  bool first = true;
+  for (const SloRule& rule : slo.rules()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":";
+    append_escaped(out, rule.name);
+    out += ",\"series\":";
+    append_escaped(out, rule.series);
+    out += ",\"aggregate\":";
+    append_escaped(out, to_string(rule.aggregate));
+    out += ",\"comparison\":";
+    append_escaped(out, to_string(rule.comparison));
+    out += ',';
+    append_field(out, "threshold", rule.threshold);
+    append_field(out, "window_us", static_cast<double>(rule.window_us));
+    append_field(out, "min_points", static_cast<double>(rule.min_points));
+    out += "\"breached\":";
+    out += slo.breached(rule.name) ? "true" : "false";
+    out += '}';
+  }
+  out += "\n],\"windows\":[";
+  first = true;
+  for (const BreachWindow& window : slo.windows()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"rule\":";
+    append_escaped(out, window.rule);
+    out += ',';
+    append_field(out, "start_us", static_cast<double>(window.start));
+    append_field(out, "end_us", static_cast<double>(window.end));
+    out += "\"open\":";
+    out += window.open ? "true" : "false";
+    out += '}';
+  }
+  out += "\n]}";
+}
+
 }  // namespace
 
-std::string to_json(const Registry& registry, const Trace* trace) {
+std::uint64_t device_from_metric_name(const std::string& name) {
+  for (std::size_t pos = name.find(".d"); pos != std::string::npos;
+       pos = name.find(".d", pos + 1)) {
+    std::size_t i = pos + 2;
+    std::uint64_t id = 0;
+    while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+      id = id * 10 + static_cast<std::uint64_t>(name[i] - '0');
+      ++i;
+    }
+    if (i > pos + 2 && i < name.size() && name[i] == '.') return id;
+  }
+  return 0;
+}
+
+std::string to_json(const Registry& registry, const Trace* trace,
+                    const Sampler* sampler, const SloEngine* slo) {
   std::string out;
   out.reserve(4096);
   out += "{\n\"counters\":{";
@@ -113,6 +199,14 @@ std::string to_json(const Registry& registry, const Trace* trace) {
     out += "]}";
   }
   out += "\n}";
+  if (sampler != nullptr) {
+    out += ",\n\"series\":";
+    append_series_object(out, *sampler);
+  }
+  if (slo != nullptr) {
+    out += ",\n\"slo\":";
+    append_slo_object(out, *slo);
+  }
   if (trace != nullptr) {
     out += ",\n\"spans\":[";
     first = true;
@@ -156,6 +250,26 @@ std::string to_json(const Registry& registry, const Trace* trace) {
   return out;
 }
 
+std::string series_to_json(const Sampler& sampler, const SloEngine* slo) {
+  std::string out;
+  out.reserve(4096);
+  out += "{";
+  append_field(out, "interval_us",
+               static_cast<double>(sampler.config().interval_us));
+  append_field(out, "capacity", static_cast<double>(sampler.config().capacity));
+  append_field(out, "samples", static_cast<double>(sampler.samples_taken()));
+  append_field(out, "last_sample_us",
+               static_cast<double>(sampler.last_sample_at()));
+  out += "\"series\":";
+  append_series_object(out, sampler);
+  if (slo != nullptr) {
+    out += ",\n\"slo\":";
+    append_slo_object(out, *slo);
+  }
+  out += "\n}\n";
+  return out;
+}
+
 std::string to_csv(const Registry& registry) {
   std::string out = "kind,name,field,value\n";
   char buf[64];
@@ -192,7 +306,8 @@ std::string to_csv(const Registry& registry) {
 
 std::string to_chrome_trace(
     const Trace& trace,
-    const std::map<std::uint64_t, std::string>& device_names) {
+    const std::map<std::uint64_t, std::string>& device_names,
+    const Sampler* sampler) {
   std::string out;
   out.reserve(4096);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -206,6 +321,11 @@ std::string to_chrome_trace(
   std::map<std::uint64_t, bool> devices;
   for (const Span& span : trace.spans()) devices[span.device] = true;
   for (const TraceEvent& event : trace.events()) devices[event.device] = true;
+  if (sampler != nullptr) {
+    for (const auto& [name, series] : sampler->series()) {
+      if (!series.empty()) devices[device_from_metric_name(name)] = true;
+    }
+  }
   for (const auto& [device, seen] : devices) {
     (void)seen;
     begin_event();
@@ -271,6 +391,27 @@ std::string to_chrome_trace(
     append_field(out, "ts", static_cast<double>(event.at), false);
     out += '}';
   }
+  // Sampled series replay as "C" counter events on their device's track:
+  // Perfetto draws each as a little area chart under the device's spans,
+  // so a latency spike lines up visually with the outage that caused it.
+  if (sampler != nullptr) {
+    for (const auto& [name, series] : sampler->series()) {
+      const std::uint64_t device = device_from_metric_name(name);
+      for (std::size_t i = 0; i < series.size(); ++i) {
+        const SeriesPoint& point = series.at(i);
+        begin_event();
+        out += "\"ph\":\"C\",\"name\":";
+        append_escaped(out, name);
+        out += ",\"cat\":\"series\",";
+        append_field(out, "pid", static_cast<double>(device));
+        append_field(out, "tid", static_cast<double>(device));
+        append_field(out, "ts", static_cast<double>(point.at));
+        out += "\"args\":{\"value\":";
+        append_number(out, point.value);
+        out += "}}";
+      }
+    }
+  }
   out += "\n]}\n";
   return out;
 }
@@ -292,7 +433,8 @@ bool write_file(const std::string& path, const std::string& content) {
 
 bool dump_if_requested(const Registry& registry, const Trace* trace,
                        const std::map<std::uint64_t, std::string>&
-                           device_names) {
+                           device_names,
+                       const Sampler* sampler, const SloEngine* slo) {
   bool ok = true;
   if (trace != nullptr && trace->dropped() > 0) {
     std::fprintf(stderr,
@@ -303,8 +445,19 @@ bool dump_if_requested(const Registry& registry, const Trace* trace,
   }
   if (const char* path = std::getenv("PH_METRICS_JSON");
       path != nullptr && *path != '\0') {
-    if (write_file(path, to_json(registry, trace))) {
+    if (write_file(path, to_json(registry, trace, sampler, slo))) {
       std::fprintf(stderr, "obs: metrics JSON written to %s\n", path);
+    } else {
+      ok = false;
+    }
+  }
+  if (const char* path = std::getenv("PH_SERIES_JSON");
+      path != nullptr && *path != '\0') {
+    if (sampler == nullptr) {
+      std::fprintf(stderr,
+                   "obs: PH_SERIES_JSON set but this tool records no series\n");
+    } else if (write_file(path, series_to_json(*sampler, slo))) {
+      std::fprintf(stderr, "obs: series JSON written to %s\n", path);
     } else {
       ok = false;
     }
@@ -322,7 +475,8 @@ bool dump_if_requested(const Registry& registry, const Trace* trace,
     if (trace == nullptr) {
       std::fprintf(stderr,
                    "obs: PH_TRACE_JSON set but this tool records no trace\n");
-    } else if (write_file(path, to_chrome_trace(*trace, device_names))) {
+    } else if (write_file(path,
+                          to_chrome_trace(*trace, device_names, sampler))) {
       std::fprintf(stderr, "obs: Chrome trace JSON written to %s\n", path);
     } else {
       ok = false;

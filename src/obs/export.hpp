@@ -12,19 +12,32 @@
 //                       "p50": ..., "p95": ..., "p99": ...,
 //                       "buckets": [ {"le": 10.0, "count": 0}, ...,
 //                                    {"le": "inf", "count": 1} ] }, ... },
+//     "series": { "net.medium.datagrams_sent.rate": {
+//                   "kind": "counter_rate", "points": [[at_us, value], ...]
+//                 }, ... },
+//     "slo":    { "total_breaches": 2,
+//                 "rules": [ {"name":..,"series":..,"aggregate":..,
+//                             "comparison":..,"threshold":..,"window_us":..,
+//                             "min_points":..,"breached":false}, ... ],
+//                 "windows": [ {"rule":..,"start_us":..,"end_us":..,
+//                               "open":false}, ... ] },
 //     "spans":  [ {"id":1,"parent":0,"name":..,"kind":..,"device":..,
 //                  "start_us":..,"end_us":..,"closed":true}, ... ],
 //     "events": [ {"span":1,"name":..,"kind":..,"device":..,"at_us":..}, ... ]
 //   }
-// ("spans"/"events" appear only when a trace is supplied.)
+// ("series"/"slo" appear only when a sampler / SLO engine is supplied,
+// "spans"/"events" only when a trace is.)
 //
 // CSV shape (one instrument field per row):
 //   kind,name,field,value
 //
 // Chrome trace shape: {"traceEvents":[...]} with one track (pid=tid=
 // device id) per device, "X" complete events for closed spans, "B" for
-// still-open ones, "i" instants for point events, and "s"/"f" flow
-// arrows for parent links that cross devices — the causal hops.
+// still-open ones, "i" instants for point events, "s"/"f" flow arrows
+// for parent links that cross devices — the causal hops — and, when a
+// sampler is supplied, "C" counter events replaying each sampled series
+// on the track of the device its `.d<id>.` name segment points at
+// (device-less series land on track 0).
 #pragma once
 
 #include <cstdint>
@@ -32,30 +45,53 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace ph::obs {
 
-std::string to_json(const Registry& registry, const Trace* trace = nullptr);
+std::string to_json(const Registry& registry, const Trace* trace = nullptr,
+                    const Sampler* sampler = nullptr,
+                    const SloEngine* slo = nullptr);
 std::string to_csv(const Registry& registry);
 
+/// Standalone dump of the sampler's rings (+ SLO breach windows): the
+/// "series"/"slo" sections of to_json as a self-contained document, with
+/// the scrape interval and sample count at top level. This is what
+/// $PH_SERIES_JSON receives, and what the determinism gate byte-compares.
+std::string series_to_json(const Sampler& sampler,
+                           const SloEngine* slo = nullptr);
+
+/// Device id encoded in a metric name's `.d<id>.` segment (the repo-wide
+/// naming convention, e.g. "peerhood.daemon.d3.pings_sent" -> 3).
+/// Returns 0 when no such segment exists.
+std::uint64_t device_from_metric_name(const std::string& name);
+
 /// Renders the journal as Chrome trace-event JSON. `device_names` labels
-/// the per-device tracks (unnamed devices show as "device <id>").
+/// the per-device tracks (unnamed devices show as "device <id>"). With a
+/// sampler, every series becomes a "C" counter track on its device.
 std::string to_chrome_trace(
     const Trace& trace,
-    const std::map<std::uint64_t, std::string>& device_names = {});
+    const std::map<std::uint64_t, std::string>& device_names = {},
+    const Sampler* sampler = nullptr);
 
 /// Writes `content` to `path`; returns false (and logs to stderr) on error.
 bool write_file(const std::string& path, const std::string& content);
 
 /// The bench-exit hook: when the environment sets PH_METRICS_JSON (or
 /// PH_METRICS_CSV) to a path, dumps a snapshot there; PH_TRACE_JSON
-/// dumps the trace as Chrome trace-event JSON (needs a trace). Warns on
+/// dumps the trace as Chrome trace-event JSON (needs a trace);
+/// PH_SERIES_JSON dumps the sampler's rings via series_to_json (needs a
+/// sampler). Series/SLO sections ride along inside the metrics JSON and
+/// the Chrome trace too when those objects are supplied. Warns on
 /// stderr when the journal silently dropped records. Returns true when
 /// every requested dump succeeded (vacuously true when none requested).
 bool dump_if_requested(const Registry& registry, const Trace* trace = nullptr,
                        const std::map<std::uint64_t, std::string>&
-                           device_names = {});
+                           device_names = {},
+                       const Sampler* sampler = nullptr,
+                       const SloEngine* slo = nullptr);
 
 /// Trace-only variant of dump_if_requested: writes the Chrome trace JSON
 /// to $PH_TRACE_JSON when set. For call sites (per-run eval worlds) whose

@@ -1,6 +1,8 @@
 #include "obs/json.hpp"
 
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 namespace ph::obs::json {
@@ -192,6 +194,86 @@ class Parser {
 
 bool parse(std::string_view text, Value& out, std::string* error) {
   return Parser(text).parse(out, error);
+}
+
+namespace {
+
+void serialize_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void serialize_into(std::string& out, const Value& value) {
+  switch (value.kind) {
+    case Value::Kind::null: out += "null"; break;
+    case Value::Kind::boolean: out += value.boolean ? "true" : "false"; break;
+    case Value::Kind::number: {
+      if (!std::isfinite(value.number)) {
+        out += "null";
+        break;
+      }
+      char buf[32];
+      if (value.number == std::floor(value.number) &&
+          std::fabs(value.number) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", value.number);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", value.number);
+      }
+      out += buf;
+      break;
+    }
+    case Value::Kind::string: serialize_string(out, value.string); break;
+    case Value::Kind::array: {
+      out += '[';
+      bool first = true;
+      for (const Value& item : *value.array) {
+        if (!first) out += ',';
+        first = false;
+        serialize_into(out, item);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Kind::object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : *value.object) {
+        if (!first) out += ',';
+        first = false;
+        serialize_string(out, key);
+        out += ':';
+        serialize_into(out, member);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string serialize(const Value& value) {
+  std::string out;
+  out.reserve(1024);
+  serialize_into(out, value);
+  return out;
 }
 
 }  // namespace ph::obs::json

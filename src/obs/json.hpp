@@ -45,4 +45,9 @@ class Value {
 /// non-null, describes what went wrong (with byte offset).
 bool parse(std::string_view text, Value& out, std::string* error = nullptr);
 
+/// Serializes a Value back to JSON text (keys in map order, numbers via
+/// %.17g so doubles round-trip). `ph_bench_compare --perturb` uses this to
+/// rewrite a report with one metric nudged.
+std::string serialize(const Value& value);
+
 }  // namespace ph::obs::json

@@ -20,6 +20,12 @@
 //   span:PREFIX        at least one span whose name starts with PREFIX
 //                      (needs the optional "spans" section)
 //   event:PREFIX       same for the "events" section
+//   series:PREFIX      at least one sampled time-series whose name starts
+//                      with PREFIX and holds >= 1 point (needs the optional
+//                      "series" section written when a Sampler is attached)
+//   slo_breach:PREFIX  at least one SLO breach window whose rule name
+//                      starts with PREFIX (needs the optional "slo"
+//                      section; an empty PREFIX means "any breach")
 // When present, the "spans"/"events" sections are structurally validated
 // even without explicit requirements.
 //
@@ -155,6 +161,72 @@ bool check_trace_requirement(const Value& root, const std::string& kind,
   return false;
 }
 
+/// series:PREFIX — a matching entry in the "series" object carrying a
+/// string "kind" and a non-empty "points" array of [at_us, value] pairs.
+bool check_series_requirement(const Value& root, const std::string& prefix) {
+  const Value* series = root.get("series");
+  if (series == nullptr || !series->is_object()) {
+    std::fprintf(stderr,
+                 "json_check: missing 'series' object (requirement series:%s)\n",
+                 prefix.c_str());
+    return false;
+  }
+  for (const auto& [name, record] : *series->object) {
+    if (!starts_with(name, prefix)) continue;
+    const Value* kind = record.is_object() ? record.get("kind") : nullptr;
+    const Value* points = record.is_object() ? record.get("points") : nullptr;
+    if (kind == nullptr || !kind->is_string() || points == nullptr ||
+        !points->is_array()) {
+      std::fprintf(stderr, "json_check: series '%s' is malformed\n",
+                   name.c_str());
+      return false;
+    }
+    if (points->array->empty()) continue;  // registered but never sampled
+    for (const Value& point : *points->array) {
+      if (!point.is_array() || point.array->size() != 2 ||
+          !(*point.array)[0].is_number() || !(*point.array)[1].is_number()) {
+        std::fprintf(stderr,
+                     "json_check: series '%s' has a non-[at,value] point\n",
+                     name.c_str());
+        return false;
+      }
+    }
+    return true;
+  }
+  std::fprintf(stderr, "json_check: no non-empty series matching prefix '%s'\n",
+               prefix.c_str());
+  return false;
+}
+
+/// slo_breach:PREFIX — the "slo" section records at least one breach window
+/// for a rule whose name starts with PREFIX.
+bool check_slo_breach_requirement(const Value& root, const std::string& prefix) {
+  const Value* slo = root.get("slo");
+  if (slo == nullptr || !slo->is_object()) {
+    std::fprintf(
+        stderr,
+        "json_check: missing 'slo' object (requirement slo_breach:%s)\n",
+        prefix.c_str());
+    return false;
+  }
+  const Value* windows = slo->get("windows");
+  if (windows == nullptr || !windows->is_array()) {
+    std::fprintf(stderr, "json_check: 'slo' has no 'windows' array\n");
+    return false;
+  }
+  for (std::size_t i = 0; i < windows->array->size(); ++i) {
+    const Value& window = (*windows->array)[i];
+    if (!record_well_formed("slo.windows", i, window, {"start_us", "end_us"},
+                            {"rule"}, {"open"})) {
+      return false;
+    }
+    if (starts_with(window.get("rule")->string, prefix)) return true;
+  }
+  std::fprintf(stderr, "json_check: no SLO breach window for rule '%s...'\n",
+               prefix.c_str());
+  return false;
+}
+
 bool check_requirement(const Value& root, const std::string& requirement) {
   const std::string::size_type colon = requirement.find(':');
   if (colon == std::string::npos) {
@@ -167,6 +239,8 @@ bool check_requirement(const Value& root, const std::string& requirement) {
   if (kind == "span" || kind == "event") {
     return check_trace_requirement(root, kind, prefix);
   }
+  if (kind == "series") return check_series_requirement(root, prefix);
+  if (kind == "slo_breach") return check_slo_breach_requirement(root, prefix);
   const char* section = nullptr;
   if (kind == "counter" || kind == "counter_nonzero") {
     section = "counters";
@@ -237,12 +311,27 @@ int check_chrome(const char* path, const Value& root, int argc, char** argv,
     std::vector<const char*> string_fields;
     if (ph->string != "M") number_fields.push_back("ts");
     if (ph->string == "X") number_fields.push_back("dur");
-    if (ph->string == "X" || ph->string == "B" || ph->string == "i") {
+    if (ph->string == "X" || ph->string == "B" || ph->string == "i" ||
+        ph->string == "C") {
       string_fields.push_back("name");
     }
     if (!record_well_formed("traceEvents", i, event, number_fields,
                             string_fields, {})) {
       return 1;
+    }
+    if (ph->string == "C") {
+      // Counter samples carry their value in args — that is what the
+      // trace viewer plots on the per-device counter track.
+      const Value* args = event.get("args");
+      const Value* value =
+          args != nullptr && args->is_object() ? args->get("value") : nullptr;
+      if (value == nullptr || !value->is_number()) {
+        std::fprintf(stderr,
+                     "json_check: traceEvents[%zu] 'C' event has no numeric "
+                     "args.value\n",
+                     i);
+        return 1;
+      }
     }
   }
   bool ok = true;
@@ -284,7 +373,7 @@ int main(int argc, char** argv) {
                  "usage: %s [--chrome] FILE "
                  "[counter:PREFIX|counter_nonzero:PREFIX|gauge:PREFIX"
                  "|histogram:PREFIX|span:PREFIX|event:PREFIX"
-                 "|NAME-PREFIX]...\n",
+                 "|series:PREFIX|slo_breach:PREFIX|NAME-PREFIX]...\n",
                  argv[0]);
     return 1;
   }
@@ -334,6 +423,23 @@ int main(int argc, char** argv) {
     if (!histogram_well_formed(name, value)) return 1;
   }
   if (!trace_sections_well_formed(root)) return 1;
+  // The optional telemetry sections must be well-typed whenever present,
+  // matching the spans/events treatment above.
+  if (const Value* series = root.get("series");
+      series != nullptr && !series->is_object()) {
+    std::fprintf(stderr, "json_check: %s: 'series' is not an object\n", path);
+    return 1;
+  }
+  if (const Value* slo = root.get("slo"); slo != nullptr) {
+    if (!slo->is_object() || slo->get("windows") == nullptr ||
+        !slo->get("windows")->is_array() || slo->get("rules") == nullptr ||
+        !slo->get("rules")->is_array()) {
+      std::fprintf(stderr,
+                   "json_check: %s: 'slo' needs 'rules' and 'windows' arrays\n",
+                   path);
+      return 1;
+    }
+  }
 
   bool ok = true;
   for (int i = file_arg + 1; i < argc; ++i) {

@@ -115,18 +115,28 @@ bool operator==(const Snapshot& a, const Snapshot& b) {
 Snapshot Registry::snapshot(const std::string& prefix) const {
   Snapshot out;
   out.prefix_ = prefix;
-  const auto matches = [&prefix](const std::string& name) {
-    return name.compare(0, prefix.size(), prefix) == 0;
+  // The maps are name-ordered, so every prefix match lives in the
+  // contiguous range [lower_bound(prefix), first name not starting with
+  // prefix) — scan just that range instead of the whole registry. A
+  // per-device snapshot in an N-device world is O(own metrics), not
+  // O(N * metrics); per-round stats() calls in big crowds stay cheap.
+  const auto scan = [&prefix](const auto& instruments, auto emit) {
+    for (auto it = instruments.lower_bound(prefix);
+         it != instruments.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0;
+         ++it) {
+      emit(it->first.substr(prefix.size()), *it->second);
+    }
   };
-  for (const auto& [name, c] : counters_) {
-    if (matches(name)) out.counters_.emplace(name.substr(prefix.size()), c->value());
-  }
-  for (const auto& [name, g] : gauges_) {
-    if (matches(name)) out.gauges_.emplace(name.substr(prefix.size()), g->value());
-  }
-  for (const auto& [name, h] : histograms_) {
-    if (matches(name)) out.histograms_.emplace(name.substr(prefix.size()), *h);
-  }
+  scan(counters_, [&out](std::string name, const Counter& c) {
+    out.counters_.emplace(std::move(name), c.value());
+  });
+  scan(gauges_, [&out](std::string name, const Gauge& g) {
+    out.gauges_.emplace(std::move(name), g.value());
+  });
+  scan(histograms_, [&out](std::string name, const Histogram& h) {
+    out.histograms_.emplace(std::move(name), h);
+  });
   return out;
 }
 

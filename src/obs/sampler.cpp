@@ -1,0 +1,161 @@
+#include "obs/sampler.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ph::obs {
+
+const char* to_string(SeriesKind kind) {
+  switch (kind) {
+    case SeriesKind::counter_rate: return "counter_rate";
+    case SeriesKind::gauge: return "gauge";
+    case SeriesKind::hist_rate: return "hist_rate";
+    case SeriesKind::hist_p50: return "hist_p50";
+    case SeriesKind::hist_p95: return "hist_p95";
+    case SeriesKind::hist_p99: return "hist_p99";
+  }
+  return "unknown";
+}
+
+TimeSeries::TimeSeries(SeriesKind kind, std::size_t capacity) : kind_(kind) {
+  PH_CHECK_MSG(capacity > 0, "time series needs a non-zero ring capacity");
+  ring_.resize(capacity);  // the one allocation this series ever makes
+}
+
+const SeriesPoint& TimeSeries::at(std::size_t i) const {
+  PH_CHECK_MSG(i < size_, "time series index out of range");
+  return ring_[(head_ + i) % ring_.size()];
+}
+
+void TimeSeries::push(TimePoint at, double value) {
+  const std::size_t slot = (head_ + size_) % ring_.size();
+  ring_[slot] = SeriesPoint{at, value};
+  if (size_ < ring_.size()) {
+    ++size_;
+  } else {
+    head_ = (head_ + 1) % ring_.size();  // overwrite the oldest
+  }
+  ++total_;
+}
+
+double quantile_from_bucket_delta(const std::vector<double>& bounds,
+                                  const std::vector<std::uint64_t>& delta,
+                                  std::uint64_t total, double q) {
+  if (total == 0 || bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    if (delta[i] == 0) continue;
+    const double below = static_cast<double>(cumulative);
+    cumulative += delta[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = i < bounds.size() ? bounds[i] : bounds.back();
+    const double fraction = (rank - below) / static_cast<double>(delta[i]);
+    return lo + fraction * (hi - lo);
+  }
+  // Every occupied bucket was below the rank (can't happen when the delta
+  // sums to `total`, but stay defensive): the distribution's upper edge.
+  return bounds.back();
+}
+
+Sampler::Sampler(const Registry& registry, SamplerConfig config)
+    : registry_(registry), config_(config) {
+  PH_CHECK_MSG(config_.interval_us > 0, "sampler interval must be positive");
+  PH_CHECK_MSG(config_.capacity > 0, "sampler ring capacity must be positive");
+}
+
+TimeSeries* Sampler::make_series(const std::string& name, SeriesKind kind) {
+  // Look up before constructing: building a TimeSeries allocates its ring,
+  // and steady-state sampling must not allocate at all.
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(name, TimeSeries(kind, config_.capacity)).first;
+    ++allocations_;
+  }
+  return &it->second;
+}
+
+const TimeSeries* Sampler::find(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+void Sampler::sample(TimePoint now) {
+  if (!enabled_) return;
+  if (sampled_once_ && now <= last_at_) return;  // empty or reversed interval
+  // Elapsed virtual time the deltas cover. Registry counters start at zero
+  // when created, so the first scrape's delta-from-zero is the metric's
+  // true activity since it appeared — late-registered metrics need no
+  // special case beyond the elapsed fallback.
+  std::uint64_t elapsed = sampled_once_ ? now - last_at_ : now;
+  if (elapsed == 0) elapsed = config_.interval_us;
+  const double per_second = 1e6 / static_cast<double>(elapsed);
+
+  for (const auto& [name, counter] : registry_.counters()) {
+    auto it = counter_cursors_.find(name);
+    if (it == counter_cursors_.end()) {
+      it = counter_cursors_.emplace(name, CounterCursor{}).first;
+      it->second.counter = counter.get();
+      it->second.rate = make_series(name + ".rate", SeriesKind::counter_rate);
+    }
+    CounterCursor& cursor = it->second;
+    const std::uint64_t value = cursor.counter->value();
+    // Counters are monotonic by contract; clamp defensively so a wrapped
+    // or externally reset counter yields a zero rate, not a huge one.
+    const std::uint64_t delta = value >= cursor.last ? value - cursor.last : 0;
+    cursor.last = value;
+    cursor.rate->push(now, static_cast<double>(delta) * per_second);
+  }
+
+  for (const auto& [name, gauge] : registry_.gauges()) {
+    make_series(name, SeriesKind::gauge)->push(now, gauge->value());
+  }
+
+  for (const auto& [name, hist] : registry_.histograms()) {
+    auto it = hist_cursors_.find(name);
+    if (it == hist_cursors_.end()) {
+      it = hist_cursors_.emplace(name, HistCursor{}).first;
+      HistCursor& fresh = it->second;
+      fresh.hist = hist.get();
+      fresh.last_buckets.assign(hist->bucket_counts().size(), 0);
+      fresh.delta.assign(hist->bucket_counts().size(), 0);
+      fresh.rate = make_series(name + ".rate", SeriesKind::hist_rate);
+      fresh.p50 = make_series(name + ".p50", SeriesKind::hist_p50);
+      fresh.p95 = make_series(name + ".p95", SeriesKind::hist_p95);
+      fresh.p99 = make_series(name + ".p99", SeriesKind::hist_p99);
+    }
+    HistCursor& cursor = it->second;
+    const std::vector<std::uint64_t>& buckets = cursor.hist->bucket_counts();
+    std::uint64_t delta_count = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      const std::uint64_t d = buckets[i] >= cursor.last_buckets[i]
+                                  ? buckets[i] - cursor.last_buckets[i]
+                                  : 0;
+      cursor.delta[i] = d;
+      cursor.last_buckets[i] = buckets[i];
+      delta_count += d;
+    }
+    cursor.rate->push(now, static_cast<double>(delta_count) * per_second);
+    // Quantile points only for intervals that saw observations: an empty
+    // interval has no distribution, and a synthetic zero would poison
+    // windowed SLO aggregates.
+    if (delta_count > 0) {
+      const std::vector<double>& bounds = cursor.hist->bounds();
+      cursor.p50->push(now, quantile_from_bucket_delta(bounds, cursor.delta,
+                                                       delta_count, 0.50));
+      cursor.p95->push(now, quantile_from_bucket_delta(bounds, cursor.delta,
+                                                       delta_count, 0.95));
+      cursor.p99->push(now, quantile_from_bucket_delta(bounds, cursor.delta,
+                                                       delta_count, 0.99));
+    }
+  }
+
+  last_at_ = now;
+  sampled_once_ = true;
+  ++samples_;
+}
+
+}  // namespace ph::obs

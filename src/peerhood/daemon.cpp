@@ -42,6 +42,9 @@ Daemon::Daemon(net::Medium& medium, DeviceId self, std::string device_name,
   c_neighbours_disappeared_ =
       &registry.counter(prefix + "neighbours_disappeared");
   c_announcements_sent_ = &registry.counter(prefix + "announcements_sent");
+  g_neighbour_count_ = &registry.gauge(prefix + "neighbour_count");
+  g_table_staleness_ = &registry.gauge(prefix + "table_staleness_us");
+  h_discovery_ = &registry.histogram(prefix + "discovery_us");
 }
 
 obs::Snapshot Daemon::stats() const {
@@ -258,9 +261,12 @@ void Daemon::run_inquiry(NetworkPlugin& plugin) {
   const obs::SpanId span = trace_->begin_span("peerhood.inquiry",
                                               simulator_.now(), self_,
                                               "inquiry");
+  const sim::Time inquiry_start = simulator_.now();
   obs::Trace::Scope scope(*trace_, span);  // parents the net.inquiry span
   plugin.adapter().start_inquiry(
-      [this, gen, span, &plugin](std::vector<DeviceId> found) {
+      [this, gen, span, inquiry_start, &plugin](std::vector<DeviceId> found) {
+        h_discovery_->observe(
+            static_cast<double>(simulator_.now() - inquiry_start));
         {
           // Service queries fired off the results are causally part of
           // this discovery round.
@@ -498,6 +504,7 @@ void Daemon::run_ping_round() {
       }
     }
   }
+  refresh_table_gauges();
 }
 
 bool Daemon::send_ping(DeviceId id, int attempt) {
@@ -560,6 +567,7 @@ void Daemon::declare_gone(DeviceId id, GoneCause cause) {
   const DeviceInfo last_known = it->second.info;
   neighbours_.erase(it);
   pending_pings_.erase(id);
+  refresh_table_gauges();
   if (!was_announced) return;
   c_neighbours_disappeared_->inc();
   PH_LOG(info, "phd") << device_name_ << ": device " << id << " disappeared";
@@ -570,6 +578,7 @@ void Daemon::announce_if_ready(Neighbour& neighbour) {
   if (neighbour.announced || !neighbour.services_known) return;
   neighbour.announced = true;
   c_neighbours_appeared_->inc();
+  refresh_table_gauges();
   PH_LOG(info, "phd") << device_name_ << ": device '" << neighbour.info.name
                       << "' (" << neighbour.info.id << ") appeared with "
                       << neighbour.info.services.size() << " service(s)";
@@ -585,6 +594,21 @@ void Daemon::expire_stale_entries() {
     if (neighbour.info.last_seen + config_.entry_ttl < now) stale.push_back(id);
   }
   for (DeviceId id : stale) declare_gone(id, GoneCause::expired);
+}
+
+void Daemon::refresh_table_gauges() {
+  const sim::Time now = simulator_.now();
+  double announced = 0;
+  sim::Duration staleness = 0;
+  for (const auto& [id, neighbour] : neighbours_) {
+    if (!neighbour.announced) continue;
+    ++announced;
+    if (now > neighbour.info.last_seen) {
+      staleness = std::max(staleness, now - neighbour.info.last_seen);
+    }
+  }
+  g_neighbour_count_->set(announced);
+  g_table_staleness_->set(static_cast<double>(staleness));
 }
 
 }  // namespace ph::peerhood

@@ -222,6 +222,11 @@ class Daemon {
   void declare_gone(DeviceId id, GoneCause cause);
   void announce_if_ready(Neighbour& neighbour);
   void expire_stale_entries();
+  /// Recomputes the neighbour-table health gauges (`neighbour_count`,
+  /// `table_staleness_us`) — the series the SLO rules watch. Called on
+  /// every table change and once per ping round (staleness grows with
+  /// virtual time even when the table is static).
+  void refresh_table_gauges();
   /// Fans one event out to every matching monitor.
   void notify(NeighbourEvent::Kind kind, const DeviceInfo& device,
               GoneCause cause = GoneCause::missed_pings);
@@ -263,6 +268,9 @@ class Daemon {
   obs::Counter* c_neighbours_appeared_ = nullptr;
   obs::Counter* c_neighbours_disappeared_ = nullptr;
   obs::Counter* c_announcements_sent_ = nullptr;
+  obs::Gauge* g_neighbour_count_ = nullptr;
+  obs::Gauge* g_table_staleness_ = nullptr;
+  obs::Histogram* h_discovery_ = nullptr;  // inquiry start -> results in
 };
 
 }  // namespace ph::peerhood

@@ -26,6 +26,37 @@ bool Simulator::cancel(EventId id) {
 
 bool Simulator::pending(EventId id) const { return live_.contains(id); }
 
+TaskId Simulator::schedule_periodic(Duration interval,
+                                    std::function<void()> fn) {
+  const TaskId id = next_task_++;
+  Periodic& task = periodic_[id];
+  task.interval = interval;
+  task.fn = std::move(fn);
+  task.armed = schedule(interval, [this, id] { run_periodic(id); });
+  return id;
+}
+
+bool Simulator::cancel_periodic(TaskId id) {
+  auto it = periodic_.find(id);
+  if (it == periodic_.end()) return false;
+  cancel(it->second.armed);
+  periodic_.erase(it);
+  return true;
+}
+
+void Simulator::run_periodic(TaskId id) {
+  auto it = periodic_.find(id);
+  if (it == periodic_.end()) return;  // cancelled after this occurrence fired
+  it->second.fn();
+  // The callback may have cancelled its own task (or scheduled others that
+  // did); re-find before re-arming.
+  it = periodic_.find(id);
+  if (it == periodic_.end()) return;
+  it->second.armed = schedule(it->second.interval, [this, id] {
+    run_periodic(id);
+  });
+}
+
 bool Simulator::settle_top() {
   while (!heap_.empty()) {
     if (live_.contains(heap_.front().id)) return true;

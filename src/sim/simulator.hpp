@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -27,6 +28,9 @@ namespace ph::sim {
 
 /// Identifies a scheduled event; 0 is never a valid id.
 using EventId = std::uint64_t;
+
+/// Identifies a periodic task (schedule_periodic); 0 is never valid.
+using TaskId = std::uint64_t;
 
 class Simulator {
  public:
@@ -46,6 +50,20 @@ class Simulator {
   /// Removes a pending event. Returns false if it already ran or was
   /// cancelled; cancelling an invalid id is a harmless no-op.
   bool cancel(EventId id);
+
+  /// Runs `fn` every `interval` of virtual time, first at now + interval,
+  /// until cancel_periodic(). The telemetry scraper (obs::Sampler) and
+  /// other fixed-cadence housekeeping hang off this instead of hand-rolled
+  /// rescheduling closures. `fn` may cancel its own task. Note run_all()
+  /// never drains a live periodic task — soak drivers use run_until.
+  TaskId schedule_periodic(Duration interval, std::function<void()> fn);
+
+  /// Stops a periodic task. Returns false if the id is unknown or already
+  /// cancelled.
+  bool cancel_periodic(TaskId id);
+
+  /// True if the periodic task is still armed.
+  bool periodic_pending(TaskId id) const { return periodic_.contains(id); }
 
   /// True if the event is still pending.
   bool pending(EventId id) const;
@@ -83,6 +101,15 @@ class Simulator {
     }
   };
 
+  struct Periodic {
+    Duration interval = 0;
+    std::function<void()> fn;
+    EventId armed = 0;  // the currently scheduled occurrence
+  };
+
+  /// Runs one occurrence of a periodic task and re-arms it.
+  void run_periodic(TaskId id);
+
   /// Pops heap entries until the top is live; true if one exists.
   bool settle_top();
   /// Rebuilds the heap without cancelled entries once they dominate.
@@ -93,6 +120,8 @@ class Simulator {
   std::uint64_t executed_ = 0;
   std::vector<Entry> heap_;
   std::unordered_set<EventId> live_;
+  TaskId next_task_ = 1;
+  std::map<TaskId, Periodic> periodic_;
 };
 
 }  // namespace ph::sim

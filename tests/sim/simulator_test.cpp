@@ -158,5 +158,51 @@ TEST(SimulatorTest, ManyEventsStressOrder) {
   EXPECT_EQ(simulator.events_executed(), 1000u);
 }
 
+TEST(SimulatorTest, PeriodicTaskFiresAtFixedCadence) {
+  Simulator simulator;
+  std::vector<Time> fired;
+  const TaskId id = simulator.schedule_periodic(
+      seconds(2), [&] { fired.push_back(simulator.now()); });
+  EXPECT_TRUE(simulator.periodic_pending(id));
+  simulator.run_until(seconds(7));
+  EXPECT_EQ(fired, (std::vector<Time>{seconds(2), seconds(4), seconds(6)}));
+  EXPECT_TRUE(simulator.periodic_pending(id));
+}
+
+TEST(SimulatorTest, CancelPeriodicStopsFutureFirings) {
+  Simulator simulator;
+  int fired = 0;
+  const TaskId id = simulator.schedule_periodic(seconds(1), [&] { ++fired; });
+  simulator.run_until(seconds(3));
+  EXPECT_TRUE(simulator.cancel_periodic(id));
+  EXPECT_FALSE(simulator.periodic_pending(id));
+  EXPECT_FALSE(simulator.cancel_periodic(id));  // already gone
+  simulator.run_until(seconds(10));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, PeriodicTaskMayCancelItself) {
+  Simulator simulator;
+  int fired = 0;
+  TaskId id = 0;
+  id = simulator.schedule_periodic(seconds(1), [&] {
+    if (++fired == 2) simulator.cancel_periodic(id);
+  });
+  simulator.run_until(seconds(10));
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(simulator.periodic_pending(id));
+}
+
+TEST(SimulatorTest, TwoPeriodicTasksInterleave) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_periodic(seconds(2), [&] { order.push_back(2); });
+  simulator.schedule_periodic(seconds(3), [&] { order.push_back(3); });
+  simulator.run_until(seconds(6));
+  // Firings at 2,3,4,6,6; the t=6 tie is FIFO — the 3 s task re-armed
+  // first (at t=3), so it runs first.
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 2, 3, 2}));
+}
+
 }  // namespace
 }  // namespace ph::sim
