@@ -25,6 +25,7 @@
 // breach windows are printed so they can be eyeballed against the fault
 // schedule. PH_SERIES_JSON dumps the raw series; PH_BENCH_JSON emits the
 // BENCH report the ph_bench_regression gate diffs against its baseline.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -158,6 +159,11 @@ int main() {
       ph::obs::dump_flight_recording(medium.trace(), "slo:" + rule.name);
     });
     simulator.schedule_periodic(sampler_config.interval_us, [&] {
+      // Cancelled-but-stored queue entries: the gauge the event kernel's
+      // lazy-cancellation compaction keeps bounded (dead >= 32 && 2*dead
+      // >= stored triggers a sweep, mirroring the medium's link policy).
+      metrics.gauge("sim.queue.cancelled_live")
+          .set(static_cast<double>(simulator.cancelled_pending()));
       sampler.sample(simulator.now());
       slo.evaluate(simulator.now());
     });
@@ -273,7 +279,12 @@ int main() {
   }
 
   // Soak, then a quiet tail so the last windows' recoveries complete.
+  const auto wall_start = std::chrono::steady_clock::now();
   simulator.run_for(horizon + ph::sim::minutes(2));
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   const ph::obs::Snapshot faults = plane.stats();
   std::printf("\nfault windows delivered:\n");
@@ -329,6 +340,14 @@ int main() {
   report.info = {
       {"samples_taken", static_cast<double>(sampler.samples_taken())},
       {"series", static_cast<double>(sampler.series().size())},
+      // Wall-clock throughput of the whole soak (machine-dependent: info,
+      // never gated). `wall_clock_improvement` in ph_bench_compare reads
+      // the *_per_sec / *_wall_s pairs advisorily.
+      {"soak_wall_s", wall_s},
+      {"soak_events_per_sec",
+       wall_s > 0
+           ? static_cast<double>(simulator.events_executed()) / wall_s
+           : 0.0},
   };
   // The sampler is deliberately NOT embedded: the report is the compact
   // trajectory record the regression gate commits as a baseline; the full

@@ -11,6 +11,7 @@ Adapter::Adapter(Medium& medium, NodeId node, TechProfile profile)
 void Adapter::set_powered(bool on) {
   if (powered_ == on) return;
   powered_ = on;
+  medium_.note_adapter_power(*this, on);  // keep the SoA powered mirror honest
   // Signals memoized earlier in this timestamp assumed the old power state.
   medium_.invalidate_signal_memo();
   PH_LOG(debug, "net") << "node " << node_ << " " << profile_.name
@@ -30,7 +31,7 @@ void Adapter::unbind(Port port) { datagram_handlers_.erase(port); }
 
 void Adapter::send_datagram(NodeId dst, Port port, BytesView payload) {
   if (!powered_) return;
-  medium_.deliver_datagram(*this, dst, port, Bytes(payload.begin(), payload.end()));
+  medium_.deliver_datagram(*this, dst, port, payload);
 }
 
 void Adapter::broadcast_datagram(Port port, BytesView payload) {
@@ -39,8 +40,7 @@ void Adapter::broadcast_datagram(Port port, BytesView payload) {
   // (tiny, control-sized) payload serializes once per target — a
   // conservative over-approximation of one frame on the air.
   for (NodeId peer : medium_.nodes_in_range(node_, profile_)) {
-    medium_.deliver_datagram(*this, peer, port,
-                             Bytes(payload.begin(), payload.end()));
+    medium_.deliver_datagram(*this, peer, port, payload);
   }
 }
 

@@ -92,6 +92,9 @@ class Adapter {
   std::map<Port, DatagramHandler> datagram_handlers_;
   std::map<Port, AcceptHandler> listeners_;
   sim::Time tx_busy_until_ = 0;  // datagram serialization on this radio
+  /// Index of this adapter in the Medium's per-technology SoA arrays
+  /// (ids/powered/positions); maintained by Medium::add_adapter.
+  std::size_t tech_index_ = 0;
 };
 
 }  // namespace ph::net

@@ -27,7 +27,7 @@ void Link::on_break(std::function<void()> handler) {
 
 void Link::send(BytesView payload) {
   if (!open()) return;
-  state_->medium->link_send(state_, self_, Bytes(payload.begin(), payload.end()));
+  state_->medium->link_send(state_, self_, payload);
 }
 
 double Link::signal() const {

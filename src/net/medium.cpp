@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <stdexcept>
 
 #include "net/link_state.hpp"
 #include "util/log.hpp"
@@ -11,14 +12,18 @@ namespace ph::net {
 
 namespace {
 constexpr int kMaxRetransmissions = 5;
-
-std::pair<NodeId, int> adapter_key(NodeId node, Technology tech) {
-  return {node, static_cast<int>(tech)};
-}
 }  // namespace
 
 Medium::Medium(sim::Simulator& simulator, sim::Rng rng, MediumConfig config)
     : simulator_(simulator), rng_(rng), config_(config) {
+  // NodeIds are dense from 1; slot 0 of every per-node array is a
+  // placeholder so arrays index directly by id.
+  node_names_.emplace_back();
+  node_mobility_.emplace_back();
+  adapter_lut_.emplace_back();
+  open_link_counts_.emplace_back();
+  pos_cache_at_.push_back(kPosNever);
+  pos_cache_.emplace_back();
   c_datagrams_sent_ = &registry_.counter("net.medium.datagrams_sent");
   c_datagrams_lost_ = &registry_.counter("net.medium.datagrams_lost");
   c_link_messages_sent_ = &registry_.counter("net.medium.link_messages_sent");
@@ -75,48 +80,56 @@ NodeId Medium::add_node(std::string name,
                         std::unique_ptr<sim::MobilityModel> mobility) {
   assert(mobility != nullptr);
   const NodeId id = next_node_++;
-  nodes_.emplace(id, NodeEntry{std::move(name), std::move(mobility)});
-  position_cache_.resize(next_node_);
+  node_names_.push_back(std::move(name));
+  node_mobility_.push_back(std::move(mobility));
+  adapter_lut_.emplace_back();
+  open_link_counts_.emplace_back();
+  pos_cache_at_.push_back(kPosNever);
+  pos_cache_.emplace_back();
   return id;
 }
 
 void Medium::set_mobility(NodeId node,
                           std::unique_ptr<sim::MobilityModel> mobility) {
   assert(mobility != nullptr);
-  nodes_.at(node).mobility = std::move(mobility);
+  node_mobility_.at(node) = std::move(mobility);
   // The node may now be somewhere else at this very timestamp: drop its
   // memo, force every technology's grid to re-place it, and invalidate
   // signals computed from the old position.
-  if (node < position_cache_.size()) position_cache_[node].valid = false;
+  pos_cache_at_[node] = kPosNever;
   for (TechAdapters& ta : tech_adapters_) ta.dirty = true;
   invalidate_signal_memo();
 }
 
 const std::string& Medium::node_name(NodeId node) const {
-  return nodes_.at(node).name;
+  if (node == kInvalidNode || node >= node_names_.size()) {
+    throw std::out_of_range("unknown node id");
+  }
+  return node_names_[node];
 }
 
 std::map<std::uint64_t, std::string> Medium::trace_device_names() const {
   std::map<std::uint64_t, std::string> names;
-  for (const auto& [id, entry] : nodes_) names[id] = entry.name;
+  for (NodeId id = 1; id < node_names_.size(); ++id) {
+    names[id] = node_names_[id];
+  }
   return names;
 }
 
 sim::Vec2 Medium::position(NodeId node) const {
   const sim::Time now = simulator_.now();
-  if (!config_.use_position_cache || node >= position_cache_.size()) {
-    return nodes_.at(node).mobility->position_at(now);
+  if (!config_.use_position_cache) {
+    return node_mobility_.at(node)->position_at(now);
   }
-  CachedPosition& entry = position_cache_[node];
-  if (entry.valid && entry.at == now) {
+  if (pos_cache_at_[node] == now) {
     c_position_hits_->inc();
-    return entry.pos;
+    return pos_cache_[node];
   }
-  entry.pos = nodes_.at(node).mobility->position_at(now);
-  entry.at = now;
-  entry.valid = true;
+  const sim::Vec2 pos = node_mobility_.at(node)->position_at(now);
+  pos_cache_at_[node] = now;
+  pos_cache_[node] = pos;
   c_position_misses_->inc();
-  return entry.pos;
+  return pos;
 }
 
 Medium::TechTraffic Medium::traffic(Technology tech) const {
@@ -164,23 +177,30 @@ void Medium::set_access_point_active(NodeId ap, bool active) {
 }
 
 Adapter& Medium::add_adapter(NodeId node, TechProfile profile) {
-  assert(nodes_.contains(node));
+  assert(node != kInvalidNode && node < node_names_.size());
   const Technology tech = profile.tech;
+  const std::size_t ti = static_cast<std::size_t>(tech);
   const double range = profile.via_gateway ? 0.0 : profile.range_m;
-  auto key = adapter_key(node, tech);
-  assert(!adapters_.contains(key) && "one adapter per (node, technology)");
+  assert(adapter_lut_[node][ti] == nullptr &&
+         "one adapter per (node, technology)");
   auto adapter = std::make_unique<Adapter>(*this, node, std::move(profile));
   Adapter& ref = *adapter;
-  adapters_.emplace(key, std::move(adapter));
-  TechAdapters& ta = tech_adapters_[static_cast<std::size_t>(tech)];
-  // Keep the per-technology list sorted by node id so the grid path and
+  adapter_own_.push_back(std::move(adapter));
+  adapter_lut_[node][ti] = &ref;
+  TechAdapters& ta = tech_adapters_[ti];
+  // Keep the per-technology arrays sorted by node id so the grid path and
   // the brute-force path evaluate candidates in the same order (matching
   // the old full-map scan); order is what keeps RNG consumption identical.
-  ta.list.insert(std::lower_bound(ta.list.begin(), ta.list.end(), node,
-                                  [](const Adapter* a, NodeId id) {
-                                    return a->node() < id;
-                                  }),
-                 &ref);
+  const std::size_t at = static_cast<std::size_t>(
+      std::lower_bound(ta.ids.begin(), ta.ids.end(), node) - ta.ids.begin());
+  ta.ids.insert(ta.ids.begin() + static_cast<std::ptrdiff_t>(at), node);
+  ta.list.insert(ta.list.begin() + static_cast<std::ptrdiff_t>(at), &ref);
+  ta.powered.insert(ta.powered.begin() + static_cast<std::ptrdiff_t>(at), 1);
+  // Mid-list insertion shifts the tail; refresh the per-adapter index the
+  // powered mirror is keyed by (setup-time cost only — adapters never die).
+  for (std::size_t i = at; i < ta.list.size(); ++i) {
+    ta.list[i]->tech_index_ = i;
+  }
   ta.max_range_m = std::max(ta.max_range_m, range);
   ta.dirty = true;
   // A pair involving this node may have memoized signal 0 ("no adapter")
@@ -190,13 +210,19 @@ Adapter& Medium::add_adapter(NodeId node, TechProfile profile) {
 }
 
 Adapter* Medium::adapter(NodeId node, Technology tech) {
-  auto it = adapters_.find(adapter_key(node, tech));
-  return it == adapters_.end() ? nullptr : it->second.get();
+  if (node >= adapter_lut_.size()) return nullptr;
+  return adapter_lut_[node][static_cast<std::size_t>(tech)];
 }
 
 const Adapter* Medium::adapter(NodeId node, Technology tech) const {
-  auto it = adapters_.find(adapter_key(node, tech));
-  return it == adapters_.end() ? nullptr : it->second.get();
+  if (node >= adapter_lut_.size()) return nullptr;
+  return adapter_lut_[node][static_cast<std::size_t>(tech)];
+}
+
+void Medium::note_adapter_power(const Adapter& adapter, bool on) noexcept {
+  TechAdapters& ta =
+      tech_adapters_[static_cast<std::size_t>(adapter.technology())];
+  ta.powered[adapter.tech_index_] = on ? 1 : 0;
 }
 
 bool Medium::reachable(NodeId a, NodeId b, const TechProfile& profile) const {
@@ -295,15 +321,15 @@ void Medium::ensure_spatial(Technology tech) const {
   TechAdapters& ta = tech_adapters_[static_cast<std::size_t>(tech)];
   const sim::Time now = simulator_.now();
   if (ta.built && !ta.dirty && ta.built_at == now) return;
-  std::vector<sim::Vec2> positions;
-  positions.reserve(ta.list.size());
-  for (const Adapter* adapter : ta.list) {
-    positions.push_back(position(adapter->node()));
+  ta.positions.clear();
+  ta.positions.reserve(ta.ids.size());
+  for (const NodeId id : ta.ids) {
+    ta.positions.push_back(position(id));
   }
   const double cell = config_.spatial_cell_m > 0.0
                           ? config_.spatial_cell_m
                           : std::max(1.0, ta.max_range_m * 0.5);
-  ta.grid.rebuild(cell, std::move(positions));
+  ta.grid.rebuild(cell, ta.positions);
   ta.built_at = now;
   ta.built = true;
   ta.dirty = false;
@@ -320,7 +346,7 @@ std::vector<NodeId> Medium::nodes_in_range(NodeId node,
   // take the per-technology scan (already far smaller than the old
   // all-adapters map walk).
   const bool direct = !profile.via_gateway && !profile.infrastructure;
-  if (config_.use_spatial_index && direct && !ta.list.empty()) {
+  if (config_.use_spatial_index && direct && !ta.ids.empty()) {
     ensure_spatial(profile.tech);
     spatial_scratch_.clear();
     const SpatialGrid::QueryStats qs =
@@ -328,28 +354,29 @@ std::vector<NodeId> Medium::nodes_in_range(NodeId node,
     c_spatial_queries_->inc();
     c_spatial_cells_visited_->inc(qs.cells_visited);
     c_spatial_candidates_->inc(qs.candidates);
-    c_spatial_pairs_pruned_->inc(ta.list.size() - qs.candidates);
+    c_spatial_pairs_pruned_->inc(ta.ids.size() - qs.candidates);
     for (std::uint32_t index : spatial_scratch_) {
-      const Adapter* peer = ta.list[index];
-      if (peer->node() == node) continue;
-      if (!peer->powered()) continue;
-      if (!reachable(node, peer->node(), profile)) continue;
-      out.push_back(peer->node());
+      const NodeId peer = ta.ids[index];
+      if (peer == node) continue;
+      if (!ta.powered[index]) continue;
+      if (!reachable(node, peer, profile)) continue;
+      out.push_back(peer);
     }
     return out;
   }
-  for (const Adapter* peer : ta.list) {
-    if (peer->node() == node) continue;
-    if (!peer->powered()) continue;
-    if (!reachable(node, peer->node(), profile)) continue;
-    out.push_back(peer->node());
+  for (std::size_t i = 0; i < ta.ids.size(); ++i) {
+    const NodeId peer = ta.ids[i];
+    if (peer == node) continue;
+    if (!ta.powered[i]) continue;
+    if (!reachable(node, peer, profile)) continue;
+    out.push_back(peer);
   }
   return out;
 }
 
 std::size_t Medium::open_link_count(NodeId node, Technology tech) const {
-  auto it = open_link_counts_.find({node, static_cast<int>(tech)});
-  return it == open_link_counts_.end() ? 0 : it->second;
+  if (node >= open_link_counts_.size()) return 0;
+  return open_link_counts_[node][static_cast<std::size_t>(tech)];
 }
 
 sim::Duration Medium::transfer_time(const TechProfile& profile,
@@ -374,7 +401,7 @@ sim::Duration Medium::transfer_time(const TechProfile& profile,
 }
 
 void Medium::deliver_datagram(Adapter& from, NodeId dst, Port port,
-                              Bytes payload) {
+                              BytesView payload) {
   c_datagrams_sent_->inc();
   const TechProfile& profile = from.profile();
   const TechCounters& tc = tech_counters_[static_cast<std::size_t>(profile.tech)];
@@ -404,9 +431,14 @@ void Medium::deliver_datagram(Adapter& from, NodeId dst, Port port,
   }
   const NodeId src = from.node();
   const Technology tech = profile.tech;
+  // The in-flight frame lives in a pooled buffer: once the pool reaches its
+  // high-water mark, steady-state sends stop allocating. The handle keeps a
+  // weak reference to the pool, so closures destroyed after the Medium
+  // (world teardown order) free instead of recycling.
   simulator_.schedule_at(
       depart + flight,
-      [this, src, dst, port, tech, span, payload = std::move(payload)] {
+      [this, src, dst, port, tech, span,
+       frame = frame_pool_.acquire(payload.data(), payload.size())] {
         trace_.end_span(span, simulator_.now());
         // Re-resolve both endpoints at delivery time: movement or power
         // changes during flight drop the frame.
@@ -422,28 +454,32 @@ void Medium::deliver_datagram(Adapter& from, NodeId dst, Port port,
         // datagram's trace context. Receive-side spans begun by the
         // handler parent under it, stitching the two devices' trees.
         obs::Trace::Scope causal(trace_, span);
-        fn(src, payload);
+        fn(src, BytesView{frame.data(), frame.size()});
       });
 }
 
 void Medium::start_inquiry(Adapter& from, InquiryHandler done) {
   c_inquiries_->inc();
-  const TechProfile profile = from.profile();
+  // Capture the profile by pointer: it is immutable and owned by the
+  // adapter, which shares the Medium's lifetime (same assumption `this`
+  // already makes). A by-value TechProfile would push the closure past the
+  // EventFn inline buffer and back onto the heap.
+  const TechProfile* profile = &from.profile();
   const NodeId src = from.node();
   const obs::SpanId span =
       trace_.begin_span("net.inquiry", simulator_.now(), src, "inquiry");
-  simulator_.schedule(profile.inquiry_duration,
+  simulator_.schedule(profile->inquiry_duration,
                       [this, src, profile, span, done = std::move(done)] {
                         trace_.end_span(span, simulator_.now());
                         obs::Trace::Scope causal(trace_, span);
-                        Adapter* self = adapter(src, profile.tech);
+                        Adapter* self = adapter(src, profile->tech);
                         if (self == nullptr || !self->powered()) {
                           done({});
                           return;
                         }
                         std::vector<NodeId> found;
-                        for (NodeId peer : nodes_in_range(src, profile)) {
-                          if (rng_.chance(profile.inquiry_detect_prob)) {
+                        for (NodeId peer : nodes_in_range(src, *profile)) {
+                          if (rng_.chance(profile->inquiry_detect_prob)) {
                             found.push_back(peer);
                           }
                         }
@@ -453,27 +489,29 @@ void Medium::start_inquiry(Adapter& from, InquiryHandler done) {
 
 void Medium::open_link(Adapter& from, NodeId dst, Port port,
                        ConnectHandler done) {
-  const TechProfile profile = from.profile();
+  // Pointer capture (see start_inquiry) keeps the closure inside EventFn's
+  // inline buffer; LinkState still copies the profile when the link opens.
+  const TechProfile* profile = &from.profile();
   const NodeId src = from.node();
   const obs::SpanId span =
       trace_.begin_span("net.link.open", simulator_.now(), src, "link");
-  simulator_.schedule(profile.connect_latency, [this, src, dst, port, profile,
-                                                span, done = std::move(done)] {
+  simulator_.schedule(profile->connect_latency, [this, src, dst, port, profile,
+                                                 span, done = std::move(done)] {
     trace_.end_span(span, simulator_.now());
     // Both the server-side accept and the client continuation run under
     // the link-open span: the server's handlers are causally downstream
     // of the remote connect even though they live on another device.
     obs::Trace::Scope causal(trace_, span);
-    Adapter* self = adapter(src, profile.tech);
+    Adapter* self = adapter(src, profile->tech);
     if (self == nullptr || !self->powered()) {
       done(Error{Errc::connect_failed, "local adapter powered off"});
       return;
     }
-    Adapter* peer = adapter(dst, profile.tech);
-    if (peer == nullptr || !peer->powered() || !reachable(src, dst, profile)) {
+    Adapter* peer = adapter(dst, profile->tech);
+    if (peer == nullptr || !peer->powered() || !reachable(src, dst, *profile)) {
       done(Error{Errc::device_unreachable,
                  "node " + std::to_string(dst) + " not reachable over " +
-                     profile.name});
+                     profile->name});
       return;
     }
     auto listener = peer->listeners_.find(port);
@@ -484,29 +522,30 @@ void Medium::open_link(Adapter& from, NodeId dst, Port port,
     }
     // Radio capacity: a Bluetooth piconet carries at most 7 active links
     // per radio; either side being full refuses the connection.
-    if (profile.max_links > 0 &&
-        (open_link_count(src, profile.tech) >=
-             static_cast<std::size_t>(profile.max_links) ||
-         open_link_count(dst, profile.tech) >=
-             static_cast<std::size_t>(profile.max_links))) {
+    if (profile->max_links > 0 &&
+        (open_link_count(src, profile->tech) >=
+             static_cast<std::size_t>(profile->max_links) ||
+         open_link_count(dst, profile->tech) >=
+             static_cast<std::size_t>(profile->max_links))) {
       done(Error{Errc::radio_busy,
-                 profile.name + " radio at link capacity (" +
-                     std::to_string(profile.max_links) + ")"});
+                 profile->name + " radio at link capacity (" +
+                     std::to_string(profile->max_links) + ")"});
       return;
     }
     auto state = std::make_shared<detail::LinkState>();
     state->medium = this;
-    state->profile = profile;
+    state->profile = *profile;
     state->a = src;
     state->b = dst;
     state->port = port;
     state->open = true;
     links_.push_back(state);
-    ++open_link_counts_[{src, static_cast<int>(profile.tech)}];
-    ++open_link_counts_[{dst, static_cast<int>(profile.tech)}];
+    const std::size_t ti = static_cast<std::size_t>(profile->tech);
+    ++open_link_counts_[src][ti];
+    ++open_link_counts_[dst][ti];
     c_links_opened_->inc();
     PH_LOG(trace, "net") << "link " << src << "->" << dst << " port " << port
-                         << " open (" << profile.name << ")";
+                         << " open (" << profile->name << ")";
     // Accept first so the server side installs its handlers before any
     // client payload can arrive.
     listener->second(Link{state, dst});
@@ -515,7 +554,7 @@ void Medium::open_link(Adapter& from, NodeId dst, Port port,
 }
 
 void Medium::link_send(const std::shared_ptr<detail::LinkState>& state,
-                       NodeId sender, Bytes payload) {
+                       NodeId sender, BytesView payload) {
   if (!state->open) return;
   c_link_messages_sent_->inc();
   c_link_bytes_sent_->inc(payload.size());
@@ -540,7 +579,8 @@ void Medium::link_send(const std::shared_ptr<detail::LinkState>& state,
   std::weak_ptr<detail::LinkState> weak = state;
   simulator_.schedule_at(
       depart + flight,
-      [this, weak, receiver, span, payload = std::move(payload)] {
+      [this, weak, receiver, span,
+       frame = frame_pool_.acquire(payload.data(), payload.size())] {
         trace_.end_span(span, simulator_.now());
         auto st = weak.lock();
         if (!st || !st->open) return;
@@ -555,7 +595,7 @@ void Medium::link_send(const std::shared_ptr<detail::LinkState>& state,
         // Cross-device causality: the receiver handles the frame under
         // the sender's flight span.
         obs::Trace::Scope causal(trace_, span);
-        if (rx) rx(payload);
+        if (rx) rx(BytesView{frame.data(), frame.size()});
       });
 }
 
@@ -609,14 +649,11 @@ void Medium::break_link(const std::shared_ptr<detail::LinkState>& state) {
 }
 
 void Medium::unregister_link(const detail::LinkState& state) {
+  const std::size_t ti = static_cast<std::size_t>(state.profile.tech);
   for (NodeId side : {state.a, state.b}) {
-    auto it = open_link_counts_.find({side, static_cast<int>(state.profile.tech)});
-    if (it == open_link_counts_.end()) continue;
-    if (it->second <= 1) {
-      open_link_counts_.erase(it);
-    } else {
-      --it->second;
-    }
+    if (side >= open_link_counts_.size()) continue;
+    std::uint32_t& count = open_link_counts_[side][ti];
+    if (count > 0) --count;
   }
 }
 

@@ -31,6 +31,7 @@
 #include "sim/mobility.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+#include "util/arena.hpp"
 
 namespace ph::net {
 
@@ -88,7 +89,7 @@ class Medium {
 
   const std::string& node_name(NodeId node) const;
   sim::Vec2 position(NodeId node) const;  ///< sampled at current virtual time
-  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t node_count() const noexcept { return node_names_.size() - 1; }
   /// Node-id → name map in the shape obs::to_chrome_trace wants for
   /// naming per-device tracks.
   std::map<std::uint64_t, std::string> trace_device_names() const;
@@ -177,11 +178,6 @@ class Medium {
   friend class Adapter;
   friend class Link;
 
-  struct NodeEntry {
-    std::string name;
-    std::unique_ptr<sim::MobilityModel> mobility;
-  };
-
   /// Time to push `bytes` through the radio plus propagation, including
   /// randomized retransmission delays for reliable (link) traffic.
   sim::Duration transfer_time(const TechProfile& profile, std::size_t bytes,
@@ -199,11 +195,12 @@ class Medium {
   double signal_physics(NodeId a, NodeId b, const TechProfile& profile) const;
 
   // Internal helpers used by Adapter/Link (implemented in medium.cpp).
-  void deliver_datagram(Adapter& from, NodeId dst, Port port, Bytes payload);
+  void deliver_datagram(Adapter& from, NodeId dst, Port port,
+                        BytesView payload);
   void start_inquiry(Adapter& from, InquiryHandler done);
   void open_link(Adapter& from, NodeId dst, Port port, ConnectHandler done);
   void link_send(const std::shared_ptr<detail::LinkState>& state, NodeId sender,
-                 Bytes payload);
+                 BytesView payload);
   void link_close(const std::shared_ptr<detail::LinkState>& state, NodeId closer);
   void break_link(const std::shared_ptr<detail::LinkState>& state);
   void break_links_of(NodeId node, Technology tech);
@@ -236,26 +233,25 @@ class Medium {
     obs::Counter* messages = nullptr;
   };
 
-  /// Everything the proximity queries need about one technology: the
-  /// adapters carrying it (sorted by node id, mirroring the brute-force
-  /// scan order over `adapters_`) and the lazily rebuilt grid over their
-  /// positions. Power state is deliberately NOT an invalidation trigger —
+  /// Everything the proximity queries need about one technology, in
+  /// structure-of-arrays form: parallel vectors sorted by node id
+  /// (mirroring the old brute-force full-map scan order — order is what
+  /// keeps RNG consumption identical), so the range-query hot loop walks
+  /// two flat arrays (ids, powered bytes) instead of chasing adapter
+  /// pointers. Power state is deliberately NOT an invalidation trigger —
   /// it is filtered at query time, exactly like the brute-force path.
   struct TechAdapters {
-    std::vector<Adapter*> list;  // sorted by node id; adapters never die
-    double max_range_m = 0.0;    // over non-gateway profiles; sizes cells
+    std::vector<Adapter*> list;          // sorted by node id; never die
+    std::vector<NodeId> ids;             // list[i]->node()
+    std::vector<std::uint8_t> powered;   // list[i]->powered() mirror
+    double max_range_m = 0.0;   // over non-gateway profiles; sizes cells
     SpatialGrid grid;
+    /// Rebuild scratch, reused so a per-timestamp grid rebuild does not
+    /// allocate.
+    std::vector<sim::Vec2> positions;
     sim::Time built_at = 0;
     bool built = false;
     bool dirty = true;
-  };
-
-  /// One position memo; valid only while `at` equals the current virtual
-  /// time (set_mobility clears the node's entry explicitly).
-  struct CachedPosition {
-    sim::Time at = 0;
-    sim::Vec2 pos;
-    bool valid = false;
   };
 
   /// Signal-memo key: the unordered endpoint pair (signal() is exactly
@@ -278,18 +274,35 @@ class Medium {
     }
   };
 
+  /// A cached position is valid only while its timestamp equals the
+  /// current virtual time; this sentinel marks "never sampled".
+  static constexpr sim::Time kPosNever = ~sim::Time{0};
+
+  /// Updates the per-technology powered mirror (Adapter::set_powered).
+  void note_adapter_power(const Adapter& adapter, bool on) noexcept;
+
   sim::Simulator& simulator_;
   sim::Rng rng_;
   MediumConfig config_;
   obs::Registry registry_;
   obs::Trace trace_;
-  std::map<NodeId, NodeEntry> nodes_;
+  // Node state in structure-of-arrays form, indexed by NodeId (ids are
+  // dense from 1; slot 0 is an unused placeholder). Grid rebuilds and the
+  // signal memo walk flat arrays instead of chasing per-node map nodes.
+  std::vector<std::string> node_names_;
+  std::vector<std::unique_ptr<sim::MobilityModel>> node_mobility_;
+  /// adapter_lut_[node][tech]: O(1) adapter lookup on the signal hot path
+  /// (the old per-call std::map::find dominated signal_physics).
+  std::vector<std::array<Adapter*, 3>> adapter_lut_;
+  std::vector<std::unique_ptr<Adapter>> adapter_own_;
   std::vector<AccessPoint> access_points_;
-  std::map<std::pair<NodeId, int>, std::unique_ptr<Adapter>> adapters_;
-  // Query-path acceleration state; logically const (pure caches over
-  // nodes_/adapters_), hence mutable for the const query methods.
+  // Query-path acceleration state; logically const (pure caches over the
+  // node/adapter state), hence mutable for the const query methods.
   mutable std::array<TechAdapters, 3> tech_adapters_{};  // by Technology
-  mutable std::vector<CachedPosition> position_cache_;   // by NodeId
+  // Position memo as parallel arrays indexed by NodeId: timestamp of the
+  // sample (kPosNever = invalid) and the sampled position.
+  mutable std::vector<sim::Time> pos_cache_at_;
+  mutable std::vector<sim::Vec2> pos_cache_;
   mutable std::vector<std::uint32_t> spatial_scratch_;
   // Per-timestamp signal memo: valid while (timestamp, epoch) both match;
   // clear() keeps bucket capacity so per-event resets are cheap.
@@ -298,8 +311,13 @@ class Medium {
   mutable std::uint64_t signal_memo_epoch_ = 0;
   std::uint64_t world_epoch_ = 1;
   std::vector<std::weak_ptr<detail::LinkState>> links_;
-  std::map<std::pair<NodeId, int>, std::size_t> open_link_counts_;
+  /// open_link_counts_[node][tech] — flat, replacing the old map lookup.
+  std::vector<std::array<std::uint32_t, 3>> open_link_counts_;
   std::size_t dead_links_ = 0;  // links_ entries closed since last compact
+  /// Recycles frame payload buffers for datagram/link deliveries: the
+  /// payload rides in a PooledBuffer inside the delivery closure and its
+  /// storage returns to the pool when the event is destroyed.
+  util::BufferPool frame_pool_;
   // Registry handles (`net.medium.*`); stable for the registry's lifetime.
   obs::Counter* c_datagrams_sent_ = nullptr;
   obs::Counter* c_datagrams_lost_ = nullptr;

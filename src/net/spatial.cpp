@@ -9,9 +9,10 @@ std::int32_t SpatialGrid::cell_coord(double v) const noexcept {
   return static_cast<std::int32_t>(std::floor(v / cell_size_));
 }
 
-void SpatialGrid::rebuild(double cell_size_m, std::vector<sim::Vec2> positions) {
+void SpatialGrid::rebuild(double cell_size_m,
+                          const std::vector<sim::Vec2>& positions) {
   cell_size_ = cell_size_m > 0.0 ? cell_size_m : 1.0;
-  positions_ = std::move(positions);
+  positions_.assign(positions.begin(), positions.end());
   cells_.clear();
   cells_.reserve(positions_.size());
   for (std::uint32_t i = 0; i < positions_.size(); ++i) {

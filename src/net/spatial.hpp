@@ -45,7 +45,9 @@ class SpatialGrid {
   /// Replaces the index contents. `positions[i]` is the position of the
   /// caller's i-th entry (the Medium uses per-technology adapter indices);
   /// query() reports these indices back. `cell_size_m` must be positive.
-  void rebuild(double cell_size_m, std::vector<sim::Vec2> positions);
+  /// Copies into internal storage, reusing its capacity — rebuilds in a
+  /// warmed-up world allocate nothing but hash-bucket churn.
+  void rebuild(double cell_size_m, const std::vector<sim::Vec2>& positions);
 
   /// Appends to `out`, sorted ascending, the indices of every entry with
   /// distance(entry, center) < radius_m — strict, matching the falloff's

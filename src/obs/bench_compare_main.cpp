@@ -233,6 +233,41 @@ int main(int argc, char** argv) {
                   metric.c_str());
     }
   }
+
+  // Advisory wall-clock comparison over the reports' "info" sections:
+  // throughput keys (*_per_sec, higher is better) and duration keys
+  // (*_wall_s, lower is better) shared by both reports are summarized as
+  // `wall_clock_improvement` percentages. Machine-dependent by nature, so
+  // this NEVER gates — it exists so a perf PR's report diff shows the
+  // speedup next to the determinism-checked headline.
+  const Value* base_info = base_root.get("info");
+  const Value* cand_info = cand_root.get("info");
+  if (base_info != nullptr && base_info->is_object() && cand_info != nullptr &&
+      cand_info->is_object()) {
+    bool printed_header = false;
+    for (const auto& [metric, base_value] : *base_info->object) {
+      if (!base_value.is_number() || base_value.number == 0.0) continue;
+      const bool higher_better =
+          metric.size() > 8 &&
+          metric.compare(metric.size() - 8, 8, "_per_sec") == 0;
+      const bool lower_better =
+          metric.size() > 7 &&
+          metric.compare(metric.size() - 7, 7, "_wall_s") == 0;
+      if (!higher_better && !lower_better) continue;
+      const Value* cand_value = cand_info->get(metric);
+      if (cand_value == nullptr || !cand_value->is_number()) continue;
+      if (!printed_header) {
+        std::printf("wall_clock_improvement (advisory, never gated):\n");
+        printed_header = true;
+      }
+      const double ratio = cand_value->number / base_value.number;
+      const double improvement =
+          (higher_better ? ratio - 1.0 : 1.0 / ratio - 1.0) * 100.0;
+      std::printf("  %-42s %14.6g -> %14.6g  %+.1f%%\n", metric.c_str(),
+                  base_value.number, cand_value->number, improvement);
+    }
+  }
+
   std::printf("bench_compare: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

@@ -20,21 +20,54 @@ const char* to_string(SeriesKind kind) {
 
 TimeSeries::TimeSeries(SeriesKind kind, std::size_t capacity) : kind_(kind) {
   PH_CHECK_MSG(capacity > 0, "time series needs a non-zero ring capacity");
-  ring_.resize(capacity);  // the one allocation this series ever makes
+  own_.resize(capacity);  // the one allocation this series ever makes
+  data_ = own_.data();
+  cap_ = capacity;
+}
+
+TimeSeries::TimeSeries(SeriesKind kind, SeriesPoint* storage,
+                       std::size_t capacity)
+    : kind_(kind), data_(storage), cap_(capacity) {
+  PH_CHECK_MSG(capacity > 0, "time series needs a non-zero ring capacity");
+  PH_CHECK_MSG(storage != nullptr, "external time-series storage is null");
+}
+
+TimeSeries::TimeSeries(TimeSeries&& other) noexcept
+    : kind_(other.kind_),
+      own_(std::move(other.own_)),
+      // A moved vector keeps its buffer address, but data_ must re-anchor
+      // to *this* object's vector in the self-owning case.
+      data_(own_.empty() ? other.data_ : own_.data()),
+      cap_(other.cap_),
+      head_(other.head_),
+      size_(other.size_),
+      total_(other.total_) {}
+
+TimeSeries& TimeSeries::operator=(TimeSeries&& other) noexcept {
+  if (this != &other) {
+    kind_ = other.kind_;
+    own_ = std::move(other.own_);
+    data_ = own_.empty() ? other.data_ : own_.data();
+    cap_ = other.cap_;
+    head_ = other.head_;
+    size_ = other.size_;
+    total_ = other.total_;
+  }
+  return *this;
 }
 
 const SeriesPoint& TimeSeries::at(std::size_t i) const {
   PH_CHECK_MSG(i < size_, "time series index out of range");
-  return ring_[(head_ + i) % ring_.size()];
+  return data_[(head_ + i) % cap_];
 }
 
 void TimeSeries::push(TimePoint at, double value) {
-  const std::size_t slot = (head_ + size_) % ring_.size();
-  ring_[slot] = SeriesPoint{at, value};
-  if (size_ < ring_.size()) {
+  const std::size_t slot = (head_ + size_) % cap_;
+  data_[slot] = SeriesPoint{at, value};
+  if (size_ < cap_) {
     ++size_;
   } else {
-    head_ = (head_ + 1) % ring_.size();  // overwrite the oldest
+    head_ = (head_ + 1) % cap_;  // overwrite the oldest
   }
   ++total_;
 }
@@ -68,11 +101,16 @@ Sampler::Sampler(const Registry& registry, SamplerConfig config)
 }
 
 TimeSeries* Sampler::make_series(const std::string& name, SeriesKind kind) {
-  // Look up before constructing: building a TimeSeries allocates its ring,
+  // Look up before constructing: building a TimeSeries claims its ring,
   // and steady-state sampling must not allocate at all.
   auto it = series_.find(name);
   if (it == series_.end()) {
-    it = series_.emplace(name, TimeSeries(kind, config_.capacity)).first;
+    // Rings live in the sampler's arena: one bump per series, a handful of
+    // chunk mallocs per run, and the points sit contiguously — dump code
+    // walks them cache-linearly.
+    SeriesPoint* storage = arena_.allocate_array<SeriesPoint>(config_.capacity);
+    it = series_.emplace(name, TimeSeries(kind, storage, config_.capacity))
+             .first;
     ++allocations_;
   }
   return &it->second;

@@ -34,6 +34,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"  // TimePoint
+#include "util/arena.hpp"
 
 namespace ph::obs {
 
@@ -56,13 +57,23 @@ enum class SeriesKind {
 const char* to_string(SeriesKind kind);
 
 /// Fixed-capacity ring of SeriesPoints, oldest evicted first. The backing
-/// store is allocated once at construction and never grows.
+/// store is fixed at construction and never grows — either a vector the
+/// series owns (standalone use, tests) or a caller-provided slab (the
+/// Sampler carves all its rings out of one epoch arena, so a whole run's
+/// series storage is a handful of chunk allocations instead of one heap
+/// block per metric).
 class TimeSeries {
  public:
+  /// Self-owning ring (allocates its own storage).
   TimeSeries(SeriesKind kind, std::size_t capacity);
+  /// External storage: `storage[0..capacity)` must outlive the series.
+  TimeSeries(SeriesKind kind, SeriesPoint* storage, std::size_t capacity);
+
+  TimeSeries(TimeSeries&& other) noexcept;
+  TimeSeries& operator=(TimeSeries&& other) noexcept;
 
   SeriesKind kind() const noexcept { return kind_; }
-  std::size_t capacity() const noexcept { return ring_.size(); }
+  std::size_t capacity() const noexcept { return cap_; }
   /// Points currently retained (<= capacity).
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
@@ -77,7 +88,9 @@ class TimeSeries {
 
  private:
   SeriesKind kind_;
-  std::vector<SeriesPoint> ring_;
+  std::vector<SeriesPoint> own_;  // empty when the storage is external
+  SeriesPoint* data_ = nullptr;
+  std::size_t cap_ = 0;
   std::size_t head_ = 0;  // index of the oldest point
   std::size_t size_ = 0;
   std::uint64_t total_ = 0;
@@ -156,6 +169,9 @@ class Sampler {
 
   const Registry& registry_;
   SamplerConfig config_;
+  /// Backing store for every series ring; must be declared before series_
+  /// so the rings' storage outlives them on destruction.
+  util::Arena arena_;
   bool enabled_ = true;
   std::uint64_t samples_ = 0;
   std::uint64_t allocations_ = 0;

@@ -4,13 +4,14 @@
 
 namespace ph::obs {
 
-SpanId Trace::begin_span(std::string name, TimePoint now, std::uint64_t device,
-                         std::string kind) {
-  return begin_span_under(0, std::move(name), now, device, std::move(kind));
+SpanId Trace::begin_span(std::string_view name, TimePoint now,
+                         std::uint64_t device, std::string_view kind) {
+  return begin_span_under(0, name, now, device, kind);
 }
 
-SpanId Trace::begin_span_under(SpanId parent, std::string name, TimePoint now,
-                               std::uint64_t device, std::string kind) {
+SpanId Trace::begin_span_under(SpanId parent, std::string_view name,
+                               TimePoint now, std::uint64_t device,
+                               std::string_view kind) {
   if (!enabled_) return 0;
   if (ring_capacity_ == 0 && spans_.size() >= capacity_) {
     ++dropped_;
@@ -20,8 +21,8 @@ SpanId Trace::begin_span_under(SpanId parent, std::string name, TimePoint now,
   Span span;
   span.id = span_base_ + static_cast<SpanId>(spans_.size()) + 1;
   span.parent = parent != 0 ? parent : current_context();
-  span.name = std::move(name);
-  span.kind = std::move(kind);
+  span.name = take_string(name);
+  span.kind = take_string(kind);
   span.device = device;
   span.start = now;
   spans_.push_back(std::move(span));
@@ -38,8 +39,8 @@ void Trace::end_span(SpanId id, TimePoint now) {
   span.closed = true;
 }
 
-void Trace::add_event(std::string name, TimePoint now, std::uint64_t device,
-                      std::string kind) {
+void Trace::add_event(std::string_view name, TimePoint now,
+                      std::uint64_t device, std::string_view kind) {
   if (!enabled_) return;
   if (ring_capacity_ == 0 && events_.size() >= capacity_) {
     ++dropped_;
@@ -48,12 +49,20 @@ void Trace::add_event(std::string name, TimePoint now, std::uint64_t device,
   }
   TraceEvent event;
   event.span = current_context();
-  event.name = std::move(name);
-  event.kind = std::move(kind);
+  event.name = take_string(name);
+  event.kind = take_string(kind);
   event.device = device;
   event.at = now;
   events_.push_back(std::move(event));
   evict_if_ring();
+}
+
+std::string Trace::take_string(std::string_view text) {
+  if (string_pool_.empty()) return std::string(text);
+  std::string out = std::move(string_pool_.back());
+  string_pool_.pop_back();
+  out.assign(text.data(), text.size());
+  return out;
 }
 
 void Trace::evict_if_ring() {
@@ -61,8 +70,14 @@ void Trace::evict_if_ring() {
   // Amortised: let the journal grow to twice the ring size, then shed the
   // older half in one erase. Keeps spans() a plain contiguous vector (one
   // move per record on average) while bounding memory to 2× the ring.
+  // Evicted records donate their heap-allocated strings to the recycling
+  // pool — a warm steady-state ring stops touching the allocator.
   if (spans_.size() >= 2 * ring_capacity_) {
     const std::size_t shed = spans_.size() - ring_capacity_;
+    for (std::size_t i = 0; i < shed; ++i) {
+      string_pool_.push_back(std::move(spans_[i].name));
+      string_pool_.push_back(std::move(spans_[i].kind));
+    }
     spans_.erase(spans_.begin(),
                  spans_.begin() + static_cast<std::ptrdiff_t>(shed));
     span_base_ += shed;
@@ -70,6 +85,10 @@ void Trace::evict_if_ring() {
   }
   if (events_.size() >= 2 * ring_capacity_) {
     const std::size_t shed = events_.size() - ring_capacity_;
+    for (std::size_t i = 0; i < shed; ++i) {
+      string_pool_.push_back(std::move(events_[i].name));
+      string_pool_.push_back(std::move(events_[i].kind));
+    }
     events_.erase(events_.begin(),
                   events_.begin() + static_cast<std::ptrdiff_t>(shed));
   }

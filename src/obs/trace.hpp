@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ph::obs {
@@ -76,25 +77,27 @@ class Trace {
   void set_enabled(bool on) noexcept { enabled_ = on; }
 
   /// Starts a span parented under the current context. Returns 0 when
-  /// tracing is disabled or the journal is full.
-  SpanId begin_span(std::string name, TimePoint now, std::uint64_t device = 0,
-                    std::string kind = {});
+  /// tracing is disabled or the journal is full. Takes views: the text is
+  /// copied into a recycled string (no allocation in steady-state ring
+  /// mode once the journal is warm).
+  SpanId begin_span(std::string_view name, TimePoint now,
+                    std::uint64_t device = 0, std::string_view kind = {});
 
   /// Starts a span under an explicit parent — the cross-device entry
   /// point: the parent id arrived in a wire header or a delivery closure
   /// from another device. A zero parent falls back to the current
   /// context, so instrumentation can pass a header field through
   /// unconditionally.
-  SpanId begin_span_under(SpanId parent, std::string name, TimePoint now,
-                          std::uint64_t device = 0, std::string kind = {});
+  SpanId begin_span_under(SpanId parent, std::string_view name, TimePoint now,
+                          std::uint64_t device = 0, std::string_view kind = {});
 
   /// Closes a span; end_span(0, …) is a no-op, so callers can hold ids
   /// from a disabled trace without checking.
   void end_span(SpanId id, TimePoint now);
 
   /// Records a point event under the current context.
-  void add_event(std::string name, TimePoint now, std::uint64_t device = 0,
-                 std::string kind = {});
+  void add_event(std::string_view name, TimePoint now, std::uint64_t device = 0,
+                 std::string_view kind = {});
 
   /// Context stack for causal parenting; prefer Scope.
   void push_context(SpanId id);
@@ -138,8 +141,15 @@ class Trace {
 
   /// Flight-recorder mode: keep roughly the last `spans` spans (and as
   /// many events), evicting the oldest. 0 restores the default
-  /// record-until-full behaviour.
-  void set_ring_capacity(std::size_t spans) noexcept { ring_capacity_ = spans; }
+  /// record-until-full behaviour. Reserves the 2× working set up front so
+  /// steady-state recording never reallocates the journal vectors.
+  void set_ring_capacity(std::size_t spans) {
+    ring_capacity_ = spans;
+    if (spans > 0) {
+      spans_.reserve(2 * spans);
+      events_.reserve(2 * spans);
+    }
+  }
   std::size_t ring_capacity() const noexcept { return ring_capacity_; }
 
   /// Mirrors every drop into a registry counter (obs.trace.dropped) so
@@ -153,6 +163,9 @@ class Trace {
 
  private:
   void evict_if_ring();
+  /// Copies `text` into a string recycled from evicted records (ring
+  /// mode), reusing its heap capacity; allocates only on a cold pool.
+  std::string take_string(std::string_view text);
 
   bool enabled_ = false;
   std::size_t capacity_ = 1 << 20;
@@ -166,6 +179,8 @@ class Trace {
   std::vector<Span> spans_;
   std::vector<TraceEvent> events_;
   std::vector<SpanId> context_;
+  /// Strings harvested from evicted ring records, ready for reuse.
+  std::vector<std::string> string_pool_;
 };
 
 }  // namespace ph::obs

@@ -1,0 +1,350 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace ph::sim {
+
+// --- FlatIdSet --------------------------------------------------------------
+
+bool FlatIdSet::insert(EventId id) {
+  // 0 is the empty-slot marker and can never be stored; inserting it
+  // would silently corrupt the occupancy count.
+  if (id == 0) return false;
+  if ((size_ + 1) * 2 > slots_.size()) grow();
+  std::size_t i = mix(id) & mask();
+  while (slots_[i] != 0) {
+    if (slots_[i] == id) return false;
+    i = (i + 1) & mask();
+  }
+  slots_[i] = id;
+  ++size_;
+  return true;
+}
+
+bool FlatIdSet::contains(EventId id) const noexcept {
+  std::size_t i = mix(id) & mask();
+  while (slots_[i] != 0) {
+    if (slots_[i] == id) return true;
+    i = (i + 1) & mask();
+  }
+  return false;
+}
+
+bool FlatIdSet::erase(EventId id) {
+  // Erasing 0 would "find" the first empty slot (0 marks empties), shift
+  // live entries around a fake hole and underflow size_ — and callers do
+  // legitimately cancel zero-initialised (never-armed) event handles.
+  if (id == 0) return false;
+  std::size_t i = mix(id) & mask();
+  while (slots_[i] != id) {
+    if (slots_[i] == 0) return false;
+    i = (i + 1) & mask();
+  }
+  // Backward-shift deletion: pull every displaced cluster member whose
+  // home slot is at or before the hole back into it, leaving no tombstone.
+  std::size_t j = i;
+  for (;;) {
+    j = (j + 1) & mask();
+    if (slots_[j] == 0) break;
+    const std::size_t home = mix(slots_[j]) & mask();
+    // Leave slots_[j] alone iff its home lies cyclically in (i, j].
+    const bool home_in_range =
+        i <= j ? (i < home && home <= j) : (i < home || home <= j);
+    if (home_in_range) continue;
+    slots_[i] = slots_[j];
+    i = j;
+  }
+  slots_[i] = 0;
+  --size_;
+  return true;
+}
+
+void FlatIdSet::grow() {
+  std::vector<EventId> old = std::move(slots_);
+  slots_.assign(old.size() * 2, 0);
+  size_ = 0;
+  for (EventId id : old) {
+    if (id != 0) insert(id);
+  }
+}
+
+// --- BinaryHeapQueue --------------------------------------------------------
+
+void BinaryHeapQueue::push(Time when, EventId id, EventFn fn) {
+  heap_.push_back(QueueEntry{when, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), QueueLater{});
+}
+
+bool BinaryHeapQueue::pop_next(Time until, QueueEntry& out) {
+  while (!heap_.empty()) {
+    if (!live_.contains(heap_.front().id)) {
+      std::pop_heap(heap_.begin(), heap_.end(), QueueLater{});
+      heap_.pop_back();
+      if (dead_ > 0) --dead_;
+      continue;
+    }
+    if (heap_.front().when > until) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), QueueLater{});
+    out = std::move(heap_.back());
+    heap_.pop_back();
+    return true;
+  }
+  return false;
+}
+
+void BinaryHeapQueue::compact() {
+  std::erase_if(heap_,
+                [this](const QueueEntry& e) { return !live_.contains(e.id); });
+  std::make_heap(heap_.begin(), heap_.end(), QueueLater{});
+  dead_ = 0;
+}
+
+// --- TimerWheelQueue --------------------------------------------------------
+
+TimerWheelQueue::TimerWheelQueue(const FlatIdSet& live)
+    : EventQueue(live), slots_(kLevels * kSlots) {
+  // Allocate at construction, not in operation: a slot vector's first
+  // push_back would otherwise allocate mid-run whenever a drifting
+  // periodic phase touches a fresh slot, defeating the zero-allocation
+  // steady state. Busier slots grow past this once and keep their
+  // high-water capacity.
+  for (std::vector<QueueEntry>& bucket : slots_) bucket.reserve(4);
+  due_.reserve(64);
+  overflow_.reserve(64);
+}
+
+void TimerWheelQueue::set_bit(unsigned level, unsigned index) noexcept {
+  occupied_[level * kWordsPerLevel + index / 64] |= 1ull << (index % 64);
+}
+
+void TimerWheelQueue::clear_bit(unsigned level, unsigned index) noexcept {
+  occupied_[level * kWordsPerLevel + index / 64] &= ~(1ull << (index % 64));
+}
+
+int TimerWheelQueue::next_occupied(unsigned level,
+                                   unsigned from) const noexcept {
+  const std::uint64_t* words = &occupied_[level * kWordsPerLevel];
+  unsigned word = from / 64;
+  std::uint64_t bits = words[word] & (~0ull << (from % 64));
+  for (;;) {
+    if (bits != 0) {
+      return static_cast<int>(word * 64 +
+                              static_cast<unsigned>(std::countr_zero(bits)));
+    }
+    if (++word == kWordsPerLevel) return -1;
+    bits = words[word];
+  }
+}
+
+void TimerWheelQueue::push_due(QueueEntry&& entry) {
+  due_.push_back(std::move(entry));
+  std::push_heap(due_.begin(), due_.end(), QueueLater{});
+}
+
+void TimerWheelQueue::place(QueueEntry&& entry) {
+  if (entry.when < wheel_time_) {
+    // Its window was already drained; the due heap establishes its order
+    // against the entries drained with it.
+    push_due(std::move(entry));
+    return;
+  }
+  for (unsigned level = 0; level < kLevels; ++level) {
+    if ((entry.when >> page_shift(level)) == (wheel_time_ >> page_shift(level))) {
+      const unsigned index =
+          static_cast<unsigned>(entry.when >> level_shift(level)) &
+          (kSlots - 1);
+      slot(level, index).push_back(std::move(entry));
+      set_bit(level, index);
+      return;
+    }
+  }
+  overflow_.push_back(std::move(entry));
+  std::push_heap(overflow_.begin(), overflow_.end(), QueueLater{});
+}
+
+void TimerWheelQueue::push(Time when, EventId id, EventFn fn) {
+  place(QueueEntry{when, id, std::move(fn)});
+  ++stored_;
+}
+
+void TimerWheelQueue::drain_overflow() {
+  const unsigned top_shift = page_shift(kLevels - 1);
+  while (!overflow_.empty() &&
+         (overflow_.front().when >> top_shift) == (wheel_time_ >> top_shift)) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), QueueLater{});
+    QueueEntry entry = std::move(overflow_.back());
+    overflow_.pop_back();
+    if (!live_.contains(entry.id)) {
+      --stored_;
+      if (dead_ > 0) --dead_;
+      continue;
+    }
+    place(std::move(entry));
+  }
+}
+
+void TimerWheelQueue::cascade(unsigned level, unsigned index) {
+  std::vector<QueueEntry>& bucket = slot(level, index);
+  // Take the bucket before re-placing: place() only touches levels below
+  // this one (the entries now share the lower page with wheel_time_).
+  for (QueueEntry& entry : bucket) {
+    if (!live_.contains(entry.id)) {
+      --stored_;
+      if (dead_ > 0) --dead_;
+      continue;
+    }
+    place(std::move(entry));
+  }
+  bucket.clear();
+  clear_bit(level, index);
+}
+
+void TimerWheelQueue::enter_windows() {
+  if ((wheel_time_ & ((Time{1} << page_shift(kLevels - 1)) - 1)) == 0) {
+    drain_overflow();
+  }
+  for (unsigned level = kLevels - 1; level >= 1; --level) {
+    if ((wheel_time_ & ((Time{1} << level_shift(level)) - 1)) != 0) continue;
+    const unsigned index =
+        static_cast<unsigned>(wheel_time_ >> level_shift(level)) &
+        (kSlots - 1);
+    cascade(level, index);
+  }
+}
+
+bool TimerWheelQueue::advance(Time until) {
+  for (;;) {
+    // Level 0: the next occupied slot in the current page moves wholesale
+    // into the due heap.
+    {
+      const std::uint64_t tick = wheel_time_ >> kTickShift;
+      const unsigned cur = static_cast<unsigned>(tick) & (kSlots - 1);
+      const int found = next_occupied(0, cur);
+      if (found >= 0) {
+        const std::uint64_t slot_tick =
+            (tick & ~static_cast<std::uint64_t>(kSlots - 1)) |
+            static_cast<unsigned>(found);
+        const Time slot_start = slot_tick << kTickShift;
+        if (slot_start > until) return false;
+        std::vector<QueueEntry>& bucket =
+            slot(0, static_cast<unsigned>(found));
+        wheel_time_ = (slot_tick + 1) << kTickShift;
+        for (QueueEntry& entry : bucket) {
+          if (!live_.contains(entry.id)) {
+            --stored_;
+            if (dead_ > 0) --dead_;
+            continue;
+          }
+          push_due(std::move(entry));
+        }
+        bucket.clear();
+        clear_bit(0, static_cast<unsigned>(found));
+        // Processing slot 255 rolls wheel_time_ onto the next level-1
+        // window: cascade what we just entered before anything can be
+        // scheduled into (and fired from) level 0 ahead of it.
+        if ((wheel_time_ & ((Time{1} << level_shift(1)) - 1)) == 0) {
+          enter_windows();
+        }
+        return true;
+      }
+    }
+
+    // Level-0 page empty: step to this page's next occupied level-1 slot.
+    // Slots behind and including the wheel's own index are empty — every
+    // entered window was cascaded on entry — so the jump only skips empty
+    // windows and wheel_time_ is monotonic.
+    {
+      const unsigned cur =
+          static_cast<unsigned>(wheel_time_ >> level_shift(1)) & (kSlots - 1);
+      const int found = next_occupied(1, cur);
+      if (found >= 0) {
+        const Time page_base =
+            (wheel_time_ >> page_shift(1)) << page_shift(1);
+        const Time slot_start =
+            page_base | (static_cast<Time>(found) << level_shift(1));
+        if (slot_start > until) return false;
+        wheel_time_ = slot_start;
+        cascade(1, static_cast<unsigned>(found));
+        continue;
+      }
+    }
+
+    // Level-1 page spent: same step at level 2. Entering a level-2 slot
+    // lands on its first level-1 window, whose slot is necessarily empty
+    // (nothing files into level 1 from outside the wheel's level-2 page),
+    // so cascading just this slot is enough.
+    {
+      const unsigned cur =
+          static_cast<unsigned>(wheel_time_ >> level_shift(2)) & (kSlots - 1);
+      const int found = next_occupied(2, cur);
+      if (found >= 0) {
+        const Time page_base =
+            (wheel_time_ >> page_shift(2)) << page_shift(2);
+        const Time slot_start =
+            page_base | (static_cast<Time>(found) << level_shift(2));
+        if (slot_start > until) return false;
+        wheel_time_ = slot_start;
+        cascade(2, static_cast<unsigned>(found));
+        continue;
+      }
+    }
+
+    // Beyond the wheel: jump to the overflow top's page and pull it in.
+    if (!overflow_.empty()) {
+      const unsigned top_shift = page_shift(kLevels - 1);
+      const Time page_start =
+          (overflow_.front().when >> top_shift) << top_shift;
+      if (page_start > until) return false;
+      wheel_time_ = page_start;
+      drain_overflow();
+      continue;
+    }
+    return false;
+  }
+}
+
+bool TimerWheelQueue::pop_next(Time until, QueueEntry& out) {
+  for (;;) {
+    while (!due_.empty() && !live_.contains(due_.front().id)) {
+      std::pop_heap(due_.begin(), due_.end(), QueueLater{});
+      due_.pop_back();
+      --stored_;
+      if (dead_ > 0) --dead_;
+    }
+    if (!due_.empty()) {
+      if (due_.front().when > until) return false;
+      std::pop_heap(due_.begin(), due_.end(), QueueLater{});
+      out = std::move(due_.back());
+      due_.pop_back();
+      --stored_;
+      return true;
+    }
+    if (stored_ == 0) return false;
+    if (!advance(until)) return false;
+  }
+}
+
+void TimerWheelQueue::compact() {
+  const auto is_dead = [this](const QueueEntry& e) {
+    return !live_.contains(e.id);
+  };
+  std::size_t removed = 0;
+  removed += std::erase_if(due_, is_dead);
+  std::make_heap(due_.begin(), due_.end(), QueueLater{});
+  removed += std::erase_if(overflow_, is_dead);
+  std::make_heap(overflow_.begin(), overflow_.end(), QueueLater{});
+  for (unsigned level = 0; level < kLevels; ++level) {
+    for (unsigned index = 0; index < kSlots; ++index) {
+      std::vector<QueueEntry>& bucket = slot(level, index);
+      if (bucket.empty()) continue;
+      removed += std::erase_if(bucket, is_dead);
+      if (bucket.empty()) clear_bit(level, index);
+    }
+  }
+  stored_ -= removed;
+  dead_ = 0;
+}
+
+}  // namespace ph::sim

@@ -1,0 +1,216 @@
+// Event queue implementations for the simulation kernel.
+//
+// The kernel's load is dominated by short-horizon periodic work — pings,
+// inquiry scans, neighbour-table refreshes, frame deliveries milliseconds
+// out — plus a thin tail of far-future timers (entry TTLs, watchdogs). A
+// hierarchical timer wheel fits that shape: scheduling is O(1) bucket
+// insertion instead of an O(log n) heap sift, and the far tail parks in
+// coarser levels (or an overflow heap) without being re-sorted on every
+// nearby event.
+//
+// Two implementations share one interface:
+//
+//   * TimerWheelQueue — 3 levels × 256 slots over a 1.024 ms base tick
+//     (level spans: 0.26 s / 67 s / 4.77 h), overflow min-heap beyond.
+//     A slot holds its entries unordered; when the wheel reaches a slot,
+//     the whole slot is moved into a small (when, id)-ordered "due" heap
+//     that establishes the exact global order. Everything strictly before
+//     `drained_before()` lives in that heap — the invariant that makes
+//     firing order identical to a single global heap, bit for bit.
+//   * BinaryHeapQueue — the previous std::push_heap implementation, kept
+//     as the reference for the lockstep property test and the wheel-vs-
+//     heap microbenchmarks.
+//
+// Both order events by (when, id) where id is the insertion sequence, so
+// equal timestamps fire FIFO — the determinism contract ph_chaos_
+// determinism byte-compares. Cancellation is lazy (the Simulator's live
+// set is the source of truth); dead entries are dropped when reached and
+// compacted away once they dominate, mirroring the Medium's dead-link
+// policy (dead >= 32 && 2*dead >= stored).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/event_fn.hpp"
+#include "sim/time.hpp"
+
+namespace ph::sim {
+
+/// Identifies a scheduled event; 0 is never a valid id.
+using EventId = std::uint64_t;
+
+/// Open-addressing hash set of live event ids. std::unordered_set
+/// allocates a node per insert, which would defeat the zero-allocation
+/// schedule() path; this probes a flat power-of-two array and erases with
+/// backward shifting (no tombstones, no rehash-on-erase), so at steady
+/// state membership churn touches no allocator.
+class FlatIdSet {
+ public:
+  FlatIdSet() : slots_(kInitialSlots, 0) {}
+
+  bool insert(EventId id);
+  bool erase(EventId id);
+  bool contains(EventId id) const noexcept;
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 1024;  // power of two
+
+  static std::size_t mix(EventId id) noexcept {
+    return static_cast<std::size_t>(id * 0x9E3779B97F4A7C15ull);
+  }
+  std::size_t mask() const noexcept { return slots_.size() - 1; }
+  void grow();
+
+  std::vector<EventId> slots_;  // 0 = empty
+  std::size_t size_ = 0;
+};
+
+/// One stored event. `id` doubles as the insertion sequence number, so
+/// ordering by (when, id) is FIFO among equal timestamps.
+struct QueueEntry {
+  Time when = 0;
+  EventId id = 0;
+  EventFn fn;
+};
+
+/// max-heap comparator that puts the earliest (when, id) on top of
+/// std::push_heap's max-heap.
+struct QueueLater {
+  bool operator()(const QueueEntry& a, const QueueEntry& b) const noexcept {
+    if (a.when != b.when) return a.when > b.when;
+    return a.id > b.id;
+  }
+};
+
+class EventQueue {
+ public:
+  /// `live` is the Simulator's id set — the authority on which stored
+  /// entries are still scheduled. It must outlive the queue.
+  explicit EventQueue(const FlatIdSet& live) : live_(live) {}
+  virtual ~EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  virtual void push(Time when, EventId id, EventFn fn) = 0;
+
+  /// Moves the earliest live entry with when <= until into `out`; false
+  /// when there is none. Dead (cancelled) entries reached on the way are
+  /// discarded.
+  virtual bool pop_next(Time until, QueueEntry& out) = 0;
+
+  /// Called by the Simulator after a successful cancel. Once dead entries
+  /// dominate (same thresholds as Medium::note_dead_link) the queue
+  /// compacts them away so cancel-heavy churn cannot accumulate closures.
+  void note_cancelled() {
+    ++dead_;
+    if (dead_ >= 32 && dead_ * 2 >= stored()) compact();
+  }
+
+  /// Entries held (live + not-yet-collected dead).
+  virtual std::size_t stored() const noexcept = 0;
+  /// Cancelled entries still occupying queue storage — the
+  /// `sim.queue.cancelled_live` gauge.
+  std::size_t dead() const noexcept { return dead_; }
+
+  virtual const char* name() const noexcept = 0;
+
+ protected:
+  virtual void compact() = 0;
+
+  const FlatIdSet& live_;
+  std::size_t dead_ = 0;
+};
+
+/// The previous binary min-heap queue (reference implementation).
+class BinaryHeapQueue final : public EventQueue {
+ public:
+  using EventQueue::EventQueue;
+
+  void push(Time when, EventId id, EventFn fn) override;
+  bool pop_next(Time until, QueueEntry& out) override;
+  std::size_t stored() const noexcept override { return heap_.size(); }
+  const char* name() const noexcept override { return "binary_heap"; }
+
+ private:
+  void compact() override;
+
+  std::vector<QueueEntry> heap_;
+};
+
+/// Hierarchical timer wheel with an overflow heap for the far tail.
+class TimerWheelQueue final : public EventQueue {
+ public:
+  explicit TimerWheelQueue(const FlatIdSet& live);
+
+  void push(Time when, EventId id, EventFn fn) override;
+  bool pop_next(Time until, QueueEntry& out) override;
+  std::size_t stored() const noexcept override { return stored_; }
+  const char* name() const noexcept override { return "timer_wheel"; }
+
+  /// Everything strictly before this time has been moved to the due heap;
+  /// the wheel proper only holds entries at or after it. Exposed for the
+  /// unit tests' invariant checks.
+  Time drained_before() const noexcept { return wheel_time_; }
+  /// Entries parked beyond the wheel's ~4.77 h horizon.
+  std::size_t overflow_size() const noexcept { return overflow_.size(); }
+
+ private:
+  // Base tick 2^10 us = 1.024 ms; each level fans out 256× — level spans
+  // 2^18 us (0.26 s), 2^26 us (67 s), 2^34 us (4.77 h).
+  static constexpr unsigned kTickShift = 10;
+  static constexpr unsigned kSlotBits = 8;
+  static constexpr unsigned kSlots = 1u << kSlotBits;
+  static constexpr unsigned kLevels = 3;
+  static constexpr unsigned kWordsPerLevel = kSlots / 64;
+
+  static constexpr unsigned level_shift(unsigned level) noexcept {
+    return kTickShift + kSlotBits * level;
+  }
+  /// Shift that identifies a level's page: entries live at `level` iff
+  /// their page bits (everything above the slot index) match the wheel's.
+  static constexpr unsigned page_shift(unsigned level) noexcept {
+    return kTickShift + kSlotBits * (level + 1);
+  }
+
+  std::vector<QueueEntry>& slot(unsigned level, unsigned index) noexcept {
+    return slots_[level * kSlots + index];
+  }
+
+  /// Files an entry into due/slot/overflow based on wheel_time_.
+  void place(QueueEntry&& entry);
+  void push_due(QueueEntry&& entry);
+  /// First occupied slot index >= from at `level`, or -1.
+  int next_occupied(unsigned level, unsigned from) const noexcept;
+  void set_bit(unsigned level, unsigned index) noexcept;
+  void clear_bit(unsigned level, unsigned index) noexcept;
+  /// Advances the wheel to the next occupied window whose start is
+  /// <= until, moving/cascading its entries. False if none qualifies.
+  bool advance(Time until);
+  /// Re-files one slot's entries against the current wheel_time_.
+  void cascade(unsigned level, unsigned index);
+  /// Called whenever wheel_time_ lands on a level-1 window boundary:
+  /// cascades every higher-level slot whose window the wheel is entering,
+  /// top level first. Keeping this invariant — a window is cascaded the
+  /// moment the wheel enters it — is what stops a busy level 0 from
+  /// starving entries parked one level up (they would otherwise fire
+  /// after later-scheduled same-window events).
+  void enter_windows();
+  /// Pulls overflow entries whose page entered the wheel's range.
+  void drain_overflow();
+  void compact() override;
+
+  Time wheel_time_ = 0;  // slot-boundary; see drained_before()
+  std::size_t stored_ = 0;
+  std::vector<QueueEntry> due_;       // (when, id) min-heap
+  std::vector<QueueEntry> overflow_;  // (when, id) min-heap, far future
+  std::vector<std::vector<QueueEntry>> slots_;  // kLevels × kSlots
+  std::array<std::uint64_t, kLevels * kWordsPerLevel> occupied_{};
+};
+
+}  // namespace ph::sim

@@ -1,33 +1,37 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
+#include <limits>
 #include <utility>
 
 namespace ph::sim {
 
-EventId Simulator::schedule(Duration delay, std::function<void()> fn) {
+Simulator::Simulator(QueueImpl impl) : impl_(impl) {
+  if (impl_ == QueueImpl::timer_wheel) {
+    queue_ = std::make_unique<TimerWheelQueue>(live_);
+  } else {
+    queue_ = std::make_unique<BinaryHeapQueue>(live_);
+  }
+}
+
+EventId Simulator::schedule(Duration delay, EventFn fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-EventId Simulator::schedule_at(Time when, std::function<void()> fn) {
+EventId Simulator::schedule_at(Time when, EventFn fn) {
   if (when < now_) when = now_;
   const EventId id = next_seq_++;
-  heap_.push_back(Entry{when, id, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  queue_->push(when, id, std::move(fn));
   live_.insert(id);
   return id;
 }
 
 bool Simulator::cancel(EventId id) {
-  if (live_.erase(id) == 0) return false;
-  maybe_compact();
+  if (!live_.erase(id)) return false;
+  queue_->note_cancelled();
   return true;
 }
 
-bool Simulator::pending(EventId id) const { return live_.contains(id); }
-
-TaskId Simulator::schedule_periodic(Duration interval,
-                                    std::function<void()> fn) {
+TaskId Simulator::schedule_periodic(Duration interval, EventFn fn) {
   const TaskId id = next_task_++;
   Periodic& task = periodic_[id];
   task.interval = interval;
@@ -57,27 +61,9 @@ void Simulator::run_periodic(TaskId id) {
   });
 }
 
-bool Simulator::settle_top() {
-  while (!heap_.empty()) {
-    if (live_.contains(heap_.front().id)) return true;
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();  // stale entry from a lazy cancel
-  }
-  return false;
-}
-
-void Simulator::maybe_compact() {
-  if (heap_.size() < 64 || heap_.size() < 4 * live_.size()) return;
-  std::erase_if(heap_, [this](const Entry& e) { return !live_.contains(e.id); });
-  std::make_heap(heap_.begin(), heap_.end(), Later{});
-}
-
 void Simulator::run_until(Time until) {
-  while (settle_top()) {
-    if (heap_.front().when > until) break;
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Entry entry = std::move(heap_.back());
-    heap_.pop_back();
+  QueueEntry entry;
+  while (queue_->pop_next(until, entry)) {
     live_.erase(entry.id);
     now_ = entry.when;
     ++executed_;
@@ -87,10 +73,8 @@ void Simulator::run_until(Time until) {
 }
 
 void Simulator::run_all() {
-  while (settle_top()) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Entry entry = std::move(heap_.back());
-    heap_.pop_back();
+  QueueEntry entry;
+  while (queue_->pop_next(std::numeric_limits<Time>::max(), entry)) {
     live_.erase(entry.id);
     now_ = entry.when;
     ++executed_;

@@ -1,40 +1,46 @@
 // The discrete-event simulation kernel.
 //
-// A Simulator owns a virtual clock and a priority queue of events. Code
-// running inside an event callback may schedule further events; the kernel
+// A Simulator owns a virtual clock and a queue of events. Code running
+// inside an event callback may schedule further events; the kernel
 // processes them in timestamp order (FIFO among equal timestamps). Events
 // can be cancelled through the handle returned by schedule(), which is how
 // periodic daemon timers and connection watchdogs are torn down.
 //
-// The queue is a binary min-heap ordered by (time, insertion sequence)
-// with lazy cancellation: cancel() only drops the id from the live set,
-// and the stale heap entry is discarded when it reaches the top. This
-// makes schedule/cancel O(log n) with much better constants than the
-// previous std::map implementation (no per-event node allocation, no
-// rebalancing). When stale entries outnumber live ones 4:1 the heap is
-// compacted so cancel-heavy workloads don't accumulate dead closures.
+// The queue is a hierarchical timer wheel (see event_queue.hpp): O(1)
+// bucket insertion for the dominant short-horizon periodic load, an
+// overflow heap for far-future timers, and a small (time, sequence)
+// ordered due-heap that preserves the exact FIFO tie-break order of the
+// previous binary heap — same seed, byte-identical run. Callbacks are
+// stored in a small-buffer-optimized EventFn directly inside the queue
+// entry, so steady-state schedule() performs zero heap allocations.
+// Cancellation stays lazy: cancel() drops the id from the live set, the
+// stale entry is discarded when reached, and entries are compacted once
+// dead ones dominate (mirroring the Medium's dead-link policy).
+//
+// The previous binary-heap queue remains available behind the QueueImpl
+// constructor knob as the reference implementation for the lockstep
+// property test and the wheel-vs-heap microbenchmarks.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
-#include <unordered_set>
+#include <memory>
 #include <utility>
-#include <vector>
 
+#include "sim/event_fn.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
 namespace ph::sim {
-
-/// Identifies a scheduled event; 0 is never a valid id.
-using EventId = std::uint64_t;
 
 /// Identifies a periodic task (schedule_periodic); 0 is never valid.
 using TaskId = std::uint64_t;
 
 class Simulator {
  public:
-  Simulator() = default;
+  enum class QueueImpl { timer_wheel, binary_heap };
+
+  explicit Simulator(QueueImpl impl = QueueImpl::timer_wheel);
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -42,10 +48,10 @@ class Simulator {
 
   /// Schedules `fn` to run `delay` after the current virtual time.
   /// Returns a handle usable with cancel().
-  EventId schedule(Duration delay, std::function<void()> fn);
+  EventId schedule(Duration delay, EventFn fn);
 
   /// Schedules at an absolute virtual time (clamped to now).
-  EventId schedule_at(Time when, std::function<void()> fn);
+  EventId schedule_at(Time when, EventFn fn);
 
   /// Removes a pending event. Returns false if it already ran or was
   /// cancelled; cancelling an invalid id is a harmless no-op.
@@ -56,7 +62,7 @@ class Simulator {
   /// other fixed-cadence housekeeping hang off this instead of hand-rolled
   /// rescheduling closures. `fn` may cancel its own task. Note run_all()
   /// never drains a live periodic task — soak drivers use run_until.
-  TaskId schedule_periodic(Duration interval, std::function<void()> fn);
+  TaskId schedule_periodic(Duration interval, EventFn fn);
 
   /// Stops a periodic task. Returns false if the id is unknown or already
   /// cancelled.
@@ -66,7 +72,7 @@ class Simulator {
   bool periodic_pending(TaskId id) const { return periodic_.contains(id); }
 
   /// True if the event is still pending.
-  bool pending(EventId id) const;
+  bool pending(EventId id) const { return live_.contains(id); }
 
   /// Runs events until the queue drains or virtual time would pass `until`.
   /// The clock is left at min(until, time of last event run); events at
@@ -83,43 +89,35 @@ class Simulator {
   /// Number of events waiting in the queue (cancelled events excluded).
   std::size_t queue_size() const noexcept { return live_.size(); }
 
+  /// Cancelled entries still occupying queue storage (lazy cancellation
+  /// garbage awaiting collection) — the `sim.queue.cancelled_live` gauge.
+  std::size_t cancelled_pending() const noexcept { return queue_->dead(); }
+  /// Entries held by the queue (live + not-yet-collected cancelled).
+  std::size_t stored_pending() const noexcept { return queue_->stored(); }
+
   /// Total events executed since construction (telemetry for benches).
   std::uint64_t events_executed() const noexcept { return executed_; }
 
- private:
-  struct Entry {
-    Time when;
-    EventId id;  // == insertion sequence, so FIFO at equal timestamps
-    std::function<void()> fn;
-  };
-  // std::push_heap builds a max-heap, so "greater" puts the earliest
-  // (when, id) on top.
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;
-    }
-  };
+  QueueImpl queue_impl() const noexcept { return impl_; }
+  /// "timer_wheel" or "binary_heap" (bench labels).
+  const char* queue_name() const noexcept { return queue_->name(); }
 
+ private:
   struct Periodic {
     Duration interval = 0;
-    std::function<void()> fn;
+    EventFn fn;
     EventId armed = 0;  // the currently scheduled occurrence
   };
 
   /// Runs one occurrence of a periodic task and re-arms it.
   void run_periodic(TaskId id);
 
-  /// Pops heap entries until the top is live; true if one exists.
-  bool settle_top();
-  /// Rebuilds the heap without cancelled entries once they dominate.
-  void maybe_compact();
-
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::vector<Entry> heap_;
-  std::unordered_set<EventId> live_;
+  QueueImpl impl_;
+  FlatIdSet live_;
+  std::unique_ptr<EventQueue> queue_;
   TaskId next_task_ = 1;
   std::map<TaskId, Periodic> periodic_;
 };

@@ -1,0 +1,382 @@
+// Property tests for the event-queue implementations.
+//
+// The timer wheel earns its keep only if it is *indistinguishable* from
+// the reference binary heap: same (when, id) pop order for every workload,
+// including same-timestamp ties, cancellations, far-future overflow
+// entries and wheel cascades. The lockstep tests drive both queues with
+// identical randomized workloads and compare every popped entry; the
+// simulator-level test does the same through the public Simulator API.
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace ph::sim {
+namespace {
+
+TEST(FlatIdSet, InsertContainsErase) {
+  FlatIdSet set;
+  EXPECT_FALSE(set.contains(1));
+  EXPECT_TRUE(set.insert(1));
+  EXPECT_FALSE(set.insert(1));  // duplicate
+  EXPECT_TRUE(set.contains(1));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.erase(1));
+  EXPECT_FALSE(set.erase(1));
+  EXPECT_FALSE(set.contains(1));
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(FlatIdSet, IdZeroIsRejectedNotCorrupting) {
+  // 0 is the empty-slot marker. erase(0) once "found" the first empty slot,
+  // shifted live entries around a fake hole and underflowed size_ — after
+  // which every insert re-grew the table (observed as multi-GB blowup when
+  // a scenario cancelled a zero-initialised, never-armed event handle).
+  FlatIdSet set;
+  EXPECT_FALSE(set.erase(0));
+  EXPECT_FALSE(set.insert(0));
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_EQ(set.size(), 0u);
+  for (EventId id = 1; id <= 100; ++id) EXPECT_TRUE(set.insert(id));
+  for (int round = 0; round < 1000; ++round) EXPECT_FALSE(set.erase(0));
+  EXPECT_EQ(set.size(), 100u);
+  for (EventId id = 1; id <= 100; ++id) EXPECT_TRUE(set.contains(id));
+}
+
+TEST(SimulatorCancel, NeverArmedHandleIsHarmless) {
+  Simulator simulator;
+  // EventId{} is the conventional "no event armed" sentinel in scenario
+  // code; cancelling it must be a no-op, repeatedly.
+  for (int round = 0; round < 1000; ++round) {
+    EXPECT_FALSE(simulator.cancel(EventId{}));
+  }
+  bool ran = false;
+  const EventId armed = simulator.schedule(Duration{10}, [&ran] { ran = true; });
+  EXPECT_FALSE(simulator.cancel(0));
+  EXPECT_TRUE(simulator.pending(armed));
+  simulator.run_all();
+  EXPECT_TRUE(ran);
+}
+
+TEST(FlatIdSet, GrowsPastInitialCapacityAndKeepsMembership) {
+  FlatIdSet set;
+  const std::size_t n = 10'000;  // forces several grows past 1024 slots
+  for (EventId id = 1; id <= n; ++id) EXPECT_TRUE(set.insert(id));
+  EXPECT_EQ(set.size(), n);
+  for (EventId id = 1; id <= n; ++id) EXPECT_TRUE(set.contains(id));
+  // Erase odd ids; evens must survive the backward-shift deletions.
+  for (EventId id = 1; id <= n; id += 2) EXPECT_TRUE(set.erase(id));
+  for (EventId id = 1; id <= n; ++id) {
+    EXPECT_EQ(set.contains(id), id % 2 == 0) << id;
+  }
+}
+
+TEST(FlatIdSet, RandomizedAgainstReference) {
+  std::mt19937_64 rng(0xF1A75E7u);
+  FlatIdSet set;
+  std::vector<bool> reference(4096, false);
+  for (int round = 0; round < 100'000; ++round) {
+    const EventId id = 1 + rng() % 4095;
+    if (rng() % 2 == 0) {
+      EXPECT_EQ(set.insert(id), !reference[id]);
+      reference[id] = true;
+    } else {
+      EXPECT_EQ(set.erase(id), static_cast<bool>(reference[id]));
+      reference[id] = false;
+    }
+  }
+  for (EventId id = 1; id < 4096; ++id) {
+    ASSERT_EQ(set.contains(id), static_cast<bool>(reference[id])) << id;
+  }
+}
+
+TEST(EventFn, InlineAndHeapCallablesBothWork) {
+  int hits = 0;
+  EventFn small([&hits] { ++hits; });
+  EXPECT_TRUE(small.is_inline());
+  small();
+  EXPECT_EQ(hits, 1);
+
+  std::array<std::uint64_t, 32> big{};  // 256 bytes: too big for the SBO
+  big[0] = 41;
+  EventFn large([&hits, big] { hits += static_cast<int>(big[0]); });
+  EXPECT_FALSE(large.is_inline());
+  large();
+  EXPECT_EQ(hits, 42);
+
+  // Moving transfers the callable (inline relocate / heap pointer steal).
+  EventFn moved_small = std::move(small);
+  EventFn moved_large = std::move(large);
+  moved_small();
+  moved_large();
+  EXPECT_EQ(hits, 84);
+}
+
+/// Drives `wheel` and `heap` with an identical workload and asserts every
+/// pop matches. Reports the number of events popped via `popped_out`
+/// (ASSERT_* needs a void-returning function).
+void run_lockstep(std::uint64_t seed, int rounds, Time max_delay,
+                  std::size_t* popped_out = nullptr) {
+  std::mt19937_64 rng(seed);
+  FlatIdSet live_wheel, live_heap;
+  TimerWheelQueue wheel(live_wheel);
+  BinaryHeapQueue heap(live_heap);
+
+  Time now = 0;
+  EventId next_id = 1;
+  std::vector<EventId> live_ids;
+  std::size_t popped = 0;
+
+  for (int round = 0; round < rounds; ++round) {
+    const int op = static_cast<int>(rng() % 100);
+    if (op < 55) {
+      // Schedule. Bias towards small delays (the real load shape) but
+      // include ties (delay 0) and far-future entries crossing levels.
+      Time delay = 0;
+      switch (rng() % 5) {
+        case 0: delay = 0; break;                            // tie with now
+        case 1: delay = rng() % 2'000; break;                // sub-slot
+        case 2: delay = rng() % 300'000; break;              // level 0/1
+        case 3: delay = rng() % 80'000'000; break;           // level 1/2
+        default: delay = rng() % (2 * max_delay); break;     // deep + overflow
+      }
+      const EventId id = next_id++;
+      live_wheel.insert(id);
+      live_heap.insert(id);
+      wheel.push(now + delay, id, EventFn([] {}));
+      heap.push(now + delay, id, EventFn([] {}));
+      live_ids.push_back(id);
+    } else if (op < 70 && !live_ids.empty()) {
+      // Cancel a random live event in both.
+      const std::size_t pick = rng() % live_ids.size();
+      const EventId id = live_ids[pick];
+      live_ids.erase(live_ids.begin() + static_cast<std::ptrdiff_t>(pick));
+      live_wheel.erase(id);
+      live_heap.erase(id);
+      wheel.note_cancelled();
+      heap.note_cancelled();
+    } else {
+      // Pop everything up to a random horizon; both queues must yield the
+      // exact same (when, id) sequence.
+      const Time until = now + rng() % (max_delay / 4 + 1);
+      QueueEntry from_wheel, from_heap;
+      while (true) {
+        const bool got_wheel = wheel.pop_next(until, from_wheel);
+        const bool got_heap = heap.pop_next(until, from_heap);
+        ASSERT_EQ(got_wheel, got_heap) << "seed " << seed;
+        if (!got_wheel) break;
+        ASSERT_EQ(from_wheel.when, from_heap.when) << "seed " << seed;
+        ASSERT_EQ(from_wheel.id, from_heap.id) << "seed " << seed;
+        ASSERT_GE(from_wheel.when, now);
+        now = from_wheel.when;  // simulator semantics: time follows pops
+        live_wheel.erase(from_wheel.id);
+        live_heap.erase(from_heap.id);
+        std::erase(live_ids, from_wheel.id);
+        ++popped;
+      }
+      now = until;
+    }
+  }
+
+  // Full drain: remaining events must come out in the same total order.
+  // The horizon must clear every delay branch above (the level-1/2 branch
+  // reaches 80 s regardless of max_delay) or cancelled stragglers linger.
+  const Time far = now + 2 * max_delay + 200'000'000;
+  QueueEntry from_wheel, from_heap;
+  while (true) {
+    const bool got_wheel = wheel.pop_next(far, from_wheel);
+    const bool got_heap = heap.pop_next(far, from_heap);
+    EXPECT_EQ(got_wheel, got_heap) << "seed " << seed;
+    if (!got_wheel || !got_heap) break;
+    EXPECT_EQ(from_wheel.when, from_heap.when) << "seed " << seed;
+    EXPECT_EQ(from_wheel.id, from_heap.id) << "seed " << seed;
+    live_wheel.erase(from_wheel.id);
+    live_heap.erase(from_heap.id);
+    ++popped;
+  }
+  EXPECT_EQ(wheel.stored(), 0u);
+  EXPECT_EQ(heap.stored(), 0u);
+  if (popped_out != nullptr) *popped_out = popped;
+}
+
+TEST(EventQueueLockstep, ShortHorizonWorkload) {
+  std::size_t popped = 0;
+  run_lockstep(0xA11CE, 20'000, 500'000, &popped);
+  EXPECT_GT(popped, 1'000u);
+}
+
+TEST(EventQueueLockstep, CascadingWorkload) {
+  // Delays up to ~160 s exercise level-1/2 cascades heavily.
+  std::size_t popped = 0;
+  run_lockstep(0xB0B, 8'000, 80'000'000, &popped);
+  EXPECT_GT(popped, 500u);
+}
+
+TEST(EventQueueLockstep, OverflowWorkload) {
+  // Delays past the wheel's 4.77 h horizon park in the overflow heap.
+  std::size_t popped = 0;
+  run_lockstep(0xCAFE, 4'000, Time{40'000'000'000}, &popped);
+  EXPECT_GT(popped, 200u);
+}
+
+TEST(EventQueueLockstep, ManySeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    run_lockstep(seed * 7919, 3'000, 10'000'000);
+  }
+}
+
+TEST(TimerWheelQueue, DrainedBeforeIsMonotonic) {
+  FlatIdSet live;
+  TimerWheelQueue wheel(live);
+  std::mt19937_64 rng(42);
+  Time now = 0;
+  EventId next_id = 1;
+  Time last_drained = wheel.drained_before();
+  for (int i = 0; i < 5'000; ++i) {
+    const EventId id = next_id++;
+    live.insert(id);
+    wheel.push(now + rng() % 1'000'000, id, EventFn([] {}));
+    if (i % 3 == 0) {
+      QueueEntry out;
+      const Time until = now + rng() % 400'000;
+      while (wheel.pop_next(until, out)) {
+        live.erase(out.id);
+        now = out.when;
+      }
+      now = until;
+      EXPECT_GE(wheel.drained_before(), last_drained);
+      last_drained = wheel.drained_before();
+    }
+  }
+}
+
+/// Regression driver for the window-boundary starvation bug: an entry
+/// parked one level up (A), a filler (B) that keeps level 0 busy right
+/// through the boundary so wheel time rolls into A's window via the
+/// level-0 path, then a later same-window entry (C) scheduled after the
+/// crossing. The buggy wheel filed C straight into level 0 and fired it
+/// before the earlier parked A; entering a window must cascade it first.
+void run_boundary_starvation(Time window) {
+  FlatIdSet live_wheel, live_heap;
+  TimerWheelQueue wheel(live_wheel);
+  BinaryHeapQueue heap(live_heap);
+  EventId next_id = 1;
+  auto push_both = [&](Time when) {
+    const EventId id = next_id++;
+    live_wheel.insert(id);
+    live_heap.insert(id);
+    wheel.push(when, id, EventFn([] {}));
+    heap.push(when, id, EventFn([] {}));
+  };
+  auto pop_both_until = [&](Time until) {
+    QueueEntry from_wheel, from_heap;
+    std::vector<std::pair<Time, EventId>> order;
+    while (true) {
+      const bool got_wheel = wheel.pop_next(until, from_wheel);
+      const bool got_heap = heap.pop_next(until, from_heap);
+      EXPECT_EQ(got_wheel, got_heap);
+      if (!got_wheel || !got_heap) break;
+      EXPECT_EQ(from_wheel.when, from_heap.when);
+      EXPECT_EQ(from_wheel.id, from_heap.id);
+      live_wheel.erase(from_wheel.id);
+      live_heap.erase(from_heap.id);
+      order.emplace_back(from_wheel.when, from_wheel.id);
+    }
+    return order;
+  };
+
+  push_both(window + 56);   // A: parks one level above level 0
+  push_both(window - 100);  // B: the last level-0 work before the boundary
+  // Firing B rolls the wheel's clock exactly onto the window boundary.
+  EXPECT_EQ(pop_both_until(window - 1).size(), 1u);
+  // C arrives after the wheel already entered A's window.
+  push_both(window + 200);  // C
+  const auto order = pop_both_until(window + 1'000'000);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0].first, window + 56) << "parked entry must fire first";
+  EXPECT_EQ(order[1].first, window + 200);
+}
+
+TEST(TimerWheelQueue, ParkedLevel1EntrySurvivesBusyBoundaryCrossing) {
+  run_boundary_starvation(Time{1} << 18);  // first level-1 window boundary
+}
+
+TEST(TimerWheelQueue, ParkedLevel2EntrySurvivesBusyBoundaryCrossing) {
+  run_boundary_starvation(Time{1} << 26);  // first level-2 window boundary
+}
+
+TEST(TimerWheelQueue, OverflowDrainsIntoWheel) {
+  FlatIdSet live;
+  TimerWheelQueue wheel(live);
+  const Time horizon = Time{1} << 34;  // wheel span
+  live.insert(1);
+  wheel.push(horizon + 5'000'000, 1, EventFn([] {}));
+  EXPECT_EQ(wheel.overflow_size(), 1u);
+  QueueEntry out;
+  ASSERT_TRUE(wheel.pop_next(horizon + 10'000'000, out));
+  EXPECT_EQ(out.id, 1u);
+  EXPECT_EQ(out.when, horizon + 5'000'000);
+  EXPECT_EQ(wheel.overflow_size(), 0u);
+}
+
+TEST(EventQueue, CancelledEntriesCompactOnceTheyDominate) {
+  FlatIdSet live;
+  TimerWheelQueue wheel(live);
+  // 40 live + 40 cancelled: 40 dead >= 32 and 2*40 >= 80 stored, so the
+  // policy (mirroring Medium::note_dead_link) must have compacted.
+  for (EventId id = 1; id <= 80; ++id) {
+    live.insert(id);
+    wheel.push(1'000 + id, id, EventFn([] {}));
+  }
+  for (EventId id = 1; id <= 40; ++id) {
+    live.erase(id);
+    wheel.note_cancelled();
+  }
+  EXPECT_EQ(wheel.dead(), 0u) << "compaction should have run";
+  EXPECT_EQ(wheel.stored(), 40u);
+  QueueEntry out;
+  std::size_t fired = 0;
+  while (wheel.pop_next(Time{10'000}, out)) {
+    EXPECT_GT(out.id, 40u);
+    ++fired;
+  }
+  EXPECT_EQ(fired, 40u);
+}
+
+TEST(SimulatorLockstep, BothQueueImplsExecuteIdentically) {
+  // Same randomized scenario on both queue implementations, recording the
+  // execution order through the public API. Periodic tasks, cancellations
+  // and nested scheduling included.
+  auto run = [](Simulator::QueueImpl impl) {
+    std::vector<std::pair<Time, int>> order;
+    Simulator simulator(impl);
+    std::mt19937_64 rng(0xD15EA5E);
+    int tag = 0;
+    for (int i = 0; i < 500; ++i) {
+      const Time delay = rng() % 3'000'000;
+      const int id = tag++;
+      const EventId ev =
+          simulator.schedule(Duration{delay}, [&order, &simulator, id] {
+            order.emplace_back(simulator.now(), id);
+          });
+      if (i % 7 == 0) simulator.cancel(ev);
+    }
+    simulator.schedule_periodic(Duration{50'000}, [&order, &simulator]() {
+      order.emplace_back(simulator.now(), -1);
+    });
+    simulator.run_until(Time{2'500'000});
+    return order;
+  };
+  const auto wheel_order = run(Simulator::QueueImpl::timer_wheel);
+  const auto heap_order = run(Simulator::QueueImpl::binary_heap);
+  ASSERT_EQ(wheel_order.size(), heap_order.size());
+  EXPECT_EQ(wheel_order, heap_order);
+}
+
+}  // namespace
+}  // namespace ph::sim
