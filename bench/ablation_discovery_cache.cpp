@@ -33,7 +33,7 @@ double member_list_without_cache(bench::CommunityWorld& world) {
   PH_CHECK(plugin != nullptr);
   bool scanned = false;
   const sim::Time start = world.simulator.now();
-  plugin->adapter().start_inquiry([&](std::vector<net::NodeId>) {
+  plugin->endpoint().start_inquiry([&](std::vector<net::NodeId>) {
     scanned = true;
   });
   world.time_until([&] { return scanned; });

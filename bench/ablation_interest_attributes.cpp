@@ -12,6 +12,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
 #include "community/app.hpp"
 #include "util/check.hpp"
 
@@ -58,7 +60,7 @@ Sample run(const net::TechProfile& radio_base, bool advertise,
   add("self", {0, 0});
   add("alice", {3, 0});
   add("bob", {0, 3});
-  for (auto& device : devices) device->stack->daemon().start();
+  for (auto& device : devices) (void)device->stack->daemon().start();
 
   auto& self = *devices.front();
   const sim::Time start = simulator.now();

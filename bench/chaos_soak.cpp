@@ -34,6 +34,8 @@
 #include <utility>
 #include <vector>
 
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
 #include "eval/scenarios.hpp"
 #include "fault/plane.hpp"
 #include "fault/schedule.hpp"

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
 #include "community/app.hpp"
 #include "util/check.hpp"
 

@@ -11,6 +11,8 @@
 // aggregated per-layer counters from every sweep point at exit.
 #include <cstdio>
 
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
 #include "bench/community_fixture.hpp"
 #include "obs/export.hpp"
 
@@ -50,7 +52,7 @@ double formation_seconds(const net::TechProfile& radio, int neighbours,
     const double angle = 2.0 * 3.14159265 * i / neighbours;
     add(names[i], {4.0 * std::cos(angle), 4.0 * std::sin(angle)});
   }
-  for (auto& device : devices) device->stack->daemon().start();
+  for (auto& device : devices) (void)device->stack->daemon().start();
 
   auto& centre = *devices.front();
   const sim::Time start = simulator.now();

@@ -39,6 +39,8 @@
 #include <string>
 #include <vector>
 
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
 #include "community/app.hpp"
 #include "obs/bench_report.hpp"
 #include "obs/export.hpp"

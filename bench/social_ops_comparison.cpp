@@ -11,6 +11,8 @@
 // which makes the architectural gap starker than Table 8's stopwatch view.
 #include <cstdio>
 
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
 #include "community/app.hpp"
 #include "eval/scenarios.hpp"
 #include "sns/browser.hpp"

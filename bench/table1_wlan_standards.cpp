@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/simulator.hpp"
 #include "net/medium.hpp"
 #include "util/check.hpp"
 

@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
 #include "peerhood/stack.hpp"
 #include "util/check.hpp"
 
@@ -138,7 +140,7 @@ double active_monitoring_s() {
         }
       });
   const sim::Time start = world.simulator.now();
-  world.b->set_radio_powered(net::Technology::bluetooth, false);
+  (void)world.b->set_radio_powered(net::Technology::bluetooth, false);
   world.time_until([&] { return gone; });
   return sim::to_seconds(world.simulator.now() - start);
 }
@@ -168,7 +170,7 @@ double seamless_connectivity_s() {
   const int handovers_before = client.handover_count();
   const net::Technology carrying = client.current_technology();
   const sim::Time start = world.simulator.now();
-  world.a->set_radio_powered(carrying, false);  // break the carrying link
+  (void)world.a->set_radio_powered(carrying, false);  // break the carrying link
   world.time_until([&] { return client.handover_count() > handovers_before; });
   return sim::to_seconds(world.simulator.now() - start);
 }

@@ -22,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
 #include "eval/scenarios.hpp"
 #include "net/tech.hpp"
 #include "obs/critical_path.hpp"

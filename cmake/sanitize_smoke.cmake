@@ -16,7 +16,8 @@ if(NOT DEFINED SOURCE_DIR)
 endif()
 
 set(BUILD_DIR ${SOURCE_DIR}/build-asan)
-set(SMOKE_TARGETS util_test sim_test sim_alloc_test net_test obs_test)
+set(SMOKE_TARGETS util_test sim_test sim_alloc_test net_test obs_test
+    transport_test)
 
 function(run_checked label)
   execute_process(COMMAND ${ARGN} RESULT_VARIABLE result

@@ -13,6 +13,8 @@
 #include <memory>
 #include <set>
 
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
 #include "peerhood/stack.hpp"
 #include "util/check.hpp"
 

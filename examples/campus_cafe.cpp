@@ -12,6 +12,8 @@
 #include <memory>
 #include <vector>
 
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
 #include "community/app.hpp"
 #include "util/check.hpp"
 

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
 #include "community/shell.hpp"
 #include "util/check.hpp"
 

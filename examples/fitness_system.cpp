@@ -13,6 +13,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
 #include "peerhood/stack.hpp"
 #include "util/check.hpp"
 

@@ -16,6 +16,8 @@
 #include <set>
 #include <vector>
 
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
 #include "peerhood/stack.hpp"
 #include "util/check.hpp"
 

@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
 #include "community/app.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"

@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
 #include "community/app.hpp"
 #include "util/check.hpp"
 

@@ -15,7 +15,7 @@ CommunityApp::CommunityApp(peerhood::Stack& stack, AppConfig config)
     PH_LOG(error, "app") << "server failed to start: "
                          << started.error().to_string();
   }
-  obs::Registry& registry = stack_.medium().registry();
+  obs::Registry& registry = stack_.transport().registry();
   registry_ = &registry;
   metric_prefix_ =
       "community.app.d" + std::to_string(stack_.daemon().self()) + ".";
@@ -46,10 +46,10 @@ Result<void> CommunityApp::login(const std::string& member_id,
   client_ = std::make_unique<CommunityClient>(stack_.library(), member_id,
                                               config_.client);
   groups_ = std::make_unique<GroupEngine>(
-      member_id, dictionary_, &stack_.medium().registry(),
+      member_id, dictionary_, &stack_.transport().registry(),
       "community.groups.d" + std::to_string(stack_.daemon().self()) + ".");
-  groups_->set_trace(&stack_.medium().trace(), stack_.daemon().self(),
-                     [this] { return stack_.medium().simulator().now(); });
+  groups_->set_trace(&stack_.transport().trace(), stack_.daemon().self(),
+                     [this] { return stack_.transport().scheduler().now(); });
   groups_->set_local_interests((*account)->profile().interests);
   device_members_.clear();
 
@@ -166,7 +166,7 @@ void CommunityApp::send_message(const std::string& receiver,
         if (result && logged_in() && active()->member_id() == sender) {
           active()->record_sent(
               {receiver, sender, subject, body,
-               stack_.daemon().simulator().now()});
+               stack_.daemon().scheduler().now()});
         }
         done(std::move(result));
       });
@@ -280,7 +280,7 @@ void CommunityApp::schedule_refresh() {
   if (config_.peer_refresh_interval == 0) return;
   const std::uint64_t generation = refresh_generation_;
   std::weak_ptr<char> alive = alive_token_;
-  stack_.daemon().simulator().schedule(
+  stack_.daemon().scheduler().schedule(
       config_.peer_refresh_interval, [this, generation, alive] {
         if (alive.expired()) return;
         if (generation != refresh_generation_ || !logged_in()) return;

@@ -14,8 +14,8 @@ CommunityClient::CommunityClient(peerhood::PeerHood& peerhood,
     : peerhood_(peerhood),
       self_member_(std::move(self_member)),
       config_(std::move(config)) {
-  obs::Registry& registry = peerhood_.daemon().medium().registry();
-  trace_ = &peerhood_.daemon().medium().trace();
+  obs::Registry& registry = peerhood_.daemon().transport().registry();
+  trace_ = &peerhood_.daemon().transport().trace();
   registry_ = &registry;
   metric_prefix_ =
       "community.client.d" + std::to_string(peerhood_.self()) + ".";
@@ -62,7 +62,7 @@ void CommunityClient::call_with_deadline(
     // The call will sit in the admission queue: make that wait a span so
     // critical-path attribution can separate queueing from the radio.
     call.queue_span = trace_->begin_span(
-        "community.queue.wait", peerhood_.daemon().simulator().now(),
+        "community.queue.wait", peerhood_.daemon().scheduler().now(),
         peerhood_.self(), "queue");
   }
   queue_.push_back(std::move(call));
@@ -74,7 +74,7 @@ void CommunityClient::drain_queue() {
     QueuedCall next = std::move(queue_.front());
     queue_.erase(queue_.begin());
     ++active_calls_;
-    trace_->end_span(next.queue_span, peerhood_.daemon().simulator().now());
+    trace_->end_span(next.queue_span, peerhood_.daemon().scheduler().now());
     // Completion (whatever the path) releases the slot and drains again.
     // Transient radio_busy refusals (the peer's piconet is momentarily
     // full) re-queue with a randomized backoff instead of failing the
@@ -96,9 +96,9 @@ void CommunityClient::drain_queue() {
       }
       --active_calls_;
       if (!r.ok() && r.error().code == Errc::radio_busy && busy_retries > 0) {
-        auto& simulator = peerhood_.daemon().simulator();
+        auto& simulator = peerhood_.daemon().scheduler();
         const sim::Duration backoff =
-            sim::seconds(peerhood_.daemon().medium().rng().uniform(0.2, 0.8));
+            sim::seconds(peerhood_.daemon().transport().rng().uniform(0.2, 0.8));
         // Randomized idle before the retry: a closed backoff span (the
         // end is already known) feeds critical-path attribution.
         const obs::SpanId wait = trace_->begin_span(
@@ -132,7 +132,7 @@ void CommunityClient::start_call(QueuedCall call) {
       call.timeout > 0 ? call.timeout : config_.rpc_timeout;
   ResponseCallback done = std::move(call.done);
   c_rpcs_sent_->inc();
-  const sim::Time rpc_start = peerhood_.daemon().simulator().now();
+  const sim::Time rpc_start = peerhood_.daemon().scheduler().now();
   const obs::SpanId span =
       trace_->begin_span("community.rpc", rpc_start, peerhood_.self(),
                          std::string(proto::to_string(request.op)));
@@ -165,7 +165,7 @@ void CommunityClient::start_call(QueuedCall call) {
         auto state = std::make_shared<CallState>();
         state->connection = *connected;
         state->done = std::move(done);
-        auto& simulator = peerhood_.daemon().simulator();
+        auto& simulator = peerhood_.daemon().scheduler();
         state->timeout =
             simulator.schedule(call_timeout, [this, alive, state, span,
                                               rpc_start] {
@@ -184,7 +184,7 @@ void CommunityClient::start_call(QueuedCall call) {
           auto response = proto::decode_response(data);
           state->connection.close();
           if (alive.expired()) return;
-          peerhood_.daemon().simulator().cancel(state->timeout);
+          peerhood_.daemon().scheduler().cancel(state->timeout);
           finish_rpc(span, rpc_start);
           if (!response) {
             c_rpcs_failed_->inc();
@@ -198,7 +198,7 @@ void CommunityClient::start_call(QueuedCall call) {
           if (state->finished) return;
           state->finished = true;
           if (alive.expired()) return;
-          peerhood_.daemon().simulator().cancel(state->timeout);
+          peerhood_.daemon().scheduler().cancel(state->timeout);
           c_rpcs_failed_->inc();
           finish_rpc(span, rpc_start);
           state->done(Error{Errc::connection_lost, reason.message});
@@ -208,7 +208,7 @@ void CommunityClient::start_call(QueuedCall call) {
 }
 
 void CommunityClient::finish_rpc(obs::SpanId span, sim::Time start) {
-  const sim::Time now = peerhood_.daemon().simulator().now();
+  const sim::Time now = peerhood_.daemon().scheduler().now();
   trace_->end_span(span, now);
   h_rpc_us_->observe(static_cast<double>(now - start));
 }
@@ -502,7 +502,7 @@ void CommunityClient::fetch_content_chunked(
             if (state->finished) return;
             state->finished = true;
             if (!alive.expired()) {
-              peerhood_.daemon().simulator().cancel(state->timeout);
+              peerhood_.daemon().scheduler().cancel(state->timeout);
             }
             state->connection.close();
             invoke_done();
@@ -517,7 +517,7 @@ void CommunityClient::fetch_content_chunked(
             request.argument = name;
             request.offset = state->data.size();
             request.length = chunk_size;
-            auto& simulator = peerhood_.daemon().simulator();
+            auto& simulator = peerhood_.daemon().scheduler();
             simulator.cancel(state->timeout);
             // The chunk may be retransmitted across a handover; give it the
             // session's resume window on top of the RPC budget.

@@ -19,9 +19,9 @@ CommunityServer::CommunityServer(peerhood::PeerHood& peerhood,
                                  ProfileStore& store,
                                  const SemanticDictionary& dictionary)
     : peerhood_(peerhood), store_(store), dictionary_(dictionary) {
-  obs::Registry& registry = peerhood_.daemon().medium().registry();
+  obs::Registry& registry = peerhood_.daemon().transport().registry();
   registry_ = &registry;
-  trace_ = &peerhood_.daemon().medium().trace();
+  trace_ = &peerhood_.daemon().transport().trace();
   metric_prefix_ =
       "community.server.d" + std::to_string(peerhood_.self()) + ".";
   const std::string& prefix = metric_prefix_;
@@ -67,13 +67,13 @@ void CommunityServer::on_accept(peerhood::Connection connection) {
     // Receive-side span, parented under the *client's* RPC span via the
     // trace_parent the request carried across the radio (falls back to
     // the delivering frame's flight span): one tree, two devices.
-    const sim::Time now = peerhood_.daemon().simulator().now();
+    const sim::Time now = peerhood_.daemon().scheduler().now();
     const obs::SpanId span = trace_->begin_span_under(
         request->trace_parent, "community.server.handle", now,
         peerhood_.self(), std::string(proto::to_string(request->op)));
     obs::Trace::Scope handling(*trace_, span);  // parents the response send
     holder->send(proto::encode(handle(*request)));
-    trace_->end_span(span, peerhood_.daemon().simulator().now());
+    trace_->end_span(span, peerhood_.daemon().scheduler().now());
   });
   holder->on_close([holder](const Error&) {
     // Dropping the captured shared_ptr would destroy the lambda that holds
@@ -84,7 +84,7 @@ void CommunityServer::on_accept(peerhood::Connection connection) {
 proto::Response CommunityServer::handle(const proto::Request& request) {
   c_requests_handled_->inc();
   Account* account = active();
-  const sim::Time now = peerhood_.daemon().simulator().now();
+  const sim::Time now = peerhood_.daemon().scheduler().now();
 
   switch (request.op) {
     case proto::Opcode::ps_get_online_member_list: {

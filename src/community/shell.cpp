@@ -35,7 +35,7 @@ Shell::Shell(CommunityApp& app, sim::Duration op_timeout)
     : app_(app), op_timeout_(op_timeout) {}
 
 bool Shell::pump(const bool& done) {
-  auto& simulator = app_.stack().daemon().simulator();
+  auto& simulator = app_.stack().daemon().scheduler();
   const sim::Time deadline = simulator.now() + op_timeout_;
   while (!done && simulator.now() < deadline) {
     simulator.run_for(sim::milliseconds(50));

@@ -34,7 +34,7 @@ namespace ph::community {
 
 class Shell {
  public:
-  /// Operations pump `app.stack().daemon().simulator()`; `op_timeout`
+  /// Operations pump `app.stack().daemon().scheduler()`; `op_timeout`
   /// bounds how long one command may advance virtual time.
   explicit Shell(CommunityApp& app, sim::Duration op_timeout = sim::seconds(30));
 

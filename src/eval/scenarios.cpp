@@ -1,3 +1,4 @@
+#include "net/medium.hpp"
 #include "eval/scenarios.hpp"
 
 #include "util/check.hpp"

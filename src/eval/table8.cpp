@@ -1,3 +1,5 @@
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
 #include "eval/table8.hpp"
 
 #include <memory>
@@ -135,7 +137,7 @@ Table8Cell run_peerhood_column(std::uint64_t seed, PeerHoodUserModel user,
   const net::NodeId self_node = self.stack->daemon().self();
   // All daemons start together at t=0 — the cold-start the search task
   // measures.
-  for (ScenarioDevice& device : devices) device.stack->daemon().start();
+  for (ScenarioDevice& device : devices) (void)device.stack->daemon().start();
 
   Table8Cell cell;
   cell.network_type = "Social Networking on top of PeerHood";

@@ -1,3 +1,4 @@
+#include "net/medium.hpp"
 #include "fault/plane.hpp"
 
 #include <algorithm>

@@ -15,8 +15,8 @@ std::uint64_t Connection::session_id() const noexcept {
 }
 
 net::Technology Connection::current_technology() const noexcept {
-  return state_ && state_->link.valid() ? state_->link.technology()
-                                        : net::Technology::bluetooth;
+  return state_ && state_->channel.valid() ? state_->channel.technology()
+                                           : net::Technology::bluetooth;
 }
 
 int Connection::handover_count() const noexcept {

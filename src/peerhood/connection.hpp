@@ -6,11 +6,11 @@
 // for that breaking connection, maintaining the connectivity."
 //
 // A Connection is a message-oriented, ordered, exactly-once session between
-// two devices, layered over per-technology net::Links:
+// two devices, layered over per-technology transport::Channels:
 //
 //   * every payload carries a sequence number and is buffered until the
 //     peer acknowledges it;
-//   * when the underlying link breaks (peer walked out of Bluetooth range)
+//   * when the underlying channel breaks (peer walked out of Bluetooth range)
 //     the *initiating* side hunts for an alternative technology, reconnects
 //     to the same service port and RESUMEs the session — both sides then
 //     retransmit whatever the other has not acknowledged;
@@ -74,7 +74,7 @@ class Connection {
 
   DeviceId remote_device() const noexcept;
   std::uint64_t session_id() const noexcept;
-  /// Technology of the link currently carrying the session.
+  /// Technology of the channel currently carrying the session.
   net::Technology current_technology() const noexcept;
   /// Times the session has moved to a different link (reactive + proactive).
   int handover_count() const noexcept;

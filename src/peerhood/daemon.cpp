@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "proto/daemon.hpp"
+#include "transport/sim_transport.hpp"
 #include "util/log.hpp"
 
 namespace ph::peerhood {
@@ -20,16 +21,16 @@ ServiceInfo from_wire(const proto::ServiceInfoData& data) {
 
 }  // namespace
 
-Daemon::Daemon(net::Medium& medium, DeviceId self, std::string device_name,
-               DaemonConfig config)
-    : medium_(medium),
-      simulator_(medium.simulator()),
+Daemon::Daemon(transport::Transport& transport, DeviceId self,
+               std::string device_name, DaemonConfig config)
+    : transport_(transport),
+      scheduler_(transport.scheduler()),
       self_(self),
       device_name_(std::move(device_name)),
       config_(config),
-      jitter_rng_(medium.rng().fork()) {
-  obs::Registry& registry = medium_.registry();
-  trace_ = &medium_.trace();
+      jitter_rng_(transport.rng().fork()) {
+  obs::Registry& registry = transport_.registry();
+  trace_ = &transport_.trace();
   metric_prefix_ = "peerhood.daemon.d" + std::to_string(self_) + ".";
   const std::string& prefix = metric_prefix_;
   c_inquiries_started_ = &registry.counter(prefix + "inquiries_started");
@@ -47,8 +48,19 @@ Daemon::Daemon(net::Medium& medium, DeviceId self, std::string device_name,
   h_discovery_ = &registry.histogram(prefix + "discovery_us");
 }
 
+Daemon::Daemon(std::unique_ptr<transport::Transport> owned, DeviceId self,
+               std::string device_name, DaemonConfig config)
+    : Daemon(*owned, self, std::move(device_name), config) {
+  owned_transport_ = std::move(owned);
+}
+
+Daemon::Daemon(net::Medium& medium, DeviceId self, std::string device_name,
+               DaemonConfig config)
+    : Daemon(std::make_unique<transport::SimTransport>(medium), self,
+             std::move(device_name), config) {}
+
 obs::Snapshot Daemon::stats() const {
-  return medium_.registry().snapshot(metric_prefix_);
+  return transport_.registry().snapshot(metric_prefix_);
 }
 
 std::uint32_t Daemon::allocate_token() {
@@ -81,11 +93,19 @@ sim::Backoff Daemon::retry_backoff(sim::Duration base) const {
 
 Daemon::~Daemon() { stop(); }
 
-void Daemon::add_plugin(std::unique_ptr<NetworkPlugin> plugin) {
-  assert(plugin != nullptr);
-  assert(plugin->adapter().node() == self_ && "plugin radio must be local");
+Result<void> Daemon::add_plugin(std::unique_ptr<NetworkPlugin> plugin) {
+  if (plugin == nullptr) {
+    return Error{Errc::invalid_argument, "null plugin"};
+  }
+  if (plugin->endpoint().device() != self_) {
+    return Error{Errc::invalid_argument,
+                 "plugin endpoint belongs to device " +
+                     std::to_string(plugin->endpoint().device()) +
+                     ", daemon runs on " + std::to_string(self_)};
+  }
   bind_control_port(*plugin);
   plugins_.push_back(std::move(plugin));
+  return ok();
 }
 
 NetworkPlugin* Daemon::plugin_for(net::Technology tech) {
@@ -96,14 +116,17 @@ NetworkPlugin* Daemon::plugin_for(net::Technology tech) {
 }
 
 void Daemon::bind_control_port(NetworkPlugin& plugin) {
-  plugin.adapter().bind(net::kDaemonPort,
-                        [this, &plugin](DeviceId src, BytesView payload) {
-                          on_daemon_datagram(plugin, src, payload);
-                        });
+  plugin.endpoint().bind(net::kDaemonPort,
+                         [this, &plugin](DeviceId src, BytesView payload) {
+                           on_daemon_datagram(plugin, src, payload);
+                         });
 }
 
-void Daemon::start() {
-  if (running_) return;
+Result<void> Daemon::start() {
+  if (running_) return ok();
+  if (plugins_.empty()) {
+    return Error{Errc::state_error, "daemon has no network plugins"};
+  }
   running_ = true;
   ++generation_;
   PH_LOG(info, "phd") << device_name_ << ": daemon started, "
@@ -113,6 +136,7 @@ void Daemon::start() {
     run_inquiry(*plugin);
   }
   schedule_ping_round();
+  return ok();
 }
 
 void Daemon::stop() {
@@ -123,7 +147,7 @@ void Daemon::stop() {
   pending_pings_.clear();
 }
 
-void Daemon::restart() {
+Result<void> Daemon::restart() {
   stop();
   // Cold boot: the table is RAM-only in the real PHD and does not survive
   // a device blackout. Announced neighbours disappear with cause blackout
@@ -140,7 +164,7 @@ void Daemon::restart() {
   }
   PH_LOG(info, "phd") << device_name_ << ": daemon cold-restarted, "
                       << wiped.size() << " neighbour(s) wiped";
-  start();
+  return start();
 }
 
 Result<void> Daemon::register_service(ServiceInfo service) {
@@ -248,7 +272,7 @@ void Daemon::trigger_discovery() {
 
 void Daemon::schedule_inquiry(NetworkPlugin& plugin, sim::Duration delay) {
   const std::uint64_t gen = generation_;
-  simulator_.schedule(delay, [this, gen, &plugin] {
+  scheduler_.schedule(delay, [this, gen, &plugin] {
     if (!running_ || gen != generation_) return;
     run_inquiry(plugin);
   });
@@ -259,21 +283,21 @@ void Daemon::run_inquiry(NetworkPlugin& plugin) {
   const std::uint64_t gen = generation_;
   PH_LOG(debug, "phd") << device_name_ << ": inquiry on " << plugin.name();
   const obs::SpanId span = trace_->begin_span("peerhood.inquiry",
-                                              simulator_.now(), self_,
+                                              scheduler_.now(), self_,
                                               "inquiry");
-  const sim::Time inquiry_start = simulator_.now();
+  const sim::Time inquiry_start = scheduler_.now();
   obs::Trace::Scope scope(*trace_, span);  // parents the net.inquiry span
-  plugin.adapter().start_inquiry(
+  plugin.endpoint().start_inquiry(
       [this, gen, span, inquiry_start, &plugin](std::vector<DeviceId> found) {
         h_discovery_->observe(
-            static_cast<double>(simulator_.now() - inquiry_start));
+            static_cast<double>(scheduler_.now() - inquiry_start));
         {
           // Service queries fired off the results are causally part of
           // this discovery round.
           obs::Trace::Scope scope(*trace_, span);
           handle_inquiry_result(plugin, std::move(found));
         }
-        trace_->end_span(span, simulator_.now());
+        trace_->end_span(span, scheduler_.now());
         if (running_ && gen == generation_) {
           schedule_inquiry(plugin, config_.inquiry_interval);
         }
@@ -287,7 +311,7 @@ void Daemon::handle_inquiry_result(NetworkPlugin& plugin,
   for (DeviceId id : found) {
     Neighbour& neighbour = neighbours_[id];
     neighbour.info.id = id;
-    neighbour.info.last_seen = simulator_.now();
+    neighbour.info.last_seen = scheduler_.now();
     neighbour.missed_pings = 0;
     if (!neighbour.info.has_technology(tech)) {
       neighbour.info.technologies.push_back(tech);
@@ -314,7 +338,7 @@ void Daemon::send_service_query(DeviceId target, net::Technology tech,
   const std::uint32_t token = allocate_token();
   c_service_queries_->inc();
   const obs::SpanId span = trace_->begin_span(
-      "peerhood.service_query", simulator_.now(), self_, "service_query");
+      "peerhood.service_query", scheduler_.now(), self_, "service_query");
   proto::DaemonMessage query;
   query.op = proto::DaemonOp::service_query;
   query.token = token;
@@ -322,8 +346,8 @@ void Daemon::send_service_query(DeviceId target, net::Technology tech,
   query.device_name = device_name_;
   {
     obs::Trace::Scope scope(*trace_, span);  // parents the query datagram
-    plugin->adapter().send_datagram(target, net::kDaemonPort,
-                                    proto::encode(query));
+    plugin->endpoint().send_datagram(target, net::kDaemonPort,
+                                     proto::encode(query));
   }
   // High-latency technologies (GPRS routes every frame through the
   // operator gateway) need a longer reply window than the configured
@@ -344,12 +368,12 @@ void Daemon::send_service_query(DeviceId target, net::Technology tech,
   pending.attempts_left = attempts_left - 1;
   pending.span = span;
   pending.timeout_event =
-      simulator_.schedule(timeout, [this, token] {
+      scheduler_.schedule(timeout, [this, token] {
         auto it = pending_queries_.find(token);
         if (it == pending_queries_.end()) return;  // answered
         const PendingQuery timed_out = it->second;
         pending_queries_.erase(it);
-        trace_->end_span(timed_out.span, simulator_.now());
+        trace_->end_span(timed_out.span, scheduler_.now());
         if (timed_out.attempts_left > 0) {
           // Chain the retry under the attempt that timed out, so the
           // whole retry ladder reads as one tree in the trace.
@@ -374,7 +398,7 @@ void Daemon::on_daemon_datagram(NetworkPlugin& plugin, DeviceId src,
   // the message header (falls back to the datagram flight span the medium
   // pushed around this handler), so both devices share one tree.
   const obs::SpanId handle_span = trace_->begin_span_under(
-      message.trace_parent, "peerhood.daemon.handle", simulator_.now(), self_,
+      message.trace_parent, "peerhood.daemon.handle", scheduler_.now(), self_,
       std::string(proto::to_string(message.op)));
   obs::Trace::Scope handling(*trace_, handle_span);
   switch (message.op) {
@@ -387,7 +411,8 @@ void Daemon::on_daemon_datagram(NetworkPlugin& plugin, DeviceId src,
       for (const auto& [name, service] : local_services_) {
         reply.services.push_back(to_wire(service));
       }
-      plugin.adapter().send_datagram(src, net::kDaemonPort, proto::encode(reply));
+      plugin.endpoint().send_datagram(src, net::kDaemonPort,
+                                      proto::encode(reply));
       break;
     }
     case proto::DaemonOp::service_reply: {
@@ -398,8 +423,8 @@ void Daemon::on_daemon_datagram(NetworkPlugin& plugin, DeviceId src,
       }
       auto pending = pending_queries_.find(message.token);
       if (pending == pending_queries_.end()) break;  // late duplicate
-      simulator_.cancel(pending->second.timeout_event);
-      trace_->end_span(pending->second.span, simulator_.now());
+      scheduler_.cancel(pending->second.timeout_event);
+      trace_->end_span(pending->second.span, scheduler_.now());
       pending_queries_.erase(pending);
       c_service_replies_->inc();
       apply_service_reply(plugin, src, message);
@@ -411,7 +436,8 @@ void Daemon::on_daemon_datagram(NetworkPlugin& plugin, DeviceId src,
       pong.token = message.token;
       pong.trace_parent = handle_span;
       pong.device_name = device_name_;
-      plugin.adapter().send_datagram(src, net::kDaemonPort, proto::encode(pong));
+      plugin.endpoint().send_datagram(src, net::kDaemonPort,
+                                      proto::encode(pong));
       break;
     }
     case proto::DaemonOp::pong: {
@@ -427,12 +453,12 @@ void Daemon::on_daemon_datagram(NetworkPlugin& plugin, DeviceId src,
       auto it = neighbours_.find(src);
       if (it != neighbours_.end()) {
         it->second.missed_pings = 0;
-        it->second.info.last_seen = simulator_.now();
+        it->second.info.last_seen = scheduler_.now();
       }
       break;
     }
   }
-  trace_->end_span(handle_span, simulator_.now());
+  trace_->end_span(handle_span, scheduler_.now());
 }
 
 void Daemon::apply_service_reply(NetworkPlugin& plugin, DeviceId src,
@@ -440,7 +466,7 @@ void Daemon::apply_service_reply(NetworkPlugin& plugin, DeviceId src,
   Neighbour& neighbour = neighbours_[src];
   neighbour.info.id = src;
   neighbour.info.name = message.device_name;
-  neighbour.info.last_seen = simulator_.now();
+  neighbour.info.last_seen = scheduler_.now();
   if (!neighbour.info.has_technology(plugin.technology())) {
     neighbour.info.technologies.push_back(plugin.technology());
   }
@@ -469,14 +495,14 @@ void Daemon::announce_services() {
   const Bytes payload = proto::encode(announce);
   for (auto& plugin : plugins_) {
     if (!plugin->profile().supports_broadcast) continue;
-    plugin->adapter().broadcast_datagram(net::kDaemonPort, payload);
+    plugin->endpoint().broadcast_datagram(net::kDaemonPort, payload);
     c_announcements_sent_->inc();
   }
 }
 
 void Daemon::schedule_ping_round() {
   const std::uint64_t gen = generation_;
-  simulator_.schedule(config_.ping_interval, [this, gen] {
+  scheduler_.schedule(config_.ping_interval, [this, gen] {
     if (!running_ || gen != generation_) return;
     run_ping_round();
     schedule_ping_round();
@@ -515,7 +541,7 @@ bool Daemon::send_ping(DeviceId id, int attempt) {
   double best_signal = 0.0;
   for (auto& plugin : plugins_) {
     if (!it->second.info.has_technology(plugin->technology())) continue;
-    const double s = plugin->adapter().signal_to(id);
+    const double s = plugin->endpoint().signal_to(id);
     if (s > best_signal) {
       best_signal = s;
       best = plugin.get();
@@ -529,7 +555,7 @@ bool Daemon::send_ping(DeviceId id, int attempt) {
   ping.op = proto::DaemonOp::ping;
   ping.token = token;
   ping.device_name = device_name_;
-  best->adapter().send_datagram(id, net::kDaemonPort, proto::encode(ping));
+  best->endpoint().send_datagram(id, net::kDaemonPort, proto::encode(ping));
   schedule_ping_retry(id, token, attempt);
   return true;
 }
@@ -548,10 +574,10 @@ void Daemon::schedule_ping_retry(DeviceId id, std::uint32_t token,
     // A genuine retry wait (attempt 0 is just the normal reply window):
     // make the idle visible to critical-path attribution.
     const obs::SpanId wait = trace_->begin_span(
-        "peerhood.backoff.wait", simulator_.now(), self_, "backoff");
-    trace_->end_span(wait, simulator_.now() + delay);
+        "peerhood.backoff.wait", scheduler_.now(), self_, "backoff");
+    trace_->end_span(wait, scheduler_.now() + delay);
   }
-  simulator_.schedule(delay, [this, gen, id, token, attempt] {
+  scheduler_.schedule(delay, [this, gen, id, token, attempt] {
     if (!running_ || gen != generation_) return;
     auto pending = pending_pings_.find(id);
     // Answered, evicted, or superseded by the next round meanwhile.
@@ -588,7 +614,7 @@ void Daemon::announce_if_ready(Neighbour& neighbour) {
 }
 
 void Daemon::expire_stale_entries() {
-  const sim::Time now = simulator_.now();
+  const sim::Time now = scheduler_.now();
   std::vector<DeviceId> stale;
   for (const auto& [id, neighbour] : neighbours_) {
     if (neighbour.info.last_seen + config_.entry_ttl < now) stale.push_back(id);
@@ -597,7 +623,7 @@ void Daemon::expire_stale_entries() {
 }
 
 void Daemon::refresh_table_gauges() {
-  const sim::Time now = simulator_.now();
+  const sim::Time now = scheduler_.now();
   double announced = 0;
   sim::Duration staleness = 0;
   for (const auto& [id, neighbour] : neighbours_) {

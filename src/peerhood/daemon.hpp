@@ -16,10 +16,12 @@
 //     gone and monitors are notified (this is what evicts members from
 //     dynamic groups when they walk away).
 //
-// The real PHD is a separate OS process reached over a local socket; here
-// daemon and applications share the simulated process, so the "local
-// socket" is a direct method call. This changes IPC cost (microseconds)
-// but none of the network behaviour the evaluation measures.
+// The daemon speaks only ph::transport vocabulary (endpoints, datagrams,
+// a scheduler) — the same binary logic runs over the simulated medium and
+// over real sockets on loopback. The real PHD is a separate OS process
+// reached over a local socket; here daemon and applications share the
+// process, so the "local socket" is a direct method call. This changes IPC
+// cost (microseconds) but none of the network behaviour measured.
 #pragma once
 
 #include <cstdint>
@@ -29,14 +31,18 @@
 #include <string>
 #include <vector>
 
-#include "net/medium.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "peerhood/plugin.hpp"
 #include "peerhood/types.hpp"
 #include "proto/daemon.hpp"
 #include "sim/backoff.hpp"
+#include "transport/transport.hpp"
 #include "util/result.hpp"
+
+namespace ph::net {
+class Medium;
+}
 
 namespace ph::peerhood {
 
@@ -100,6 +106,11 @@ class Daemon {
  public:
   using MonitorId = std::uint64_t;
 
+  /// Primary constructor: the daemon runs on any transport backend.
+  Daemon(transport::Transport& transport, DeviceId self,
+         std::string device_name, DaemonConfig config = {});
+  /// Legacy compat: wraps `medium` in an owned SimTransport. Behaviour is
+  /// byte-identical to the pre-transport daemon.
   Daemon(net::Medium& medium, DeviceId self, std::string device_name,
          DaemonConfig config = {});
   ~Daemon();
@@ -107,18 +118,21 @@ class Daemon {
   Daemon& operator=(const Daemon&) = delete;
 
   /// Adds a plugin before start(). The daemon binds the control port on the
-  /// plugin's adapter immediately (so it answers queries even pre-start).
-  void add_plugin(std::unique_ptr<NetworkPlugin> plugin);
+  /// plugin's endpoint immediately (so it answers queries even pre-start).
+  /// Fails with invalid_argument on a null plugin or one whose endpoint
+  /// belongs to another device.
+  Result<void> add_plugin(std::unique_ptr<NetworkPlugin> plugin);
 
-  /// Starts the inquiry and ping loops. Idempotent.
-  void start();
+  /// Starts the inquiry and ping loops. Idempotent; fails with state_error
+  /// if no plugin was added (nothing to scan or ping with).
+  Result<void> start();
   /// Stops the loops; the neighbour table is retained.
   void stop();
   /// Cold boot after a whole-device blackout (fault plane): stops the
   /// loops, wipes the neighbour table — every announced neighbour fires
   /// `disappeared` with GoneCause::blackout — and starts fresh, so the
   /// table is rebuilt from re-discovery alone.
-  void restart();
+  Result<void> restart();
   bool running() const noexcept { return running_; }
 
   DeviceId self() const noexcept { return self_; }
@@ -153,7 +167,7 @@ class Daemon {
   void trigger_discovery();
 
   /// Typed view of the registry's `peerhood.daemon.d<self>.*` instruments
-  /// (`stats().counter("pings_sent")`, ...); the medium's per-world
+  /// (`stats().counter("pings_sent")`, ...); the transport's per-world
   /// registry is the source of truth.
   obs::Snapshot stats() const;
   const std::vector<std::unique_ptr<NetworkPlugin>>& plugins() const {
@@ -162,14 +176,20 @@ class Daemon {
   /// The plugin driving `tech`, or nullptr.
   NetworkPlugin* plugin_for(net::Technology tech);
 
-  sim::Simulator& simulator() noexcept { return simulator_; }
-  net::Medium& medium() noexcept { return medium_; }
+  /// The substrate this daemon runs on.
+  transport::Transport& transport() noexcept { return transport_; }
+  transport::Scheduler& scheduler() noexcept { return scheduler_; }
   /// Deterministic jitter stream for retry backoff (also used by session
   /// resume sweeps); forked off the world RNG at construction so the same
   /// seed replays the same retry schedule.
   sim::Rng& jitter_rng() noexcept { return jitter_rng_; }
 
  private:
+  /// Compat plumbing: takes ownership of a transport, then behaves exactly
+  /// like the reference constructor.
+  Daemon(std::unique_ptr<transport::Transport> owned, DeviceId self,
+         std::string device_name, DaemonConfig config);
+
   struct Neighbour {
     DeviceInfo info;
     int missed_pings = 0;
@@ -231,8 +251,11 @@ class Daemon {
   void notify(NeighbourEvent::Kind kind, const DeviceInfo& device,
               GoneCause cause = GoneCause::missed_pings);
 
-  net::Medium& medium_;
-  sim::Simulator& simulator_;
+  /// Set only by the legacy Medium constructor (an owned SimTransport);
+  /// declared before transport_ so the reference always outlives users.
+  std::unique_ptr<transport::Transport> owned_transport_;
+  transport::Transport& transport_;
+  transport::Scheduler& scheduler_;
   DeviceId self_;
   std::string device_name_;
   DaemonConfig config_;
@@ -255,7 +278,7 @@ class Daemon {
   /// Jitter stream for retry backoff; see jitter_rng().
   sim::Rng jitter_rng_;
 
-  // Registry handles (`peerhood.daemon.d<self>.*`) into the medium's
+  // Registry handles (`peerhood.daemon.d<self>.*`) into the transport's
   // per-world registry; the trace journal is shared the same way.
   std::string metric_prefix_;
   obs::Trace* trace_ = nullptr;

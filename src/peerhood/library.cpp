@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "net/medium.hpp"
 #include "peerhood/session_state.hpp"
 #include "util/log.hpp"
 
@@ -24,7 +23,7 @@ PeerHood::~PeerHood() {
   };
   for (auto& [name, endpoint] : endpoints_) {
     for (auto& plugin : daemon_.plugins()) {
-      plugin->adapter().stop_listen(endpoint->info.port);
+      plugin->endpoint().stop_listen(endpoint->info.port);
     }
     for (auto& [id, weak_session] : endpoint->sessions) release(weak_session);
   }
@@ -51,13 +50,14 @@ Result<void> PeerHood::register_service(
   endpoint->on_accept = std::move(on_accept);
   std::weak_ptr<ServiceEndpoint> weak = endpoint;
   for (auto& plugin : daemon_.plugins()) {
-    plugin->adapter().listen(info.port, [this, weak](net::Link link) {
-      if (auto ep = weak.lock()) {
-        accept_link(ep, link);
-      } else {
-        link.close();
-      }
-    });
+    plugin->endpoint().listen(
+        info.port, [this, weak](transport::Channel channel) {
+          if (auto ep = weak.lock()) {
+            accept_channel(ep, channel);
+          } else {
+            channel.close();
+          }
+        });
   }
   endpoints_.emplace(name, std::move(endpoint));
   return ok();
@@ -92,7 +92,7 @@ Result<void> PeerHood::unregister_service(const std::string& name) {
     return Error{Errc::service_not_found, name};
   }
   for (auto& plugin : daemon_.plugins()) {
-    plugin->adapter().stop_listen(it->second->info.port);
+    plugin->endpoint().stop_listen(it->second->info.port);
   }
   (void)daemon_.unregister_service(name);
   // The endpoint dies, its live sessions don't — remember them so the
@@ -104,13 +104,14 @@ Result<void> PeerHood::unregister_service(const std::string& name) {
   return ok();
 }
 
-void PeerHood::accept_link(const std::shared_ptr<ServiceEndpoint>& endpoint,
-                           net::Link link) {
+void PeerHood::accept_channel(const std::shared_ptr<ServiceEndpoint>& endpoint,
+                              transport::Channel channel) {
   // The first frame decides: HELLO opens a session, RESUME reattaches one.
-  // A shared holder keeps the link alive until that frame arrives.
-  auto pending = std::make_shared<net::Link>(link);
+  // Channel is a value handle, so the captured copy keeps it alive until
+  // that frame arrives.
+  auto pending = std::make_shared<transport::Channel>(channel);
   std::weak_ptr<ServiceEndpoint> weak_ep = endpoint;
-  link.on_receive([this, weak_ep, pending](BytesView data) {
+  channel.on_receive([this, weak_ep, pending](BytesView data) {
     auto ep = weak_ep.lock();
     if (!ep) {
       pending->close();
@@ -118,20 +119,20 @@ void PeerHood::accept_link(const std::shared_ptr<ServiceEndpoint>& endpoint,
     }
     auto wire = detail::decode_session_wire(data);
     if (!wire) {
-      PH_LOG(warn, "phlib") << "dropping link with malformed handshake";
+      PH_LOG(warn, "phlib") << "dropping channel with malformed handshake";
       pending->close();
       return;
     }
     switch (wire->op) {
       case detail::SessionOp::hello: {
         // This handler runs under the client's HELLO flight span (the
-        // medium pushes it around delivery), so the accept span — and
+        // substrate pushes it around delivery), so the accept span — and
         // everything the application does from on_accept — parents under
         // the remote device's send: the cross-device receive-side span.
-        obs::Trace& journal = daemon_.medium().trace();
+        obs::Trace& journal = daemon_.transport().trace();
         const obs::SpanId accept_span =
             journal.begin_span("peerhood.session.accept",
-                               daemon_.simulator().now(), daemon_.self(),
+                               daemon_.scheduler().now(), daemon_.self(),
                                "hello");
         obs::Trace::Scope causal(journal, accept_span);
         auto state = std::make_shared<detail::SessionState>();
@@ -142,13 +143,13 @@ void PeerHood::accept_link(const std::shared_ptr<ServiceEndpoint>& endpoint,
         state->service_port = ep->info.port;
         state->initiator = false;
         state->established = true;
-        state->attach_link(*pending);
+        state->attach_channel(*pending);
         ep->sessions[state->id] = state;
         state->on_ended = [weak_ep](std::uint64_t id) {
           if (auto e = weak_ep.lock()) e->sessions.erase(id);
         };
         if (ep->on_accept) ep->on_accept(Connection{state});
-        journal.end_span(accept_span, daemon_.simulator().now());
+        journal.end_span(accept_span, daemon_.scheduler().now());
         break;
       }
       case detail::SessionOp::resume: {
@@ -157,10 +158,10 @@ void PeerHood::accept_link(const std::shared_ptr<ServiceEndpoint>& endpoint,
                          ? nullptr
                          : found->second.lock();
         if (!state || state->closed) {
-          // The HELLO may have been lost in a link break before it arrived
-          // (the client connected and the radio died within the handshake
-          // window). Treat the RESUME as an implicit session open: the
-          // client retransmits everything unacknowledged anyway.
+          // The HELLO may have been lost in a channel break before it
+          // arrived (the client connected and the radio died within the
+          // handshake window). Treat the RESUME as an implicit session
+          // open: the client retransmits everything unacknowledged anyway.
           PH_LOG(debug, "phlib")
               << "RESUME for unknown session " << wire->session
               << "; opening it implicitly";
@@ -172,7 +173,7 @@ void PeerHood::accept_link(const std::shared_ptr<ServiceEndpoint>& endpoint,
           fresh->service_port = ep->info.port;
           fresh->initiator = false;
           fresh->established = true;
-          fresh->attach_link(*pending);
+          fresh->attach_channel(*pending);
           ep->sessions[fresh->id] = fresh;
           fresh->on_ended = [weak_ep](std::uint64_t id) {
             if (auto e = weak_ep.lock()) e->sessions.erase(id);
@@ -181,8 +182,8 @@ void PeerHood::accept_link(const std::shared_ptr<ServiceEndpoint>& endpoint,
           if (ep->on_accept) ep->on_accept(Connection{fresh});
           break;
         }
-        state->simulator().cancel(state->server_wait_timer);
-        state->attach_link(*pending);
+        state->scheduler().cancel(state->server_wait_timer);
+        state->attach_channel(*pending);
         state->established = true;
         ++state->handovers;
         // Let the normal wire path answer with RESUME_ACK + retransmit.
@@ -213,7 +214,7 @@ void PeerHood::connect(DeviceId device, const std::string& service,
 
   auto state = std::make_shared<detail::SessionState>();
   state->daemon = &daemon_;
-  state->id = daemon_.medium().rng().uniform_int(1, UINT64_MAX);
+  state->id = daemon_.transport().rng().uniform_int(1, UINT64_MAX);
   state->self = daemon_.self();
   state->peer = device;
   state->service_port = remote->port;
@@ -232,7 +233,7 @@ void PeerHood::connect(DeviceId device, const std::string& service,
       continue;
     }
     if (!info->has_technology(plugin->technology())) continue;
-    const double s = plugin->adapter().signal_to(device);
+    const double s = plugin->endpoint().signal_to(device);
     if (s > 0.0) ranked.push_back({plugin.get(), s});
   }
   std::sort(ranked.begin(), ranked.end(),
@@ -264,17 +265,17 @@ void PeerHood::try_connect(std::shared_ptr<detail::SessionState> state,
     return;
   }
   NetworkPlugin* plugin = candidates[index];
-  plugin->adapter().connect(
+  plugin->endpoint().connect(
       state->peer, state->service_port,
       [this, state, candidates = std::move(candidates), index,
-       done = std::move(done)](Result<net::Link> link) mutable {
-        if (!link) {
-          Error error = std::move(link).error();
+       done = std::move(done)](Result<transport::Channel> channel) mutable {
+        if (!channel) {
+          Error error = std::move(channel).error();
           try_connect(std::move(state), std::move(candidates), index + 1,
                       std::move(error), std::move(done));
           return;
         }
-        state->attach_link(*link);
+        state->attach_channel(*channel);
         state->established = true;
         detail::SessionWire hello;
         hello.op = detail::SessionOp::hello;

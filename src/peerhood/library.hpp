@@ -75,8 +75,8 @@ class PeerHood {
     std::map<std::uint64_t, std::weak_ptr<detail::SessionState>> sessions;
   };
 
-  void accept_link(const std::shared_ptr<ServiceEndpoint>& endpoint,
-                   net::Link link);
+  void accept_channel(const std::shared_ptr<ServiceEndpoint>& endpoint,
+                      transport::Channel channel);
   /// Next free application port (>= 1000); wraps at 65535 and skips ports
   /// still bound to a registered service. Returns 0 when every port is
   /// taken.

@@ -4,17 +4,21 @@
 // and they are loaded dynamically by PHD and/or PeerHood Library." Each
 // plugin adapts one radio technology to the uniform interface the daemon
 // and library use: discovery, datagrams (daemon control traffic) and
-// connection establishment. The simulator's Adapter already speaks that
-// vocabulary, so the plugins are thin adapters over it — their value is the
-// uniform interface, the preference ordering and per-technology identity,
-// exactly the role the thesis assigns them.
+// channel establishment. Since the transport split, that vocabulary is
+// transport::Endpoint — the same plugin code drives a simulated adapter
+// (SimTransport) or a real socket pair (SocketTransport); the plugins'
+// value is the uniform interface, the preference ordering and
+// per-technology identity, exactly the role the thesis assigns them.
 #pragma once
 
 #include <memory>
 #include <string>
 
-#include "net/adapter.hpp"
-#include "net/medium.hpp"
+#include "transport/transport.hpp"
+
+namespace ph::net {
+class Adapter;
+}
 
 namespace ph::peerhood {
 
@@ -28,45 +32,67 @@ class NetworkPlugin {
   virtual net::Technology technology() const = 0;
   virtual const net::TechProfile& profile() const = 0;
 
-  /// The radio this plugin drives.
-  virtual net::Adapter& adapter() = 0;
-  virtual const net::Adapter& adapter() const = 0;
+  /// The transport endpoint this plugin drives.
+  virtual transport::Endpoint& endpoint() = 0;
+  virtual const transport::Endpoint& endpoint() const = 0;
 
   /// Lower value = preferred for data when signals are comparable. The
   /// thesis prefers free short-range links (Bluetooth/WLAN) over paid GPRS.
   virtual int preference() const = 0;
 };
 
-/// Shared implementation: a plugin bound to one simulated adapter.
-class AdapterPlugin : public NetworkPlugin {
+/// Shared implementation: a plugin bound to one transport endpoint. The
+/// endpoint is either borrowed from the transport (usual case) or owned by
+/// the plugin (legacy adapter-wrapping factories below).
+class EndpointPlugin : public NetworkPlugin {
  public:
-  AdapterPlugin(std::string name, net::Adapter& adapter, int preference)
-      : name_(std::move(name)), adapter_(adapter), preference_(preference) {}
+  EndpointPlugin(std::string name, transport::Endpoint& endpoint,
+                 int preference)
+      : name_(std::move(name)), endpoint_(&endpoint), preference_(preference) {}
+  EndpointPlugin(std::string name, std::unique_ptr<transport::Endpoint> owned,
+                 int preference)
+      : name_(std::move(name)),
+        owned_(std::move(owned)),
+        endpoint_(owned_.get()),
+        preference_(preference) {}
 
   const std::string& name() const override { return name_; }
-  net::Technology technology() const override { return adapter_.technology(); }
-  const net::TechProfile& profile() const override { return adapter_.profile(); }
-  net::Adapter& adapter() override { return adapter_; }
-  const net::Adapter& adapter() const override { return adapter_; }
+  net::Technology technology() const override {
+    return endpoint_->technology();
+  }
+  const net::TechProfile& profile() const override {
+    return endpoint_->profile();
+  }
+  transport::Endpoint& endpoint() override { return *endpoint_; }
+  const transport::Endpoint& endpoint() const override { return *endpoint_; }
   int preference() const override { return preference_; }
 
  private:
   std::string name_;
-  net::Adapter& adapter_;
+  std::unique_ptr<transport::Endpoint> owned_;
+  transport::Endpoint* endpoint_;
   int preference_;
 };
 
 /// BTPlugin: L2CAP-style reliable links, no BNEP/RFCOMM/PPP overhead
 /// (thesis §4.2.3). Preferred for local data: free and reliable.
-std::unique_ptr<NetworkPlugin> make_bt_plugin(net::Adapter& adapter);
+std::unique_ptr<NetworkPlugin> make_bt_plugin(transport::Endpoint& endpoint);
 
 /// WLANPlugin: IP with broadcast-based discovery, direct device-to-device.
-std::unique_ptr<NetworkPlugin> make_wlan_plugin(net::Adapter& adapter);
+std::unique_ptr<NetworkPlugin> make_wlan_plugin(transport::Endpoint& endpoint);
 
 /// GPRSPlugin: IP via the operator gateway proxy; last resort (metered).
-std::unique_ptr<NetworkPlugin> make_gprs_plugin(net::Adapter& adapter);
+std::unique_ptr<NetworkPlugin> make_gprs_plugin(transport::Endpoint& endpoint);
 
-/// Creates the plugin matching the adapter's technology.
+/// Creates the plugin matching the endpoint's technology.
+std::unique_ptr<NetworkPlugin> make_plugin(transport::Endpoint& endpoint);
+
+/// Legacy adapter overloads: wrap a bare simulated net::Adapter in an
+/// owned endpoint (transport::wrap_adapter). Prefer the Endpoint overloads
+/// — these exist so pre-transport call sites keep compiling.
+std::unique_ptr<NetworkPlugin> make_bt_plugin(net::Adapter& adapter);
+std::unique_ptr<NetworkPlugin> make_wlan_plugin(net::Adapter& adapter);
+std::unique_ptr<NetworkPlugin> make_gprs_plugin(net::Adapter& adapter);
 std::unique_ptr<NetworkPlugin> make_plugin(net::Adapter& adapter);
 
 }  // namespace ph::peerhood

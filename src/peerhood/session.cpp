@@ -1,6 +1,5 @@
 #include <algorithm>
 
-#include "net/medium.hpp"
 #include "peerhood/session_state.hpp"
 #include "sim/backoff.hpp"
 #include "proto/codec.hpp"
@@ -42,14 +41,14 @@ Result<SessionWire> decode_session_wire(BytesView data) {
   return wire;
 }
 
-void SessionState::attach_link(net::Link new_link) {
-  link = new_link;
+void SessionState::attach_channel(transport::Channel new_channel) {
+  channel = new_channel;
   auto weak = weak_from_this();
-  // Handlers capture the link they belong to: after a handover, events from
-  // the superseded link must not disturb the session.
-  link.on_receive([weak, new_link](BytesView data) {
+  // Handlers capture the channel they belong to: after a handover, events
+  // from the superseded channel must not disturb the session.
+  channel.on_receive([weak, new_channel](BytesView data) {
     auto self = weak.lock();
-    if (!self || self->closed || !(self->link == new_link)) return;
+    if (!self || self->closed || !(self->channel == new_channel)) return;
     auto wire = decode_session_wire(data);
     if (!wire) {
       PH_LOG(warn, "conn") << "malformed session frame: "
@@ -58,25 +57,25 @@ void SessionState::attach_link(net::Link new_link) {
     }
     self->handle_wire(*wire);
   });
-  link.on_break([weak, new_link] {
+  channel.on_break([weak, new_channel] {
     auto self = weak.lock();
-    if (!self || self->closed || !(self->link == new_link)) return;
-    self->on_link_break();
+    if (!self || self->closed || !(self->channel == new_channel)) return;
+    self->on_channel_break();
   });
 }
 
 void SessionState::send_wire(const SessionWire& wire) {
-  if (link.open()) link.send(encode(wire));
+  if (channel.open()) channel.send(encode(wire));
 }
 
-obs::Trace& SessionState::journal() { return daemon->medium().trace(); }
+obs::Trace& SessionState::journal() { return daemon->transport().trace(); }
 
 void SessionState::send_payload(Bytes payload) {
   if (closed) return;
   const std::uint32_t seq = next_seq++;
   // The innermost open span (the RPC, the task) rides the wire so the
   // peer parents its handling under the remote sender — including when
-  // the frame is retransmitted over a different link after handover.
+  // the frame is retransmitted over a different channel after handover.
   const std::uint64_t trace_ctx = journal().current_context();
   unacked.push_back({seq, payload, trace_ctx});
   SessionWire wire;
@@ -85,7 +84,7 @@ void SessionState::send_payload(Bytes payload) {
   wire.seq = seq;
   wire.trace = trace_ctx;
   wire.payload = std::move(payload);
-  send_wire(wire);  // dropped when link is down; resume retransmits
+  send_wire(wire);  // dropped when channel is down; resume retransmits
 }
 
 void SessionState::handle_wire(const SessionWire& wire) {
@@ -94,8 +93,9 @@ void SessionState::handle_wire(const SessionWire& wire) {
       // Handled at accept time by the library; a duplicate here is noise.
       break;
     case SessionOp::resume:
-      // Server side: the library reattached the link already; acknowledge
-      // with our delivery point and retransmit what the client lacks.
+      // Server side: the library reattached the channel already;
+      // acknowledge with our delivery point and retransmit what the client
+      // lacks.
       if (!initiator) {
         SessionWire ack;
         ack.op = SessionOp::resume_ack;
@@ -111,15 +111,16 @@ void SessionState::handle_wire(const SessionWire& wire) {
         established = true;
         ++handovers;
         resume_attempts = 0;  // recovered: next break backs off from scratch
-        simulator().cancel(resume_timer);
-        journal().end_span(resume_span, simulator().now());
+        scheduler().cancel(resume_timer);
+        journal().end_span(resume_span, scheduler().now());
         resume_span = 0;
-        journal().add_event("peerhood.session.handover", simulator().now(),
-                            self, std::string(net::to_string(link.technology())));
+        journal().add_event("peerhood.session.handover", scheduler().now(),
+                            self,
+                            std::string(net::to_string(channel.technology())));
         retransmit_from(wire.seq);
         arm_monitor();
         PH_LOG(info, "conn") << "session " << id << " resumed over "
-                             << net::to_string(link.technology());
+                             << net::to_string(channel.technology());
       }
       break;
     case SessionOp::data: {
@@ -139,7 +140,7 @@ void SessionState::handle_wire(const SessionWire& wire) {
             auto handler = on_message;
             // Deliver under the remote sender's span from the wire (a
             // reordered frame would otherwise inherit the wrong flight
-            // span from the link's receive path).
+            // span from the channel's receive path).
             obs::Trace::Scope causal(journal(), arrival.trace);
             handler(payload);
           }
@@ -186,12 +187,12 @@ void SessionState::graceful_close() {
   wire.session = id;
   send_wire(wire);
   closed = true;
-  journal().end_span(resume_span, simulator().now());
+  journal().end_span(resume_span, scheduler().now());
   resume_span = 0;
-  simulator().cancel(monitor_timer);
-  simulator().cancel(resume_timer);
-  simulator().cancel(server_wait_timer);
-  if (link.valid()) link.close();
+  scheduler().cancel(monitor_timer);
+  scheduler().cancel(resume_timer);
+  scheduler().cancel(server_wait_timer);
+  if (channel.valid()) channel.close();
   if (on_ended) on_ended(id);
   // Handlers may capture Connection handles that own this state; release
   // them so ended sessions cannot form reference cycles.
@@ -205,12 +206,12 @@ void SessionState::fail(Error error) { finish(error); }
 void SessionState::finish(const Error& reason) {
   if (closed) return;
   closed = true;
-  journal().end_span(resume_span, simulator().now());
+  journal().end_span(resume_span, scheduler().now());
   resume_span = 0;
-  simulator().cancel(monitor_timer);
-  simulator().cancel(resume_timer);
-  simulator().cancel(server_wait_timer);
-  if (link.valid() && link.open()) link.close();
+  scheduler().cancel(monitor_timer);
+  scheduler().cancel(resume_timer);
+  scheduler().cancel(server_wait_timer);
+  if (channel.valid() && channel.open()) channel.close();
   if (on_ended) on_ended(id);
   if (on_close) {
     auto handler = on_close;  // survive handler resetting the Connection
@@ -221,17 +222,17 @@ void SessionState::finish(const Error& reason) {
   on_ended = nullptr;
 }
 
-void SessionState::on_link_break() {
+void SessionState::on_channel_break() {
   if (closed) return;
   established = false;
-  simulator().cancel(monitor_timer);
+  scheduler().cancel(monitor_timer);
   if (!options.seamless) {
-    finish(Error{Errc::connection_lost, "link broke, seamless mode off"});
+    finish(Error{Errc::connection_lost, "channel broke, seamless mode off"});
     return;
   }
   if (initiator) {
     if (resuming) {
-      // A resume attempt's own link died (peer refused, moved, or the
+      // A resume attempt's own channel died (peer refused, moved, or the
       // radio flapped): sweep again after backoff; the deadline timer is
       // still armed from the original break.
       schedule_resume_retry();
@@ -247,9 +248,9 @@ void SessionState::on_link_break() {
 
 void SessionState::arm_server_wait() {
   auto weak = weak_from_this();
-  simulator().cancel(server_wait_timer);
+  scheduler().cancel(server_wait_timer);
   server_wait_timer =
-      simulator().schedule(options.resume_deadline, [weak] {
+      scheduler().schedule(options.resume_deadline, [weak] {
         auto self = weak.lock();
         if (!self || self->closed || self->established) return;
         self->finish(Error{Errc::connection_lost, "peer never resumed"});
@@ -267,10 +268,10 @@ void SessionState::schedule_resume_retry() {
   // The idle window is known now — record it as a closed child of the
   // resume span so attribution can separate backoff from reconnecting.
   const obs::SpanId wait = journal().begin_span_under(
-      resume_span, "peerhood.backoff.wait", simulator().now(), self, "backoff");
-  journal().end_span(wait, simulator().now() + delay);
+      resume_span, "peerhood.backoff.wait", scheduler().now(), self, "backoff");
+  journal().end_span(wait, scheduler().now() + delay);
   auto weak = weak_from_this();
-  simulator().schedule(delay, [weak] {
+  scheduler().schedule(delay, [weak] {
     auto self = weak.lock();
     if (self) self->resume_sweep();
   });
@@ -281,12 +282,12 @@ void SessionState::start_resume() {
   resuming = true;
   resume_attempts = 0;
   resume_span = journal().begin_span("peerhood.session.resume",
-                                     simulator().now(), self, "resume");
+                                     scheduler().now(), self, "resume");
   PH_LOG(info, "conn") << "session " << id
-                       << " lost its link; hunting for an alternative";
+                       << " lost its channel; hunting for an alternative";
   auto weak = weak_from_this();
-  simulator().cancel(resume_timer);
-  resume_timer = simulator().schedule(options.resume_deadline, [weak] {
+  scheduler().cancel(resume_timer);
+  resume_timer = scheduler().schedule(options.resume_deadline, [weak] {
     auto self = weak.lock();
     if (!self || self->closed || !self->resuming) return;
     self->resuming = false;
@@ -309,7 +310,7 @@ void SessionState::resume_sweep() {
         plugin->technology() != *options.force_technology) {
       continue;
     }
-    const double s = plugin->adapter().signal_to(peer);
+    const double s = plugin->endpoint().signal_to(peer);
     if (s > 0.0) candidates.push_back({plugin.get(), s});
   }
   std::sort(candidates.begin(), candidates.end(),
@@ -327,8 +328,8 @@ void SessionState::resume_sweep() {
   NetworkPlugin* plugin = candidates.front().plugin;
   // Connect attempts (net.link.open) belong under the resume span.
   obs::Trace::Scope causal(journal(), resume_span);
-  plugin->adapter().connect(
-      peer, service_port, [weak](Result<net::Link> result) {
+  plugin->endpoint().connect(
+      peer, service_port, [weak](Result<transport::Channel> result) {
         auto self = weak.lock();
         if (!self || self->closed || !self->resuming) {
           if (result) result->close();
@@ -338,7 +339,7 @@ void SessionState::resume_sweep() {
           self->schedule_resume_retry();
           return;
         }
-        self->attach_link(*result);
+        self->attach_channel(*result);
         SessionWire resume;
         resume.op = SessionOp::resume;
         resume.session = self->id;
@@ -352,8 +353,8 @@ void SessionState::resume_sweep() {
 void SessionState::arm_monitor() {
   if (!initiator || options.monitor_interval == 0 || !options.seamless) return;
   auto weak = weak_from_this();
-  simulator().cancel(monitor_timer);
-  monitor_timer = simulator().schedule(options.monitor_interval, [weak] {
+  scheduler().cancel(monitor_timer);
+  monitor_timer = scheduler().schedule(options.monitor_interval, [weak] {
     auto self = weak.lock();
     if (!self || self->closed) return;
     self->check_signal();
@@ -362,19 +363,19 @@ void SessionState::arm_monitor() {
 
 void SessionState::check_signal() {
   if (closed || resuming || !established) return;
-  const double current = link.signal();
+  const double current = channel.signal();
   if (current < options.weak_signal_threshold) {
     // Is any other radio meaningfully better right now?
     for (const auto& plugin : daemon->plugins()) {
-      if (plugin->technology() == link.technology()) continue;
+      if (plugin->technology() == channel.technology()) continue;
       if (options.force_technology) break;  // pinned: no proactive handover
-      if (plugin->adapter().signal_to(peer) > current + 0.1) {
+      if (plugin->endpoint().signal_to(peer) > current + 0.1) {
         PH_LOG(info, "conn")
             << "session " << id << " signal weak ("
-            << current << ") on " << net::to_string(link.technology())
+            << current << ") on " << net::to_string(channel.technology())
             << "; proactive handover";
-        // Drop the weak link and reuse the resume machinery.
-        net::Link old = link;
+        // Drop the weak channel and reuse the resume machinery.
+        transport::Channel old = channel;
         established = false;
         start_resume();
         old.close();

@@ -8,11 +8,11 @@
 #include <map>
 #include <memory>
 
-#include "net/link.hpp"
 #include "obs/trace.hpp"
 #include "peerhood/connection.hpp"
 #include "peerhood/daemon.hpp"
 #include "peerhood/types.hpp"
+#include "transport/transport.hpp"
 #include "util/bytes.hpp"
 
 namespace ph::peerhood::detail {
@@ -41,7 +41,7 @@ Bytes encode(const SessionWire& wire);
 Result<SessionWire> decode_session_wire(BytesView data);
 
 struct SessionState : std::enable_shared_from_this<SessionState> {
-  Daemon* daemon = nullptr;  // local daemon: plugins, simulator access
+  Daemon* daemon = nullptr;  // local daemon: plugins, scheduler access
   std::uint64_t id = 0;
   DeviceId self = net::kInvalidNode;
   DeviceId peer = net::kInvalidNode;
@@ -49,7 +49,8 @@ struct SessionState : std::enable_shared_from_this<SessionState> {
   bool initiator = false;  // only the initiator drives resume/handover
   ConnectOptions options;
 
-  net::Link link;  // the link currently carrying the session (may be dead)
+  /// The channel currently carrying the session (may be dead).
+  transport::Channel channel;
   bool established = false;
   bool closed = false;
   bool resuming = false;
@@ -80,15 +81,15 @@ struct SessionState : std::enable_shared_from_this<SessionState> {
   sim::EventId monitor_timer = 0;
   sim::EventId resume_timer = 0;
   sim::EventId server_wait_timer = 0;
-  /// Open while the session hunts for a replacement link.
+  /// Open while the session hunts for a replacement channel.
   obs::SpanId resume_span = 0;
 
-  sim::Simulator& simulator() { return daemon->simulator(); }
+  transport::Scheduler& scheduler() { return daemon->scheduler(); }
   obs::Trace& journal();
 
   // --- lifecycle ---------------------------------------------------------
-  /// Installs receive/break handlers on `new_link` and makes it current.
-  void attach_link(net::Link new_link);
+  /// Installs receive/break handlers on `new_channel` and makes it current.
+  void attach_channel(transport::Channel new_channel);
   void handle_wire(const SessionWire& wire);
   void send_payload(Bytes payload);
   void send_wire(const SessionWire& wire);
@@ -97,7 +98,7 @@ struct SessionState : std::enable_shared_from_this<SessionState> {
   void finish(const Error& reason);
 
   // --- seamless connectivity ----------------------------------------------
-  void on_link_break();
+  void on_channel_break();
   void start_resume();
   void resume_sweep();
   /// Schedules the next sweep after a failure, backing off exponentially

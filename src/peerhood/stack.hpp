@@ -1,17 +1,23 @@
-// Stack — one simulated PeerHood device, fully assembled.
+// Stack — one PeerHood device, fully assembled.
 //
-// Creates the node in the radio world, one adapter + plugin per requested
-// technology, the PeerHood daemon and the library facade. Scenarios,
-// examples and benches build their populations out of Stacks.
+// Registers the device with a transport, creates one endpoint + plugin per
+// requested technology, the PeerHood daemon and the library facade.
+// Scenarios, examples and benches build their populations out of Stacks.
+// The transport decides the substrate: SimTransport for virtual-time
+// simulation, SocketTransport for real sockets on loopback.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "net/medium.hpp"
 #include "peerhood/daemon.hpp"
 #include "peerhood/library.hpp"
+#include "transport/transport.hpp"
+
+namespace ph::net {
+class Medium;
+}
 
 namespace ph::peerhood {
 
@@ -22,10 +28,45 @@ struct StackConfig {
   DaemonConfig daemon;
   /// Start the daemon immediately (discovery begins at construction time).
   bool autostart = true;
+  /// Substrate for the config-only constructor; the Stack(Transport&, ...)
+  /// overload fills it in.
+  transport::Transport* transport = nullptr;
+
+  // Fluent builder, so call sites read as one declarative expression:
+  //   Stack s(StackConfig{}.with_name("phone").with_radios({...})
+  //                        .with_transport(transport));
+  StackConfig& with_name(std::string name) {
+    device_name = std::move(name);
+    return *this;
+  }
+  StackConfig& with_radios(std::vector<net::TechProfile> r) {
+    radios = std::move(r);
+    return *this;
+  }
+  StackConfig& with_daemon(DaemonConfig d) {
+    daemon = d;
+    return *this;
+  }
+  StackConfig& with_autostart(bool on) {
+    autostart = on;
+    return *this;
+  }
+  StackConfig& with_transport(transport::Transport& t) {
+    transport = &t;
+    return *this;
+  }
 };
 
 class Stack {
  public:
+  /// Primary: assemble a device on any transport backend.
+  Stack(transport::Transport& transport, StackConfig config,
+        std::unique_ptr<sim::MobilityModel> mobility = nullptr);
+  /// Builder form; config.transport must be set (with_transport).
+  explicit Stack(StackConfig config,
+                 std::unique_ptr<sim::MobilityModel> mobility = nullptr);
+  /// Legacy compat: wraps `medium` in an owned SimTransport; behaviour is
+  /// byte-identical to the pre-transport stack.
   Stack(net::Medium& medium, std::unique_ptr<sim::MobilityModel> mobility,
         StackConfig config);
   Stack(const Stack&) = delete;
@@ -35,10 +76,11 @@ class Stack {
   const std::string& name() const noexcept { return daemon_->device_name(); }
   Daemon& daemon() noexcept { return *daemon_; }
   PeerHood& library() noexcept { return *library_; }
-  net::Medium& medium() noexcept { return medium_; }
+  transport::Transport& transport() noexcept { return transport_; }
 
-  /// Powers one radio on/off (failure injection, battery saving).
-  void set_radio_powered(net::Technology tech, bool on);
+  /// Powers one radio on/off (failure injection, battery saving). Fails
+  /// with not_supported when the device has no radio of that technology.
+  Result<void> set_radio_powered(net::Technology tech, bool on);
 
   /// Whole-device blackout (fault plane): the daemon stops and every radio
   /// powers off, as if the battery was pulled. Neighbours evict this
@@ -51,7 +93,10 @@ class Stack {
   void restart();
 
  private:
-  net::Medium& medium_;
+  /// Set only by the legacy Medium constructor; declared before transport_
+  /// so the reference outlives every user.
+  std::unique_ptr<transport::Transport> owned_transport_;
+  transport::Transport& transport_;
   DeviceId id_;
   std::unique_ptr<Daemon> daemon_;
   std::unique_ptr<PeerHood> library_;

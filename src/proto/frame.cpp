@@ -1,0 +1,56 @@
+#include "proto/frame.hpp"
+
+#include "util/error.hpp"
+
+namespace ph::proto {
+
+std::string_view to_string(FrameKind kind) noexcept {
+  switch (kind) {
+    case FrameKind::datagram: return "datagram";
+    case FrameKind::channel_open: return "channel_open";
+    case FrameKind::channel_accept: return "channel_accept";
+    case FrameKind::channel_reject: return "channel_reject";
+    case FrameKind::channel_data: return "channel_data";
+  }
+  return "unknown";
+}
+
+Bytes encode_frame(FrameKind kind, BytesView payload) {
+  Bytes out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  out.push_back(static_cast<std::uint8_t>(kFrameMagic & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(kFrameMagic >> 8));
+  out.push_back(kFrameVersion);
+  out.push_back(static_cast<std::uint8_t>(kind));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Result<FrameView> decode_frame(BytesView data) {
+  if (data.size() < kFrameHeaderSize) {
+    return Error{Errc::protocol_error, "frame shorter than header"};
+  }
+  const std::uint16_t magic = static_cast<std::uint16_t>(
+      data[0] | (static_cast<std::uint16_t>(data[1]) << 8));
+  if (magic != kFrameMagic) {
+    return Error{Errc::protocol_error, "bad frame magic"};
+  }
+  const std::uint8_t version = data[2];
+  if (version == 0 || version > kFrameVersion) {
+    return Error{Errc::protocol_error,
+                 "frame version " + std::to_string(version) +
+                     " newer than supported " + std::to_string(kFrameVersion)};
+  }
+  const std::uint8_t kind = data[3];
+  if (kind < static_cast<std::uint8_t>(FrameKind::datagram) ||
+      kind > static_cast<std::uint8_t>(FrameKind::channel_data)) {
+    return Error{Errc::protocol_error, "unknown frame kind"};
+  }
+  FrameView view;
+  view.kind = static_cast<FrameKind>(kind);
+  view.version = version;
+  view.payload = data.subspan(kFrameHeaderSize);
+  return view;
+}
+
+}  // namespace ph::proto

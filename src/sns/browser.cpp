@@ -1,3 +1,4 @@
+#include "net/medium.hpp"
 #include "sns/browser.hpp"
 
 #include <memory>

@@ -1,3 +1,4 @@
+#include "net/medium.hpp"
 #include "sns/server.hpp"
 
 #include <memory>

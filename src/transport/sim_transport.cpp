@@ -1,0 +1,149 @@
+#include "transport/sim_transport.hpp"
+
+#include "util/check.hpp"
+
+namespace ph::transport {
+
+namespace {
+
+/// Channel over a simulated net::Link; pure forwarding.
+class SimChannelState final : public detail::ChannelState {
+ public:
+  explicit SimChannelState(net::Link link) : link_(std::move(link)) {}
+
+  bool chan_open() const override { return link_.open(); }
+  DeviceId chan_remote() const override { return link_.remote_node(); }
+  net::Technology chan_technology() const override {
+    return link_.technology();
+  }
+  void chan_on_receive(std::function<void(BytesView)> handler) override {
+    link_.on_receive(std::move(handler));
+  }
+  void chan_on_break(std::function<void()> handler) override {
+    link_.on_break(std::move(handler));
+  }
+  void chan_send(BytesView payload) override { link_.send(payload); }
+  double chan_signal() const override { return link_.signal(); }
+  void chan_close() override { link_.close(); }
+
+ private:
+  net::Link link_;
+};
+
+Channel wrap_link(net::Link link) {
+  return Channel(std::make_shared<SimChannelState>(std::move(link)));
+}
+
+/// Endpoint over a simulated net::Adapter; pure forwarding, no state.
+class SimEndpoint final : public Endpoint {
+ public:
+  explicit SimEndpoint(net::Adapter& adapter) : adapter_(adapter) {}
+
+  DeviceId device() const override { return adapter_.node(); }
+  const net::TechProfile& profile() const override {
+    return adapter_.profile();
+  }
+  void set_powered(bool on) override { adapter_.set_powered(on); }
+  bool powered() const override { return adapter_.powered(); }
+
+  void start_inquiry(InquiryHandler done) override {
+    adapter_.start_inquiry(std::move(done));
+  }
+  void bind(net::Port port, DatagramHandler handler) override {
+    adapter_.bind(port, std::move(handler));
+  }
+  void unbind(net::Port port) override { adapter_.unbind(port); }
+  void send_datagram(DeviceId dst, net::Port port, BytesView payload) override {
+    adapter_.send_datagram(dst, port, payload);
+  }
+  void broadcast_datagram(net::Port port, BytesView payload) override {
+    adapter_.broadcast_datagram(port, payload);
+  }
+  void listen(net::Port port, AcceptHandler on_accept) override {
+    adapter_.listen(port, [on_accept = std::move(on_accept)](net::Link link) {
+      on_accept(wrap_link(std::move(link)));
+    });
+  }
+  void stop_listen(net::Port port) override { adapter_.stop_listen(port); }
+  void connect(DeviceId dst, net::Port port, ConnectHandler done) override {
+    adapter_.connect(dst, port,
+                     [done = std::move(done)](Result<net::Link> link) {
+                       if (!link) {
+                         done(std::move(link).error());
+                         return;
+                       }
+                       done(wrap_link(*std::move(link)));
+                     });
+  }
+  double signal_to(DeviceId dst) const override {
+    return adapter_.signal_to(dst);
+  }
+
+ private:
+  net::Adapter& adapter_;
+};
+
+}  // namespace
+
+std::unique_ptr<Endpoint> wrap_adapter(net::Adapter& adapter) {
+  return std::make_unique<SimEndpoint>(adapter);
+}
+
+class SimTransport::SimScheduler final : public Scheduler {
+ public:
+  explicit SimScheduler(sim::Simulator& simulator) : simulator_(simulator) {}
+
+  sim::Time now() const override { return simulator_.now(); }
+  sim::EventId schedule(sim::Duration delay, sim::EventFn fn) override {
+    return simulator_.schedule(delay, std::move(fn));
+  }
+  bool cancel(sim::EventId id) override { return simulator_.cancel(id); }
+  bool pending(sim::EventId id) const override {
+    return simulator_.pending(id);
+  }
+  void run_until(sim::Time until) override { simulator_.run_until(until); }
+
+ private:
+  sim::Simulator& simulator_;
+};
+
+SimTransport::SimTransport(net::Medium& medium)
+    : medium_(medium),
+      scheduler_(std::make_unique<SimScheduler>(medium.simulator())) {}
+
+SimTransport::~SimTransport() = default;
+
+Scheduler& SimTransport::scheduler() { return *scheduler_; }
+const Scheduler& SimTransport::scheduler() const { return *scheduler_; }
+
+DeviceId SimTransport::add_device(
+    std::string name, std::unique_ptr<sim::MobilityModel> mobility) {
+  if (mobility == nullptr) {
+    mobility = std::make_unique<sim::StaticMobility>(sim::Vec2{0.0, 0.0});
+  }
+  return medium_.add_node(std::move(name), std::move(mobility));
+}
+
+Endpoint& SimTransport::add_endpoint(DeviceId device, net::TechProfile profile) {
+  const auto key = std::make_pair(device, profile.tech);
+  PH_CHECK_MSG(!endpoints_.contains(key),
+               "one endpoint per (device, technology)");
+  net::Adapter& adapter = medium_.add_adapter(device, std::move(profile));
+  auto [it, inserted] = endpoints_.emplace(key, wrap_adapter(adapter));
+  return *it->second;
+}
+
+Endpoint* SimTransport::endpoint(DeviceId device, net::Technology tech) {
+  auto it = endpoints_.find(std::make_pair(device, tech));
+  if (it != endpoints_.end()) return it->second.get();
+  // Adapters created outside this instance (legacy call sites add them
+  // straight on the Medium): wrap on demand so lookups stay uniform.
+  if (net::Adapter* adapter = medium_.adapter(device, tech)) {
+    auto [it2, inserted] =
+        endpoints_.emplace(std::make_pair(device, tech), wrap_adapter(*adapter));
+    return it2->second.get();
+  }
+  return nullptr;
+}
+
+}  // namespace ph::transport

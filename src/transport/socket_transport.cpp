@@ -1,0 +1,953 @@
+#include "transport/socket_transport.hpp"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "proto/frame.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
+
+namespace ph::transport {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire helpers
+// ---------------------------------------------------------------------------
+
+void append_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void append_u32(Bytes& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+std::uint16_t read_u16(BytesView data) {
+  return static_cast<std::uint16_t>(data[0] |
+                                    (static_cast<std::uint16_t>(data[1]) << 8));
+}
+
+std::uint32_t read_u32(BytesView data) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | data[i];
+  return v;
+}
+
+/// One length-prefixed stream message: u32 frame length, then the frame.
+Bytes make_stream_message(proto::FrameKind kind, BytesView payload) {
+  const Bytes frame = proto::encode_frame(kind, payload);
+  Bytes out;
+  out.reserve(4 + frame.size());
+  append_u32(out, static_cast<std::uint32_t>(frame.size()));
+  out.insert(out.end(), frame.begin(), frame.end());
+  return out;
+}
+
+/// Upper bound on one stream message — a corrupt length prefix must not
+/// look like a gigabyte allocation.
+constexpr std::uint32_t kMaxStreamFrame = 16u << 20;
+
+int make_socket(int type) {
+  return ::socket(AF_UNIX, type | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  PH_CHECK_MSG(path.size() < sizeof(addr.sun_path),
+               "socket_dir path too long for sockaddr_un");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+std::string endpoint_path(const std::string& dir, DeviceId device,
+                          net::Technology tech, const char* plane) {
+  return dir + "/d" + std::to_string(device) + ".t" +
+         std::to_string(static_cast<int>(tech)) + "." + plane;
+}
+
+/// Parses "d<id>.t<tech>.dgram" back into a device id; 0 when `name` is
+/// something else (a stream socket, a stray file).
+DeviceId parse_dgram_entry(const std::string& name, net::Technology tech) {
+  const std::string suffix =
+      ".t" + std::to_string(static_cast<int>(tech)) + ".dgram";
+  if (name.size() <= 1 + suffix.size() || name[0] != 'd') return net::kInvalidNode;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return net::kInvalidNode;
+  }
+  const std::string digits = name.substr(1, name.size() - 1 - suffix.size());
+  if (digits.empty()) return net::kInvalidNode;
+  DeviceId id = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return net::kInvalidNode;
+    id = id * 10 + static_cast<DeviceId>(c - '0');
+  }
+  return id;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WallScheduler — virtual microseconds over the wall clock + epoll pump.
+// ---------------------------------------------------------------------------
+
+class SocketTransport::WallScheduler final : public Scheduler {
+ public:
+  WallScheduler(SocketTransport& transport, double time_scale)
+      : transport_(transport),
+        scale_(time_scale > 0.0 ? time_scale : 1.0),
+        start_(std::chrono::steady_clock::now()) {}
+
+  sim::Time now() const override {
+    const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+    auto t = static_cast<sim::Time>(static_cast<double>(wall) * scale_);
+    // Monotonic even under floating-point jitter.
+    if (t < last_now_) t = last_now_;
+    last_now_ = t;
+    return t;
+  }
+
+  sim::EventId schedule(sim::Duration delay, sim::EventFn fn) override {
+    const sim::EventId id = ++next_id_;
+    const sim::Time due = now() + delay;
+    timers_.emplace(std::make_pair(due, id), std::move(fn));
+    due_.emplace(id, due);
+    return id;
+  }
+
+  bool cancel(sim::EventId id) override {
+    auto it = due_.find(id);
+    if (it == due_.end()) return false;
+    timers_.erase(std::make_pair(it->second, id));
+    due_.erase(it);
+    return true;
+  }
+
+  bool pending(sim::EventId id) const override { return due_.contains(id); }
+
+  /// Alternates running due timers with epoll waits whose wall timeout is
+  /// the earlier of `until` and the next timer, both mapped back through
+  /// the time scale. Socket readiness wakes the wait early, so I/O is
+  /// handled as the kernel delivers it, not on timer granularity.
+  void run_until(sim::Time until) override {
+    for (;;) {
+      while (!timers_.empty() && timers_.begin()->first.first <= now()) {
+        auto node = timers_.extract(timers_.begin());
+        due_.erase(node.key().second);
+        sim::EventFn fn = std::move(node.mapped());
+        fn();
+      }
+      const sim::Time current = now();
+      if (current >= until) return;
+      sim::Time wake = until;
+      if (!timers_.empty()) {
+        wake = std::min(wake, timers_.begin()->first.first);
+      }
+      int timeout_ms = 0;
+      if (wake > current) {
+        const double wall_us = static_cast<double>(wake - current) / scale_;
+        timeout_ms = static_cast<int>(wall_us / 1000.0) + 1;
+        timeout_ms = std::clamp(timeout_ms, 1, 1000);
+      }
+      transport_.pump_epoll(timeout_ms);
+    }
+  }
+
+ private:
+  SocketTransport& transport_;
+  double scale_;
+  std::chrono::steady_clock::time_point start_;
+  mutable sim::Time last_now_ = 0;
+  sim::EventId next_id_ = 0;
+  std::map<std::pair<sim::Time, sim::EventId>, sim::EventFn> timers_;
+  std::map<sim::EventId, sim::Time> due_;
+};
+
+// ---------------------------------------------------------------------------
+// SocketChannelState — one established SOCK_STREAM channel end.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class SocketChannelState final
+    : public detail::ChannelState,
+      public std::enable_shared_from_this<SocketChannelState> {
+ public:
+  SocketChannelState(SocketTransport& transport, int fd, DeviceId remote,
+                     net::Technology tech)
+      : transport_(transport), fd_(fd), remote_(remote), tech_(tech) {}
+
+  ~SocketChannelState() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool chan_open() const override { return open_; }
+  DeviceId chan_remote() const override { return remote_; }
+  net::Technology chan_technology() const override { return tech_; }
+  void chan_on_receive(std::function<void(BytesView)> handler) override {
+    on_receive_ = std::move(handler);
+  }
+  void chan_on_break(std::function<void()> handler) override {
+    on_break_ = std::move(handler);
+  }
+  double chan_signal() const override { return open_ ? 1.0 : 0.0; }
+
+  void chan_send(BytesView payload) override;
+  void chan_close() override;
+
+  /// Registers with the epoll loop. The fd handler keeps the state alive
+  /// (shared_ptr capture) until the channel closes or breaks — like a
+  /// simulated link, an established channel outlives dropped user handles.
+  void start(Bytes leftover);
+
+  /// Forced break from outside the I/O path (endpoint powered off).
+  void force_break() { do_break(); }
+
+ private:
+  void handle_io(std::uint32_t events);
+  void flush();
+  void do_break();
+
+  SocketTransport& transport_;
+  int fd_;
+  DeviceId remote_;
+  net::Technology tech_;
+  bool open_ = true;
+  bool want_write_ = false;
+  Bytes in_buf_;
+  Bytes out_buf_;
+  std::size_t out_pos_ = 0;
+  std::function<void(BytesView)> on_receive_;
+  std::function<void()> on_break_;
+};
+
+void SocketChannelState::chan_send(BytesView payload) {
+  if (!open_) return;  // silently discarded, like a closed simulated link
+  const Bytes msg = make_stream_message(proto::FrameKind::channel_data, payload);
+  out_buf_.insert(out_buf_.end(), msg.begin(), msg.end());
+  transport_.note_channel_send(payload.size());
+  flush();
+}
+
+void SocketChannelState::flush() {
+  while (open_ && out_pos_ < out_buf_.size()) {
+    const ssize_t n = ::send(fd_, out_buf_.data() + out_pos_,
+                             out_buf_.size() - out_pos_, MSG_NOSIGNAL);
+    if (n > 0) {
+      out_pos_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!want_write_) {
+        want_write_ = true;
+        transport_.rearm_fd(fd_, EPOLLIN | EPOLLOUT);
+      }
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    do_break();
+    return;
+  }
+  if (out_pos_ >= out_buf_.size()) {
+    out_buf_.clear();
+    out_pos_ = 0;
+    if (want_write_) {
+      want_write_ = false;
+      if (open_) transport_.rearm_fd(fd_, EPOLLIN);
+    }
+  }
+}
+
+void SocketChannelState::start(Bytes leftover) {
+  in_buf_ = std::move(leftover);
+  auto self = shared_from_this();
+  transport_.watch_fd(fd_, EPOLLIN,
+                      [self](std::uint32_t events) { self->handle_io(events); });
+  // Bytes that rode in behind the handshake frame are already ours.
+  if (!in_buf_.empty()) handle_io(0);
+}
+
+void SocketChannelState::handle_io(std::uint32_t events) {
+  if (!open_) return;
+  if (events & EPOLLOUT) flush();
+  // EPOLLERR/EPOLLHUP also take the read path: recv drains whatever the
+  // peer sent before resetting, then reports EOF, which breaks the channel.
+  if ((events & (EPOLLIN | EPOLLERR | EPOLLHUP)) || events == 0) {
+    std::uint8_t buf[16384];
+    for (;;) {
+      if (events == 0) break;  // only parse leftover bytes, no read
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n > 0) {
+        in_buf_.insert(in_buf_.end(), buf, buf + n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      do_break();  // EOF or hard error — the peer is gone
+      return;
+    }
+    // Deliver every complete length-prefixed frame, in order.
+    std::size_t pos = 0;
+    while (open_ && in_buf_.size() - pos >= 4) {
+      const std::uint32_t len = read_u32(BytesView(in_buf_).subspan(pos, 4));
+      if (len > kMaxStreamFrame) {
+        do_break();
+        return;
+      }
+      if (in_buf_.size() - pos - 4 < len) break;
+      const BytesView frame_bytes = BytesView(in_buf_).subspan(pos + 4, len);
+      pos += 4 + len;
+      auto frame = proto::decode_frame(frame_bytes);
+      if (!frame || frame->kind != proto::FrameKind::channel_data) {
+        transport_.note_bad_frame();
+        continue;
+      }
+      transport_.note_channel_receive(frame->payload.size());
+      // Invoke a copy: the handler may replace on_receive_ from inside the
+      // call (session handshake → attach_channel), which would otherwise
+      // destroy the lambda mid-execution.
+      if (on_receive_) {
+        auto handler = on_receive_;
+        handler(frame->payload);
+      }
+    }
+    if (pos > 0) in_buf_.erase(in_buf_.begin(), in_buf_.begin() + pos);
+  }
+}
+
+void SocketChannelState::chan_close() {
+  if (!open_) return;
+  open_ = false;
+  // Push out whatever is queued without blocking; the peer then sees EOF.
+  while (out_pos_ < out_buf_.size()) {
+    const ssize_t n = ::send(fd_, out_buf_.data() + out_pos_,
+                             out_buf_.size() - out_pos_, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    out_pos_ += static_cast<std::size_t>(n);
+  }
+  transport_.unwatch_fd(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  on_receive_ = nullptr;
+  on_break_ = nullptr;  // local close is not a break
+}
+
+void SocketChannelState::do_break() {
+  if (!open_) return;
+  open_ = false;
+  transport_.unwatch_fd(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  transport_.note_channel_break();
+  auto handler = std::move(on_break_);
+  on_break_ = nullptr;
+  on_receive_ = nullptr;
+  if (handler) handler();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SocketEndpoint — one device × technology attachment point.
+// ---------------------------------------------------------------------------
+
+class SocketTransport::SocketEndpoint final : public Endpoint {
+ public:
+  SocketEndpoint(SocketTransport& transport, DeviceId device,
+                 net::TechProfile profile)
+      : t_(transport), device_(device), profile_(std::move(profile)) {
+    bring_up();
+  }
+
+  ~SocketEndpoint() override {
+    tear_down(/*notify=*/false);  // silent, like tearing down a Medium
+  }
+
+  DeviceId device() const override { return device_; }
+  const net::TechProfile& profile() const override { return profile_; }
+
+  void set_powered(bool on) override {
+    if (powered_ == on) return;
+    powered_ = on;
+    if (on) {
+      bring_up();
+    } else {
+      tear_down(/*notify=*/true);
+    }
+  }
+  bool powered() const override { return powered_; }
+
+  void start_inquiry(InquiryHandler done) override;
+  void bind(net::Port port, DatagramHandler handler) override {
+    dgram_handlers_[port] = std::move(handler);
+  }
+  void unbind(net::Port port) override { dgram_handlers_.erase(port); }
+  void send_datagram(DeviceId dst, net::Port port, BytesView payload) override;
+  void broadcast_datagram(net::Port port, BytesView payload) override;
+  void listen(net::Port port, AcceptHandler on_accept) override {
+    listeners_[port] = std::move(on_accept);
+  }
+  void stop_listen(net::Port port) override { listeners_.erase(port); }
+  void connect(DeviceId dst, net::Port port, ConnectHandler done) override;
+  double signal_to(DeviceId dst) const override;
+
+  std::size_t open_channel_count() const {
+    std::size_t n = 0;
+    for (const auto& weak : channels_) {
+      if (auto ch = weak.lock(); ch && ch->chan_open()) ++n;
+    }
+    return n;
+  }
+
+ private:
+  /// An outgoing connect between ::connect(2) and channel_accept/reject.
+  struct PendingConn {
+    int fd = -1;
+    DeviceId dst = net::kInvalidNode;
+    ConnectHandler done;
+    Bytes buf;
+    sim::EventId timeout = 0;
+  };
+  /// An accepted stream fd waiting for its channel_open frame.
+  struct PendingAccept {
+    int fd = -1;
+    Bytes buf;
+    sim::EventId timeout = 0;
+  };
+
+  void bring_up();
+  void tear_down(bool notify);
+  void handle_dgram_readable();
+  void handle_listen_readable();
+  void settle_accept(int fd);
+  void drop_accept(int fd);
+  void settle_connect(int fd);
+  void fail_connect(int fd, Error error);
+  std::vector<DeviceId> scan_peers() const;
+  std::shared_ptr<SocketChannelState> adopt(int fd, DeviceId remote,
+                                            Bytes leftover);
+
+  SocketTransport& t_;
+  DeviceId device_;
+  net::TechProfile profile_;
+  bool powered_ = true;
+  int dgram_fd_ = -1;
+  int listen_fd_ = -1;
+  std::map<net::Port, DatagramHandler> dgram_handlers_;
+  std::map<net::Port, AcceptHandler> listeners_;
+  std::map<int, PendingConn> pending_conns_;
+  std::map<int, PendingAccept> pending_accepts_;
+  std::vector<std::weak_ptr<SocketChannelState>> channels_;
+};
+
+void SocketTransport::SocketEndpoint::bring_up() {
+  const std::string dpath = endpoint_path(t_.dir_, device_, profile_.tech, "dgram");
+  const std::string spath = endpoint_path(t_.dir_, device_, profile_.tech, "stream");
+  ::unlink(dpath.c_str());
+  ::unlink(spath.c_str());
+
+  dgram_fd_ = make_socket(SOCK_DGRAM);
+  PH_CHECK_MSG(dgram_fd_ >= 0, "socket(AF_UNIX, SOCK_DGRAM) failed");
+  sockaddr_un daddr = make_addr(dpath);
+  PH_CHECK_MSG(::bind(dgram_fd_, reinterpret_cast<sockaddr*>(&daddr),
+                      sizeof(daddr)) == 0,
+               "bind() of datagram socket failed");
+  t_.watch_fd(dgram_fd_, EPOLLIN,
+              [this](std::uint32_t) { handle_dgram_readable(); });
+
+  listen_fd_ = make_socket(SOCK_STREAM);
+  PH_CHECK_MSG(listen_fd_ >= 0, "socket(AF_UNIX, SOCK_STREAM) failed");
+  sockaddr_un saddr = make_addr(spath);
+  PH_CHECK_MSG(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&saddr),
+                      sizeof(saddr)) == 0,
+               "bind() of stream socket failed");
+  PH_CHECK_MSG(::listen(listen_fd_, 64) == 0, "listen() failed");
+  t_.watch_fd(listen_fd_, EPOLLIN,
+              [this](std::uint32_t) { handle_listen_readable(); });
+}
+
+void SocketTransport::SocketEndpoint::tear_down(bool notify) {
+  if (dgram_fd_ >= 0) {
+    t_.unwatch_fd(dgram_fd_);
+    ::close(dgram_fd_);
+    dgram_fd_ = -1;
+    ::unlink(endpoint_path(t_.dir_, device_, profile_.tech, "dgram").c_str());
+  }
+  if (listen_fd_ >= 0) {
+    t_.unwatch_fd(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(endpoint_path(t_.dir_, device_, profile_.tech, "stream").c_str());
+  }
+  while (!pending_accepts_.empty()) drop_accept(pending_accepts_.begin()->first);
+  while (!pending_conns_.empty()) {
+    fail_connect(pending_conns_.begin()->first,
+                 Error{Errc::connect_failed, "local endpoint powered off"});
+  }
+  // Break (or silently drop) every live channel. force_break unregisters
+  // the fd handler, releasing the loop's owning reference.
+  auto channels = std::move(channels_);
+  channels_.clear();
+  for (auto& weak : channels) {
+    if (auto ch = weak.lock()) {
+      if (notify) {
+        ch->force_break();
+      } else {
+        ch->chan_close();
+      }
+    }
+  }
+}
+
+void SocketTransport::SocketEndpoint::handle_dgram_readable() {
+  std::uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(dgram_fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    auto frame = proto::decode_frame(BytesView(buf, static_cast<std::size_t>(n)));
+    if (!frame || frame->kind != proto::FrameKind::datagram ||
+        frame->payload.size() < 6) {
+      t_.note_bad_frame();
+      continue;
+    }
+    const DeviceId src = read_u32(frame->payload.subspan(0, 4));
+    const net::Port port = read_u16(frame->payload.subspan(4, 2));
+    t_.c_datagrams_received_->inc();
+    auto it = dgram_handlers_.find(port);
+    if (it == dgram_handlers_.end()) continue;
+    // Copy the handler: it may rebind (or unbind) this very port.
+    DatagramHandler handler = it->second;
+    handler(src, frame->payload.subspan(6));
+  }
+}
+
+void SocketTransport::SocketEndpoint::send_datagram(DeviceId dst, net::Port port,
+                                                    BytesView payload) {
+  if (!powered_) return;
+  Bytes body;
+  body.reserve(6 + payload.size());
+  append_u32(body, device_);  // src
+  append_u16(body, port);
+  body.insert(body.end(), payload.begin(), payload.end());
+  const Bytes frame = proto::encode_frame(proto::FrameKind::datagram, body);
+  const std::string path = endpoint_path(t_.dir_, dst, profile_.tech, "dgram");
+  sockaddr_un addr = make_addr(path);
+  // Fire and forget: an absent or unpowered peer just loses the frame,
+  // exactly the unreliable-datagram contract.
+  (void)::sendto(dgram_fd_, frame.data(), frame.size(), MSG_NOSIGNAL,
+                 reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  t_.c_datagrams_sent_->inc();
+  t_.c_datagram_bytes_->inc(payload.size());
+}
+
+void SocketTransport::SocketEndpoint::broadcast_datagram(net::Port port,
+                                                         BytesView payload) {
+  if (!powered_ || !profile_.supports_broadcast) return;
+  for (DeviceId peer : scan_peers()) {
+    send_datagram(peer, port, payload);
+  }
+}
+
+std::vector<DeviceId> SocketTransport::SocketEndpoint::scan_peers() const {
+  std::vector<DeviceId> found;
+  DIR* dir = ::opendir(t_.dir_.c_str());
+  if (dir == nullptr) return found;
+  while (dirent* entry = ::readdir(dir)) {
+    const DeviceId id = parse_dgram_entry(entry->d_name, profile_.tech);
+    if (id != net::kInvalidNode && id != device_) found.push_back(id);
+  }
+  ::closedir(dir);
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+void SocketTransport::SocketEndpoint::start_inquiry(InquiryHandler done) {
+  // The scan takes the technology's inquiry duration (virtual time), then
+  // reports whoever has a datagram socket in the rendezvous directory —
+  // the socket substrate's "in radio range and answering".
+  t_.scheduler_->schedule(
+      profile_.inquiry_duration, [this, done = std::move(done)]() {
+        if (!powered_) {
+          done({});
+          return;
+        }
+        std::vector<DeviceId> found;
+        for (DeviceId peer : scan_peers()) {
+          if (profile_.inquiry_detect_prob >= 1.0 ||
+              t_.rng_.chance(profile_.inquiry_detect_prob)) {
+            found.push_back(peer);
+          }
+        }
+        done(std::move(found));
+      });
+}
+
+double SocketTransport::SocketEndpoint::signal_to(DeviceId dst) const {
+  if (!powered_) return 0.0;
+  const std::string path = endpoint_path(t_.dir_, dst, profile_.tech, "dgram");
+  return ::access(path.c_str(), F_OK) == 0 ? 1.0 : 0.0;
+}
+
+std::shared_ptr<SocketChannelState> SocketTransport::SocketEndpoint::adopt(
+    int fd, DeviceId remote, Bytes leftover) {
+  auto state =
+      std::make_shared<SocketChannelState>(t_, fd, remote, profile_.tech);
+  state->start(std::move(leftover));
+  std::erase_if(channels_, [](const auto& weak) { return weak.expired(); });
+  channels_.push_back(state);
+  return state;
+}
+
+// --- accept side -----------------------------------------------------------
+
+void SocketTransport::SocketEndpoint::handle_listen_readable() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient error — epoll will re-notify
+    }
+    auto [it, inserted] = pending_accepts_.emplace(fd, PendingAccept{});
+    it->second.fd = fd;
+    // A peer that connects but never sends channel_open must not pin the
+    // fd forever.
+    it->second.timeout = t_.scheduler_->schedule(
+        sim::seconds(10), [this, fd]() { drop_accept(fd); });
+    t_.watch_fd(fd, EPOLLIN, [this, fd](std::uint32_t) { settle_accept(fd); });
+  }
+}
+
+void SocketTransport::SocketEndpoint::drop_accept(int fd) {
+  auto it = pending_accepts_.find(fd);
+  if (it == pending_accepts_.end()) return;
+  t_.scheduler_->cancel(it->second.timeout);
+  t_.unwatch_fd(fd);
+  ::close(fd);
+  pending_accepts_.erase(it);
+}
+
+void SocketTransport::SocketEndpoint::settle_accept(int fd) {
+  auto it = pending_accepts_.find(fd);
+  if (it == pending_accepts_.end()) return;
+  PendingAccept& pa = it->second;
+  std::uint8_t buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      pa.buf.insert(pa.buf.end(), buf, buf + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    drop_accept(fd);  // peer vanished before the handshake
+    return;
+  }
+  if (pa.buf.size() < 4) return;
+  const std::uint32_t len = read_u32(BytesView(pa.buf).subspan(0, 4));
+  if (len > kMaxStreamFrame) {
+    drop_accept(fd);
+    return;
+  }
+  if (pa.buf.size() - 4 < len) return;  // handshake frame still partial
+  auto frame = proto::decode_frame(BytesView(pa.buf).subspan(4, len));
+  Bytes leftover(pa.buf.begin() + 4 + len, pa.buf.end());
+  if (!frame || frame->kind != proto::FrameKind::channel_open ||
+      frame->payload.size() < 6) {
+    t_.note_bad_frame();
+    drop_accept(fd);
+    return;
+  }
+  const DeviceId src = read_u32(frame->payload.subspan(0, 4));
+  const net::Port port = read_u16(frame->payload.subspan(4, 2));
+  auto listener = listeners_.find(port);
+  if (!powered_ || listener == listeners_.end()) {
+    Bytes body;
+    body.push_back(static_cast<std::uint8_t>(Errc::connect_failed));
+    const Bytes reply =
+        make_stream_message(proto::FrameKind::channel_reject, body);
+    (void)::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+    drop_accept(fd);
+    return;
+  }
+  Bytes body;
+  append_u32(body, device_);
+  const Bytes reply = make_stream_message(proto::FrameKind::channel_accept, body);
+  (void)::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+  // Promote the fd: cancel bookkeeping first, then hand it to a channel.
+  t_.scheduler_->cancel(pa.timeout);
+  t_.unwatch_fd(fd);
+  AcceptHandler handler = listener->second;  // copy — may stop_listen inside
+  pending_accepts_.erase(it);
+  auto state = adopt(fd, src, std::move(leftover));
+  t_.c_channels_accepted_->inc();
+  handler(Channel(state));
+}
+
+// --- connect side ----------------------------------------------------------
+
+void SocketTransport::SocketEndpoint::connect(DeviceId dst, net::Port port,
+                                              ConnectHandler done) {
+  if (!powered_) {
+    t_.scheduler_->schedule(0, [done = std::move(done)]() {
+      done(Error{Errc::connect_failed, "local adapter powered off"});
+    });
+    return;
+  }
+  const int fd = make_socket(SOCK_STREAM);
+  PH_CHECK_MSG(fd >= 0, "socket(AF_UNIX, SOCK_STREAM) failed");
+  const std::string path = endpoint_path(t_.dir_, dst, profile_.tech, "stream");
+  sockaddr_un addr = make_addr(path);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    const Errc code = (errno == ENOENT || errno == ECONNREFUSED)
+                          ? Errc::device_unreachable
+                          : Errc::connect_failed;
+    ::close(fd);
+    t_.scheduler_->schedule(0, [done = std::move(done), code, dst]() {
+      done(Error{code, "device " + std::to_string(dst) + ": " +
+                           std::string(to_string(code))});
+    });
+    return;
+  }
+  Bytes body;
+  append_u32(body, device_);
+  append_u16(body, port);
+  const Bytes open_msg =
+      make_stream_message(proto::FrameKind::channel_open, body);
+  (void)::send(fd, open_msg.data(), open_msg.size(), MSG_NOSIGNAL);
+
+  auto [it, inserted] = pending_conns_.emplace(fd, PendingConn{});
+  it->second.fd = fd;
+  it->second.dst = dst;
+  it->second.done = std::move(done);
+  it->second.timeout = t_.scheduler_->schedule(
+      profile_.connect_latency + sim::seconds(10), [this, fd]() {
+        fail_connect(fd, Error{Errc::timeout, "channel open timed out"});
+      });
+  t_.watch_fd(fd, EPOLLIN, [this, fd](std::uint32_t) { settle_connect(fd); });
+}
+
+void SocketTransport::SocketEndpoint::fail_connect(int fd, Error error) {
+  auto it = pending_conns_.find(fd);
+  if (it == pending_conns_.end()) return;
+  ConnectHandler done = std::move(it->second.done);
+  t_.scheduler_->cancel(it->second.timeout);
+  t_.unwatch_fd(fd);
+  ::close(fd);
+  pending_conns_.erase(it);
+  done(std::move(error));
+}
+
+void SocketTransport::SocketEndpoint::settle_connect(int fd) {
+  auto it = pending_conns_.find(fd);
+  if (it == pending_conns_.end()) return;
+  PendingConn& pc = it->second;
+  std::uint8_t buf[4096];
+  // On EOF the peer may already have written a complete reject/accept frame
+  // before closing (reject-then-close is the normal refusal shape), so parse
+  // the buffered bytes first and only report unreachable if they are short.
+  bool eof = false;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      pc.buf.insert(pc.buf.end(), buf, buf + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    eof = true;
+    break;
+  }
+  const auto incomplete = [&] {
+    if (eof) {
+      fail_connect(fd, Error{Errc::device_unreachable,
+                             "peer closed during channel open"});
+    }
+  };
+  if (pc.buf.size() < 4) return incomplete();
+  const std::uint32_t len = read_u32(BytesView(pc.buf).subspan(0, 4));
+  if (len > kMaxStreamFrame) {
+    fail_connect(fd, Error{Errc::protocol_error, "oversized handshake reply"});
+    return;
+  }
+  if (pc.buf.size() - 4 < len) return incomplete();
+  auto frame = proto::decode_frame(BytesView(pc.buf).subspan(4, len));
+  if (!frame) {
+    t_.note_bad_frame();
+    fail_connect(fd, Error{Errc::protocol_error, "bad handshake reply"});
+    return;
+  }
+  if (frame->kind == proto::FrameKind::channel_reject) {
+    const Errc code = frame->payload.empty()
+                          ? Errc::connect_failed
+                          : static_cast<Errc>(std::min<std::uint8_t>(
+                                frame->payload[0],
+                                static_cast<std::uint8_t>(Errc::state_error)));
+    fail_connect(fd, Error{code == Errc::ok ? Errc::connect_failed : code,
+                           "peer rejected channel open"});
+    return;
+  }
+  if (frame->kind != proto::FrameKind::channel_accept) {
+    fail_connect(fd, Error{Errc::protocol_error, "unexpected handshake reply"});
+    return;
+  }
+  Bytes leftover(pc.buf.begin() + 4 + len, pc.buf.end());
+  ConnectHandler done = std::move(pc.done);
+  const DeviceId dst = pc.dst;
+  t_.scheduler_->cancel(pc.timeout);
+  t_.unwatch_fd(fd);
+  pending_conns_.erase(it);
+  auto state = adopt(fd, dst, std::move(leftover));
+  t_.c_channels_opened_->inc();
+  done(Channel(state));
+}
+
+// ---------------------------------------------------------------------------
+// SocketTransport
+// ---------------------------------------------------------------------------
+
+SocketTransport::SocketTransport(SocketTransportConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      next_device_(config_.first_device_id == net::kInvalidNode
+                       ? 1
+                       : config_.first_device_id) {
+  if (config_.socket_dir.empty()) {
+    char tmpl[] = "/tmp/ph_socket_XXXXXX";
+    PH_CHECK_MSG(::mkdtemp(tmpl) != nullptr, "mkdtemp() failed");
+    dir_ = tmpl;
+    owns_dir_ = true;
+  } else {
+    dir_ = config_.socket_dir;
+    ::mkdir(dir_.c_str(), 0700);  // EEXIST is fine — shared directories
+  }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  PH_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1() failed");
+  scheduler_ = std::make_unique<WallScheduler>(*this, config_.time_scale);
+  device_names_.emplace_back();  // index 0 = kInvalidNode
+
+  c_datagrams_sent_ = &registry_.counter("transport.socket.datagrams_sent");
+  c_datagrams_received_ =
+      &registry_.counter("transport.socket.datagrams_received");
+  c_datagram_bytes_ = &registry_.counter("transport.socket.datagram_bytes");
+  c_channels_opened_ = &registry_.counter("transport.socket.channels_opened");
+  c_channels_accepted_ =
+      &registry_.counter("transport.socket.channels_accepted");
+  c_channels_broken_ = &registry_.counter("transport.socket.channels_broken");
+  c_channel_messages_ =
+      &registry_.counter("transport.socket.channel_messages");
+  c_channel_bytes_ = &registry_.counter("transport.socket.channel_bytes");
+  c_bad_frames_ = &registry_.counter("transport.socket.bad_frames");
+}
+
+SocketTransport::~SocketTransport() {
+  endpoints_.clear();  // unlinks sockets, closes fds, silently drops channels
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (owns_dir_) ::rmdir(dir_.c_str());  // best-effort; fails if shared
+}
+
+Scheduler& SocketTransport::scheduler() { return *scheduler_; }
+const Scheduler& SocketTransport::scheduler() const { return *scheduler_; }
+
+DeviceId SocketTransport::add_device(
+    std::string name, std::unique_ptr<sim::MobilityModel> /*mobility*/) {
+  device_names_.push_back(std::move(name));
+  return next_device_++;
+}
+
+Endpoint& SocketTransport::add_endpoint(DeviceId device,
+                                        net::TechProfile profile) {
+  const auto key = std::make_pair(device, profile.tech);
+  PH_CHECK_MSG(!endpoints_.contains(key),
+               "one endpoint per (device, technology)");
+  auto endpoint =
+      std::make_unique<SocketEndpoint>(*this, device, std::move(profile));
+  auto [it, inserted] = endpoints_.emplace(key, std::move(endpoint));
+  return *it->second;
+}
+
+Endpoint* SocketTransport::endpoint(DeviceId device, net::Technology tech) {
+  auto it = endpoints_.find(std::make_pair(device, tech));
+  return it == endpoints_.end() ? nullptr : it->second.get();
+}
+
+std::size_t SocketTransport::open_channel_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [key, endpoint] : endpoints_) n += endpoint->open_channel_count();
+  return n;
+}
+
+void SocketTransport::watch_fd(int fd, std::uint32_t events,
+                               std::function<void(std::uint32_t)> handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  PH_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+               "epoll_ctl(ADD) failed");
+  fd_handlers_[fd] = std::move(handler);
+}
+
+void SocketTransport::rearm_fd(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void SocketTransport::unwatch_fd(int fd) {
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  fd_handlers_.erase(fd);
+}
+
+void SocketTransport::pump_epoll(int timeout_ms) {
+  epoll_event events[64];
+  const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    // Re-lookup per event: an earlier handler in this batch may have
+    // unregistered this fd (closed channel, settled handshake).
+    auto it = fd_handlers_.find(fd);
+    if (it == fd_handlers_.end()) continue;
+    auto handler = it->second;  // copy — the handler may erase itself
+    handler(events[i].events);
+  }
+}
+
+void SocketTransport::note_channel_send(std::size_t bytes) {
+  c_channel_messages_->inc();
+  c_channel_bytes_->inc(bytes);
+}
+
+void SocketTransport::note_channel_receive(std::size_t bytes) {
+  c_channel_bytes_->inc(bytes);
+}
+
+void SocketTransport::note_channel_break() { c_channels_broken_->inc(); }
+
+void SocketTransport::note_bad_frame() { c_bad_frames_->inc(); }
+
+}  // namespace ph::transport

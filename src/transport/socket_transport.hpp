@@ -1,0 +1,127 @@
+// SocketTransport — the real-POSIX-socket backend of ph::transport.
+//
+// Each endpoint (device × technology) owns two UNIX-domain sockets in a
+// shared rendezvous directory:
+//
+//   <dir>/d<device>.t<tech>.dgram    SOCK_DGRAM  — connectionless plane
+//   <dir>/d<device>.t<tech>.stream   SOCK_STREAM — channel plane
+//
+// The directory doubles as the service directory (libqi's
+// service-directory role): addresses are derivable from (device, tech)
+// alone, so discovery is a directory scan and daemons in *separate
+// processes* can rendezvous by sharing one directory. Every frame that
+// crosses a socket carries the versioned proto::Frame envelope; above the
+// envelope the bytes are exactly what the simulated medium carries, so
+// daemon/session parsing is substrate-identical.
+//
+// The event loop is single-threaded epoll driven through
+// Scheduler::run_until: virtual microseconds map onto the wall clock,
+// optionally compressed by `time_scale` so protocol cadences tuned for
+// simulated seconds (20 s inquiry gaps, 2 s pings) run in bounded
+// wall-clock during tests. Channels are reliable and ordered (SOCK_STREAM
+// with length-prefixed messages); a reset, EOF or power-off surfaces as a
+// channel *break*, exactly like a simulated link losing radio contact.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "transport/transport.hpp"
+
+namespace ph::transport {
+
+struct SocketTransportConfig {
+  /// Rendezvous directory holding every endpoint's sockets. Empty = create
+  /// (and on destruction remove) a fresh mkdtemp directory; set it
+  /// explicitly to share one directory across processes.
+  std::string socket_dir;
+  /// Virtual microseconds that elapse per wall-clock microsecond. 1.0 =
+  /// real time; 50.0 runs the daemon's 2 s ping cadence every 40 ms of
+  /// wall clock. Applies to the scheduler only — socket I/O is always as
+  /// fast as the kernel delivers it.
+  double time_scale = 1.0;
+  /// Seed of the transport's RNG stream (session ids, inquiry detection).
+  std::uint64_t seed = 1;
+  /// First id handed out by add_device; partition the id space when
+  /// several processes share one socket_dir.
+  DeviceId first_device_id = 1;
+};
+
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(SocketTransportConfig config = {});
+  ~SocketTransport() override;
+
+  const char* name() const override { return "socket"; }
+  bool simulated() const override { return false; }
+
+  Scheduler& scheduler() override;
+  const Scheduler& scheduler() const override;
+  obs::Registry& registry() override { return registry_; }
+  obs::Trace& trace() override { return trace_; }
+  sim::Rng& rng() override { return rng_; }
+
+  DeviceId add_device(std::string name,
+                      std::unique_ptr<sim::MobilityModel> mobility) override;
+  Endpoint& add_endpoint(DeviceId device, net::TechProfile profile) override;
+  Endpoint* endpoint(DeviceId device, net::Technology tech) override;
+
+  const std::string& socket_dir() const noexcept { return dir_; }
+
+  /// Live channel fds across all endpoints (leak check for tests).
+  std::size_t open_channel_count() const noexcept;
+
+  // Backend-internal plumbing, public because channel states are file-local
+  // classes in socket_transport.cpp. Not for use above the transport layer.
+
+  /// Registers `fd` with the epoll loop; `handler(events)` runs from
+  /// run_until. Handlers may unregister any fd, including their own.
+  void watch_fd(int fd, std::uint32_t events,
+                std::function<void(std::uint32_t)> handler);
+  void rearm_fd(int fd, std::uint32_t events);
+  void unwatch_fd(int fd);
+  void note_channel_send(std::size_t bytes);
+  void note_channel_receive(std::size_t bytes);
+  void note_channel_break();
+  void note_bad_frame();
+
+ private:
+  class WallScheduler;
+  class SocketEndpoint;
+  friend class SocketEndpoint;
+
+  /// One epoll_wait + handler dispatch round; called from run_until.
+  void pump_epoll(int timeout_ms);
+
+  SocketTransportConfig config_;
+  std::string dir_;
+  bool owns_dir_ = false;
+  int epoll_fd_ = -1;
+  std::map<int, std::function<void(std::uint32_t)>> fd_handlers_;
+
+  obs::Registry registry_;
+  obs::Trace trace_;
+  sim::Rng rng_;
+  std::unique_ptr<WallScheduler> scheduler_;
+
+  std::vector<std::string> device_names_;  // index 0 unused
+  DeviceId next_device_;
+  std::map<std::pair<DeviceId, net::Technology>,
+           std::unique_ptr<SocketEndpoint>>
+      endpoints_;
+
+  // Registry handles (`transport.socket.*`).
+  obs::Counter* c_datagrams_sent_ = nullptr;
+  obs::Counter* c_datagrams_received_ = nullptr;
+  obs::Counter* c_datagram_bytes_ = nullptr;
+  obs::Counter* c_channels_opened_ = nullptr;
+  obs::Counter* c_channels_accepted_ = nullptr;
+  obs::Counter* c_channels_broken_ = nullptr;
+  obs::Counter* c_channel_messages_ = nullptr;
+  obs::Counter* c_channel_bytes_ = nullptr;
+  obs::Counter* c_bad_frames_ = nullptr;
+};
+
+}  // namespace ph::transport

@@ -21,6 +21,8 @@ std::string_view to_string(Errc code) noexcept {
     case Errc::no_such_group: return "no_such_group";
     case Errc::invalid_argument: return "invalid_argument";
     case Errc::state_error: return "state_error";
+    case Errc::transport_error: return "transport_error";
+    case Errc::not_supported: return "not_supported";
   }
   return "unknown";
 }

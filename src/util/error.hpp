@@ -50,6 +50,12 @@ enum class Errc {
   invalid_argument,
   /// Local persistent state rejected the operation (e.g. duplicate profile).
   state_error,
+  /// The transport substrate failed an operation (socket error, endpoint
+  /// missing) in a way no more specific code covers.
+  transport_error,
+  /// The operation is not available on this backend, technology or device
+  /// (e.g. powering a radio the device does not have).
+  not_supported,
 };
 
 /// Human-readable name of an error code; stable, for logs and tests.

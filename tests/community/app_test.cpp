@@ -1,5 +1,6 @@
 // CommunityApp tests: login lifecycle and PeerHood-driven dynamic group
 // discovery (Figure 5) end to end on simulated Bluetooth.
+#include "net/medium.hpp"
 #include "community/app.hpp"
 
 #include <gtest/gtest.h>

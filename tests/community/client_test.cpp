@@ -1,5 +1,6 @@
 // CommunityClient tests: the fan-out MSC operations (Figures 11-17) against
 // real servers over the simulated Bluetooth neighbourhood.
+#include "net/medium.hpp"
 #include "community/client.hpp"
 
 #include <gtest/gtest.h>

@@ -1,5 +1,6 @@
 // CommunityServer::handle — pure dispatch tests covering every row of the
 // thesis' Table 6 plus the MSC-only operations (Figures 11-17).
+#include "net/medium.hpp"
 #include "community/server.hpp"
 
 #include <gtest/gtest.h>

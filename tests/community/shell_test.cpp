@@ -1,4 +1,5 @@
 // Shell tests — the Figure 10 terminal UI, driven exactly as a user would.
+#include "net/medium.hpp"
 #include "community/shell.hpp"
 
 #include <gtest/gtest.h>

@@ -3,6 +3,7 @@
 // tests/integration/table8_scenario_test.cpp).
 #include <gtest/gtest.h>
 
+#include "net/medium.hpp"
 #include "eval/scenarios.hpp"
 #include "eval/table8.hpp"
 

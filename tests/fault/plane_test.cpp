@@ -1,6 +1,7 @@
 // FaultPlane integration: every fault type actually bites the stack it
 // targets, and the whole plane is deterministic — same seed, same faults,
 // same metrics.
+#include "net/medium.hpp"
 #include "fault/plane.hpp"
 
 #include <gtest/gtest.h>
@@ -268,8 +269,8 @@ TEST(PlaneSessionTest, SignalRampDrivesProactiveHandover) {
   peerhood::Stack b(medium,
                     std::make_unique<sim::StaticMobility>(sim::Vec2{9, 0}),
                     config);
-  a.set_radio_powered(net::Technology::wlan, false);
-  b.set_radio_powered(net::Technology::wlan, false);
+  (void)a.set_radio_powered(net::Technology::wlan, false);
+  (void)b.set_radio_powered(net::Technology::wlan, false);
 
   std::shared_ptr<peerhood::Connection> server;
   ASSERT_TRUE(b.library()
@@ -301,8 +302,8 @@ TEST(PlaneSessionTest, SignalRampDrivesProactiveHandover) {
   // Both WLAN radios come back; then b starts fading. The per-node factor
   // hits every technology, but BT at 9/10 m has so little margin that it
   // drops below the weak-signal threshold while WLAN stays clearly better.
-  a.set_radio_powered(net::Technology::wlan, true);
-  b.set_radio_powered(net::Technology::wlan, true);
+  (void)a.set_radio_powered(net::Technology::wlan, true);
+  (void)b.set_radio_powered(net::Technology::wlan, true);
   SignalRamp ramp;
   ramp.node = b.id();
   ramp.start = simulator.now() + sim::seconds(2);

@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "net/medium.hpp"
 #include "peerhood/stack.hpp"
 #include "tests/testutil/flight_guard.hpp"
 #include "tests/testutil/sim_helpers.hpp"

@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "net/medium.hpp"
 #include "community/app.hpp"
 #include "tests/testutil/flight_guard.hpp"
 #include "tests/testutil/sim_helpers.hpp"

@@ -15,6 +15,7 @@
 #include <map>
 #include <string>
 
+#include "net/medium.hpp"
 #include "eval/scenarios.hpp"
 #include "obs/trace.hpp"
 #include "sns/browser.hpp"
@@ -68,7 +69,7 @@ TEST(E2ETrace, CommunityOperationSpansNestAcrossLayers) {
   std::vector<eval::ScenarioDevice> devices =
       eval::comlab_room(medium, /*autostart=*/false);
   eval::ScenarioDevice& self = devices[0];
-  for (eval::ScenarioDevice& device : devices) device.stack->daemon().start();
+  for (eval::ScenarioDevice& device : devices) (void)device.stack->daemon().start();
 
   // Cold-start discovery until the Football group has formed.
   while (true) {

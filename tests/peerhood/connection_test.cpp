@@ -1,3 +1,4 @@
+#include "net/medium.hpp"
 #include "peerhood/connection.hpp"
 
 #include <gtest/gtest.h>
@@ -129,7 +130,7 @@ TEST_F(ConnectionTest, NonSeamlessBreakReportsConnectionLost) {
     closed = true;
     close_reason = error;
   });
-  b_->set_radio_powered(net::Technology::bluetooth, false);
+  (void)b_->set_radio_powered(net::Technology::bluetooth, false);
   ASSERT_TRUE(run_until(simulator_, [&] { return closed; }, sim::seconds(5)));
   EXPECT_EQ(close_reason.code, Errc::connection_lost);
   EXPECT_FALSE(client.open());
@@ -147,7 +148,7 @@ TEST_F(ConnectionTest, SeamlessGivesUpAfterResumeDeadline) {
     close_reason = error;
   });
   // The only common radio disappears for good.
-  b_->set_radio_powered(net::Technology::bluetooth, false);
+  (void)b_->set_radio_powered(net::Technology::bluetooth, false);
   simulator_.run_until(simulator_.now() + sim::seconds(3));
   EXPECT_FALSE(closed);  // still hunting
   ASSERT_TRUE(run_until(simulator_, [&] { return closed; }, sim::seconds(10)));
@@ -162,10 +163,10 @@ TEST_F(ConnectionTest, SeamlessRecoversWhenPeerReturnsInTime) {
   std::vector<std::string> got;
   client.on_message([&](BytesView data) { got.push_back(to_text(data)); });
   // Radio blips off for 3 seconds, then returns.
-  b_->set_radio_powered(net::Technology::bluetooth, false);
+  (void)b_->set_radio_powered(net::Technology::bluetooth, false);
   client.send(to_bytes("during-outage"));
   simulator_.run_until(simulator_.now() + sim::seconds(3));
-  b_->set_radio_powered(net::Technology::bluetooth, true);
+  (void)b_->set_radio_powered(net::Technology::bluetooth, true);
   ASSERT_TRUE(run_until(
       simulator_, [&] { return !got.empty(); }, sim::seconds(30)));
   EXPECT_EQ(got, (std::vector<std::string>{"during-outage"}));

@@ -1,3 +1,4 @@
+#include "net/medium.hpp"
 #include "peerhood/daemon.hpp"
 
 #include <gtest/gtest.h>
@@ -340,7 +341,7 @@ TEST_F(DaemonTest, StartAfterStopResumesDiscovery) {
   Stack& a = add_device("a", {0, 0}, /*autostart=*/false);
   add_device("b", {3, 0});
   simulator_.run_until(sim::seconds(5));
-  a.daemon().start();
+  (void)a.daemon().start();
   ASSERT_TRUE(run_until(
       simulator_, [&] { return !a.daemon().devices().empty(); },
       sim::seconds(15)));

@@ -1,3 +1,4 @@
+#include "net/medium.hpp"
 #include "peerhood/library.hpp"
 
 #include <gtest/gtest.h>

@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "net/medium.hpp"
 #include "peerhood/stack.hpp"
 #include "tests/testutil/sim_helpers.hpp"
 
@@ -57,7 +58,7 @@ TEST_P(MonitoringPropertyTest, DetectionWithinBound) {
 
   // Silent death (radio off, no goodbye).
   const sim::Time died_at = simulator.now();
-  target.set_radio_powered(net::Technology::bluetooth, false);
+  (void)target.set_radio_powered(net::Technology::bluetooth, false);
   ASSERT_TRUE(run_until(simulator, [&] { return gone; }, sim::minutes(5)));
   const double detection_s = sim::to_seconds(simulator.now() - died_at);
   // Bound: (max_missed + 1) intervals (the +1 covers dying right after a

@@ -26,7 +26,7 @@ TEST_F(PluginTest, BtPluginIdentity) {
   auto plugin = make_bt_plugin(adapter);
   EXPECT_EQ(plugin->name(), "BTPlugin");
   EXPECT_EQ(plugin->technology(), net::Technology::bluetooth);
-  EXPECT_EQ(&plugin->adapter(), &adapter);
+  EXPECT_EQ(plugin->endpoint().device(), adapter.node());
 }
 
 TEST_F(PluginTest, WlanPluginIdentity) {

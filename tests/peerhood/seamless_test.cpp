@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "net/medium.hpp"
 #include "peerhood/stack.hpp"
 #include "tests/testutil/sim_helpers.hpp"
 

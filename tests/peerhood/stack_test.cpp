@@ -1,3 +1,4 @@
+#include "net/medium.hpp"
 #include "peerhood/stack.hpp"
 
 #include <gtest/gtest.h>
@@ -52,7 +53,7 @@ TEST_F(StackTest, AutostartFalseLeavesDaemonStopped) {
   Stack stack(medium_, std::make_unique<sim::StaticMobility>(sim::Vec2{0, 0}),
               config);
   EXPECT_FALSE(stack.daemon().running());
-  stack.daemon().start();
+  (void)stack.daemon().start();
   EXPECT_TRUE(stack.daemon().running());
 }
 

@@ -1,0 +1,79 @@
+#include "proto/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ph::proto {
+namespace {
+
+TEST(FrameTest, RoundTripsEveryKind) {
+  const FrameKind kinds[] = {FrameKind::datagram, FrameKind::channel_open,
+                             FrameKind::channel_accept,
+                             FrameKind::channel_reject,
+                             FrameKind::channel_data};
+  for (FrameKind kind : kinds) {
+    const Bytes payload = to_bytes("payload for " + std::string(to_string(kind)));
+    const Bytes wire = encode_frame(kind, payload);
+    ASSERT_EQ(wire.size(), kFrameHeaderSize + payload.size());
+
+    auto decoded = decode_frame(wire);
+    ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+    EXPECT_EQ(decoded->kind, kind);
+    EXPECT_EQ(decoded->version, kFrameVersion);
+    EXPECT_EQ(to_text(decoded->payload), to_text(payload));
+  }
+}
+
+TEST(FrameTest, RoundTripsEmptyPayload) {
+  const Bytes wire = encode_frame(FrameKind::channel_data, {});
+  ASSERT_EQ(wire.size(), kFrameHeaderSize);
+  auto decoded = decode_frame(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(FrameTest, HeaderLayoutIsLittleEndianMagicVersionKind) {
+  const Bytes wire = encode_frame(FrameKind::datagram, to_bytes("x"));
+  ASSERT_GE(wire.size(), kFrameHeaderSize);
+  EXPECT_EQ(wire[0], 0x48);  // 'H' — low byte of 0x5048
+  EXPECT_EQ(wire[1], 0x50);  // 'P'
+  EXPECT_EQ(wire[2], kFrameVersion);
+  EXPECT_EQ(wire[3], static_cast<std::uint8_t>(FrameKind::datagram));
+}
+
+TEST(FrameTest, RejectsBadMagic) {
+  Bytes wire = encode_frame(FrameKind::datagram, to_bytes("x"));
+  wire[0] ^= 0xFF;
+  auto decoded = decode_frame(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, Errc::protocol_error);
+}
+
+TEST(FrameTest, RejectsFutureVersion) {
+  Bytes wire = encode_frame(FrameKind::datagram, to_bytes("x"));
+  wire[2] = kFrameVersion + 1;
+  auto decoded = decode_frame(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, Errc::protocol_error);
+}
+
+TEST(FrameTest, RejectsUnknownKind) {
+  Bytes wire = encode_frame(FrameKind::datagram, to_bytes("x"));
+  wire[3] = 0xEE;
+  auto decoded = decode_frame(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, Errc::protocol_error);
+}
+
+TEST(FrameTest, RejectsTruncatedHeader) {
+  const Bytes wire = encode_frame(FrameKind::datagram, to_bytes("x"));
+  for (std::size_t len = 0; len < kFrameHeaderSize; ++len) {
+    auto decoded = decode_frame(BytesView(wire.data(), len));
+    ASSERT_FALSE(decoded.ok()) << "accepted a " << len << "-byte frame";
+    EXPECT_EQ(decoded.error().code, Errc::protocol_error);
+  }
+}
+
+}  // namespace
+}  // namespace ph::proto

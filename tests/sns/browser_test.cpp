@@ -1,4 +1,5 @@
 // BrowserClient task tests: the four Table 8 tasks over simulated GPRS.
+#include "net/medium.hpp"
 #include "sns/browser.hpp"
 
 #include <gtest/gtest.h>
