@@ -205,6 +205,11 @@ class SocketChannelState final
   net::Technology chan_technology() const override { return tech_; }
   void chan_on_receive(std::function<void(BytesView)> handler) override {
     on_receive_ = std::move(handler);
+    // Frames may already be buffered (handshake leftover, or data that
+    // arrived before the handler was installed) — drain them now that
+    // someone can receive. Deferred so attaching a handler mid-dispatch
+    // never re-enters the delivery loop.
+    schedule_drain();
   }
   void chan_on_break(std::function<void()> handler) override {
     on_break_ = std::move(handler);
@@ -224,6 +229,8 @@ class SocketChannelState final
 
  private:
   void handle_io(std::uint32_t events);
+  void deliver_frames();
+  void schedule_drain();
   void flush();
   void do_break();
 
@@ -233,6 +240,8 @@ class SocketChannelState final
   net::Technology tech_;
   bool open_ = true;
   bool want_write_ = false;
+  bool peer_gone_ = false;     // EOF/hard error seen; break after delivery
+  bool drain_pending_ = false; // a schedule(0) drain is already queued
   Bytes in_buf_;
   Bytes out_buf_;
   std::size_t out_pos_ = 0;
@@ -241,7 +250,10 @@ class SocketChannelState final
 };
 
 void SocketChannelState::chan_send(BytesView payload) {
-  if (!open_) return;  // silently discarded, like a closed simulated link
+  // Silently discarded when closed, like a closed simulated link; after
+  // EOF the peer is gone and a write would EPIPE-break the channel before
+  // its buffered tail frames were delivered.
+  if (!open_ || peer_gone_) return;
   const Bytes msg = make_stream_message(proto::FrameKind::channel_data, payload);
   out_buf_.insert(out_buf_.end(), msg.begin(), msg.end());
   transport_.note_channel_send(payload.size());
@@ -282,19 +294,21 @@ void SocketChannelState::start(Bytes leftover) {
   auto self = shared_from_this();
   transport_.watch_fd(fd_, EPOLLIN,
                       [self](std::uint32_t events) { self->handle_io(events); });
-  // Bytes that rode in behind the handshake frame are already ours.
-  if (!in_buf_.empty()) handle_io(0);
+  // Bytes that rode in behind the handshake frame are already ours, but the
+  // Channel has not reached the caller yet, so no receive handler can be
+  // installed. deliver_frames never consumes data frames without one;
+  // chan_on_receive schedules the drain once the caller attaches.
 }
 
 void SocketChannelState::handle_io(std::uint32_t events) {
   if (!open_) return;
   if (events & EPOLLOUT) flush();
+  if (!open_) return;  // flush may have hit a hard error and broken us
   // EPOLLERR/EPOLLHUP also take the read path: recv drains whatever the
   // peer sent before resetting, then reports EOF, which breaks the channel.
-  if ((events & (EPOLLIN | EPOLLERR | EPOLLHUP)) || events == 0) {
+  if (events & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
     std::uint8_t buf[16384];
     for (;;) {
-      if (events == 0) break;  // only parse leftover bytes, no read
       const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
       if (n > 0) {
         in_buf_.insert(in_buf_.end(), buf, buf + n);
@@ -302,36 +316,71 @@ void SocketChannelState::handle_io(std::uint32_t events) {
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
       if (n < 0 && errno == EINTR) continue;
-      do_break();  // EOF or hard error — the peer is gone
+      // EOF or hard error — the peer is gone, but complete frames it sent
+      // before closing are already in in_buf_ and must be delivered in
+      // order before the break (a graceful send-then-close must not lose
+      // its tail, nor surface as connection_lost).
+      peer_gone_ = true;
+      break;
+    }
+    deliver_frames();
+    if (open_ && peer_gone_) {
+      // Break deferred: data frames are buffered but no receive handler is
+      // installed yet. Nothing further can arrive after EOF, and epoll
+      // reports HUP unconditionally (level-triggered), so stop watching the
+      // dead fd; chan_on_receive's drain delivers the tail and breaks.
+      transport_.unwatch_fd(fd_);
+    }
+  }
+}
+
+/// Parses and delivers every complete length-prefixed frame, in order.
+/// A data frame is never consumed while no receive handler is installed —
+/// it stays buffered until chan_on_receive drains it — preserving the
+/// exactly-once in-order contract. Once the peer is gone the channel
+/// breaks only after everything deliverable has been delivered.
+void SocketChannelState::deliver_frames() {
+  std::size_t pos = 0;
+  bool stalled = false;
+  while (open_ && in_buf_.size() - pos >= 4) {
+    const std::uint32_t len = read_u32(BytesView(in_buf_).subspan(pos, 4));
+    if (len > kMaxStreamFrame) {
+      do_break();
       return;
     }
-    // Deliver every complete length-prefixed frame, in order.
-    std::size_t pos = 0;
-    while (open_ && in_buf_.size() - pos >= 4) {
-      const std::uint32_t len = read_u32(BytesView(in_buf_).subspan(pos, 4));
-      if (len > kMaxStreamFrame) {
-        do_break();
-        return;
-      }
-      if (in_buf_.size() - pos - 4 < len) break;
-      const BytesView frame_bytes = BytesView(in_buf_).subspan(pos + 4, len);
-      pos += 4 + len;
-      auto frame = proto::decode_frame(frame_bytes);
-      if (!frame || frame->kind != proto::FrameKind::channel_data) {
-        transport_.note_bad_frame();
-        continue;
-      }
-      transport_.note_channel_receive(frame->payload.size());
-      // Invoke a copy: the handler may replace on_receive_ from inside the
-      // call (session handshake → attach_channel), which would otherwise
-      // destroy the lambda mid-execution.
-      if (on_receive_) {
-        auto handler = on_receive_;
-        handler(frame->payload);
-      }
+    if (in_buf_.size() - pos - 4 < len) break;
+    const BytesView frame_bytes = BytesView(in_buf_).subspan(pos + 4, len);
+    auto frame = proto::decode_frame(frame_bytes);
+    if (frame && frame->kind == proto::FrameKind::channel_data &&
+        !on_receive_) {
+      stalled = true;  // keep buffered until a handler is installed
+      break;
     }
-    if (pos > 0) in_buf_.erase(in_buf_.begin(), in_buf_.begin() + pos);
+    pos += 4 + len;
+    if (!frame || frame->kind != proto::FrameKind::channel_data) {
+      transport_.note_bad_frame();
+      continue;
+    }
+    transport_.note_channel_receive(frame->payload.size());
+    // Invoke a copy: the handler may replace on_receive_ from inside the
+    // call (session handshake → attach_channel), which would otherwise
+    // destroy the lambda mid-execution.
+    auto handler = on_receive_;
+    handler(frame->payload);
   }
+  if (pos > 0) in_buf_.erase(in_buf_.begin(), in_buf_.begin() + pos);
+  if (open_ && peer_gone_ && !stalled) do_break();
+}
+
+void SocketChannelState::schedule_drain() {
+  if (!open_ || drain_pending_ || !on_receive_) return;
+  if (in_buf_.empty() && !peer_gone_) return;
+  drain_pending_ = true;
+  auto self = shared_from_this();
+  transport_.scheduler().schedule(0, [self]() {
+    self->drain_pending_ = false;
+    if (self->open_) self->deliver_frames();
+  });
 }
 
 void SocketChannelState::chan_close() {
@@ -806,7 +855,7 @@ void SocketTransport::SocketEndpoint::settle_connect(int fd) {
                           ? Errc::connect_failed
                           : static_cast<Errc>(std::min<std::uint8_t>(
                                 frame->payload[0],
-                                static_cast<std::uint8_t>(Errc::state_error)));
+                                static_cast<std::uint8_t>(kMaxErrc)));
     fail_connect(fd, Error{code == Errc::ok ? Errc::connect_failed : code,
                            "peer rejected channel open"});
     return;
@@ -903,35 +952,43 @@ std::size_t SocketTransport::open_channel_count() const noexcept {
 
 void SocketTransport::watch_fd(int fd, std::uint32_t events,
                                std::function<void(std::uint32_t)> handler) {
+  const std::uint64_t token = next_watch_token_++;
   epoll_event ev{};
   ev.events = events;
-  ev.data.fd = fd;
+  ev.data.u64 = token;
   PH_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
                "epoll_ctl(ADD) failed");
-  fd_handlers_[fd] = std::move(handler);
+  watch_handlers_[token] = std::move(handler);
+  fd_tokens_[fd] = token;
 }
 
 void SocketTransport::rearm_fd(int fd, std::uint32_t events) {
+  auto it = fd_tokens_.find(fd);
+  if (it == fd_tokens_.end()) return;
   epoll_event ev{};
   ev.events = events;
-  ev.data.fd = fd;
+  ev.data.u64 = it->second;
   (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
 }
 
 void SocketTransport::unwatch_fd(int fd) {
+  auto it = fd_tokens_.find(fd);
+  if (it == fd_tokens_.end()) return;
   (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-  fd_handlers_.erase(fd);
+  watch_handlers_.erase(it->second);
+  fd_tokens_.erase(it);
 }
 
 void SocketTransport::pump_epoll(int timeout_ms) {
   epoll_event events[64];
   const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
   for (int i = 0; i < n; ++i) {
-    const int fd = events[i].data.fd;
-    // Re-lookup per event: an earlier handler in this batch may have
-    // unregistered this fd (closed channel, settled handshake).
-    auto it = fd_handlers_.find(fd);
-    if (it == fd_handlers_.end()) continue;
+    // Look up by watch token, per event: an earlier handler in this batch
+    // may have unregistered the watch (closed channel, settled handshake),
+    // and the fd number may already belong to a newly opened socket — the
+    // retired token makes the stale event drop instead of misrouting.
+    auto it = watch_handlers_.find(events[i].data.u64);
+    if (it == watch_handlers_.end()) continue;
     auto handler = it->second;  // copy — the handler may erase itself
     handler(events[i].events);
   }

@@ -99,7 +99,15 @@ class SocketTransport final : public Transport {
   std::string dir_;
   bool owns_dir_ = false;
   int epoll_fd_ = -1;
-  std::map<int, std::function<void(std::uint32_t)>> fd_handlers_;
+  /// Handlers are keyed by a monotonically increasing watch token carried
+  /// in epoll_event.data.u64, not by fd: the kernel may still hold queued
+  /// events for an fd closed earlier in the same epoll_wait batch, and the
+  /// fd number can be recycled by a socket opened from a handler — a stale
+  /// event must not reach the new fd's handler. fd_tokens_ maps live fds
+  /// back to their token for rearm_fd/unwatch_fd.
+  std::uint64_t next_watch_token_ = 1;
+  std::map<std::uint64_t, std::function<void(std::uint32_t)>> watch_handlers_;
+  std::map<int, std::uint64_t> fd_tokens_;
 
   obs::Registry registry_;
   obs::Trace trace_;

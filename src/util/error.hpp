@@ -58,6 +58,11 @@ enum class Errc {
   not_supported,
 };
 
+/// Highest-numbered enumerator. Keep in sync when appending codes: wire
+/// decoders clamp unknown ordinals to this instead of hard-coding an
+/// enumerator that silently truncates codes added later.
+inline constexpr Errc kMaxErrc = Errc::not_supported;
+
 /// Human-readable name of an error code; stable, for logs and tests.
 std::string_view to_string(Errc code) noexcept;
 

@@ -220,6 +220,74 @@ TEST_P(TransportConformance, ChannelDeliversInOrderExactlyOnce) {
   for (int i = 0; i < kMessages; ++i) EXPECT_EQ(received[i], i);
 }
 
+// A peer that sends its last messages and closes in the same turn must not
+// lose the tail: every frame written before the close is delivered, in
+// order, before the receiver's break fires. (The socket backend once
+// dropped frames drained in the same readiness event as the EOF.)
+TEST_P(TransportConformance, CloseAfterSendDeliversTailBeforeBreak) {
+  const DeviceId a = transport_->add_device("a", nullptr);
+  const DeviceId b = transport_->add_device("b", nullptr);
+  Endpoint& ea = transport_->add_endpoint(a, quick_bt());
+  Endpoint& eb = transport_->add_endpoint(b, quick_bt());
+
+  std::vector<std::string> server_got;
+  bool server_broke = false;
+  bool broke_before_tail = false;
+  Channel server;
+  eb.listen(5000, [&](Channel channel) {
+    server = channel;
+    server.on_receive(
+        [&](BytesView payload) { server_got.push_back(to_text(payload)); });
+    server.on_break([&] {
+      server_broke = true;
+      broke_before_tail = server_got.size() < 3;
+    });
+  });
+  Channel client;
+  ea.connect(b, 5000, [&](Result<Channel> result) {
+    ASSERT_TRUE(bool(result)) << result.error().to_string();
+    client = *result;
+    client.send(to_bytes("tail-1"));
+    client.send(to_bytes("tail-2"));
+    client.send(to_bytes("tail-3"));
+    client.close();
+  });
+  ASSERT_TRUE(pump_until([&] { return server_broke; }, sim::seconds(10)));
+  EXPECT_FALSE(broke_before_tail);
+  EXPECT_EQ(server_got,
+            (std::vector<std::string>{"tail-1", "tail-2", "tail-3"}));
+}
+
+// Data the peer sends immediately after the handshake may arrive coalesced
+// with the handshake reply — before the caller has even seen the Channel.
+// It must wait for the receive handler, not be consumed into the void.
+// (The socket backend once parsed such leftover bytes inside accept/connect
+// settlement, dropping them while on_receive was still unset.)
+TEST_P(TransportConformance, DataBehindHandshakeWaitsForReceiveHandler) {
+  const DeviceId a = transport_->add_device("a", nullptr);
+  const DeviceId b = transport_->add_device("b", nullptr);
+  Endpoint& ea = transport_->add_endpoint(a, quick_bt());
+  Endpoint& eb = transport_->add_endpoint(b, quick_bt());
+
+  Channel server;
+  eb.listen(5000, [&](Channel channel) {
+    server = channel;
+    // Fires before the client's connect callback can run: on the socket
+    // backend these bytes ride right behind the channel_accept frame.
+    server.send(to_bytes("greeting"));
+  });
+  Channel client;
+  std::vector<std::string> client_got;
+  ea.connect(b, 5000, [&](Result<Channel> result) {
+    ASSERT_TRUE(bool(result)) << result.error().to_string();
+    client = *result;
+    client.on_receive(
+        [&](BytesView payload) { client_got.push_back(to_text(payload)); });
+  });
+  ASSERT_TRUE(pump_until([&] { return !client_got.empty(); }, sim::seconds(5)));
+  EXPECT_EQ(client_got, std::vector<std::string>{"greeting"});
+}
+
 TEST_P(TransportConformance, ConnectErrors) {
   const DeviceId a = transport_->add_device("a", nullptr);
   const DeviceId b = transport_->add_device("b", nullptr);
