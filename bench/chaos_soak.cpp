@@ -40,6 +40,7 @@
 #include "fault/plane.hpp"
 #include "fault/schedule.hpp"
 #include "obs/bench_report.hpp"
+#include "obs/clock.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -110,7 +111,12 @@ int main() {
   // the full run.
   sampler_config.capacity = static_cast<std::size_t>(
       (horizon + ph::sim::minutes(2)) / sampler_config.interval_us + 8);
-  ph::obs::Sampler sampler(metrics, sampler_config);
+  // Route through the clockful path (FnClock over simulator.now()) so the
+  // same code the wall-clock transport runs is exercised under the
+  // byte-identical determinism gate. The clock only reads the simulator —
+  // sampling stays a pure function of the seed.
+  ph::obs::FnClock sim_clock([&] { return simulator.now(); });
+  ph::obs::Sampler sampler(metrics, sim_clock, sampler_config);
   sampler.set_enabled(sampling);
   ph::obs::SloEngine slo(sampler, metrics, &medium.trace());
   if (sampling) {
@@ -166,8 +172,8 @@ int main() {
       // >= stored triggers a sweep, mirroring the medium's link policy).
       metrics.gauge("sim.queue.cancelled_live")
           .set(static_cast<double>(simulator.cancelled_pending()));
-      sampler.sample(simulator.now());
-      slo.evaluate(simulator.now());
+      sampler.sample();
+      slo.evaluate();
     });
   }
 

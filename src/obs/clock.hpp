@@ -1,0 +1,76 @@
+// obs::Clock — the time seam between virtual and wall-clock telemetry.
+//
+// The observability spine (Sampler, SloEngine, Trace) takes explicit
+// TimePoint stamps so it never depends on the simulator; that kept every
+// virtual-time gate byte-deterministic, but it also meant nothing could
+// sample itself: some caller had to own the schedule AND the clock. The
+// real transport has neither — its epoll loop lives on the wall clock and
+// its telemetry must be scraped from inside that loop. The Clock interface
+// closes the gap: a Sampler constructed over a Clock can sample() with no
+// argument, and the same code path serves both time domains —
+//
+//   WallClock  — monotonic microseconds since construction
+//                (std::chrono::steady_clock; never goes backwards)
+//   FnClock    — wraps any microsecond source, e.g. the simulator's
+//                now(); the virtual-time benches route through this so
+//                the clockful path is exercised by the determinism gates
+//                with byte-identical output.
+//
+// domain() tags which world the stamps live in ("virtual" / "wall"); the
+// exporters carry the tag so a dashboard never mistakes compressed
+// simulated seconds for real ones.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "obs/trace.hpp"  // TimePoint
+
+namespace ph::obs {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonically non-decreasing microseconds since an arbitrary epoch.
+  virtual TimePoint now() const = 0;
+  /// "virtual" or "wall" — which world the stamps live in.
+  virtual const char* domain() const noexcept = 0;
+};
+
+/// Monotonic wall clock: microseconds since this clock's construction.
+/// Anchoring at construction keeps stamps small and per-world, matching
+/// the virtual convention of "microseconds since the run started".
+class WallClock final : public Clock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+
+  TimePoint now() const override {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start_);
+    return static_cast<TimePoint>(elapsed.count());
+  }
+  const char* domain() const noexcept override { return "wall"; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Adapts any microsecond source (typically [&]{ return simulator.now(); })
+/// into a Clock. The default domain is "virtual" because that is what every
+/// existing time source in this codebase is.
+class FnClock final : public Clock {
+ public:
+  explicit FnClock(std::function<TimePoint()> fn,
+                   const char* domain = "virtual")
+      : fn_(std::move(fn)), domain_(domain) {}
+
+  TimePoint now() const override { return fn_(); }
+  const char* domain() const noexcept override { return domain_; }
+
+ private:
+  std::function<TimePoint()> fn_;
+  const char* domain_;
+};
+
+}  // namespace ph::obs

@@ -1,0 +1,85 @@
+// Prometheus-style text exposition for a Registry — the wire format of
+// the ops plane (obs::OpsServer `/metrics`, the ph_ops_dump scraper).
+//
+// Format, one instrument per stanza:
+//
+//   # TYPE transport.datagrams_sent counter
+//   transport.datagrams_sent 42
+//   # TYPE transport.handshake_us histogram
+//   transport.handshake_us.count 3
+//   transport.handshake_us.sum 1234
+//   transport.handshake_us.p50 400
+//   transport.handshake_us.p95 610
+//   transport.handshake_us.p99 622
+//   transport.handshake_us.bucket{le="10"} 0
+//   ...
+//   transport.handshake_us.bucket{le="+Inf"} 3
+//
+// Deliberate simplifications against full Prometheus exposition: metric
+// names keep the repo's dotted `layer.component.metric` convention
+// (lint: [a-z0-9._]+), there are no HELP lines, and quantiles are
+// exported as plain `.p50/.p95/.p99` suffixed samples (they are readouts
+// of the fixed-bucket histogram, not summaries). Every consumer in-repo
+// is ph_ops_dump / ph_obs_json_check --expo; the format stays trivially
+// greppable from a shell.
+//
+// ExpoDoc is the parsed form, built for fleet aggregation: scrape N
+// daemons, merge_expositions() them (counters and histogram buckets add,
+// gauges sum — a fleet's queue depth is the sum of its members'), and
+// render the combined document. Histogram quantiles are recomputed from
+// the merged buckets, so the aggregate p95 is the fleet-wide p95, not an
+// average of per-daemon quantiles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/result.hpp"
+
+namespace ph::obs {
+
+/// True iff `name` is a legal exposition metric name: non-empty, only
+/// [a-z0-9._] characters.
+bool valid_metric_name(const std::string& name);
+
+/// Renders every instrument of `registry` in exposition text format,
+/// sorted by name within each kind (counters, then gauges, then
+/// histograms — the registry maps are already sorted).
+std::string to_exposition(const Registry& registry);
+
+/// A parsed exposition document — the merge/aggregation primitive.
+struct ExpoDoc {
+  struct Hist {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+    /// Bucket upper bounds as written (the "+Inf" bucket is implicit:
+    /// bucket_counts.size() == bounds.size() + 1).
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> bucket_counts;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Hist> histograms;
+};
+
+/// Parses exposition text back into a document. Fails (Errc::protocol_error)
+/// on malformed lines, illegal names, duplicate TYPE declarations, or a
+/// sample whose metric was never TYPE-declared.
+Result<ExpoDoc> parse_exposition(const std::string& text);
+
+/// Folds `from` into `into`: counters add, gauges sum, histograms add
+/// bucket-wise (bounds must match; mismatched bounds fail). Metrics
+/// present in only one document are kept as-is. Gauges SUM (unlike
+/// Registry::merge_from's last-wins) because the fleet reading of a
+/// depth/backlog gauge is the total across daemons.
+Result<void> merge_expositions(ExpoDoc& into, const ExpoDoc& from);
+
+/// Renders a document back to exposition text; histogram p50/p95/p99 are
+/// recomputed from the (merged) buckets, not copied from the inputs.
+std::string render_exposition(const ExpoDoc& doc);
+
+}  // namespace ph::obs

@@ -208,6 +208,8 @@ std::string to_json(const Registry& registry, const Trace* trace,
     append_slo_object(out, *slo);
   }
   if (trace != nullptr) {
+    out += ",\n\"clock_domain\":";
+    append_escaped(out, trace->clock_domain());
     out += ",\n\"spans\":[";
     first = true;
     for (const Span& span : trace->spans()) {
@@ -307,7 +309,11 @@ std::string to_csv(const Registry& registry) {
 std::string to_chrome_trace(
     const Trace& trace,
     const std::map<std::uint64_t, std::string>& device_names,
-    const Sampler* sampler) {
+    const Sampler* sampler, double ts_divisor) {
+  if (!(ts_divisor > 0.0)) ts_divisor = 1.0;
+  const auto ts = [ts_divisor](TimePoint at) {
+    return static_cast<double>(at) / ts_divisor;
+  };
   std::string out;
   out.reserve(4096);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -317,6 +323,15 @@ std::string to_chrome_trace(
     first = false;
     out += "\n{";
   };
+  // Which clock stamped this journal — "virtual" simulated microseconds or
+  // real "wall" time. Perfetto shows metadata args in the track panel.
+  begin_event();
+  out += "\"ph\":\"M\",\"name\":\"clock_domain\",";
+  append_field(out, "pid", 0.0);
+  append_field(out, "tid", 0.0);
+  out += "\"args\":{\"name\":";
+  append_escaped(out, trace.clock_domain());
+  out += "}}";
   // One track per device: pid=tid=device id, labelled via metadata.
   std::map<std::uint64_t, bool> devices;
   for (const Span& span : trace.spans()) devices[span.device] = true;
@@ -351,9 +366,9 @@ std::string to_chrome_trace(
     out += ',';
     append_field(out, "pid", static_cast<double>(span.device));
     append_field(out, "tid", static_cast<double>(span.device));
-    append_field(out, "ts", static_cast<double>(span.start));
+    append_field(out, "ts", ts(span.start));
     if (span.closed) {
-      append_field(out, "dur", static_cast<double>(span.end - span.start));
+      append_field(out, "dur", ts(span.end - span.start));
     }
     out += "\"args\":{";
     append_field(out, "id", static_cast<double>(span.id));
@@ -368,14 +383,14 @@ std::string to_chrome_trace(
       append_field(out, "id", static_cast<double>(span.id));
       append_field(out, "pid", static_cast<double>(parent->device));
       append_field(out, "tid", static_cast<double>(parent->device));
-      append_field(out, "ts", static_cast<double>(parent->start), false);
+      append_field(out, "ts", ts(parent->start), false);
       out += '}';
       begin_event();
       out += "\"ph\":\"f\",\"bp\":\"e\",\"name\":\"causal\",\"cat\":\"flow\",";
       append_field(out, "id", static_cast<double>(span.id));
       append_field(out, "pid", static_cast<double>(span.device));
       append_field(out, "tid", static_cast<double>(span.device));
-      append_field(out, "ts", static_cast<double>(span.start), false);
+      append_field(out, "ts", ts(span.start), false);
       out += '}';
     }
   }
@@ -388,7 +403,7 @@ std::string to_chrome_trace(
     out += ',';
     append_field(out, "pid", static_cast<double>(event.device));
     append_field(out, "tid", static_cast<double>(event.device));
-    append_field(out, "ts", static_cast<double>(event.at), false);
+    append_field(out, "ts", ts(event.at), false);
     out += '}';
   }
   // Sampled series replay as "C" counter events on their device's track:
@@ -405,7 +420,7 @@ std::string to_chrome_trace(
         out += ",\"cat\":\"series\",";
         append_field(out, "pid", static_cast<double>(device));
         append_field(out, "tid", static_cast<double>(device));
-        append_field(out, "ts", static_cast<double>(point.at));
+        append_field(out, "ts", ts(point.at));
         out += "\"args\":{\"value\":";
         append_number(out, point.value);
         out += "}}";

@@ -71,10 +71,15 @@ std::uint64_t device_from_metric_name(const std::string& name);
 /// Renders the journal as Chrome trace-event JSON. `device_names` labels
 /// the per-device tracks (unnamed devices show as "device <id>"). With a
 /// sampler, every series becomes a "C" counter track on its device.
+/// `ts_divisor` divides every timestamp/duration on the way out: the
+/// socket backend's journal is stamped in virtual microseconds that are
+/// wall microseconds × time_scale, so exporting with ts_divisor ==
+/// time_scale yields a Perfetto timeline in true wall-clock time. The
+/// trace's clock_domain() tag rides along as a metadata event.
 std::string to_chrome_trace(
     const Trace& trace,
     const std::map<std::uint64_t, std::string>& device_names = {},
-    const Sampler* sampler = nullptr);
+    const Sampler* sampler = nullptr, double ts_divisor = 1.0);
 
 /// Writes `content` to `path`; returns false (and logs to stderr) on error.
 bool write_file(const std::string& path, const std::string& content);

@@ -1,12 +1,23 @@
 // ph_obs_json_check — validates a metrics JSON dump produced by
-// obs::to_json(), or (with --chrome) a Chrome trace-event dump produced
-// by obs::to_chrome_trace(). Used by the ph_bench_smoke and
-// ph_trace_check CTest targets to fail the build when a bench emits
-// malformed or incomplete dumps.
+// obs::to_json(), (with --chrome) a Chrome trace-event dump produced
+// by obs::to_chrome_trace(), or (with --expo) a Prometheus-style text
+// exposition produced by obs::to_exposition() / the OpsServer /metrics
+// route. Used by the ph_bench_smoke, ph_trace_check and
+// ph_ops_scrape_smoke CTest targets to fail the build when a bench or
+// daemon emits malformed or incomplete dumps.
 //
 // Usage:
 //   ph_obs_json_check FILE [requirement...]
 //   ph_obs_json_check --chrome FILE [requirement...]
+//   ph_obs_json_check --expo FILE [requirement...]
+//
+// Expo-mode lint (always applied): every line is a TYPE comment or a
+// `name value` sample, metric names match [a-z0-9._]+, no metric is
+// TYPE-declared twice, no sample lacks a declaration, and every
+// histogram exports .count/.sum/.p50/.p95/.p99 plus a le="+Inf" bucket.
+// Expo-mode requirements reuse the metrics grammar subset that makes
+// sense for an exposition: counter:, counter_nonzero:, gauge:,
+// histogram:.
 //
 // Metrics-mode requirements:
 //   counter:PREFIX     at least one counter whose name starts with PREFIX
@@ -40,6 +51,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/expo.hpp"
 #include "obs/json.hpp"
 
 namespace {
@@ -359,18 +371,127 @@ int check_chrome(const char* path, const Value& root, int argc, char** argv,
   return ok ? 0 : 1;
 }
 
+/// --expo: lint a text exposition. parse_exposition() already rejects
+/// malformed lines, illegal names, duplicate TYPEs and undeclared
+/// samples; on top of that every declared histogram must actually export
+/// its scalar readouts and an explicit overflow bucket. Requirements are
+/// the metric-prefix subset (counter:/counter_nonzero:/gauge:/histogram:)
+/// evaluated against the parsed document.
+int check_expo(const char* path, const std::string& text, int argc,
+               char** argv, int first_requirement) {
+  auto parsed = ph::obs::parse_exposition(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "json_check: %s: %s\n", path,
+                 parsed.error().to_string().c_str());
+    return 1;
+  }
+  const ph::obs::ExpoDoc& doc = parsed.value();
+  auto has_line_prefix = [&text](const std::string& prefix) {
+    std::size_t pos = 0;
+    while ((pos = text.find(prefix, pos)) != std::string::npos) {
+      if (pos == 0 || text[pos - 1] == '\n') return true;
+      pos += prefix.size();
+    }
+    return false;
+  };
+  for (const auto& [name, hist] : doc.histograms) {
+    for (const char* field : {".count ", ".sum ", ".p50 ", ".p95 ", ".p99 "}) {
+      if (!has_line_prefix(name + field)) {
+        std::fprintf(stderr, "json_check: %s: histogram '%s' missing '%s%s'\n",
+                     path, name.c_str(), name.c_str(), field);
+        return 1;
+      }
+    }
+    if (!has_line_prefix(name + ".bucket{le=\"+Inf\"} ")) {
+      std::fprintf(stderr,
+                   "json_check: %s: histogram '%s' has no +Inf bucket\n", path,
+                   name.c_str());
+      return 1;
+    }
+    if (hist.bucket_counts.size() != hist.bounds.size() + 1) {
+      std::fprintf(stderr,
+                   "json_check: %s: histogram '%s' bucket/bound mismatch "
+                   "(%zu buckets, %zu bounds)\n",
+                   path, name.c_str(), hist.bucket_counts.size(),
+                   hist.bounds.size());
+      return 1;
+    }
+  }
+  bool ok = true;
+  for (int i = first_requirement; i < argc; ++i) {
+    const std::string requirement = argv[i];
+    const std::string::size_type colon = requirement.find(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "json_check: bad requirement '%s'\n",
+                   requirement.c_str());
+      ok = false;
+      continue;
+    }
+    const std::string kind = requirement.substr(0, colon);
+    const std::string prefix = requirement.substr(colon + 1);
+    bool found = false;
+    if (kind == "counter" || kind == "counter_nonzero") {
+      for (const auto& [name, value] : doc.counters) {
+        if (!starts_with(name, prefix)) continue;
+        if (kind == "counter_nonzero" && value == 0) continue;
+        found = true;
+        break;
+      }
+    } else if (kind == "gauge") {
+      for (const auto& [name, value] : doc.gauges) {
+        (void)value;
+        if (starts_with(name, prefix)) {
+          found = true;
+          break;
+        }
+      }
+    } else if (kind == "histogram") {
+      for (const auto& [name, hist] : doc.histograms) {
+        (void)hist;
+        if (starts_with(name, prefix)) {
+          found = true;
+          break;
+        }
+      }
+    } else {
+      std::fprintf(stderr,
+                   "json_check: unknown expo requirement kind '%s'\n",
+                   kind.c_str());
+      ok = false;
+      continue;
+    }
+    if (!found) {
+      std::fprintf(stderr, "json_check: no %s matching prefix '%s'\n",
+                   kind.c_str(), prefix.c_str());
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::fprintf(stderr,
+                 "json_check: %s OK (expo, %zu counters, %zu gauges, "
+                 "%zu histograms)\n",
+                 path, doc.counters.size(), doc.gauges.size(),
+                 doc.histograms.size());
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool chrome = false;
+  bool expo = false;
   int file_arg = 1;
   if (argc >= 2 && std::string(argv[1]) == "--chrome") {
     chrome = true;
     file_arg = 2;
+  } else if (argc >= 2 && std::string(argv[1]) == "--expo") {
+    expo = true;
+    file_arg = 2;
   }
   if (argc < file_arg + 1) {
     std::fprintf(stderr,
-                 "usage: %s [--chrome] FILE "
+                 "usage: %s [--chrome|--expo] FILE "
                  "[counter:PREFIX|counter_nonzero:PREFIX|gauge:PREFIX"
                  "|histogram:PREFIX|span:PREFIX|event:PREFIX"
                  "|series:PREFIX|slo_breach:PREFIX|NAME-PREFIX]...\n",
@@ -386,6 +507,8 @@ int main(int argc, char** argv) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   const std::string text = buffer.str();
+
+  if (expo) return check_expo(path, text, argc, argv, file_arg + 1);
 
   Value root;
   std::string error;

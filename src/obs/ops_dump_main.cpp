@@ -1,0 +1,189 @@
+// ph_ops_dump — scrape one or many live daemons' ops sockets.
+//
+//   ph_ops_dump [--path /metrics|/series|/slo|/flight] TARGET...
+//
+// Each TARGET is either an ops UNIX-socket path or a directory, which is
+// scanned for `*.ops` sockets (the rendezvous layout SocketTransport uses:
+// one `d<id>.ops` per daemon beside the frame sockets). With the default
+// /metrics route the expositions of every target are parsed and merged —
+// counters and histogram buckets add, gauges sum, quantiles recomputed
+// from the merged buckets — into one fleet-wide exposition on stdout. Any
+// other route prints each daemon's raw response under a `# --- <target>`
+// header (JSON documents cannot be merged generically).
+//
+// Exit status: 0 when every target was scraped, 1 otherwise.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/expo.hpp"
+
+namespace {
+
+bool scrape(const std::string& socket_path, const std::string& route,
+            std::string& out) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "ph_ops_dump: path too long: %s\n",
+                 socket_path.c_str());
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    std::perror("ph_ops_dump: socket");
+    return false;
+  }
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::fprintf(stderr, "ph_ops_dump: connect %s: %s\n", socket_path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  const std::string request = route + "\n";
+  if (::write(fd, request.data(), request.size()) !=
+      static_cast<ssize_t>(request.size())) {
+    std::fprintf(stderr, "ph_ops_dump: write %s: %s\n", socket_path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  ::shutdown(fd, SHUT_WR);
+  out.clear();
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "ph_ops_dump: read %s: %s\n", socket_path.c_str(),
+                   std::strerror(errno));
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (out.rfind("error ", 0) == 0) {
+    std::fprintf(stderr, "ph_ops_dump: %s: %s", socket_path.c_str(),
+                 out.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Expands TARGET arguments into concrete socket paths: a directory
+/// contributes every `*.ops` file inside it (sorted), anything else is
+/// taken verbatim.
+std::vector<std::string> expand_targets(const std::vector<std::string>& args) {
+  std::vector<std::string> sockets;
+  for (const std::string& arg : args) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      std::vector<std::string> found;
+      for (const auto& entry : std::filesystem::directory_iterator(arg, ec)) {
+        if (entry.path().extension() == ".ops") {
+          found.push_back(entry.path().string());
+        }
+      }
+      std::sort(found.begin(), found.end());
+      if (found.empty()) {
+        std::fprintf(stderr, "ph_ops_dump: no *.ops sockets in %s\n",
+                     arg.c_str());
+      }
+      sockets.insert(sockets.end(), found.begin(), found.end());
+    } else {
+      sockets.push_back(arg);
+    }
+  }
+  return sockets;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ph_ops_dump [--path /metrics|/series|/slo|/flight] "
+               "TARGET...\n"
+               "  TARGET: an ops socket path, or a directory scanned for "
+               "*.ops\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string route = "/metrics";
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--path") {
+      if (i + 1 >= argc) return usage();
+      route = argv[++i];
+    } else if (arg == "-h" || arg == "--help") {
+      return usage();
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) return usage();
+
+  const std::vector<std::string> sockets = expand_targets(args);
+  if (sockets.empty()) return 1;
+
+  bool all_ok = true;
+  if (route == "/metrics") {
+    ph::obs::ExpoDoc merged;
+    std::size_t scraped = 0;
+    for (const std::string& path : sockets) {
+      std::string body;
+      if (!scrape(path, route, body)) {
+        all_ok = false;
+        continue;
+      }
+      auto doc = ph::obs::parse_exposition(body);
+      if (!doc.ok()) {
+        std::fprintf(stderr, "ph_ops_dump: %s: %s\n", path.c_str(),
+                     doc.error().to_string().c_str());
+        all_ok = false;
+        continue;
+      }
+      auto m = ph::obs::merge_expositions(merged, doc.value());
+      if (!m.ok()) {
+        std::fprintf(stderr, "ph_ops_dump: %s: %s\n", path.c_str(),
+                     m.error().to_string().c_str());
+        all_ok = false;
+        continue;
+      }
+      ++scraped;
+    }
+    if (scraped > 0) {
+      const std::string out = ph::obs::render_exposition(merged);
+      std::fwrite(out.data(), 1, out.size(), stdout);
+    }
+    return all_ok && scraped > 0 ? 0 : 1;
+  }
+
+  for (const std::string& path : sockets) {
+    std::string body;
+    if (!scrape(path, route, body)) {
+      all_ok = false;
+      continue;
+    }
+    if (sockets.size() > 1) std::printf("# --- %s\n", path.c_str());
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    if (!body.empty() && body.back() != '\n') std::printf("\n");
+  }
+  return all_ok ? 0 : 1;
+}

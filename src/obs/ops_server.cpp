@@ -1,0 +1,157 @@
+#include "obs/ops_server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/expo.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace ph::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestLine = 4096;
+
+void set_io_timeout(int fd) {
+  // A stuck or malicious client must not wedge the daemon's event loop:
+  // every read/write on an accepted connection gives up after 1 s.
+  timeval tv{};
+  tv.tv_sec = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool write_all(int fd, const std::string& body) {
+  std::size_t off = 0;
+  while (off < body.size()) {
+    const ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads up to the first newline (or EOF / size cap) and extracts the
+/// route: the last whitespace-separated token, so both "/metrics" and
+/// "GET /metrics" (and a trailing \r) resolve the same way.
+std::string read_route(int fd) {
+  std::string line;
+  char buf[256];
+  while (line.size() < kMaxRequestLine) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    line.append(buf, static_cast<std::size_t>(n));
+    if (line.find('\n') != std::string::npos) break;
+  }
+  const std::size_t eol = line.find_first_of("\r\n");
+  if (eol != std::string::npos) line.resize(eol);
+  const std::size_t space = line.find_last_of(" \t");
+  if (space != std::string::npos) line.erase(0, space + 1);
+  return line;
+}
+
+}  // namespace
+
+OpsServer::OpsServer(OpsServerConfig config, OpsSources sources)
+    : config_(std::move(config)), sources_(std::move(sources)) {}
+
+OpsServer::~OpsServer() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(config_.socket_path.c_str());
+  }
+}
+
+Result<void> OpsServer::start() {
+  if (listen_fd_ >= 0) return ok();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Error{Errc::invalid_argument,
+                 "ops socket path too long: " + config_.socket_path};
+  }
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+  const int fd =
+      ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Error{Errc::transport_error,
+                 std::string("ops socket(): ") + std::strerror(errno)};
+  }
+  ::unlink(config_.socket_path.c_str());  // replace a stale socket file
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 8) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    return Error{Errc::transport_error, "ops bind/listen " +
+                                            config_.socket_path + ": " +
+                                            std::strerror(saved)};
+  }
+  listen_fd_ = fd;
+  PH_LOG(info, "obs") << "ops server listening on " << config_.socket_path;
+  return ok();
+}
+
+void OpsServer::handle_readable() {
+  if (listen_fd_ < 0) return;
+  for (;;) {
+    const int conn = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: drained every pending connection
+    }
+    set_io_timeout(conn);
+    const std::string route = read_route(conn);
+    const std::string body = respond(route);
+    if (!write_all(conn, body)) {
+      PH_LOG(warn, "obs") << "ops response write failed for " << route << ": "
+                          << std::strerror(errno);
+    }
+    ::close(conn);
+    ++requests_;
+  }
+}
+
+std::string OpsServer::respond(const std::string& route) const {
+  if (route == "/metrics") {
+    if (sources_.registry == nullptr) return "error /metrics unavailable\n";
+    return to_exposition(*sources_.registry);
+  }
+  if (route == "/series") {
+    if (sources_.registry == nullptr) return "error /series unavailable\n";
+    return to_json(*sources_.registry, nullptr, sources_.sampler,
+                   sources_.slo);
+  }
+  if (route == "/slo") {
+    if (sources_.sampler == nullptr) return "error /slo unavailable\n";
+    return series_to_json(*sources_.sampler, sources_.slo);
+  }
+  if (route == "/flight") {
+    if (sources_.trace == nullptr) return "error /flight unavailable\n";
+    std::map<std::uint64_t, std::string> names;
+    if (sources_.device_names) names = sources_.device_names();
+    return to_chrome_trace(*sources_.trace, names, sources_.sampler,
+                           config_.trace_ts_divisor);
+  }
+  return "error unknown route '" + route +
+         "'; routes: /metrics /series /slo /flight\n";
+}
+
+}  // namespace ph::obs

@@ -1,0 +1,98 @@
+// Live introspection endpoint — the ops plane's front door.
+//
+// An OpsServer listens on a per-process UNIX stream socket and serves the
+// process's observability objects over a one-line text protocol: the
+// client sends a request line ("/metrics\n", optionally prefixed with
+// "GET "), the server writes the full response body and closes. No HTTP,
+// no framing — `nc -U <path> <<< /metrics` works from a shell, and the
+// in-repo scraper is ph_ops_dump.
+//
+// Routes:
+//   /metrics  Prometheus-style text exposition of the Registry (expo.hpp)
+//   /series   full JSON snapshot: registry + sampler rings + SLO state
+//   /slo      standalone series/SLO document (series_to_json)
+//   /flight   the trace journal as Chrome trace-event JSON, timestamps
+//             divided by `trace_ts_divisor` (wall-clock Perfetto timeline
+//             for a socket-backend journal stamped in scaled virtual µs)
+//
+// The server owns no event loop: it exposes its listening fd() and a
+// handle_readable() callback, and the embedding transport watches the fd
+// in its own epoll loop (SocketTransport::enable_ops_server). Connections
+// are handled synchronously inside handle_readable — one short-lived
+// request at a time, matching the single-threaded design of everything
+// else in ph::obs. Reads and writes on accepted connections carry a short
+// socket timeout so a stuck client cannot wedge the daemon loop forever.
+//
+// Rendezvous layout: by convention a transport's ops socket lives in the
+// transport's socket_dir as `d<first_device_id>.ops`, so `ph_ops_dump
+// <dir>` can scrape every daemon sharing the directory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace ph::obs {
+
+class Registry;
+class Sampler;
+class SloEngine;
+class Trace;
+
+struct OpsServerConfig {
+  /// Filesystem path of the listening UNIX socket. Created on start(),
+  /// unlinked on destruction. A stale file at the path is replaced.
+  std::string socket_path;
+  /// Divisor applied to trace timestamps in /flight exports (the socket
+  /// backend passes its time_scale so the timeline is true wall time).
+  double trace_ts_divisor = 1.0;
+};
+
+/// What the server exposes. Everything but `registry` is optional; routes
+/// whose source is absent return an error line instead of a body.
+struct OpsSources {
+  const Registry* registry = nullptr;
+  const Trace* trace = nullptr;
+  const Sampler* sampler = nullptr;
+  const SloEngine* slo = nullptr;
+  /// Called per /flight request to label Perfetto tracks.
+  std::function<std::map<std::uint64_t, std::string>()> device_names;
+};
+
+class OpsServer {
+ public:
+  OpsServer(OpsServerConfig config, OpsSources sources);
+  ~OpsServer();
+  OpsServer(const OpsServer&) = delete;
+  OpsServer& operator=(const OpsServer&) = delete;
+
+  /// Binds and listens. Idempotent once successful.
+  Result<void> start();
+
+  /// The listening socket, -1 before start(). Register this with the
+  /// owning event loop and call handle_readable() when it polls readable.
+  int fd() const noexcept { return listen_fd_; }
+
+  const std::string& socket_path() const noexcept {
+    return config_.socket_path;
+  }
+
+  /// Accepts and serves every connection currently pending on fd().
+  void handle_readable();
+
+  /// Requests served since start (any route, including unknown ones).
+  std::uint64_t requests_served() const noexcept { return requests_; }
+
+ private:
+  std::string respond(const std::string& route) const;
+
+  OpsServerConfig config_;
+  OpsSources sources_;
+  int listen_fd_ = -1;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace ph::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/clock.hpp"
 #include "util/check.hpp"
 
 namespace ph::obs {
@@ -98,6 +99,18 @@ Sampler::Sampler(const Registry& registry, SamplerConfig config)
     : registry_(registry), config_(config) {
   PH_CHECK_MSG(config_.interval_us > 0, "sampler interval must be positive");
   PH_CHECK_MSG(config_.capacity > 0, "sampler ring capacity must be positive");
+}
+
+Sampler::Sampler(const Registry& registry, const Clock& clock,
+                 SamplerConfig config)
+    : Sampler(registry, config) {
+  clock_ = &clock;
+}
+
+void Sampler::sample() {
+  PH_CHECK_MSG(clock_ != nullptr,
+               "argless sample() needs a clockful Sampler (Clock ctor)");
+  sample(clock_->now());
 }
 
 TimeSeries* Sampler::make_series(const std::string& name, SeriesKind kind) {

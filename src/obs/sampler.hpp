@@ -24,7 +24,11 @@
 //
 // Like the Trace, the Sampler takes explicit TimePoint stamps so obs does
 // not depend on the simulator. All state is deterministic: same seed, same
-// scrape schedule => byte-identical series dumps.
+// scrape schedule => byte-identical series dumps. A Sampler may instead be
+// constructed over an obs::Clock (virtual FnClock or monotonic WallClock)
+// and scraped with the argless sample() — the stamps then come from the
+// clock, and nothing else about the diffing changes, so a FnClock over the
+// simulator reproduces the explicit-stamp path byte for byte.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +41,8 @@
 #include "util/arena.hpp"
 
 namespace ph::obs {
+
+class Clock;
 
 /// One sample of one series, stamped with virtual time.
 struct SeriesPoint {
@@ -119,6 +125,11 @@ struct SamplerConfig {
 class Sampler {
  public:
   explicit Sampler(const Registry& registry, SamplerConfig config = {});
+  /// Clockful form: sample() with no argument stamps from `clock`, which
+  /// must outlive the sampler. The explicit sample(now) overload remains
+  /// available and behaves identically.
+  Sampler(const Registry& registry, const Clock& clock,
+          SamplerConfig config = {});
   Sampler(const Sampler&) = delete;
   Sampler& operator=(const Sampler&) = delete;
 
@@ -132,6 +143,13 @@ class Sampler {
   /// non-decreasing across calls; a repeated timestamp is ignored (the
   /// interval would be empty).
   void sample(TimePoint now);
+
+  /// Clockful scrape: stamps from the attached Clock. Aborts when the
+  /// sampler was constructed without one.
+  void sample();
+
+  /// The attached clock, or nullptr for an explicit-stamp sampler.
+  const Clock* clock() const noexcept { return clock_; }
 
   /// All series, sorted by name.
   const std::map<std::string, TimeSeries>& series() const noexcept {
@@ -168,6 +186,7 @@ class Sampler {
   TimeSeries* make_series(const std::string& name, SeriesKind kind);
 
   const Registry& registry_;
+  const Clock* clock_ = nullptr;
   SamplerConfig config_;
   /// Backing store for every series ring; must be declared before series_
   /// so the rings' storage outlives them on destruction.

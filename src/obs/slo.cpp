@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/clock.hpp"
 #include "util/check.hpp"
 
 namespace ph::obs {
@@ -40,6 +41,12 @@ bool SloEngine::breached(const std::string& rule) const {
     if (rules_[i].name == rule) return states_[i].unhealthy;
   }
   return false;
+}
+
+void SloEngine::evaluate() {
+  PH_CHECK_MSG(sampler_.clock() != nullptr,
+               "argless evaluate() needs a clockful Sampler");
+  evaluate(sampler_.clock()->now());
 }
 
 void SloEngine::evaluate(TimePoint now) {

@@ -93,6 +93,11 @@ class SloEngine {
   /// each Sampler::sample with the same timestamp.
   void evaluate(TimePoint now);
 
+  /// Clockful form: stamps from the sampler's attached Clock (the engine
+  /// and the scrape must share a time domain). Aborts when the sampler was
+  /// constructed without one.
+  void evaluate();
+
   /// All breach windows so far, in order of opening; the last may be open.
   const std::vector<BreachWindow>& windows() const noexcept { return windows_; }
   /// Healthy -> breached transitions across all rules.

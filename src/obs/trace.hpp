@@ -76,6 +76,16 @@ class Trace {
   bool enabled() const noexcept { return enabled_; }
   void set_enabled(bool on) noexcept { enabled_ = on; }
 
+  /// Which time domain the journal's stamps live in — "virtual" (default)
+  /// or "wall". Purely a metadata tag: the exporters embed it so a
+  /// Perfetto timeline of a real-transport run is never mistaken for
+  /// compressed simulated seconds. Owners of wall-clock journals
+  /// (SocketTransport) set it once at construction.
+  const char* clock_domain() const noexcept { return clock_domain_; }
+  void set_clock_domain(const char* domain) noexcept {
+    clock_domain_ = domain;
+  }
+
   /// Starts a span parented under the current context. Returns 0 when
   /// tracing is disabled or the journal is full. Takes views: the text is
   /// copied into a recycled string (no allocation in steady-state ring
@@ -168,6 +178,7 @@ class Trace {
   std::string take_string(std::string_view text);
 
   bool enabled_ = false;
+  const char* clock_domain_ = "virtual";
   std::size_t capacity_ = 1 << 20;
   std::size_t ring_capacity_ = 0;
   std::uint64_t dropped_ = 0;

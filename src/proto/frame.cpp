@@ -11,6 +11,8 @@ std::string_view to_string(FrameKind kind) noexcept {
     case FrameKind::channel_accept: return "channel_accept";
     case FrameKind::channel_reject: return "channel_reject";
     case FrameKind::channel_data: return "channel_data";
+    case FrameKind::channel_ping: return "channel_ping";
+    case FrameKind::channel_pong: return "channel_pong";
   }
   return "unknown";
 }
@@ -43,7 +45,7 @@ Result<FrameView> decode_frame(BytesView data) {
   }
   const std::uint8_t kind = data[3];
   if (kind < static_cast<std::uint8_t>(FrameKind::datagram) ||
-      kind > static_cast<std::uint8_t>(FrameKind::channel_data)) {
+      kind > static_cast<std::uint8_t>(FrameKind::channel_pong)) {
     return Error{Errc::protocol_error, "unknown frame kind"};
   }
   FrameView view;

@@ -39,6 +39,8 @@ enum class FrameKind : std::uint8_t {
   channel_accept = 3,///< stream handshake reply: u32 acceptor device
   channel_reject = 4,///< stream handshake reply: u8 errc ordinal
   channel_data = 5,  ///< one ordered channel message: payload
+  channel_ping = 6,  ///< transport RTT probe: u64 sender wall-clock µs
+  channel_pong = 7,  ///< probe reply: the ping's u64 echoed verbatim
 };
 
 std::string_view to_string(FrameKind kind) noexcept;

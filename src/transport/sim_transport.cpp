@@ -6,10 +6,19 @@ namespace ph::transport {
 
 namespace {
 
-/// Channel over a simulated net::Link; pure forwarding.
+/// Channel over a simulated net::Link; forwarding plus transport.* counts.
+/// The counting never touches the RNG, schedules nothing and preserves
+/// call order, so seeded runs stay byte-identical with metrics attached.
 class SimChannelState final : public detail::ChannelState {
  public:
-  explicit SimChannelState(net::Link link) : link_(std::move(link)) {}
+  SimChannelState(net::Link link, const TransportMetrics* metrics)
+      : link_(std::move(link)), m_(metrics) {
+    if (m_ != nullptr) {
+      // Count breaks even when the user never installs a handler; a user
+      // handler installed later replaces this with a counting wrapper.
+      link_.on_break([m = m_]() { m->channels_broken->inc(); });
+    }
+  }
 
   bool chan_open() const override { return link_.open(); }
   DeviceId chan_remote() const override { return link_.remote_node(); }
@@ -17,27 +26,52 @@ class SimChannelState final : public detail::ChannelState {
     return link_.technology();
   }
   void chan_on_receive(std::function<void(BytesView)> handler) override {
-    link_.on_receive(std::move(handler));
+    if (m_ == nullptr) {
+      link_.on_receive(std::move(handler));
+      return;
+    }
+    link_.on_receive(
+        [m = m_, handler = std::move(handler)](BytesView payload) {
+          m->channel_bytes->inc(payload.size());
+          handler(payload);
+        });
   }
   void chan_on_break(std::function<void()> handler) override {
-    link_.on_break(std::move(handler));
+    if (m_ == nullptr) {
+      link_.on_break(std::move(handler));
+      return;
+    }
+    link_.on_break([m = m_, handler = std::move(handler)]() {
+      m->channels_broken->inc();
+      if (handler) handler();
+    });
   }
-  void chan_send(BytesView payload) override { link_.send(payload); }
+  void chan_send(BytesView payload) override {
+    if (m_ != nullptr) {
+      m_->channel_messages->inc();
+      m_->channel_bytes->inc(payload.size());
+    }
+    link_.send(payload);
+  }
   double chan_signal() const override { return link_.signal(); }
   void chan_close() override { link_.close(); }
 
  private:
   net::Link link_;
+  const TransportMetrics* m_;
 };
 
-Channel wrap_link(net::Link link) {
-  return Channel(std::make_shared<SimChannelState>(std::move(link)));
+Channel wrap_link(net::Link link, const TransportMetrics* metrics) {
+  return Channel(std::make_shared<SimChannelState>(std::move(link), metrics));
 }
 
-/// Endpoint over a simulated net::Adapter; pure forwarding, no state.
+/// Endpoint over a simulated net::Adapter; forwarding plus transport.*
+/// counts (a null metrics pointer restores pure forwarding).
 class SimEndpoint final : public Endpoint {
  public:
-  explicit SimEndpoint(net::Adapter& adapter) : adapter_(adapter) {}
+  explicit SimEndpoint(net::Adapter& adapter,
+                       const TransportMetrics* metrics = nullptr)
+      : adapter_(adapter), m_(metrics) {}
 
   DeviceId device() const override { return adapter_.node(); }
   const net::TechProfile& profile() const override {
@@ -50,29 +84,48 @@ class SimEndpoint final : public Endpoint {
     adapter_.start_inquiry(std::move(done));
   }
   void bind(net::Port port, DatagramHandler handler) override {
-    adapter_.bind(port, std::move(handler));
+    if (m_ == nullptr) {
+      adapter_.bind(port, std::move(handler));
+      return;
+    }
+    adapter_.bind(port, [m = m_, handler = std::move(handler)](
+                            net::NodeId src, BytesView payload) {
+      m->datagrams_received->inc();
+      handler(src, payload);
+    });
   }
   void unbind(net::Port port) override { adapter_.unbind(port); }
   void send_datagram(DeviceId dst, net::Port port, BytesView payload) override {
+    if (m_ != nullptr) {
+      m_->datagrams_sent->inc();
+      m_->datagram_bytes->inc(payload.size());
+    }
     adapter_.send_datagram(dst, port, payload);
   }
   void broadcast_datagram(net::Port port, BytesView payload) override {
+    if (m_ != nullptr) {
+      m_->datagrams_sent->inc();
+      m_->datagram_bytes->inc(payload.size());
+    }
     adapter_.broadcast_datagram(port, payload);
   }
   void listen(net::Port port, AcceptHandler on_accept) override {
-    adapter_.listen(port, [on_accept = std::move(on_accept)](net::Link link) {
-      on_accept(wrap_link(std::move(link)));
+    adapter_.listen(port, [m = m_, on_accept = std::move(on_accept)](
+                              net::Link link) {
+      if (m != nullptr) m->channels_accepted->inc();
+      on_accept(wrap_link(std::move(link), m));
     });
   }
   void stop_listen(net::Port port) override { adapter_.stop_listen(port); }
   void connect(DeviceId dst, net::Port port, ConnectHandler done) override {
     adapter_.connect(dst, port,
-                     [done = std::move(done)](Result<net::Link> link) {
+                     [m = m_, done = std::move(done)](Result<net::Link> link) {
                        if (!link) {
                          done(std::move(link).error());
                          return;
                        }
-                       done(wrap_link(*std::move(link)));
+                       if (m != nullptr) m->channels_opened->inc();
+                       done(wrap_link(*std::move(link), m));
                      });
   }
   double signal_to(DeviceId dst) const override {
@@ -81,6 +134,7 @@ class SimEndpoint final : public Endpoint {
 
  private:
   net::Adapter& adapter_;
+  const TransportMetrics* m_;
 };
 
 }  // namespace
@@ -109,7 +163,8 @@ class SimTransport::SimScheduler final : public Scheduler {
 
 SimTransport::SimTransport(net::Medium& medium)
     : medium_(medium),
-      scheduler_(std::make_unique<SimScheduler>(medium.simulator())) {}
+      scheduler_(std::make_unique<SimScheduler>(medium.simulator())),
+      metrics_(register_transport_metrics(medium.registry())) {}
 
 SimTransport::~SimTransport() = default;
 
@@ -129,7 +184,8 @@ Endpoint& SimTransport::add_endpoint(DeviceId device, net::TechProfile profile) 
   PH_CHECK_MSG(!endpoints_.contains(key),
                "one endpoint per (device, technology)");
   net::Adapter& adapter = medium_.add_adapter(device, std::move(profile));
-  auto [it, inserted] = endpoints_.emplace(key, wrap_adapter(adapter));
+  auto [it, inserted] = endpoints_.emplace(
+      key, std::make_unique<SimEndpoint>(adapter, &metrics_));
   return *it->second;
 }
 
@@ -139,8 +195,9 @@ Endpoint* SimTransport::endpoint(DeviceId device, net::Technology tech) {
   // Adapters created outside this instance (legacy call sites add them
   // straight on the Medium): wrap on demand so lookups stay uniform.
   if (net::Adapter* adapter = medium_.adapter(device, tech)) {
-    auto [it2, inserted] =
-        endpoints_.emplace(std::make_pair(device, tech), wrap_adapter(*adapter));
+    auto [it2, inserted] = endpoints_.emplace(
+        std::make_pair(device, tech),
+        std::make_unique<SimEndpoint>(*adapter, &metrics_));
     return it2->second.get();
   }
   return nullptr;

@@ -5,7 +5,11 @@
 // sim::Simulator call, in the same order the pre-transport code made it,
 // so RNG consumption, event ordering and therefore whole runs stay
 // byte-identical to driving the Medium directly (the chaos-determinism
-// and trace byte-compare gates hold through this layer).
+// and trace byte-compare gates hold through this layer). The only state
+// this backend adds is the common `transport.*` metric family
+// (register_transport_metrics): passive counter increments that touch
+// neither the RNG nor the event queue, so they count identically on every
+// same-seed run.
 //
 // Several SimTransport instances may wrap one Medium (the legacy
 // Stack/Daemon compat constructors own one each); they share the Medium's
@@ -58,6 +62,9 @@ class SimTransport final : public Transport {
 
   net::Medium& medium_;
   std::unique_ptr<SimScheduler> scheduler_;
+  /// Common `transport.*` handles in the Medium's registry; endpoints and
+  /// channels created through this transport count into them.
+  TransportMetrics metrics_;
   std::map<std::pair<DeviceId, net::Technology>, std::unique_ptr<Endpoint>>
       endpoints_;
 };

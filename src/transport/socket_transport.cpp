@@ -16,9 +16,13 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/ops_server.hpp"
+#include "obs/sampler.hpp"
+#include "obs/slo.hpp"
 #include "proto/frame.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace ph::transport {
 
@@ -39,6 +43,12 @@ void append_u32(Bytes& out, std::uint32_t v) {
   }
 }
 
+void append_u64(Bytes& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
 std::uint16_t read_u16(BytesView data) {
   return static_cast<std::uint16_t>(data[0] |
                                     (static_cast<std::uint16_t>(data[1]) << 8));
@@ -47,6 +57,12 @@ std::uint16_t read_u16(BytesView data) {
 std::uint32_t read_u32(BytesView data) {
   std::uint32_t v = 0;
   for (int i = 3; i >= 0; --i) v = (v << 8) | data[i];
+  return v;
+}
+
+std::uint64_t read_u64(BytesView data) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | data[i];
   return v;
 }
 
@@ -154,7 +170,16 @@ class SocketTransport::WallScheduler final : public Scheduler {
         auto node = timers_.extract(timers_.begin());
         due_.erase(node.key().second);
         sim::EventFn fn = std::move(node.mapped());
+        // Loop lag: how far past its due point the timer actually fired,
+        // reported in WALL microseconds (virtual lag unscaled). A loaded
+        // or stalled loop shows up here before anything times out.
+        const sim::Time lag_virtual = now() - node.key().first;
+        transport_.h_loop_lag_->observe(static_cast<double>(lag_virtual) /
+                                        scale_);
+        const std::uint64_t t0 = transport_.wall_clock_.now();
         fn();
+        transport_.h_loop_dispatch_->observe(
+            static_cast<double>(transport_.wall_clock_.now() - t0));
       }
       const sim::Time current = now();
       if (current >= until) return;
@@ -227,6 +252,19 @@ class SocketChannelState final
   /// Forced break from outside the I/O path (endpoint powered off).
   void force_break() { do_break(); }
 
+  /// Queues a transport-internal RTT probe carrying the sender's wall
+  /// clock; the peer echoes it back as channel_pong and the receive path
+  /// observes (now - echo) into transport.channel_rtt_us. Invisible to
+  /// the layers above — probes never reach the receive handler.
+  void send_ping(std::uint64_t wall_us);
+
+  /// Bytes queued but not yet written / received but not yet delivered —
+  /// the periodic scrape sums these into the per-device queue gauges.
+  std::size_t send_queue_bytes() const noexcept {
+    return out_buf_.size() - out_pos_;
+  }
+  std::size_t recv_queue_bytes() const noexcept { return in_buf_.size(); }
+
  private:
   void handle_io(std::uint32_t events);
   void deliver_frames();
@@ -260,15 +298,30 @@ void SocketChannelState::chan_send(BytesView payload) {
   flush();
 }
 
+void SocketChannelState::send_ping(std::uint64_t wall_us) {
+  if (!open_ || peer_gone_) return;
+  Bytes stamp;
+  append_u64(stamp, wall_us);
+  const Bytes msg = make_stream_message(proto::FrameKind::channel_ping, stamp);
+  out_buf_.insert(out_buf_.end(), msg.begin(), msg.end());
+  transport_.note_rtt_probe();
+  flush();
+}
+
 void SocketChannelState::flush() {
   while (open_ && out_pos_ < out_buf_.size()) {
-    const ssize_t n = ::send(fd_, out_buf_.data() + out_pos_,
-                             out_buf_.size() - out_pos_, MSG_NOSIGNAL);
+    const std::size_t remaining = out_buf_.size() - out_pos_;
+    const ssize_t n =
+        ::send(fd_, out_buf_.data() + out_pos_, remaining, MSG_NOSIGNAL);
     if (n > 0) {
+      if (static_cast<std::size_t>(n) < remaining) {
+        transport_.note_partial_write();
+      }
       out_pos_ += static_cast<std::size_t>(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      transport_.note_backpressure();
       if (!want_write_) {
         want_write_ = true;
         transport_.rearm_fd(fd_, EPOLLIN | EPOLLOUT);
@@ -351,6 +404,27 @@ void SocketChannelState::deliver_frames() {
     if (in_buf_.size() - pos - 4 < len) break;
     const BytesView frame_bytes = BytesView(in_buf_).subspan(pos + 4, len);
     auto frame = proto::decode_frame(frame_bytes);
+    // RTT probes are transport-internal: consumed here, before the
+    // no-handler stall check, never surfaced to the receive handler.
+    if (frame && frame->kind == proto::FrameKind::channel_ping) {
+      pos += 4 + len;
+      if (frame->payload.size() >= 8 && !peer_gone_) {
+        const Bytes pong = make_stream_message(proto::FrameKind::channel_pong,
+                                               frame->payload.subspan(0, 8));
+        out_buf_.insert(out_buf_.end(), pong.begin(), pong.end());
+        flush();
+      }
+      continue;
+    }
+    if (frame && frame->kind == proto::FrameKind::channel_pong) {
+      pos += 4 + len;
+      if (frame->payload.size() >= 8) {
+        const std::uint64_t echoed = read_u64(frame->payload.subspan(0, 8));
+        const std::uint64_t now = transport_.wall_now_us();
+        if (now >= echoed) transport_.note_rtt_sample(now - echoed);
+      }
+      continue;
+    }
     if (frame && frame->kind == proto::FrameKind::channel_data &&
         !on_receive_) {
       stalled = true;  // keep buffered until a handler is installed
@@ -467,6 +541,26 @@ class SocketTransport::SocketEndpoint final : public Endpoint {
     return n;
   }
 
+  /// Telemetry scrape over every live channel: send an RTT probe and sum
+  /// the queue depths into the caller's per-device accumulators. Channels
+  /// are pinned first — a probe's flush may break a channel, whose break
+  /// handler may open new ones and reshape channels_ under an iterator.
+  void scrape_channels(std::uint64_t wall_us, std::size_t& send_bytes,
+                       std::size_t& recv_bytes) {
+    std::vector<std::shared_ptr<SocketChannelState>> live;
+    live.reserve(channels_.size());
+    for (const auto& weak : channels_) {
+      if (auto ch = weak.lock(); ch && ch->chan_open()) {
+        live.push_back(std::move(ch));
+      }
+    }
+    for (const auto& ch : live) {
+      ch->send_ping(wall_us);
+      send_bytes += ch->send_queue_bytes();
+      recv_bytes += ch->recv_queue_bytes();
+    }
+  }
+
  private:
   /// An outgoing connect between ::connect(2) and channel_accept/reject.
   struct PendingConn {
@@ -475,12 +569,14 @@ class SocketTransport::SocketEndpoint final : public Endpoint {
     ConnectHandler done;
     Bytes buf;
     sim::EventId timeout = 0;
+    std::uint64_t started_wall = 0;  ///< handshake latency start stamp
   };
   /// An accepted stream fd waiting for its channel_open frame.
   struct PendingAccept {
     int fd = -1;
     Bytes buf;
     sim::EventId timeout = 0;
+    std::uint64_t started_wall = 0;
   };
 
   void bring_up();
@@ -584,7 +680,7 @@ void SocketTransport::SocketEndpoint::handle_dgram_readable() {
     }
     const DeviceId src = read_u32(frame->payload.subspan(0, 4));
     const net::Port port = read_u16(frame->payload.subspan(4, 2));
-    t_.c_datagrams_received_->inc();
+    t_.metrics_.datagrams_received->inc();
     auto it = dgram_handlers_.find(port);
     if (it == dgram_handlers_.end()) continue;
     // Copy the handler: it may rebind (or unbind) this very port.
@@ -608,8 +704,8 @@ void SocketTransport::SocketEndpoint::send_datagram(DeviceId dst, net::Port port
   // exactly the unreliable-datagram contract.
   (void)::sendto(dgram_fd_, frame.data(), frame.size(), MSG_NOSIGNAL,
                  reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  t_.c_datagrams_sent_->inc();
-  t_.c_datagram_bytes_->inc(payload.size());
+  t_.metrics_.datagrams_sent->inc();
+  t_.metrics_.datagram_bytes->inc(payload.size());
 }
 
 void SocketTransport::SocketEndpoint::broadcast_datagram(net::Port port,
@@ -682,6 +778,7 @@ void SocketTransport::SocketEndpoint::handle_listen_readable() {
     }
     auto [it, inserted] = pending_accepts_.emplace(fd, PendingAccept{});
     it->second.fd = fd;
+    it->second.started_wall = t_.wall_now_us();
     // A peer that connects but never sends channel_open must not pin the
     // fd forever.
     it->second.timeout = t_.scheduler_->schedule(
@@ -750,9 +847,12 @@ void SocketTransport::SocketEndpoint::settle_accept(int fd) {
   t_.scheduler_->cancel(pa.timeout);
   t_.unwatch_fd(fd);
   AcceptHandler handler = listener->second;  // copy — may stop_listen inside
+  const std::uint64_t started = pa.started_wall;
   pending_accepts_.erase(it);
   auto state = adopt(fd, src, std::move(leftover));
-  t_.c_channels_accepted_->inc();
+  t_.metrics_.channels_accepted->inc();
+  t_.metrics_.handshake_us->observe(
+      static_cast<double>(t_.wall_now_us() - started));
   handler(Channel(state));
 }
 
@@ -793,6 +893,7 @@ void SocketTransport::SocketEndpoint::connect(DeviceId dst, net::Port port,
   it->second.fd = fd;
   it->second.dst = dst;
   it->second.done = std::move(done);
+  it->second.started_wall = t_.wall_now_us();
   it->second.timeout = t_.scheduler_->schedule(
       profile_.connect_latency + sim::seconds(10), [this, fd]() {
         fail_connect(fd, Error{Errc::timeout, "channel open timed out"});
@@ -867,11 +968,14 @@ void SocketTransport::SocketEndpoint::settle_connect(int fd) {
   Bytes leftover(pc.buf.begin() + 4 + len, pc.buf.end());
   ConnectHandler done = std::move(pc.done);
   const DeviceId dst = pc.dst;
+  const std::uint64_t started = pc.started_wall;
   t_.scheduler_->cancel(pc.timeout);
   t_.unwatch_fd(fd);
   pending_conns_.erase(it);
   auto state = adopt(fd, dst, std::move(leftover));
-  t_.c_channels_opened_->inc();
+  t_.metrics_.channels_opened->inc();
+  t_.metrics_.handshake_us->observe(
+      static_cast<double>(t_.wall_now_us() - started));
   done(Channel(state));
 }
 
@@ -899,22 +1003,29 @@ SocketTransport::SocketTransport(SocketTransportConfig config)
   scheduler_ = std::make_unique<WallScheduler>(*this, config_.time_scale);
   device_names_.emplace_back();  // index 0 = kInvalidNode
 
-  c_datagrams_sent_ = &registry_.counter("transport.socket.datagrams_sent");
-  c_datagrams_received_ =
-      &registry_.counter("transport.socket.datagrams_received");
-  c_datagram_bytes_ = &registry_.counter("transport.socket.datagram_bytes");
-  c_channels_opened_ = &registry_.counter("transport.socket.channels_opened");
-  c_channels_accepted_ =
-      &registry_.counter("transport.socket.channels_accepted");
-  c_channels_broken_ = &registry_.counter("transport.socket.channels_broken");
-  c_channel_messages_ =
-      &registry_.counter("transport.socket.channel_messages");
-  c_channel_bytes_ = &registry_.counter("transport.socket.channel_bytes");
-  c_bad_frames_ = &registry_.counter("transport.socket.bad_frames");
+  metrics_ = register_transport_metrics(registry_);
+  h_loop_lag_ = &registry_.histogram("transport.socket.loop.lag_us");
+  h_loop_dispatch_ = &registry_.histogram("transport.socket.loop.dispatch_us");
+  g_wait_stall_ = &registry_.gauge("transport.socket.loop.wait_stall_us");
+  c_partial_writes_ = &registry_.counter("transport.socket.partial_writes");
+  c_backpressure_ = &registry_.counter("transport.socket.backpressure");
+  c_rtt_probes_ = &registry_.counter("transport.socket.rtt_probes");
+
+  // This backend's journal stamps are wall-derived (virtual µs = wall µs ×
+  // time_scale); tag the domain so /flight and PH_TRACE_JSON exports are
+  // never mistaken for simulated time.
+  trace_.set_clock_domain("wall");
+
+  if (config_.sample_interval_us > 0) enable_telemetry();
+  if (config_.ops_server) {
+    auto started = enable_ops_server();
+    PH_CHECK_MSG(started.ok(), "ops server failed to start");
+  }
 }
 
 SocketTransport::~SocketTransport() {
   endpoints_.clear();  // unlinks sockets, closes fds, silently drops channels
+  ops_.reset();        // closes + unlinks the ops socket before any rmdir
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (owns_dir_) ::rmdir(dir_.c_str());  // best-effort; fails if shared
 }
@@ -981,7 +1092,15 @@ void SocketTransport::unwatch_fd(int fd) {
 
 void SocketTransport::pump_epoll(int timeout_ms) {
   epoll_event events[64];
+  const std::uint64_t wait_start = wall_clock_.now();
   const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  // Wait stall: how far past the requested timeout the kernel actually
+  // held us — scheduler jitter and ready-list storms, not our handlers.
+  const std::uint64_t waited = wall_clock_.now() - wait_start;
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(timeout_ms < 0 ? 0 : timeout_ms) * 1000;
+  g_wait_stall_->set(waited > budget ? static_cast<double>(waited - budget)
+                                     : 0.0);
   for (int i = 0; i < n; ++i) {
     // Look up by watch token, per event: an earlier handler in this batch
     // may have unregistered the watch (closed channel, settled handshake),
@@ -990,21 +1109,108 @@ void SocketTransport::pump_epoll(int timeout_ms) {
     auto it = watch_handlers_.find(events[i].data.u64);
     if (it == watch_handlers_.end()) continue;
     auto handler = it->second;  // copy — the handler may erase itself
+    const std::uint64_t t0 = wall_clock_.now();
     handler(events[i].events);
+    h_loop_dispatch_->observe(static_cast<double>(wall_clock_.now() - t0));
   }
 }
 
 void SocketTransport::note_channel_send(std::size_t bytes) {
-  c_channel_messages_->inc();
-  c_channel_bytes_->inc(bytes);
+  metrics_.channel_messages->inc();
+  metrics_.channel_bytes->inc(bytes);
 }
 
 void SocketTransport::note_channel_receive(std::size_t bytes) {
-  c_channel_bytes_->inc(bytes);
+  metrics_.channel_bytes->inc(bytes);
 }
 
-void SocketTransport::note_channel_break() { c_channels_broken_->inc(); }
+void SocketTransport::note_channel_break() {
+  metrics_.channels_broken->inc();
+}
 
-void SocketTransport::note_bad_frame() { c_bad_frames_->inc(); }
+void SocketTransport::note_bad_frame() { metrics_.bad_frames->inc(); }
+
+void SocketTransport::note_partial_write() { c_partial_writes_->inc(); }
+
+void SocketTransport::note_backpressure() { c_backpressure_->inc(); }
+
+void SocketTransport::note_rtt_probe() { c_rtt_probes_->inc(); }
+
+void SocketTransport::note_rtt_sample(std::uint64_t rtt_wall_us) {
+  metrics_.channel_rtt_us->observe(static_cast<double>(rtt_wall_us));
+}
+
+void SocketTransport::enable_telemetry() {
+  if (sampler_ != nullptr) return;
+  if (config_.sample_interval_us == 0) {
+    config_.sample_interval_us = 100'000;  // 100 ms wall default
+  }
+  obs::SamplerConfig sampler_config;
+  sampler_config.interval_us = config_.sample_interval_us;
+  sampler_ = std::make_unique<obs::Sampler>(registry_, wall_clock_,
+                                            sampler_config);
+  slo_ = std::make_unique<obs::SloEngine>(*sampler_, registry_, &trace_);
+  scrape_telemetry();  // first scrape baselines the diff cursors
+}
+
+void SocketTransport::scrape_telemetry() {
+  const std::uint64_t wall = wall_clock_.now();
+  // Queue-depth gauges per device, summed across its endpoints' channels;
+  // RTT probes ride the same pass.
+  std::map<DeviceId, std::pair<std::size_t, std::size_t>> depths;
+  for (auto& [key, endpoint] : endpoints_) {
+    auto& [send_bytes, recv_bytes] = depths[key.first];
+    endpoint->scrape_channels(wall, send_bytes, recv_bytes);
+  }
+  for (const auto& [device, queue] : depths) {
+    const std::string prefix =
+        "transport.socket.d" + std::to_string(device) + ".";
+    registry_.gauge(prefix + "send_queue_bytes")
+        .set(static_cast<double>(queue.first));
+    registry_.gauge(prefix + "recv_queue_bytes")
+        .set(static_cast<double>(queue.second));
+  }
+  sampler_->sample();
+  slo_->evaluate();
+  // Wall interval mapped into the scheduler's virtual microseconds.
+  const double scale = config_.time_scale > 0.0 ? config_.time_scale : 1.0;
+  const auto delay = static_cast<sim::Duration>(
+      static_cast<double>(config_.sample_interval_us) * scale);
+  scheduler_->schedule(delay > 0 ? delay : 1, [this]() { scrape_telemetry(); });
+}
+
+Result<void> SocketTransport::enable_ops_server() {
+  if (ops_ != nullptr) return ok();
+  enable_telemetry();
+  obs::OpsServerConfig ops_config;
+  ops_config.socket_path =
+      dir_ + "/d" + std::to_string(config_.first_device_id) + ".ops";
+  ops_config.trace_ts_divisor =
+      config_.time_scale > 0.0 ? config_.time_scale : 1.0;
+  obs::OpsSources sources;
+  sources.registry = &registry_;
+  sources.trace = &trace_;
+  sources.sampler = sampler_.get();
+  sources.slo = slo_.get();
+  sources.device_names = [this]() {
+    std::map<std::uint64_t, std::string> names;
+    for (DeviceId id = config_.first_device_id;
+         id < config_.first_device_id + device_names_.size() - 1; ++id) {
+      const auto& name = device_names_[id - config_.first_device_id + 1];
+      if (!name.empty()) names[id] = name;
+    }
+    return names;
+  };
+  auto server =
+      std::make_unique<obs::OpsServer>(std::move(ops_config),
+                                       std::move(sources));
+  if (auto started = server->start(); !started.ok()) {
+    return started;
+  }
+  ops_ = std::move(server);
+  watch_fd(ops_->fd(), EPOLLIN,
+           [this](std::uint32_t) { ops_->handle_readable(); });
+  return ok();
+}
 
 }  // namespace ph::transport

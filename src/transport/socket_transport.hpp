@@ -28,7 +28,14 @@
 #include <string>
 #include <vector>
 
+#include "obs/clock.hpp"
 #include "transport/transport.hpp"
+
+namespace ph::obs {
+class OpsServer;
+class Sampler;
+class SloEngine;
+}  // namespace ph::obs
 
 namespace ph::transport {
 
@@ -47,6 +54,13 @@ struct SocketTransportConfig {
   /// First id handed out by add_device; partition the id space when
   /// several processes share one socket_dir.
   DeviceId first_device_id = 1;
+  /// WALL microseconds between telemetry scrapes (queue-depth gauges,
+  /// channel RTT probes, Sampler/SloEngine tick). 0 = telemetry off
+  /// unless the ops server turns it on with its 100 ms default.
+  std::uint64_t sample_interval_us = 0;
+  /// Start the live ops endpoint (<socket_dir>/d<first_device_id>.ops)
+  /// at construction; equivalent to calling enable_ops_server().
+  bool ops_server = false;
 };
 
 class SocketTransport final : public Transport {
@@ -73,6 +87,20 @@ class SocketTransport final : public Transport {
   /// Live channel fds across all endpoints (leak check for tests).
   std::size_t open_channel_count() const noexcept;
 
+  /// Starts the live ops endpoint at <socket_dir>/d<first_device_id>.ops
+  /// and registers its fd with the epoll loop. Turns telemetry sampling on
+  /// (100 ms wall default) when the config left it off. Idempotent.
+  Result<void> enable_ops_server() override;
+
+  /// The wall-clock telemetry sampler / SLO engine; nullptr until
+  /// telemetry is enabled (config.sample_interval_us or the ops server).
+  obs::Sampler* sampler() noexcept { return sampler_.get(); }
+  obs::SloEngine* slo_engine() noexcept { return slo_.get(); }
+
+  /// Monotonic WALL microseconds since transport construction — the time
+  /// base of RTT probes, handshake latency and loop instrumentation.
+  std::uint64_t wall_now_us() const { return wall_clock_.now(); }
+
   // Backend-internal plumbing, public because channel states are file-local
   // classes in socket_transport.cpp. Not for use above the transport layer.
 
@@ -86,6 +114,10 @@ class SocketTransport final : public Transport {
   void note_channel_receive(std::size_t bytes);
   void note_channel_break();
   void note_bad_frame();
+  void note_partial_write();
+  void note_backpressure();
+  void note_rtt_probe();
+  void note_rtt_sample(std::uint64_t rtt_wall_us);
 
  private:
   class WallScheduler;
@@ -93,7 +125,16 @@ class SocketTransport final : public Transport {
   friend class SocketEndpoint;
 
   /// One epoll_wait + handler dispatch round; called from run_until.
+  /// Observes the wait overshoot into the stall gauge and each handler's
+  /// wall dispatch time into the dispatch histogram.
   void pump_epoll(int timeout_ms);
+
+  /// Starts wall-clock telemetry: Sampler + SloEngine over the WallClock
+  /// and a self-rescheduling scrape at config_.sample_interval_us.
+  void enable_telemetry();
+  /// One scrape: refresh per-device queue gauges, send channel RTT
+  /// probes, tick the sampler and SLO engine.
+  void scrape_telemetry();
 
   SocketTransportConfig config_;
   std::string dir_;
@@ -120,16 +161,23 @@ class SocketTransport final : public Transport {
            std::unique_ptr<SocketEndpoint>>
       endpoints_;
 
-  // Registry handles (`transport.socket.*`).
-  obs::Counter* c_datagrams_sent_ = nullptr;
-  obs::Counter* c_datagrams_received_ = nullptr;
-  obs::Counter* c_datagram_bytes_ = nullptr;
-  obs::Counter* c_channels_opened_ = nullptr;
-  obs::Counter* c_channels_accepted_ = nullptr;
-  obs::Counter* c_channels_broken_ = nullptr;
-  obs::Counter* c_channel_messages_ = nullptr;
-  obs::Counter* c_channel_bytes_ = nullptr;
-  obs::Counter* c_bad_frames_ = nullptr;
+  /// Common `transport.*` handles (register_transport_metrics) — the
+  /// substrate-independent schema shared with SimTransport.
+  TransportMetrics metrics_;
+
+  // Socket-only instruments (`transport.socket.*`).
+  obs::Histogram* h_loop_lag_ = nullptr;       ///< timer fire lag, wall µs
+  obs::Histogram* h_loop_dispatch_ = nullptr;  ///< handler run time, wall µs
+  obs::Gauge* g_wait_stall_ = nullptr;         ///< epoll_wait overshoot, µs
+  obs::Counter* c_partial_writes_ = nullptr;
+  obs::Counter* c_backpressure_ = nullptr;
+  obs::Counter* c_rtt_probes_ = nullptr;
+
+  // Wall-clock telemetry plane (enable_telemetry / enable_ops_server).
+  obs::WallClock wall_clock_;
+  std::unique_ptr<obs::Sampler> sampler_;
+  std::unique_ptr<obs::SloEngine> slo_;
+  std::unique_ptr<obs::OpsServer> ops_;
 };
 
 }  // namespace ph::transport

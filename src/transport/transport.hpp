@@ -208,6 +208,35 @@ class Endpoint {
 };
 
 // ---------------------------------------------------------------------------
+// TransportMetrics — the substrate-independent telemetry schema.
+// ---------------------------------------------------------------------------
+
+/// The metric families every backend registers eagerly at construction,
+/// under common `transport.*` names, so dashboards, ph_ops_dump merges and
+/// the conformance parity test read one schema regardless of substrate.
+/// Backend-specific extras live under `transport.<backend>.` (e.g. the
+/// epoll-loop instruments under `transport.socket.`). A backend registers
+/// every family even when it never observes into some of them — parity is
+/// names + kinds; values are whatever the substrate can actually measure.
+struct TransportMetrics {
+  obs::Counter* datagrams_sent = nullptr;
+  obs::Counter* datagrams_received = nullptr;
+  obs::Counter* datagram_bytes = nullptr;      ///< payload bytes sent
+  obs::Counter* channels_opened = nullptr;     ///< successful connects
+  obs::Counter* channels_accepted = nullptr;   ///< successful accepts
+  obs::Counter* channels_broken = nullptr;
+  obs::Counter* channel_messages = nullptr;    ///< messages sent
+  obs::Counter* channel_bytes = nullptr;       ///< payload bytes both ways
+  obs::Counter* bad_frames = nullptr;
+  obs::Histogram* handshake_us = nullptr;      ///< wall µs, connect + accept
+  obs::Histogram* channel_rtt_us = nullptr;    ///< wall µs, echoed probes
+};
+
+/// Registers (or re-finds) the whole family in `registry`. Idempotent —
+/// several transports over one registry share the instruments.
+TransportMetrics register_transport_metrics(obs::Registry& registry);
+
+// ---------------------------------------------------------------------------
 // Transport — the root object a PeerHood world hangs off.
 // ---------------------------------------------------------------------------
 
@@ -245,6 +274,13 @@ class Transport {
 
   /// The device's endpoint for a technology, or nullptr if it has none.
   virtual Endpoint* endpoint(DeviceId device, net::Technology tech) = 0;
+
+  /// Starts the backend's live introspection endpoint (obs::OpsServer on
+  /// the socket substrate) serving /metrics, /series, /slo and /flight.
+  /// Idempotent once successful. The default returns not_supported: a
+  /// simulated world has no process boundary worth scraping across —
+  /// tests read its registry directly.
+  virtual Result<void> enable_ops_server();
 };
 
 }  // namespace ph::transport

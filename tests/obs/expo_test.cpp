@@ -1,0 +1,125 @@
+// Exposition round-trip and fleet-merge semantics (obs/expo.hpp).
+#include "obs/expo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace ph::obs {
+namespace {
+
+TEST(ExpoName, LintsTheDottedLowercaseGrammar) {
+  EXPECT_TRUE(valid_metric_name("transport.datagrams_sent"));
+  EXPECT_TRUE(valid_metric_name("a.b_c.d9"));
+  EXPECT_FALSE(valid_metric_name(""));
+  EXPECT_FALSE(valid_metric_name("Transport.count"));
+  EXPECT_FALSE(valid_metric_name("has space"));
+  EXPECT_FALSE(valid_metric_name("curly{brace}"));
+}
+
+TEST(ExpoRender, RoundTripsEveryInstrumentKind) {
+  Registry registry;
+  registry.counter("net.frames").inc(42);
+  registry.gauge("net.depth").set(2.5);
+  Histogram& h = registry.histogram("net.latency_us");
+  h.observe(15.0);
+  h.observe(90.0);
+  h.observe(90.0);
+
+  const std::string text = to_exposition(registry);
+  EXPECT_NE(text.find("# TYPE net.frames counter\nnet.frames 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE net.depth gauge\nnet.depth 2.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("net.latency_us.count 3\n"), std::string::npos);
+  // Per-bucket counts, not Prometheus-cumulative: the two 90 µs samples
+  // land in the le="100" bucket and the overflow bucket stays 0.
+  EXPECT_NE(text.find(".bucket{le=\"100\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find(".bucket{le=\"+Inf\"} 0\n"), std::string::npos);
+
+  auto parsed = parse_exposition(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const ExpoDoc& doc = parsed.value();
+  EXPECT_EQ(doc.counters.at("net.frames"), 42u);
+  EXPECT_DOUBLE_EQ(doc.gauges.at("net.depth"), 2.5);
+  const ExpoDoc::Hist& hist = doc.histograms.at("net.latency_us");
+  EXPECT_EQ(hist.count, 3u);
+  EXPECT_DOUBLE_EQ(hist.sum, h.sum());
+  EXPECT_EQ(hist.bucket_counts.size(), hist.bounds.size() + 1);
+
+  // Render → parse → render must be a fixed point: the text form is the
+  // interchange format, so it cannot drift through a scrape/merge cycle.
+  const std::string rendered = render_exposition(doc);
+  auto reparsed = parse_exposition(rendered);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string();
+  EXPECT_EQ(render_exposition(reparsed.value()), rendered);
+}
+
+TEST(ExpoParse, RejectsMalformedDocuments) {
+  // Sample without a TYPE declaration.
+  EXPECT_FALSE(parse_exposition("orphan 1\n").ok());
+  // Duplicate TYPE.
+  EXPECT_FALSE(parse_exposition("# TYPE a counter\n# TYPE a counter\na 1\n")
+                   .ok());
+  // Illegal name.
+  EXPECT_FALSE(parse_exposition("# TYPE BAD counter\nBAD 1\n").ok());
+  // Histogram sample with an unknown field suffix.
+  EXPECT_FALSE(
+      parse_exposition("# TYPE h histogram\nh.count 1\nh.median 3\n").ok());
+  // Non-numeric value.
+  EXPECT_FALSE(parse_exposition("# TYPE a counter\na banana\n").ok());
+}
+
+TEST(ExpoMerge, CountersAddGaugesSumBucketsAdd) {
+  Registry a;
+  a.counter("fleet.ops").inc(10);
+  a.gauge("fleet.queue_bytes").set(100.0);
+  Histogram& ha = a.histogram("fleet.rtt_us");
+  ha.observe(20.0);
+
+  Registry b;
+  b.counter("fleet.ops").inc(5);
+  b.counter("fleet.only_b").inc(1);
+  b.gauge("fleet.queue_bytes").set(50.0);
+  Histogram& hb = b.histogram("fleet.rtt_us");
+  hb.observe(20.0);
+  hb.observe(5000.0);
+
+  auto da = parse_exposition(to_exposition(a));
+  auto db = parse_exposition(to_exposition(b));
+  ASSERT_TRUE(da.ok() && db.ok());
+  ExpoDoc merged = da.value();
+  ASSERT_TRUE(merge_expositions(merged, db.value()).ok());
+
+  EXPECT_EQ(merged.counters.at("fleet.ops"), 15u);
+  EXPECT_EQ(merged.counters.at("fleet.only_b"), 1u);
+  // Fleet reading of a depth gauge: the members' sum, not last-wins.
+  EXPECT_DOUBLE_EQ(merged.gauges.at("fleet.queue_bytes"), 150.0);
+  const ExpoDoc::Hist& hist = merged.histograms.at("fleet.rtt_us");
+  EXPECT_EQ(hist.count, 3u);
+  EXPECT_DOUBLE_EQ(hist.sum, 5040.0);
+
+  // The re-render recomputes quantiles from merged buckets: with 2 of 3
+  // samples in the low bucket, p50 must sit at the low bucket's bound,
+  // not at an average of the inputs' p50 readouts.
+  auto reparsed = parse_exposition(render_exposition(merged));
+  ASSERT_TRUE(reparsed.ok());
+  const ExpoDoc::Hist& rendered = reparsed.value().histograms.at("fleet.rtt_us");
+  EXPECT_LT(rendered.p50, 100.0);
+  EXPECT_GE(rendered.p99, 1000.0);
+}
+
+TEST(ExpoMerge, MismatchedHistogramBoundsFail) {
+  ExpoDoc a;
+  a.histograms["h"].bounds = {1.0, 2.0};
+  a.histograms["h"].bucket_counts = {0, 0, 0};
+  ExpoDoc b;
+  b.histograms["h"].bounds = {1.0, 3.0};
+  b.histograms["h"].bucket_counts = {0, 0, 0};
+  EXPECT_FALSE(merge_expositions(a, b).ok());
+}
+
+}  // namespace
+}  // namespace ph::obs

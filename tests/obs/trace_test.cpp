@@ -327,7 +327,7 @@ TEST(Export, ChromeTraceShape) {
       ++flow_finish;
     }
   }
-  EXPECT_EQ(metadata, 2);  // one track per device
+  EXPECT_EQ(metadata, 3);  // one track per device + the clock_domain tag
   EXPECT_EQ(complete, 2);
   EXPECT_EQ(begin, 1);
   EXPECT_EQ(instant, 1);

@@ -11,20 +11,25 @@
 
 #include "net/medium.hpp"
 #include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 namespace ph::testutil {
 
-/// Enables ring-buffer tracing on `medium`'s journal for the guard's
-/// lifetime. On destruction, if the current gtest test has a failure, the
-/// ring is dumped to $PH_FLIGHT_JSON or — when unset — to a file named
-/// after the failing test under gtest's temp dir.
+/// Enables ring-buffer tracing on a journal for the guard's lifetime. On
+/// destruction, if the current gtest test has a failure, the ring is
+/// dumped to $PH_FLIGHT_JSON or — when unset — to a file named after the
+/// failing test under gtest's temp dir. Works over any trace source: pass
+/// a transport's trace() for substrate-agnostic tests, or a Medium for
+/// legacy sim-only suites.
 class FlightGuard {
  public:
-  explicit FlightGuard(net::Medium& medium, std::size_t ring_capacity = 1 << 14)
-      : medium_(medium) {
-    medium_.trace().set_enabled(true);
-    medium_.trace().set_ring_capacity(ring_capacity);
+  explicit FlightGuard(obs::Trace& trace, std::size_t ring_capacity = 1 << 14)
+      : trace_(trace) {
+    trace_.set_enabled(true);
+    trace_.set_ring_capacity(ring_capacity);
   }
+  explicit FlightGuard(net::Medium& medium, std::size_t ring_capacity = 1 << 14)
+      : FlightGuard(medium.trace(), ring_capacity) {}
   FlightGuard(const FlightGuard&) = delete;
   FlightGuard& operator=(const FlightGuard&) = delete;
 
@@ -36,13 +41,13 @@ class FlightGuard {
     if (info != nullptr) {
       name = std::string(info->test_suite_name()) + "." + info->name();
     }
-    obs::dump_flight_recording(medium_.trace(), "test_failure",
+    obs::dump_flight_recording(trace_, "test_failure",
                                ::testing::TempDir() + "flight_" + name +
                                    ".json");
   }
 
  private:
-  net::Medium& medium_;
+  obs::Trace& trace_;
 };
 
 }  // namespace ph::testutil

@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "net/medium.hpp"
+#include "obs/metrics.hpp"
 #include "peerhood/stack.hpp"
 #include "sim/simulator.hpp"
+#include "tests/testutil/flight_guard.hpp"
 #include "transport/sim_transport.hpp"
 #include "transport/socket_transport.hpp"
 
@@ -77,7 +79,13 @@ class TransportConformance : public ::testing::TestWithParam<const char*> {
       world_ = std::make_unique<SocketWorld>();
     }
     transport_ = &world_->transport();
+    // Arm the flight recorder on the backend's own journal: a failing
+    // socket-backend test dumps a Perfetto-loadable recording exactly
+    // like the sim integration suites do.
+    guard_ = std::make_unique<testutil::FlightGuard>(transport_->trace());
   }
+
+  void TearDown() override { guard_.reset(); }
 
   /// Pumps the substrate in small virtual-time slices until `pred` holds
   /// or `limit` virtual time elapses.
@@ -95,6 +103,9 @@ class TransportConformance : public ::testing::TestWithParam<const char*> {
 
   std::unique_ptr<World> world_;
   Transport* transport_ = nullptr;
+  // Declared after world_: the guard dumps from the transport's trace, so
+  // it must be destroyed first.
+  std::unique_ptr<testutil::FlightGuard> guard_;
 };
 
 TEST_P(TransportConformance, ReportsBackendIdentity) {
@@ -410,6 +421,47 @@ TEST_P(TransportConformance, SessionResumesAfterRadioDrop) {
 INSTANTIATE_TEST_SUITE_P(
     Backends, TransportConformance, ::testing::Values("sim", "socket"),
     [](const auto& info) { return std::string(info.param); });
+
+// Both backends must register the same substrate-independent `transport.*`
+// metric schema — same names, same instrument kinds — so dashboards and
+// the ops plane read identically whichever substrate runs underneath.
+// Socket-only internals live under `transport.socket.*` and are excluded.
+TEST(TransportMetricParity, BackendsRegisterSameTransportFamilies) {
+  struct Schema {
+    std::vector<std::string> counters;
+    std::vector<std::string> gauges;
+    std::vector<std::string> histograms;
+  };
+  const auto common_schema = [](obs::Registry& registry) {
+    Schema schema;
+    const auto is_common = [](const std::string& name) {
+      return name.starts_with("transport.") &&
+             !name.starts_with("transport.socket.");
+    };
+    for (const auto& [name, counter] : registry.counters()) {
+      if (is_common(name)) schema.counters.push_back(name);
+    }
+    for (const auto& [name, gauge] : registry.gauges()) {
+      if (is_common(name)) schema.gauges.push_back(name);
+    }
+    for (const auto& [name, histogram] : registry.histograms()) {
+      if (is_common(name)) schema.histograms.push_back(name);
+    }
+    return schema;
+  };
+
+  SimWorld sim_world;
+  SocketWorld socket_world;
+  const Schema sim_schema = common_schema(sim_world.transport().registry());
+  const Schema socket_schema =
+      common_schema(socket_world.transport().registry());
+
+  EXPECT_FALSE(sim_schema.counters.empty());
+  EXPECT_FALSE(sim_schema.histograms.empty());
+  EXPECT_EQ(sim_schema.counters, socket_schema.counters);
+  EXPECT_EQ(sim_schema.gauges, socket_schema.gauges);
+  EXPECT_EQ(sim_schema.histograms, socket_schema.histograms);
+}
 
 }  // namespace
 }  // namespace ph::transport

@@ -1,0 +1,200 @@
+// ops_scrape_smoke — end-to-end acceptance for the live ops plane.
+//
+// Forks a real daemon process: the child assembles two PeerHood stacks
+// over SocketTransport with the ops server enabled and pumps its epoll
+// loop forever; the parent connects to the child's ops UNIX socket like
+// any external operator would (`nc -U` semantics: one request line,
+// response body, close) and scrapes /metrics, /series, /slo and /flight
+// into the output directory given as argv[1]. The ph_ops_scrape_smoke
+// ctest then lints every scrape with ph_obs_json_check (--expo for the
+// exposition, JSON modes for the rest) — see cmake/ops_scrape_smoke.cmake.
+//
+//   ops_scrape_smoke OUT_DIR
+//
+// The parent retries /metrics until `transport.datagrams_sent` goes
+// nonzero (discovery traffic is flowing), so the lint step can demand a
+// live counter instead of an empty registry.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "peerhood/stack.hpp"
+#include "transport/socket_transport.hpp"
+#include "util/check.hpp"
+
+using namespace ph;
+
+namespace {
+
+net::TechProfile quick_bt() {
+  net::TechProfile p = net::bluetooth_2_0();
+  p.inquiry_duration = sim::milliseconds(200);
+  p.inquiry_detect_prob = 1.0;
+  p.connect_latency = sim::milliseconds(20);
+  p.base_latency = sim::milliseconds(5);
+  return p;
+}
+
+/// The daemon half: two stacks discovering each other over real sockets,
+/// telemetry sampling on, ops server listening. Never returns — the
+/// parent SIGKILLs the process when it has scraped everything it needs.
+[[noreturn]] void run_daemon(const std::string& socket_dir) {
+  transport::SocketTransportConfig config;
+  config.socket_dir = socket_dir;
+  config.time_scale = 200.0;
+  config.seed = 7;
+  config.sample_interval_us = 20'000;
+  config.ops_server = true;
+  transport::SocketTransport transport(config);
+  transport.trace().set_enabled(true);
+  transport.trace().set_ring_capacity(1 << 12);
+
+  peerhood::DaemonConfig daemon_config;
+  daemon_config.inquiry_interval = sim::seconds(1);
+  daemon_config.ping_interval = sim::milliseconds(500);
+  daemon_config.reply_timeout = sim::milliseconds(250);
+
+  peerhood::Stack alpha(peerhood::StackConfig{}
+                            .with_name("alpha")
+                            .with_radios({quick_bt()})
+                            .with_daemon(daemon_config)
+                            .with_transport(transport));
+  peerhood::Stack beta(peerhood::StackConfig{}
+                           .with_name("beta")
+                           .with_radios({quick_bt()})
+                           .with_daemon(daemon_config)
+                           .with_transport(transport));
+
+  transport.scheduler().run_until(sim::minutes(24.0 * 60.0 * 365.0));
+  std::_Exit(0);  // unreachable on any sane run
+}
+
+/// One ops request: connect, send the route line, read the body to EOF.
+/// Returns false on connect/IO failure or an "error ..." body.
+bool scrape(const std::string& socket_path, const std::string& route,
+            std::string& body) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                socket_path.c_str());
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const std::string request = route + "\n";
+  if (::write(fd, request.data(), request.size()) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return false;
+  }
+  ::shutdown(fd, SHUT_WR);
+  body.clear();
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    body.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return !body.empty() && body.rfind("error ", 0) != 0;
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << body;
+  return bool(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PH_CHECK_MSG(argc == 2, "usage: ops_scrape_smoke OUT_DIR");
+  const std::string out_dir = argv[1];
+
+  char dir_template[] = "/tmp/ph_ops_smoke.XXXXXX";
+  PH_CHECK_MSG(::mkdtemp(dir_template) != nullptr, "mkdtemp failed");
+  const std::string socket_dir = dir_template;
+  const std::string ops_socket = socket_dir + "/d1.ops";
+
+  const pid_t child = ::fork();
+  PH_CHECK_MSG(child >= 0, "fork failed");
+  if (child == 0) run_daemon(socket_dir);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  bool live = false;
+  std::string metrics;
+  // One loop covers every startup race: socket file not yet bound, listen
+  // not yet reached, discovery traffic not yet flowing.
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (scrape(ops_socket, "/metrics", metrics) &&
+        metrics.find("transport.datagrams_sent") != std::string::npos &&
+        metrics.find("transport.datagrams_sent 0\n") == std::string::npos) {
+      live = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  bool ok = live;
+  if (!live) {
+    std::fprintf(stderr,
+                 "ops_scrape_smoke: daemon never served live /metrics at %s\n",
+                 ops_socket.c_str());
+  } else {
+    ok = write_file(out_dir + "/metrics.txt", metrics) && ok;
+    const struct {
+      const char* route;
+      const char* file;
+    } routes[] = {{"/series", "/series.json"},
+                  {"/slo", "/slo.json"},
+                  {"/flight", "/flight.json"}};
+    for (const auto& r : routes) {
+      std::string body;
+      // "GET /series" must work as well as the bare route (curl-ish habit).
+      const std::string request =
+          std::string(r.route) == "/series" ? "GET /series" : r.route;
+      if (!scrape(ops_socket, request, body)) {
+        std::fprintf(stderr, "ops_scrape_smoke: scrape %s failed\n", r.route);
+        ok = false;
+        continue;
+      }
+      ok = write_file(out_dir + r.file, body) && ok;
+    }
+    // An unknown route must answer with a diagnostic, not hang or crash.
+    std::string unknown;
+    scrape(ops_socket, "/nope", unknown);
+    if (unknown.rfind("error ", 0) != 0) {
+      std::fprintf(stderr, "ops_scrape_smoke: bad unknown-route reply '%s'\n",
+                   unknown.c_str());
+      ok = false;
+    }
+  }
+
+  ::kill(child, SIGKILL);
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  std::error_code ec;
+  std::filesystem::remove_all(socket_dir, ec);
+  std::printf("ops_scrape_smoke %s: scraped %s\n", ok ? "OK" : "FAILED",
+              ops_socket.c_str());
+  return ok ? 0 : 1;
+}
