@@ -16,7 +16,8 @@
 //     wall-second, events per second)
 //
 // CLI (all optional):
-//   --devices=5,10,20,40   crowd sizes to sweep
+//   --devices=5,10,20,40   crowd sizes to sweep; `none` skips the classic
+//                          full-stack sweep entirely (parallel-only runs)
 //   --seed=1000            base seed (per run: seed + N)
 //   --window-min=10        simulated minutes per run
 //   --field=60 | --field=auto
@@ -27,9 +28,24 @@
 //                          position cache off) for A/B comparisons
 //   --cell=M               spatial grid cell edge override in metres
 //
+// Parallel sharded-medium sweep (ParallelWorld on the ShardedKernel —
+// city-scale crowds, constant density, medium hot path only):
+//   --parallel-devices=64  crowd sizes for the sharded sweep; `none` skips
+//   --threads=1,2          worker-thread counts to sweep per crowd size;
+//                          results are asserted byte-identical across them
+//   --shards=8             shard count (the determinism domain)
+//   --ops=PATH             serve the live ops plane on a UNIX socket at
+//                          PATH during the sharded runs (ph_ops_dump reads
+//                          shard balance: sim.shard.<i>.events and the
+//                          sim.shard.lookahead_stalls_us gauges)
+//
 // Set PH_METRICS_JSON=/path/out.json to dump, at exit, the aggregated
 // world registries plus per-N scaling metrics under `bench.overlay.n<N>.*`
-// — the scaling trajectory the BENCH_*.json series tracks.
+// — the scaling trajectory the BENCH_*.json series tracks. With
+// `--devices=none` the dump is the last sharded world's registry instead
+// (plus PH_SERIES_JSON / PH_TRACE_JSON when a sampler / trace is active),
+// which is what ph_chaos_determinism byte-compares across --threads.
+// PH_SAMPLE_MS sets the sharded worlds' series scrape interval.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -40,10 +56,12 @@
 #include <vector>
 
 #include "net/medium.hpp"
+#include "net/parallel_world.hpp"
 #include "sim/simulator.hpp"
 #include "community/app.hpp"
 #include "obs/bench_report.hpp"
 #include "obs/export.hpp"
+#include "obs/ops_server.hpp"
 #include "util/check.hpp"
 
 using namespace ph;
@@ -58,6 +76,10 @@ struct Options {
   bool auto_field = false;
   bool brute = false;
   double cell_m = 0.0;
+  std::vector<int> parallel_devices = {64};
+  std::vector<unsigned> threads = {1, 2};
+  unsigned shards = 8;
+  std::string ops_socket;
 };
 
 struct Metrics {
@@ -195,6 +217,27 @@ Metrics run_crowd(const Options& options, int devices, obs::Registry& dump) {
   return metrics;
 }
 
+bool parse_int_list(const char* v, const char* flag, std::vector<int>& out) {
+  out.clear();
+  if (std::string(v) == "none") return true;
+  std::string list = v;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string token =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const int n = std::atoi(token.c_str());
+    if (n <= 0) {
+      std::fprintf(stderr, "bad %s entry '%s'\n", flag, token.c_str());
+      return false;
+    }
+    out.push_back(n);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !out.empty();
+}
+
 bool parse_args(int argc, char** argv, Options& options) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -207,23 +250,27 @@ bool parse_args(int argc, char** argv, Options& options) {
       return nullptr;
     };
     if (const char* v = value_of("--devices")) {
-      options.devices.clear();
-      std::string list = v;
-      std::size_t pos = 0;
-      while (pos < list.size()) {
-        const std::size_t comma = list.find(',', pos);
-        const std::string token =
-            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
-        const int n = std::atoi(token.c_str());
-        if (n <= 0) {
-          std::fprintf(stderr, "bad --devices entry '%s'\n", token.c_str());
-          return false;
-        }
-        options.devices.push_back(n);
-        if (comma == std::string::npos) break;
-        pos = comma + 1;
+      if (!parse_int_list(v, "--devices", options.devices) &&
+          std::string(v) != "none") {
+        return false;
       }
-      if (options.devices.empty()) return false;
+    } else if (const char* vp = value_of("--parallel-devices")) {
+      if (!parse_int_list(vp, "--parallel-devices",
+                          options.parallel_devices) &&
+          std::string(vp) != "none") {
+        return false;
+      }
+    } else if (const char* vt = value_of("--threads")) {
+      std::vector<int> list;
+      if (!parse_int_list(vt, "--threads", list)) return false;
+      options.threads.clear();
+      for (int t : list) options.threads.push_back(static_cast<unsigned>(t));
+    } else if (const char* vs = value_of("--shards")) {
+      const int s = std::atoi(vs);
+      if (s <= 0) return false;
+      options.shards = static_cast<unsigned>(s);
+    } else if (const char* vo = value_of("--ops")) {
+      options.ops_socket = vo;
     } else if (const char* v2 = value_of("--seed")) {
       options.seed = std::strtoull(v2, nullptr, 10);
     } else if (const char* v3 = value_of("--window-min")) {
@@ -242,8 +289,10 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.brute = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: bench_overlay_scale [--devices=5,10,20,40] [--seed=N]\n"
-          "       [--window-min=M] [--field=60|auto] [--brute] [--cell=M]\n");
+          "usage: bench_overlay_scale [--devices=5,10,20,40|none] [--seed=N]\n"
+          "       [--window-min=M] [--field=60|auto] [--brute] [--cell=M]\n"
+          "       [--parallel-devices=64|none] [--threads=1,2] [--shards=8]\n"
+          "       [--ops=SOCKET_PATH]\n");
       return false;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
@@ -253,11 +302,72 @@ bool parse_args(int argc, char** argv, Options& options) {
   return true;
 }
 
+// One sharded-kernel crowd at a given thread count. Returns the registry
+// JSON (byte-compared across thread counts by the caller) and records
+// wall-clock + deterministic counters into the report's info section.
+struct ParallelRun {
+  double wall_s = 0;
+  double events_per_sec = 0;
+  std::string metrics_json;
+  net::ParallelWorld::Totals totals;
+};
+
+ParallelRun run_parallel_crowd(const Options& options, int devices,
+                               unsigned threads, sim::Duration window,
+                               std::unique_ptr<net::ParallelWorld>& keep) {
+  net::ParallelWorldConfig config;
+  config.devices = static_cast<std::uint32_t>(devices);
+  config.shards = options.shards;
+  config.threads = threads;
+  config.seed = options.seed + static_cast<std::uint64_t>(devices);
+  // Wall-clock stall gauges are wanted live on the ops plane but would
+  // poison the byte-compared dumps; only publish them when serving ops.
+  config.publish_wall_stats = !options.ops_socket.empty();
+  if (const char* sample_ms = std::getenv("PH_SAMPLE_MS")) {
+    const long ms = std::atol(sample_ms);
+    if (ms > 0) config.sample_interval_us = static_cast<std::uint64_t>(ms) * 1000;
+  }
+  auto world = std::make_unique<net::ParallelWorld>(config);
+  if (std::getenv("PH_TRACE_JSON") != nullptr) {
+    world->trace().set_enabled(true);
+  }
+
+  std::unique_ptr<obs::OpsServer> ops;
+  if (!options.ops_socket.empty()) {
+    obs::OpsSources sources;
+    sources.registry = &world->registry();
+    sources.trace = &world->trace();
+    sources.sampler = world->sampler();
+    ops = std::make_unique<obs::OpsServer>(
+        obs::OpsServerConfig{options.ops_socket, 1.0}, sources);
+    PH_CHECK_MSG(ops->start().ok(), "ops server failed to bind");
+    obs::OpsServer* server = ops.get();
+    world->set_barrier_poll([server] { server->handle_readable(); });
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  world->run_for(window);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  ParallelRun run;
+  run.wall_s = wall_s;
+  run.totals = world->totals();
+  run.events_per_sec =
+      wall_s > 0 ? static_cast<double>(run.totals.events) / wall_s : 0.0;
+  run.metrics_json = obs::to_json(world->registry());
+  keep = std::move(world);
+  return run;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options options;
   if (!parse_args(argc, argv, options)) return 1;
+  if (options.threads.empty()) options.threads = {1};
 
   std::printf("Overlay-scale dynamic group discovery (future work #2):\n");
   std::printf(
@@ -283,6 +393,7 @@ int main(int argc, char** argv) {
                             ? std::string("auto")
                             : std::to_string(options.field_m);
   report.env["path"] = options.brute ? "brute" : "indexed";
+  report.env["shards"] = std::to_string(options.shards);
   for (int n : options.devices) {
     const Metrics m = run_crowd(options, n, dump);
     std::printf("%8d %20.2f %16.0f %20.1f %14.0f %14llu %9.0f%% %8.1fx\n", n,
@@ -306,6 +417,69 @@ int main(int argc, char** argv) {
     report.info[key + "sim_s_per_wall_s"] = m.sim_s_per_wall_s;
     report.info[key + "events_per_sec"] = m.events_per_sec;
   }
+
+  // Sharded-medium sweep: the kernel-parallel hot path at city scale.
+  // Every (N, threads) run must be byte-identical to the same N at
+  // --threads=1 — checked right here, every run, not just in ctest.
+  std::unique_ptr<net::ParallelWorld> last_world;
+  if (!options.parallel_devices.empty()) {
+    const sim::Duration window = sim::minutes(options.window_min);
+    std::printf(
+        "\nParallel sharded medium (shards=%u, constant density, %.0f min):\n",
+        options.shards, options.window_min);
+    std::printf("%8s %8s %12s %12s %9s %9s %9s\n", "devices", "threads",
+                "events", "events/s", "wall_s", "speedup", "forwards");
+    for (int n : options.parallel_devices) {
+      double base_wall = 0.0;
+      std::string reference_json;
+      for (unsigned threads : options.threads) {
+        const ParallelRun run =
+            run_parallel_crowd(options, n, threads, window, last_world);
+        if (reference_json.empty()) {
+          reference_json = run.metrics_json;
+          base_wall = run.wall_s;
+        } else if (options.ops_socket.empty() &&
+                   run.metrics_json != reference_json) {
+          std::fprintf(stderr,
+                       "parallel determinism violation: n=%d threads=%u "
+                       "diverged from threads=%u\n",
+                       n, threads, options.threads.front());
+          return 1;
+        }
+        const double speedup =
+            run.wall_s > 0 && base_wall > 0 ? base_wall / run.wall_s : 0.0;
+        std::printf("%8d %8u %12llu %12.0f %9.2f %8.2fx %9llu\n", n, threads,
+                    static_cast<unsigned long long>(run.totals.events),
+                    run.events_per_sec, run.wall_s, speedup,
+                    static_cast<unsigned long long>(run.totals.forwards));
+        const std::string key =
+            "p" + std::to_string(n) + ".t" + std::to_string(threads) + ".";
+        report.info[key + "wall_s"] = run.wall_s;
+        report.info[key + "events_per_sec"] = run.events_per_sec;
+        report.info[key + "speedup"] = speedup;
+        if (threads == options.threads.front()) {
+          // Deterministic per-N records (identical at every thread count,
+          // so recorded once): totals and the per-shard event balance.
+          const std::string np = "p" + std::to_string(n) + ".";
+          report.info[np + "events"] =
+              static_cast<double>(run.totals.events);
+          report.info[np + "scans"] = static_cast<double>(run.totals.scans);
+          report.info[np + "ops_completed"] =
+              static_cast<double>(run.totals.ops_completed);
+          report.info[np + "migrations"] =
+              static_cast<double>(run.totals.migrations);
+          report.info[np + "threads"] =
+              static_cast<double>(options.threads.size());
+          for (unsigned s = 0; s < options.shards; ++s) {
+            report.info[np + "shard" + std::to_string(s) + ".events"] =
+                static_cast<double>(
+                    last_world->kernel().shard_stats(s).executed);
+          }
+        }
+      }
+    }
+  }
+
   obs::dump_bench_report_if_requested(report, &dump);
   std::printf(
       "\nExpected shape: per-device costs grow roughly linearly with crowd\n"
@@ -313,6 +487,15 @@ int main(int argc, char** argv) {
       "spatial index the simulator's own cost per discovery round is O(k)\n"
       "in the neighbourhood size instead of O(N) over the whole crowd —\n"
       "compare a --brute run's `signal evals` column at equal N.\n");
-  if (!obs::dump_if_requested(dump)) return 1;
+  if (options.devices.empty() && last_world != nullptr) {
+    // Parallel-only run: the dump of record is the sharded world itself —
+    // the artifact ph_chaos_determinism byte-compares across --threads.
+    if (!obs::dump_if_requested(last_world->registry(), &last_world->trace(),
+                                {}, last_world->sampler())) {
+      return 1;
+    }
+  } else if (!obs::dump_if_requested(dump)) {
+    return 1;
+  }
   return 0;
 }

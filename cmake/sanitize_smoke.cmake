@@ -17,7 +17,7 @@ endif()
 
 set(BUILD_DIR ${SOURCE_DIR}/build-asan)
 set(SMOKE_TARGETS util_test sim_test sim_alloc_test net_test obs_test
-    transport_test)
+    parallel_test transport_test)
 
 function(run_checked label)
   execute_process(COMMAND ${ARGN} RESULT_VARIABLE result

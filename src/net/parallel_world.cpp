@@ -1,0 +1,462 @@
+#include "net/parallel_world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace ph::net {
+namespace {
+
+constexpr std::uint32_t kPingBytes = 32;
+constexpr std::uint32_t kAckBytes = 128;
+
+/// overlay_scale's constant-density convention: 60 m field for 40 devices.
+double field_for(std::uint32_t devices) {
+  return 60.0 * std::sqrt(static_cast<double>(devices) / 40.0);
+}
+
+}  // namespace
+
+ParallelWorld::ParallelWorld(ParallelWorldConfig config)
+    : config_(config),
+      field_m_(config.field_m > 0.0 ? config.field_m
+                                    : field_for(config.devices)),
+      kernel_(sim::ParallelConfig{config.shards, config.threads,
+                                  config.base_latency}) {
+  PH_CHECK(config_.devices >= 1);
+  PH_CHECK(config_.range_m > 0.0 && config_.bits_per_second > 0.0);
+  PH_CHECK(config_.scan_interval >= 1);
+  strip_w_ = field_m_ / kernel_.shards();
+  refresh_windows_ =
+      std::max<std::uint64_t>(1, (config_.refresh + kernel_.lookahead() - 1) /
+                                     kernel_.lookahead());
+
+  const std::uint32_t n = config_.devices;
+  devices_.resize(n);
+  positions_.resize(n);
+  owner_.resize(n);
+  shards_.reserve(kernel_.shards());
+  for (unsigned s = 0; s < kernel_.shards(); ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+
+  // Seed every device's streams from one master sequence, by device id —
+  // streams are a function of (seed, id) alone, never of shard or thread.
+  sim::SmallRng seeder(config_.seed);
+  for (std::uint32_t d = 0; d < n; ++d) {
+    Device& dev = devices_[d];
+    dev.walker.rng = sim::SmallRng(seeder.next_u64());
+    dev.rng = sim::SmallRng(seeder.next_u64());
+    dev.walker.from = {dev.walker.rng.uniform(0.0, field_m_),
+                       dev.walker.rng.uniform(0.0, field_m_)};
+    dev.walker.to = dev.walker.from;
+    positions_[d] = dev.walker.from;
+    const unsigned s = strip_of(positions_[d]);
+    owner_[d] = s;
+    shards_[s]->owned.push_back(d);
+  }
+  for (unsigned s = 0; s < kernel_.shards(); ++s) rebuild_grid(s);
+
+  // First scans spread uniformly over one interval; scheduled in device
+  // order so per-shard event ids are a function of the seed alone.
+  for (std::uint32_t d = 0; d < n; ++d) {
+    Device& dev = devices_[d];
+    dev.next_scan = dev.rng.uniform_int(config_.scan_interval);
+    dev.scan_event = kernel_.shard(owner_[d]).schedule_at(
+        dev.next_scan, [this, d] { run_scan(d); });
+  }
+
+  if (config_.sample_interval_us > 0) {
+    obs::SamplerConfig sampler_config;
+    sampler_config.interval_us = config_.sample_interval_us;
+    sampler_ = std::make_unique<obs::Sampler>(registry_, sampler_config);
+    next_sample_at_ = config_.sample_interval_us;
+  }
+  kernel_.set_barrier_hook([this](sim::Time now) { on_barrier(now); });
+}
+
+void ParallelWorld::run_for(sim::Duration d) {
+  kernel_.run_until(kernel_.window_start() + d);
+  // run_until's final barrier already ran the hook; force one last publish
+  // in case the refresh cadence didn't land on the final window.
+  publish_metrics();
+}
+
+unsigned ParallelWorld::strip_of(sim::Vec2 pos) const {
+  if (pos.x <= 0.0) return 0;
+  const auto s = static_cast<unsigned>(pos.x / strip_w_);
+  return std::min(s, kernel_.shards() - 1);
+}
+
+bool ParallelWorld::in_outage(std::uint32_t device, sim::Time t) const {
+  if (config_.outage_fraction <= 0.0) return false;
+  const std::uint64_t wave = t / config_.outage_period;
+  if (t - wave * config_.outage_period >= config_.outage_duration) {
+    return false;
+  }
+  // Pure hash of (seed, wave, device): no stream consumed, so outage
+  // membership is independent of sharding, threading and event order.
+  const std::uint64_t h =
+      sim::hash_mix(sim::hash_mix(config_.seed ^ wave) ^ device);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < config_.outage_fraction;
+}
+
+sim::Duration ParallelWorld::transfer_time(std::uint32_t bytes) const {
+  const double us = static_cast<double>(bytes) * 8.0 * 1'000'000.0 /
+                    config_.bits_per_second;
+  return config_.base_latency + static_cast<sim::Duration>(us);
+}
+
+sim::Vec2 ParallelWorld::walker_position(Walker& w, sim::Time t) const {
+  for (;;) {
+    if (t <= w.depart) return w.from;  // dwelling at `from`
+    if (t < w.arrive) {
+      const double frac = static_cast<double>(t - w.depart) /
+                          static_cast<double>(w.arrive - w.depart);
+      return w.from + (w.to - w.from) * frac;
+    }
+    // Leg complete: dwell at the waypoint, then pick the next one.
+    w.from = w.to;
+    w.depart = w.arrive + config_.pause;
+    w.to = {w.rng.uniform(0.0, field_m_), w.rng.uniform(0.0, field_m_)};
+    const double speed =
+        w.rng.uniform(config_.speed_min_mps, config_.speed_max_mps);
+    const double dist = sim::distance(w.from, w.to);
+    const auto travel = std::max<sim::Duration>(
+        1, static_cast<sim::Duration>(dist / speed * 1'000'000.0));
+    w.arrive = w.depart + travel;
+  }
+}
+
+void ParallelWorld::run_scan(std::uint32_t device) {
+  const unsigned s = owner_[device];
+  Shard& sh = *shards_[s];
+  Device& dev = devices_[device];
+  const sim::Time now = kernel_.shard(s).now();
+  ++sh.c.scans;
+
+  if (in_outage(device, now)) {
+    // Radio dark: the whole neighbour table ages out.
+    sh.c.losses += dev.neighbours.size();
+    dev.neighbours.clear();
+  } else {
+    sh.query_scratch.clear();
+    sh.grid.query(positions_[device], config_.range_m, sh.query_scratch);
+    sh.found_scratch.clear();
+    for (const std::uint32_t idx : sh.query_scratch) {
+      const std::uint32_t peer = sh.candidates[idx];
+      if (peer == device) continue;
+      if (in_outage(peer, now)) continue;
+      sh.found_scratch.push_back(peer);
+    }
+    std::sort(sh.found_scratch.begin(), sh.found_scratch.end());
+
+    // Sorted diff against the previous table: discoveries and losses.
+    {
+      auto old_it = dev.neighbours.begin();
+      const auto old_end = dev.neighbours.end();
+      auto new_it = sh.found_scratch.begin();
+      const auto new_end = sh.found_scratch.end();
+      while (old_it != old_end || new_it != new_end) {
+        if (new_it == new_end || (old_it != old_end && *old_it < *new_it)) {
+          ++sh.c.losses;
+          ++old_it;
+        } else if (old_it == old_end || *new_it < *old_it) {
+          ++sh.c.discoveries;
+          ++new_it;
+        } else {
+          ++old_it;
+          ++new_it;
+        }
+      }
+    }
+    dev.neighbours.assign(sh.found_scratch.begin(), sh.found_scratch.end());
+
+    // One keep-alive ping per neighbour (the PeerHood monitoring loop).
+    for (const std::uint32_t peer : dev.neighbours) {
+      ++sh.c.pings_sent;
+      sh.c.bytes_sent += kPingBytes;
+      if (dev.rng.chance(config_.frame_loss)) {
+        ++sh.c.pings_lost;
+        continue;
+      }
+      send_frame(s, Frame{Frame::Kind::kPing, device, peer, 0},
+                 now + transfer_time(kPingBytes));
+    }
+
+    if (!dev.neighbours.empty() && dev.rng.chance(config_.op_probability)) {
+      start_op(s, device, now);
+    }
+  }
+
+  const sim::Duration jitter =
+      config_.scan_jitter > 0 ? dev.rng.uniform_int(config_.scan_jitter) : 0;
+  dev.next_scan = now + config_.scan_interval + jitter;
+  dev.scan_event = kernel_.shard(s).schedule_at(dev.next_scan,
+                                                [this, device] {
+                                                  run_scan(device);
+                                                });
+}
+
+void ParallelWorld::start_op(unsigned s, std::uint32_t device, sim::Time now) {
+  Shard& sh = *shards_[s];
+  Device& dev = devices_[device];
+  const std::uint32_t peer =
+      dev.neighbours[dev.rng.uniform_int(dev.neighbours.size())];
+  ++sh.c.ops_started;
+  sh.c.bytes_sent += config_.op_bytes;
+  if (dev.rng.chance(config_.frame_loss)) {
+    ++sh.c.ops_dropped;
+    return;
+  }
+  send_frame(s, Frame{Frame::Kind::kOpRequest, device, peer, now},
+             now + transfer_time(config_.op_bytes));
+}
+
+sim::EventFn ParallelWorld::frame_event(Frame f, unsigned expect_shard) {
+  return sim::EventFn([this, f, expect_shard] {
+    const unsigned cur = owner_[f.to];
+    if (cur != expect_shard) {
+      // The device migrated after this frame was scheduled: forward to the
+      // new owner at the earliest causally safe time (post() clamps to the
+      // next window — the migration equivalent of a handoff delay).
+      ++shards_[expect_shard]->c.forwards;
+      kernel_.post(expect_shard, cur, kernel_.shard(expect_shard).now(),
+                   frame_event(f, cur));
+      return;
+    }
+    handle_frame(f, cur, kernel_.shard(cur).now());
+  });
+}
+
+void ParallelWorld::send_frame(unsigned src_shard, Frame f, sim::Time when) {
+  const unsigned dst = owner_[f.to];
+  if (dst == src_shard) {
+    kernel_.shard(src_shard).schedule_at(when, frame_event(f, dst));
+  } else {
+    kernel_.post(src_shard, dst, when, frame_event(f, dst));
+  }
+}
+
+void ParallelWorld::handle_frame(const Frame& f, unsigned s, sim::Time now) {
+  Shard& sh = *shards_[s];
+  if (in_outage(f.to, now)) {
+    ++sh.c.outage_drops;
+    if (f.kind != Frame::Kind::kPing) ++sh.c.ops_dropped;
+    return;
+  }
+  switch (f.kind) {
+    case Frame::Kind::kPing:
+      ++sh.c.pings_received;
+      break;
+    case Frame::Kind::kOpRequest: {
+      Device& responder = devices_[f.to];
+      sh.c.bytes_sent += kAckBytes;
+      if (responder.rng.chance(config_.frame_loss)) {
+        ++sh.c.ops_dropped;
+        break;
+      }
+      send_frame(s, Frame{Frame::Kind::kOpAck, f.to, f.from, f.op_start},
+                 now + transfer_time(kAckBytes));
+      break;
+    }
+    case Frame::Kind::kOpAck:
+      ++sh.c.ops_completed;
+      sh.latency_scratch.push_back(static_cast<double>(now - f.op_start));
+      break;
+  }
+}
+
+void ParallelWorld::on_barrier(sim::Time now) {
+  ++windows_since_refresh_;
+  if (windows_since_refresh_ < refresh_windows_) return;
+  windows_since_refresh_ = 0;
+  refresh(now);
+}
+
+void ParallelWorld::refresh(sim::Time now) {
+  // Parallel over shards: each samples mobility for its own devices only
+  // (the walkers are owner-exclusive state).
+  kernel_.for_each_shard([this, now](unsigned s) {
+    for (const std::uint32_t d : shards_[s]->owned) {
+      positions_[d] = walker_position(devices_[d].walker, now);
+    }
+  });
+  migrate(now);
+  // Parallel again: grids read the (now settled) snapshot + owner lists.
+  kernel_.for_each_shard([this](unsigned s) { rebuild_grid(s); });
+
+  publish_metrics();
+
+  if (config_.outage_fraction > 0.0) {
+    const std::uint64_t wave = now / config_.outage_period;
+    if (wave != last_wave_) {
+      last_wave_ = wave;
+      trace_.add_event("world.outage_wave", now, wave);
+    }
+  }
+  if (sampler_ && now >= next_sample_at_) {
+    sampler_->sample(now);
+    next_sample_at_ = now + config_.sample_interval_us;
+  }
+  if (poll_) poll_();
+}
+
+void ParallelWorld::migrate(sim::Time now) {
+  // Single-threaded (barrier hook): move devices whose position crossed a
+  // strip edge. Deterministic — depends only on the position snapshot and
+  // the owned-list order, both functions of the seed.
+  for (unsigned s = 0; s < kernel_.shards(); ++s) {
+    std::vector<std::uint32_t>& owned = shards_[s]->owned;
+    for (std::size_t i = 0; i < owned.size();) {
+      const std::uint32_t d = owned[i];
+      const unsigned ns = strip_of(positions_[d]);
+      if (ns == s) {
+        ++i;
+        continue;
+      }
+      owned[i] = owned.back();
+      owned.pop_back();
+      shards_[ns]->owned.push_back(d);
+      owner_[d] = ns;
+      Device& dev = devices_[d];
+      kernel_.shard(s).cancel(dev.scan_event);
+      // next_scan is at least one scan interval past its last firing, so
+      // it is always >= now here (refresh cadence << scan interval).
+      dev.scan_event = kernel_.shard(ns).schedule_at(
+          std::max(dev.next_scan, now), [this, d] { run_scan(d); });
+      ++migrations_;
+    }
+  }
+}
+
+void ParallelWorld::rebuild_grid(unsigned s) {
+  Shard& sh = *shards_[s];
+  sh.candidates.clear();
+  sh.cand_pos.clear();
+  sh.candidates.insert(sh.candidates.end(), sh.owned.begin(), sh.owned.end());
+  // Halo: adjacent-strip devices within radio range of this strip's edges.
+  // Reading neighbours' owned lists is safe — migration has settled and
+  // rebuilds only write their own shard.
+  const double lo = static_cast<double>(s) * strip_w_;
+  const double hi = lo + strip_w_;
+  if (s > 0) {
+    for (const std::uint32_t d : shards_[s - 1]->owned) {
+      if (positions_[d].x >= lo - config_.range_m) sh.candidates.push_back(d);
+    }
+  }
+  if (s + 1 < kernel_.shards()) {
+    for (const std::uint32_t d : shards_[s + 1]->owned) {
+      if (positions_[d].x <= hi + config_.range_m) sh.candidates.push_back(d);
+    }
+  }
+  sh.cand_pos.reserve(sh.candidates.size());
+  for (const std::uint32_t d : sh.candidates) {
+    sh.cand_pos.push_back(positions_[d]);
+  }
+  sh.grid.rebuild(config_.range_m, sh.cand_pos);
+}
+
+void ParallelWorld::publish_metrics() {
+  struct Field {
+    const char* name;
+    std::uint64_t Counters::*member;
+  };
+  static constexpr Field kFields[] = {
+      {"world.scans", &Counters::scans},
+      {"world.discoveries", &Counters::discoveries},
+      {"world.losses", &Counters::losses},
+      {"world.pings_sent", &Counters::pings_sent},
+      {"world.pings_received", &Counters::pings_received},
+      {"world.pings_lost", &Counters::pings_lost},
+      {"world.outage_drops", &Counters::outage_drops},
+      {"world.ops_started", &Counters::ops_started},
+      {"world.ops_completed", &Counters::ops_completed},
+      {"world.ops_dropped", &Counters::ops_dropped},
+      {"world.forwards", &Counters::forwards},
+      {"world.bytes_sent", &Counters::bytes_sent},
+  };
+  for (const Field& f : kFields) {
+    std::uint64_t total = 0;
+    for (const auto& sh : shards_) total += sh->c.*f.member;
+    obs::Counter& counter = registry_.counter(f.name);
+    counter.inc(total - world_prev_.*f.member);
+    world_prev_.*f.member = total;
+  }
+  registry_.counter("world.migrations").inc(migrations_ - prev_migrations_);
+  prev_migrations_ = migrations_;
+  registry_.gauge("world.devices")
+      .set(static_cast<double>(config_.devices));
+  registry_.gauge("sim.windows")
+      .set(static_cast<double>(kernel_.windows_run()));
+
+  // Per-shard kernel stats: the balance view the ops plane reads live.
+  std::uint64_t stall_total = 0;
+  for (unsigned s = 0; s < kernel_.shards(); ++s) {
+    Shard& sh = *shards_[s];
+    const sim::ShardedKernel::ShardStats stats = kernel_.shard_stats(s);
+    const std::string prefix = "sim.shard." + std::to_string(s) + ".";
+    registry_.counter(prefix + "events").inc(stats.executed - sh.prev_events);
+    sh.prev_events = stats.executed;
+    registry_.counter(prefix + "cross_sent")
+        .inc(stats.cross_sent - sh.prev_cross_sent);
+    sh.prev_cross_sent = stats.cross_sent;
+    registry_.counter(prefix + "cross_received")
+        .inc(stats.cross_received - sh.prev_cross_received);
+    sh.prev_cross_received = stats.cross_received;
+    registry_.gauge(prefix + "cancelled_live")
+        .set(static_cast<double>(stats.cancelled_live));
+    stall_total += stats.stall_wall_us;
+    if (config_.publish_wall_stats) {
+      registry_.gauge(prefix + "lookahead_stalls_us")
+          .set(static_cast<double>(stats.stall_wall_us));
+    }
+  }
+  // The per-shard-summed reading: each shard's queue keeps its own count;
+  // a single shared gauge would race (and double-count) under threads.
+  registry_.gauge("sim.queue.cancelled_live")
+      .set(static_cast<double>(kernel_.cancelled_live_total()));
+  if (config_.publish_wall_stats) {
+    registry_.gauge("sim.shard.lookahead_stalls_us")
+        .set(static_cast<double>(stall_total));
+  }
+
+  obs::Histogram& latency = registry_.histogram("world.op_latency_us");
+  for (const auto& sh : shards_) {
+    for (const double v : sh->latency_scratch) latency.observe(v);
+    sh->latency_scratch.clear();
+  }
+}
+
+ParallelWorld::Totals ParallelWorld::totals() const {
+  Totals t;
+  for (const auto& sh : shards_) {
+    t.scans += sh->c.scans;
+    t.discoveries += sh->c.discoveries;
+    t.losses += sh->c.losses;
+    t.pings_sent += sh->c.pings_sent;
+    t.pings_received += sh->c.pings_received;
+    t.pings_lost += sh->c.pings_lost;
+    t.outage_drops += sh->c.outage_drops;
+    t.ops_started += sh->c.ops_started;
+    t.ops_completed += sh->c.ops_completed;
+    t.ops_dropped += sh->c.ops_dropped;
+    t.forwards += sh->c.forwards;
+    t.bytes_sent += sh->c.bytes_sent;
+  }
+  t.migrations = migrations_;
+  t.events = kernel_.events_executed();
+  t.windows = kernel_.windows_run();
+  t.cancelled_live = kernel_.cancelled_live_total();
+  for (unsigned s = 0; s < kernel_.shards(); ++s) {
+    const sim::ShardedKernel::ShardStats stats = kernel_.shard_stats(s);
+    t.cross_sent += stats.cross_sent;
+    t.cross_clamped += stats.cross_clamped;
+  }
+  return t;
+}
+
+}  // namespace ph::net

@@ -1,0 +1,247 @@
+// ParallelWorld — a city-scale radio world hosted on the ShardedKernel.
+//
+// The classic Medium + Stack pipeline carries the full PeerHood daemon per
+// device and tops out around ~512 devices; the ROADMAP north star (50k–100k
+// devices, DTN-style mobility) needs the medium hot path — inquiry scans,
+// neighbour pings, small data operations — stripped to its SoA essentials
+// and partitioned across cores. ParallelWorld is that hot path:
+//
+//   * The field is cut into S vertical strips, one per kernel shard. A
+//     device belongs to the strip containing its position; all of its
+//     events (scan timer, frame arrivals) run on that shard's Simulator.
+//   * Each shard keeps a SpatialGrid over its owned devices plus a halo of
+//     `range_m` from the two adjacent strips, so a scan never needs another
+//     shard's grid. Grids are rebuilt from a frozen position snapshot taken
+//     at refresh barriers — positions do not move mid-window, which is what
+//     makes a scan's neighbour set independent of execution order.
+//   * Frames to devices in another strip cross via ShardedKernel::post with
+//     at least `base_latency` of flight time — exactly the kernel's
+//     conservative-lookahead bound, so in-window posts are never clamped.
+//   * At refresh barriers (every `refresh` of virtual time, rounded up to
+//     whole lookahead windows) the hook samples mobility, migrates devices
+//     whose position crossed a strip edge (cancel + reschedule of their
+//     scan timer on the new owner — deterministic, it depends only on
+//     positions), rebuilds grids, and publishes metrics.
+//
+// Determinism contract (inherited from the kernel, extended to the world):
+// every random draw comes from a per-device SmallRng stream seeded from the
+// world seed by device id — never from a per-shard or per-thread stream —
+// and outage waves are a pure hash of (seed, device, wave index). Same
+// seed + same shard count ⇒ byte-identical metrics/series/trace dumps at
+// any thread count. Wall-clock telemetry (lookahead stalls) is published
+// only when `publish_wall_stats` is set, keeping deterministic dumps clean.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/spatial.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+#include "sim/parallel.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "sim/world.hpp"
+
+namespace ph::net {
+
+struct ParallelWorldConfig {
+  std::uint32_t devices = 1000;
+  /// Shard count — part of the world definition (see ShardedKernel).
+  unsigned shards = 8;
+  /// Worker threads; any value yields byte-identical results.
+  unsigned threads = 1;
+  std::uint64_t seed = 1;
+  /// Field edge in metres; 0 auto-sizes to constant density (the
+  /// overlay_scale convention: 60 m for 40 devices, scaled by sqrt(N/40)).
+  double field_m = 0.0;
+
+  // Radio (bluetooth_2_0 figures).
+  double range_m = 10.0;
+  double bits_per_second = 723'000.0;
+  sim::Duration base_latency = sim::milliseconds(30);
+
+  // Discovery + traffic.
+  sim::Duration scan_interval = sim::seconds(2.0);
+  sim::Duration scan_jitter = sim::milliseconds(100);
+  /// Probability that a scan with a non-empty neighbour table starts a
+  /// small data operation (request → ack, Table-8 style).
+  double op_probability = 0.2;
+  std::uint32_t op_bytes = 4096;
+
+  // Mobility (random waypoint, compact walker).
+  double speed_min_mps = 0.5;
+  double speed_max_mps = 2.0;
+  sim::Duration pause = sim::seconds(5.0);
+
+  // Faults.
+  double frame_loss = 0.01;
+  /// Fraction of devices dark per outage wave; 0 disables outages.
+  double outage_fraction = 0.05;
+  sim::Duration outage_period = sim::seconds(30.0);
+  sim::Duration outage_duration = sim::seconds(5.0);
+
+  /// Position/grid/metric refresh cadence; rounded up to whole lookahead
+  /// windows. Shorter tracks mobility more finely but rebuilds grids more
+  /// often.
+  sim::Duration refresh = sim::milliseconds(240);
+
+  /// Virtual-time series scrape interval; 0 disables the sampler.
+  std::uint64_t sample_interval_us = 0;
+  /// Publish wall-clock lookahead-stall gauges (sim.shard.*.stall). These
+  /// are NOT deterministic; leave off for byte-compared dumps.
+  bool publish_wall_stats = false;
+};
+
+class ParallelWorld {
+ public:
+  /// Deterministic aggregate counters, summed over shards on demand.
+  struct Totals {
+    std::uint64_t scans = 0;
+    std::uint64_t discoveries = 0;
+    std::uint64_t losses = 0;
+    std::uint64_t pings_sent = 0;
+    std::uint64_t pings_received = 0;
+    std::uint64_t pings_lost = 0;
+    std::uint64_t outage_drops = 0;
+    std::uint64_t ops_started = 0;
+    std::uint64_t ops_completed = 0;
+    std::uint64_t ops_dropped = 0;
+    std::uint64_t forwards = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t events = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t cross_sent = 0;
+    std::uint64_t cross_clamped = 0;
+    std::uint64_t cancelled_live = 0;
+  };
+
+  explicit ParallelWorld(ParallelWorldConfig config);
+
+  /// Advances virtual time; metrics are re-published at the final barrier.
+  void run_for(sim::Duration d);
+
+  const ParallelWorldConfig& config() const noexcept { return config_; }
+  double field_m() const noexcept { return field_m_; }
+  sim::ShardedKernel& kernel() noexcept { return kernel_; }
+  obs::Registry& registry() noexcept { return registry_; }
+  obs::Trace& trace() noexcept { return trace_; }
+  /// Non-null iff sample_interval_us > 0.
+  obs::Sampler* sampler() noexcept { return sampler_.get(); }
+  Totals totals() const;
+  /// Current owner shard of a device (tests).
+  unsigned owner(std::uint32_t device) const { return owner_[device]; }
+
+  /// Called single-threaded at every refresh barrier, after metrics
+  /// publish — the hook point for pumping an embedded OpsServer.
+  void set_barrier_poll(std::function<void()> poll) {
+    poll_ = std::move(poll);
+  }
+
+ private:
+  /// Per-device random-waypoint walker: 8-byte RNG + current leg. Legs are
+  /// generated lazily as positions are sampled at (monotonic) refresh
+  /// times, so memory stays ~64 bytes per device at 100k devices.
+  struct Walker {
+    sim::SmallRng rng{0};
+    sim::Vec2 from;
+    sim::Vec2 to;
+    sim::Time depart = 0;
+    sim::Time arrive = 0;
+  };
+
+  struct Device {
+    Walker walker;
+    sim::SmallRng rng{0};             // loss/jitter/op draws, scan jitter
+    std::vector<std::uint32_t> neighbours;  // sorted device ids
+    sim::Time next_scan = 0;
+    std::uint64_t scan_event = 0;
+  };
+
+  /// Deterministic per-shard counters, owned exclusively by the shard's
+  /// phase-A events; summed single-threaded at barriers.
+  struct Counters {
+    std::uint64_t scans = 0;
+    std::uint64_t discoveries = 0;
+    std::uint64_t losses = 0;
+    std::uint64_t pings_sent = 0;
+    std::uint64_t pings_received = 0;
+    std::uint64_t pings_lost = 0;
+    std::uint64_t outage_drops = 0;
+    std::uint64_t ops_started = 0;
+    std::uint64_t ops_completed = 0;
+    std::uint64_t ops_dropped = 0;
+    std::uint64_t forwards = 0;
+    std::uint64_t bytes_sent = 0;
+  };
+
+  struct alignas(64) Shard {
+    Counters c;
+    std::vector<std::uint32_t> owned;       // device ids, unordered
+    std::vector<std::uint32_t> candidates;  // grid index -> device id
+    std::vector<sim::Vec2> cand_pos;
+    SpatialGrid grid;
+    std::vector<std::uint32_t> query_scratch;
+    std::vector<std::uint32_t> found_scratch;
+    /// Completed-op latencies buffered by phase-A events, drained into the
+    /// registry histogram at barriers (Registry is not thread-safe).
+    std::vector<double> latency_scratch;
+    // Last-published totals (registry counters only take deltas).
+    std::uint64_t prev_events = 0;
+    std::uint64_t prev_cross_sent = 0;
+    std::uint64_t prev_cross_received = 0;
+  };
+
+  struct Frame {
+    enum class Kind : std::uint8_t { kPing, kOpRequest, kOpAck };
+    Kind kind = Kind::kPing;
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    sim::Time op_start = 0;
+  };
+
+  unsigned strip_of(sim::Vec2 pos) const;
+  bool in_outage(std::uint32_t device, sim::Time t) const;
+  sim::Duration transfer_time(std::uint32_t bytes) const;
+  sim::Vec2 walker_position(Walker& w, sim::Time t) const;
+
+  void run_scan(std::uint32_t device);
+  void start_op(unsigned s, std::uint32_t device, sim::Time now);
+  sim::EventFn frame_event(Frame f, unsigned expect_shard);
+  void send_frame(unsigned src_shard, Frame f, sim::Time when);
+  void handle_frame(const Frame& f, unsigned s, sim::Time now);
+
+  void on_barrier(sim::Time now);
+  void refresh(sim::Time now);
+  void migrate(sim::Time now);
+  void rebuild_grid(unsigned s);
+  void publish_metrics();
+
+  ParallelWorldConfig config_;
+  double field_m_ = 0.0;
+  double strip_w_ = 0.0;
+  sim::ShardedKernel kernel_;
+  std::vector<Device> devices_;
+  std::vector<sim::Vec2> positions_;   // frozen snapshot, refreshed at barriers
+  std::vector<unsigned> owner_;        // device id -> shard
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t prev_migrations_ = 0;
+  Counters world_prev_;                // last-published world totals
+  std::uint64_t windows_since_refresh_ = 0;
+  std::uint64_t refresh_windows_ = 1;
+  std::uint64_t last_wave_ = ~0ULL;
+
+  obs::Registry registry_;
+  obs::Trace trace_;
+  std::unique_ptr<obs::Sampler> sampler_;
+  sim::Time next_sample_at_ = 0;
+  std::function<void()> poll_;
+};
+
+}  // namespace ph::net

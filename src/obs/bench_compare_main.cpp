@@ -266,6 +266,32 @@ int main(int argc, char** argv) {
       std::printf("  %-42s %14.6g -> %14.6g  %+.1f%%\n", metric.c_str(),
                   base_value.number, cand_value->number, improvement);
     }
+
+    // Thread-scaling advisory: `*_speedup` and `*.threads` info keys from
+    // parallel-kernel sweeps (bench_overlay_scale --threads). Wall-clock
+    // derived, so — like wall_clock_improvement above — NEVER gated; the
+    // candidate column is what the report's machine measured.
+    printed_header = false;
+    for (const auto& [metric, cand_value] : *cand_info->object) {
+      const bool is_speedup =
+          metric.size() > 8 &&
+          metric.compare(metric.size() - 8, 8, ".speedup") == 0;
+      const bool is_threads =
+          metric.size() > 8 &&
+          metric.compare(metric.size() - 8, 8, ".threads") == 0;
+      if ((!is_speedup && !is_threads) || !cand_value.is_number()) continue;
+      if (!printed_header) {
+        std::printf("threads/speedup (advisory, never gated):\n");
+        printed_header = true;
+      }
+      const Value* base_value = base_info->get(metric);
+      if (base_value != nullptr && base_value->is_number()) {
+        std::printf("  %-42s %14.6g -> %14.6g\n", metric.c_str(),
+                    base_value->number, cand_value.number);
+      } else {
+        std::printf("  %-42s %31.6g\n", metric.c_str(), cand_value.number);
+      }
+    }
   }
 
   std::printf("bench_compare: %s\n", ok ? "PASS" : "FAIL");

@@ -1,0 +1,212 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace ph::sim {
+
+ShardedKernel::ShardedKernel(ParallelConfig config) : config_(config) {
+  PH_CHECK(config_.shards >= 1);
+  PH_CHECK(config_.lookahead >= 1);
+  if (config_.threads < 1) config_.threads = 1;
+  if (config_.threads > config_.shards) config_.threads = config_.shards;
+  sims_.reserve(config_.shards);
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    sims_.push_back(std::make_unique<Simulator>());
+  }
+  mail_.resize(static_cast<std::size_t>(config_.shards) * config_.shards);
+  locals_.resize(config_.shards);
+  stall_us_.resize(config_.shards, 0);
+  // T-1 persistent workers; the caller is the T-th. With threads == 1 the
+  // pool is empty and run_parallel degenerates to an in-order loop.
+  for (unsigned w = 0; w + 1 < config_.threads; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ShardedKernel::~ShardedKernel() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ShardedKernel::post(unsigned src, unsigned dst, Time when, EventFn fn) {
+  PH_CHECK(src < config_.shards && dst < config_.shards);
+  ShardLocal& local = locals_[src];
+  if (when < horizon_) {
+    // Conservative-lookahead violation (or a forwarded event whose fire
+    // time already passed): deliver at the earliest causally safe instant.
+    when = horizon_;
+    ++local.cross_clamped;
+  }
+  ++local.cross_sent;
+  mail_[static_cast<std::size_t>(src) * config_.shards + dst].push_back(
+      MailItem{when, local.post_seq++, std::move(fn)});
+}
+
+void ShardedKernel::merge_into(unsigned dst, Time horizon) {
+  ShardLocal& local = locals_[dst];
+  std::vector<MergeItem>& scratch = local.merge_scratch;
+  scratch.clear();
+  for (unsigned src = 0; src < config_.shards; ++src) {
+    std::vector<MailItem>& box =
+        mail_[static_cast<std::size_t>(src) * config_.shards + dst];
+    for (MailItem& item : box) {
+      scratch.push_back(MergeItem{item.when, src, item.seq,
+                                  std::move(item.fn)});
+    }
+    box.clear();
+  }
+  // Total, thread-independent order: virtual time, then source shard,
+  // then the source's send sequence. This fixes the destination-shard
+  // event ids (and thus FIFO tie-breaks) regardless of which thread ran
+  // which source when.
+  std::sort(scratch.begin(), scratch.end(),
+            [](const MergeItem& a, const MergeItem& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  for (MergeItem& item : scratch) {
+    PH_CHECK(item.when >= horizon);  // post() clamped; anything else is a bug
+    ++local.cross_received;
+    sims_[dst]->schedule_at(item.when, std::move(item.fn));
+  }
+  scratch.clear();
+}
+
+void ShardedKernel::claim_loop(const std::function<void(unsigned)>& fn,
+                               std::uint32_t gen, bool stamp_finish) {
+  for (;;) {
+    std::uint64_t cur = cursor_.load(std::memory_order_acquire);
+    for (;;) {
+      if (static_cast<std::uint32_t>(cur >> 32) != gen) return;  // stale
+      if (static_cast<unsigned>(cur & 0xffffffffu) >= config_.shards) return;
+      if (cursor_.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        break;
+      }
+    }
+    // The claim proved `gen` was current at CAS time; the caller cannot
+    // leave run_parallel (and destroy `fn`) until this shard's pending
+    // decrement below, so invoking fn here is safe.
+    const unsigned s = static_cast<unsigned>(cur & 0xffffffffu);
+    fn(s);
+    if (stamp_finish) locals_[s].finished = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ShardedKernel::run_parallel(const std::function<void(unsigned)>& fn,
+                                 bool stamp_finish) {
+  if (workers_.empty()) {
+    for (unsigned s = 0; s < config_.shards; ++s) {
+      fn(s);
+      if (stamp_finish) locals_[s].finished = std::chrono::steady_clock::now();
+    }
+    return;
+  }
+  std::uint32_t gen;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    gen = ++generation_;
+    job_ = &fn;
+    job_stamps_finish_ = stamp_finish;
+    pending_ = config_.shards;
+    cursor_.store(static_cast<std::uint64_t>(gen) << 32,
+                  std::memory_order_release);
+  }
+  cv_start_.notify_all();
+  claim_loop(fn, gen, stamp_finish);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void ShardedKernel::worker_loop() {
+  std::uint32_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    std::uint32_t gen = 0;
+    bool stamp = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock,
+                     [this, seen] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      gen = generation_;
+      job = job_;
+      stamp = job_stamps_finish_;
+    }
+    if (job != nullptr) claim_loop(*job, gen, stamp);
+  }
+}
+
+void ShardedKernel::run_until(Time until) {
+  PH_CHECK(until >= window_start_);
+  do {
+    const Time horizon = std::min<Time>(window_start_ + config_.lookahead,
+                                        until);
+    // The final window runs events at exactly `until` (Simulator
+    // semantics); interior windows are half-open [start, horizon) so a
+    // cross event landing exactly on the horizon fires next window.
+    const Time inclusive = horizon == until ? horizon : horizon - 1;
+    horizon_ = horizon;
+    run_parallel([this, inclusive](unsigned s) { sims_[s]->run_until(inclusive); },
+                 /*stamp_finish=*/true);
+    // Wall-clock lookahead stall: how long each shard sat at the barrier
+    // waiting for the window's straggler. Telemetry only — never part of
+    // deterministic dumps.
+    std::chrono::steady_clock::time_point last{};
+    for (unsigned s = 0; s < config_.shards; ++s) {
+      last = std::max(last, locals_[s].finished);
+    }
+    for (unsigned s = 0; s < config_.shards; ++s) {
+      stall_us_[s] += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              last - locals_[s].finished)
+              .count());
+    }
+    run_parallel([this, horizon](unsigned dst) { merge_into(dst, horizon); },
+                 /*stamp_finish=*/false);
+    window_start_ = horizon;
+    ++windows_;
+    if (hook_) hook_(window_start_);
+  } while (window_start_ < until);
+}
+
+ShardedKernel::ShardStats ShardedKernel::shard_stats(unsigned s) const {
+  PH_CHECK(s < config_.shards);
+  ShardStats stats;
+  stats.executed = sims_[s]->events_executed();
+  stats.cross_sent = locals_[s].cross_sent;
+  stats.cross_received = locals_[s].cross_received;
+  stats.cross_clamped = locals_[s].cross_clamped;
+  stats.cancelled_live = sims_[s]->cancelled_pending();
+  stats.stall_wall_us = stall_us_[s];
+  return stats;
+}
+
+std::uint64_t ShardedKernel::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& sim : sims_) total += sim->events_executed();
+  return total;
+}
+
+std::size_t ShardedKernel::cancelled_live_total() const {
+  std::size_t total = 0;
+  for (const auto& sim : sims_) total += sim->cancelled_pending();
+  return total;
+}
+
+}  // namespace ph::sim

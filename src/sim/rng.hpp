@@ -44,4 +44,53 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// Compact splitmix64 stream — 8 bytes of state against mt19937_64's ~2.5 kB.
+/// City-scale worlds keep one (or two) streams per device, so at 100k devices
+/// the engine choice is the difference between megabytes and gigabytes.
+/// Statistical quality is ample for jitter/loss draws; determinism is the
+/// same contract as Rng: one seed, one reproducible sequence.
+class SmallRng {
+ public:
+  explicit SmallRng(std::uint64_t seed = 0) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    // Lemire multiply-shift; the slight modulo bias at 64 bits is far below
+    // anything a simulation statistic could resolve.
+    using u128 = unsigned __int128;
+    return static_cast<std::uint64_t>(
+        (static_cast<u128>(next_u64()) * static_cast<u128>(n)) >> 64);
+  }
+
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One splitmix64 draw as a pure function — for stateless "hash of (entity,
+/// epoch)" decisions (e.g. outage waves) that must not consume any stream.
+inline std::uint64_t hash_mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace ph::sim

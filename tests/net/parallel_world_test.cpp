@@ -1,0 +1,132 @@
+// ParallelWorld: the randomized lockstep property — a world run at N
+// threads must produce byte-identical metrics/series/trace dumps to the
+// same world run at 1 thread (same seed, same shard count), across
+// mobility, frame loss, outage waves and data ops. Plus sanity checks on
+// the workload itself (conservation laws between the counters).
+#include "net/parallel_world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "obs/export.hpp"
+#include "sim/time.hpp"
+
+namespace ph::net {
+namespace {
+
+ParallelWorldConfig small_world(std::uint64_t seed, unsigned threads) {
+  ParallelWorldConfig config;
+  config.devices = 96;
+  config.shards = 4;
+  config.threads = threads;
+  config.seed = seed;
+  config.sample_interval_us = 500'000;  // exercise the series path
+  return config;
+}
+
+struct Dumps {
+  std::string metrics;
+  std::string series;
+  std::string trace;
+  ParallelWorld::Totals totals;
+};
+
+Dumps run_world(const ParallelWorldConfig& config, sim::Duration span) {
+  ParallelWorld world(config);
+  world.trace().set_enabled(true);
+  world.run_for(span);
+  Dumps d;
+  d.metrics = obs::to_json(world.registry());
+  d.series = obs::series_to_json(*world.sampler());
+  d.trace = obs::to_chrome_trace(world.trace());
+  d.totals = world.totals();
+  return d;
+}
+
+TEST(ParallelWorld, LockstepDumpsAreByteIdenticalAcrossThreadCounts) {
+  for (const std::uint64_t seed : {3ULL, 11ULL}) {
+    const Dumps reference = run_world(small_world(seed, 1), sim::seconds(20.0));
+    ASSERT_GT(reference.totals.scans, 0u);
+    ASSERT_GT(reference.totals.pings_sent, 0u);
+    for (const unsigned threads : {2u, 4u}) {
+      const Dumps candidate =
+          run_world(small_world(seed, threads), sim::seconds(20.0));
+      EXPECT_EQ(candidate.metrics, reference.metrics)
+          << "metrics diverged: seed " << seed << " threads " << threads;
+      EXPECT_EQ(candidate.series, reference.series)
+          << "series diverged: seed " << seed << " threads " << threads;
+      EXPECT_EQ(candidate.trace, reference.trace)
+          << "trace diverged: seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelWorld, DifferentSeedsDiverge) {
+  const Dumps a = run_world(small_world(3, 1), sim::seconds(10.0));
+  const Dumps b = run_world(small_world(4, 1), sim::seconds(10.0));
+  EXPECT_NE(a.metrics, b.metrics);
+}
+
+TEST(ParallelWorld, CountersObeyConservationLaws) {
+  ParallelWorldConfig config = small_world(5, 2);
+  ParallelWorld world(config);
+  world.run_for(sim::seconds(30.0));
+  const ParallelWorld::Totals t = world.totals();
+  // Every ping is either received, lost in flight, dropped by an outage,
+  // or still in flight at the end (bounded by pending queue size).
+  EXPECT_GT(t.scans, 0u);
+  EXPECT_GT(t.pings_sent, 0u);
+  EXPECT_LE(t.pings_received + t.pings_lost, t.pings_sent);
+  EXPECT_LE(t.ops_completed + t.ops_dropped, t.ops_started);
+  EXPECT_GT(t.discoveries, 0u);
+  // 96 mobile devices over 30s must cross strip edges.
+  EXPECT_GT(t.migrations, 0u);
+  EXPECT_GT(t.cross_sent, 0u);
+  // In-window radio latency >= lookahead, so only migration forwards may
+  // clamp.
+  EXPECT_LE(t.cross_clamped, t.forwards);
+}
+
+TEST(ParallelWorld, OwnersMatchStrips) {
+  ParallelWorldConfig config = small_world(9, 2);
+  ParallelWorld world(config);
+  world.run_for(sim::seconds(10.0));
+  // After a run, every device's owner must still be a valid shard.
+  for (std::uint32_t d = 0; d < config.devices; ++d) {
+    EXPECT_LT(world.owner(d), config.shards);
+  }
+}
+
+TEST(ParallelWorld, ShardMetricsArePublished) {
+  ParallelWorldConfig config = small_world(13, 2);
+  ParallelWorld world(config);
+  world.run_for(sim::seconds(10.0));
+  std::uint64_t shard_events = 0;
+  for (unsigned s = 0; s < config.shards; ++s) {
+    const auto* counter = world.registry().find_counter(
+        "sim.shard." + std::to_string(s) + ".events");
+    ASSERT_NE(counter, nullptr);
+    shard_events += counter->value();
+  }
+  EXPECT_EQ(shard_events, world.totals().events);
+  const auto* cancelled =
+      world.registry().find_gauge("sim.queue.cancelled_live");
+  ASSERT_NE(cancelled, nullptr);
+  // Wall-clock stall gauges stay out of deterministic dumps by default.
+  EXPECT_EQ(world.registry().find_gauge("sim.shard.lookahead_stalls_us"),
+            nullptr);
+}
+
+TEST(ParallelWorld, WallStatsAreOptIn) {
+  ParallelWorldConfig config = small_world(13, 2);
+  config.publish_wall_stats = true;
+  ParallelWorld world(config);
+  world.run_for(sim::seconds(2.0));
+  EXPECT_NE(world.registry().find_gauge("sim.shard.lookahead_stalls_us"),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace ph::net
