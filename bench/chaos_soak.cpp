@@ -44,6 +44,7 @@
 #include "obs/critical_path.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/sampler.hpp"
 #include "obs/slo.hpp"
 #include "peerhood/stack.hpp"
@@ -78,6 +79,19 @@ int main() {
   if (const char* env = std::getenv("PH_SAMPLE_MS"); env != nullptr) {
     sample_ms = std::atoi(env);  // 0 (or negative) disables sampling
   }
+  // PH_PROF: 0 = profiling off, 1 (default) = Mode 1 deterministic event
+  // attribution (prof.<center>.events counters — inside the byte-identity
+  // gate), 2 = Mode 1 + wall-cost histograms + slow-event watchdog +
+  // Mode 2 sampling profiler. PH_PROF_WALL=1 arms the wall plane without
+  // the sampler; PH_PROF_BUDGET_US tunes the watchdog (default 50 ms).
+  int prof_mode = 1;
+  if (const char* env = std::getenv("PH_PROF"); env != nullptr) {
+    prof_mode = std::atoi(env);
+  }
+  bool prof_wall = prof_mode >= 2;
+  if (const char* env = std::getenv("PH_PROF_WALL"); env != nullptr) {
+    if (std::atoi(env) > 0) prof_wall = true;
+  }
 
   ph::sim::Simulator simulator;
   ph::net::Medium medium(simulator, ph::sim::Rng(seed));
@@ -91,6 +105,44 @@ int main() {
       ph::eval::comlab_room(medium, /*autostart=*/true);
 
   ph::obs::Registry& metrics = medium.registry();
+
+  // Mode 1 cost attribution: every dispatched event bumps its cost
+  // center's counter. Deterministic, so it rides inside the byte-compared
+  // dump (ph_chaos_determinism requires counter:prof.).
+  ph::obs::prof::EventProfiler prof;
+  ph::obs::prof::WallProfiler wall_sampler;
+  if (prof_mode > 0) {
+    simulator.set_profiler(&prof);
+    if (prof_wall) {
+      prof.enable_wall();
+      if (const char* env = std::getenv("PH_PROF_BUDGET_US");
+          env != nullptr && std::atoll(env) > 0) {
+        prof.set_slow_budget_us(static_cast<std::uint64_t>(std::atoll(env)));
+      }
+      // The watchdog runs inline on the (single) dispatching thread:
+      // journal the straggler and arm the flight recorder so the spans
+      // around it survive to $PH_FLIGHT_JSON.
+      prof.set_on_slow([&](ph::obs::prof::Center c, std::uint64_t us) {
+        medium.trace().add_event(std::string("prof.slow_event.") +
+                                     ph::obs::prof::center_name(c),
+                                 simulator.now());
+        std::printf("  slow event: %s took %.1f ms (budget %.1f ms)\n",
+                    ph::obs::prof::center_name(c),
+                    static_cast<double>(us) / 1e3,
+                    static_cast<double>(prof.slow_budget_us()) / 1e3);
+        ph::obs::dump_flight_recording(
+            medium.trace(),
+            std::string("prof.slow:") + ph::obs::prof::center_name(c));
+      });
+    }
+  }
+  if (prof_mode >= 2) {
+    // Mode 2: sample the main thread's span stack (the kernel pushes one
+    // frame per dispatched event tag) into a folded profile.
+    wall_sampler.register_thread("main");
+    wall_sampler.start();
+  }
+
   ph::obs::Histogram& rediscovery =
       metrics.histogram("fault.recovery.rediscovery_us");
   ph::obs::Histogram& group_reform =
@@ -166,6 +218,9 @@ int main() {
       // lost (no-op unless $PH_FLIGHT_JSON is set).
       ph::obs::dump_flight_recording(medium.trace(), "slo:" + rule.name);
     });
+    // The scrape cadence dominates event counts on short soaks — attribute
+    // it (and its self-rescheduling chain) to obs.sample, not unattributed.
+    const ph::obs::prof::TagScope sample_tag(ph::obs::prof::Center::obs_sample);
     simulator.schedule_periodic(sampler_config.interval_us, [&] {
       // Cancelled-but-stored queue entries: the gauge the event kernel's
       // lazy-cancellation compaction keeps bounded (dead >= 32 && 2*dead
@@ -229,7 +284,12 @@ int main() {
     was_formed = formed;
     simulator.schedule(ph::sim::seconds(1), poll_group);
   };
-  poll_group();
+  {
+    // Bench housekeeping, not protocol work.
+    const ph::obs::prof::TagScope poll_tag(
+        ph::obs::prof::Center::sim_kernel);
+    poll_group();
+  }
 
   // The adversary: one plane, hooks on every device so blackouts really
   // cold-restart the daemons, and a schedule drawn from the same seed.
@@ -293,6 +353,37 @@ int main() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+
+  if (prof_mode >= 2) {
+    wall_sampler.stop();
+    wall_sampler.unregister_thread();
+    ph::obs::prof::dump_folded_if_requested(wall_sampler);
+  }
+  if (prof_mode > 0) {
+    std::printf("\nper-event cost attribution (prof.<center>.events):\n");
+    for (std::size_t i = 0; i < ph::obs::prof::kCenterCount; ++i) {
+      const auto center = static_cast<ph::obs::prof::Center>(i);
+      const auto& cost = prof.cost(center);
+      if (cost.events == 0) continue;
+      if (cost.wall_count > 0) {
+        std::printf("  %-22s %9llu events  wall mean=%7.1fus total=%8.1fms\n",
+                    ph::obs::prof::center_name(center),
+                    static_cast<unsigned long long>(cost.events),
+                    static_cast<double>(cost.wall_us) /
+                        static_cast<double>(cost.wall_count),
+                    static_cast<double>(cost.wall_us) / 1e3);
+      } else {
+        std::printf("  %-22s %9llu events\n",
+                    ph::obs::prof::center_name(center),
+                    static_cast<unsigned long long>(cost.events));
+      }
+    }
+    if (prof_wall) {
+      std::printf("  slow events over %.1f ms budget: %llu\n",
+                  static_cast<double>(prof.slow_budget_us()) / 1e3,
+                  static_cast<unsigned long long>(prof.slow_events()));
+    }
+  }
 
   const ph::obs::Snapshot faults = plane.stats();
   std::printf("\nfault windows delivered:\n");
@@ -364,7 +455,13 @@ int main() {
 
   // The acceptance check: same seed => byte-identical dump (the trace
   // ring rides along in the JSON's spans/events sections, the sampled
-  // series and SLO windows in their own sections).
+  // series and SLO windows in their own sections). The deterministic
+  // prof.<center>.events counters publish INTO the compared dump; wall
+  // histograms only when the wall plane was explicitly armed.
+  if (prof_mode > 0) {
+    prof.publish_events(metrics);
+    if (prof_wall) prof.publish_wall(metrics);
+  }
   ph::obs::dump_if_requested(metrics, &medium.trace(),
                              medium.trace_device_names(),
                              sampling ? &sampler : nullptr,

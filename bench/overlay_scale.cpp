@@ -62,6 +62,7 @@
 #include "obs/bench_report.hpp"
 #include "obs/export.hpp"
 #include "obs/ops_server.hpp"
+#include "obs/prof.hpp"
 #include "util/check.hpp"
 
 using namespace ph;
@@ -314,6 +315,8 @@ struct ParallelRun {
 
 ParallelRun run_parallel_crowd(const Options& options, int devices,
                                unsigned threads, sim::Duration window,
+                               int prof_mode, bool prof_wall,
+                               obs::prof::WallProfiler* wall_sampler,
                                std::unique_ptr<net::ParallelWorld>& keep) {
   net::ParallelWorldConfig config;
   config.devices = static_cast<std::uint32_t>(devices);
@@ -323,6 +326,12 @@ ParallelRun run_parallel_crowd(const Options& options, int devices,
   // Wall-clock stall gauges are wanted live on the ops plane but would
   // poison the byte-compared dumps; only publish them when serving ops.
   config.publish_wall_stats = !options.ops_socket.empty();
+  // Mode 1 attribution is deterministic and stays on by default
+  // (PH_PROF=0 turns it off); the wall plane and Mode 2 sampler are
+  // wall-clock and ride outside the byte-compared path.
+  config.profile = prof_mode > 0;
+  config.profile_wall = prof_wall;
+  config.wall_sampler = wall_sampler;
   if (const char* sample_ms = std::getenv("PH_SAMPLE_MS")) {
     const long ms = std::atol(sample_ms);
     if (ms > 0) config.sample_interval_us = static_cast<std::uint64_t>(ms) * 1000;
@@ -338,6 +347,7 @@ ParallelRun run_parallel_crowd(const Options& options, int devices,
     sources.registry = &world->registry();
     sources.trace = &world->trace();
     sources.sampler = world->sampler();
+    sources.profiler = wall_sampler;
     ops = std::make_unique<obs::OpsServer>(
         obs::OpsServerConfig{options.ops_socket, 1.0}, sources);
     PH_CHECK_MSG(ops->start().ok(), "ops server failed to bind");
@@ -421,6 +431,24 @@ int main(int argc, char** argv) {
   // Sharded-medium sweep: the kernel-parallel hot path at city scale.
   // Every (N, threads) run must be byte-identical to the same N at
   // --threads=1 — checked right here, every run, not just in ctest.
+  // PH_PROF: 0 = off, 1 (default) = deterministic Mode 1 attribution,
+  // 2 = Mode 1 + wall histograms + Mode 2 sampling profiler (workers
+  // register their span stacks; folded output via PH_PROF_FOLDED).
+  int prof_mode = 1;
+  if (const char* env = std::getenv("PH_PROF"); env != nullptr) {
+    prof_mode = std::atoi(env);
+  }
+  bool prof_wall = prof_mode >= 2;
+  if (const char* env = std::getenv("PH_PROF_WALL"); env != nullptr) {
+    if (std::atoi(env) > 0) prof_wall = true;
+  }
+  // Declared before last_world: the kept world's kernel workers unregister
+  // from the sampler at teardown, so the sampler must be destroyed last.
+  obs::prof::WallProfiler wall_sampler;
+  if (prof_mode >= 2) {
+    wall_sampler.register_thread("main");
+    wall_sampler.start();
+  }
   std::unique_ptr<net::ParallelWorld> last_world;
   if (!options.parallel_devices.empty()) {
     const sim::Duration window = sim::minutes(options.window_min);
@@ -433,13 +461,16 @@ int main(int argc, char** argv) {
       double base_wall = 0.0;
       std::string reference_json;
       for (unsigned threads : options.threads) {
-        const ParallelRun run =
-            run_parallel_crowd(options, n, threads, window, last_world);
+        const ParallelRun run = run_parallel_crowd(
+            options, n, threads, window, prof_mode,
+            prof_wall, prof_mode >= 2 ? &wall_sampler : nullptr, last_world);
         if (reference_json.empty()) {
           reference_json = run.metrics_json;
           base_wall = run.wall_s;
-        } else if (options.ops_socket.empty() &&
+        } else if (options.ops_socket.empty() && !prof_wall &&
                    run.metrics_json != reference_json) {
+          // (wall histograms are machine noise — the byte check only runs
+          // with the wall plane off, like the ops/stall gauges above)
           std::fprintf(stderr,
                        "parallel determinism violation: n=%d threads=%u "
                        "diverged from threads=%u\n",
@@ -478,6 +509,12 @@ int main(int argc, char** argv) {
         }
       }
     }
+  }
+
+  if (prof_mode >= 2) {
+    wall_sampler.stop();
+    wall_sampler.unregister_thread();
+    obs::prof::dump_folded_if_requested(wall_sampler);
   }
 
   obs::dump_bench_report_if_requested(report, &dump);

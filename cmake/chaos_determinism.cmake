@@ -36,11 +36,15 @@ foreach(run a b)
 endforeach()
 
 # The dump must be well-formed and actually contain fault windows, the
-# layers they disturb, sampled health time-series, and at least one SLO
-# breach window driven by the injected faults.
+# layers they disturb, sampled health time-series, at least one SLO
+# breach window driven by the injected faults, and the Mode 1 cost
+# attribution counters (prof.<center>.events) — which, being inside this
+# byte-compared dump, are thereby pinned deterministic.
 run_checked("ph_obs_json_check(chaos_soak)"
   ${JSON_CHECK} ${json_a}
   counter:fault. counter:net. counter:peerhood.
+  counter_nonzero:prof.net.delivery.events
+  counter_nonzero:prof.peerhood. counter_nonzero:prof.obs.sample.events
   histogram:fault.recovery.
   series:peerhood.daemon. series:net.medium.datagrams_lost.rate
   slo_breach:)
@@ -82,6 +86,8 @@ run_checked("ph_obs_json_check(parallel)"
   counter:world.scans counter:world.discoveries counter:world.pings_sent
   counter:sim.shard.0.events counter:sim.shard.7.events
   counter:world.migrations
+  counter_nonzero:prof.world.scan.events
+  counter_nonzero:prof.world.frame.events
   series:world.)
 
 foreach(threads 2 8)

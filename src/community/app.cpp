@@ -2,6 +2,7 @@
 
 #include "community/persistence.hpp"
 #include "util/log.hpp"
+#include "obs/prof.hpp"
 #include "util/strings.hpp"
 
 namespace ph::community {
@@ -280,6 +281,7 @@ void CommunityApp::schedule_refresh() {
   if (config_.peer_refresh_interval == 0) return;
   const std::uint64_t generation = refresh_generation_;
   std::weak_ptr<char> alive = alive_token_;
+  const obs::prof::TagScope tag(obs::prof::Center::community_rpc);
   stack_.daemon().scheduler().schedule(
       config_.peer_refresh_interval, [this, generation, alive] {
         if (alive.expired()) return;

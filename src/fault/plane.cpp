@@ -4,6 +4,7 @@
 #include <algorithm>
 
 #include "obs/export.hpp"
+#include "obs/prof.hpp"
 #include "util/log.hpp"
 
 namespace ph::fault {
@@ -33,6 +34,9 @@ void FaultPlane::set_device_hooks(net::NodeId node, DeviceHooks hooks) {
 }
 
 void FaultPlane::load(const Schedule& schedule) {
+  // Every fault window (and anything its begin_* events schedule in turn)
+  // attributes to the fault-plane cost center.
+  const obs::prof::TagScope fault_tag(obs::prof::Center::net_fault);
   const sim::Time now = simulator_.now();
   const auto at = [&](sim::Time start) { return std::max(start, now); };
   for (const BurstLoss& b : schedule.bursts) {

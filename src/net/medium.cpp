@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "net/link_state.hpp"
+#include "obs/prof.hpp"
 #include "util/log.hpp"
 
 namespace ph::net {
@@ -435,6 +436,7 @@ void Medium::deliver_datagram(Adapter& from, NodeId dst, Port port,
   // high-water mark, steady-state sends stop allocating. The handle keeps a
   // weak reference to the pool, so closures destroyed after the Medium
   // (world teardown order) free instead of recycling.
+  const obs::prof::TagScope delivery_tag(obs::prof::Center::net_delivery);
   simulator_.schedule_at(
       depart + flight,
       [this, src, dst, port, tech, span,
@@ -468,6 +470,7 @@ void Medium::start_inquiry(Adapter& from, InquiryHandler done) {
   const NodeId src = from.node();
   const obs::SpanId span =
       trace_.begin_span("net.inquiry", simulator_.now(), src, "inquiry");
+  const obs::prof::TagScope inquiry_tag(obs::prof::Center::net_inquiry);
   simulator_.schedule(profile->inquiry_duration,
                       [this, src, profile, span, done = std::move(done)] {
                         trace_.end_span(span, simulator_.now());
@@ -495,6 +498,7 @@ void Medium::open_link(Adapter& from, NodeId dst, Port port,
   const NodeId src = from.node();
   const obs::SpanId span =
       trace_.begin_span("net.link.open", simulator_.now(), src, "link");
+  const obs::prof::TagScope link_tag(obs::prof::Center::net_link);
   simulator_.schedule(profile->connect_latency, [this, src, dst, port, profile,
                                                  span, done = std::move(done)] {
     trace_.end_span(span, simulator_.now());
@@ -577,6 +581,7 @@ void Medium::link_send(const std::shared_ptr<detail::LinkState>& state,
   busy = depart + flight - profile.base_latency;
   const NodeId receiver = state->peer_of(sender);
   std::weak_ptr<detail::LinkState> weak = state;
+  const obs::prof::TagScope delivery_tag(obs::prof::Center::net_delivery);
   simulator_.schedule_at(
       depart + flight,
       [this, weak, receiver, span,
@@ -613,6 +618,7 @@ void Medium::link_close(const std::shared_ptr<detail::LinkState>& state,
   const sim::Time flushed = std::max(
       {simulator_.now(), state->busy_a_to_b, state->busy_b_to_a});
   std::weak_ptr<detail::LinkState> weak = state;
+  const obs::prof::TagScope link_tag(obs::prof::Center::net_link);
   simulator_.schedule_at(
       flushed + state->profile.base_latency, [weak, peer] {
         auto st = weak.lock();

@@ -25,8 +25,10 @@ ParallelWorld::ParallelWorld(ParallelWorldConfig config)
       field_m_(config.field_m > 0.0 ? config.field_m
                                     : field_for(config.devices)),
       kernel_(sim::ParallelConfig{config.shards, config.threads,
-                                  config.base_latency}) {
+                                  config.base_latency,
+                                  config.wall_sampler}) {
   PH_CHECK(config_.devices >= 1);
+  if (config_.profile) kernel_.enable_profiling(config_.profile_wall);
   PH_CHECK(config_.range_m > 0.0 && config_.bits_per_second > 0.0);
   PH_CHECK(config_.scan_interval >= 1);
   strip_w_ = field_m_ / kernel_.shards();
@@ -62,6 +64,7 @@ ParallelWorld::ParallelWorld(ParallelWorldConfig config)
 
   // First scans spread uniformly over one interval; scheduled in device
   // order so per-shard event ids are a function of the seed alone.
+  const obs::prof::TagScope scan_tag(obs::prof::Center::world_scan);
   for (std::uint32_t d = 0; d < n; ++d) {
     Device& dev = devices_[d];
     dev.next_scan = dev.rng.uniform_int(config_.scan_interval);
@@ -195,6 +198,7 @@ void ParallelWorld::run_scan(std::uint32_t device) {
   const sim::Duration jitter =
       config_.scan_jitter > 0 ? dev.rng.uniform_int(config_.scan_jitter) : 0;
   dev.next_scan = now + config_.scan_interval + jitter;
+  const obs::prof::TagScope scan_tag(obs::prof::Center::world_scan);
   dev.scan_event = kernel_.shard(s).schedule_at(dev.next_scan,
                                                 [this, device] {
                                                   run_scan(device);
@@ -234,6 +238,7 @@ sim::EventFn ParallelWorld::frame_event(Frame f, unsigned expect_shard) {
 
 void ParallelWorld::send_frame(unsigned src_shard, Frame f, sim::Time when) {
   const unsigned dst = owner_[f.to];
+  const obs::prof::TagScope frame_tag(obs::prof::Center::world_frame);
   if (dst == src_shard) {
     kernel_.shard(src_shard).schedule_at(when, frame_event(f, dst));
   } else {
@@ -326,6 +331,7 @@ void ParallelWorld::migrate(sim::Time now) {
       kernel_.shard(s).cancel(dev.scan_event);
       // next_scan is at least one scan interval past its last firing, so
       // it is always >= now here (refresh cadence << scan interval).
+      const obs::prof::TagScope scan_tag(obs::prof::Center::world_scan);
       dev.scan_event = kernel_.shard(ns).schedule_at(
           std::max(dev.next_scan, now), [this, d] { run_scan(d); });
       ++migrations_;
@@ -428,6 +434,21 @@ void ParallelWorld::publish_metrics() {
   for (const auto& sh : shards_) {
     for (const double v : sh->latency_scratch) latency.observe(v);
     sh->latency_scratch.clear();
+  }
+
+  // Cost attribution (obs::prof Mode 1). Per-shard dispatch counts are
+  // deterministic, so the summed `prof.<center>.events` deltas belong in
+  // byte-compared dumps; wall histograms follow the publish_wall_stats
+  // rule instead.
+  if (config_.profile) {
+    for (unsigned s = 0; s < kernel_.shards(); ++s) {
+      kernel_.shard_profiler(s)->publish_events(registry_);
+    }
+    if (config_.profile_wall) {
+      for (unsigned s = 0; s < kernel_.shards(); ++s) {
+        kernel_.shard_profiler(s)->publish_wall(registry_);
+      }
+    }
   }
 }
 

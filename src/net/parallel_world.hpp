@@ -95,6 +95,18 @@ struct ParallelWorldConfig {
   /// Publish wall-clock lookahead-stall gauges (sim.shard.*.stall). These
   /// are NOT deterministic; leave off for byte-compared dumps.
   bool publish_wall_stats = false;
+  /// Mode 1 cost attribution: per-shard obs::prof::EventProfilers whose
+  /// `prof.<center>.events` counters publish at barriers. The counts are
+  /// deterministic (a pure function of the event stream), so they stay
+  /// INSIDE byte-compared dumps — ph_chaos_determinism pins that.
+  bool profile = true;
+  /// Also time every dispatch into `prof.<center>.wall_us` histograms
+  /// (plus `prof.slow_events`). Wall-clock: same determinism caveat as
+  /// publish_wall_stats — leave off for byte-compared dumps.
+  bool profile_wall = false;
+  /// Mode 2 sampling profiler: forwarded to the kernel so worker threads
+  /// register their span stacks. Must outlive the world. Optional.
+  obs::prof::WallProfiler* wall_sampler = nullptr;
 };
 
 class ParallelWorld {

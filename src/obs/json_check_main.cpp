@@ -1,15 +1,18 @@
 // ph_obs_json_check — validates a metrics JSON dump produced by
 // obs::to_json(), (with --chrome) a Chrome trace-event dump produced
-// by obs::to_chrome_trace(), or (with --expo) a Prometheus-style text
+// by obs::to_chrome_trace(), (with --expo) a Prometheus-style text
 // exposition produced by obs::to_exposition() / the OpsServer /metrics
-// route. Used by the ph_bench_smoke, ph_trace_check and
-// ph_ops_scrape_smoke CTest targets to fail the build when a bench or
-// daemon emits malformed or incomplete dumps.
+// route, or (with --folded) a collapsed-stack profile produced by the
+// OpsServer /profile route / PH_PROF_FOLDED. Used by the ph_bench_smoke,
+// ph_trace_check, ph_ops_scrape_smoke and ph_prof_smoke CTest targets to
+// fail the build when a bench or daemon emits malformed or incomplete
+// dumps.
 //
 // Usage:
 //   ph_obs_json_check FILE [requirement...]
 //   ph_obs_json_check --chrome FILE [requirement...]
 //   ph_obs_json_check --expo FILE [requirement...]
+//   ph_obs_json_check --folded FILE [requirement...]
 //
 // Expo-mode lint (always applied): every line is a TYPE comment or a
 // `name value` sample, metric names match [a-z0-9._]+, no metric is
@@ -45,6 +48,14 @@
 // a "traceEvents" array, every element carrying a string "ph" and the
 // fields its phase implies) is always validated.
 //
+// Folded-mode lint (always applied): every line is `stack count` where
+// the stack is one or more non-empty `;`-separated frames and the count
+// is a positive integer — the exact grammar flamegraph.pl and speedscope
+// consume (prof::parse_folded). Folded-mode requirements:
+//   frame:PREFIX       at least one stack containing a frame that starts
+//                      with PREFIX; an empty PREFIX means "any sample at
+//                      all", i.e. the profile must be non-empty
+//
 // Exits 0 when the file parses and every requirement is met; 1 otherwise.
 #include <cstdio>
 #include <fstream>
@@ -53,6 +64,7 @@
 
 #include "obs/expo.hpp"
 #include "obs/json.hpp"
+#include "obs/prof.hpp"
 
 namespace {
 
@@ -476,11 +488,64 @@ int check_expo(const char* path, const std::string& text, int argc,
   return ok ? 0 : 1;
 }
 
+/// --folded: the file must parse as a collapsed-stack profile (strict
+/// line grammar, positive counts); requirements are frame:PREFIX — some
+/// stack must contain a frame starting with PREFIX (empty = any sample).
+int check_folded(const char* path, const std::string& text, int argc,
+                 char** argv, int first_requirement) {
+  auto parsed = ph::obs::prof::parse_folded(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "json_check: %s: %s\n", path,
+                 parsed.error().to_string().c_str());
+    return 1;
+  }
+  const ph::obs::prof::FoldedProfile& profile = parsed.value();
+  bool ok = true;
+  for (int i = first_requirement; i < argc; ++i) {
+    const std::string requirement = argv[i];
+    if (requirement.rfind("frame:", 0) != 0) {
+      std::fprintf(stderr, "json_check: unknown folded requirement '%s'\n",
+                   requirement.c_str());
+      ok = false;
+      continue;
+    }
+    const std::string prefix = requirement.substr(6);
+    bool found = false;
+    for (const auto& [stack, count] : profile) {
+      (void)count;
+      std::size_t begin = 0;
+      while (!found && begin <= stack.size()) {
+        const std::size_t end = stack.find(';', begin);
+        const std::string frame =
+            stack.substr(begin, end == std::string::npos ? end : end - begin);
+        if (starts_with(frame, prefix)) found = true;
+        if (end == std::string::npos) break;
+        begin = end + 1;
+      }
+      if (found) break;
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   prefix.empty()
+                       ? "json_check: profile has no samples at all%s\n"
+                       : "json_check: no stack with a frame matching '%s'\n",
+                   prefix.c_str());
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::fprintf(stderr, "json_check: %s OK (folded, %zu distinct stacks)\n",
+                 path, profile.size());
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool chrome = false;
   bool expo = false;
+  bool folded = false;
   int file_arg = 1;
   if (argc >= 2 && std::string(argv[1]) == "--chrome") {
     chrome = true;
@@ -488,13 +553,17 @@ int main(int argc, char** argv) {
   } else if (argc >= 2 && std::string(argv[1]) == "--expo") {
     expo = true;
     file_arg = 2;
+  } else if (argc >= 2 && std::string(argv[1]) == "--folded") {
+    folded = true;
+    file_arg = 2;
   }
   if (argc < file_arg + 1) {
     std::fprintf(stderr,
-                 "usage: %s [--chrome|--expo] FILE "
+                 "usage: %s [--chrome|--expo|--folded] FILE "
                  "[counter:PREFIX|counter_nonzero:PREFIX|gauge:PREFIX"
                  "|histogram:PREFIX|span:PREFIX|event:PREFIX"
-                 "|series:PREFIX|slo_breach:PREFIX|NAME-PREFIX]...\n",
+                 "|series:PREFIX|slo_breach:PREFIX|frame:PREFIX"
+                 "|NAME-PREFIX]...\n",
                  argv[0]);
     return 1;
   }
@@ -509,6 +578,7 @@ int main(int argc, char** argv) {
   const std::string text = buffer.str();
 
   if (expo) return check_expo(path, text, argc, argv, file_arg + 1);
+  if (folded) return check_folded(path, text, argc, argv, file_arg + 1);
 
   Value root;
   std::string error;

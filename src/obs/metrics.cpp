@@ -63,6 +63,20 @@ void Histogram::merge_from(const Histogram& other) {
   sum_ += other.sum_;
 }
 
+void Histogram::merge_buckets(const std::uint64_t* counts, std::size_t n,
+                              std::uint64_t count, double sum, double min,
+                              double max) {
+  PH_CHECK_MSG(n == counts_.size(),
+               "bucket merge requires identical bucket layout");
+  for (std::size_t i = 0; i < n; ++i) counts_[i] += counts[i];
+  if (count > 0) {
+    min_ = count_ == 0 ? min : std::min(min_, min);
+    max_ = count_ == 0 ? max : std::max(max_, max);
+  }
+  count_ += count;
+  sum_ += sum;
+}
+
 const std::vector<double>& default_latency_bounds_us() {
   static const std::vector<double> bounds = {
       10,    30,    100,    300,    1e3,   3e3,   1e4,   3e4,

@@ -94,6 +94,13 @@ class Histogram {
   /// Adds another histogram's observations. Bucket bounds must match.
   void merge_from(const Histogram& other);
 
+  /// Adds raw bucket deltas — profiling publishers drain per-shard fixed
+  /// arrays at barriers (obs::prof). `counts` must have
+  /// bounds().size() + 1 entries (last = overflow); `min`/`max` are the
+  /// source's observed extremes and are ignored when `count` is 0.
+  void merge_buckets(const std::uint64_t* counts, std::size_t n,
+                     std::uint64_t count, double sum, double min, double max);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;

@@ -1,15 +1,19 @@
 // ph_ops_dump — scrape one or many live daemons' ops sockets.
 //
-//   ph_ops_dump [--path /metrics|/series|/slo|/flight] TARGET...
+//   ph_ops_dump [--path /metrics|/series|/slo|/flight|/profile] TARGET...
+//   ph_ops_dump --profile TARGET...
 //
 // Each TARGET is either an ops UNIX-socket path or a directory, which is
 // scanned for `*.ops` sockets (the rendezvous layout SocketTransport uses:
 // one `d<id>.ops` per daemon beside the frame sockets). With the default
 // /metrics route the expositions of every target are parsed and merged —
 // counters and histogram buckets add, gauges sum, quantiles recomputed
-// from the merged buckets — into one fleet-wide exposition on stdout. Any
-// other route prints each daemon's raw response under a `# --- <target>`
-// header (JSON documents cannot be merged generically).
+// from the merged buckets — into one fleet-wide exposition on stdout.
+// `--profile` scrapes each daemon's /profile route and merges the folded
+// (collapsed-stack) profiles by summing per-stack sample counts, yielding
+// one fleet-wide flame-graph input. Any other route prints each daemon's
+// raw response under a `# --- <target>` header (JSON documents cannot be
+// merged generically).
 //
 // Exit status: 0 when every target was scraped, 1 otherwise.
 #include <sys/socket.h>
@@ -25,6 +29,7 @@
 #include <vector>
 
 #include "obs/expo.hpp"
+#include "obs/prof.hpp"
 
 namespace {
 
@@ -77,7 +82,7 @@ bool scrape(const std::string& socket_path, const std::string& route,
     out.append(buf, static_cast<std::size_t>(n));
   }
   ::close(fd);
-  if (out.rfind("error ", 0) == 0) {
+  if (out.rfind("err ", 0) == 0) {
     std::fprintf(stderr, "ph_ops_dump: %s: %s", socket_path.c_str(),
                  out.c_str());
     return false;
@@ -114,10 +119,12 @@ std::vector<std::string> expand_targets(const std::vector<std::string>& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: ph_ops_dump [--path /metrics|/series|/slo|/flight] "
-               "TARGET...\n"
+               "usage: ph_ops_dump [--path "
+               "/metrics|/series|/slo|/flight|/profile] TARGET...\n"
+               "       ph_ops_dump --profile TARGET...\n"
                "  TARGET: an ops socket path, or a directory scanned for "
-               "*.ops\n");
+               "*.ops\n"
+               "  --profile merges every target's folded profile into one\n");
   return 2;
 }
 
@@ -125,12 +132,16 @@ int usage() {
 
 int main(int argc, char** argv) {
   std::string route = "/metrics";
+  bool merge_profile = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--path") {
       if (i + 1 >= argc) return usage();
       route = argv[++i];
+    } else if (arg == "--profile") {
+      merge_profile = true;
+      route = "/profile";
     } else if (arg == "-h" || arg == "--help") {
       return usage();
     } else {
@@ -170,6 +181,34 @@ int main(int argc, char** argv) {
     }
     if (scraped > 0) {
       const std::string out = ph::obs::render_exposition(merged);
+      std::fwrite(out.data(), 1, out.size(), stdout);
+    }
+    return all_ok && scraped > 0 ? 0 : 1;
+  }
+
+  if (merge_profile) {
+    // Folded merge is associative and order-independent: per-stack counts
+    // just add, so a fleet of daemons collapses into one flame graph.
+    ph::obs::prof::FoldedProfile merged;
+    std::size_t scraped = 0;
+    for (const std::string& path : sockets) {
+      std::string body;
+      if (!scrape(path, route, body)) {
+        all_ok = false;
+        continue;
+      }
+      auto parsed = ph::obs::prof::parse_folded(body);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "ph_ops_dump: %s: %s\n", path.c_str(),
+                     parsed.error().to_string().c_str());
+        all_ok = false;
+        continue;
+      }
+      ph::obs::prof::merge_folded(merged, parsed.value());
+      ++scraped;
+    }
+    if (scraped > 0) {
+      const std::string out = ph::obs::prof::render_folded(merged);
       std::fwrite(out.data(), 1, out.size(), stdout);
     }
     return all_ok && scraped > 0 ? 0 : 1;

@@ -10,6 +10,7 @@
 #include "obs/expo.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/sampler.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
@@ -131,27 +132,30 @@ void OpsServer::handle_readable() {
 
 std::string OpsServer::respond(const std::string& route) const {
   if (route == "/metrics") {
-    if (sources_.registry == nullptr) return "error /metrics unavailable\n";
+    if (sources_.registry == nullptr) return "err unavailable /metrics\n";
     return to_exposition(*sources_.registry);
   }
   if (route == "/series") {
-    if (sources_.registry == nullptr) return "error /series unavailable\n";
+    if (sources_.registry == nullptr) return "err unavailable /series\n";
     return to_json(*sources_.registry, nullptr, sources_.sampler,
                    sources_.slo);
   }
   if (route == "/slo") {
-    if (sources_.sampler == nullptr) return "error /slo unavailable\n";
+    if (sources_.sampler == nullptr) return "err unavailable /slo\n";
     return series_to_json(*sources_.sampler, sources_.slo);
   }
   if (route == "/flight") {
-    if (sources_.trace == nullptr) return "error /flight unavailable\n";
+    if (sources_.trace == nullptr) return "err unavailable /flight\n";
     std::map<std::uint64_t, std::string> names;
     if (sources_.device_names) names = sources_.device_names();
     return to_chrome_trace(*sources_.trace, names, sources_.sampler,
                            config_.trace_ts_divisor);
   }
-  return "error unknown route '" + route +
-         "'; routes: /metrics /series /slo /flight\n";
+  if (route == "/profile") {
+    if (sources_.profiler == nullptr) return "err unavailable /profile\n";
+    return sources_.profiler->to_folded();
+  }
+  return "err unknown-route " + route + "\n";
 }
 
 }  // namespace ph::obs

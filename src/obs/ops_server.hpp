@@ -14,6 +14,12 @@
 //   /flight   the trace journal as Chrome trace-event JSON, timestamps
 //             divided by `trace_ts_divisor` (wall-clock Perfetto timeline
 //             for a socket-backend journal stamped in scaled virtual µs)
+//   /profile  the sampling profiler's collapsed-stack ("folded") output —
+//             pipe through flamegraph.pl / speedscope for a flame graph
+//
+// Error responses are single lines with a machine-stable `err ` prefix:
+// `err unknown-route <name>` for a route the server does not serve, and
+// `err unavailable <route>` for a known route whose source is absent.
 //
 // The server owns no event loop: it exposes its listening fd() and a
 // handle_readable() callback, and the embedding transport watches the fd
@@ -41,6 +47,9 @@ class Registry;
 class Sampler;
 class SloEngine;
 class Trace;
+namespace prof {
+class WallProfiler;
+}
 
 struct OpsServerConfig {
   /// Filesystem path of the listening UNIX socket. Created on start(),
@@ -52,12 +61,15 @@ struct OpsServerConfig {
 };
 
 /// What the server exposes. Everything but `registry` is optional; routes
-/// whose source is absent return an error line instead of a body.
+/// whose source is absent return an `err unavailable <route>` line
+/// instead of a body, and unknown routes get `err unknown-route <name>`.
 struct OpsSources {
   const Registry* registry = nullptr;
   const Trace* trace = nullptr;
   const Sampler* sampler = nullptr;
   const SloEngine* slo = nullptr;
+  /// Sampling profiler behind /profile (collapsed-stack output).
+  const prof::WallProfiler* profiler = nullptr;
   /// Called per /flight request to label Perfetto tracks.
   std::function<std::map<std::uint64_t, std::string>()> device_names;
 };

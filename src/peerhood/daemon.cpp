@@ -6,6 +6,7 @@
 #include "proto/daemon.hpp"
 #include "transport/sim_transport.hpp"
 #include "util/log.hpp"
+#include "obs/prof.hpp"
 
 namespace ph::peerhood {
 
@@ -272,6 +273,7 @@ void Daemon::trigger_discovery() {
 
 void Daemon::schedule_inquiry(NetworkPlugin& plugin, sim::Duration delay) {
   const std::uint64_t gen = generation_;
+  const obs::prof::TagScope tag(obs::prof::Center::peerhood_discovery);
   scheduler_.schedule(delay, [this, gen, &plugin] {
     if (!running_ || gen != generation_) return;
     run_inquiry(plugin);
@@ -367,6 +369,7 @@ void Daemon::send_service_query(DeviceId target, net::Technology tech,
   pending.tech = tech;
   pending.attempts_left = attempts_left - 1;
   pending.span = span;
+  const obs::prof::TagScope tag(obs::prof::Center::peerhood_query);
   pending.timeout_event =
       scheduler_.schedule(timeout, [this, token] {
         auto it = pending_queries_.find(token);
@@ -502,6 +505,7 @@ void Daemon::announce_services() {
 
 void Daemon::schedule_ping_round() {
   const std::uint64_t gen = generation_;
+  const obs::prof::TagScope tag(obs::prof::Center::peerhood_ping);
   scheduler_.schedule(config_.ping_interval, [this, gen] {
     if (!running_ || gen != generation_) return;
     run_ping_round();
@@ -577,6 +581,7 @@ void Daemon::schedule_ping_retry(DeviceId id, std::uint32_t token,
         "peerhood.backoff.wait", scheduler_.now(), self_, "backoff");
     trace_->end_span(wait, scheduler_.now() + delay);
   }
+  const obs::prof::TagScope tag(obs::prof::Center::peerhood_ping);
   scheduler_.schedule(delay, [this, gen, id, token, attempt] {
     if (!running_ || gen != generation_) return;
     auto pending = pending_pings_.find(id);

@@ -4,6 +4,7 @@
 #include "sim/backoff.hpp"
 #include "proto/codec.hpp"
 #include "util/log.hpp"
+#include "obs/prof.hpp"
 
 namespace ph::peerhood::detail {
 
@@ -247,6 +248,7 @@ void SessionState::on_channel_break() {
 }
 
 void SessionState::arm_server_wait() {
+  const obs::prof::TagScope tag(obs::prof::Center::peerhood_session);
   auto weak = weak_from_this();
   scheduler().cancel(server_wait_timer);
   server_wait_timer =
@@ -271,6 +273,7 @@ void SessionState::schedule_resume_retry() {
       resume_span, "peerhood.backoff.wait", scheduler().now(), self, "backoff");
   journal().end_span(wait, scheduler().now() + delay);
   auto weak = weak_from_this();
+  const obs::prof::TagScope tag(obs::prof::Center::peerhood_session);
   scheduler().schedule(delay, [weak] {
     auto self = weak.lock();
     if (self) self->resume_sweep();
@@ -286,6 +289,7 @@ void SessionState::start_resume() {
   PH_LOG(info, "conn") << "session " << id
                        << " lost its channel; hunting for an alternative";
   auto weak = weak_from_this();
+  const obs::prof::TagScope tag(obs::prof::Center::peerhood_session);
   scheduler().cancel(resume_timer);
   resume_timer = scheduler().schedule(options.resume_deadline, [weak] {
     auto self = weak.lock();
@@ -353,6 +357,7 @@ void SessionState::resume_sweep() {
 void SessionState::arm_monitor() {
   if (!initiator || options.monitor_interval == 0 || !options.seamless) return;
   auto weak = weak_from_this();
+  const obs::prof::TagScope tag(obs::prof::Center::peerhood_session);
   scheduler().cancel(monitor_timer);
   monitor_timer = scheduler().schedule(options.monitor_interval, [weak] {
     auto self = weak.lock();

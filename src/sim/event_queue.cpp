@@ -72,8 +72,9 @@ void FlatIdSet::grow() {
 
 // --- BinaryHeapQueue --------------------------------------------------------
 
-void BinaryHeapQueue::push(Time when, EventId id, EventFn fn) {
-  heap_.push_back(QueueEntry{when, id, std::move(fn)});
+void BinaryHeapQueue::do_push(Time when, EventId id, EventFn fn,
+                              std::uint8_t tag) {
+  heap_.push_back(QueueEntry{when, id, tag, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), QueueLater{});
 }
 
@@ -164,8 +165,9 @@ void TimerWheelQueue::place(QueueEntry&& entry) {
   std::push_heap(overflow_.begin(), overflow_.end(), QueueLater{});
 }
 
-void TimerWheelQueue::push(Time when, EventId id, EventFn fn) {
-  place(QueueEntry{when, id, std::move(fn)});
+void TimerWheelQueue::do_push(Time when, EventId id, EventFn fn,
+                              std::uint8_t tag) {
+  place(QueueEntry{when, id, tag, std::move(fn)});
   ++stored_;
 }
 

@@ -72,10 +72,13 @@ class FlatIdSet {
 };
 
 /// One stored event. `id` doubles as the insertion sequence number, so
-/// ordering by (when, id) is FIFO among equal timestamps.
+/// ordering by (when, id) is FIFO among equal timestamps. `tag` is the
+/// obs::prof cost-center byte attached at schedule time; it rides along
+/// so the dispatch loop can attribute the event without a lookup.
 struct QueueEntry {
   Time when = 0;
   EventId id = 0;
+  std::uint8_t tag = 0;
   EventFn fn;
 };
 
@@ -97,7 +100,11 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  virtual void push(Time when, EventId id, EventFn fn) = 0;
+  /// Stores an entry. Non-virtual so the cost-center tag can default in
+  /// one place; implementations override do_push.
+  void push(Time when, EventId id, EventFn fn, std::uint8_t tag = 0) {
+    do_push(when, id, std::move(fn), tag);
+  }
 
   /// Moves the earliest live entry with when <= until into `out`; false
   /// when there is none. Dead (cancelled) entries reached on the way are
@@ -121,6 +128,8 @@ class EventQueue {
   virtual const char* name() const noexcept = 0;
 
  protected:
+  virtual void do_push(Time when, EventId id, EventFn fn,
+                       std::uint8_t tag) = 0;
   virtual void compact() = 0;
 
   const FlatIdSet& live_;
@@ -132,12 +141,12 @@ class BinaryHeapQueue final : public EventQueue {
  public:
   using EventQueue::EventQueue;
 
-  void push(Time when, EventId id, EventFn fn) override;
   bool pop_next(Time until, QueueEntry& out) override;
   std::size_t stored() const noexcept override { return heap_.size(); }
   const char* name() const noexcept override { return "binary_heap"; }
 
  private:
+  void do_push(Time when, EventId id, EventFn fn, std::uint8_t tag) override;
   void compact() override;
 
   std::vector<QueueEntry> heap_;
@@ -148,7 +157,6 @@ class TimerWheelQueue final : public EventQueue {
  public:
   explicit TimerWheelQueue(const FlatIdSet& live);
 
-  void push(Time when, EventId id, EventFn fn) override;
   bool pop_next(Time until, QueueEntry& out) override;
   std::size_t stored() const noexcept override { return stored_; }
   const char* name() const noexcept override { return "timer_wheel"; }
@@ -182,6 +190,7 @@ class TimerWheelQueue final : public EventQueue {
     return slots_[level * kSlots + index];
   }
 
+  void do_push(Time when, EventId id, EventFn fn, std::uint8_t tag) override;
   /// Files an entry into due/slot/overflow based on wheel_time_.
   void place(QueueEntry&& entry);
   void push_due(QueueEntry&& entry);

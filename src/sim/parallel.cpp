@@ -22,7 +22,7 @@ ShardedKernel::ShardedKernel(ParallelConfig config) : config_(config) {
   // T-1 persistent workers; the caller is the T-th. With threads == 1 the
   // pool is empty and run_parallel degenerates to an in-order loop.
   for (unsigned w = 0; w + 1 < config_.threads; ++w) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, w] { worker_loop(w); });
   }
 }
 
@@ -35,6 +35,17 @@ ShardedKernel::~ShardedKernel() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+void ShardedKernel::enable_profiling(bool wall) {
+  if (profilers_.empty()) {
+    profilers_.reserve(config_.shards);
+    for (unsigned s = 0; s < config_.shards; ++s) {
+      profilers_.push_back(std::make_unique<obs::prof::EventProfiler>());
+      sims_[s]->set_profiler(profilers_.back().get());
+    }
+  }
+  for (auto& profiler : profilers_) profiler->enable_wall(wall);
+}
+
 void ShardedKernel::post(unsigned src, unsigned dst, Time when, EventFn fn) {
   PH_CHECK(src < config_.shards && dst < config_.shards);
   ShardLocal& local = locals_[src];
@@ -45,8 +56,12 @@ void ShardedKernel::post(unsigned src, unsigned dst, Time when, EventFn fn) {
     ++local.cross_clamped;
   }
   ++local.cross_sent;
+  // The cost center crosses with the event: the sender's context (TagScope
+  // or the executing event's tag) would be gone by merge time.
+  const std::uint8_t tag =
+      obs::prof::effective_tag(sims_[src]->current_tag());
   mail_[static_cast<std::size_t>(src) * config_.shards + dst].push_back(
-      MailItem{when, local.post_seq++, std::move(fn)});
+      MailItem{when, local.post_seq++, tag, std::move(fn)});
 }
 
 void ShardedKernel::merge_into(unsigned dst, Time horizon) {
@@ -57,7 +72,7 @@ void ShardedKernel::merge_into(unsigned dst, Time horizon) {
     std::vector<MailItem>& box =
         mail_[static_cast<std::size_t>(src) * config_.shards + dst];
     for (MailItem& item : box) {
-      scratch.push_back(MergeItem{item.when, src, item.seq,
+      scratch.push_back(MergeItem{item.when, src, item.seq, item.tag,
                                   std::move(item.fn)});
     }
     box.clear();
@@ -75,7 +90,7 @@ void ShardedKernel::merge_into(unsigned dst, Time horizon) {
   for (MergeItem& item : scratch) {
     PH_CHECK(item.when >= horizon);  // post() clamped; anything else is a bug
     ++local.cross_received;
-    sims_[dst]->schedule_at(item.when, std::move(item.fn));
+    sims_[dst]->schedule_at_tagged(item.when, item.tag, std::move(item.fn));
   }
   scratch.clear();
 }
@@ -132,7 +147,10 @@ void ShardedKernel::run_parallel(const std::function<void(unsigned)>& fn,
   job_ = nullptr;
 }
 
-void ShardedKernel::worker_loop() {
+void ShardedKernel::worker_loop(unsigned index) {
+  if (config_.sampler != nullptr) {
+    config_.sampler->register_thread("worker-" + std::to_string(index + 1));
+  }
   std::uint32_t seen = 0;
   for (;;) {
     const std::function<void(unsigned)>* job = nullptr;
@@ -142,7 +160,7 @@ void ShardedKernel::worker_loop() {
       std::unique_lock<std::mutex> lock(mu_);
       cv_start_.wait(lock,
                      [this, seen] { return stop_ || generation_ != seen; });
-      if (stop_) return;
+      if (stop_) break;
       seen = generation_;
       gen = generation_;
       job = job_;
@@ -150,6 +168,9 @@ void ShardedKernel::worker_loop() {
     }
     if (job != nullptr) claim_loop(*job, gen, stamp);
   }
+  // Fold this thread's samples into the retired aggregate before the
+  // span stack (thread-local) dies with us.
+  if (config_.sampler != nullptr) config_.sampler->unregister_thread();
 }
 
 void ShardedKernel::run_until(Time until) {
@@ -162,8 +183,12 @@ void ShardedKernel::run_until(Time until) {
     // cross event landing exactly on the horizon fires next window.
     const Time inclusive = horizon == until ? horizon : horizon - 1;
     horizon_ = horizon;
-    run_parallel([this, inclusive](unsigned s) { sims_[s]->run_until(inclusive); },
-                 /*stamp_finish=*/true);
+    run_parallel(
+        [this, inclusive](unsigned s) {
+          obs::prof::Scope span(obs::prof::Center::parallel_window);
+          sims_[s]->run_until(inclusive);
+        },
+        /*stamp_finish=*/true);
     // Wall-clock lookahead stall: how long each shard sat at the barrier
     // waiting for the window's straggler. Telemetry only — never part of
     // deterministic dumps.
@@ -177,11 +202,18 @@ void ShardedKernel::run_until(Time until) {
               last - locals_[s].finished)
               .count());
     }
-    run_parallel([this, horizon](unsigned dst) { merge_into(dst, horizon); },
-                 /*stamp_finish=*/false);
+    run_parallel(
+        [this, horizon](unsigned dst) {
+          obs::prof::Scope span(obs::prof::Center::parallel_merge);
+          merge_into(dst, horizon);
+        },
+        /*stamp_finish=*/false);
     window_start_ = horizon;
     ++windows_;
-    if (hook_) hook_(window_start_);
+    if (hook_) {
+      obs::prof::Scope span(obs::prof::Center::parallel_barrier);
+      hook_(window_start_);
+    }
   } while (window_start_ < until);
 }
 

@@ -71,6 +71,11 @@ struct ParallelConfig {
   /// base latency, for the sharded world). post() clamps violations to
   /// the next window boundary and counts them.
   Duration lookahead = milliseconds(30);
+  /// Mode 2 sampling profiler: worker threads register themselves with it
+  /// on startup (as "worker-<n>") and unregister on shutdown, so folded
+  /// profiles show per-worker window/merge/idle splits. Must outlive the
+  /// kernel. Optional; wall-clock only — never part of determinism.
+  obs::prof::WallProfiler* sampler = nullptr;
 };
 
 class ShardedKernel {
@@ -117,7 +122,11 @@ class ShardedKernel {
   void post(unsigned src, unsigned dst, Time when, EventFn fn);
 
   /// Advances every shard to `until` in lookahead windows. Events at
-  /// exactly `until` execute, matching Simulator::run_until.
+  /// exactly `until` execute, matching Simulator::run_until. Do NOT hold
+  /// an obs::prof::TagScope across this call: the pending tag is thread-
+  /// local, so it would reach only the shards the calling thread happens
+  /// to run — a determinism leak. TagScopes *inside* events are fine
+  /// (an event always executes on whichever thread runs its shard).
   void run_until(Time until);
   void run_for(Duration d) { run_until(window_start_ + d); }
 
@@ -136,6 +145,17 @@ class ShardedKernel {
     run_parallel(fn, /*stamp_finish=*/false);
   }
 
+  /// Attaches one obs::prof::EventProfiler per shard (Mode 1: per-center
+  /// dispatch counts, deterministic; wall costing too when `wall`). Call
+  /// before the first run_until. The profilers are kernel-owned; drain
+  /// them single-threaded at barriers via shard_profiler().
+  void enable_profiling(bool wall = false);
+  /// Shard s's profiler, nullptr unless enable_profiling ran. Reading or
+  /// publishing from it follows the shard() access rules.
+  obs::prof::EventProfiler* shard_profiler(unsigned s) {
+    return profilers_.empty() ? nullptr : profilers_[s].get();
+  }
+
   ShardStats shard_stats(unsigned s) const;
   /// Windows completed (barrier count).
   std::uint64_t windows_run() const noexcept { return windows_; }
@@ -151,12 +171,14 @@ class ShardedKernel {
   struct MailItem {
     Time when = 0;
     std::uint64_t seq = 0;
+    std::uint8_t tag = 0;  // cost center captured on the source shard
     EventFn fn;
   };
   struct MergeItem {
     Time when = 0;
     unsigned src = 0;
     std::uint64_t seq = 0;
+    std::uint8_t tag = 0;
     EventFn fn;
   };
   /// Cross-pair counters a single shard owns exclusively during a phase;
@@ -174,11 +196,12 @@ class ShardedKernel {
                     bool stamp_finish);
   void claim_loop(const std::function<void(unsigned)>& fn, std::uint32_t gen,
                   bool stamp_finish);
-  void worker_loop();
+  void worker_loop(unsigned index);
   void merge_into(unsigned dst, Time horizon);
 
   ParallelConfig config_;
   std::vector<std::unique_ptr<Simulator>> sims_;
+  std::vector<std::unique_ptr<obs::prof::EventProfiler>> profilers_;
   std::vector<std::vector<MailItem>> mail_;  // [src * shards + dst]
   std::vector<ShardLocal> locals_;
   std::vector<std::uint64_t> stall_us_;

@@ -18,9 +18,15 @@ EventId Simulator::schedule(Duration delay, EventFn fn) {
 }
 
 EventId Simulator::schedule_at(Time when, EventFn fn) {
+  return schedule_at_tagged(when, obs::prof::effective_tag(current_tag_),
+                            std::move(fn));
+}
+
+EventId Simulator::schedule_at_tagged(Time when, std::uint8_t tag,
+                                      EventFn fn) {
   if (when < now_) when = now_;
   const EventId id = next_seq_++;
-  queue_->push(when, id, std::move(fn));
+  queue_->push(when, id, std::move(fn), tag);
   live_.insert(id);
   return id;
 }
@@ -67,7 +73,7 @@ void Simulator::run_until(Time until) {
     live_.erase(entry.id);
     now_ = entry.when;
     ++executed_;
-    entry.fn();
+    dispatch(entry);
   }
   if (now_ < until) now_ = until;
 }
@@ -78,7 +84,7 @@ void Simulator::run_all() {
     live_.erase(entry.id);
     now_ = entry.when;
     ++executed_;
-    entry.fn();
+    dispatch(entry);
   }
 }
 

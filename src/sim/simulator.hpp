@@ -27,6 +27,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/prof.hpp"
 #include "sim/event_fn.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -47,11 +48,33 @@ class Simulator {
   Time now() const noexcept { return now_; }
 
   /// Schedules `fn` to run `delay` after the current virtual time.
-  /// Returns a handle usable with cancel().
+  /// Returns a handle usable with cancel(). The event carries a cost-
+  /// center tag: the active obs::prof::TagScope's if one is set, else the
+  /// tag of the event currently executing (causal inheritance), else 0.
   EventId schedule(Duration delay, EventFn fn);
 
   /// Schedules at an absolute virtual time (clamped to now).
   EventId schedule_at(Time when, EventFn fn);
+
+  /// Tagged variants with an explicit cost center — for relays that must
+  /// preserve a tag across a thread/shard boundary where neither the
+  /// TagScope TLS nor the executing event's tag is the right context
+  /// (ShardedKernel's cross-shard merge).
+  EventId schedule_tagged(Duration delay, std::uint8_t tag, EventFn fn) {
+    return schedule_at_tagged(now_ + delay, tag, std::move(fn));
+  }
+  EventId schedule_at_tagged(Time when, std::uint8_t tag, EventFn fn);
+
+  /// Cost center of the event currently executing (0 between events).
+  std::uint8_t current_tag() const noexcept { return current_tag_; }
+
+  /// Attaches an obs::prof::EventProfiler: every dispatch is counted per
+  /// center, and timed when the profiler's wall plane is enabled. The
+  /// profiler must outlive the simulator (or be detached with nullptr).
+  void set_profiler(obs::prof::EventProfiler* profiler) noexcept {
+    prof_ = profiler;
+  }
+  obs::prof::EventProfiler* profiler() const noexcept { return prof_; }
 
   /// Removes a pending event. Returns false if it already ran or was
   /// cancelled; cancelling an invalid id is a harmless no-op.
@@ -112,6 +135,30 @@ class Simulator {
   /// Runs one occurrence of a periodic task and re-arms it.
   void run_periodic(TaskId id);
 
+  /// Executes one popped entry under the attribution hook: sets
+  /// current_tag_ for causal inheritance, counts the dispatch, and (wall
+  /// plane) times it inside a sampler-visible Scope.
+  void dispatch(QueueEntry& entry) {
+    current_tag_ = entry.tag;
+    obs::prof::EventProfiler* const prof = prof_;
+    if (prof == nullptr) {
+      entry.fn();
+    } else {
+      prof->count(entry.tag);
+      if (!prof->wall_enabled()) {
+        entry.fn();
+      } else {
+        const std::uint64_t t0 = prof->now_us();
+        {
+          obs::prof::Scope span(entry.tag);
+          entry.fn();
+        }
+        prof->observe_wall(entry.tag, prof->now_us() - t0);
+      }
+    }
+    current_tag_ = 0;
+  }
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
@@ -120,6 +167,8 @@ class Simulator {
   std::unique_ptr<EventQueue> queue_;
   TaskId next_task_ = 1;
   std::map<TaskId, Periodic> periodic_;
+  std::uint8_t current_tag_ = 0;
+  obs::prof::EventProfiler* prof_ = nullptr;
 };
 
 }  // namespace ph::sim

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "util/log.hpp"
+#include "obs/prof.hpp"
 #include "util/strings.hpp"
 
 namespace ph::sns {
@@ -169,6 +170,7 @@ void SnsServer::on_accept(net::Link link) {
     }
     // Server-side processing time before the page starts downloading.
     const PageResponse response = handle(*request);
+    const obs::prof::TagScope tag(obs::prof::Center::sns_task);
     medium_.simulator().schedule(
         site_.server_processing, [holder, payload = encode(response)] {
           if (holder->open()) holder->send(payload);

@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "obs/ops_server.hpp"
+#include "obs/prof.hpp"
 #include "obs/sampler.hpp"
 #include "obs/slo.hpp"
 #include "proto/frame.hpp"
@@ -145,7 +146,10 @@ class SocketTransport::WallScheduler final : public Scheduler {
   sim::EventId schedule(sim::Duration delay, sim::EventFn fn) override {
     const sim::EventId id = ++next_id_;
     const sim::Time due = now() + delay;
-    timers_.emplace(std::make_pair(due, id), std::move(fn));
+    // Same tag plumbing as the simulated kernels: a pending TagScope wins,
+    // otherwise the timer inherits the tag of the timer being dispatched.
+    timers_.emplace(std::make_pair(due, id),
+                    Timer{std::move(fn), obs::prof::effective_tag(current_tag_)});
     due_.emplace(id, due);
     return id;
   }
@@ -169,7 +173,7 @@ class SocketTransport::WallScheduler final : public Scheduler {
       while (!timers_.empty() && timers_.begin()->first.first <= now()) {
         auto node = timers_.extract(timers_.begin());
         due_.erase(node.key().second);
-        sim::EventFn fn = std::move(node.mapped());
+        Timer timer = std::move(node.mapped());
         // Loop lag: how far past its due point the timer actually fired,
         // reported in WALL microseconds (virtual lag unscaled). A loaded
         // or stalled loop shows up here before anything times out.
@@ -177,7 +181,12 @@ class SocketTransport::WallScheduler final : public Scheduler {
         transport_.h_loop_lag_->observe(static_cast<double>(lag_virtual) /
                                         scale_);
         const std::uint64_t t0 = transport_.wall_clock_.now();
-        fn();
+        current_tag_ = timer.tag;
+        {
+          const obs::prof::Scope span(timer.tag);
+          timer.fn();
+        }
+        current_tag_ = 0;
         transport_.h_loop_dispatch_->observe(
             static_cast<double>(transport_.wall_clock_.now() - t0));
       }
@@ -198,12 +207,18 @@ class SocketTransport::WallScheduler final : public Scheduler {
   }
 
  private:
+  struct Timer {
+    sim::EventFn fn;
+    std::uint8_t tag = 0;
+  };
+
   SocketTransport& transport_;
   double scale_;
   std::chrono::steady_clock::time_point start_;
   mutable sim::Time last_now_ = 0;
   sim::EventId next_id_ = 0;
-  std::map<std::pair<sim::Time, sim::EventId>, sim::EventFn> timers_;
+  std::uint8_t current_tag_ = 0;  ///< tag of the timer being dispatched
+  std::map<std::pair<sim::Time, sim::EventId>, Timer> timers_;
   std::map<sim::EventId, sim::Time> due_;
 };
 
@@ -1017,6 +1032,7 @@ SocketTransport::SocketTransport(SocketTransportConfig config)
   trace_.set_clock_domain("wall");
 
   if (config_.sample_interval_us > 0) enable_telemetry();
+  if (config_.profiler) enable_profiler();  // before ops: /profile source
   if (config_.ops_server) {
     auto started = enable_ops_server();
     PH_CHECK_MSG(started.ok(), "ops server failed to start");
@@ -1024,6 +1040,11 @@ SocketTransport::SocketTransport(SocketTransportConfig config)
 }
 
 SocketTransport::~SocketTransport() {
+  if (profiler_ != nullptr) {
+    profiler_->stop();
+    profiler_->unregister_thread();  // fold the loop thread's samples
+    obs::prof::dump_folded_if_requested(*profiler_);
+  }
   endpoints_.clear();  // unlinks sockets, closes fds, silently drops channels
   ops_.reset();        // closes + unlinks the ops socket before any rmdir
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
@@ -1093,7 +1114,13 @@ void SocketTransport::unwatch_fd(int fd) {
 void SocketTransport::pump_epoll(int timeout_ms) {
   epoll_event events[64];
   const std::uint64_t wait_start = wall_clock_.now();
-  const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  int n = 0;
+  {
+    // Mode 2 samples landing here attribute to transport.idle — the loop
+    // is parked in the kernel, not burning CPU.
+    const obs::prof::Scope idle(obs::prof::Center::transport_idle);
+    n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  }
   // Wait stall: how far past the requested timeout the kernel actually
   // held us — scheduler jitter and ready-list storms, not our handlers.
   const std::uint64_t waited = wall_clock_.now() - wait_start;
@@ -1110,7 +1137,10 @@ void SocketTransport::pump_epoll(int timeout_ms) {
     if (it == watch_handlers_.end()) continue;
     auto handler = it->second;  // copy — the handler may erase itself
     const std::uint64_t t0 = wall_clock_.now();
-    handler(events[i].events);
+    {
+      const obs::prof::Scope io(obs::prof::Center::transport_io);
+      handler(events[i].events);
+    }
     h_loop_dispatch_->observe(static_cast<double>(wall_clock_.now() - t0));
   }
 }
@@ -1154,6 +1184,10 @@ void SocketTransport::enable_telemetry() {
 }
 
 void SocketTransport::scrape_telemetry() {
+  // Attribute the scrape itself (Mode 2 span) and its re-arm timer below
+  // (pending schedule tag) to transport.telemetry.
+  const obs::prof::TagScope tag(obs::prof::Center::transport_telemetry);
+  const obs::prof::Scope span(obs::prof::Center::transport_telemetry);
   const std::uint64_t wall = wall_clock_.now();
   // Queue-depth gauges per device, summed across its endpoints' channels;
   // RTT probes ride the same pass.
@@ -1179,6 +1213,15 @@ void SocketTransport::scrape_telemetry() {
   scheduler_->schedule(delay > 0 ? delay : 1, [this]() { scrape_telemetry(); });
 }
 
+void SocketTransport::enable_profiler() {
+  if (profiler_ != nullptr) return;
+  profiler_ = std::make_unique<obs::prof::WallProfiler>();
+  // The transport is single-threaded: construction and run_until happen on
+  // the same (loop) thread, so registering here binds the right stack.
+  profiler_->register_thread("loop");
+  profiler_->start();
+}
+
 Result<void> SocketTransport::enable_ops_server() {
   if (ops_ != nullptr) return ok();
   enable_telemetry();
@@ -1192,6 +1235,7 @@ Result<void> SocketTransport::enable_ops_server() {
   sources.trace = &trace_;
   sources.sampler = sampler_.get();
   sources.slo = slo_.get();
+  sources.profiler = profiler_.get();
   sources.device_names = [this]() {
     std::map<std::uint64_t, std::string> names;
     for (DeviceId id = config_.first_device_id;

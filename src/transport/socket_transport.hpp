@@ -35,6 +35,9 @@ namespace ph::obs {
 class OpsServer;
 class Sampler;
 class SloEngine;
+namespace prof {
+class WallProfiler;
+}
 }  // namespace ph::obs
 
 namespace ph::transport {
@@ -61,6 +64,12 @@ struct SocketTransportConfig {
   /// Start the live ops endpoint (<socket_dir>/d<first_device_id>.ops)
   /// at construction; equivalent to calling enable_ops_server().
   bool ops_server = false;
+  /// Start the Mode 2 sampling profiler (obs::prof::WallProfiler) at
+  /// construction: the loop thread registers its span stack and a 100 Hz
+  /// sampler captures where wall time goes (transport.idle vs .io vs
+  /// timer cost centers). Served on the ops /profile route and appended
+  /// to $PH_PROF_FOLDED at destruction.
+  bool profiler = false;
 };
 
 class SocketTransport final : public Transport {
@@ -96,6 +105,14 @@ class SocketTransport final : public Transport {
   /// telemetry is enabled (config.sample_interval_us or the ops server).
   obs::Sampler* sampler() noexcept { return sampler_.get(); }
   obs::SloEngine* slo_engine() noexcept { return slo_.get(); }
+
+  /// Starts the Mode 2 sampling profiler: registers the calling thread
+  /// (the loop thread) as "loop" and begins 100 Hz sampling. Call before
+  /// enable_ops_server() for the /profile route to pick it up — the
+  /// config.profiler path does both in order. Idempotent.
+  void enable_profiler();
+  /// nullptr until enable_profiler().
+  obs::prof::WallProfiler* profiler() noexcept { return profiler_.get(); }
 
   /// Monotonic WALL microseconds since transport construction — the time
   /// base of RTT probes, handshake latency and loop instrumentation.
@@ -178,6 +195,7 @@ class SocketTransport final : public Transport {
   std::unique_ptr<obs::Sampler> sampler_;
   std::unique_ptr<obs::SloEngine> slo_;
   std::unique_ptr<obs::OpsServer> ops_;
+  std::unique_ptr<obs::prof::WallProfiler> profiler_;
 };
 
 }  // namespace ph::transport

@@ -1,0 +1,122 @@
+// OpsServer protocol tests over a real UNIX socket.
+//
+// Pins the one-line wire contract an external operator scripts against:
+// known routes serve their body, a route whose source is absent answers
+// `err unavailable <route>`, and anything else answers
+// `err unknown-route <name>` — single machine-stable lines, never a hang
+// or a crash. The client half is a raw AF_UNIX socket, exercised
+// single-threaded: connect + write ride the listen backlog, then one
+// handle_readable() call accepts and serves.
+#include "obs/ops_server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/prof.hpp"
+
+namespace ph::obs {
+namespace {
+
+class OpsServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char dir_template[] = "/tmp/ph_ops_server_test.XXXXXX";
+    ASSERT_NE(::mkdtemp(dir_template), nullptr);
+    dir_ = dir_template;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  /// One request round: connect, send the route line, let the server
+  /// accept + serve, read the body to EOF.
+  static std::string request(OpsServer& server, const std::string& route) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                  server.socket_path().c_str());
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    const std::string line = route + "\n";
+    EXPECT_EQ(::write(fd, line.data(), line.size()),
+              static_cast<ssize_t>(line.size()));
+    ::shutdown(fd, SHUT_WR);
+    server.handle_readable();
+    std::string body;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n <= 0) break;
+      body.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return body;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(OpsServerTest, UnknownRouteAnswersMachineStableLine) {
+  Registry registry;
+  OpsSources sources;
+  sources.registry = &registry;
+  OpsServer server({dir_ + "/test.ops"}, sources);
+  ASSERT_TRUE(server.start().ok());
+
+  EXPECT_EQ(request(server, "/nope"), "err unknown-route /nope\n");
+  // The curl-ish "GET <route>" form reaches the same diagnostic.
+  EXPECT_EQ(request(server, "GET /definitely-not-a-route"),
+            "err unknown-route /definitely-not-a-route\n");
+  EXPECT_EQ(server.requests_served(), 2u);
+}
+
+TEST_F(OpsServerTest, AbsentSourcesAnswerUnavailable) {
+  // A server wired with nothing at all: every known route must still
+  // answer — with the unavailable line, not a crash on a null source.
+  OpsServer server({dir_ + "/bare.ops"}, OpsSources{});
+  ASSERT_TRUE(server.start().ok());
+
+  EXPECT_EQ(request(server, "/metrics"), "err unavailable /metrics\n");
+  EXPECT_EQ(request(server, "/profile"), "err unavailable /profile\n");
+  EXPECT_EQ(request(server, "/flight"), "err unavailable /flight\n");
+}
+
+TEST_F(OpsServerTest, ProfileServesFoldedOutput) {
+  prof::WallProfiler profiler;
+  profiler.register_thread("loop");
+  {
+    const prof::Scope span(prof::Center::transport_io);
+    profiler.sample_once();
+    profiler.sample_once();
+  }
+  {
+    const prof::Scope span(prof::Center::transport_idle);
+    profiler.sample_once();
+  }
+
+  OpsSources sources;
+  sources.profiler = &profiler;
+  OpsServer server({dir_ + "/prof.ops"}, sources);
+  ASSERT_TRUE(server.start().ok());
+
+  const std::string body = request(server, "/profile");
+  const auto parsed = prof::parse_folded(body);
+  ASSERT_TRUE(parsed.ok()) << body;
+  EXPECT_EQ(parsed.value().at("loop;transport.io"), 2u);
+  EXPECT_EQ(parsed.value().at("loop;transport.idle"), 1u);
+  profiler.unregister_thread();
+}
+
+}  // namespace
+}  // namespace ph::obs

@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/prof.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -109,6 +110,72 @@ TEST(SimulatorAllocation, SteadyStateSchedulesWithoutHeapAllocation) {
       << events << " events";
   EXPECT_EQ(cancel_victims, 0u);
   EXPECT_EQ(simulator.queue_name(), std::string("timer_wheel"));
+}
+
+TEST(SimulatorAllocation, ProfAttributionHotPathAllocatesNothing) {
+  // Mode 1 attribution rides the dispatch loop: count() plus, with the
+  // wall plane armed, two clock reads and observe_wall()'s bucket math.
+  // None of it may allocate — the profiler would otherwise disqualify
+  // itself from the always-on default the overhead budget promises.
+  Simulator simulator;
+  obs::prof::EventProfiler prof;
+  prof.enable_wall(true);
+  simulator.set_profiler(&prof);
+
+  std::uint64_t fired = 0;
+  {
+    const obs::prof::TagScope tag(obs::prof::Center::peerhood_ping);
+    for (Duration period : {1'024u, 4'096u, 65'536u}) {
+      arm_chain(simulator, period, &fired);
+    }
+  }
+  simulator.run_until(seconds(2.0));
+  ASSERT_GT(fired, 1'000u);
+  ASSERT_GT(prof.cost(obs::prof::Center::peerhood_ping).events, 1'000u);
+
+  const std::uint64_t fired_before = fired;
+  const std::size_t allocations_before = g_new_calls;
+  simulator.run_until(seconds(6.0));
+  const std::size_t allocations_after = g_new_calls;
+
+  ASSERT_GT(fired - fired_before, 4'000u);
+  EXPECT_EQ(allocations_after, allocations_before)
+      << "profiled steady state made "
+      << (allocations_after - allocations_before) << " heap allocations";
+  // The causal chain kept its root tag the whole run.
+  EXPECT_EQ(prof.cost(obs::prof::Center::peerhood_ping).events, fired);
+  EXPECT_GT(prof.cost(obs::prof::Center::peerhood_ping).wall_count, 0u);
+}
+
+TEST(SimulatorAllocation, ProfSamplerRingWritesAllocateNothing) {
+  // Mode 2's per-thread rings are sized at registration; sample_once()
+  // afterwards only writes fixed Sample slots — through ring wrap-around.
+  obs::prof::WallProfilerConfig config;
+  config.ring_capacity = 512;
+  obs::prof::WallProfiler profiler(config);
+  profiler.register_thread("main");
+
+  const obs::prof::Scope outer(obs::prof::Center::transport_io);
+  const std::size_t allocations_before = g_new_calls;
+  for (int i = 0; i < 2'000; ++i) {  // ~4x the ring: exercises the wrap
+    const obs::prof::Scope inner(obs::prof::Center::transport_telemetry);
+    profiler.sample_once();
+  }
+  const std::size_t allocations_after = g_new_calls;
+
+  EXPECT_EQ(allocations_after, allocations_before)
+      << "sampler ring writes made "
+      << (allocations_after - allocations_before) << " heap allocations";
+  EXPECT_EQ(profiler.samples_taken(), 2'000u);
+  profiler.unregister_thread();
+  // The folded readout (cold path, allocation expected) still sees the
+  // retired thread: the ring keeps the newest `ring_capacity` samples,
+  // all of them under the two scopes held above.
+  const obs::prof::FoldedProfile folded = profiler.folded();
+  ASSERT_EQ(folded.size(), 1u);
+  const auto& [stack, count] = *folded.begin();
+  EXPECT_EQ(stack, "main;transport.io;transport.telemetry");
+  EXPECT_EQ(count, config.ring_capacity);
 }
 
 TEST(SimulatorAllocation, BinaryHeapBaselineStillBounded) {

@@ -4,10 +4,12 @@
 // over SocketTransport with the ops server enabled and pumps its epoll
 // loop forever; the parent connects to the child's ops UNIX socket like
 // any external operator would (`nc -U` semantics: one request line,
-// response body, close) and scrapes /metrics, /series, /slo and /flight
-// into the output directory given as argv[1]. The ph_ops_scrape_smoke
-// ctest then lints every scrape with ph_obs_json_check (--expo for the
-// exposition, JSON modes for the rest) — see cmake/ops_scrape_smoke.cmake.
+// response body, close) and scrapes /metrics, /series, /slo, /flight and
+// /profile into the output directory given as argv[1]. The
+// ph_ops_scrape_smoke and ph_prof_smoke ctests then lint every scrape
+// with ph_obs_json_check (--expo for the exposition, --folded for the
+// profile, JSON modes for the rest) — see cmake/ops_scrape_smoke.cmake
+// and cmake/prof_smoke.cmake.
 //
 //   ops_scrape_smoke OUT_DIR
 //
@@ -56,6 +58,7 @@ net::TechProfile quick_bt() {
   config.seed = 7;
   config.sample_interval_us = 20'000;
   config.ops_server = true;
+  config.profiler = true;  // Mode 2 sampler feeds the /profile route
   transport::SocketTransport transport(config);
   transport.trace().set_enabled(true);
   transport.trace().set_ring_capacity(1 << 12);
@@ -81,7 +84,7 @@ net::TechProfile quick_bt() {
 }
 
 /// One ops request: connect, send the route line, read the body to EOF.
-/// Returns false on connect/IO failure or an "error ..." body.
+/// Returns false on connect/IO failure or an "err ..." body.
 bool scrape(const std::string& socket_path, const std::string& route,
             std::string& body) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
@@ -114,7 +117,7 @@ bool scrape(const std::string& socket_path, const std::string& route,
     body.append(buf, static_cast<std::size_t>(n));
   }
   ::close(fd);
-  return !body.empty() && body.rfind("error ", 0) != 0;
+  return !body.empty() && body.rfind("err ", 0) != 0;
 }
 
 bool write_file(const std::string& path, const std::string& body) {
@@ -179,10 +182,27 @@ int main(int argc, char** argv) {
       }
       ok = write_file(out_dir + r.file, body) && ok;
     }
-    // An unknown route must answer with a diagnostic, not hang or crash.
+    // The sampling profiler needs a few 10 ms ticks before the rings hold
+    // anything; retry /profile until the folded body is non-empty so the
+    // lint step can demand real samples.
+    std::string profile;
+    const auto prof_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < prof_deadline) {
+      if (scrape(ops_socket, "/profile", profile) && !profile.empty()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (profile.empty()) {
+      std::fprintf(stderr, "ops_scrape_smoke: /profile never went live\n");
+      ok = false;
+    } else {
+      ok = write_file(out_dir + "/profile.folded", profile) && ok;
+    }
+    // An unknown route must answer with the machine-stable diagnostic
+    // line, not hang or crash.
     std::string unknown;
     scrape(ops_socket, "/nope", unknown);
-    if (unknown.rfind("error ", 0) != 0) {
+    if (unknown.rfind("err unknown-route /nope", 0) != 0) {
       std::fprintf(stderr, "ops_scrape_smoke: bad unknown-route reply '%s'\n",
                    unknown.c_str());
       ok = false;
